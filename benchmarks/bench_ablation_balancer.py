@@ -1,0 +1,131 @@
+"""Ablations of the inter-BS balancer's design choices (§6).
+
+- trigger-ratio sweep: how aggressively the balancer declares exporters;
+- the §6.1.3 admission constraint on/off (the "too hot to move" rule);
+- the realizable prediction-based importer vs the heuristics and the
+  oracle of Fig 4(b).
+"""
+
+import numpy as np
+
+from repro.balancer import (
+    BalancerConfig,
+    InterBsBalancer,
+    PredictorImporter,
+    make_importer,
+    normalized_migration_intervals,
+    segment_period_matrix,
+)
+from repro.cluster import StorageCluster
+from repro.prediction import ArimaPredictor
+
+
+def _write_matrix(study, result):
+    return segment_period_matrix(
+        result.metrics.storage,
+        len(result.fleet.segments),
+        study.config.duration_seconds,
+        study.config.balancer_period_seconds,
+        "write",
+    )
+
+
+def _run(study, result, config, importer):
+    storage = StorageCluster(result.fleet)
+    balancer = InterBsBalancer(
+        storage, config, importer, rng=study.rngs.get("ablation-balancer")
+    )
+    run = balancer.run(_write_matrix(study, result))
+    storage.check_invariants()
+    return run
+
+
+def test_ablation_trigger_ratio(benchmark, study):
+    def run():
+        result = study.results[0]
+        rows = []
+        for trigger in (1.1, 1.2, 1.5, 2.0):
+            config = BalancerConfig(
+                period_seconds=study.config.balancer_period_seconds,
+                trigger_ratio=trigger,
+            )
+            outcome = _run(study, result, config, make_importer("min_traffic"))
+            rows.append((trigger, outcome.num_migrations))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    print(f"{'trigger':>8} {'migrations':>10}")
+    for trigger, migrations in rows:
+        print(f"{trigger:>8.1f} {migrations:>10}")
+    counts = [m for __, m in rows]
+    # A laxer trigger migrates at least as much as a stricter one.
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+
+def test_ablation_admission_constraint(benchmark, study):
+    def run():
+        result = study.results[0]
+        rows = []
+        for label, ratio in (("literal Algorithm 1", None), ("with admission rule", 1.0)):
+            config = BalancerConfig(
+                period_seconds=study.config.balancer_period_seconds,
+                max_segment_traffic_ratio=ratio,
+            )
+            outcome = _run(study, result, config, make_importer("min_traffic"))
+            intervals = normalized_migration_intervals(
+                outcome.migrations, study.config.duration_seconds
+            )
+            rows.append(
+                (
+                    label,
+                    outcome.num_migrations,
+                    float(np.mean(intervals)) if intervals else float("nan"),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    print(f"{'variant':<24} {'migrations':>10} {'mean interval':>13}")
+    for label, migrations, interval in rows:
+        print(f"{label:<24} {migrations:>10} {interval:>13.3f}")
+    assert len(rows) == 2
+
+
+def test_ablation_predictor_importer(benchmark, study):
+    """The realizable §6.1.3 balancer: ARIMA-predicted importer."""
+
+    def run():
+        result = study.results[0]
+        config = BalancerConfig(
+            period_seconds=study.config.balancer_period_seconds
+        )
+        rows = []
+        importers = [
+            make_importer("min_traffic"),
+            PredictorImporter(ArimaPredictor),
+            make_importer("ideal"),
+        ]
+        for importer in importers:
+            outcome = _run(study, result, config, importer)
+            intervals = normalized_migration_intervals(
+                outcome.migrations, study.config.duration_seconds
+            )
+            rows.append(
+                (
+                    importer.name,
+                    outcome.num_migrations,
+                    float(np.mean(intervals)) if intervals else float("nan"),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    print(f"{'importer':<22} {'migrations':>10} {'mean interval':>13}")
+    for name, migrations, interval in rows:
+        print(f"{name:<22} {migrations:>10} {interval:>13.3f}")
+    names = [name for name, __, ___ in rows]
+    assert names[0] == "min_traffic"
+    assert names[1].startswith("predictor[")

@@ -1,0 +1,90 @@
+"""Ablations of the §7 cache design choices.
+
+- hybrid CN/BS split sweep: how the latency gain moves as the CN tier
+  grows from 0% (pure BS-cache) to 100% (pure CN-cache);
+- cacheable-VD threshold sweep: how the access-rate threshold trades
+  covered traffic against provisioned nodes.
+"""
+
+import numpy as np
+
+from repro.cache import (
+    CachePlacementConfig,
+    HybridCacheConfig,
+    cacheable_vd_counts,
+    latency_gain_hybrid,
+)
+from repro.cache.placement import find_cacheable_blocks
+from repro.cluster import LatencyModel
+from repro.util.units import MiB
+
+
+def test_ablation_hybrid_split(benchmark, study):
+    def run():
+        model = LatencyModel()
+        placement = CachePlacementConfig(block_bytes=2048 * MiB)
+        rows = []
+        for cn_fraction in (0.0, 0.25, 0.5, 1.0):
+            config = HybridCacheConfig(
+                placement=placement, cn_fraction=cn_fraction
+            )
+            gains = []
+            for result in study.results:
+                gain = latency_gain_hybrid(
+                    result.traces,
+                    result.fleet,
+                    model,
+                    study.rngs.get(f"abl-hybrid/{cn_fraction}"),
+                    config,
+                    direction="write",
+                )
+                if gain is not None:
+                    gains.append(gain[50.0])
+            rows.append(
+                (cn_fraction, float(np.mean(gains)) if gains else float("nan"))
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    print(f"{'CN fraction':>11} {'p50 write gain':>14}")
+    for fraction, gain in rows:
+        print(f"{fraction:>11.2f} {100 * gain:>13.1f}%")
+    gains = [g for __, g in rows if g == g]
+    # Shape: more CN tier -> better (lower) median write gain.
+    assert gains[-1] <= gains[0] + 0.02
+
+
+def test_ablation_cacheable_threshold(benchmark, study):
+    def run():
+        rows = []
+        for threshold in (0.1, 0.25, 0.5):
+            config = CachePlacementConfig(
+                block_bytes=2048 * MiB, access_rate_threshold=threshold
+            )
+            cacheable = 0
+            cn_counts = []
+            for result in study.results:
+                cacheable += len(
+                    find_cacheable_blocks(result.traces, result.fleet, config)
+                )
+                cn_counts.extend(
+                    cacheable_vd_counts(
+                        result.traces,
+                        result.fleet,
+                        "compute_node",
+                        result.storage.placement_snapshot(),
+                        config,
+                    )
+                )
+            rows.append((threshold, cacheable, float(np.std(cn_counts))))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    print(f"{'threshold':>9} {'cacheable VDs':>13} {'CN spread (std)':>15}")
+    for threshold, cacheable, spread in rows:
+        print(f"{threshold:>9.2f} {cacheable:>13} {spread:>15.2f}")
+    counts = [c for __, c, ___ in rows]
+    # A stricter threshold qualifies fewer VDs.
+    assert all(a >= b for a, b in zip(counts, counts[1:]))

@@ -1,0 +1,109 @@
+"""Ablation: single-WT hosting vs rebinding vs per-IO dispatch (§4).
+
+The paper's §4 argument in one table: static round-robin binding leaves
+worker threads skewed, periodic rebinding helps only some nodes, and a
+per-IO dispatch model removes the imbalance at a per-IO synchronization
+cost.  This bench quantifies all three on the same traces.
+"""
+
+import numpy as np
+
+from repro.balancer import (
+    DispatchConfig,
+    DispatchPolicy,
+    RebindingConfig,
+    compare_policies,
+    simulate_rebinding,
+)
+
+
+def _mean_total_cov(outcomes):
+    return float(np.mean([o.total_cov for o in outcomes]))
+
+
+def test_ablation_hosting_models(benchmark, study):
+    def run():
+        rows = []
+        dispatch_config = DispatchConfig(sync_cost_us=1.0)
+        all_outcomes = {}
+        rebind_covs = []
+        for result in study.results:
+            outcomes = compare_policies(
+                result.traces, result.hypervisors, dispatch_config
+            )
+            for policy, outcome_list in outcomes.items():
+                all_outcomes.setdefault(policy, []).extend(outcome_list)
+            for hypervisor in result.hypervisors:
+                rb = simulate_rebinding(
+                    result.traces, hypervisor, RebindingConfig()
+                )
+                if rb is not None and rb.cov_before > 0:
+                    rebind_covs.append(rb.cov_after)
+        rows.append(
+            (
+                "single-WT (production)",
+                _mean_total_cov(all_outcomes[DispatchPolicy.HASH_QP]),
+                0.0,
+            )
+        )
+        rows.append(
+            ("10ms rebinding", float(np.mean(rebind_covs)), 0.0)
+        )
+        for policy in (
+            DispatchPolicy.ROUND_ROBIN,
+            DispatchPolicy.JOIN_SHORTEST_QUEUE,
+        ):
+            outcomes = all_outcomes[policy]
+            rows.append(
+                (
+                    f"dispatch/{policy.value}",
+                    _mean_total_cov(outcomes),
+                    float(np.mean([o.added_cost_us_per_io for o in outcomes])),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    print(f"{'hosting model':<28} {'mean WT CoV':>12} {'cost us/IO':>10}")
+    for name, cov, cost in rows:
+        print(f"{name:<28} {cov:>12.3f} {cost:>10.2f}")
+
+    by_name = {name: cov for name, cov, __ in rows}
+    # Shape (§4.4): dispatch clearly beats both static hosting and
+    # rebinding on balance.
+    assert by_name["dispatch/round_robin"] < by_name["single-WT (production)"]
+    assert (
+        by_name["dispatch/join_shortest_queue"]
+        < by_name["single-WT (production)"]
+    )
+
+
+def test_ablation_dispatch_sync_cost_sweep(benchmark, study):
+    """The cost axis of the §4.4 trade-off: software lock vs hardware queue."""
+
+    def run():
+        result = study.results[0]
+        rows = []
+        for sync_cost in (0.1, 1.0, 5.0):
+            outcomes = compare_policies(
+                result.traces,
+                result.hypervisors,
+                DispatchConfig(sync_cost_us=sync_cost),
+            )
+            rr = outcomes[DispatchPolicy.ROUND_ROBIN]
+            rows.append(
+                (
+                    sync_cost,
+                    float(np.mean([o.added_cost_us_per_io for o in rr])),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    print(f"{'sync cost us':>12} {'added us/IO':>12}")
+    for sync_cost, added in rows:
+        print(f"{sync_cost:>12.1f} {added:>12.2f}")
+    added = [a for __, a in rows]
+    assert added == sorted(added)

@@ -1,0 +1,87 @@
+"""Ablation: prediction history length and retrain cadence (§6.1.3).
+
+The paper's trade-off is accuracy vs retraining overhead.  These sweeps
+quantify two of its axes on the busiest cluster's per-BS write traffic:
+the attention model's input window, and the retrain cadence from
+per-period down to train-once.
+"""
+
+import numpy as np
+
+from repro.balancer import segment_period_matrix
+from repro.cluster import StorageCluster
+from repro.prediction import (
+    AttentionForecaster,
+    EvaluationConfig,
+    evaluate_predictor,
+)
+from repro.prediction.attention import AttentionConfig
+
+
+def _bs_matrix(study):
+    result = study.results[0]
+    storage = StorageCluster(result.fleet)
+    write = segment_period_matrix(
+        result.metrics.storage,
+        len(result.fleet.segments),
+        study.config.duration_seconds,
+        study.config.prediction_period_seconds,
+        "write",
+    )
+    placement = storage.placement_snapshot()
+    seg_ids = np.fromiter(placement.keys(), dtype=np.int64)
+    seg_bs = np.fromiter(placement.values(), dtype=np.int64)
+    matrix = np.zeros((storage.num_block_servers, write.shape[1]))
+    np.add.at(matrix, seg_bs, write[seg_ids])
+    return matrix
+
+
+def test_ablation_attention_window(benchmark, study):
+    def run():
+        matrix = _bs_matrix(study)
+        rows = []
+        for window in (4, 8, 12):
+            result = evaluate_predictor(
+                AttentionForecaster(AttentionConfig(window=window)),
+                matrix,
+                EvaluationConfig(
+                    warmup_periods=max(
+                        study.config.prediction_warmup_periods, window + 2
+                    ),
+                    retrain_every=1,
+                ),
+            )
+            rows.append((window, result.mse))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    print(f"{'window':>6} {'MSE':>10}")
+    for window, mse in rows:
+        print(f"{window:>6} {mse:>10.3f}")
+    assert all(np.isfinite(mse) for __, mse in rows)
+
+
+def test_ablation_retrain_cadence(benchmark, study):
+    def run():
+        matrix = _bs_matrix(study)
+        horizon = matrix.shape[1]
+        rows = []
+        for cadence in (1, 5, max(10, horizon)):
+            result = evaluate_predictor(
+                AttentionForecaster(AttentionConfig()),
+                matrix,
+                EvaluationConfig(
+                    warmup_periods=study.config.prediction_warmup_periods,
+                    retrain_every=cadence,
+                ),
+            )
+            rows.append((cadence, result.mse))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    print(f"{'retrain every':>13} {'MSE':>10}")
+    for cadence, mse in rows:
+        print(f"{cadence:>13} {mse:>10.3f}")
+    assert all(np.isfinite(mse) for __, mse in rows)

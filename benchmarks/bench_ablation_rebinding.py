@@ -1,0 +1,73 @@
+"""Ablation: rebinding period and trigger-ratio sensitivity (§4.3).
+
+The paper argues the rebinding period would have to shrink below burst
+durations to work; this sweep shows how the rebinding ratio (overhead) and
+gain move as the period and the trigger threshold change.
+"""
+
+import numpy as np
+
+from repro.balancer import RebindingConfig, simulate_rebinding
+
+
+def _outcomes(study, config):
+    out = []
+    for result in study.results:
+        for hypervisor in result.hypervisors:
+            outcome = simulate_rebinding(result.traces, hypervisor, config)
+            if outcome is not None and outcome.cov_before > 0:
+                out.append(outcome)
+    return out
+
+
+def test_ablation_rebinding_period(benchmark, study):
+    def run():
+        rows = []
+        for period in (0.010, 0.100, 1.000):
+            outcomes = _outcomes(study, RebindingConfig(period_seconds=period))
+            rows.append(
+                (
+                    period,
+                    float(np.median([o.rebinding_ratio for o in outcomes])),
+                    float(np.median([o.rebinding_gain for o in outcomes])),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    print(f"{'period s':>9} {'median ratio':>12} {'median gain':>11} {'rebinds/s':>9}")
+    for period, ratio, gain in rows:
+        print(
+            f"{period:>9.3f} {ratio:>12.3f} {gain:>11.3f} {ratio / period:>9.1f}"
+        )
+    # Shorter periods pay more rebinds per second — the §4.3 overhead
+    # argument: balancing bursts needs an unaffordable rebinding rate.
+    per_second = [ratio / period for period, ratio, __ in rows]
+    assert all(a >= b - 1e-9 for a, b in zip(per_second, per_second[1:]))
+
+
+def test_ablation_rebinding_trigger(benchmark, study):
+    def run():
+        rows = []
+        for trigger in (1.1, 1.5, 3.0):
+            outcomes = _outcomes(
+                study, RebindingConfig(trigger_ratio=trigger)
+            )
+            rows.append(
+                (
+                    trigger,
+                    float(np.median([o.rebinding_ratio for o in outcomes])),
+                    float(np.median([o.rebinding_gain for o in outcomes])),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    print(f"{'trigger':>8} {'median ratio':>12} {'median gain':>11}")
+    for trigger, ratio, gain in rows:
+        print(f"{trigger:>8.1f} {ratio:>12.3f} {gain:>11.3f}")
+    ratios = [ratio for __, ratio, __ in rows]
+    # A stricter trigger can only reduce how often rebinding fires.
+    assert all(a >= b - 1e-9 for a, b in zip(ratios, ratios[1:]))

@@ -1,0 +1,44 @@
+"""Regenerates Figure 2: hypervisor load-balancing analyses (§4)."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig2a_wt_cov(benchmark, study):
+    result = run_and_print(benchmark, study, "fig2a")
+    assert result.rows
+
+
+def test_fig2b_decomposition(benchmark, study):
+    result = run_and_print(benchmark, study, "fig2b")
+    by_key = {(row[0], row[1]): row[2] for row in result.rows}
+    # Shape: the write-direction VD->QP split is more skewed than read
+    # (Fig 2b, paper medians 0.81 vs 0.39).
+    if ("vd2qp", "read") in by_key and ("vd2qp", "write") in by_key:
+        assert by_key[("vd2qp", "write")] >= by_key[("vd2qp", "read")] - 0.15
+
+
+def test_fig2c_hottest_qp(benchmark, study):
+    result = run_and_print(benchmark, study, "fig2c")
+    assert result.rows
+
+
+def test_fig2_types(benchmark, study):
+    result = run_and_print(benchmark, study, "fig2_types")
+    fractions = dict(zip(result.column("type"), result.column("% of nodes")))
+    # Shape: Type III (multi-QP hotspot) dominates, as in the paper (78.9%).
+    assert fractions["Type III"] == max(fractions.values())
+
+
+def test_fig2d_rebinding(benchmark, study):
+    result = run_and_print(benchmark, study, "fig2d", rounds=1)
+    metrics = dict(zip(result.column("metric"), result.column("value")))
+    assert metrics["nodes simulated"] > 0
+
+
+def test_fig2ef_bursts(benchmark, study):
+    result = run_and_print(benchmark, study, "fig2ef", rounds=1)
+    if result.rows:
+        ratio = result.rows[-1][2]
+        # Shape: the burstiest node's hottest WT has a much higher P2A
+        # than the smoothest node's (paper: 7.7x).
+        assert ratio > 2.0

@@ -1,0 +1,46 @@
+"""Regenerates Figure 3: throttling and limited lending (§5)."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig3a_case(benchmark, study):
+    result = run_and_print(benchmark, study, "fig3a")
+    assert result.rows
+
+
+def test_fig3b_rar(benchmark, study):
+    result = run_and_print(benchmark, study, "fig3b")
+    medians = result.column("median RAR %")
+    # Shape: plenty of available resource during throttle (paper medians
+    # 61.6% / 74.7% for multi-VD VMs).
+    assert max(medians) > 30.0
+
+
+def test_fig3c_wr_ratio(benchmark, study):
+    result = run_and_print(benchmark, study, "fig3c")
+    for row in result.rows:
+        write_dom, mixed, read_dom = row[1], row[2], row[3]
+        # Shape: write traffic is the main throttle contributor and mixed
+        # traffic is rare (paper: 11.7% / 6.9%).
+        assert write_dom > read_dom
+        assert mixed < 35.0
+
+
+def test_fig3de_reduction(benchmark, study):
+    result = run_and_print(benchmark, study, "fig3de")
+    # Shape: the reduction rate falls monotonically in p per group/resource.
+    series = {}
+    for group, resource, p, rr in result.rows:
+        series.setdefault((group, resource), []).append((p, rr))
+    for points in series.values():
+        points.sort()
+        values = [rr for __, rr in points]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+
+def test_fig3fg_lending(benchmark, study):
+    result = run_and_print(benchmark, study, "fig3fg", rounds=1)
+    positive = result.column("% positive")
+    # Shape: lending yields positive gains for the majority of groups
+    # (paper: 85.9% at p=0.8).
+    assert max(positive) > 50.0

@@ -1,0 +1,18 @@
+"""Regenerates Figure 4(c): traffic-prediction accuracy (Appendix C)."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig4c_prediction(benchmark, study):
+    result = run_and_print(benchmark, study, "fig4c", rounds=1)
+    mse = dict(zip(result.column("predictor"), result.column("MSE")))
+    assert set(mse) == {
+        "P1_linear",
+        "P2_arima",
+        "P3_gbt",
+        "P4_attention_epoch",
+        "P5_attention_period",
+    }
+    # Shape: ARIMA beats the linear fit among the classic statistical
+    # methods (the paper's P2 < P1 ordering).
+    assert mse["P2_arima"] <= mse["P1_linear"] * 1.25

@@ -1,0 +1,27 @@
+"""Regenerates Figure 5: balanced write but skewed read (§6.2)."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig5a_read_write_cov(benchmark, study):
+    result = run_and_print(benchmark, study, "fig5a")
+    assert len(result.rows) == len(study.config.dc_configs)
+
+
+def test_fig5b_segment_wr_ratio(benchmark, study):
+    result = run_and_print(benchmark, study, "fig5b")
+    medians = result.column("median |wr_ratio|")
+    # Shape: hot segments are strongly direction-dominant (paper: 85.2%
+    # of clusters have a median above 0.9).
+    assert max(medians) > 0.9
+
+
+def test_fig5c_write_then_read(benchmark, study):
+    result = run_and_print(benchmark, study, "fig5c", rounds=1)
+    by_mode = {row[0]: (row[1], row[2]) for row in result.rows}
+    read_wo, write_wo = by_mode["write_only"]
+    read_wtr, write_wtr = by_mode["write_then_read"]
+    # Shape: adding the read pass reduces read skew without making write
+    # skew worse (Fig 5c).
+    assert read_wtr <= read_wo + 0.05
+    assert write_wtr <= write_wo + 0.05

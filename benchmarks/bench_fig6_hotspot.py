@@ -1,0 +1,36 @@
+"""Regenerates Figure 6: LBA hotspot structure (§7.1, §7.2)."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_fig6a_access_rate(benchmark, study):
+    result = run_and_print(benchmark, study, "fig6a")
+    assert result.rows
+    rates = result.column("median rate %")
+    # Shape: the access rate grows with block size (Fig 6a).
+    assert rates == sorted(rates)
+
+
+def test_fig6b_lba_share(benchmark, study):
+    result = run_and_print(benchmark, study, "fig6b")
+    # Shape: the hottest block's access rate dwarfs its LBA share.
+    access = study.run("fig6a").column("median rate %")
+    share = result.column("median share of LBA %")
+    for rate, lba in zip(access, share):
+        assert rate > lba
+
+
+def test_fig6c_write_dominance(benchmark, study):
+    result = run_and_print(benchmark, study, "fig6c")
+    for row in result.rows:
+        write_dom, read_dom = row[1], row[2]
+        # Shape: hottest blocks are mostly write-dominant (paper: 93.9%).
+        assert write_dom > read_dom
+
+
+def test_fig6d_hot_rate(benchmark, study):
+    result = run_and_print(benchmark, study, "fig6d")
+    for row in result.rows:
+        mean_rate = row[1]
+        # Shape: hot rate centers around ~50% (Fig 6d).
+        assert 25.0 < mean_rate < 75.0

@@ -1,0 +1,8 @@
+"""Regenerates Table 2: the dataset summary."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_table2_summary(benchmark, study):
+    result = run_and_print(benchmark, study, "table2")
+    assert len(result.rows) == 5

@@ -1,0 +1,21 @@
+"""Regenerates Table 3: CCR and P2A per DC and aggregation level."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_table3_baseline(benchmark, study):
+    result = run_and_print(benchmark, study, "table3")
+    # Every DC contributes all four aggregation levels in both directions.
+    num_dcs = len(study.config.dc_configs)
+    assert len(result.rows) == num_dcs * 4 * 2
+
+    # Shape: the storage-node level is flatter than the VM level (the
+    # segment stripe spreads load), per DC and direction.
+    by_key = {
+        (row[0], row[1], row[2]): row[4] for row in result.rows
+    }
+    for dc in range(num_dcs):
+        for direction in ("read", "write"):
+            vm = by_key[(f"DC-{dc + 1}", "VM", direction)]
+            sn = by_key[(f"DC-{dc + 1}", "SN", direction)]
+            assert sn <= vm + 1e-9

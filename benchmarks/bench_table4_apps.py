@@ -1,0 +1,10 @@
+"""Regenerates Table 4: per-application skewness and traffic share."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_table4_applications(benchmark, study):
+    result = run_and_print(benchmark, study, "table4")
+    assert result.rows
+    shares = result.column("share W (%)")
+    assert sum(shares) <= 100.0 + 1e-6

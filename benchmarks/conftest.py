@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures.
+
+One Study is built per session (the datasets are the expensive shared
+input, like the paper's collected traces); each benchmark times one
+experiment's analysis over those datasets and prints the regenerated
+table so the run doubles as the figure/table reproduction.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import Study, StudyConfig
+
+#: Scale can be overridden for longer runs: REPRO_BENCH_SCALE=medium
+_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+
+@pytest.fixture(scope="session")
+def study() -> Study:
+    factory = getattr(StudyConfig, _SCALE)
+    return Study(factory(seed=_SEED)).build()
+
+
+def run_and_print(benchmark, study: Study, experiment_id: str, rounds=3):
+    """Benchmark one experiment and print its regenerated table."""
+    from repro.core.experiments import EXPERIMENTS
+
+    fn = EXPERIMENTS[experiment_id]
+    result = benchmark.pedantic(
+        lambda: fn(study), rounds=rounds, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(result.render())
+    return result

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Hypervisor worker-thread balancing (§4) on a single data center.
+
+Simulates one DC, shows how skewed the round-robin QP-to-WT binding leaves
+the worker threads, classifies each node's root cause (Type I/II/III), and
+replays the FinNVMe-style periodic rebinding balancer to show why it is not
+a silver bullet (Fig 2(d)).
+
+Run:  python examples/hypervisor_rebalancing.py
+"""
+
+import numpy as np
+
+from repro.balancer import (
+    RebindingConfig,
+    classify_node,
+    simulate_rebinding,
+    wt_cov_samples,
+)
+from repro.cluster import EBSSimulator, SimulationConfig
+from repro.util.rng import RngFactory
+from repro.workload import FleetConfig, build_fleet
+
+
+def main() -> None:
+    fleet = build_fleet(
+        FleetConfig(
+            num_users=10,
+            num_vms=36,
+            num_compute_nodes=10,
+            num_storage_nodes=6,
+        ),
+        RngFactory(42),
+    )
+    print("Simulating one data center ...")
+    result = EBSSimulator(
+        fleet,
+        SimulationConfig(duration_seconds=300, trace_sampling_rate=1 / 10),
+        RngFactory(42),
+    ).run()
+
+    covs = wt_cov_samples(result.metrics.compute, fleet, 60, "total")
+    print(
+        f"\nWT-CoV across {len(covs)} (node, minute) samples: "
+        f"median {np.median(covs):.2f}, p90 {np.percentile(covs, 90):.2f}"
+    )
+    print("(0 = perfectly even workers, 1 = one worker takes everything)\n")
+
+    print("Per-node root cause and rebinding outcome:")
+    print(f"{'node':>4}  {'type':<10} {'rebind ratio':>12}  {'gain':>6}")
+    config = RebindingConfig(period_seconds=0.01)
+    for hypervisor in result.hypervisors:
+        node_type = classify_node(
+            result.metrics.compute, fleet, hypervisor.node_id
+        )
+        outcome = simulate_rebinding(result.traces, hypervisor, config)
+        if node_type is None or outcome is None:
+            continue
+        print(
+            f"{hypervisor.node_id:>4}  {node_type.value:<10} "
+            f"{outcome.rebinding_ratio:>12.3f}  {outcome.rebinding_gain:>6.2f}"
+        )
+    print(
+        "\nGain < 1 means rebinding balanced the node; nodes whose bursts"
+        "\nare shorter than the 10 ms period stay skewed (the paper's"
+        "\nblue-circle nodes), motivating per-IO dispatch in hardware."
+    )
+
+
+if __name__ == "__main__":
+    main()

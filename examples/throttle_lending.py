@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Limited lending between a VM's virtual disks (§5, Algorithm 2).
+
+Generates offered load for one data center, provisions per-VD caps the way
+tenants do (a headroom multiple of mean traffic), then shows: how much
+capacity sits idle while individual VDs throttle (RAR, Fig 3(b)), and how
+much throttle time limited lending removes at several lending rates —
+including the groups where lending backfires (Fig 3(f)).
+
+Run:  python examples/throttle_lending.py
+"""
+
+import numpy as np
+
+from repro.throttle import (
+    LendingConfig,
+    build_vm_groups,
+    calibrated_caps,
+    rar_during_throttle,
+    simulate_lending,
+)
+from repro.util.rng import RngFactory
+from repro.workload import FleetConfig, WorkloadGenerator, build_fleet
+
+
+def main() -> None:
+    rngs = RngFactory(42)
+    fleet = build_fleet(
+        FleetConfig(
+            num_users=10, num_vms=36, num_compute_nodes=10, num_storage_nodes=6
+        ),
+        rngs,
+    )
+    traffic = WorkloadGenerator(fleet, 600, rngs).generate_all()
+    caps = calibrated_caps(traffic, rngs.child("caps"))
+    groups = build_vm_groups(fleet, traffic, caps)
+    print(f"{len(groups)} multi-VD VMs (lending groups)\n")
+
+    rars = [
+        rar for group in groups for rar in rar_during_throttle(group, "throughput")
+    ]
+    if rars:
+        print(
+            "While a VD is throttled, the VM still has a median "
+            f"{100 * np.median(rars):.0f}% of its purchased throughput idle."
+        )
+
+    print("\nLimited lending (throughput), by lending rate p:")
+    print(f"{'p':>4}  {'groups':>6}  {'median gain':>11}  {'% positive':>10}  {'% negative':>10}")
+    for p in (0.2, 0.4, 0.6, 0.8):
+        gains = []
+        for group in groups:
+            outcome = simulate_lending(
+                group, "throughput", LendingConfig(lending_rate=p)
+            )
+            if outcome.throttled_seconds_without > 0:
+                gains.append(outcome.gain)
+        if not gains:
+            continue
+        arr = np.asarray(gains)
+        print(
+            f"{p:>4.1f}  {len(gains):>6}  {np.median(arr):>11.2f}  "
+            f"{100 * np.mean(arr > 0):>10.1f}  {100 * np.mean(arr < 0):>10.1f}"
+        )
+    print(
+        "\nGain in (-1, 1): positive means lending shortened total throttle"
+        "\ntime. The negative rows are the paper's warning: a VD that lent"
+        "\ncapacity away can burst into its reduced cap."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Metadata lives in setup.cfg.  A setup.py/setup.cfg layout (instead of
+pyproject.toml) is deliberate: this repo targets offline environments whose
+pip cannot fetch the ``wheel`` package that PEP 660 editable installs
+require, while the legacy ``pip install -e .`` path works out of the box.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""Reproduction of "Hey Hey, My My, Skewness Is Here to Stay" (EuroSys '25).
+
+This package reproduces the measurement study and mitigation simulations of
+the EuroSys '25 paper on traffic skewness in Alibaba Cloud's Elastic Block
+Storage (EBS).  Because the production traces are not available offline, the
+package also ships the full substrate needed to regenerate them:
+
+- :mod:`repro.workload` — a hierarchical synthetic fleet and traffic
+  generator with per-application skew profiles.
+- :mod:`repro.cluster` — a discrete-time EBS stack simulator (compute nodes,
+  hypervisor worker threads, virtual disks and queue pairs, BlockServers,
+  ChunkServers, segments, and a per-component latency model).
+- :mod:`repro.trace` — the DiTing-style dual dataset model: sampled per-IO
+  traces plus full-volume second-granularity metrics.
+- :mod:`repro.stats` — the statistics toolkit used throughout the paper
+  (CCR, P2A, normalized CoV, write-to-read ratio, CDFs).
+- :mod:`repro.balancer` — the hypervisor worker-thread analyses (§4) and the
+  inter-BlockServer segment balancer with importer-selection strategies (§6).
+- :mod:`repro.throttle` — throughput/IOPS caps and the limited-lending
+  mechanism (§5, Algorithm 2).
+- :mod:`repro.prediction` — from-scratch traffic predictors (linear fit,
+  ARIMA, gradient-boosted trees, attention forecaster; Appendix C).
+- :mod:`repro.cache` — FIFO/LRU/Frozen caches and the CN-cache vs BS-cache
+  placement study (§7).
+- :mod:`repro.core` — the end-to-end study pipeline and the experiment
+  registry keyed by the paper's table/figure ids.
+
+Quickstart::
+
+    from repro.core import Study, StudyConfig
+
+    study = Study(StudyConfig.small(seed=7))
+    study.build()
+    result = study.run("table3")
+    print(result.render())
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

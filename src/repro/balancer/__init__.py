@@ -1,0 +1,91 @@
+"""Load-balancing analyses and mechanisms.
+
+- :mod:`repro.balancer.wt` — the hypervisor-side analyses of §4: WT-CoV at
+  multiple time scales, the VM-VD-QP traffic decomposition, node-type
+  classification (Type I/II/III), hottest-QP shares, and the 10 ms
+  QP-to-WT rebinding simulation of Fig 2(d)-(f).
+- :mod:`repro.balancer.interbs` — the storage-side inter-BlockServer
+  segment balancer of §6 (Algorithm 1), its importer-selection strategies
+  (Random / MinTraffic / MinVariance / Lunule / Ideal), frequent-migration
+  detection, migration intervals, and the Write-then-Read experiment.
+- :mod:`repro.balancer.dispatch` — the §4.4 proposal: per-IO multi-WT
+  dispatch (round-robin / join-shortest-queue) with a synchronization cost
+  model, compared against single-WT hosting.
+- :mod:`repro.balancer.predictive` — the §6.1.3 proposal: importer
+  selection driven by a traffic predictor instead of the historical
+  minimum.
+"""
+
+from repro.balancer.interbs import (
+    BalancerConfig,
+    BalancerRun,
+    InterBsBalancer,
+    frequent_migration_proportion,
+    normalized_migration_intervals,
+    per_bs_cov,
+    segment_period_matrix,
+)
+from repro.balancer.dispatch import (
+    DispatchConfig,
+    DispatchOutcome,
+    DispatchPolicy,
+    compare_policies,
+    simulate_dispatch,
+)
+from repro.balancer.predictive import PredictorImporter
+from repro.balancer.importer import (
+    IMPORTER_STRATEGIES,
+    IdealImporter,
+    ImporterStrategy,
+    LunuleImporter,
+    MinTrafficImporter,
+    MinVarianceImporter,
+    RandomImporter,
+    make_importer,
+)
+from repro.balancer.wt import (
+    NodeType,
+    RebindingConfig,
+    RebindingOutcome,
+    classify_node,
+    classify_nodes,
+    hottest_qp_shares,
+    hottest_wt_series,
+    simulate_rebinding,
+    vm_vd_qp_covs,
+    wt_cov_samples,
+)
+
+__all__ = [
+    "DispatchConfig",
+    "DispatchOutcome",
+    "DispatchPolicy",
+    "compare_policies",
+    "simulate_dispatch",
+    "PredictorImporter",
+    "BalancerConfig",
+    "BalancerRun",
+    "InterBsBalancer",
+    "frequent_migration_proportion",
+    "normalized_migration_intervals",
+    "per_bs_cov",
+    "segment_period_matrix",
+    "IMPORTER_STRATEGIES",
+    "IdealImporter",
+    "ImporterStrategy",
+    "LunuleImporter",
+    "MinTrafficImporter",
+    "MinVarianceImporter",
+    "RandomImporter",
+    "make_importer",
+    "NodeType",
+    "RebindingConfig",
+    "RebindingOutcome",
+    "classify_node",
+    "classify_nodes",
+    "hottest_qp_shares",
+    "hottest_wt_series",
+    "simulate_rebinding",
+    "vm_vd_qp_covs",
+    "wt_cov_samples",
+]

@@ -1,0 +1,155 @@
+"""Importer-selection strategies for the inter-BS balancer (§6.1.2).
+
+The balancer must pick, for each exporter, the BlockServer that will absorb
+the migrated segments.  The paper compares five selectors (Fig 4(b)):
+
+- **S1 Random** — any BS other than the exporter;
+- **S2 MinTraffic** — the BS with the lowest traffic in the current period
+  (the production heuristic);
+- **S3 MinVariance** — the BS whose recent traffic has the lowest variance;
+- **S4 Lunule** — linear fit over recent periods predicting next-period
+  traffic, pick the lowest prediction (Lunule's CephFS-MDS approach);
+- **S5 Ideal** — an oracle that reads the actual next-period traffic.
+
+Each strategy receives the per-BS traffic history up to and including the
+current period, plus (for the oracle) the true next-period loads.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+
+
+class ImporterStrategy(abc.ABC):
+    """Interface: pick the importer BS for one migration decision."""
+
+    #: Stable key used by configs and figure legends.
+    name: str = ""
+
+    @abc.abstractmethod
+    def select(
+        self,
+        history: np.ndarray,
+        period: int,
+        exporter: int,
+        future: "Optional[np.ndarray]" = None,
+        rng: "Optional[np.random.Generator]" = None,
+    ) -> int:
+        """Return the importer's BS index.
+
+        ``history`` is the (num_bs, num_periods) per-period traffic matrix;
+        entries after ``period`` must not be read except via ``future``
+        (only the Ideal oracle uses it).  The exporter is never returned.
+        """
+
+    @staticmethod
+    def _candidates(num_bs: int, exporter: int) -> np.ndarray:
+        if num_bs < 2:
+            raise ConfigError("need at least two BlockServers to migrate")
+        return np.array([bs for bs in range(num_bs) if bs != exporter])
+
+
+class RandomImporter(ImporterStrategy):
+    """S1: uniformly random importer."""
+
+    name = "random"
+
+    def select(self, history, period, exporter, future=None, rng=None):
+        if rng is None:
+            raise ConfigError("RandomImporter needs an rng")
+        candidates = self._candidates(history.shape[0], exporter)
+        return int(rng.choice(candidates))
+
+
+class MinTrafficImporter(ImporterStrategy):
+    """S2 (production): lowest traffic in the current period."""
+
+    name = "min_traffic"
+
+    def select(self, history, period, exporter, future=None, rng=None):
+        candidates = self._candidates(history.shape[0], exporter)
+        current = history[candidates, period]
+        return int(candidates[np.argmin(current)])
+
+
+class MinVarianceImporter(ImporterStrategy):
+    """S3: lowest traffic variance over the recent window."""
+
+    name = "min_variance"
+
+    def __init__(self, window: int = 8):
+        if window < 2:
+            raise ConfigError("variance window must be >= 2")
+        self.window = window
+
+    def select(self, history, period, exporter, future=None, rng=None):
+        candidates = self._candidates(history.shape[0], exporter)
+        start = max(0, period + 1 - self.window)
+        recent = history[candidates, start : period + 1]
+        if recent.shape[1] < 2:
+            return int(candidates[np.argmin(history[candidates, period])])
+        return int(candidates[np.argmin(recent.var(axis=1))])
+
+
+class LunuleImporter(ImporterStrategy):
+    """S4: linear fit over recent periods; pick the lowest prediction."""
+
+    name = "lunule"
+
+    def __init__(self, window: int = 4):
+        if window < 2:
+            raise ConfigError("linear-fit window must be >= 2")
+        self.window = window
+
+    def select(self, history, period, exporter, future=None, rng=None):
+        candidates = self._candidates(history.shape[0], exporter)
+        start = max(0, period + 1 - self.window)
+        recent = history[candidates, start : period + 1]
+        k = recent.shape[1]
+        if k < 2:
+            return int(candidates[np.argmin(history[candidates, period])])
+        x = np.arange(k, dtype=float)
+        x_mean = x.mean()
+        denom = ((x - x_mean) ** 2).sum()
+        y_mean = recent.mean(axis=1)
+        slope = ((recent - y_mean[:, None]) * (x - x_mean)).sum(axis=1) / denom
+        predictions = y_mean + slope * (k - x_mean)  # extrapolate one step
+        return int(candidates[np.argmin(predictions)])
+
+
+class IdealImporter(ImporterStrategy):
+    """S5: oracle — lowest *actual* next-period traffic."""
+
+    name = "ideal"
+
+    def select(self, history, period, exporter, future=None, rng=None):
+        candidates = self._candidates(history.shape[0], exporter)
+        if future is None:
+            # Last period of the run: the oracle degrades to MinTraffic.
+            return int(candidates[np.argmin(history[candidates, period])])
+        return int(candidates[np.argmin(future[candidates])])
+
+
+#: All strategies keyed by name, in the paper's S1..S5 order.
+IMPORTER_STRATEGIES: "Dict[str, type]" = {
+    RandomImporter.name: RandomImporter,
+    MinTrafficImporter.name: MinTrafficImporter,
+    MinVarianceImporter.name: MinVarianceImporter,
+    LunuleImporter.name: LunuleImporter,
+    IdealImporter.name: IdealImporter,
+}
+
+
+def make_importer(name: str, **kwargs) -> ImporterStrategy:
+    """Instantiate a strategy by its name."""
+    if name not in IMPORTER_STRATEGIES:
+        raise ConfigError(
+            f"unknown importer strategy {name!r}; "
+            f"known: {sorted(IMPORTER_STRATEGIES)}"
+        )
+    return IMPORTER_STRATEGIES[name](**kwargs)

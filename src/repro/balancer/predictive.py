@@ -1,0 +1,83 @@
+"""Prediction-based importer selection (§6.1.3's "prophetic balancer").
+
+The paper's takeaway for the inter-BS balancer is that the importer should
+be the BS with the lowest *future* traffic, and that getting there requires
+a traffic predictor.  :class:`PredictorImporter` closes that loop: it wraps
+any :class:`repro.prediction.Predictor` (ARIMA, GBT, the attention
+forecaster via an adapter) and selects the BS whose *predicted* next-period
+traffic is lowest — the realizable approximation of the Ideal oracle of
+Fig 4(b).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.balancer.importer import ImporterStrategy
+from repro.prediction.base import Predictor
+from repro.util.errors import ConfigError
+
+
+class PredictorImporter(ImporterStrategy):
+    """Selects the BS with the lowest one-step traffic forecast.
+
+    A fresh predictor is fitted per BS from the recent history window at
+    every selection (the balancer period is 30 s, so per-period refits are
+    affordable for the statistical models; for heavy models raise
+    ``refit_every``).
+    """
+
+    name = "predictor"
+
+    def __init__(
+        self,
+        predictor_factory: "Callable[[], Predictor]",
+        history_window: int = 24,
+        refit_every: int = 1,
+    ):
+        probe = predictor_factory()
+        if not isinstance(probe, Predictor):
+            raise ConfigError("predictor_factory must produce Predictor instances")
+        if history_window < 4:
+            raise ConfigError("history_window must be >= 4")
+        if refit_every < 1:
+            raise ConfigError("refit_every must be >= 1")
+        self._factory = predictor_factory
+        self.history_window = history_window
+        self.refit_every = refit_every
+        self.name = f"predictor[{probe.name}]"
+        self._models: Dict[int, Predictor] = {}
+        self._fit_period: Dict[int, int] = {}
+
+    def _forecast(self, series: np.ndarray, bs: int, period: int) -> float:
+        model = self._models.get(bs)
+        stale = (
+            model is None
+            or period - self._fit_period.get(bs, -10**9) >= self.refit_every
+        )
+        if stale:
+            model = self._factory()
+            model.fit(series)
+            self._models[bs] = model
+            self._fit_period[bs] = period
+        return float(model.predict(series))
+
+    def select(
+        self,
+        history: np.ndarray,
+        period: int,
+        exporter: int,
+        future: "Optional[np.ndarray]" = None,
+        rng: "Optional[np.random.Generator]" = None,
+    ) -> int:
+        candidates = self._candidates(history.shape[0], exporter)
+        start = max(0, period + 1 - self.history_window)
+        forecasts = np.array(
+            [
+                self._forecast(history[bs, start : period + 1], int(bs), period)
+                for bs in candidates
+            ]
+        )
+        return int(candidates[np.argmin(forecasts)])

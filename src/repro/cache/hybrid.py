@@ -1,0 +1,120 @@
+"""Hybrid CN+BS cache deployment (§7.3.3's cost-benefit proposal).
+
+The paper suggests deploying the compute-node cache for latency and the
+BlockServer cache as its backup for capacity: a CN-cache hit never leaves
+the node; on a CN miss, the BS-cache can still absorb the IO before it
+reaches the ChunkServer.  This module evaluates that two-level frozen
+deployment: the CN tier pins the hottest fraction of each cacheable VD's
+hot block, the BS tier pins the remainder.
+
+``latency_gain_hybrid`` mirrors :func:`repro.cache.placement.latency_gain`
+but routes each IO to the first tier that covers its offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cache.hotspot import HottestBlock
+from repro.cache.placement import CachePlacementConfig, find_cacheable_blocks
+from repro.cluster.latency import LatencyModel
+from repro.trace.dataset import TraceDataset
+from repro.trace.records import OpKind
+from repro.util.errors import ConfigError
+from repro.workload.fleet import Fleet
+
+
+@dataclass(frozen=True)
+class HybridCacheConfig:
+    """Split of the hot block between the CN tier and the BS tier."""
+
+    placement: CachePlacementConfig = CachePlacementConfig()
+    #: Fraction of each cacheable hot block pinned at the compute node;
+    #: the rest is pinned at the BlockServer.
+    cn_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cn_fraction <= 1.0:
+            raise ConfigError("cn_fraction must be in [0, 1]")
+
+
+def _tier_ranges(
+    block: HottestBlock, cn_fraction: float
+) -> "tuple[tuple[int, int], tuple[int, int]]":
+    """((cn_start, cn_end), (bs_start, bs_end)) byte ranges of the tiers.
+
+    The CN tier takes the leading fraction of the hot block — with the
+    log-structured write pattern the leading pages are the most recently
+    re-written ones as the cursor wraps, and the exact choice is
+    irrelevant for frozen tiers of fixed total coverage.
+    """
+    split = block.start_byte + int(cn_fraction * block.block_bytes)
+    return (block.start_byte, split), (split, block.end_byte)
+
+
+def latency_gain_hybrid(
+    traces: TraceDataset,
+    fleet: Fleet,
+    latency_model: LatencyModel,
+    rng: np.random.Generator,
+    config: HybridCacheConfig = HybridCacheConfig(),
+    percentiles: "tuple[float, ...]" = (0.0, 50.0, 99.0),
+    direction: str = "write",
+) -> "Optional[Dict[float, float]]":
+    """Percentile latency gains of the two-tier frozen deployment.
+
+    Returns ``{percentile: with/without ratio}`` or None if no VD
+    qualifies.  IOs inside a VD's CN tier get compute-node-cache latency,
+    IOs inside the BS tier get BlockServer-cache latency, the rest go the
+    full path.
+    """
+    if direction not in ("read", "write"):
+        raise ConfigError("direction must be 'read' or 'write'")
+    blocks = find_cacheable_blocks(traces, fleet, config.placement)
+    if not blocks:
+        return None
+    vd_ids = np.fromiter(blocks.keys(), dtype=np.int64)
+    mask = np.isin(traces.vd_id, vd_ids)
+    op = int(OpKind.WRITE) if direction == "write" else int(OpKind.READ)
+    mask &= traces.op == op
+    if not mask.any():
+        return None
+    subset = traces.where(mask)
+
+    cn_lo = np.empty(len(subset), dtype=np.int64)
+    cn_hi = np.empty(len(subset), dtype=np.int64)
+    bs_lo = np.empty(len(subset), dtype=np.int64)
+    bs_hi = np.empty(len(subset), dtype=np.int64)
+    for row, vd in enumerate(subset.vd_id):
+        (a, b), (c, d) = _tier_ranges(blocks[int(vd)], config.cn_fraction)
+        cn_lo[row], cn_hi[row], bs_lo[row], bs_hi[row] = a, b, c, d
+
+    offsets = subset.offset_bytes
+    in_cn = (offsets >= cn_lo) & (offsets < cn_hi)
+    in_bs = (offsets >= bs_lo) & (offsets < bs_hi)
+
+    without = subset.latency_us
+    with_cache = without.copy()
+    if in_cn.any():
+        with_cache[in_cn] = latency_model.cached_latency(
+            rng,
+            subset.op[in_cn].astype(bool),
+            subset.size_bytes[in_cn],
+            "compute_node",
+        )
+    if in_bs.any():
+        with_cache[in_bs] = latency_model.cached_latency(
+            rng,
+            subset.op[in_bs].astype(bool),
+            subset.size_bytes[in_bs],
+            "block_server",
+        )
+    gains: Dict[float, float] = {}
+    for percentile in percentiles:
+        baseline = float(np.percentile(without, percentile))
+        cached = float(np.percentile(with_cache, percentile))
+        gains[percentile] = cached / baseline if baseline > 0 else 1.0
+    return gains

@@ -1,0 +1,124 @@
+"""Command-line interface: run any experiment and print its table.
+
+Usage::
+
+    ebs-repro list
+    ebs-repro run table3 --scale small --seed 7
+    ebs-repro run all --scale medium
+    ebs-repro export-dataset out/ --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro._version import __version__
+from repro.core import Study, StudyConfig, experiment_ids
+from repro.trace.io import write_metric_csv, write_trace_jsonl
+from repro.util.errors import ReproError
+
+_SCALES = ("small", "medium", "large")
+
+
+def _study(args: argparse.Namespace) -> Study:
+    factory = getattr(StudyConfig, args.scale)
+    return Study(factory(seed=args.seed))
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.core.experiments import EXPERIMENTS
+
+    for experiment_id in experiment_ids():
+        title = getattr(EXPERIMENTS[experiment_id], "title", "")
+        print(f"{experiment_id:12s} {title}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    study = _study(args)
+    targets = experiment_ids() if args.experiment == "all" else [args.experiment]
+    results = []
+    for experiment_id in targets:
+        result = study.run(experiment_id)
+        results.append(result)
+        print(result.render())
+        print()
+    if args.json:
+        import json
+
+        payload = {
+            "scale": args.scale,
+            "seed": args.seed,
+            "results": [result.to_dict() for result in results],
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2))
+        print(f"wrote {len(results)} results to {args.json}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    study = _study(args)
+    study.build()
+    out = Path(args.directory)
+    out.mkdir(parents=True, exist_ok=True)
+    for result in study.results:
+        dc = result.fleet.config.dc_id
+        write_trace_jsonl(result.traces, out / f"dc{dc}_traces.jsonl")
+        write_metric_csv(result.metrics.compute, out / f"dc{dc}_compute.csv")
+        write_metric_csv(result.metrics.storage, out / f"dc{dc}_storage.csv")
+        print(f"DC-{dc + 1}: {len(result.traces)} traces, "
+              f"{len(result.metrics.compute)} compute rows, "
+              f"{len(result.metrics.storage)} storage rows")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ebs-repro",
+        description="Reproduce the EuroSys '25 EBS traffic-skewness study "
+        "on a synthetic fleet.",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all experiment ids")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id, e.g. table3, or 'all'")
+    run.add_argument("--scale", choices=_SCALES, default="small")
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="also write the results as JSON (for plotting pipelines)",
+    )
+
+    export = sub.add_parser(
+        "export-dataset", help="simulate and write the datasets to disk"
+    )
+    export.add_argument("directory")
+    export.add_argument("--scale", choices=_SCALES, default="small")
+    export.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "export-dataset": _cmd_export,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

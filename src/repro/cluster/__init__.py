@@ -1,0 +1,35 @@
+"""The EBS stack simulator (Figure 1 of the paper).
+
+- :mod:`repro.cluster.hypervisor` — per-compute-node worker threads (WTs)
+  with the round-robin QP-to-WT binding of the SPDK-vhost-style single-WT
+  hosting model, plus rebind/swap operations for §4's experiments.
+- :mod:`repro.cluster.storage` — the storage cluster: BlockServers (BSs)
+  holding 32 GiB segments, ChunkServers co-resident on storage nodes, and a
+  mutable segment-to-BS mapping supporting migration (§6).
+- :mod:`repro.cluster.latency` — a per-component latency model (compute
+  node, frontend network, BlockServer, backend network, ChunkServer) with
+  size, load and long-tail terms.
+- :mod:`repro.cluster.simulator` — the end-to-end simulator: drives the
+  workload generator's offered load through the stack and emits the DiTing
+  datasets (sampled traces + full metrics + specs).
+"""
+
+from repro.cluster.hypervisor import Hypervisor, HypervisorSet
+from repro.cluster.latency import LatencyConfig, LatencyModel
+from repro.cluster.simulator import (
+    EBSSimulator,
+    SimulationConfig,
+    SimulationResult,
+)
+from repro.cluster.storage import StorageCluster
+
+__all__ = [
+    "Hypervisor",
+    "HypervisorSet",
+    "LatencyConfig",
+    "LatencyModel",
+    "EBSSimulator",
+    "SimulationConfig",
+    "SimulationResult",
+    "StorageCluster",
+]

@@ -1,0 +1,362 @@
+"""The end-to-end EBS simulator producing the DiTing datasets.
+
+``EBSSimulator.run()`` drives every VD's offered load (from
+:class:`repro.workload.WorkloadGenerator`) through the stack:
+
+1. QPs are bound to worker threads by the hypervisor's round-robin balancer;
+   per-second traffic splits over QPs by the VD's QP weights, yielding the
+   compute-domain metric table (one row per active QP-second, Table 1).
+2. Traffic splits over segments by the LBA model's segment weights; the
+   current segment-to-BS placement yields the storage-domain metric table.
+3. A sampled subset of individual IOs becomes the trace dataset: opcodes,
+   sizes, LBA offsets from the hotspot model, the stack path, and the five
+   per-component latencies (load-dependent via per-second WT/BS utilization).
+
+Rows below the recording thresholds are dropped, mirroring a production
+metric pipeline that does not emit all-zero aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.cluster.hypervisor import HypervisorSet
+from repro.cluster.latency import LatencyConfig, LatencyModel
+from repro.cluster.storage import StorageCluster
+from repro.trace.dataset import (
+    ComputeMetricTable,
+    MetricDataset,
+    SpecDataset,
+    StorageMetricTable,
+    TraceDataset,
+)
+from repro.trace.sampling import TraceSampler
+from repro.util.errors import ConfigError
+from repro.util.rng import RngFactory
+from repro.util.units import GiB
+from repro.workload.fleet import Fleet
+from repro.workload.generator import VdTraffic, WorkloadGenerator
+
+_MIN_IO_BYTES = 512
+_MAX_IO_BYTES = 4 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs of one simulation run."""
+
+    duration_seconds: int = 1200
+    trace_sampling_rate: float = 1.0 / 200.0
+    min_record_bytes: float = 1024.0
+    min_record_iops: float = 0.5
+    diurnal_amplitude: float = 0.3
+    latency: LatencyConfig = field(default_factory=LatencyConfig)
+    wt_capacity_bps: float = 2.0 * GiB
+    bs_capacity_bps: float = 4.0 * GiB
+
+    def __post_init__(self) -> None:
+        if self.duration_seconds <= 0:
+            raise ConfigError("duration_seconds must be positive")
+        if not 0.0 < self.trace_sampling_rate <= 1.0:
+            raise ConfigError("trace_sampling_rate must be in (0, 1]")
+        if self.min_record_bytes < 0 or self.min_record_iops < 0:
+            raise ConfigError("recording thresholds must be non-negative")
+        if self.wt_capacity_bps <= 0 or self.bs_capacity_bps <= 0:
+            raise ConfigError("capacities must be positive")
+
+
+@dataclass
+class SimulationResult:
+    """Everything a study needs downstream of one simulator run."""
+
+    fleet: Fleet
+    config: SimulationConfig
+    metrics: MetricDataset
+    traces: TraceDataset
+    specs: SpecDataset
+    hypervisors: HypervisorSet
+    storage: StorageCluster
+    traffic: List[VdTraffic]
+    wt_load_bps: np.ndarray  # (num_wts, duration) total bytes/s per WT
+    bs_load_bps: np.ndarray  # (num_bs, duration) total bytes/s per BS
+
+
+class _ColumnBuffer:
+    """Accumulates per-VD column chunks, concatenated once at the end."""
+
+    def __init__(self, fields: "tuple[str, ...]"):
+        self._chunks: Dict[str, List[np.ndarray]] = {name: [] for name in fields}
+
+    def append(self, **chunks: np.ndarray) -> None:
+        for name, chunk in chunks.items():
+            self._chunks[name].append(np.asarray(chunk))
+
+    def concatenated(self) -> Dict[str, np.ndarray]:
+        return {
+            name: (
+                np.concatenate(chunks) if chunks else np.zeros(0)
+            )
+            for name, chunks in self._chunks.items()
+        }
+
+
+class EBSSimulator:
+    """Simulates one data center's EBS stack for a fixed duration."""
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        config: SimulationConfig,
+        rngs: RngFactory,
+    ):
+        self.fleet = fleet
+        self.config = config
+        self._rngs = rngs.child(f"sim/dc{fleet.config.dc_id}")
+        self.latency_model = LatencyModel(config.latency)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _record_mask(
+        self, read_b: np.ndarray, write_b: np.ndarray,
+        read_i: np.ndarray, write_i: np.ndarray,
+    ) -> np.ndarray:
+        cfg = self.config
+        return (read_b + write_b >= cfg.min_record_bytes) | (
+            read_i + write_i >= cfg.min_record_iops
+        )
+
+    def run(self) -> SimulationResult:
+        """Execute the simulation and build all three datasets."""
+        fleet = self.fleet
+        cfg = self.config
+        t = cfg.duration_seconds
+        dc = fleet.config.dc_id
+
+        hypervisors = HypervisorSet(fleet)
+        storage = StorageCluster(fleet)
+        generator = WorkloadGenerator(
+            fleet, t, self._rngs, diurnal_amplitude=cfg.diurnal_amplitude
+        )
+        traffic = generator.generate_all()
+
+        qp_to_wt = np.zeros(len(fleet.queue_pairs), dtype=np.int64)
+        for qp_id, wt_id in hypervisors.binding_arrays().items():
+            qp_to_wt[qp_id] = wt_id
+        seg_to_bs = np.zeros(len(fleet.segments), dtype=np.int64)
+        for seg_id, bs_id in storage.placement_snapshot().items():
+            seg_to_bs[seg_id] = bs_id
+        bs_per_node = fleet.config.block_servers_per_node
+
+        wt_load = np.zeros((fleet.num_wts, t))
+        bs_load = np.zeros((fleet.config.num_block_servers, t))
+
+        compute_buf = _ColumnBuffer(
+            (*ComputeMetricTable.INT_FIELDS, *ComputeMetricTable.FLOAT_FIELDS)
+        )
+        storage_buf = _ColumnBuffer(
+            (*StorageMetricTable.INT_FIELDS, *StorageMetricTable.FLOAT_FIELDS)
+        )
+
+        # ---- pass 1: metric tables + load grids ---------------------------
+        for vd_traffic in traffic:
+            vd = fleet.vds[vd_traffic.vd_id]
+            vm = fleet.vms[vd.vm_id]
+            for index, qp_id in enumerate(vd.qp_ids):
+                rb = vd_traffic.read_bytes * vd_traffic.qp_read_weights[index]
+                wb = vd_traffic.write_bytes * vd_traffic.qp_write_weights[index]
+                ri = vd_traffic.read_iops * vd_traffic.qp_read_weights[index]
+                wi = vd_traffic.write_iops * vd_traffic.qp_write_weights[index]
+                wt_id = int(qp_to_wt[qp_id])
+                wt_load[wt_id] += rb + wb
+                mask = self._record_mask(rb, wb, ri, wi)
+                if not mask.any():
+                    continue
+                ts = np.nonzero(mask)[0]
+                n = ts.size
+                compute_buf.append(
+                    timestamp=ts,
+                    cluster_id=np.full(n, dc),
+                    compute_node_id=np.full(n, vm.compute_node_id),
+                    user_id=np.full(n, vd.user_id),
+                    vm_id=np.full(n, vd.vm_id),
+                    vd_id=np.full(n, vd.vd_id),
+                    wt_id=np.full(n, wt_id),
+                    qp_id=np.full(n, qp_id),
+                    read_bytes=rb[ts],
+                    write_bytes=wb[ts],
+                    read_iops=ri[ts],
+                    write_iops=wi[ts],
+                )
+            for index, seg_id in enumerate(vd.segment_ids):
+                rb = vd_traffic.read_bytes * vd_traffic.segment_read_weights[index]
+                wb = vd_traffic.write_bytes * vd_traffic.segment_write_weights[index]
+                ri = vd_traffic.read_iops * vd_traffic.segment_read_weights[index]
+                wi = vd_traffic.write_iops * vd_traffic.segment_write_weights[index]
+                bs_id = int(seg_to_bs[seg_id])
+                bs_load[bs_id] += rb + wb
+                mask = self._record_mask(rb, wb, ri, wi)
+                if not mask.any():
+                    continue
+                ts = np.nonzero(mask)[0]
+                n = ts.size
+                storage_buf.append(
+                    timestamp=ts,
+                    cluster_id=np.full(n, dc),
+                    storage_node_id=np.full(n, bs_id // bs_per_node),
+                    block_server_id=np.full(n, bs_id),
+                    user_id=np.full(n, vd.user_id),
+                    vm_id=np.full(n, vd.vm_id),
+                    vd_id=np.full(n, vd.vd_id),
+                    segment_id=np.full(n, seg_id),
+                    read_bytes=rb[ts],
+                    write_bytes=wb[ts],
+                    read_iops=ri[ts],
+                    write_iops=wi[ts],
+                )
+
+        compute_table = ComputeMetricTable(**compute_buf.concatenated())
+        storage_table = StorageMetricTable(**storage_buf.concatenated())
+        metrics = MetricDataset(
+            compute=compute_table, storage=storage_table, duration_seconds=t
+        )
+
+        # ---- pass 2: sampled traces ----------------------------------------
+        traces = self._generate_traces(
+            traffic, qp_to_wt, seg_to_bs, wt_load, bs_load
+        )
+
+        specs = SpecDataset(
+            vd_specs=[fleet.vd_spec(vd.vd_id) for vd in fleet.vds],
+            vm_specs=[fleet.vm_spec(vm.vm_id) for vm in fleet.vms],
+        )
+
+        return SimulationResult(
+            fleet=fleet,
+            config=cfg,
+            metrics=metrics,
+            traces=traces,
+            specs=specs,
+            hypervisors=hypervisors,
+            storage=storage,
+            traffic=traffic,
+            wt_load_bps=wt_load,
+            bs_load_bps=bs_load,
+        )
+
+    def _generate_traces(
+        self,
+        traffic: List[VdTraffic],
+        qp_to_wt: np.ndarray,
+        seg_to_bs: np.ndarray,
+        wt_load: np.ndarray,
+        bs_load: np.ndarray,
+    ) -> TraceDataset:
+        fleet = self.fleet
+        cfg = self.config
+        t = cfg.duration_seconds
+        dc = fleet.config.dc_id
+        bs_per_node = fleet.config.block_servers_per_node
+        segment_bytes = fleet.config.segment_bytes
+
+        sampler = TraceSampler(
+            cfg.trace_sampling_rate, self._rngs.get("trace-sampler")
+        )
+        buffer = _ColumnBuffer(
+            (*TraceDataset.INT_FIELDS, *TraceDataset.FLOAT_FIELDS)
+        )
+        next_trace_id = 0
+
+        for vd_traffic in traffic:
+            vd = fleet.vds[vd_traffic.vd_id]
+            vm = fleet.vms[vd.vm_id]
+            rng = self._rngs.get(f"trace/vd{vd.vd_id}")
+
+            read_counts = sampler.sample_counts(
+                np.round(vd_traffic.read_iops).astype(np.int64)
+            )
+            write_counts = sampler.sample_counts(
+                np.round(vd_traffic.write_iops).astype(np.int64)
+            )
+            n_read = int(read_counts.sum())
+            n_write = int(write_counts.sum())
+            n = n_read + n_write
+            if n == 0:
+                continue
+
+            seconds = np.concatenate(
+                [
+                    np.repeat(np.arange(t), read_counts),
+                    np.repeat(np.arange(t), write_counts),
+                ]
+            )
+            is_write = np.zeros(n, dtype=bool)
+            is_write[n_read:] = True
+            timestamps = seconds + rng.random(n)
+
+            mean_size = np.where(
+                is_write,
+                vd_traffic.mean_write_size_bytes,
+                vd_traffic.mean_read_size_bytes,
+            )
+            sizes = np.clip(
+                mean_size * rng.lognormal(0.0, 0.35, size=n),
+                _MIN_IO_BYTES,
+                _MAX_IO_BYTES,
+            ).astype(np.int64)
+
+            hot_fraction = vd_traffic.hot_fraction_series[seconds]
+            offsets = vd_traffic.lba_model.draw_offsets(
+                rng, is_write, hot_fraction
+            )
+
+            qp_index = np.where(
+                is_write,
+                rng.choice(
+                    vd.num_queue_pairs, size=n, p=vd_traffic.qp_write_weights
+                ),
+                rng.choice(
+                    vd.num_queue_pairs, size=n, p=vd_traffic.qp_read_weights
+                ),
+            )
+            qp_ids = vd.first_qp_id + qp_index
+            wt_ids = qp_to_wt[qp_ids]
+
+            seg_index = np.minimum(offsets // segment_bytes, vd.num_segments - 1)
+            seg_ids = vd.first_segment_id + seg_index
+            bs_ids = seg_to_bs[seg_ids]
+
+            wt_u = wt_load[wt_ids, seconds] / cfg.wt_capacity_bps
+            bs_u = bs_load[bs_ids, seconds] / cfg.bs_capacity_bps
+            latencies = self.latency_model.sample(
+                rng, is_write, sizes, wt_u, bs_u
+            )
+
+            buffer.append(
+                trace_id=np.arange(next_trace_id, next_trace_id + n),
+                op=is_write.astype(np.int64),
+                size_bytes=sizes,
+                offset_bytes=offsets,
+                user_id=np.full(n, vd.user_id),
+                vm_id=np.full(n, vd.vm_id),
+                vd_id=np.full(n, vd.vd_id),
+                qp_id=qp_ids,
+                wt_id=wt_ids,
+                compute_node_id=np.full(n, vm.compute_node_id),
+                segment_id=seg_ids,
+                block_server_id=bs_ids,
+                storage_node_id=bs_ids // bs_per_node,
+                timestamp=timestamps,
+                lat_compute_us=latencies["compute"],
+                lat_frontend_us=latencies["frontend"],
+                lat_block_server_us=latencies["block_server"],
+                lat_backend_us=latencies["backend"],
+                lat_chunk_server_us=latencies["chunk_server"],
+            )
+            next_trace_id += n
+
+        return TraceDataset(
+            sampling_rate=cfg.trace_sampling_rate, **buffer.concatenated()
+        )

@@ -1,0 +1,162 @@
+"""The storage cluster: BlockServers, ChunkServers, and segment placement.
+
+A BlockServer (BS) proxies block IO into file APIs and owns a set of 32 GiB
+segments; ChunkServers (CSs) persist segment data on the storage node's
+SSDs.  The segment-to-BS mapping is the state the inter-BS load balancer
+(§6) mutates, so it is kept mutable here with conservation checks: a
+migration moves exactly one segment and never duplicates or drops one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.util.errors import ConfigError, SimulationError
+from repro.workload.fleet import Fleet
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """One segment moving between BlockServers at a given time."""
+
+    timestamp: int
+    segment_id: int
+    from_bs: int
+    to_bs: int
+
+
+@dataclass
+class StorageCluster:
+    """Mutable segment placement over the BlockServers of one DC."""
+
+    fleet: Fleet
+    _seg_to_bs: Dict[int, int] = field(init=False)
+    _bs_segments: Dict[int, Set[int]] = field(init=False)
+    migration_log: List[MigrationEvent] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        num_bs = self.fleet.config.num_block_servers
+        self._seg_to_bs = {}
+        self._bs_segments = {bs: set() for bs in range(num_bs)}
+        self._active = set(range(num_bs))
+        for segment in self.fleet.segments:
+            if not 0 <= segment.block_server_id < num_bs:
+                raise ConfigError(
+                    f"segment {segment.segment_id} placed on unknown BS "
+                    f"{segment.block_server_id}"
+                )
+            self._seg_to_bs[segment.segment_id] = segment.block_server_id
+            self._bs_segments[segment.block_server_id].add(segment.segment_id)
+
+    @property
+    def num_block_servers(self) -> int:
+        return self.fleet.config.num_block_servers
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._seg_to_bs)
+
+    def block_server_of(self, segment_id: int) -> int:
+        if segment_id not in self._seg_to_bs:
+            raise SimulationError(f"unknown segment {segment_id}")
+        return self._seg_to_bs[segment_id]
+
+    def storage_node_of_bs(self, bs_id: int) -> int:
+        if not 0 <= bs_id < self.num_block_servers:
+            raise SimulationError(f"unknown BlockServer {bs_id}")
+        return bs_id // self.fleet.config.block_servers_per_node
+
+    def segments_of(self, bs_id: int) -> Set[int]:
+        if bs_id not in self._bs_segments:
+            raise SimulationError(f"unknown BlockServer {bs_id}")
+        return set(self._bs_segments[bs_id])
+
+    def is_active(self, bs_id: int) -> bool:
+        """Whether the BS is in service (not decommissioned)."""
+        if bs_id not in self._bs_segments:
+            raise SimulationError(f"unknown BlockServer {bs_id}")
+        return bs_id in self._active
+
+    @property
+    def active_block_servers(self) -> "Set[int]":
+        return set(self._active)
+
+    def migrate(self, segment_id: int, to_bs: int, timestamp: int = 0) -> None:
+        """Move one segment to another BS, recording the event.
+
+        Migrating a segment to the BS it already lives on is rejected —
+        the balancer should never emit no-op migrations — and so is
+        migrating onto a decommissioned BS.
+        """
+        if to_bs not in self._bs_segments:
+            raise SimulationError(f"unknown destination BS {to_bs}")
+        if to_bs not in self._active:
+            raise SimulationError(f"BS {to_bs} is decommissioned")
+        from_bs = self.block_server_of(segment_id)
+        if from_bs == to_bs:
+            raise SimulationError(
+                f"segment {segment_id} already lives on BS {to_bs}"
+            )
+        self._bs_segments[from_bs].remove(segment_id)
+        self._bs_segments[to_bs].add(segment_id)
+        self._seg_to_bs[segment_id] = to_bs
+        self.migration_log.append(
+            MigrationEvent(
+                timestamp=timestamp,
+                segment_id=segment_id,
+                from_bs=from_bs,
+                to_bs=to_bs,
+            )
+        )
+
+    def decommission(
+        self, bs_id: int, timestamp: int = 0
+    ) -> List[MigrationEvent]:
+        """Take one BS out of service, evacuating its segments.
+
+        Segments drain to the remaining active BSs, always to the one
+        currently holding the fewest segments (the capacity-driven
+        re-replication a production control plane performs).  Returns the
+        evacuation migrations; raises if this is the last active BS.
+        """
+        if bs_id not in self._bs_segments:
+            raise SimulationError(f"unknown BlockServer {bs_id}")
+        if bs_id not in self._active:
+            raise SimulationError(f"BS {bs_id} is already decommissioned")
+        if len(self._active) <= 1:
+            raise SimulationError("cannot decommission the last active BS")
+        self._active.discard(bs_id)
+        events: List[MigrationEvent] = []
+        for segment in sorted(self._bs_segments[bs_id]):
+            target = min(
+                self._active, key=lambda bs: (len(self._bs_segments[bs]), bs)
+            )
+            self.migrate(segment, target, timestamp=timestamp)
+            events.append(self.migration_log[-1])
+        return events
+
+    def placement_snapshot(self) -> Dict[int, int]:
+        """A copy of the segment -> BS mapping."""
+        return dict(self._seg_to_bs)
+
+    def check_invariants(self) -> None:
+        """Raise if segments were lost, duplicated, or double-placed."""
+        seen: Set[int] = set()
+        for bs_id, segments in self._bs_segments.items():
+            for segment in segments:
+                if segment in seen:
+                    raise SimulationError(
+                        f"segment {segment} placed on multiple BSs"
+                    )
+                if self._seg_to_bs.get(segment) != bs_id:
+                    raise SimulationError(
+                        f"segment {segment} map/set disagreement"
+                    )
+                seen.add(segment)
+        if seen != set(self._seg_to_bs):
+            raise SimulationError("segment sets and map out of sync")
+        if len(seen) != len(self.fleet.segments):
+            raise SimulationError(
+                f"{len(self.fleet.segments) - len(seen)} segments lost"
+            )

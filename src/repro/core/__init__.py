@@ -1,0 +1,31 @@
+"""The study pipeline and the per-table/figure experiment registry.
+
+:class:`Study` owns the full reproduction flow: build one fleet per data
+center, simulate each through the EBS stack, and expose the resulting
+datasets to the experiments.  Every table and figure of the paper's
+evaluation maps to one experiment id (``table2`` .. ``fig7d``) registered in
+:mod:`repro.core.experiments`; ``Study.run(experiment_id)`` executes it and
+returns a renderable :class:`ExperimentResult`.
+
+    from repro.core import Study, StudyConfig
+
+    study = Study(StudyConfig.small(seed=7))
+    study.build()
+    print(study.run("table3").render())
+"""
+
+from repro.core.aggregate import MultiSeedStudy, aggregate_results
+from repro.core.config import StudyConfig
+from repro.core.report import ExperimentResult
+from repro.core.study import Study
+from repro.core.experiments import EXPERIMENTS, experiment_ids
+
+__all__ = [
+    "MultiSeedStudy",
+    "aggregate_results",
+    "StudyConfig",
+    "ExperimentResult",
+    "Study",
+    "EXPERIMENTS",
+    "experiment_ids",
+]

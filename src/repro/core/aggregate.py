@@ -1,0 +1,123 @@
+"""Multi-seed study aggregation.
+
+A single small fleet is one draw from a heavy-tailed distribution — one
+monster VM can flip a read-vs-write comparison (see EXPERIMENTS.md).  The
+paper's 60k-VM fleet averages such draws out; offline, the equivalent is
+running the study across several seeds and aggregating each experiment's
+table.  :class:`MultiSeedStudy` does exactly that: numeric cells are
+averaged (with a spread column appended), non-numeric key columns must
+agree across seeds and act as the row identity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import StudyConfig
+from repro.core.report import ExperimentResult
+from repro.core.study import Study
+from repro.util.errors import ConfigError
+
+
+def aggregate_results(
+    results: Sequence[ExperimentResult],
+) -> ExperimentResult:
+    """Average numeric columns of per-seed results row by row.
+
+    Rows are matched by their non-numeric cells (the key columns); every
+    seed must produce the same key set.  Numeric cells become their mean,
+    and one "spread" column (mean over columns of the coefficient of
+    variation across seeds) is appended.
+    """
+    if not results:
+        raise ConfigError("need at least one result to aggregate")
+    first = results[0]
+    for other in results[1:]:
+        if other.experiment_id != first.experiment_id:
+            raise ConfigError(
+                "cannot aggregate different experiments: "
+                f"{first.experiment_id} vs {other.experiment_id}"
+            )
+        if other.headers != first.headers:
+            raise ConfigError("header mismatch across seeds")
+
+    def key_of(row: List) -> Tuple:
+        return tuple(
+            cell for cell in row if not isinstance(cell, (int, float))
+        )
+
+    buckets: Dict[Tuple, List[List]] = {}
+    order: List[Tuple] = []
+    for result in results:
+        seen = set()
+        for row in result.rows:
+            key = key_of(row)
+            if key in seen:
+                # Duplicate keys within one seed: disambiguate by index.
+                key = key + (len([k for k in seen if k[:1] == key[:1]]),)
+            seen.add(key)
+            if key not in buckets:
+                buckets[key] = []
+                order.append(key)
+            buckets[key].append(row)
+
+    rows: List[List] = []
+    for key in order:
+        group = buckets[key]
+        template = group[0]
+        aggregated: List = []
+        cvs: List[float] = []
+        for col in range(len(template)):
+            values = [row[col] for row in group]
+            if all(isinstance(v, (int, float)) for v in values):
+                arr = np.asarray(values, dtype=float)
+                mean = float(arr.mean())
+                aggregated.append(mean)
+                if abs(mean) > 1e-12 and len(arr) > 1:
+                    cvs.append(float(arr.std() / abs(mean)))
+            else:
+                aggregated.append(template[col])
+        aggregated.append(float(np.mean(cvs)) if cvs else 0.0)
+        rows.append(aggregated)
+
+    return ExperimentResult(
+        experiment_id=first.experiment_id,
+        title=f"{first.title} [mean of {len(results)} seeds]",
+        headers=[*first.headers, "seed spread"],
+        rows=rows,
+        notes=first.notes,
+    )
+
+
+class MultiSeedStudy:
+    """Runs the same study config under several seeds and aggregates."""
+
+    def __init__(
+        self,
+        seeds: Sequence[int],
+        config_factory: "Callable[[int], StudyConfig] | None" = None,
+    ):
+        if not seeds:
+            raise ConfigError("need at least one seed")
+        if len(set(seeds)) != len(seeds):
+            raise ConfigError("seeds must be distinct")
+        self.seeds = list(seeds)
+        self._factory = (
+            config_factory
+            if config_factory is not None
+            else (lambda seed: StudyConfig.small(seed=seed))
+        )
+        self._studies: "Dict[int, Study]" = {}
+
+    def study(self, seed: int) -> Study:
+        if seed not in self._studies:
+            self._studies[seed] = Study(self._factory(seed)).build()
+        return self._studies[seed]
+
+    def run(self, experiment_id: str) -> ExperimentResult:
+        """Run one experiment across all seeds and aggregate the tables."""
+        return aggregate_results(
+            [self.study(seed).run(experiment_id) for seed in self.seeds]
+        )

@@ -1,0 +1,164 @@
+"""Study-level configuration: fleet sizes per DC and experiment knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Tuple
+
+from repro.cluster.simulator import SimulationConfig
+from repro.util.errors import ConfigError
+from repro.util.units import MiB
+from repro.workload.fleet import FleetConfig
+
+
+def _default_dcs() -> List[FleetConfig]:
+    """Three data centers with distinct skew mixes, mirroring Table 3.
+
+    DC-1 is database/middleware heavy, DC-2 is dominated by steadier
+    BigData traffic (the least-skewed DC in the paper), DC-3 is
+    Docker/WebApp heavy (the most read-skewed).
+    """
+    return [
+        FleetConfig(
+            dc_id=0,
+            num_users=12,
+            num_vms=48,
+            num_compute_nodes=12,
+            num_storage_nodes=8,
+            user_zipf_alpha=1.4,
+        ),
+        FleetConfig(
+            dc_id=1,
+            num_users=12,
+            num_vms=48,
+            num_compute_nodes=12,
+            num_storage_nodes=8,
+            user_zipf_alpha=0.9,
+            app_weights={
+                "BigData": 0.5,
+                "Middleware": 0.2,
+                "Database": 0.2,
+                "WebApp": 0.1,
+            },
+        ),
+        FleetConfig(
+            dc_id=2,
+            num_users=12,
+            num_vms=48,
+            num_compute_nodes=12,
+            num_storage_nodes=8,
+            user_zipf_alpha=1.8,
+            app_weights={
+                "Docker": 0.4,
+                "WebApp": 0.3,
+                "Database": 0.2,
+                "FileSystem": 0.1,
+            },
+        ),
+    ]
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Everything needed to reproduce the paper's evaluation once."""
+
+    seed: int = 7
+    duration_seconds: int = 600
+    trace_sampling_rate: float = 1.0 / 20.0
+    dc_configs: List[FleetConfig] = field(default_factory=_default_dcs)
+
+    # §4 experiment knobs
+    wt_cov_windows: Tuple[int, ...] = (60, 300, 600)
+    rebind_period_seconds: float = 0.010
+
+    # §5 experiment knobs
+    lending_rates: Tuple[float, ...] = (0.2, 0.4, 0.6, 0.8)
+    lending_period_seconds: int = 60
+    cap_headroom_median: float = 4.0
+
+    # §6 experiment knobs
+    balancer_period_seconds: int = 30
+    migration_window_scales: Tuple[int, ...] = (15, 60, 300)
+    prediction_period_seconds: int = 10
+    prediction_warmup_periods: int = 10
+    # The paper retrains its ML models every 200 of 1440 periods; the
+    # same staleness ratio at simulation scale.
+    prediction_epoch_periods: int = 30
+
+    # §7 experiment knobs
+    cache_block_bytes: Tuple[int, ...] = (64 * MiB, 512 * MiB, 2048 * MiB)
+    cache_min_traces: int = 500
+    hot_rate_window_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not self.dc_configs:
+            raise ConfigError("at least one data center is required")
+        if self.duration_seconds <= 0:
+            raise ConfigError("duration_seconds must be positive")
+        if not 0.0 < self.trace_sampling_rate <= 1.0:
+            raise ConfigError("trace_sampling_rate must be in (0, 1]")
+        ids = [dc.dc_id for dc in self.dc_configs]
+        if len(set(ids)) != len(ids):
+            raise ConfigError(f"duplicate dc_ids: {ids}")
+        if not self.lending_rates or any(
+            not 0.0 < p < 1.0 for p in self.lending_rates
+        ):
+            raise ConfigError("lending_rates must lie in (0, 1)")
+        if not self.cache_block_bytes or any(
+            b <= 0 for b in self.cache_block_bytes
+        ):
+            raise ConfigError("cache_block_bytes must be positive")
+        if self.cache_min_traces < 1:
+            raise ConfigError("cache_min_traces must be >= 1")
+
+    def simulation_config(self) -> SimulationConfig:
+        return SimulationConfig(
+            duration_seconds=self.duration_seconds,
+            trace_sampling_rate=self.trace_sampling_rate,
+        )
+
+    # -- presets ------------------------------------------------------------
+
+    @classmethod
+    def small(cls, seed: int = 7) -> "StudyConfig":
+        """A laptop-scale study: ~2 minutes to build and run everything."""
+        dcs = [
+            replace(
+                dc,
+                num_users=8,
+                num_vms=28,
+                num_compute_nodes=8,
+                num_storage_nodes=6,
+            )
+            for dc in _default_dcs()
+        ]
+        return cls(seed=seed, duration_seconds=400, dc_configs=dcs)
+
+    @classmethod
+    def medium(cls, seed: int = 7) -> "StudyConfig":
+        """The default preset: enough periods for the §6 experiments."""
+        return cls(
+            seed=seed,
+            duration_seconds=1200,
+            wt_cov_windows=(60, 300, 1200),
+        )
+
+    @classmethod
+    def large(cls, seed: int = 7) -> "StudyConfig":
+        """A longer, larger study for tighter statistics."""
+        dcs = [
+            replace(
+                dc,
+                num_users=24,
+                num_vms=120,
+                num_compute_nodes=24,
+                num_storage_nodes=12,
+            )
+            for dc in _default_dcs()
+        ]
+        return cls(
+            seed=seed,
+            duration_seconds=1800,
+            dc_configs=dcs,
+            wt_cov_windows=(60, 600, 1800),
+        )

@@ -1,0 +1,60 @@
+"""The experiment registry: one entry per paper table/figure.
+
+Experiments are plain functions ``(Study) -> ExperimentResult`` registered
+with the :func:`experiment` decorator.  Importing this package pulls in all
+experiment modules so the registry is complete.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.report import ExperimentResult
+from repro.util.errors import ConfigError
+
+ExperimentFn = Callable[["object"], ExperimentResult]
+
+EXPERIMENTS: Dict[str, ExperimentFn] = {}
+
+#: Paper-order listing used by ``run_all`` and the CLI.
+_ORDER: List[str] = []
+
+
+def experiment(experiment_id: str, title: str) -> Callable[[ExperimentFn], ExperimentFn]:
+    """Register an experiment under its table/figure id."""
+
+    def decorator(fn: ExperimentFn) -> ExperimentFn:
+        if experiment_id in EXPERIMENTS:
+            raise ConfigError(f"duplicate experiment id {experiment_id!r}")
+
+        def wrapped(study) -> ExperimentResult:
+            result = fn(study)
+            if result.experiment_id != experiment_id:
+                raise ConfigError(
+                    f"experiment {experiment_id!r} returned result tagged "
+                    f"{result.experiment_id!r}"
+                )
+            return result
+
+        wrapped.__name__ = fn.__name__
+        wrapped.__doc__ = fn.__doc__
+        wrapped.title = title  # type: ignore[attr-defined]
+        EXPERIMENTS[experiment_id] = wrapped
+        _ORDER.append(experiment_id)
+        return wrapped
+
+    return decorator
+
+
+def experiment_ids() -> List[str]:
+    """All experiment ids in paper order."""
+    return list(_ORDER)
+
+
+# Import for registration side effects (order defines run_all order).
+from repro.core.experiments import baseline  # noqa: E402,F401
+from repro.core.experiments import hypervisor  # noqa: E402,F401
+from repro.core.experiments import throttle  # noqa: E402,F401
+from repro.core.experiments import storage  # noqa: E402,F401
+from repro.core.experiments import cache  # noqa: E402,F401
+from repro.core.experiments import extras  # noqa: E402,F401

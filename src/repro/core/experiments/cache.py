@@ -1,0 +1,285 @@
+"""LBA hotspot and caching experiments: Figures 6 and 7 (§7)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.cache.hotspot import hot_rate, hottest_block, hottest_block_wr_ratio
+from repro.cache.placement import (
+    CachePlacementConfig,
+    cacheable_vd_counts,
+    latency_gain,
+)
+from repro.cache.simulate import simulate_vd_cache
+from repro.cluster.latency import LatencyModel
+from repro.core.experiments import experiment
+from repro.core.report import ExperimentResult
+from repro.stats.ratios import DOMINANCE_THRESHOLD
+from repro.util.units import MiB
+
+
+def _eligible_vds(study, result) -> List[int]:
+    """VDs with enough traced IOs for stable hotspot statistics."""
+    ids, counts = np.unique(result.traces.vd_id, return_counts=True)
+    return [
+        int(vd) for vd, count in zip(ids, counts)
+        if count >= study.config.cache_min_traces
+    ]
+
+
+def _blocks(study, block_bytes: int):
+    """(result, vd_id, HottestBlock) for every eligible VD in every DC."""
+    out = []
+    for result in study.results:
+        for vd_id in _eligible_vds(study, result):
+            block = hottest_block(
+                result.traces,
+                vd_id,
+                block_bytes,
+                result.fleet.vds[vd_id].capacity_bytes,
+            )
+            if block is not None:
+                out.append((result, vd_id, block))
+    return out
+
+
+@experiment("fig6a", "Hottest-block access rate by block size (Fig 6a)")
+def fig6a_access_rate(study) -> ExperimentResult:
+    rows = []
+    for block_bytes in study.config.cache_block_bytes:
+        rates = [b.access_rate for __, __, b in _blocks(study, block_bytes)]
+        if rates:
+            rows.append(
+                [
+                    f"{block_bytes // MiB} MiB",
+                    100.0 * float(np.median(rates)),
+                    100.0 * float(np.percentile(rates, 90)),
+                    len(rates),
+                ]
+            )
+    return ExperimentResult(
+        experiment_id="fig6a",
+        title="Hottest-block access rate by block size (Fig 6a)",
+        headers=["block size", "median rate %", "p90 rate %", "VDs"],
+        rows=rows,
+        notes="Shape check: a tiny LBA fraction takes a large access "
+        "share (paper: 18.2% at 64 MiB) and the rate grows with size.",
+    )
+
+
+@experiment("fig6b", "Hottest-block LBA share (Fig 6b)")
+def fig6b_lba_share(study) -> ExperimentResult:
+    rows = []
+    for block_bytes in study.config.cache_block_bytes:
+        shares = [b.lba_share for __, __, b in _blocks(study, block_bytes)]
+        if shares:
+            rows.append(
+                [
+                    f"{block_bytes // MiB} MiB",
+                    100.0 * float(np.median(shares)),
+                    len(shares),
+                ]
+            )
+    return ExperimentResult(
+        experiment_id="fig6b",
+        title="Hottest-block LBA share (Fig 6b)",
+        headers=["block size", "median share of LBA %", "VDs"],
+        rows=rows,
+        notes="Shape check: the 64 MiB block is ~3% of the LBA in the "
+        "median (paper: 3.0%), far below its access rate in Fig 6a.",
+    )
+
+
+@experiment("fig6c", "Hottest-block write dominance (Fig 6c)")
+def fig6c_write_dominance(study) -> ExperimentResult:
+    rows = []
+    for block_bytes in study.config.cache_block_bytes:
+        ratios = [
+            hottest_block_wr_ratio(result.traces, block)
+            for result, __, block in _blocks(study, block_bytes)
+        ]
+        if ratios:
+            arr = np.asarray(ratios)
+            rows.append(
+                [
+                    f"{block_bytes // MiB} MiB",
+                    100.0 * float(np.mean(arr > DOMINANCE_THRESHOLD)),
+                    100.0 * float(np.mean(arr < -DOMINANCE_THRESHOLD)),
+                    len(ratios),
+                ]
+            )
+    return ExperimentResult(
+        experiment_id="fig6c",
+        title="Hottest-block write dominance (Fig 6c)",
+        headers=[
+            "block size",
+            "% write-dominant",
+            "% read-dominant",
+            "VDs",
+        ],
+        rows=rows,
+        notes="Shape check: hottest blocks are overwhelmingly "
+        "write-dominant (paper: 93.9% vs 5.5% at 64 MiB).",
+    )
+
+
+@experiment("fig6d", "Hot rate of the hottest block (Fig 6d)")
+def fig6d_hot_rate(study) -> ExperimentResult:
+    rows = []
+    for block_bytes in study.config.cache_block_bytes:
+        rates = []
+        for result, __, block in _blocks(study, block_bytes):
+            value = hot_rate(
+                result.traces,
+                block,
+                window_seconds=study.config.hot_rate_window_seconds,
+            )
+            if value is not None:
+                rates.append(value)
+        if rates:
+            rows.append(
+                [
+                    f"{block_bytes // MiB} MiB",
+                    100.0 * float(np.mean(rates)),
+                    100.0 * float(np.std(rates)),
+                    len(rates),
+                ]
+            )
+    return ExperimentResult(
+        experiment_id="fig6d",
+        title="Hot rate of the hottest block (Fig 6d)",
+        headers=["block size", "mean hot rate %", "std %", "VDs"],
+        rows=rows,
+        notes="Shape check: the hot rate distributes around ~50% (the "
+        "hottest block stays persistently warm, Gaussian-like).",
+    )
+
+
+@experiment("fig7a", "Cache hit ratio by policy and block size (Fig 7a)")
+def fig7a_hit_ratio(study) -> ExperimentResult:
+    rows = []
+    for block_bytes in study.config.cache_block_bytes:
+        hits: Dict[str, List[float]] = {"fifo": [], "lru": [], "frozen": []}
+        for result in study.results:
+            for vd_id in _eligible_vds(study, result):
+                out = simulate_vd_cache(
+                    result.traces,
+                    vd_id,
+                    block_bytes,
+                    result.fleet.vds[vd_id].capacity_bytes,
+                )
+                if out is None:
+                    continue
+                for policy, value in out.items():
+                    hits[policy].append(value)
+        for policy in ("fifo", "lru", "frozen"):
+            values = hits[policy]
+            if values:
+                rows.append(
+                    [
+                        f"{block_bytes // MiB} MiB",
+                        policy,
+                        float(np.median(values)),
+                        float(np.percentile(values, 10)),
+                        len(values),
+                    ]
+                )
+    return ExperimentResult(
+        experiment_id="fig7a",
+        title="Cache hit ratio by policy and block size (Fig 7a)",
+        headers=["block size", "policy", "median hit", "p10 hit", "VDs"],
+        rows=rows,
+        notes="Shape checks: FIFO and LRU are near-identical at every "
+        "size; the frozen cache catches up with size and its lower bound "
+        "(p10) ends clearly higher.",
+    )
+
+
+@experiment("fig7bc", "CN-cache vs BS-cache latency gain (Fig 7b/c)")
+def fig7bc_latency_gain(study) -> ExperimentResult:
+    model = LatencyModel()
+    config = CachePlacementConfig(
+        block_bytes=max(study.config.cache_block_bytes)
+    )
+    rows = []
+    for direction in ("read", "write"):
+        for location in ("compute_node", "block_server"):
+            gains_all: Dict[float, List[float]] = {0.0: [], 50.0: [], 99.0: []}
+            for result in study.results:
+                gains = latency_gain(
+                    result.traces,
+                    result.fleet,
+                    location,
+                    model,
+                    study.rngs.get(f"fig7bc/{location}/{direction}"),
+                    config,
+                    direction=direction,
+                )
+                if gains is None:
+                    continue
+                for percentile, value in gains.items():
+                    gains_all[percentile].append(value)
+            if gains_all[50.0]:
+                rows.append(
+                    [
+                        direction,
+                        location,
+                        100.0 * float(np.mean(gains_all[0.0])),
+                        100.0 * float(np.mean(gains_all[50.0])),
+                        100.0 * float(np.mean(gains_all[99.0])),
+                    ]
+                )
+    return ExperimentResult(
+        experiment_id="fig7bc",
+        title="CN-cache vs BS-cache latency gain (Fig 7b/c)",
+        headers=["dir", "location", "0%ile gain %", "50%ile gain %", "99%ile gain %"],
+        rows=rows,
+        notes="Shape checks: CN-cache beats BS-cache at the 0/50%ile for "
+        "writes; neither improves the 99%ile much (tail IOs miss the hot "
+        "block); read gains are weak (hot blocks are write-dominant).",
+    )
+
+
+@experiment("fig7d", "Cache space utilization (Fig 7d)")
+def fig7d_space_utilization(study) -> ExperimentResult:
+    rows = []
+    for block_bytes in study.config.cache_block_bytes:
+        config = CachePlacementConfig(block_bytes=block_bytes)
+        cn_counts: List[int] = []
+        bs_counts: List[int] = []
+        for result in study.results:
+            placement = result.storage.placement_snapshot()
+            cn_counts.extend(
+                cacheable_vd_counts(
+                    result.traces, result.fleet, "compute_node",
+                    placement, config,
+                )
+            )
+            bs_counts.extend(
+                cacheable_vd_counts(
+                    result.traces, result.fleet, "block_server",
+                    placement, config,
+                )
+            )
+        if cn_counts and bs_counts:
+            cn_std = float(np.std(cn_counts))
+            bs_std = float(np.std(bs_counts))
+            rows.append(
+                [
+                    f"{block_bytes // MiB} MiB",
+                    cn_std,
+                    bs_std,
+                    cn_std / bs_std if bs_std > 0 else float("nan"),
+                ]
+            )
+    return ExperimentResult(
+        experiment_id="fig7d",
+        title="Cache space utilization (Fig 7d)",
+        headers=["block size", "CN-cache std", "BS-cache std", "CN/BS ratio"],
+        rows=rows,
+        notes="Shape check: the CN-cache's cacheable-VD spread is several "
+        "times the BS-cache's (paper: 21x at 2048 MiB) — BS caches "
+        "over-provision less.",
+    )

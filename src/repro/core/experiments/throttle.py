@@ -1,0 +1,224 @@
+"""Traffic-throttle experiments: Figure 3 (§5)."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.experiments import experiment
+from repro.core.report import ExperimentResult
+from repro.stats.ratios import DOMINANCE_THRESHOLD
+from repro.throttle.caps import calibrated_caps
+from repro.throttle.lending import LendingConfig, simulate_lending
+from repro.throttle.metrics import (
+    ThrottleGroup,
+    build_node_groups,
+    build_vm_groups,
+    rar_during_throttle,
+    reduction_rates,
+    throttle_seconds,
+    wr_ratio_under_throttle,
+)
+
+
+def _groups(study) -> "tuple[List[ThrottleGroup], List[ThrottleGroup]]":
+    """(multi-VD-VM groups, multi-VM-node groups) over all DCs."""
+    vm_groups: List[ThrottleGroup] = []
+    node_groups: List[ThrottleGroup] = []
+    for result in study.results:
+        caps = calibrated_caps(
+            result.traffic,
+            study.rngs.child(f"caps/dc{result.fleet.config.dc_id}"),
+            headroom_median=study.config.cap_headroom_median,
+        )
+        vm_groups.extend(build_vm_groups(result.fleet, result.traffic, caps))
+        node_groups.extend(
+            build_node_groups(result.fleet, result.traffic, caps)
+        )
+    return vm_groups, node_groups
+
+
+@experiment("fig3a", "Single-VD throttle case (Fig 3a)")
+def fig3a_case(study) -> ExperimentResult:
+    """Find the strongest real case: a VD throttles while the VM has room."""
+    vm_groups, __ = _groups(study)
+    best = None
+    for group in vm_groups:
+        throttled = group.throttled("throughput")
+        if not throttled.any():
+            continue
+        usage = group.usage("throughput")
+        cap_total = group.caps("throughput").sum()
+        any_throttle = throttled.any(axis=0)
+        vm_util = usage.sum(axis=0)[any_throttle] / cap_total
+        headroom = 1.0 - float(vm_util.min())
+        seconds = int(any_throttle.sum())
+        if best is None or headroom > best[0]:
+            best = (headroom, group.label, seconds, float(vm_util.min()))
+    rows = []
+    if best is not None:
+        headroom, label, seconds, vm_util = best
+        rows = [
+            ["group", label],
+            ["seconds with a throttled VD", seconds],
+            ["VM utilization at throttle (min)", f"{100 * vm_util:.1f}%"],
+            ["VM-level headroom while throttled", f"{100 * headroom:.1f}%"],
+        ]
+    return ExperimentResult(
+        experiment_id="fig3a",
+        title="Single-VD throttle case (Fig 3a)",
+        headers=["metric", "value"],
+        rows=rows,
+        notes="Shape check: a VD hits its cap while the VM's total stays "
+        "far below the summed cap (the paper's 32-VD VM case).",
+    )
+
+
+@experiment("fig3b", "Resource Available Rate during throttle (Fig 3b)")
+def fig3b_rar(study) -> ExperimentResult:
+    vm_groups, node_groups = _groups(study)
+    rows = []
+    for label, groups in (("multi-VD VM", vm_groups), ("multi-VM node", node_groups)):
+        for resource in ("throughput", "iops"):
+            samples: List[float] = []
+            for group in groups:
+                samples.extend(rar_during_throttle(group, resource))
+            if samples:
+                rows.append(
+                    [
+                        label,
+                        resource,
+                        100.0 * float(np.median(samples)),
+                        100.0 * float(np.percentile(samples, 10)),
+                        len(samples),
+                    ]
+                )
+    return ExperimentResult(
+        experiment_id="fig3b",
+        title="Resource Available Rate during throttle (Fig 3b)",
+        headers=["group", "resource", "median RAR %", "p10 RAR %", "samples"],
+        rows=rows,
+        notes="Shape check: RAR is high during throttle (paper medians "
+        "61.6% throughput / 74.7% IOPS for multi-VD VMs).",
+    )
+
+
+@experiment("fig3c", "Write-to-read ratio under throttle (Fig 3c)")
+def fig3c_wr_ratio(study) -> ExperimentResult:
+    vm_groups, __ = _groups(study)
+    rows = []
+    throttle_counts = {}
+    for resource in ("throughput", "iops"):
+        ratios: List[float] = []
+        count = 0
+        for group in vm_groups:
+            ratios.extend(wr_ratio_under_throttle(group, resource))
+            count += throttle_seconds(group, resource)
+        throttle_counts[resource] = count
+        if ratios:
+            arr = np.asarray(ratios)
+            rows.append(
+                [
+                    resource,
+                    100.0 * float(np.mean(arr > DOMINANCE_THRESHOLD)),
+                    100.0 * float(np.mean(np.abs(arr) <= DOMINANCE_THRESHOLD)),
+                    100.0 * float(np.mean(arr < -DOMINANCE_THRESHOLD)),
+                    len(ratios),
+                ]
+            )
+    ratio = (
+        throttle_counts.get("throughput", 0)
+        / max(1, throttle_counts.get("iops", 0))
+    )
+    return ExperimentResult(
+        experiment_id="fig3c",
+        title="Write-to-read ratio under throttle (Fig 3c)",
+        headers=[
+            "resource",
+            "% write-dominant",
+            "% mixed",
+            "% read-dominant",
+            "samples",
+        ],
+        rows=rows,
+        notes=(
+            "Shape checks: write-dominant throttling prevails and mixed "
+            "traffic is rare (paper: 11.7% / 6.9%). Throughput-vs-IOPS "
+            f"throttle event ratio here: {ratio:.1f}x (paper: 14.3x)."
+        ),
+    )
+
+
+@experiment("fig3de", "Theoretical reduction rate of throttle time (Fig 3d/e)")
+def fig3de_reduction(study) -> ExperimentResult:
+    vm_groups, node_groups = _groups(study)
+    rows = []
+    for label, groups in (("multi-VD VM", vm_groups), ("multi-VM node", node_groups)):
+        for resource in ("throughput", "iops"):
+            for p in study.config.lending_rates:
+                rates: List[float] = []
+                for group in groups:
+                    rates.extend(reduction_rates(group, resource, p))
+                if rates:
+                    rows.append(
+                        [
+                            label,
+                            resource,
+                            p,
+                            100.0 * float(np.median(rates)),
+                        ]
+                    )
+    return ExperimentResult(
+        experiment_id="fig3de",
+        title="Theoretical reduction rate of throttle time (Fig 3d/e)",
+        headers=["group", "resource", "p", "median RR %"],
+        rows=rows,
+        notes="Shape checks: RR falls as p rises; IOPS throttling is "
+        "nearly eliminated at p=0.8 (paper: 3.9% vs 43.7% for throughput).",
+    )
+
+
+@experiment("fig3fg", "Limited lending gain (Fig 3f/g)")
+def fig3fg_lending(study) -> ExperimentResult:
+    vm_groups, node_groups = _groups(study)
+    rows = []
+    for label, groups in (("multi-VD VM", vm_groups), ("multi-VM node", node_groups)):
+        for p in study.config.lending_rates:
+            config = LendingConfig(
+                lending_rate=p,
+                period_seconds=study.config.lending_period_seconds,
+            )
+            gains: List[float] = []
+            for group in groups:
+                outcome = simulate_lending(group, "throughput", config)
+                if outcome.throttled_seconds_without > 0:
+                    gains.append(outcome.gain)
+            if gains:
+                arr = np.asarray(gains)
+                rows.append(
+                    [
+                        label,
+                        p,
+                        float(np.median(arr)),
+                        100.0 * float(np.mean(arr > 0)),
+                        100.0 * float(np.mean(arr < 0)),
+                        len(gains),
+                    ]
+                )
+    return ExperimentResult(
+        experiment_id="fig3fg",
+        title="Limited lending gain (Fig 3f/g)",
+        headers=[
+            "group",
+            "p",
+            "median gain",
+            "% positive",
+            "% negative",
+            "groups",
+        ],
+        rows=rows,
+        notes="Shape checks: most groups gain (paper: 85.9% at p=0.8) but "
+        "negative gains persist even at conservative p (paper: 5.2% at "
+        "p=0.4) because lenders burst into their reduced caps.",
+    )

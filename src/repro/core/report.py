@@ -1,0 +1,80 @@
+"""Result containers and plain-text table rendering for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.util.errors import ConfigError
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or (0 < abs(value) < 0.001):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".") or "0"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's output: a titled table plus free-form notes."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        for row in self.rows:
+            if len(row) != len(self.headers):
+                raise ConfigError(
+                    f"{self.experiment_id}: row width {len(row)} != "
+                    f"header width {len(self.headers)}"
+                )
+
+    def render(self) -> str:
+        """Render as an aligned plain-text table."""
+        cells = [[_format_cell(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.headers[col]), *(len(r[col]) for r in cells))
+            if cells
+            else len(self.headers[col])
+            for col in range(len(self.headers))
+        ]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append(
+            "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly representation."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": self.notes,
+        }
+
+    def column(self, header: str) -> List[Any]:
+        """All values of one column, by header name."""
+        if header not in self.headers:
+            raise ConfigError(
+                f"{self.experiment_id}: no column {header!r}; "
+                f"have {self.headers}"
+            )
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]

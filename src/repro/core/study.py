@@ -1,0 +1,76 @@
+"""The Study: build fleets, simulate each DC, run experiments."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.simulator import EBSSimulator, SimulationResult
+from repro.core.config import StudyConfig
+from repro.core.report import ExperimentResult
+from repro.util.errors import ConfigError, SimulationError
+from repro.util.rng import RngFactory
+from repro.workload.fleet import build_fleet
+
+
+class Study:
+    """Owns the end-to-end reproduction flow for one configuration.
+
+    ``build()`` simulates every configured data center once; results are
+    cached, so running many experiments reuses the same datasets — exactly
+    like the paper analyzing one collected dataset many ways.
+    """
+
+    def __init__(self, config: Optional[StudyConfig] = None):
+        self.config = config if config is not None else StudyConfig()
+        self.rngs = RngFactory(self.config.seed)
+        self._results: List[SimulationResult] = []
+        self._experiment_cache: Dict[str, ExperimentResult] = {}
+
+    @property
+    def built(self) -> bool:
+        return bool(self._results)
+
+    @property
+    def results(self) -> List[SimulationResult]:
+        if not self._results:
+            raise SimulationError("Study.build() has not been called")
+        return self._results
+
+    def build(self) -> "Study":
+        """Simulate every DC (idempotent)."""
+        if self._results:
+            return self
+        sim_config = self.config.simulation_config()
+        for dc_config in self.config.dc_configs:
+            fleet = build_fleet(dc_config, self.rngs)
+            simulator = EBSSimulator(fleet, sim_config, self.rngs)
+            self._results.append(simulator.run())
+        return self
+
+    def result_for_dc(self, dc_id: int) -> SimulationResult:
+        for result in self.results:
+            if result.fleet.config.dc_id == dc_id:
+                return result
+        raise ConfigError(f"no data center with id {dc_id}")
+
+    def run(self, experiment_id: str) -> ExperimentResult:
+        """Execute one experiment by its table/figure id (cached)."""
+        from repro.core.experiments import EXPERIMENTS
+
+        if experiment_id not in EXPERIMENTS:
+            raise ConfigError(
+                f"unknown experiment {experiment_id!r}; "
+                f"known: {sorted(EXPERIMENTS)}"
+            )
+        if experiment_id not in self._experiment_cache:
+            self.build()
+            self._experiment_cache[experiment_id] = EXPERIMENTS[
+                experiment_id
+            ](self)
+        return self._experiment_cache[experiment_id]
+
+    def run_all(self) -> List[ExperimentResult]:
+        """Run every registered experiment in id order."""
+        from repro.core.experiments import experiment_ids
+
+        return [self.run(experiment_id) for experiment_id in experiment_ids()]

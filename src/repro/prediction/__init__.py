@@ -1,0 +1,49 @@
+"""Traffic prediction for the balancer (§6.1.3, Appendix C).
+
+The paper evaluates four predictors of next-period BlockServer traffic and
+finds classic methods weak and retraining frequency decisive (Fig 4(c)).
+The environment is offline, so all models are implemented from scratch on
+numpy:
+
+- :mod:`repro.prediction.linear` — least-squares linear fit over recent
+  periods (P1);
+- :mod:`repro.prediction.arima` — ARIMA(p, d, q) fit by the
+  Hannan-Rissanen two-stage regression with a small AIC order search (P2);
+- :mod:`repro.prediction.gbt` — gradient-boosted regression trees on lag
+  features, the XGBoost stand-in (P3);
+- :mod:`repro.prediction.attention` — a single-layer self-attention
+  forecaster with full manual backprop and Adam, the Transformer stand-in
+  (P4 retrained per epoch, P5 per period);
+- :mod:`repro.prediction.evaluate` — the walk-forward evaluation harness
+  with configurable retraining cadence and normalized MSE.
+"""
+
+from repro.prediction.arima import ArimaPredictor
+from repro.prediction.attention import AttentionForecaster
+from repro.prediction.base import (
+    MultiSeriesPredictor,
+    Predictor,
+    PerSeriesAdapter,
+)
+from repro.prediction.evaluate import (
+    EvaluationConfig,
+    EvaluationResult,
+    evaluate_predictor,
+    paper_prediction_suite,
+)
+from repro.prediction.gbt import GradientBoostedTreesPredictor
+from repro.prediction.linear import LinearFitPredictor
+
+__all__ = [
+    "ArimaPredictor",
+    "AttentionForecaster",
+    "MultiSeriesPredictor",
+    "Predictor",
+    "PerSeriesAdapter",
+    "EvaluationConfig",
+    "EvaluationResult",
+    "evaluate_predictor",
+    "paper_prediction_suite",
+    "GradientBoostedTreesPredictor",
+    "LinearFitPredictor",
+]

@@ -1,0 +1,269 @@
+"""P4/P5: a self-attention forecaster with manual backprop (Appendix C).
+
+The paper's Transformer predicts next-period traffic for *all* BlockServers
+at once (multi-input multi-output).  This is a faithful miniature: a
+single-head, single-layer transformer encoder over a window of per-period
+traffic vectors —
+
+    H0 = X We + positional encoding          (L x d)
+    A  = softmax(Q K^T / sqrt(d)) V           (self-attention)
+    H1 = H0 + A                               (residual)
+    H2 = H1 + relu(H1 W1 + b1) W2 + b2        (FFN + residual)
+    y  = H2[-1] Wo + bo                       (forecast, one per series)
+
+trained with Adam on squared error, gradients derived by hand on numpy.
+Series are scaled to unit mean internally so the learning rate is
+workload-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.prediction.base import MultiSeriesPredictor
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class AttentionConfig:
+    """Architecture and training hyper-parameters."""
+
+    window: int = 8
+    model_dim: int = 16
+    hidden_dim: int = 32
+    epochs: int = 60
+    finetune_epochs: int = 2
+    finetune_windows: int = 12
+    learning_rate: float = 3e-3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.window < 2:
+            raise ConfigError("window must be >= 2")
+        if self.model_dim < 1 or self.hidden_dim < 1:
+            raise ConfigError("model dims must be positive")
+        if self.epochs < 1 or self.finetune_epochs < 1:
+            raise ConfigError("epochs must be >= 1")
+        if self.finetune_windows < 1:
+            raise ConfigError("finetune_windows must be >= 1")
+        if self.learning_rate <= 0:
+            raise ConfigError("learning_rate must be positive")
+
+
+def _softmax_rows(scores: np.ndarray) -> np.ndarray:
+    shifted = scores - scores.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def _positional_encoding(length: int, dim: int) -> np.ndarray:
+    positions = np.arange(length)[:, None]
+    dims = np.arange(dim)[None, :]
+    angles = positions / np.power(10000.0, (2 * (dims // 2)) / dim)
+    encoding = np.zeros((length, dim))
+    encoding[:, 0::2] = np.sin(angles[:, 0::2])
+    encoding[:, 1::2] = np.cos(angles[:, 1::2])
+    return encoding
+
+
+class AttentionForecaster(MultiSeriesPredictor):
+    """Single-head transformer encoder trained with Adam."""
+
+    name = "attention"
+
+    def __init__(self, config: AttentionConfig = AttentionConfig()):
+        self.config = config
+        self._params: Dict[str, np.ndarray] = {}
+        self._adam_m: Dict[str, np.ndarray] = {}
+        self._adam_v: Dict[str, np.ndarray] = {}
+        self._adam_t = 0
+        self._num_series = 0
+        self._scale: np.ndarray = np.ones(1)
+
+    # -- parameter management --------------------------------------------
+
+    def _init_params(self, num_series: int) -> None:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        d, h = cfg.model_dim, cfg.hidden_dim
+
+        def glorot(rows: int, cols: int) -> np.ndarray:
+            limit = np.sqrt(6.0 / (rows + cols))
+            return rng.uniform(-limit, limit, size=(rows, cols))
+
+        self._params = {
+            "We": glorot(num_series, d),
+            "Wq": glorot(d, d),
+            "Wk": glorot(d, d),
+            "Wv": glorot(d, d),
+            "W1": glorot(d, h),
+            "b1": np.zeros(h),
+            "W2": glorot(h, d),
+            "b2": np.zeros(d),
+            "Wo": glorot(d, num_series),
+            "bo": np.zeros(num_series),
+        }
+        self._adam_m = {k: np.zeros_like(v) for k, v in self._params.items()}
+        self._adam_v = {k: np.zeros_like(v) for k, v in self._params.items()}
+        self._adam_t = 0
+        self._num_series = num_series
+        self._pos = _positional_encoding(self.config.window, d)
+
+    # -- forward / backward ------------------------------------------------
+
+    def _forward(self, window: np.ndarray) -> "tuple[np.ndarray, dict]":
+        """window: (L, num_series) -> (forecast, cache)."""
+        p = self._params
+        d = self.config.model_dim
+        h0 = window @ p["We"] + self._pos
+        q = h0 @ p["Wq"]
+        k = h0 @ p["Wk"]
+        v = h0 @ p["Wv"]
+        scores = q @ k.T / np.sqrt(d)
+        attn = _softmax_rows(scores)
+        a = attn @ v
+        h1 = h0 + a
+        z = h1 @ p["W1"] + p["b1"]
+        relu = np.maximum(z, 0.0)
+        f = relu @ p["W2"] + p["b2"]
+        h2 = h1 + f
+        out = h2[-1] @ p["Wo"] + p["bo"]
+        cache = dict(
+            window=window, h0=h0, q=q, k=k, v=v, attn=attn, a=a,
+            h1=h1, z=z, relu=relu, h2=h2,
+        )
+        return out, cache
+
+    def _backward(
+        self, grad_out: np.ndarray, cache: dict
+    ) -> Dict[str, np.ndarray]:
+        p = self._params
+        d = self.config.model_dim
+        length = cache["window"].shape[0]
+        grads = {key: np.zeros_like(value) for key, value in p.items()}
+
+        grads["Wo"] = np.outer(cache["h2"][-1], grad_out)
+        grads["bo"] = grad_out
+        d_h2 = np.zeros_like(cache["h2"])
+        d_h2[-1] = p["Wo"] @ grad_out
+
+        # FFN (+ residual): h2 = h1 + relu(h1 W1 + b1) W2 + b2
+        d_f = d_h2
+        grads["W2"] = cache["relu"].T @ d_f
+        grads["b2"] = d_f.sum(axis=0)
+        d_relu = d_f @ p["W2"].T
+        d_z = d_relu * (cache["z"] > 0)
+        grads["W1"] = cache["h1"].T @ d_z
+        grads["b1"] = d_z.sum(axis=0)
+        d_h1 = d_h2 + d_z @ p["W1"].T
+
+        # Attention (+ residual): h1 = h0 + attn @ v
+        d_a = d_h1
+        d_attn = d_a @ cache["v"].T
+        d_v = cache["attn"].T @ d_a
+        # softmax backward, row-wise.
+        attn = cache["attn"]
+        d_scores = attn * (
+            d_attn - (d_attn * attn).sum(axis=1, keepdims=True)
+        )
+        d_q = d_scores @ cache["k"] / np.sqrt(d)
+        d_k = d_scores.T @ cache["q"] / np.sqrt(d)
+
+        h0 = cache["h0"]
+        grads["Wq"] = h0.T @ d_q
+        grads["Wk"] = h0.T @ d_k
+        grads["Wv"] = h0.T @ d_v
+        d_h0 = (
+            d_h1
+            + d_q @ p["Wq"].T
+            + d_k @ p["Wk"].T
+            + d_v @ p["Wv"].T
+        )
+        grads["We"] = cache["window"].T @ d_h0
+        return grads
+
+    #: Global gradient-norm clip: bursty targets (tens of times the mean)
+    #: otherwise produce steps that destabilize fine-tuning.
+    GRAD_CLIP_NORM = 5.0
+
+    def _adam_step(self, grads: Dict[str, np.ndarray]) -> None:
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        total_norm = float(
+            np.sqrt(sum(float((g**2).sum()) for g in grads.values()))
+        )
+        if total_norm > self.GRAD_CLIP_NORM:
+            scale = self.GRAD_CLIP_NORM / total_norm
+            grads = {key: g * scale for key, g in grads.items()}
+        self._adam_t += 1
+        lr = self.config.learning_rate
+        for key, grad in grads.items():
+            self._adam_m[key] = beta1 * self._adam_m[key] + (1 - beta1) * grad
+            self._adam_v[key] = (
+                beta2 * self._adam_v[key] + (1 - beta2) * grad**2
+            )
+            m_hat = self._adam_m[key] / (1 - beta1**self._adam_t)
+            v_hat = self._adam_v[key] / (1 - beta2**self._adam_t)
+            self._params[key] -= lr * m_hat / (np.sqrt(v_hat) + eps)
+
+    # -- public API ----------------------------------------------------------
+
+    def fit(self, history: np.ndarray) -> None:
+        """Train on the matrix so far.
+
+        The first call does a full training run; subsequent calls with the
+        same series count *fine-tune* on the most recent windows — the
+        cheap per-period update the paper suggests (§6.1.3: "use the newly
+        arrived traffic to update the model").
+        """
+        history = self._validate(history)
+        num_series, t = history.shape
+        window = self.config.window
+        fresh = self._num_series != num_series or not self._params
+        if fresh:
+            self._init_params(num_series)
+            means = history.mean(axis=1)
+            self._scale = np.where(means > 0, means, 1.0)
+        scaled = history / self._scale[:, None]
+        if t <= window:
+            return
+        starts = np.arange(t - window)
+        if fresh:
+            epochs = self.config.epochs
+        else:
+            epochs = self.config.finetune_epochs
+            starts = starts[-self.config.finetune_windows :]
+        rng = np.random.default_rng(self.config.seed + 1)
+        for __ in range(epochs):
+            for start in rng.permutation(starts):
+                x = scaled[:, start : start + window].T
+                target = scaled[:, start + window]
+                out, cache = self._forward(x)
+                grad_out = 2.0 * (out - target) / num_series
+                self._adam_step(self._backward(grad_out, cache))
+
+    def predict(self, history: np.ndarray) -> np.ndarray:
+        history = self._validate(history)
+        num_series, t = history.shape
+        if not self._params or self._num_series != num_series:
+            return history[:, -1].astype(float)
+        window = self.config.window
+        scaled = history / self._scale[:, None]
+        if t < window:
+            pad = np.zeros((num_series, window - t))
+            scaled = np.concatenate([pad, scaled], axis=1)
+        x = scaled[:, -window:].T
+        out, __ = self._forward(x)
+        return np.clip(out * self._scale, 0.0, None)
+
+    # Exposed for gradient-checking tests.
+    def loss_and_grads(
+        self, window: np.ndarray, target: np.ndarray
+    ) -> "tuple[float, Dict[str, np.ndarray]]":
+        out, cache = self._forward(window)
+        diff = out - target
+        loss = float((diff**2).mean())
+        grad_out = 2.0 * diff / diff.size
+        return loss, self._backward(grad_out, cache)

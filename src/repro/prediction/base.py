@@ -1,0 +1,98 @@
+"""Predictor interfaces: single-series and multi-series forecasting.
+
+Single-series predictors (linear fit, ARIMA, GBT) model each BlockServer
+independently; :class:`PerSeriesAdapter` lifts them to the multi-series
+interface the evaluation harness uses.  The attention forecaster is natively
+multi-series (one model for all BSs, like the paper's Transformer).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+
+
+class Predictor(abc.ABC):
+    """One-step-ahead forecaster for a single non-negative series."""
+
+    #: Stable key for configs/legends.
+    name: str = ""
+
+    @abc.abstractmethod
+    def fit(self, history: np.ndarray) -> None:
+        """(Re)train on the series observed so far (1-D array)."""
+
+    @abc.abstractmethod
+    def predict(self, history: np.ndarray) -> float:
+        """Forecast the next value given the series so far.
+
+        ``history`` always extends the series ``fit`` saw; predictors that
+        condition only on recent lags may ignore the stored fit state.
+        """
+
+    @staticmethod
+    def _validate(history: np.ndarray) -> np.ndarray:
+        arr = np.asarray(history, dtype=float)
+        if arr.ndim != 1:
+            raise ConfigError(f"history must be 1-D, got shape {arr.shape}")
+        if arr.size == 0:
+            raise ConfigError("history must be non-empty")
+        return arr
+
+
+class MultiSeriesPredictor(abc.ABC):
+    """One-step-ahead forecaster for a (num_series, time) matrix."""
+
+    name: str = ""
+
+    @abc.abstractmethod
+    def fit(self, history: np.ndarray) -> None:
+        """(Re)train on the matrix observed so far."""
+
+    @abc.abstractmethod
+    def predict(self, history: np.ndarray) -> np.ndarray:
+        """Forecast the next column (one value per series)."""
+
+    @staticmethod
+    def _validate(history: np.ndarray) -> np.ndarray:
+        arr = np.asarray(history, dtype=float)
+        if arr.ndim != 2:
+            raise ConfigError(f"history must be 2-D, got shape {arr.shape}")
+        if arr.shape[1] == 0:
+            raise ConfigError("history must have at least one period")
+        return arr
+
+
+class PerSeriesAdapter(MultiSeriesPredictor):
+    """Runs one independent single-series predictor per row."""
+
+    def __init__(self, factory, name: "str | None" = None):
+        self._factory = factory
+        self._models: List[Predictor] = []
+        probe = factory()
+        if not isinstance(probe, Predictor):
+            raise ConfigError("factory must produce Predictor instances")
+        self.name = name if name is not None else probe.name
+
+    def fit(self, history: np.ndarray) -> None:
+        history = self._validate(history)
+        self._models = [self._factory() for __ in range(history.shape[0])]
+        for row, model in enumerate(self._models):
+            model.fit(history[row])
+
+    def predict(self, history: np.ndarray) -> np.ndarray:
+        history = self._validate(history)
+        if len(self._models) != history.shape[0]:
+            raise ConfigError(
+                "predict called with a different series count than fit"
+            )
+        return np.array(
+            [
+                model.predict(history[row])
+                for row, model in enumerate(self._models)
+            ]
+        )

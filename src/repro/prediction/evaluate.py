@@ -1,0 +1,123 @@
+"""Walk-forward evaluation of traffic predictors (Fig 4(c)).
+
+The harness replays a (num_bs, num_periods) traffic matrix: predictors are
+retrained every ``retrain_every`` periods ("per-epoch", the paper retrains
+the ML models every 200 periods) or every period (``retrain_every=1``), and
+predict one period ahead each step.  MSE is reported on mean-normalized
+series so clusters of different magnitude are comparable, matching how the
+paper compares methods within one figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.prediction.arima import ArimaPredictor
+from repro.prediction.attention import AttentionConfig, AttentionForecaster
+from repro.prediction.base import MultiSeriesPredictor, PerSeriesAdapter
+from repro.prediction.gbt import GradientBoostedTreesPredictor
+from repro.prediction.linear import LinearFitPredictor
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class EvaluationConfig:
+    """Walk-forward evaluation parameters."""
+
+    warmup_periods: int = 12
+    retrain_every: int = 1
+    normalize: bool = True
+
+    def __post_init__(self) -> None:
+        if self.warmup_periods < 2:
+            raise ConfigError("warmup_periods must be >= 2")
+        if self.retrain_every < 1:
+            raise ConfigError("retrain_every must be >= 1")
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Accuracy of one predictor over one traffic matrix."""
+
+    name: str
+    mse: float
+    num_predictions: int
+    retrain_every: int
+
+
+def evaluate_predictor(
+    predictor: MultiSeriesPredictor,
+    matrix: np.ndarray,
+    config: EvaluationConfig = EvaluationConfig(),
+) -> EvaluationResult:
+    """Replay the matrix; returns the mean squared one-step-ahead error."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ConfigError(f"matrix must be 2-D, got {matrix.shape}")
+    num_series, num_periods = matrix.shape
+    if num_periods <= config.warmup_periods:
+        raise ConfigError(
+            f"need more than {config.warmup_periods} periods, got {num_periods}"
+        )
+    if config.normalize:
+        means = matrix.mean(axis=1, keepdims=True)
+        means[means == 0] = 1.0
+        matrix = matrix / means
+
+    errors: List[float] = []
+    fitted = False
+    for t in range(config.warmup_periods, num_periods):
+        history = matrix[:, :t]
+        steps_since_warmup = t - config.warmup_periods
+        if not fitted or steps_since_warmup % config.retrain_every == 0:
+            predictor.fit(history)
+            fitted = True
+        prediction = predictor.predict(history)
+        truth = matrix[:, t]
+        errors.extend(((prediction - truth) ** 2).tolist())
+    return EvaluationResult(
+        name=predictor.name,
+        mse=float(np.mean(errors)),
+        num_predictions=len(errors),
+        retrain_every=config.retrain_every,
+    )
+
+
+def paper_prediction_suite(
+    epoch_periods: int = 50,
+    attention_config: "AttentionConfig | None" = None,
+) -> "Dict[str, tuple[Callable[[], MultiSeriesPredictor], int]]":
+    """The P1..P5 lineup of Fig 4(c): (predictor factory, retrain cadence).
+
+    P1 linear fit and P2 ARIMA update every period (cheap statistical
+    models); P3 GBT and P4 attention retrain per epoch; P5 is the same
+    attention model retrained every period.
+    """
+    if epoch_periods < 1:
+        raise ConfigError("epoch_periods must be >= 1")
+    att_cfg = attention_config if attention_config is not None else AttentionConfig()
+
+    def attention() -> MultiSeriesPredictor:
+        return AttentionForecaster(att_cfg)
+
+    return {
+        "P1_linear": (
+            lambda: PerSeriesAdapter(LinearFitPredictor, name="linear_fit"),
+            1,
+        ),
+        "P2_arima": (
+            lambda: PerSeriesAdapter(ArimaPredictor, name="arima"),
+            1,
+        ),
+        "P3_gbt": (
+            lambda: PerSeriesAdapter(
+                GradientBoostedTreesPredictor, name="gbt"
+            ),
+            epoch_periods,
+        ),
+        "P4_attention_epoch": (attention, epoch_periods),
+        "P5_attention_period": (attention, 1),
+    }

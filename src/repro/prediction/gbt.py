@@ -1,0 +1,193 @@
+"""P3: gradient-boosted regression trees on lag features (Appendix C).
+
+The paper uses sklearn's GradientBoostingRegressor fed with 120 s of
+history to predict the next 30 s period.  Offline we implement the whole
+stack: an exact greedy CART regressor (squared error, depth-limited) and a
+squared-loss boosting loop with shrinkage.  Features are the last
+``num_lags`` period values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.prediction.base import Predictor
+from repro.util.errors import ConfigError
+
+
+@dataclass
+class _Node:
+    """One node of a regression tree (leaf when ``feature`` is None)."""
+
+    value: float
+    feature: "Optional[int]" = None
+    threshold: float = 0.0
+    left: "Optional[_Node]" = None
+    right: "Optional[_Node]" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+class RegressionTree:
+    """Exact greedy CART for squared error, used as the boosting base."""
+
+    def __init__(self, max_depth: int = 3, min_samples_leaf: int = 2):
+        if max_depth < 1:
+            raise ConfigError("max_depth must be >= 1")
+        if min_samples_leaf < 1:
+            raise ConfigError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self._root: Optional[_Node] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 2 or y.ndim != 1 or x.shape[0] != y.size:
+            raise ConfigError(
+                f"bad training shapes x={x.shape} y={y.shape}"
+            )
+        if y.size == 0:
+            raise ConfigError("cannot fit a tree on zero samples")
+        self._root = self._build(x, y, depth=0)
+        return self
+
+    def _best_split(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> "Optional[tuple[int, float, float]]":
+        """(feature, threshold, sse_reduction) of the best split, or None."""
+        n, num_features = x.shape
+        total_sum = y.sum()
+        total_sse = ((y - y.mean()) ** 2).sum()
+        best: Optional[tuple] = None
+        min_leaf = self.min_samples_leaf
+        for feature in range(num_features):
+            order = np.argsort(x[:, feature], kind="stable")
+            xs = x[order, feature]
+            ys = y[order]
+            prefix = np.cumsum(ys)
+            prefix_sq = np.cumsum(ys**2)
+            # Candidate split after position i (left = [0..i]).
+            for i in range(min_leaf - 1, n - min_leaf):
+                if xs[i] == xs[i + 1]:
+                    continue
+                left_n = i + 1
+                right_n = n - left_n
+                left_sum = prefix[i]
+                right_sum = total_sum - left_sum
+                left_sse = prefix_sq[i] - left_sum**2 / left_n
+                right_sse = (
+                    prefix_sq[-1] - prefix_sq[i] - right_sum**2 / right_n
+                )
+                reduction = total_sse - left_sse - right_sse
+                if best is None or reduction > best[2]:
+                    threshold = 0.5 * (xs[i] + xs[i + 1])
+                    best = (feature, threshold, reduction)
+        if best is None or best[2] <= 1e-12:
+            return None
+        return best
+
+    def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=float(y.mean()))
+        if depth >= self.max_depth or y.size < 2 * self.min_samples_leaf:
+            return node
+        split = self._best_split(x, y)
+        if split is None:
+            return node
+        feature, threshold, __ = split
+        mask = x[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(x[mask], y[mask], depth + 1)
+        node.right = self._build(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise ConfigError("tree is not fitted")
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ConfigError(f"x must be 2-D, got {x.shape}")
+        out = np.empty(x.shape[0])
+        for index in range(x.shape[0]):
+            node = self._root
+            while not node.is_leaf:
+                if x[index, node.feature] <= node.threshold:
+                    node = node.left
+                else:
+                    node = node.right
+            out[index] = node.value
+        return out
+
+
+class GradientBoostedTreesPredictor(Predictor):
+    """Squared-loss boosting of shallow trees over lag features."""
+
+    name = "gbt"
+
+    def __init__(
+        self,
+        num_lags: int = 4,
+        n_estimators: int = 50,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 2,
+    ):
+        if num_lags < 1:
+            raise ConfigError("num_lags must be >= 1")
+        if n_estimators < 1:
+            raise ConfigError("n_estimators must be >= 1")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ConfigError("learning_rate must be in (0, 1]")
+        self.num_lags = num_lags
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self._base: float = 0.0
+        self._trees: List[RegressionTree] = []
+
+    def _features(self, history: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+        lags = self.num_lags
+        n = history.size - lags
+        if n < 1:
+            raise ConfigError("history too short for the configured lags")
+        x = np.column_stack(
+            [history[lags - k - 1 : lags - k - 1 + n] for k in range(lags)]
+        )
+        return x, history[lags:]
+
+    def fit(self, history: np.ndarray) -> None:
+        history = self._validate(history)
+        self._trees = []
+        if history.size <= self.num_lags:
+            self._base = float(history.mean())
+            return
+        x, y = self._features(history)
+        self._base = float(y.mean())
+        predictions = np.full(y.size, self._base)
+        for __ in range(self.n_estimators):
+            residuals = y - predictions
+            if np.allclose(residuals, 0.0):
+                break
+            tree = RegressionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+            ).fit(x, residuals)
+            predictions = predictions + self.learning_rate * tree.predict(x)
+            self._trees.append(tree)
+
+    def predict(self, history: np.ndarray) -> float:
+        history = self._validate(history)
+        if history.size < self.num_lags:
+            return float(history[-1])
+        features = history[-self.num_lags :][::-1].reshape(1, -1)
+        forecast = self._base
+        for tree in self._trees:
+            forecast += self.learning_rate * float(tree.predict(features)[0])
+        return max(0.0, forecast)

@@ -1,0 +1,46 @@
+"""P1: linear fit over the last few periods (Appendix C).
+
+The paper fits a per-BS linear regression on the past four migration
+periods and extrapolates one step.  This is the weakest of the evaluated
+predictors: EBS traffic is bursty, so the local trend rarely continues.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prediction.base import Predictor
+from repro.util.errors import ConfigError
+
+
+class LinearFitPredictor(Predictor):
+    """Least-squares line through the last ``window`` points, extrapolated."""
+
+    name = "linear_fit"
+
+    def __init__(self, window: int = 4, clamp_non_negative: bool = True):
+        if window < 2:
+            raise ConfigError(f"window must be >= 2, got {window}")
+        self.window = window
+        self.clamp_non_negative = clamp_non_negative
+
+    def fit(self, history: np.ndarray) -> None:
+        # The model is defined entirely by the recent window at predict
+        # time; there is no state to train.
+        self._validate(history)
+
+    def predict(self, history: np.ndarray) -> float:
+        history = self._validate(history)
+        recent = history[-self.window :]
+        k = recent.size
+        if k < 2:
+            return float(recent[-1])
+        x = np.arange(k, dtype=float)
+        x_mean = x.mean()
+        y_mean = recent.mean()
+        denom = ((x - x_mean) ** 2).sum()
+        slope = ((x - x_mean) * (recent - y_mean)).sum() / denom
+        forecast = y_mean + slope * (k - x_mean)
+        if self.clamp_non_negative:
+            forecast = max(0.0, forecast)
+        return float(forecast)

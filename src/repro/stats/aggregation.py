@@ -1,0 +1,55 @@
+"""Group-by reductions over parallel key/value arrays.
+
+The metric dataset is stored column-wise (numpy arrays); these helpers do
+the "aggregate traffic at the level of VM / node / segment" operations the
+paper performs before computing CCR/P2A/CoV.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Sequence
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+
+
+def group_sum(
+    keys: Sequence[Hashable], values: Sequence[float]
+) -> "Dict[Hashable, float]":
+    """Sum ``values`` grouped by ``keys`` (arbitrary hashable keys)."""
+    keys = list(keys)
+    arr = np.asarray(values, dtype=float)
+    if len(keys) != arr.size:
+        raise ConfigError(
+            f"keys ({len(keys)}) and values ({arr.size}) lengths differ"
+        )
+    # np.unique on object keys is slower than a dict pass for mixed types.
+    out: Dict[Hashable, float] = {}
+    for key, value in zip(keys, arr):
+        out[key] = out.get(key, 0.0) + float(value)
+    return out
+
+
+def group_reduce(
+    keys: Sequence[Hashable],
+    values: Sequence[float],
+    reducer: Callable[[np.ndarray], float],
+) -> "Dict[Hashable, float]":
+    """Apply ``reducer`` to the values of each group.
+
+    Useful for per-group P2A/CoV where the reduction is not a plain sum.
+    """
+    keys = list(keys)
+    arr = np.asarray(values, dtype=float)
+    if len(keys) != arr.size:
+        raise ConfigError(
+            f"keys ({len(keys)}) and values ({arr.size}) lengths differ"
+        )
+    buckets: Dict[Hashable, list] = {}
+    for index, key in enumerate(keys):
+        buckets.setdefault(key, []).append(index)
+    return {
+        key: float(reducer(arr[np.asarray(indices)]))
+        for key, indices in buckets.items()
+    }

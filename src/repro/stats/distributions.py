@@ -1,0 +1,89 @@
+"""Empirical distribution helpers backing the paper's CDF/percentile figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class EmpiricalCdf:
+    """An empirical CDF built once from a sample, queryable repeatedly."""
+
+    sorted_values: np.ndarray
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "EmpiricalCdf":
+        arr = np.asarray(values, dtype=float)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ConfigError("EmpiricalCdf requires a non-empty 1-D sample")
+        return cls(np.sort(arr))
+
+    def __call__(self, x: float) -> float:
+        """P(X <= x)."""
+        return float(
+            np.searchsorted(self.sorted_values, x, side="right")
+            / self.sorted_values.size
+        )
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (q in [0, 1]) by linear interpolation."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"quantile must be in [0, 1], got {q}")
+        return float(np.quantile(self.sorted_values, q))
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def series(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(x, F(x)) arrays suitable for plotting the CDF curve."""
+        n = self.sorted_values.size
+        return self.sorted_values, np.arange(1, n + 1) / n
+
+
+def percentile_summary(
+    values: Sequence[float],
+    percentiles: Sequence[float] = (0.0, 50.0, 99.0),
+) -> Dict[float, float]:
+    """Map each percentile (0-100) to its value in the sample."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ConfigError("percentile_summary requires a non-empty 1-D sample")
+    for p in percentiles:
+        if not 0.0 <= p <= 100.0:
+            raise ConfigError(f"percentile must be in [0, 100], got {p}")
+    return {p: float(np.percentile(arr, p)) for p in percentiles}
+
+
+def fraction_at_least(values: Sequence[float], threshold: float) -> float:
+    """Fraction of the sample with value >= threshold."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ConfigError("fraction_at_least requires a non-empty sample")
+    return float(np.mean(arr >= threshold))
+
+
+def fraction_at_most(values: Sequence[float], threshold: float) -> float:
+    """Fraction of the sample with value <= threshold."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ConfigError("fraction_at_most requires a non-empty sample")
+    return float(np.mean(arr <= threshold))
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    value_range: "Tuple[float, float] | None" = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Density-normalized histogram returning (counts_fraction, bin_edges)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ConfigError("histogram requires a non-empty sample")
+    counts, edges = np.histogram(arr, bins=bins, range=value_range)
+    return counts / arr.size, edges

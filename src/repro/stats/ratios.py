@@ -1,0 +1,51 @@
+"""The normalized write-to-read ratio (Equation 2 of the paper).
+
+``wr_ratio = (W - R) / (W + R)`` lies in ``[-1, 1]``: +1 is pure write, -1 is
+pure read, and |wr_ratio| > 1/3 marks a 2x dominance of one direction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+
+#: |wr_ratio| above this marks traffic as write- or read-dominant (2x).
+DOMINANCE_THRESHOLD = 1.0 / 3.0
+
+
+def wr_ratio(write: float, read: float) -> float:
+    """Normalized write-to-read ratio of a single (write, read) pair.
+
+    Returns 0.0 when there is no traffic at all, which keeps downstream
+    CDFs total-ordering-safe without special-casing.
+    """
+    if write < 0 or read < 0:
+        raise ConfigError(
+            f"traffic must be non-negative, got write={write} read={read}"
+        )
+    total = write + read
+    if total == 0:
+        return 0.0
+    return (write - read) / total
+
+
+def wr_ratio_arrays(
+    write: Sequence[float], read: Sequence[float]
+) -> np.ndarray:
+    """Element-wise :func:`wr_ratio` over aligned write/read arrays."""
+    w = np.asarray(write, dtype=float)
+    r = np.asarray(read, dtype=float)
+    if w.shape != r.shape:
+        raise ConfigError(
+            f"write/read shapes differ: {w.shape} vs {r.shape}"
+        )
+    if np.any(w < 0) or np.any(r < 0):
+        raise ConfigError("traffic must be non-negative")
+    total = w + r
+    out = np.zeros_like(total)
+    nonzero = total > 0
+    out[nonzero] = (w[nonzero] - r[nonzero]) / total[nonzero]
+    return out

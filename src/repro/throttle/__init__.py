@@ -1,0 +1,66 @@
+"""Traffic throttling in the hypervisor (§5).
+
+Every VD carries a throughput cap and an IOPS cap; exceeding either queues
+IOs in the hypervisor.  This package reproduces §5's measurements and the
+"limited lending" mitigation (Algorithm 2):
+
+- :mod:`repro.throttle.caps` — per-VD caps from the specification data, or
+  calibrated against offered load (a subscription sized like a real user
+  would size it);
+- :mod:`repro.throttle.metrics` — throttle detection, Available Resource
+  (AR) and the Resource Available Rate (RAR, Eq. 1), the write-to-read
+  ratio under throttle (Fig 3(c)), and the theoretical Reduction Rate
+  (Eq. 3);
+- :mod:`repro.throttle.lending` — the Algorithm 2 limited-lending
+  simulation and the lending-gain metric (Fig 3(f)/(g)).
+"""
+
+from repro.throttle.caps import CapSet, calibrated_caps, caps_from_specs
+from repro.throttle.lending import (
+    LendingConfig,
+    LendingOutcome,
+    lending_gain,
+    simulate_lending,
+)
+from repro.throttle.predictive import (
+    PredictiveLendingConfig,
+    simulate_predictive_lending,
+)
+from repro.throttle.tokenbucket import (
+    ShapedTraffic,
+    TokenBucket,
+    TokenBucketConfig,
+    shape_vd_traffic,
+)
+from repro.throttle.metrics import (
+    ThrottleGroup,
+    build_node_groups,
+    build_vm_groups,
+    rar_during_throttle,
+    reduction_rates,
+    throttle_seconds,
+    wr_ratio_under_throttle,
+)
+
+__all__ = [
+    "CapSet",
+    "calibrated_caps",
+    "caps_from_specs",
+    "LendingConfig",
+    "LendingOutcome",
+    "lending_gain",
+    "simulate_lending",
+    "PredictiveLendingConfig",
+    "simulate_predictive_lending",
+    "ShapedTraffic",
+    "TokenBucket",
+    "TokenBucketConfig",
+    "shape_vd_traffic",
+    "ThrottleGroup",
+    "build_node_groups",
+    "build_vm_groups",
+    "rar_during_throttle",
+    "reduction_rates",
+    "throttle_seconds",
+    "wr_ratio_under_throttle",
+]

@@ -1,0 +1,92 @@
+"""Per-VD throughput and IOPS caps.
+
+Caps can come from the specification data (the subscription tier the fleet
+builder derived from capacity) or be *calibrated*: sized at a configurable
+multiple of the VD's mean offered load, the way a tenant provisions a disk
+for its workload.  Calibrated caps are what make the §5 experiments
+meaningful on synthetic traffic — bursts overshoot the cap while the mean
+stays comfortably below it, exactly the regime of Fig 3(a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+from repro.util.rng import RngFactory
+from repro.util.units import MiB
+from repro.workload.fleet import Fleet
+from repro.workload.generator import VdTraffic
+
+
+@dataclass(frozen=True)
+class CapSet:
+    """Aligned arrays of per-VD caps, indexed by dense vd_id."""
+
+    throughput_bps: np.ndarray
+    iops: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.throughput_bps.shape != self.iops.shape:
+            raise ConfigError("cap arrays must be aligned")
+        if np.any(self.throughput_bps <= 0) or np.any(self.iops <= 0):
+            raise ConfigError("caps must be positive")
+
+    @property
+    def num_vds(self) -> int:
+        return int(self.throughput_bps.size)
+
+    def for_vd(self, vd_id: int) -> "tuple[float, float]":
+        return float(self.throughput_bps[vd_id]), float(self.iops[vd_id])
+
+
+def caps_from_specs(fleet: Fleet) -> CapSet:
+    """Caps straight from the fleet's subscription tiers."""
+    return CapSet(
+        throughput_bps=np.array(
+            [vd.throughput_cap_bps for vd in fleet.vds], dtype=float
+        ),
+        iops=np.array([vd.iops_cap for vd in fleet.vds], dtype=float),
+    )
+
+
+def calibrated_caps(
+    traffic: Sequence[VdTraffic],
+    rngs: RngFactory,
+    headroom_median: float = 4.0,
+    headroom_sigma: float = 0.5,
+    floor_bps: float = 16.0 * MiB,
+    floor_iops: float = 500.0,
+) -> CapSet:
+    """Caps sized as a lognormal multiple of each VD's mean offered load.
+
+    ``headroom_median`` = 4 means a typical tenant buys 4x their mean
+    traffic — bursty VDs (P2A >> 4) still hit the cap regularly.  The
+    floors model the smallest subscription tier: even a near-idle VD
+    carries a real cap, which is exactly where the lendable headroom of
+    §5 comes from.
+    """
+    if headroom_median <= 1.0:
+        raise ConfigError("headroom_median must exceed 1")
+    if headroom_sigma < 0:
+        raise ConfigError("headroom_sigma must be non-negative")
+    rng = rngs.get("throttle/caps")
+    throughput: List[float] = []
+    iops: List[float] = []
+    for vd_traffic in traffic:
+        mean_bps = float(
+            (vd_traffic.read_bytes + vd_traffic.write_bytes).mean()
+        )
+        mean_iops = float(
+            (vd_traffic.read_iops + vd_traffic.write_iops).mean()
+        )
+        h_tp = float(rng.lognormal(np.log(headroom_median), headroom_sigma))
+        h_io = float(rng.lognormal(np.log(headroom_median), headroom_sigma))
+        throughput.append(max(mean_bps * h_tp, floor_bps))
+        iops.append(max(mean_iops * h_io, floor_iops))
+    return CapSet(
+        throughput_bps=np.asarray(throughput), iops=np.asarray(iops)
+    )

@@ -1,0 +1,247 @@
+"""Throttle detection and the §5 measurement metrics.
+
+A :class:`ThrottleGroup` is the unit over which resources could be shared:
+the VDs of one multi-VD VM, or the VMs of one tenant co-located on a
+compute node (each VM then acts as one member).  All §5 statistics are
+computed per group: throttled seconds, the Resource Available Rate (Eq. 1),
+the write-to-read ratio at throttled seconds (Fig 3(c)), and the
+theoretical Reduction Rate of throttle duration under lending (Eq. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.stats.ratios import wr_ratio_arrays
+from repro.throttle.caps import CapSet
+from repro.util.errors import ConfigError
+from repro.workload.fleet import Fleet
+from repro.workload.generator import VdTraffic
+
+_RESOURCES = ("throughput", "iops")
+
+
+def _check_resource(resource: str) -> None:
+    if resource not in _RESOURCES:
+        raise ConfigError(
+            f"resource must be one of {_RESOURCES}, got {resource!r}"
+        )
+
+
+@dataclass
+class ThrottleGroup:
+    """Aligned traffic/cap matrices for one lending group.
+
+    Matrices are (num_members, duration); ``members`` are labels (vd or vm
+    ids) used only for reporting.
+    """
+
+    label: str
+    members: List[int]
+    read_bytes: np.ndarray
+    write_bytes: np.ndarray
+    read_iops: np.ndarray
+    write_iops: np.ndarray
+    cap_bps: np.ndarray
+    cap_iops: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.members)
+        for name in ("read_bytes", "write_bytes", "read_iops", "write_iops"):
+            matrix = getattr(self, name)
+            if matrix.ndim != 2 or matrix.shape[0] != n:
+                raise ConfigError(
+                    f"{name} must be (num_members, duration), got {matrix.shape}"
+                )
+        if self.cap_bps.shape != (n,) or self.cap_iops.shape != (n,):
+            raise ConfigError("cap arrays must have one entry per member")
+
+    @property
+    def num_members(self) -> int:
+        return len(self.members)
+
+    @property
+    def duration(self) -> int:
+        return int(self.read_bytes.shape[1])
+
+    def usage(self, resource: str) -> np.ndarray:
+        """(num_members, duration) usage of the capped resource."""
+        _check_resource(resource)
+        if resource == "throughput":
+            return self.read_bytes + self.write_bytes
+        return self.read_iops + self.write_iops
+
+    def caps(self, resource: str) -> np.ndarray:
+        _check_resource(resource)
+        return self.cap_bps if resource == "throughput" else self.cap_iops
+
+    def throttled(self, resource: str) -> np.ndarray:
+        """Boolean (num_members, duration): usage at/over the member's cap."""
+        return self.usage(resource) >= self.caps(resource)[:, None]
+
+    def measured_usage(self, resource: str) -> np.ndarray:
+        """Usage as the hypervisor *measures* it: clipped at the cap.
+
+        The generator produces offered load, but a throttled VD's actual
+        traffic never exceeds its cap — excess IOs queue.  All the §5
+        availability statistics are computed on measured traffic, like
+        the paper's metric data.
+        """
+        return np.minimum(self.usage(resource), self.caps(resource)[:, None])
+
+
+def build_vm_groups(
+    fleet: Fleet, traffic: Sequence[VdTraffic], caps: CapSet
+) -> List[ThrottleGroup]:
+    """One group per multi-VD VM (VMs with a single VD cannot lend)."""
+    by_vm: Dict[int, List[VdTraffic]] = {}
+    for vd_traffic in traffic:
+        vm_id = fleet.vds[vd_traffic.vd_id].vm_id
+        by_vm.setdefault(vm_id, []).append(vd_traffic)
+    groups: List[ThrottleGroup] = []
+    for vm_id, vd_traffics in sorted(by_vm.items()):
+        if len(vd_traffics) < 2:
+            continue
+        vd_ids = [t.vd_id for t in vd_traffics]
+        groups.append(
+            ThrottleGroup(
+                label=f"vm{vm_id}",
+                members=vd_ids,
+                read_bytes=np.stack([t.read_bytes for t in vd_traffics]),
+                write_bytes=np.stack([t.write_bytes for t in vd_traffics]),
+                read_iops=np.stack([t.read_iops for t in vd_traffics]),
+                write_iops=np.stack([t.write_iops for t in vd_traffics]),
+                cap_bps=caps.throughput_bps[vd_ids],
+                cap_iops=caps.iops[vd_ids],
+            )
+        )
+    return groups
+
+
+def build_node_groups(
+    fleet: Fleet, traffic: Sequence[VdTraffic], caps: CapSet
+) -> List[ThrottleGroup]:
+    """One group per (compute node, tenant) hosting >= 2 of the tenant's VMs.
+
+    Each member is a whole VM: its VDs' traffic and caps are summed.
+    """
+    by_vm: Dict[int, List[VdTraffic]] = {}
+    for vd_traffic in traffic:
+        vm_id = fleet.vds[vd_traffic.vd_id].vm_id
+        by_vm.setdefault(vm_id, []).append(vd_traffic)
+
+    by_node_user: Dict["tuple[int, int]", List[int]] = {}
+    for vm in fleet.vms:
+        key = (vm.compute_node_id, vm.user_id)
+        by_node_user.setdefault(key, []).append(vm.vm_id)
+
+    groups: List[ThrottleGroup] = []
+    for (node_id, user_id), vm_ids in sorted(by_node_user.items()):
+        vm_ids = [vm for vm in vm_ids if vm in by_vm]
+        if len(vm_ids) < 2:
+            continue
+        read_b, write_b, read_i, write_i = [], [], [], []
+        cap_b, cap_i = [], []
+        for vm_id in vm_ids:
+            vd_traffics = by_vm[vm_id]
+            vd_ids = [t.vd_id for t in vd_traffics]
+            read_b.append(sum(t.read_bytes for t in vd_traffics))
+            write_b.append(sum(t.write_bytes for t in vd_traffics))
+            read_i.append(sum(t.read_iops for t in vd_traffics))
+            write_i.append(sum(t.write_iops for t in vd_traffics))
+            cap_b.append(float(caps.throughput_bps[vd_ids].sum()))
+            cap_i.append(float(caps.iops[vd_ids].sum()))
+        groups.append(
+            ThrottleGroup(
+                label=f"node{node_id}/user{user_id}",
+                members=vm_ids,
+                read_bytes=np.stack(read_b),
+                write_bytes=np.stack(write_b),
+                read_iops=np.stack(read_i),
+                write_iops=np.stack(write_i),
+                cap_bps=np.asarray(cap_b),
+                cap_iops=np.asarray(cap_i),
+            )
+        )
+    return groups
+
+
+# ---------------------------------------------------------------------------
+# §5.1: throttled time and the Resource Available Rate
+# ---------------------------------------------------------------------------
+
+def throttle_seconds(group: ThrottleGroup, resource: str) -> int:
+    """Total member-seconds spent at/over the cap."""
+    return int(group.throttled(resource).sum())
+
+
+def rar_during_throttle(
+    group: ThrottleGroup, resource: str
+) -> List[float]:
+    """RAR(t) = (Cap - group(t)) / Cap at every throttled second (Eq. 1).
+
+    Cap is the summed member cap; one sample per second where at least one
+    member is throttled.  Negative availability clamps to 0.
+    """
+    throttled_any = group.throttled(resource).any(axis=0)
+    if not throttled_any.any():
+        return []
+    cap_total = float(group.caps(resource).sum())
+    usage_total = group.measured_usage(resource).sum(axis=0)
+    rar = (cap_total - usage_total[throttled_any]) / cap_total
+    return np.clip(rar, 0.0, 1.0).tolist()
+
+
+# ---------------------------------------------------------------------------
+# §5.2: write-to-read ratio at throttled seconds (Fig 3(c))
+# ---------------------------------------------------------------------------
+
+def wr_ratio_under_throttle(
+    group: ThrottleGroup, resource: str
+) -> List[float]:
+    """wr_ratio of each member's traffic at each of its throttled seconds."""
+    throttled = group.throttled(resource)
+    if resource == "throughput":
+        write, read = group.write_bytes, group.read_bytes
+    else:
+        write, read = group.write_iops, group.read_iops
+    ratios: List[float] = []
+    for member in range(group.num_members):
+        mask = throttled[member]
+        if mask.any():
+            ratios.extend(
+                wr_ratio_arrays(write[member][mask], read[member][mask]).tolist()
+            )
+    return ratios
+
+
+# ---------------------------------------------------------------------------
+# §5.3: theoretical Reduction Rate (Eq. 3, Fig 3(d)/(e))
+# ---------------------------------------------------------------------------
+
+def reduction_rates(
+    group: ThrottleGroup, resource: str, lending_rate: float
+) -> List[float]:
+    """RR = VD(t) / (VD(t) + p*AR(t)) at each throttled (member, second).
+
+    Lower is better: the lent capacity shortens the backlog drain time by
+    this factor.  AR(t) is clamped at 0 when the group is fully saturated.
+    """
+    if not 0.0 < lending_rate < 1.0:
+        raise ConfigError(f"lending rate must be in (0, 1), got {lending_rate}")
+    throttled = group.throttled(resource)
+    measured = group.measured_usage(resource)
+    cap_total = float(group.caps(resource).sum())
+    ar = np.clip(cap_total - measured.sum(axis=0), 0.0, None)
+    rates: List[float] = []
+    for member in range(group.num_members):
+        mask = throttled[member]
+        if not mask.any():
+            continue
+        vd_usage = measured[member][mask]
+        lent = lending_rate * ar[mask]
+        rates.extend((vd_usage / (vd_usage + lent + 1e-12)).tolist())
+    return rates

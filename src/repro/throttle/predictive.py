@@ -1,0 +1,120 @@
+"""Prediction-guarded lending (§5.3's "practical lending" direction).
+
+Plain limited lending can backfire: a member that lent capacity away may
+burst into its reduced cap (the negative gains of Fig 3(f)/(g)).  The paper
+argues a practical lender needs traffic prediction to size each member's
+contribution.  This module implements that guard: before reclaiming
+headroom from an unthrottled member, forecast its traffic over the rest of
+the period and only reclaim capacity above the forecast (plus a safety
+margin), so the lender should not hit its reduced cap unless the forecast
+was wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+import numpy as np
+
+from repro.prediction.base import Predictor
+from repro.prediction.linear import LinearFitPredictor
+from repro.throttle.lending import LendingConfig, LendingOutcome
+from repro.throttle.metrics import ThrottleGroup, _check_resource
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PredictiveLendingConfig:
+    """Plain lending parameters plus the forecast guard."""
+
+    base: LendingConfig = field(default_factory=LendingConfig)
+    #: Safety margin multiplied onto each lender's forecast before
+    #: computing its reclaimable headroom (1.0 = trust the forecast).
+    forecast_margin: float = 1.25
+    #: History (seconds) fed to each member's predictor.
+    history_seconds: int = 120
+
+    def __post_init__(self) -> None:
+        if self.forecast_margin < 1.0:
+            raise ConfigError("forecast_margin must be >= 1")
+        if self.history_seconds < 4:
+            raise ConfigError("history_seconds must be >= 4")
+
+
+def simulate_predictive_lending(
+    group: ThrottleGroup,
+    resource: str,
+    config: PredictiveLendingConfig = PredictiveLendingConfig(),
+    predictor_factory: "Callable[[], Predictor]" = LinearFitPredictor,
+) -> LendingOutcome:
+    """Algorithm 2 with forecast-bounded reclamation.
+
+    Identical control flow to :func:`repro.throttle.lending.simulate_lending`
+    except that each unthrottled member's contribution is capped at
+    ``cap - margin * forecast`` (never negative), so well-predicted lenders
+    keep room for their own upcoming traffic.
+    """
+    _check_resource(resource)
+    usage = group.usage(resource)
+    base_caps = group.caps(resource).astype(float)
+    num_members, duration = usage.shape
+    lending = config.base
+
+    without = int((usage >= base_caps[:, None]).sum())
+
+    predictors: List[Predictor] = [
+        predictor_factory() for __ in range(num_members)
+    ]
+
+    caps = base_caps.copy()
+    lent_this_period = False
+    throttled_with = 0
+    for t in range(duration):
+        if t % lending.period_seconds == 0:
+            caps = base_caps.copy()
+            lent_this_period = False
+        over = usage[:, t] >= caps
+        throttled_with += int(over.sum())
+        if lent_this_period or not over.any():
+            continue
+        measured = np.minimum(usage[:, t], caps)
+        ar = float(base_caps.sum() - measured.sum())
+        if ar <= 0:
+            lent_this_period = True
+            continue
+
+        # Forecast each potential lender's near-future traffic.
+        start = max(0, t - config.history_seconds)
+        forecasts = np.zeros(num_members)
+        for member in range(num_members):
+            history = usage[member, start : t + 1]
+            predictors[member].fit(history)
+            forecasts[member] = predictors[member].predict(history)
+
+        # Reclaimable headroom: capacity above the margin-inflated forecast.
+        guarded = np.clip(
+            caps - config.forecast_margin * forecasts, 0.0, None
+        )
+        reclaim = np.where(~over, lending.lending_rate * guarded, 0.0)
+        lendable = float(reclaim.sum())
+        if lendable <= 0:
+            lent_this_period = True
+            continue
+        overshoot = np.clip(usage[:, t] - caps, 0.0, None)
+        overshoot_total = overshoot[over].sum()
+        if overshoot_total > 0:
+            boost = lendable * overshoot / overshoot_total
+            boost = np.where(over, boost, 0.0)
+        else:
+            boost = np.where(over, lendable / max(1, over.sum()), 0.0)
+        caps = caps + boost - reclaim
+        caps = np.maximum(caps, 1e-9)
+        lent_this_period = True
+
+    return LendingOutcome(
+        label=group.label,
+        resource=resource,
+        throttled_seconds_without=without,
+        throttled_seconds_with=throttled_with,
+    )

@@ -1,0 +1,67 @@
+"""DiTing-style dataset model: sampled per-IO traces + full-volume metrics.
+
+The paper collects three datasets (§2.3):
+
+- **trace data** — per-IO records at a 1/3200 sampling rate, carrying the
+  block-layer info (opcode, size, LBA offset), the stack path (node, VM, VD,
+  WT, QP, segment, BlockServer, storage node) and per-component latencies;
+- **metric data** — second-granularity throughput/IOPS aggregates over *all*
+  IOs, split into a compute domain (per QP-WT pair) and a storage domain
+  (per segment), see Table 1;
+- **specification data** — per-VD capacity and throughput/IOPS caps plus the
+  inferred application type of each VM.
+
+This package defines the same three datasets.  Storage is columnar
+(:class:`numpy.ndarray` per field) so the statistical analyses stay
+vectorized; record dataclasses are provided as row views for IO and tests.
+"""
+
+from repro.trace.records import (
+    ComputeMetricRecord,
+    OpKind,
+    StorageMetricRecord,
+    TraceRecord,
+    VdSpec,
+    VmSpec,
+)
+from repro.trace.dataset import (
+    ComputeMetricTable,
+    MetricDataset,
+    SpecDataset,
+    StorageMetricTable,
+    TraceDataset,
+)
+from repro.trace.sampling import TraceSampler
+from repro.trace.io import (
+    read_metric_csv,
+    read_trace_jsonl,
+    write_metric_csv,
+    write_trace_jsonl,
+)
+from repro.trace.transform import (
+    drop_time_window,
+    resample_traces,
+    shift_timestamps,
+)
+
+__all__ = [
+    "ComputeMetricRecord",
+    "OpKind",
+    "StorageMetricRecord",
+    "TraceRecord",
+    "VdSpec",
+    "VmSpec",
+    "ComputeMetricTable",
+    "MetricDataset",
+    "SpecDataset",
+    "StorageMetricTable",
+    "TraceDataset",
+    "TraceSampler",
+    "read_metric_csv",
+    "read_trace_jsonl",
+    "write_metric_csv",
+    "write_trace_jsonl",
+    "drop_time_window",
+    "resample_traces",
+    "shift_timestamps",
+]

@@ -1,0 +1,118 @@
+"""File IO for trace and metric datasets (JSONL for traces, CSV for metrics).
+
+The on-disk formats follow the released tianchi dataset's spirit: one
+self-describing row per IO (traces) or per second-entity aggregate (metrics),
+so datasets generated here can be inspected with standard tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Type, Union
+
+from repro.trace.dataset import (
+    ComputeMetricTable,
+    StorageMetricTable,
+    TraceDataset,
+    _ColumnarTable,
+)
+from repro.util.errors import DatasetError
+
+PathLike = Union[str, Path]
+
+
+def write_trace_jsonl(dataset: TraceDataset, path: PathLike) -> None:
+    """Write a trace dataset to JSON-lines, one IO per line.
+
+    The first line is a header object carrying the sampling rate.
+    """
+    path = Path(path)
+    columns = dataset.columns()
+    with path.open("w", encoding="utf-8") as handle:
+        header = {"kind": "trace", "sampling_rate": dataset.sampling_rate}
+        handle.write(json.dumps(header) + "\n")
+        for index in range(len(dataset)):
+            row = {
+                name: (
+                    float(arr[index])
+                    if name in dataset.FLOAT_FIELDS
+                    else int(arr[index])
+                )
+                for name, arr in columns.items()
+            }
+            handle.write(json.dumps(row) + "\n")
+
+
+def read_trace_jsonl(path: PathLike) -> TraceDataset:
+    """Read a trace dataset written by :func:`write_trace_jsonl`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise DatasetError(f"{path}: empty trace file")
+        header = json.loads(header_line)
+        if header.get("kind") != "trace":
+            raise DatasetError(f"{path}: not a trace file header: {header}")
+        rows = [json.loads(line) for line in handle if line.strip()]
+    fields = (*TraceDataset.INT_FIELDS, *TraceDataset.FLOAT_FIELDS)
+    columns = {name: [row[name] for row in rows] for name in fields}
+    return TraceDataset(sampling_rate=header["sampling_rate"], **columns)
+
+
+def write_metric_csv(table: _ColumnarTable, path: PathLike) -> None:
+    """Write a compute or storage metric table to CSV with a header row."""
+    path = Path(path)
+    fields = (*table.INT_FIELDS, *table.FLOAT_FIELDS)
+    columns = table.columns()
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(fields)
+        for index in range(len(table)):
+            writer.writerow(
+                [
+                    (
+                        repr(float(columns[name][index]))
+                        if name in table.FLOAT_FIELDS
+                        else int(columns[name][index])
+                    )
+                    for name in fields
+                ]
+            )
+
+
+def read_metric_csv(
+    path: PathLike,
+    table_cls: "Type[_ColumnarTable]",
+) -> _ColumnarTable:
+    """Read a metric CSV into ``table_cls`` (compute or storage table)."""
+    if table_cls not in (ComputeMetricTable, StorageMetricTable):
+        raise DatasetError(
+            "table_cls must be ComputeMetricTable or StorageMetricTable"
+        )
+    path = Path(path)
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration as exc:
+            raise DatasetError(f"{path}: empty metric file") from exc
+        expected = [*table_cls.INT_FIELDS, *table_cls.FLOAT_FIELDS]
+        if header != expected:
+            raise DatasetError(
+                f"{path}: header mismatch: got {header}, expected {expected}"
+            )
+        rows = [row for row in reader if row]
+    columns = {
+        name: [row[index] for row in rows] for index, name in enumerate(expected)
+    }
+    typed = {
+        name: (
+            [float(v) for v in values]
+            if name in table_cls.FLOAT_FIELDS
+            else [int(v) for v in values]
+        )
+        for name, values in columns.items()
+    }
+    return table_cls(**typed)

@@ -1,0 +1,138 @@
+"""Row-level record types for the three DiTing datasets.
+
+All entity references are small integer ids assigned by the fleet builder
+(:mod:`repro.workload.fleet`); the columnar tables in
+:mod:`repro.trace.dataset` store the same fields as parallel arrays.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.errors import DatasetError
+
+
+class OpKind(enum.IntEnum):
+    """Block-layer opcode of an IO."""
+
+    READ = 0
+    WRITE = 1
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One sampled IO, end to end across the EBS stack.
+
+    Latencies are in microseconds and cover the five major components the
+    paper traces: compute node (hypervisor), frontend network, BlockServer,
+    backend network, and ChunkServer.
+    """
+
+    trace_id: int
+    timestamp: float
+    op: OpKind
+    size_bytes: int
+    offset_bytes: int
+    user_id: int
+    vm_id: int
+    vd_id: int
+    qp_id: int
+    wt_id: int
+    compute_node_id: int
+    segment_id: int
+    block_server_id: int
+    storage_node_id: int
+    lat_compute_us: float
+    lat_frontend_us: float
+    lat_block_server_us: float
+    lat_backend_us: float
+    lat_chunk_server_us: float
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise DatasetError(f"IO size must be positive, got {self.size_bytes}")
+        if self.offset_bytes < 0:
+            raise DatasetError(
+                f"LBA offset must be non-negative, got {self.offset_bytes}"
+            )
+
+    @property
+    def latency_us(self) -> float:
+        """End-to-end latency: the sum of the five component latencies."""
+        return (
+            self.lat_compute_us
+            + self.lat_frontend_us
+            + self.lat_block_server_us
+            + self.lat_backend_us
+            + self.lat_chunk_server_us
+        )
+
+
+@dataclass(frozen=True)
+class ComputeMetricRecord:
+    """One second of aggregated traffic for a QP-WT pair (Table 1, compute)."""
+
+    timestamp: int
+    cluster_id: int
+    compute_node_id: int
+    user_id: int
+    vm_id: int
+    vd_id: int
+    wt_id: int
+    qp_id: int
+    read_bytes: float
+    write_bytes: float
+    read_iops: float
+    write_iops: float
+
+
+@dataclass(frozen=True)
+class StorageMetricRecord:
+    """One second of aggregated traffic for a segment (Table 1, storage)."""
+
+    timestamp: int
+    cluster_id: int
+    storage_node_id: int
+    block_server_id: int
+    user_id: int
+    vm_id: int
+    vd_id: int
+    segment_id: int
+    read_bytes: float
+    write_bytes: float
+    read_iops: float
+    write_iops: float
+
+
+@dataclass(frozen=True)
+class VdSpec:
+    """Specification data for one virtual disk (subscription limits)."""
+
+    vd_id: int
+    vm_id: int
+    user_id: int
+    capacity_bytes: int
+    num_queue_pairs: int
+    throughput_cap_bps: float
+    iops_cap: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise DatasetError("VD capacity must be positive")
+        if not 1 <= self.num_queue_pairs <= 8:
+            raise DatasetError(
+                f"a VD has 1..8 queue pairs, got {self.num_queue_pairs}"
+            )
+        if self.throughput_cap_bps <= 0 or self.iops_cap <= 0:
+            raise DatasetError("VD caps must be positive")
+
+
+@dataclass(frozen=True)
+class VmSpec:
+    """Specification data for one VM, including its inferred application."""
+
+    vm_id: int
+    user_id: int
+    compute_node_id: int
+    application: str

@@ -1,0 +1,48 @@
+"""IO sampling, mirroring DiTing's 1/3200 trace downsampling.
+
+The production tracer cannot afford to record every IO, so it samples
+uniformly at a fixed rate.  :class:`TraceSampler` reproduces that: given the
+number of IOs issued in an interval it returns how many get traced, with the
+same expectation and binomial variance as per-IO Bernoulli sampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+
+#: The paper's production sampling rate.
+PAPER_SAMPLING_RATE = 1.0 / 3200.0
+
+
+class TraceSampler:
+    """Binomial downsampler for per-interval IO counts."""
+
+    def __init__(self, rate: float, rng: np.random.Generator):
+        if not 0.0 < rate <= 1.0:
+            raise ConfigError(f"sampling rate must be in (0, 1], got {rate}")
+        self.rate = float(rate)
+        self._rng = rng
+
+    def sample_count(self, num_ios: int) -> int:
+        """How many of ``num_ios`` IOs get traced (binomial draw)."""
+        if num_ios < 0:
+            raise ConfigError(f"num_ios must be non-negative, got {num_ios}")
+        if num_ios == 0:
+            return 0
+        if self.rate == 1.0:
+            return num_ios
+        return int(self._rng.binomial(num_ios, self.rate))
+
+    def sample_counts(self, num_ios: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`sample_count` over an array of IO counts."""
+        counts = np.asarray(num_ios, dtype=np.int64)
+        if np.any(counts < 0):
+            raise ConfigError("num_ios must be non-negative")
+        if self.rate == 1.0:
+            return counts.copy()
+        out = np.zeros_like(counts)
+        positive = counts > 0
+        out[positive] = self._rng.binomial(counts[positive], self.rate)
+        return out

@@ -1,0 +1,64 @@
+"""Dataset transformations: gaps, re-sampling, time shifts.
+
+Production telemetry is imperfect — collectors restart, windows go
+missing, sampling rates change between deployments.  These helpers let
+tests and studies inject those imperfections into the generated datasets
+and verify the analyses degrade gracefully instead of crashing or biasing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.dataset import TraceDataset, _ColumnarTable
+from repro.util.errors import ConfigError
+
+
+def drop_time_window(
+    table: "_ColumnarTable", start: float, end: float
+) -> "_ColumnarTable":
+    """Remove all rows with ``start <= timestamp < end`` (a telemetry gap)."""
+    if end <= start:
+        raise ConfigError(f"empty window [{start}, {end})")
+    timestamps = getattr(table, "timestamp")
+    keep = (timestamps < start) | (timestamps >= end)
+    return table.where(keep)
+
+
+def resample_traces(
+    traces: TraceDataset, keep_fraction: float, rng: np.random.Generator
+) -> TraceDataset:
+    """Thin a trace dataset further, adjusting its sampling rate.
+
+    ``keep_fraction`` = 0.5 keeps each trace with probability 0.5 and
+    halves the dataset's effective sampling rate, so
+    ``estimated_total_ios`` stays unbiased.
+    """
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ConfigError("keep_fraction must be in (0, 1]")
+    if keep_fraction == 1.0:
+        return traces
+    keep = rng.random(len(traces)) < keep_fraction
+    thinned = traces.where(keep)
+    return TraceDataset(
+        sampling_rate=traces.sampling_rate * keep_fraction,
+        **thinned.columns(),
+    )
+
+
+def shift_timestamps(
+    table: "_ColumnarTable", offset_seconds: float
+) -> "_ColumnarTable":
+    """Shift all timestamps by a constant (clock-skew injection).
+
+    Shifts that would make any timestamp negative are rejected.
+    """
+    timestamps = getattr(table, "timestamp")
+    if len(timestamps) and float(timestamps.min()) + offset_seconds < 0:
+        raise ConfigError("shift would produce negative timestamps")
+    columns = table.columns()
+    dtype = columns["timestamp"].dtype
+    columns["timestamp"] = (columns["timestamp"] + offset_seconds).astype(dtype)
+    if isinstance(table, TraceDataset):
+        return TraceDataset(sampling_rate=table.sampling_rate, **columns)
+    return type(table)(**columns)

@@ -1,0 +1,46 @@
+"""Shared utilities: byte units, deterministic RNG, time windows, errors."""
+
+from repro.util.errors import (
+    ConfigError,
+    DatasetError,
+    ReproError,
+    SimulationError,
+)
+from repro.util.rng import RngFactory, spawn_rng
+from repro.util.timewindow import TimeWindow, iter_windows, window_index
+from repro.util.units import (
+    GiB,
+    KiB,
+    MiB,
+    PiB,
+    TiB,
+    format_bytes,
+    parse_size,
+)
+from repro.util.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+)
+
+__all__ = [
+    "ConfigError",
+    "DatasetError",
+    "ReproError",
+    "SimulationError",
+    "RngFactory",
+    "spawn_rng",
+    "TimeWindow",
+    "iter_windows",
+    "window_index",
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "PiB",
+    "format_bytes",
+    "parse_size",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+]

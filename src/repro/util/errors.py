@@ -1,0 +1,22 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised deliberately by this package derive from
+:class:`ReproError` so callers can catch package failures with one except
+clause while letting programming errors (TypeError, KeyError, ...) surface.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, malformed, or out of range."""
+
+
+class DatasetError(ReproError):
+    """A trace or metric dataset is malformed or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an invalid state."""

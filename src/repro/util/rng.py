@@ -1,0 +1,50 @@
+"""Deterministic random-number-generator management.
+
+Every stochastic component of the simulator takes a ``numpy.random.Generator``
+rather than using the global state, so a study is fully reproducible from a
+single seed.  :class:`RngFactory` hands out independent child generators keyed
+by a string label, so adding a new consumer never perturbs the streams of
+existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def spawn_rng(seed: int, label: str = "") -> np.random.Generator:
+    """Create a generator from ``seed`` and a stable string ``label``.
+
+    The label is hashed into the seed sequence so distinct labels yield
+    statistically independent streams.
+    """
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    entropy = int.from_bytes(digest[:8], "little")
+    return np.random.default_rng(np.random.SeedSequence([seed, entropy]))
+
+
+class RngFactory:
+    """Hands out independent, label-keyed child generators.
+
+    Repeated requests for the same label return fresh generators seeded
+    identically, which makes component-level replay possible.
+    """
+
+    def __init__(self, seed: int):
+        self._seed = int(seed)
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def get(self, label: str) -> np.random.Generator:
+        """Return a new generator for ``label`` (same label -> same stream)."""
+        return spawn_rng(self._seed, label)
+
+    def child(self, label: str) -> "RngFactory":
+        """Derive a factory whose streams are independent of this one's."""
+        digest = hashlib.sha256(label.encode("utf-8")).digest()
+        entropy = int.from_bytes(digest[8:16], "little")
+        return RngFactory((self._seed * 1_000_003 + entropy) % (2**63))

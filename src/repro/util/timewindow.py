@@ -1,0 +1,67 @@
+"""Time-window helpers for bucketing second-granularity series.
+
+The paper repeatedly re-aggregates its second-level metric data into coarser
+windows (1/30/60-minute WT-CoV in Fig 2(a), 15s migration windows in Fig 4(a),
+5-minute hot-rate windows in Fig 6(d)).  These helpers centralize the
+bucketing arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TimeWindow:
+    """A half-open time interval ``[start, end)`` in seconds."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ConfigError(
+                f"window end ({self.end}) must exceed start ({self.start})"
+            )
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+    def contains(self, t: int) -> bool:
+        return self.start <= t < self.end
+
+    def overlaps(self, other: "TimeWindow") -> bool:
+        return self.start < other.end and other.start < self.end
+
+
+def iter_windows(
+    total_seconds: int, window_seconds: int, drop_partial: bool = False
+) -> Iterator[TimeWindow]:
+    """Yield consecutive windows covering ``[0, total_seconds)``.
+
+    The final window is truncated to ``total_seconds`` unless ``drop_partial``
+    is set, in which case a trailing partial window is omitted.
+    """
+    if total_seconds <= 0:
+        raise ConfigError(f"total_seconds must be positive, got {total_seconds}")
+    if window_seconds <= 0:
+        raise ConfigError(f"window_seconds must be positive, got {window_seconds}")
+    start = 0
+    while start < total_seconds:
+        end = min(start + window_seconds, total_seconds)
+        if end - start == window_seconds or not drop_partial:
+            yield TimeWindow(start, end)
+        start += window_seconds
+
+
+def window_index(t: int, window_seconds: int) -> int:
+    """Return the index of the window containing second ``t``."""
+    if window_seconds <= 0:
+        raise ConfigError(f"window_seconds must be positive, got {window_seconds}")
+    if t < 0:
+        raise ConfigError(f"time must be non-negative, got {t}")
+    return t // window_seconds

@@ -1,0 +1,70 @@
+"""Byte-size units and helpers.
+
+The paper quotes sizes in binary units (32 GiB segments, 4 KiB cache pages,
+64 MiB-2048 MiB hottest blocks), so the constants here are powers of two.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.util.errors import ConfigError
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+PiB = 1024 * TiB
+
+_UNIT_FACTORS = {
+    "b": 1,
+    "kib": KiB,
+    "mib": MiB,
+    "gib": GiB,
+    "tib": TiB,
+    "pib": PiB,
+    "k": KiB,
+    "m": MiB,
+    "g": GiB,
+    "t": TiB,
+    "p": PiB,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]+(?:\.[0-9]+)?)\s*([a-zA-Z]*)\s*$")
+
+
+def parse_size(text: str) -> int:
+    """Parse a human-readable size like ``"32GiB"`` or ``"4 KiB"`` to bytes.
+
+    Bare numbers are taken as bytes.  Raises :class:`ConfigError` on
+    unparseable input or unknown units.
+    """
+    match = _SIZE_RE.match(text)
+    if match is None:
+        raise ConfigError(f"unparseable size: {text!r}")
+    value, unit = match.groups()
+    factor = _UNIT_FACTORS.get(unit.lower() or "b")
+    if factor is None:
+        raise ConfigError(f"unknown size unit {unit!r} in {text!r}")
+    total = float(value) * factor
+    return int(round(total))
+
+
+def format_bytes(num_bytes: float, precision: int = 1) -> str:
+    """Format a byte count with the largest binary unit that keeps it >= 1.
+
+    >>> format_bytes(32 * GiB)
+    '32.0 GiB'
+    """
+    if num_bytes < 0:
+        raise ConfigError(f"byte count must be non-negative, got {num_bytes}")
+    for unit_name, factor in (
+        ("PiB", PiB),
+        ("TiB", TiB),
+        ("GiB", GiB),
+        ("MiB", MiB),
+        ("KiB", KiB),
+    ):
+        if num_bytes >= factor:
+            return f"{num_bytes / factor:.{precision}f} {unit_name}"
+    return f"{num_bytes:.0f} B"

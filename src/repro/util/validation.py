@@ -1,0 +1,30 @@
+"""Small argument-validation helpers used across configuration dataclasses."""
+
+from __future__ import annotations
+
+from repro.util.errors import ConfigError
+
+
+def check_positive(name: str, value: float) -> float:
+    """Return ``value`` if strictly positive, else raise :class:`ConfigError`."""
+    if not value > 0:
+        raise ConfigError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Return ``value`` if >= 0, else raise :class:`ConfigError`."""
+    if value < 0:
+        raise ConfigError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_fraction(name: str, value: float, inclusive: bool = True) -> float:
+    """Validate that ``value`` lies in [0, 1] (or (0, 1) if not inclusive)."""
+    if inclusive:
+        if not 0.0 <= value <= 1.0:
+            raise ConfigError(f"{name} must be in [0, 1], got {value}")
+    else:
+        if not 0.0 < value < 1.0:
+            raise ConfigError(f"{name} must be in (0, 1), got {value}")
+    return value

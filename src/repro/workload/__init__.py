@@ -1,0 +1,81 @@
+"""Synthetic EBS workload: fleet hierarchy and skewed traffic generation.
+
+The paper's datasets come from ~10k users / 60k VMs / 140k VDs of Alibaba
+production traffic.  Offline we regenerate statistically similar traffic:
+
+- :mod:`repro.workload.samplers` — heavy-tailed building blocks (Zipf,
+  bounded Pareto, lognormal, skewed Dirichlet weights).
+- :mod:`repro.workload.apps` — per-application traffic profiles for the six
+  categories of Table 5 (BigData, WebApp, Middleware, FileSystem, Database,
+  Docker), each with its own intensity tail, read/write mix, burstiness and
+  LBA locality.
+- :mod:`repro.workload.burst` — ON/OFF burst processes with diurnal
+  modulation producing the paper's extreme peak-to-average ratios.
+- :mod:`repro.workload.lba` — LBA-level access models with a persistent
+  hottest block (§7) plus sequential and uniform background traffic.
+- :mod:`repro.workload.fleet` — the user -> VM -> VD -> QP hierarchy with
+  compute-node placement and segment -> BlockServer mapping.
+- :mod:`repro.workload.generator` — per-VD second-granularity traffic
+  series and per-IO draws (sizes, offsets, opcodes).
+"""
+
+from repro.workload.apps import (
+    APPLICATION_PROFILES,
+    ApplicationProfile,
+    application_names,
+    profile_for,
+)
+from repro.workload.burst import BurstConfig, OnOffBurstModel, diurnal_profile
+from repro.workload.calibration import (
+    CalibrationReport,
+    CalibrationTargets,
+    calibrate,
+)
+from repro.workload.fleet import (
+    Fleet,
+    FleetConfig,
+    QueuePairInfo,
+    SegmentInfo,
+    VdInfo,
+    VmInfo,
+    build_fleet,
+)
+from repro.workload.generator import (
+    VdTraffic,
+    WorkloadGenerator,
+)
+from repro.workload.lba import HotspotLbaModel, LbaModelConfig
+from repro.workload.samplers import (
+    bounded_pareto,
+    lognormal_heavy,
+    skewed_weights,
+    zipf_weights,
+)
+
+__all__ = [
+    "APPLICATION_PROFILES",
+    "ApplicationProfile",
+    "application_names",
+    "profile_for",
+    "BurstConfig",
+    "OnOffBurstModel",
+    "diurnal_profile",
+    "CalibrationReport",
+    "CalibrationTargets",
+    "calibrate",
+    "Fleet",
+    "FleetConfig",
+    "QueuePairInfo",
+    "SegmentInfo",
+    "VdInfo",
+    "VmInfo",
+    "build_fleet",
+    "VdTraffic",
+    "WorkloadGenerator",
+    "HotspotLbaModel",
+    "LbaModelConfig",
+    "bounded_pareto",
+    "lognormal_heavy",
+    "skewed_weights",
+    "zipf_weights",
+]

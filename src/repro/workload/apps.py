@@ -1,0 +1,265 @@
+"""Per-application traffic profiles (the six categories of Table 5).
+
+The paper infers each VM's application and finds skewness varies strongly by
+category (Table 4): BigData carries the most traffic but is the least skewed;
+Dockerized apps are the most skewed.  Each profile below fixes the knobs the
+generator needs: how heavy the per-VM intensity tail is, the read/write mix,
+burstiness of each direction, IO sizes, and LBA locality.
+
+Intensities are in bytes/second of *mean* traffic while a VM is active; the
+burst model redistributes that mean over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.util.errors import ConfigError
+from repro.util.units import KiB, MiB
+from repro.workload.burst import BurstConfig
+
+
+@dataclass(frozen=True)
+class ApplicationProfile:
+    """Generator parameters for one application category.
+
+    ``population_weight``   — relative share of VMs running this category.
+    ``intensity_median_bps``— median per-VM mean write throughput.
+    ``intensity_sigma``     — lognormal sigma of per-VM intensity; larger
+                              values give higher 1%-CCR for the category.
+    ``read_sigma_extra``    — added to ``intensity_sigma`` for the read
+                              direction (read skew exceeds write skew, Obs. 2).
+    ``read_fraction``       — mean share of traffic that is read.
+    ``read_burst``/``write_burst`` — temporal models per direction.
+    ``read_size_bytes``/``write_size_bytes`` — (median, sigma) of IO size.
+    ``vd_count_range``      — min/max VDs mounted per VM (inclusive).
+    ``capacity_gib_choices``— VD capacity menu in GiB.
+    ``vd_concentration``    — Dirichlet concentration of VM->VD traffic split
+                              (small = one VD dominates, §4.2).
+    ``qp_concentration``    — Dirichlet concentration of VD->QP traffic split.
+    ``hot_block_mib``       — characteristic hottest-block size (§7).
+    ``hot_access_fraction`` — share of a VD's IOs landing in its hottest block.
+    ``hot_write_bias``      — extra write-fraction inside the hottest block
+                              (hot blocks are write-dominant, Fig 6(c)).
+    ``sequential_fraction`` — share of IOs that continue the previous offset.
+    """
+
+    name: str
+    population_weight: float
+    intensity_median_bps: float
+    intensity_sigma: float
+    read_sigma_extra: float
+    read_fraction: float
+    read_burst: BurstConfig
+    write_burst: BurstConfig
+    read_size_bytes: Tuple[int, float]
+    write_size_bytes: Tuple[int, float]
+    vd_count_range: Tuple[int, int]
+    capacity_gib_choices: Tuple[int, ...]
+    vd_concentration: float
+    qp_concentration: float
+    hot_block_mib: int
+    hot_access_fraction: float
+    hot_write_bias: float
+    sequential_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.population_weight <= 0:
+            raise ConfigError(f"{self.name}: population_weight must be positive")
+        if self.intensity_median_bps <= 0:
+            raise ConfigError(f"{self.name}: intensity must be positive")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ConfigError(f"{self.name}: read_fraction must be in [0, 1]")
+        lo, hi = self.vd_count_range
+        if not 1 <= lo <= hi:
+            raise ConfigError(f"{self.name}: bad vd_count_range {self.vd_count_range}")
+        if not 0.0 < self.hot_access_fraction < 1.0:
+            raise ConfigError(
+                f"{self.name}: hot_access_fraction must be in (0, 1)"
+            )
+        if not 0.0 <= self.sequential_fraction <= 1.0:
+            raise ConfigError(
+                f"{self.name}: sequential_fraction must be in [0, 1]"
+            )
+
+
+def _profiles() -> Dict[str, ApplicationProfile]:
+    bigdata = ApplicationProfile(
+        name="BigData",
+        population_weight=0.12,
+        intensity_median_bps=6.0 * MiB,
+        intensity_sigma=1.1,  # broad base of busy VMs -> low CCR
+        read_sigma_extra=0.2,
+        read_fraction=0.45,
+        read_burst=BurstConfig(
+            duty_cycle=0.5, mean_on_seconds=120.0, amplitude_alpha=1.6,
+            amplitude_max=40.0, base_fraction=0.1,
+        ),
+        write_burst=BurstConfig(
+            duty_cycle=0.6, mean_on_seconds=180.0, amplitude_alpha=1.8,
+            amplitude_max=25.0, base_fraction=0.15,
+        ),
+        read_size_bytes=(256 * KiB, 0.6),
+        write_size_bytes=(256 * KiB, 0.5),
+        vd_count_range=(2, 12),
+        capacity_gib_choices=(128, 256, 512, 1024, 2048),
+        vd_concentration=0.5,
+        qp_concentration=0.8,
+        hot_block_mib=1024,
+        hot_access_fraction=0.25,
+        hot_write_bias=0.15,
+        sequential_fraction=0.7,
+    )
+    webapp = ApplicationProfile(
+        name="WebApp",
+        population_weight=0.30,
+        intensity_median_bps=60.0 * KiB,
+        intensity_sigma=1.9,
+        read_sigma_extra=0.9,
+        read_fraction=0.12,
+        read_burst=BurstConfig(
+            duty_cycle=0.03, mean_on_seconds=10.0, amplitude_alpha=0.9,
+            amplitude_max=500.0, base_fraction=0.0,
+        ),
+        write_burst=BurstConfig(
+            duty_cycle=0.3, mean_on_seconds=20.0, amplitude_alpha=1.4,
+            amplitude_max=80.0, base_fraction=0.05,
+        ),
+        read_size_bytes=(16 * KiB, 0.8),
+        write_size_bytes=(8 * KiB, 0.7),
+        vd_count_range=(1, 3),
+        capacity_gib_choices=(40, 64, 128),
+        vd_concentration=0.15,
+        qp_concentration=0.2,
+        hot_block_mib=256,
+        hot_access_fraction=0.4,
+        hot_write_bias=0.3,
+        sequential_fraction=0.2,
+    )
+    middleware = ApplicationProfile(
+        name="Middleware",
+        population_weight=0.18,
+        intensity_median_bps=1.5 * MiB,
+        intensity_sigma=1.7,
+        read_sigma_extra=0.7,
+        read_fraction=0.35,
+        read_burst=BurstConfig(
+            duty_cycle=0.08, mean_on_seconds=15.0, amplitude_alpha=1.0,
+            amplitude_max=300.0, base_fraction=0.02,
+        ),
+        write_burst=BurstConfig(
+            duty_cycle=0.45, mean_on_seconds=60.0, amplitude_alpha=1.5,
+            amplitude_max=60.0, base_fraction=0.1,
+        ),
+        read_size_bytes=(64 * KiB, 0.7),
+        write_size_bytes=(32 * KiB, 0.6),
+        vd_count_range=(1, 6),
+        capacity_gib_choices=(64, 128, 256, 512),
+        vd_concentration=0.25,
+        qp_concentration=0.3,
+        hot_block_mib=512,
+        hot_access_fraction=0.35,
+        hot_write_bias=0.25,
+        sequential_fraction=0.4,
+    )
+    filesystem = ApplicationProfile(
+        name="FileSystem",
+        population_weight=0.06,
+        intensity_median_bps=150.0 * KiB,
+        intensity_sigma=2.1,
+        read_sigma_extra=0.4,
+        read_fraction=0.65,
+        read_burst=BurstConfig(
+            duty_cycle=0.05, mean_on_seconds=60.0, amplitude_alpha=1.0,
+            amplitude_max=400.0, base_fraction=0.0,
+        ),
+        write_burst=BurstConfig(
+            duty_cycle=0.04, mean_on_seconds=45.0, amplitude_alpha=0.9,
+            amplitude_max=400.0, base_fraction=0.0,
+        ),
+        read_size_bytes=(512 * KiB, 0.8),
+        write_size_bytes=(512 * KiB, 0.8),
+        vd_count_range=(1, 4),
+        capacity_gib_choices=(256, 512, 1024, 4096),
+        vd_concentration=0.2,
+        qp_concentration=0.25,
+        hot_block_mib=512,
+        hot_access_fraction=0.3,
+        hot_write_bias=0.1,
+        sequential_fraction=0.85,
+    )
+    database = ApplicationProfile(
+        name="Database",
+        population_weight=0.22,
+        intensity_median_bps=800.0 * KiB,
+        intensity_sigma=1.9,
+        read_sigma_extra=0.8,
+        read_fraction=0.30,
+        read_burst=BurstConfig(
+            duty_cycle=0.06, mean_on_seconds=20.0, amplitude_alpha=0.9,
+            amplitude_max=600.0, base_fraction=0.01,
+        ),
+        write_burst=BurstConfig(
+            duty_cycle=0.55, mean_on_seconds=90.0, amplitude_alpha=1.4,
+            amplitude_max=100.0, base_fraction=0.2,
+        ),
+        read_size_bytes=(16 * KiB, 0.7),
+        write_size_bytes=(16 * KiB, 0.5),
+        vd_count_range=(2, 8),
+        capacity_gib_choices=(128, 256, 512, 1024),
+        vd_concentration=0.2,
+        qp_concentration=0.25,
+        hot_block_mib=512,
+        hot_access_fraction=0.45,
+        hot_write_bias=0.35,
+        sequential_fraction=0.3,
+    )
+    docker = ApplicationProfile(
+        name="Docker",
+        population_weight=0.12,
+        intensity_median_bps=300.0 * KiB,
+        intensity_sigma=2.4,  # heaviest tail -> highest 1%-CCR (Table 4)
+        read_sigma_extra=1.0,
+        read_fraction=0.40,
+        read_burst=BurstConfig(
+            duty_cycle=0.02, mean_on_seconds=8.0, amplitude_alpha=0.8,
+            amplitude_max=1000.0, base_fraction=0.0,
+        ),
+        write_burst=BurstConfig(
+            duty_cycle=0.15, mean_on_seconds=25.0, amplitude_alpha=1.1,
+            amplitude_max=300.0, base_fraction=0.02,
+        ),
+        read_size_bytes=(64 * KiB, 0.9),
+        write_size_bytes=(32 * KiB, 0.8),
+        vd_count_range=(1, 5),
+        capacity_gib_choices=(40, 64, 128, 256),
+        vd_concentration=0.12,
+        qp_concentration=0.15,
+        hot_block_mib=256,
+        hot_access_fraction=0.5,
+        hot_write_bias=0.2,
+        sequential_fraction=0.25,
+    )
+    return {
+        profile.name: profile
+        for profile in (bigdata, webapp, middleware, filesystem, database, docker)
+    }
+
+
+#: The six category profiles, keyed by name.
+APPLICATION_PROFILES: Dict[str, ApplicationProfile] = _profiles()
+
+
+def application_names() -> Tuple[str, ...]:
+    """Category names in a stable order."""
+    return tuple(sorted(APPLICATION_PROFILES))
+
+
+def profile_for(name: str) -> ApplicationProfile:
+    """Look up a category profile by name."""
+    if name not in APPLICATION_PROFILES:
+        raise ConfigError(
+            f"unknown application {name!r}; known: {sorted(APPLICATION_PROFILES)}"
+        )
+    return APPLICATION_PROFILES[name]

@@ -1,0 +1,132 @@
+"""Temporal traffic models: ON/OFF bursts with diurnal modulation.
+
+The paper's headline temporal statistic is the Peak-to-Average ratio (P2A):
+the 50%ile P2A of per-VM read traffic reaches tens of thousands, meaning most
+VMs are almost always idle and occasionally burst violently.  An ON/OFF
+renewal process with heavy-tailed burst amplitude reproduces this: the duty
+cycle sets how rare activity is, the amplitude tail sets how violent it is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+from repro.workload.samplers import bounded_pareto
+
+
+@dataclass(frozen=True)
+class BurstConfig:
+    """Parameters of an ON/OFF burst process.
+
+    ``duty_cycle``       — long-run fraction of time spent in the ON state.
+    ``mean_on_seconds``  — mean duration of an ON episode (geometric).
+    ``amplitude_alpha``  — Pareto tail index of the per-burst amplitude;
+                           smaller means heavier bursts.
+    ``amplitude_max``    — truncation of the amplitude distribution.
+    ``base_fraction``    — OFF-state traffic level relative to the mean ON
+                           amplitude (0 gives a strictly intermittent source).
+    """
+
+    duty_cycle: float = 0.2
+    mean_on_seconds: float = 30.0
+    amplitude_alpha: float = 1.2
+    amplitude_max: float = 200.0
+    base_fraction: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.duty_cycle <= 1.0:
+            raise ConfigError(
+                f"duty_cycle must be in (0, 1], got {self.duty_cycle}"
+            )
+        if self.mean_on_seconds < 1.0:
+            raise ConfigError(
+                f"mean_on_seconds must be >= 1, got {self.mean_on_seconds}"
+            )
+        if self.amplitude_alpha <= 0:
+            raise ConfigError(
+                f"amplitude_alpha must be positive, got {self.amplitude_alpha}"
+            )
+        if self.amplitude_max <= 1.0:
+            raise ConfigError(
+                f"amplitude_max must exceed 1, got {self.amplitude_max}"
+            )
+        if not 0.0 <= self.base_fraction <= 1.0:
+            raise ConfigError(
+                f"base_fraction must be in [0, 1], got {self.base_fraction}"
+            )
+
+    @property
+    def mean_off_seconds(self) -> float:
+        """Mean OFF duration implied by the duty cycle."""
+        if self.duty_cycle >= 1.0:
+            return 0.0
+        return self.mean_on_seconds * (1.0 - self.duty_cycle) / self.duty_cycle
+
+
+class OnOffBurstModel:
+    """Generates per-second traffic multiplier series with mean ~1.
+
+    Each ON episode carries a single amplitude drawn from a bounded Pareto,
+    which gives episode-level (not just second-level) bursts — matching the
+    sub-10ms to multi-minute burst durations observed in Fig 2(e)/(f).
+    """
+
+    def __init__(self, config: BurstConfig):
+        self.config = config
+
+    def series(self, rng: np.random.Generator, total_seconds: int) -> np.ndarray:
+        """A multiplier series of length ``total_seconds``, normalized to mean 1
+        (all-zero series are returned as-is)."""
+        if total_seconds <= 0:
+            raise ConfigError(
+                f"total_seconds must be positive, got {total_seconds}"
+            )
+        cfg = self.config
+        out = np.full(total_seconds, cfg.base_fraction, dtype=float)
+        if cfg.duty_cycle >= 1.0:
+            out[:] = 1.0
+            return out
+        # Start in ON with probability equal to the duty cycle.
+        t = 0
+        state_on = bool(rng.random() < cfg.duty_cycle)
+        while t < total_seconds:
+            if state_on:
+                duration = 1 + rng.geometric(1.0 / cfg.mean_on_seconds)
+                amplitude = float(
+                    bounded_pareto(rng, cfg.amplitude_alpha, 1.0, cfg.amplitude_max)
+                )
+                out[t : t + duration] = amplitude
+            else:
+                mean_off = max(1.0, cfg.mean_off_seconds)
+                duration = 1 + rng.geometric(1.0 / mean_off)
+            t += duration
+            state_on = not state_on
+        mean = out.mean()
+        if mean > 0:
+            out /= mean
+        return out
+
+
+def diurnal_profile(
+    total_seconds: int,
+    peak_at_fraction: float = 0.5,
+    amplitude: float = 0.3,
+) -> np.ndarray:
+    """A smooth day-shape multiplier (mean 1) over the observation window.
+
+    The paper's 12-hour daytime window has a mild diurnal swing on top of
+    which the bursts ride; ``amplitude`` = 0.3 means +/-30% around the mean.
+    """
+    if total_seconds <= 0:
+        raise ConfigError(f"total_seconds must be positive, got {total_seconds}")
+    if not 0.0 <= amplitude < 1.0:
+        raise ConfigError(f"amplitude must be in [0, 1), got {amplitude}")
+    if not 0.0 <= peak_at_fraction <= 1.0:
+        raise ConfigError(
+            f"peak_at_fraction must be in [0, 1], got {peak_at_fraction}"
+        )
+    phase = np.arange(total_seconds) / total_seconds - peak_at_fraction
+    return 1.0 + amplitude * np.cos(2.0 * np.pi * phase)

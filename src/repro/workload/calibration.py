@@ -1,0 +1,172 @@
+"""Workload calibration report: does a generated fleet look like the paper's?
+
+The synthetic generator substitutes for the Alibaba traces, so its output
+must keep the paper's headline statistical shapes.  This module computes
+those shapes for a generated fleet and checks them against target ranges —
+the regression guard that keeps future generator changes honest, and a
+diagnostic for users who re-tune the application profiles.
+
+Checked shapes (each maps to a paper observation):
+
+- write-dominant total traffic (Table 2);
+- VM-level 20%-CCR far above uniform, for both directions (Table 3);
+- read temporal skew (median per-VM P2A) at or above write (Observation 2);
+- extreme VM-to-VD concentration (Fig 2(b), CoV_vm2vd ~ 0.97);
+- hottest-block persistence: mean hot-fraction near the profile means (§7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.stats.skewness import ccr, normalized_cov, p2a
+from repro.util.errors import ConfigError
+from repro.workload.fleet import Fleet
+from repro.workload.generator import VdTraffic
+
+
+@dataclass(frozen=True)
+class CalibrationTargets:
+    """Acceptable ranges for the headline shapes."""
+
+    min_write_to_read_ratio: float = 0.8
+    min_vm_ccr20: float = 0.4
+    min_read_p2a_ratio: float = 0.8   # median read P2A / write P2A
+    min_vm2vd_cov: float = 0.5
+    hot_fraction_band: "tuple[float, float]" = (0.1, 0.7)
+
+    def __post_init__(self) -> None:
+        if self.min_write_to_read_ratio <= 0:
+            raise ConfigError("min_write_to_read_ratio must be positive")
+        lo, hi = self.hot_fraction_band
+        if not 0.0 <= lo < hi <= 1.0:
+            raise ConfigError("hot_fraction_band must be a sub-interval of [0,1]")
+
+
+@dataclass
+class CalibrationReport:
+    """Measured shapes plus pass/fail against the targets."""
+
+    write_to_read_ratio: float
+    vm_ccr20_read: float
+    vm_ccr20_write: float
+    read_p2a_median: float
+    write_p2a_median: float
+    vm2vd_cov_median: float
+    hot_fraction_mean: float
+    failures: List[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        lines = [
+            f"write/read traffic ratio : {self.write_to_read_ratio:.2f}",
+            f"VM 20%-CCR read / write  : {self.vm_ccr20_read:.2f} / "
+            f"{self.vm_ccr20_write:.2f}",
+            f"median VM P2A read/write : {self.read_p2a_median:.1f} / "
+            f"{self.write_p2a_median:.1f}",
+            f"median CoV vm->vd        : {self.vm2vd_cov_median:.2f}",
+            f"mean hot fraction        : {self.hot_fraction_mean:.2f}",
+        ]
+        if self.failures:
+            lines.append("FAILURES:")
+            lines.extend(f"  - {failure}" for failure in self.failures)
+        else:
+            lines.append("all calibration shapes hold")
+        return "\n".join(lines)
+
+
+def calibrate(
+    fleet: Fleet,
+    traffic: Sequence[VdTraffic],
+    targets: CalibrationTargets = CalibrationTargets(),
+) -> CalibrationReport:
+    """Measure the fleet's headline shapes and check the targets."""
+    if not traffic:
+        raise ConfigError("traffic must be non-empty")
+
+    vm_read: Dict[int, float] = {}
+    vm_write: Dict[int, float] = {}
+    duration = traffic[0].read_bytes.size
+    vm_read_series: Dict[int, np.ndarray] = {}
+    vm_write_series: Dict[int, np.ndarray] = {}
+    vm_vd_read: Dict[int, List[float]] = {}
+    hot_fractions: List[float] = []
+
+    for vd_traffic in traffic:
+        vm_id = fleet.vds[vd_traffic.vd_id].vm_id
+        read_total = float(vd_traffic.read_bytes.sum())
+        write_total = float(vd_traffic.write_bytes.sum())
+        vm_read[vm_id] = vm_read.get(vm_id, 0.0) + read_total
+        vm_write[vm_id] = vm_write.get(vm_id, 0.0) + write_total
+        vm_read_series[vm_id] = (
+            vm_read_series.get(vm_id, np.zeros(duration)) + vd_traffic.read_bytes
+        )
+        vm_write_series[vm_id] = (
+            vm_write_series.get(vm_id, np.zeros(duration))
+            + vd_traffic.write_bytes
+        )
+        vm_vd_read.setdefault(vm_id, []).append(read_total)
+        hot_fractions.append(float(vd_traffic.hot_fraction_series.mean()))
+
+    total_read = sum(vm_read.values())
+    total_write = sum(vm_write.values())
+    ratio = total_write / total_read if total_read > 0 else float("inf")
+
+    ccr20_read = ccr(list(vm_read.values()), 0.2)
+    ccr20_write = ccr(list(vm_write.values()), 0.2)
+    read_p2a = float(
+        np.median([p2a(s) for s in vm_read_series.values() if s.sum() > 0])
+    )
+    write_p2a = float(
+        np.median([p2a(s) for s in vm_write_series.values() if s.sum() > 0])
+    )
+    vm2vd = float(
+        np.median(
+            [
+                normalized_cov(values)
+                for values in vm_vd_read.values()
+                if len(values) > 1 and sum(values) > 0
+            ]
+        )
+    )
+    hot_mean = float(np.mean(hot_fractions))
+
+    failures: List[str] = []
+    if ratio < targets.min_write_to_read_ratio:
+        failures.append(
+            f"fleet is read-dominant (write/read={ratio:.2f} < "
+            f"{targets.min_write_to_read_ratio})"
+        )
+    if ccr20_read < targets.min_vm_ccr20:
+        failures.append(f"read VM CCR20 too flat ({ccr20_read:.2f})")
+    if ccr20_write < targets.min_vm_ccr20:
+        failures.append(f"write VM CCR20 too flat ({ccr20_write:.2f})")
+    if write_p2a > 0 and read_p2a / write_p2a < targets.min_read_p2a_ratio:
+        failures.append(
+            f"read P2A not keeping up with write "
+            f"({read_p2a:.1f} vs {write_p2a:.1f})"
+        )
+    if vm2vd < targets.min_vm2vd_cov:
+        failures.append(f"VM->VD split too even (CoV {vm2vd:.2f})")
+    lo, hi = targets.hot_fraction_band
+    if not lo <= hot_mean <= hi:
+        failures.append(
+            f"hot fraction {hot_mean:.2f} outside [{lo}, {hi}]"
+        )
+
+    return CalibrationReport(
+        write_to_read_ratio=ratio,
+        vm_ccr20_read=ccr20_read,
+        vm_ccr20_write=ccr20_write,
+        read_p2a_median=read_p2a,
+        write_p2a_median=write_p2a,
+        vm2vd_cov_median=vm2vd,
+        hot_fraction_mean=hot_mean,
+        failures=failures,
+    )

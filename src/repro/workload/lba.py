@@ -1,0 +1,288 @@
+"""LBA-level access models with a persistent hottest block (§7).
+
+The paper finds each VD's IO concentrates on one "hottest block": a 64 MiB
+block covering ~3% of the LBA can take ~18% of accesses, the hottest block is
+write-dominant (Fig 6(c)), temporally persistent with a hot rate around 50%
+(Fig 6(d)), and written mostly sequentially (which is why FIFO and LRU tie in
+Fig 7(a)).  :class:`HotspotLbaModel` reproduces exactly those properties:
+
+- a contiguous hot region placed at a page-aligned offset;
+- per-IO mixture: hot (with a write bias) vs background (sequential run or
+  uniform random);
+- hot writes are a wrapping sequential cursor (log-structured append);
+- the instantaneous hot fraction follows a mean-reverting AR(1) around its
+  configured mean, producing a roughly Gaussian hot-rate distribution;
+- Zipf-weighted background segment usage so segment-level CCR is skewed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+from repro.util.units import KiB
+from repro.workload.samplers import zipf_weights
+
+PAGE_BYTES = 4 * KiB
+
+
+@dataclass(frozen=True)
+class LbaModelConfig:
+    """Parameters of one VD's LBA access model."""
+
+    capacity_bytes: int
+    hot_block_bytes: int
+    hot_access_fraction: float
+    hot_write_bias: float
+    sequential_fraction: float
+    background_zipf_alpha: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < PAGE_BYTES:
+            raise ConfigError(
+                f"capacity ({self.capacity_bytes}) below one page"
+            )
+        if not PAGE_BYTES <= self.hot_block_bytes <= self.capacity_bytes:
+            raise ConfigError(
+                f"hot block ({self.hot_block_bytes}) must fit in the "
+                f"capacity ({self.capacity_bytes}) and hold >= 1 page"
+            )
+        if not 0.0 < self.hot_access_fraction < 1.0:
+            raise ConfigError("hot_access_fraction must be in (0, 1)")
+        if not 0.0 <= self.hot_write_bias < 1.0:
+            raise ConfigError("hot_write_bias must be in [0, 1)")
+        if not 0.0 <= self.sequential_fraction <= 1.0:
+            raise ConfigError("sequential_fraction must be in [0, 1]")
+        if self.background_zipf_alpha < 0:
+            raise ConfigError("background_zipf_alpha must be non-negative")
+
+
+class HotspotLbaModel:
+    """Stateful per-VD offset generator (page-aligned offsets in bytes)."""
+
+    #: Share of hot writes that advance the log (the rest re-write the hot
+    #: region's popular pages).  Appends plus popularity re-writes make
+    #: FIFO and LRU behave near-identically on the hottest block (§7.3.1):
+    #: neither policy can do better than holding the popular set.
+    HOT_WRITE_APPEND_FRACTION = 0.4
+    #: Share of non-sequential background IOs drawn from the stable
+    #: popularity distribution rather than uniformly.
+    BACKGROUND_POPULAR_FRACTION = 0.5
+    #: Pages the append cursor advances per append (a multi-page write
+    #: covers several 4 KiB pages); larger steps sweep the hot region in
+    #: several passes per run instead of parking in one corner.
+    APPEND_STEP_PAGES = 8
+
+    def __init__(self, config: LbaModelConfig, rng: np.random.Generator):
+        self.config = config
+        total_pages = config.capacity_bytes // PAGE_BYTES
+        hot_pages = max(1, config.hot_block_bytes // PAGE_BYTES)
+        if hot_pages > total_pages:
+            hot_pages = total_pages
+        self._total_pages = int(total_pages)
+        self._hot_pages = int(hot_pages)
+        start_limit = max(1, total_pages - hot_pages + 1)
+        self._hot_start_page = int(rng.integers(start_limit))
+        self._hot_cursor = 0  # page offset within the hot block
+        self._seq_cursor = int(rng.integers(total_pages))
+        # Popularity rank -> page pseudo-permutations (multiplicative hash):
+        # popular pages are stable over time, so even sampled traces
+        # exhibit reuse on them.
+        self._hot_hash_a = int(rng.integers(1, 1 << 30)) * 2 + 1
+        self._hot_hash_b = int(rng.integers(self._hot_pages))
+        self._bg_hash_a = int(rng.integers(1, 1 << 30)) * 2 + 1
+        self._bg_hash_b = int(rng.integers(self._total_pages))
+
+    def _popular_pages(
+        self,
+        rng: np.random.Generator,
+        count: int,
+        num_pages: int,
+        hash_a: int,
+        hash_b: int,
+    ) -> np.ndarray:
+        """Zipf(s~1) popularity page draws, stable across calls.
+
+        Ranks are sampled log-uniformly (``rank = N^u``), the inverse CDF
+        of a Zipf with exponent ~1: the hottest page carries only
+        ``1/ln(N)`` of the mass, so reuse is spread over many pages — an
+        adaptive cache collects them wherever they live while a static
+        frozen window holds only its own slice.
+        """
+        ranks = np.floor(
+            float(num_pages) ** rng.random(count)
+        ).astype(np.int64)
+        ranks = np.minimum(ranks, num_pages - 1)
+        return (hash_a * ranks + hash_b) % num_pages
+
+    def _popular_hot_pages(
+        self, rng: np.random.Generator, count: int
+    ) -> np.ndarray:
+        """Stable popular pages scattered over the hot region.
+
+        Pages accessed often enough to survive trace downsampling are what
+        give FIFO/LRU their hits; scattering them over the whole hot
+        region is what keeps a small static frozen window from catching
+        them.
+        """
+        return self._popular_pages(
+            rng, count, self._hot_pages, self._hot_hash_a, self._hot_hash_b
+        )
+
+    @property
+    def hot_range_bytes(self) -> "tuple[int, int]":
+        """The hot block as a half-open byte range [start, end)."""
+        start = self._hot_start_page * PAGE_BYTES
+        return start, start + self._hot_pages * PAGE_BYTES
+
+    def hot_fraction_series(
+        self, rng: np.random.Generator, total_seconds: int
+    ) -> np.ndarray:
+        """Per-second hot access fraction: AR(1) around the configured mean.
+
+        Mean reversion keeps the hot block persistently warm while letting
+        the instantaneous fraction wander, which is what yields a hot rate
+        (share of windows hotter than the long-run average) centered near
+        50% in Fig 6(d).
+        """
+        if total_seconds <= 0:
+            raise ConfigError("total_seconds must be positive")
+        mean = self.config.hot_access_fraction
+        phi = 0.995
+        noise_scale = mean * 0.35 * np.sqrt(1 - phi**2)
+        series = np.empty(total_seconds)
+        level = mean
+        shocks = rng.normal(0.0, noise_scale, size=total_seconds)
+        for t in range(total_seconds):
+            level = mean + phi * (level - mean) + shocks[t]
+            series[t] = level
+        return np.clip(series, 0.0, 1.0)
+
+    def hot_probability(self, is_write: np.ndarray, hot_fraction: float) -> np.ndarray:
+        """Per-IO probability of landing in the hot block.
+
+        Writes get a boost and reads a discount of ``hot_write_bias`` so the
+        hot block ends up write-dominant even for read-heavy VDs.
+        """
+        is_write = np.asarray(is_write, dtype=bool)
+        bias = self.config.hot_write_bias
+        probs = np.where(
+            is_write, hot_fraction * (1.0 + bias), hot_fraction * (1.0 - bias)
+        )
+        return np.clip(probs, 0.0, 1.0)
+
+    def draw_offsets(
+        self,
+        rng: np.random.Generator,
+        is_write: np.ndarray,
+        hot_fraction: "float | None" = None,
+    ) -> np.ndarray:
+        """Page-aligned byte offsets for a batch of IOs.
+
+        ``is_write`` is a boolean array, one entry per IO; ``hot_fraction``
+        overrides the configured mean (callers pass the per-second value
+        from :meth:`hot_fraction_series`).
+        """
+        is_write = np.asarray(is_write, dtype=bool)
+        n = is_write.size
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        if hot_fraction is None:
+            hot_fraction = self.config.hot_access_fraction
+        in_hot = rng.random(n) < self.hot_probability(is_write, hot_fraction)
+        pages = np.empty(n, dtype=np.int64)
+
+        hot_write = in_hot & is_write
+        hot_read = in_hot & ~is_write
+        background = ~in_hot
+
+        count = int(hot_write.sum())
+        if count:
+            # Mixture: log-structured appends (consecutive pages, wrapping)
+            # and re-writes of the recent tail behind the cursor.
+            append = rng.random(count) < self.HOT_WRITE_APPEND_FRACTION
+            hw = np.empty(count, dtype=np.int64)
+            rewrite_count = count - int(append.sum())
+            if rewrite_count:
+                hw[~append] = self._popular_hot_pages(rng, rewrite_count)
+            append_count = int(append.sum())
+            if append_count:
+                step = self.APPEND_STEP_PAGES
+                steps = self._hot_cursor + step * np.arange(append_count)
+                hw[append] = steps % self._hot_pages
+                self._hot_cursor = int(
+                    (self._hot_cursor + step * append_count) % self._hot_pages
+                )
+            pages[hot_write] = self._hot_start_page + hw
+
+        count = int(hot_read.sum())
+        if count:
+            # Reads follow the same popularity ranking as the re-writes.
+            pages[hot_read] = self._hot_start_page + self._popular_hot_pages(
+                rng, count
+            )
+
+        count = int(background.sum())
+        if count:
+            sequential = rng.random(count) < self.config.sequential_fraction
+            bg = np.empty(count, dtype=np.int64)
+            seq_count = int(sequential.sum())
+            if seq_count:
+                steps = self._seq_cursor + np.arange(seq_count)
+                bg[sequential] = steps % self._total_pages
+                self._seq_cursor = int(
+                    (self._seq_cursor + seq_count) % self._total_pages
+                )
+            rand_count = count - seq_count
+            if rand_count:
+                popular = (
+                    rng.random(rand_count) < self.BACKGROUND_POPULAR_FRACTION
+                )
+                rand_pages = np.empty(rand_count, dtype=np.int64)
+                pop_count = int(popular.sum())
+                if pop_count:
+                    rand_pages[popular] = self._popular_pages(
+                        rng, pop_count, self._total_pages,
+                        self._bg_hash_a, self._bg_hash_b,
+                    )
+                uni_count = rand_count - pop_count
+                if uni_count:
+                    rand_pages[~popular] = rng.integers(
+                        self._total_pages, size=uni_count
+                    )
+                bg[~sequential] = rand_pages
+            pages[background] = bg
+
+        return pages * PAGE_BYTES
+
+    def segment_weights(
+        self, segment_bytes: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Expected per-segment traffic shares (sums to 1).
+
+        The hot block's share lands on the segment(s) it overlaps; the
+        background share is Zipf-distributed over a random permutation of
+        segments, giving the skewed segment CCR of Table 3 without drawing
+        per-IO offsets.
+        """
+        if segment_bytes <= 0:
+            raise ConfigError("segment_bytes must be positive")
+        capacity = self._total_pages * PAGE_BYTES
+        num_segments = max(1, -(-capacity // segment_bytes))  # ceil division
+        weights = np.zeros(num_segments)
+
+        hot_share = self.config.hot_access_fraction
+        hot_start, hot_end = self.hot_range_bytes
+        first_seg = hot_start // segment_bytes
+        last_seg = (hot_end - 1) // segment_bytes
+        for seg in range(first_seg, last_seg + 1):
+            seg_lo = seg * segment_bytes
+            seg_hi = seg_lo + segment_bytes
+            overlap = min(hot_end, seg_hi) - max(hot_start, seg_lo)
+            weights[seg] += hot_share * overlap / (hot_end - hot_start)
+
+        background = zipf_weights(num_segments, self.config.background_zipf_alpha)
+        weights += (1.0 - hot_share) * rng.permutation(background)
+        return weights / weights.sum()

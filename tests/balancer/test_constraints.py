@@ -1,0 +1,115 @@
+"""Tests for the §6.1.3 placement constraints of the inter-BS balancer."""
+
+import numpy as np
+import pytest
+
+from repro.balancer import BalancerConfig, InterBsBalancer, make_importer
+from repro.cluster import StorageCluster
+from repro.util.errors import ConfigError
+from repro.util.rng import spawn_rng
+
+
+def hot_matrix(storage, num_periods=4, hot_bs=0, level=100.0):
+    matrix = np.ones((storage.num_segments, num_periods))
+    for segment in storage.segments_of(hot_bs):
+        matrix[segment] = level
+    return matrix
+
+
+class TestConfigValidation:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigError):
+            BalancerConfig(max_segments_per_bs=0)
+
+
+class TestCapacityConstraint:
+    def test_importers_never_exceed_capacity(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        limit = max(
+            len(storage.segments_of(bs))
+            for bs in range(storage.num_block_servers)
+        ) + 2
+        balancer = InterBsBalancer(
+            storage,
+            BalancerConfig(max_segments_per_bs=limit),
+            make_importer("min_traffic"),
+            rng=spawn_rng(0, "c"),
+        )
+        balancer.run(hot_matrix(storage, num_periods=6))
+        storage.check_invariants()
+        for bs in range(storage.num_block_servers):
+            assert len(storage.segments_of(bs)) <= limit
+
+    def test_tight_capacity_blocks_migration(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        # Every BS is already at or above a capacity of 1: nothing can move.
+        balancer = InterBsBalancer(
+            storage,
+            BalancerConfig(max_segments_per_bs=1),
+            make_importer("min_traffic"),
+            rng=spawn_rng(0, "c"),
+        )
+        run = balancer.run(hot_matrix(storage))
+        assert run.num_migrations == 0
+
+
+class TestAntiAffinity:
+    @staticmethod
+    def _colocations(small_fleet, storage):
+        counts = {}
+        for seg_id, bs in storage.placement_snapshot().items():
+            vd = small_fleet.segments[seg_id].vd_id
+            counts[(vd, bs)] = counts.get((vd, bs), 0) + 1
+        return sum(c - 1 for c in counts.values() if c > 1)
+
+    def test_anti_affinity_never_adds_colocations(self, small_fleet):
+        # Under anti-affinity a migration can never create a new same-VD
+        # colocation, so the total colocation count is non-increasing.
+        storage = StorageCluster(small_fleet)
+        initial = self._colocations(small_fleet, storage)
+        balancer = InterBsBalancer(
+            storage,
+            BalancerConfig(vd_anti_affinity=True),
+            make_importer("min_traffic"),
+            rng=spawn_rng(1, "c"),
+        )
+        balancer.run(hot_matrix(storage, num_periods=6))
+        storage.check_invariants()
+        # In a small fleet where every BS already holds a segment of most
+        # VDs, anti-affinity can legitimately block all migrations; either
+        # way colocations must not grow.
+        assert self._colocations(small_fleet, storage) <= initial
+
+    def test_admissible_checks_same_vd(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        balancer = InterBsBalancer(
+            storage,
+            BalancerConfig(vd_anti_affinity=True),
+            make_importer("min_traffic"),
+            rng=spawn_rng(3, "c"),
+        )
+        segment = small_fleet.segments[0]
+        sibling_bs = {
+            s.block_server_id
+            for s in small_fleet.segments
+            if s.vd_id == segment.vd_id and s.segment_id != segment.segment_id
+        }
+        for bs in range(storage.num_block_servers):
+            # The segment's own BS holds the segment itself (same VD), so
+            # it is inadmissible too.
+            expected = bs not in sibling_bs and bs != segment.block_server_id
+            assert balancer._admissible(segment.segment_id, bs) is expected
+
+    def test_anti_affinity_no_worse_than_unconstrained(self, small_fleet):
+        results = {}
+        for flag in (False, True):
+            storage = StorageCluster(small_fleet)
+            balancer = InterBsBalancer(
+                storage,
+                BalancerConfig(vd_anti_affinity=flag),
+                make_importer("min_traffic"),
+                rng=spawn_rng(2, "c"),
+            )
+            balancer.run(hot_matrix(storage, num_periods=6))
+            results[flag] = self._colocations(small_fleet, storage)
+        assert results[True] <= results[False]

@@ -1,0 +1,112 @@
+"""Tests for the §4.4 multi-WT dispatch model."""
+
+import numpy as np
+import pytest
+
+from repro.balancer import (
+    DispatchConfig,
+    DispatchPolicy,
+    compare_policies,
+    simulate_dispatch,
+)
+from repro.cluster import EBSSimulator, Hypervisor, SimulationConfig
+from repro.util.errors import ConfigError
+from repro.util.rng import RngFactory
+
+
+@pytest.fixture(scope="module")
+def sim(small_fleet):
+    config = SimulationConfig(
+        duration_seconds=120, trace_sampling_rate=1.0 / 5.0
+    )
+    return EBSSimulator(small_fleet, config, RngFactory(31)).run()
+
+
+class TestDispatchConfig:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            DispatchConfig(sync_cost_us=-1.0)
+        with pytest.raises(ConfigError):
+            DispatchConfig(window_seconds=0.0)
+
+
+class TestSimulateDispatch:
+    def test_hash_qp_matches_static_binding(self, sim):
+        # The control policy reproduces single-WT hosting: nothing is
+        # dispatched away from the home WT, so the added cost is zero.
+        outcome = simulate_dispatch(
+            sim.traces, sim.hypervisors.node(0), DispatchPolicy.HASH_QP
+        )
+        if outcome is not None:
+            assert outcome.dispatched_fraction == 0.0
+            assert outcome.added_cost_us_per_io == 0.0
+
+    def test_round_robin_balances_total(self, sim):
+        for hypervisor in sim.hypervisors:
+            static = simulate_dispatch(
+                sim.traces, hypervisor, DispatchPolicy.HASH_QP
+            )
+            dispatched = simulate_dispatch(
+                sim.traces, hypervisor, DispatchPolicy.ROUND_ROBIN
+            )
+            if static is None or dispatched is None:
+                continue
+            assert dispatched.total_cov <= static.total_cov + 1e-9
+
+    def test_jsq_balances_total(self, sim):
+        static_covs, jsq_covs = [], []
+        for hypervisor in sim.hypervisors:
+            static = simulate_dispatch(
+                sim.traces, hypervisor, DispatchPolicy.HASH_QP
+            )
+            jsq = simulate_dispatch(
+                sim.traces, hypervisor, DispatchPolicy.JOIN_SHORTEST_QUEUE
+            )
+            if static is None or jsq is None:
+                continue
+            static_covs.append(static.total_cov)
+            jsq_covs.append(jsq.total_cov)
+        assert np.mean(jsq_covs) < np.mean(static_covs)
+
+    def test_dispatch_cost_scales_with_sync_cost(self, sim):
+        cheap = simulate_dispatch(
+            sim.traces,
+            sim.hypervisors.node(0),
+            DispatchPolicy.ROUND_ROBIN,
+            DispatchConfig(sync_cost_us=0.1),
+        )
+        pricey = simulate_dispatch(
+            sim.traces,
+            sim.hypervisors.node(0),
+            DispatchPolicy.ROUND_ROBIN,
+            DispatchConfig(sync_cost_us=10.0),
+        )
+        if cheap is not None and pricey is not None:
+            assert pricey.added_cost_us_per_io == pytest.approx(
+                100.0 * cheap.added_cost_us_per_io
+            )
+
+    def test_no_traces_returns_none(self, small_fleet, sim):
+        empty = sim.traces.where(np.zeros(len(sim.traces), dtype=bool))
+        assert (
+            simulate_dispatch(
+                empty, Hypervisor(small_fleet, 0), DispatchPolicy.ROUND_ROBIN
+            )
+            is None
+        )
+
+
+class TestComparePolicies:
+    def test_all_policies_covered(self, sim):
+        out = compare_policies(sim.traces, sim.hypervisors)
+        assert set(out) == set(DispatchPolicy)
+        lengths = {len(v) for v in out.values()}
+        assert len(lengths) == 1  # same node count per policy
+
+    def test_dispatch_beats_static_hosting(self, sim):
+        # The headline §4.4 claim: a dispatch model removes the WT
+        # imbalance that rebinding cannot.
+        out = compare_policies(sim.traces, sim.hypervisors)
+        static = np.mean([o.total_cov for o in out[DispatchPolicy.HASH_QP]])
+        rr = np.mean([o.total_cov for o in out[DispatchPolicy.ROUND_ROBIN]])
+        assert rr < static / 2

@@ -1,0 +1,107 @@
+"""Tests for the importer-selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.balancer import (
+    IMPORTER_STRATEGIES,
+    IdealImporter,
+    LunuleImporter,
+    MinTrafficImporter,
+    MinVarianceImporter,
+    RandomImporter,
+    make_importer,
+)
+from repro.util.errors import ConfigError
+from repro.util.rng import spawn_rng
+
+
+def history():
+    # 4 BSs x 6 periods.
+    return np.array(
+        [
+            [10.0, 10, 10, 10, 10, 10],
+            [1.0, 2, 3, 4, 5, 6],     # rising trend
+            [6.0, 5, 4, 3, 2, 1],     # falling trend
+            [3.0, 9, 1, 8, 2, 9],     # volatile
+        ]
+    )
+
+
+class TestRegistry:
+    def test_all_five_present(self):
+        assert set(IMPORTER_STRATEGIES) == {
+            "random",
+            "min_traffic",
+            "min_variance",
+            "lunule",
+            "ideal",
+        }
+
+    def test_make_importer(self):
+        assert isinstance(make_importer("lunule"), LunuleImporter)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            make_importer("oracle9000")
+
+
+class TestMinTraffic:
+    def test_picks_lowest_current(self):
+        assert MinTrafficImporter().select(history(), 5, exporter=0) == 2
+
+    def test_never_picks_exporter(self):
+        h = history()
+        h[1:, 5] = 100.0  # exporter 0 would be the minimum
+        assert MinTrafficImporter().select(h, 5, exporter=0) != 0
+
+
+class TestRandom:
+    def test_needs_rng(self):
+        with pytest.raises(ConfigError):
+            RandomImporter().select(history(), 5, exporter=0)
+
+    def test_excludes_exporter(self):
+        rng = spawn_rng(0, "imp")
+        picks = {
+            RandomImporter().select(history(), 5, 0, rng=rng)
+            for __ in range(50)
+        }
+        assert 0 not in picks
+        assert picks <= {1, 2, 3}
+
+
+class TestMinVariance:
+    def test_picks_flattest(self):
+        assert MinVarianceImporter().select(history(), 5, exporter=3) == 0
+
+    def test_rejects_small_window(self):
+        with pytest.raises(ConfigError):
+            MinVarianceImporter(window=1)
+
+
+class TestLunule:
+    def test_extrapolates_trend(self):
+        # BS 2 falls to ~0 next period; the linear fit should pick it over
+        # BS 1 which is rising.
+        choice = LunuleImporter(window=4).select(history(), 5, exporter=0)
+        assert choice == 2
+
+    def test_falls_back_with_short_history(self):
+        h = history()[:, :1]
+        choice = LunuleImporter().select(h, 0, exporter=0)
+        assert choice in (1, 2, 3)
+
+
+class TestIdeal:
+    def test_reads_future(self):
+        future = np.array([0.0, 100.0, 100.0, 0.5])
+        choice = IdealImporter().select(history(), 5, exporter=0, future=future)
+        assert choice == 3
+
+    def test_degrades_without_future(self):
+        assert IdealImporter().select(history(), 5, exporter=0) == 2
+
+    def test_needs_two_bs(self):
+        with pytest.raises(ConfigError):
+            IdealImporter().select(np.ones((1, 3)), 2, exporter=0)

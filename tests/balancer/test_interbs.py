@@ -1,0 +1,192 @@
+"""Tests for the Algorithm 1 inter-BS balancer and its analyses."""
+
+import numpy as np
+import pytest
+
+from repro.balancer import (
+    BalancerConfig,
+    InterBsBalancer,
+    frequent_migration_proportion,
+    make_importer,
+    normalized_migration_intervals,
+    per_bs_cov,
+    segment_period_matrix,
+)
+from repro.cluster import StorageCluster
+from repro.cluster.storage import MigrationEvent
+from repro.util.errors import ConfigError
+from repro.util.rng import spawn_rng
+
+
+class TestBalancerConfig:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            BalancerConfig(period_seconds=0)
+        with pytest.raises(ConfigError):
+            BalancerConfig(trigger_ratio=1.0)
+        with pytest.raises(ConfigError):
+            BalancerConfig(shed_fraction=0.0)
+        with pytest.raises(ConfigError):
+            BalancerConfig(max_segments_per_migration=0)
+
+
+class TestSegmentPeriodMatrix:
+    def test_from_storage_metrics(self, small_fleet, rngs):
+        from repro.cluster import EBSSimulator, SimulationConfig
+
+        result = EBSSimulator(
+            small_fleet,
+            SimulationConfig(duration_seconds=90),
+            rngs.child("ipm"),
+        ).run()
+        matrix = segment_period_matrix(
+            result.metrics.storage, len(small_fleet.segments), 90, 30, "write"
+        )
+        assert matrix.shape == (len(small_fleet.segments), 3)
+        assert matrix.sum() == pytest.approx(
+            float(result.metrics.storage.write_bytes.sum())
+        )
+
+    def test_rejects_bad_direction(self, small_fleet):
+        from repro.trace.dataset import StorageMetricTable
+
+        empty = StorageMetricTable(
+            **{
+                name: []
+                for name in (
+                    *StorageMetricTable.INT_FIELDS,
+                    *StorageMetricTable.FLOAT_FIELDS,
+                )
+            }
+        )
+        with pytest.raises(ConfigError):
+            segment_period_matrix(empty, 10, 90, 30, "diagonal")
+
+
+class TestInterBsBalancer:
+    def _balanced_matrix(self, storage, num_periods=4):
+        # Uniform traffic: nothing should migrate.
+        return np.ones((storage.num_segments, num_periods))
+
+    def _hot_matrix(self, storage, num_periods=4):
+        matrix = np.ones((storage.num_segments, num_periods))
+        hot_bs = 0
+        for segment in storage.segments_of(hot_bs):
+            matrix[segment] = 100.0
+        return matrix
+
+    def test_no_migration_when_balanced(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        balancer = InterBsBalancer(storage, rng=spawn_rng(0, "b"))
+        run = balancer.run(self._balanced_matrix(storage))
+        assert run.num_migrations == 0
+
+    def test_hotspot_triggers_migration(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        balancer = InterBsBalancer(storage, rng=spawn_rng(0, "b"))
+        run = balancer.run(self._hot_matrix(storage))
+        assert run.num_migrations > 0
+        storage.check_invariants()
+
+    def test_migration_reduces_hot_bs_load(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        before = len(storage.segments_of(0))
+        balancer = InterBsBalancer(storage, rng=spawn_rng(0, "b"))
+        balancer.run(self._hot_matrix(storage))
+        assert len(storage.segments_of(0)) < before
+
+    def test_bs_loads_shape(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        balancer = InterBsBalancer(storage, rng=spawn_rng(0, "b"))
+        run = balancer.run(self._hot_matrix(storage, num_periods=5))
+        assert run.bs_loads.shape == (storage.num_block_servers, 5)
+        assert run.num_periods == 5
+
+    def test_rejects_shape_mismatch(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        balancer = InterBsBalancer(storage, rng=spawn_rng(0, "b"))
+        with pytest.raises(ConfigError):
+            balancer.run(np.ones((3, 4)))
+
+    def test_secondary_pass_runs(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        balancer = InterBsBalancer(
+            storage, importer=make_importer("ideal"), rng=spawn_rng(0, "b")
+        )
+        write = self._hot_matrix(storage)
+        read = np.ones_like(write)
+        hot_read_bs = 1
+        for segment in storage.segments_of(hot_read_bs):
+            read[segment] = 50.0
+        run = balancer.run(write, secondary_traffic=read)
+        storage.check_invariants()
+        assert run.num_migrations > 0
+
+    def test_placement_history_recorded(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        balancer = InterBsBalancer(storage, rng=spawn_rng(0, "b"))
+        run = balancer.run(self._hot_matrix(storage, num_periods=3))
+        assert len(run.placement_history) == 3
+        assert set(run.placement_history[0]) == set(
+            storage.placement_snapshot()
+        )
+
+
+class TestFrequentMigrations:
+    def make_events(self):
+        return [
+            MigrationEvent(timestamp=0, segment_id=1, from_bs=0, to_bs=1),
+            MigrationEvent(timestamp=5, segment_id=2, from_bs=1, to_bs=2),
+            MigrationEvent(timestamp=100, segment_id=3, from_bs=3, to_bs=4),
+        ]
+
+    def test_detects_in_and_out(self):
+        # BS 1 receives at t=0 and sheds at t=5: both migrations touching
+        # it are frequent at a 15s window.
+        proportion = frequent_migration_proportion(self.make_events(), 15)
+        assert proportion == pytest.approx(2.0 / 3.0)
+
+    def test_wide_window_catches_all_windowed_pairs(self):
+        proportion = frequent_migration_proportion(self.make_events(), 1000)
+        assert proportion == pytest.approx(2.0 / 3.0)
+
+    def test_tiny_window_separates(self):
+        proportion = frequent_migration_proportion(self.make_events(), 2)
+        assert proportion == 0.0
+
+    def test_empty(self):
+        assert frequent_migration_proportion([], 15) == 0.0
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigError):
+            frequent_migration_proportion([], 0)
+
+
+class TestMigrationIntervals:
+    def test_basic(self):
+        events = [
+            MigrationEvent(timestamp=t, segment_id=i, from_bs=0, to_bs=1)
+            for i, t in enumerate([0, 30, 90])
+        ]
+        intervals = normalized_migration_intervals(events, 300)
+        assert sorted(intervals) == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_single_migration_no_interval(self):
+        events = [MigrationEvent(timestamp=0, segment_id=0, from_bs=0, to_bs=1)]
+        assert normalized_migration_intervals(events, 300) == []
+
+
+class TestPerBsCov:
+    def test_total_mode(self):
+        loads = np.array([[1.0, 1.0], [1.0, 1.0]])
+        assert per_bs_cov(loads) == pytest.approx(0.0)
+
+    def test_per_period_mode(self):
+        loads = np.array([[2.0, 0.0], [0.0, 0.0]])
+        covs = per_bs_cov(loads, per_period=True)
+        assert len(covs) == 1
+        assert covs[0] == pytest.approx(1.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigError):
+            per_bs_cov(np.ones(3))

@@ -1,0 +1,72 @@
+"""Tests for the prediction-based importer (§6.1.3)."""
+
+import numpy as np
+import pytest
+
+from repro.balancer import InterBsBalancer, PredictorImporter
+from repro.cluster import StorageCluster
+from repro.prediction import ArimaPredictor, LinearFitPredictor
+from repro.util.errors import ConfigError
+from repro.util.rng import spawn_rng
+
+
+def trending_history():
+    # 4 BSs x 8 periods: BS 2 falls steadily, BS 1 rises steadily.
+    return np.array(
+        [
+            [5.0] * 8,
+            [1.0, 2, 3, 4, 5, 6, 7, 8],
+            [8.0, 7, 6, 5, 4, 3, 2, 1],
+            [5.0] * 8,
+        ]
+    )
+
+
+class TestPredictorImporter:
+    def test_validates_factory(self):
+        with pytest.raises(ConfigError):
+            PredictorImporter(lambda: object())
+
+    def test_validates_window(self):
+        with pytest.raises(ConfigError):
+            PredictorImporter(LinearFitPredictor, history_window=2)
+
+    def test_name_includes_model(self):
+        importer = PredictorImporter(ArimaPredictor)
+        assert importer.name == "predictor[arima]"
+
+    def test_picks_falling_bs(self):
+        importer = PredictorImporter(LinearFitPredictor)
+        choice = importer.select(trending_history(), 7, exporter=0)
+        # The linear predictor extrapolates BS 2 toward 0.
+        assert choice == 2
+
+    def test_never_picks_exporter(self):
+        importer = PredictorImporter(LinearFitPredictor)
+        history = trending_history()
+        history[1:, :] = 100.0
+        assert importer.select(history, 7, exporter=0) != 0
+
+    def test_refit_every_caches_models(self):
+        importer = PredictorImporter(LinearFitPredictor, refit_every=100)
+        history = trending_history()
+        importer.select(history, 6, exporter=0)
+        models_before = dict(importer._models)
+        importer.select(history, 7, exporter=0)
+        # Within the refit interval the same fitted models are reused.
+        for bs, model in importer._models.items():
+            assert models_before.get(bs) is model
+
+    def test_works_inside_balancer(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        matrix = np.ones((storage.num_segments, 6))
+        for segment in storage.segments_of(0):
+            matrix[segment] = 50.0
+        balancer = InterBsBalancer(
+            storage,
+            importer=PredictorImporter(LinearFitPredictor),
+            rng=spawn_rng(0, "p"),
+        )
+        run = balancer.run(matrix)
+        storage.check_invariants()
+        assert run.num_migrations > 0

@@ -1,0 +1,166 @@
+"""Tests for the hypervisor load-balancing analyses (§4)."""
+
+import numpy as np
+import pytest
+
+from repro.balancer import (
+    NodeType,
+    RebindingConfig,
+    classify_node,
+    classify_nodes,
+    hottest_qp_shares,
+    hottest_wt_series,
+    simulate_rebinding,
+    vm_vd_qp_covs,
+    wt_cov_samples,
+)
+from repro.cluster import EBSSimulator, Hypervisor, SimulationConfig
+from repro.util.errors import ConfigError
+from repro.util.rng import RngFactory
+
+
+@pytest.fixture(scope="module")
+def sim(small_fleet):
+    config = SimulationConfig(
+        duration_seconds=120, trace_sampling_rate=1.0 / 5.0
+    )
+    return EBSSimulator(small_fleet, config, RngFactory(11)).run()
+
+
+class TestWtCovSamples:
+    def test_values_in_unit_interval(self, sim):
+        covs = wt_cov_samples(sim.metrics.compute, sim.fleet, 60, "read")
+        assert covs
+        assert all(0.0 <= c <= 1.0 + 1e-9 for c in covs)
+
+    def test_direction_total(self, sim):
+        covs = wt_cov_samples(sim.metrics.compute, sim.fleet, 60, "total")
+        assert covs
+
+    def test_rejects_bad_direction(self, sim):
+        with pytest.raises(ConfigError):
+            wt_cov_samples(sim.metrics.compute, sim.fleet, 60, "sideways")
+
+    def test_rejects_bad_window(self, sim):
+        with pytest.raises(ConfigError):
+            wt_cov_samples(sim.metrics.compute, sim.fleet, 0, "read")
+
+    def test_subsampling_reduces_count(self, sim):
+        rng = RngFactory(1).get("x")
+        full = wt_cov_samples(sim.metrics.compute, sim.fleet, 30, "write")
+        some = wt_cov_samples(
+            sim.metrics.compute, sim.fleet, 30, "write",
+            sample_fraction=0.3, rng=rng,
+        )
+        assert 0 < len(some) <= len(full)
+
+    def test_single_hot_wt_gives_high_cov(self, sim):
+        # Build a synthetic table with one WT taking all traffic.
+        from repro.trace.dataset import ComputeMetricTable
+
+        table = ComputeMetricTable(
+            timestamp=[0, 1, 2],
+            cluster_id=[0] * 3,
+            compute_node_id=[0] * 3,
+            user_id=[0] * 3,
+            vm_id=[0] * 3,
+            vd_id=[0] * 3,
+            wt_id=[0] * 3,
+            qp_id=[0] * 3,
+            read_bytes=[100.0, 100.0, 100.0],
+            write_bytes=[0.0] * 3,
+            read_iops=[1.0] * 3,
+            write_iops=[0.0] * 3,
+        )
+        covs = wt_cov_samples(table, sim.fleet, 10, "read")
+        assert covs and covs[0] == pytest.approx(1.0)
+
+
+class TestVmVdQpCovs:
+    def test_keys_and_ranges(self, sim):
+        covs = vm_vd_qp_covs(sim.metrics.compute, sim.fleet, "write")
+        assert set(covs) == {"vm2qp", "vm2vd", "vd2qp"}
+        for values in covs.values():
+            assert all(0.0 <= v <= 1.0 + 1e-9 for v in values)
+
+
+class TestHottestQpShares:
+    def test_shares_valid(self, sim):
+        shares = hottest_qp_shares(sim.metrics.compute, sim.fleet, "write")
+        assert shares
+        assert all(0.0 < s <= 1.0 for s in shares)
+
+
+class TestClassification:
+    def test_every_active_node_classified(self, sim):
+        fractions = classify_nodes(sim.metrics.compute, sim.fleet)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_idle_wt_detection(self, sim):
+        # A node whose QP count is below its WT count must be Type I.
+        fleet = sim.fleet
+        per = fleet.config.workers_per_node
+        for node_id in range(fleet.config.num_compute_nodes):
+            qps = [
+                qp for qp in fleet.queue_pairs
+                if qp.compute_node_id == node_id
+            ]
+            node_type = classify_node(sim.metrics.compute, fleet, node_id)
+            if len(qps) < per:
+                assert node_type is NodeType.IDLE_WTS
+
+
+class TestRebinding:
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            RebindingConfig(period_seconds=0)
+        with pytest.raises(ConfigError):
+            RebindingConfig(trigger_ratio=1.0)
+
+    def test_outcome_fields(self, sim):
+        outcome = simulate_rebinding(
+            sim.traces,
+            sim.hypervisors.node(0),
+            RebindingConfig(period_seconds=0.1),
+        )
+        if outcome is not None:
+            assert 0.0 <= outcome.rebinding_ratio <= 1.0
+            assert outcome.rebinding_gain >= 0.0
+
+    def test_rebinding_does_not_mutate_hypervisor(self, sim):
+        hypervisor = sim.hypervisors.node(0)
+        before = hypervisor.binding_snapshot()
+        simulate_rebinding(sim.traces, hypervisor)
+        assert hypervisor.binding_snapshot() == before
+
+    def test_no_traces_returns_none(self, small_fleet, sim):
+        empty = sim.traces.where(np.zeros(len(sim.traces), dtype=bool))
+        assert simulate_rebinding(empty, Hypervisor(small_fleet, 0)) is None
+
+    def test_idle_coldest_wt_still_triggers(self, sim):
+        # With an idle coldest WT any hot traffic exceeds the trigger, so
+        # raising the ratio cannot silence nodes that have idle workers.
+        strict = simulate_rebinding(
+            sim.traces,
+            sim.hypervisors.node(0),
+            RebindingConfig(period_seconds=0.1, trigger_ratio=1e12),
+        )
+        loose = simulate_rebinding(
+            sim.traces,
+            sim.hypervisors.node(0),
+            RebindingConfig(period_seconds=0.1, trigger_ratio=1.2),
+        )
+        if strict is not None and loose is not None:
+            assert strict.rebinding_ratio <= loose.rebinding_ratio
+
+
+class TestHottestWtSeries:
+    def test_series_and_p2a(self, sim):
+        series, value = hottest_wt_series(sim.traces, sim.hypervisors.node(0))
+        assert (series >= 0).all()
+        if series.sum() > 0:
+            assert value >= 1.0
+
+    def test_rejects_bad_period(self, sim):
+        with pytest.raises(ConfigError):
+            hottest_wt_series(sim.traces, sim.hypervisors.node(0), 0.0)

@@ -1,0 +1,119 @@
+"""Tests for hottest-block analysis (Fig 6 metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.cache import HottestBlock, hot_rate, hottest_block, hottest_block_wr_ratio
+from repro.trace.dataset import TraceDataset
+from repro.util import ConfigError
+from repro.util.units import MiB
+
+
+def traces_with_hotspot(
+    n_hot=60, n_cold=40, hot_block=2, block_bytes=MiB, vd_id=0, write_hot=True
+):
+    """Synthetic trace: n_hot IOs inside block ``hot_block``, rest spread."""
+    n = n_hot + n_cold
+    offsets = np.concatenate(
+        [
+            np.full(n_hot, hot_block * block_bytes + 4096),
+            (np.arange(n_cold) % 10 + 10) * block_bytes,
+        ]
+    )
+    ops = np.concatenate(
+        [
+            np.full(n_hot, 1 if write_hot else 0),
+            np.zeros(n_cold, dtype=int),
+        ]
+    )
+    return TraceDataset(
+        sampling_rate=1.0,
+        trace_id=np.arange(n),
+        op=ops,
+        size_bytes=np.full(n, 4096),
+        offset_bytes=offsets.astype(np.int64),
+        user_id=np.zeros(n, dtype=int),
+        vm_id=np.zeros(n, dtype=int),
+        vd_id=np.full(n, vd_id),
+        qp_id=np.zeros(n, dtype=int),
+        wt_id=np.zeros(n, dtype=int),
+        compute_node_id=np.zeros(n, dtype=int),
+        segment_id=np.zeros(n, dtype=int),
+        block_server_id=np.zeros(n, dtype=int),
+        storage_node_id=np.zeros(n, dtype=int),
+        timestamp=np.linspace(0, 99, n),
+        lat_compute_us=np.ones(n),
+        lat_frontend_us=np.ones(n),
+        lat_block_server_us=np.ones(n),
+        lat_backend_us=np.ones(n),
+        lat_chunk_server_us=np.ones(n),
+    )
+
+
+class TestHottestBlock:
+    def test_finds_hot_block(self):
+        traces = traces_with_hotspot()
+        block = hottest_block(traces, 0, MiB, capacity_bytes=100 * MiB)
+        assert block.block_index == 2
+        assert block.access_rate == pytest.approx(0.6)
+        assert block.num_accesses == 60
+        assert block.lba_share == pytest.approx(0.01)
+
+    def test_block_byte_range(self):
+        block = HottestBlock(
+            vd_id=0, block_bytes=MiB, block_index=3,
+            access_rate=0.5, lba_share=0.01, num_accesses=10,
+        )
+        assert block.start_byte == 3 * MiB
+        assert block.end_byte == 4 * MiB
+
+    def test_none_for_untraced_vd(self):
+        traces = traces_with_hotspot(vd_id=5)
+        assert hottest_block(traces, 0, MiB, MiB) is None
+
+    def test_lba_share_clamped(self):
+        traces = traces_with_hotspot()
+        block = hottest_block(traces, 0, 100 * MiB, capacity_bytes=MiB)
+        assert block.lba_share == 1.0
+
+    def test_rejects_bad_args(self):
+        traces = traces_with_hotspot()
+        with pytest.raises(ConfigError):
+            hottest_block(traces, 0, 0, MiB)
+        with pytest.raises(ConfigError):
+            hottest_block(traces, 0, MiB, 0)
+
+
+class TestWrRatio:
+    def test_write_hot_block(self):
+        traces = traces_with_hotspot(write_hot=True)
+        block = hottest_block(traces, 0, MiB, 100 * MiB)
+        assert hottest_block_wr_ratio(traces, block) == pytest.approx(1.0)
+
+    def test_read_hot_block(self):
+        traces = traces_with_hotspot(write_hot=False)
+        block = hottest_block(traces, 0, MiB, 100 * MiB)
+        assert hottest_block_wr_ratio(traces, block) == pytest.approx(-1.0)
+
+
+class TestHotRate:
+    def test_uniform_hotness_near_one(self):
+        # The hot block is hot in every window; its rate always exceeds
+        # its long-run average minus sampling noise.
+        traces = traces_with_hotspot(n_hot=80, n_cold=20)
+        block = hottest_block(traces, 0, MiB, 100 * MiB)
+        rate = hot_rate(traces, block, window_seconds=25.0)
+        assert rate is not None
+        assert 0.0 <= rate <= 1.0
+
+    def test_rejects_bad_window(self):
+        traces = traces_with_hotspot()
+        block = hottest_block(traces, 0, MiB, 100 * MiB)
+        with pytest.raises(ConfigError):
+            hot_rate(traces, block, window_seconds=0.0)
+
+    def test_none_without_traces(self):
+        traces = traces_with_hotspot()
+        block = hottest_block(traces, 0, MiB, 100 * MiB)
+        empty = traces.where(np.zeros(len(traces), dtype=bool))
+        assert hot_rate(empty, block) is None

@@ -1,0 +1,134 @@
+"""Tests for the hybrid CN+BS cache deployment (§7.3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    CachePlacementConfig,
+    HybridCacheConfig,
+    latency_gain,
+    latency_gain_hybrid,
+)
+from repro.cache.hybrid import _tier_ranges
+from repro.cache.hotspot import HottestBlock
+from repro.cluster import EBSSimulator, LatencyModel, SimulationConfig
+from repro.util.errors import ConfigError
+from repro.util.rng import RngFactory, spawn_rng
+from repro.util.units import MiB
+
+
+@pytest.fixture(scope="module")
+def sim(small_fleet):
+    config = SimulationConfig(
+        duration_seconds=150, trace_sampling_rate=1.0 / 5.0
+    )
+    return EBSSimulator(small_fleet, config, RngFactory(41)).run()
+
+
+def block():
+    return HottestBlock(
+        vd_id=0,
+        block_bytes=100 * MiB,
+        block_index=2,
+        access_rate=0.5,
+        lba_share=0.01,
+        num_accesses=100,
+    )
+
+
+class TestTierRanges:
+    def test_split_partitions_block(self):
+        (cn_lo, cn_hi), (bs_lo, bs_hi) = _tier_ranges(block(), 0.25)
+        assert cn_lo == block().start_byte
+        assert cn_hi == bs_lo
+        assert bs_hi == block().end_byte
+        assert cn_hi - cn_lo == 25 * MiB
+
+    def test_all_cn(self):
+        (cn_lo, cn_hi), (bs_lo, bs_hi) = _tier_ranges(block(), 1.0)
+        assert cn_hi - cn_lo == 100 * MiB
+        assert bs_hi - bs_lo == 0
+
+    def test_all_bs(self):
+        (cn_lo, cn_hi), (bs_lo, bs_hi) = _tier_ranges(block(), 0.0)
+        assert cn_hi - cn_lo == 0
+        assert bs_hi - bs_lo == 100 * MiB
+
+
+class TestHybridConfig:
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigError):
+            HybridCacheConfig(cn_fraction=1.5)
+
+
+class TestLatencyGainHybrid:
+    def test_gains_bounded(self, sim):
+        gains = latency_gain_hybrid(
+            sim.traces,
+            sim.fleet,
+            LatencyModel(),
+            spawn_rng(0, "h"),
+            HybridCacheConfig(
+                placement=CachePlacementConfig(block_bytes=512 * MiB)
+            ),
+        )
+        if gains is not None:
+            for value in gains.values():
+                assert 0.0 < value <= 1.5
+
+    def test_between_pure_deployments(self, sim):
+        # A 100%-CN hybrid equals the CN-cache; a 0%-CN hybrid equals the
+        # BS-cache; the mixed deployment lands between them at the median.
+        model = LatencyModel()
+        placement = CachePlacementConfig(block_bytes=2048 * MiB)
+        cn = latency_gain(
+            sim.traces, sim.fleet, "compute_node", model,
+            spawn_rng(1, "h"), placement, direction="write",
+        )
+        bs = latency_gain(
+            sim.traces, sim.fleet, "block_server", model,
+            spawn_rng(1, "h"), placement, direction="write",
+        )
+        hybrid = latency_gain_hybrid(
+            sim.traces, sim.fleet, model, spawn_rng(1, "h"),
+            HybridCacheConfig(placement=placement, cn_fraction=0.5),
+            direction="write",
+        )
+        if cn and bs and hybrid:
+            lo = min(cn[50.0], bs[50.0]) - 0.1
+            hi = max(cn[50.0], bs[50.0]) + 0.1
+            assert lo <= hybrid[50.0] <= hi
+
+    def test_extreme_fractions_match_pure(self, sim):
+        model = LatencyModel()
+        placement = CachePlacementConfig(block_bytes=2048 * MiB)
+        pure_cn = latency_gain(
+            sim.traces, sim.fleet, "compute_node", model,
+            spawn_rng(2, "h"), placement, direction="write",
+        )
+        hybrid_cn = latency_gain_hybrid(
+            sim.traces, sim.fleet, model, spawn_rng(2, "h"),
+            HybridCacheConfig(placement=placement, cn_fraction=1.0),
+            direction="write",
+        )
+        if pure_cn and hybrid_cn:
+            assert hybrid_cn[50.0] == pytest.approx(pure_cn[50.0], abs=0.05)
+
+    def test_none_when_no_cacheable(self, sim):
+        # An absurd threshold disqualifies every VD.
+        gains = latency_gain_hybrid(
+            sim.traces, sim.fleet, LatencyModel(), spawn_rng(3, "h"),
+            HybridCacheConfig(
+                placement=CachePlacementConfig(
+                    block_bytes=512 * MiB, access_rate_threshold=0.999
+                )
+            ),
+        )
+        assert gains is None
+
+    def test_rejects_bad_direction(self, sim):
+        with pytest.raises(ConfigError):
+            latency_gain_hybrid(
+                sim.traces, sim.fleet, LatencyModel(), spawn_rng(4, "h"),
+                direction="sideways",
+            )

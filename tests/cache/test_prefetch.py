@@ -1,0 +1,124 @@
+"""Tests for the BS sequential-read prefetcher (§2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.cache import PrefetchConfig, SequentialPrefetcher
+from repro.util import ConfigError
+from repro.util.units import KiB, MiB
+
+
+def make(trigger_run=3, window=8 * MiB):
+    return SequentialPrefetcher(
+        PrefetchConfig(trigger_run=trigger_run, window_bytes=window)
+    )
+
+
+class TestConfig:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            PrefetchConfig(min_read_bytes=0)
+        with pytest.raises(ConfigError):
+            PrefetchConfig(trigger_run=0)
+        with pytest.raises(ConfigError):
+            PrefetchConfig(window_bytes=0)
+
+
+class TestDetection:
+    def test_arms_after_trigger_run(self):
+        pf = make(trigger_run=3)
+        size = 128 * KiB
+        # Three sequential large reads arm the window...
+        for i in range(3):
+            assert pf.on_read(0, i * size, size) is False
+        # ...so the fourth sequential read hits.
+        assert pf.on_read(0, 3 * size, size) is True
+
+    def test_small_reads_do_not_arm(self):
+        pf = make(trigger_run=2)
+        size = 4 * KiB  # below min_read_bytes
+        for i in range(10):
+            assert pf.on_read(0, i * size, size) is False
+
+    def test_random_reads_do_not_arm(self):
+        pf = make(trigger_run=2)
+        size = 128 * KiB
+        offsets = [0, 100 * MiB, 5 * MiB, 300 * MiB]
+        for offset in offsets:
+            assert pf.on_read(0, offset, size) is False
+
+    def test_per_segment_state(self):
+        pf = make(trigger_run=2)
+        size = 128 * KiB
+        # Arm segment 0 only.
+        pf.on_read(0, 0, size)
+        pf.on_read(0, size, size)
+        assert pf.on_read(0, 2 * size, size) is True
+        # Segment 1 is cold.
+        assert pf.on_read(1, 2 * size, size) is False
+
+    def test_window_bounded(self):
+        pf = make(trigger_run=2, window=1 * MiB)
+        size = 256 * KiB
+        pf.on_read(0, 0, size)
+        pf.on_read(0, size, size)
+        # Within the 1 MiB window: hit; far beyond: miss.
+        assert pf.on_read(0, 2 * size, size) is True
+        assert pf.on_read(0, 50 * MiB, size) is False
+
+
+class TestWrites:
+    def test_write_invalidates_window(self):
+        pf = make(trigger_run=2)
+        size = 128 * KiB
+        pf.on_read(0, 0, size)
+        pf.on_read(0, size, size)  # armed
+        pf.on_write(0, 2 * size, size)  # overwrites prefetched range
+        assert pf.on_read(0, 3 * size, size) is False
+
+    def test_writes_counted(self):
+        pf = make()
+        pf.on_write(0, 0, 4096)
+        assert pf.stats.writes == 1
+
+    def test_rejects_bad_args(self):
+        pf = make()
+        with pytest.raises(ConfigError):
+            pf.on_read(0, -1, 4096)
+        with pytest.raises(ConfigError):
+            pf.on_write(0, 0, 0)
+
+
+class TestStats:
+    def test_overall_below_read_hit_ratio_with_writes(self):
+        # The §7.2 point: write-dominant traffic caps the overall benefit.
+        pf = make(trigger_run=2)
+        size = 128 * KiB
+        for i in range(10):
+            pf.on_read(0, i * size, size)
+        for i in range(30):
+            pf.on_write(1, i * size, size)
+        assert pf.stats.read_hit_ratio > 0.5
+        assert pf.stats.overall_hit_ratio < pf.stats.read_hit_ratio / 2
+
+    def test_empty(self):
+        pf = make()
+        assert pf.stats.read_hit_ratio == 0.0
+        assert pf.stats.overall_hit_ratio == 0.0
+
+
+class TestReplay:
+    def test_replay_on_simulated_traces(self, small_fleet, rngs):
+        from repro.cluster import EBSSimulator, SimulationConfig
+
+        result = EBSSimulator(
+            small_fleet,
+            SimulationConfig(duration_seconds=120, trace_sampling_rate=0.2),
+            rngs.child("pf"),
+        ).run()
+        stats = SequentialPrefetcher().replay(result.traces)
+        total_reads = stats.read_hits + stats.read_misses
+        assert total_reads + stats.writes == len(result.traces)
+        assert 0.0 <= stats.read_hit_ratio <= 1.0
+        # Write-dominant traffic: the overall ratio collapses vs reads.
+        assert stats.overall_hit_ratio <= stats.read_hit_ratio

@@ -1,0 +1,83 @@
+"""Failure injection: BlockServer decommissioning."""
+
+import numpy as np
+import pytest
+
+from repro.balancer import BalancerConfig, InterBsBalancer, make_importer
+from repro.cluster import StorageCluster
+from repro.util.errors import SimulationError
+from repro.util.rng import spawn_rng
+
+
+class TestDecommission:
+    def test_evacuates_all_segments(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        victim = 0
+        count = len(storage.segments_of(victim))
+        events = storage.decommission(victim)
+        assert len(events) == count
+        assert storage.segments_of(victim) == set()
+        assert not storage.is_active(victim)
+        storage.check_invariants()
+
+    def test_segments_spread_over_survivors(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        before = {
+            bs: len(storage.segments_of(bs))
+            for bs in range(storage.num_block_servers)
+        }
+        storage.decommission(0)
+        after = {
+            bs: len(storage.segments_of(bs))
+            for bs in range(1, storage.num_block_servers)
+        }
+        # Every survivor got some of the load; the spread stays tight.
+        assert sum(after.values()) == sum(before.values())
+        assert max(after.values()) - min(after.values()) <= max(
+            2, before[0]
+        )
+
+    def test_migrate_to_decommissioned_rejected(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        storage.decommission(1)
+        segment = next(iter(storage.segments_of(0)))
+        with pytest.raises(SimulationError):
+            storage.migrate(segment, 1)
+
+    def test_double_decommission_rejected(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        storage.decommission(0)
+        with pytest.raises(SimulationError):
+            storage.decommission(0)
+
+    def test_cannot_remove_last_bs(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        for bs in range(storage.num_block_servers - 1):
+            storage.decommission(bs)
+        with pytest.raises(SimulationError):
+            storage.decommission(storage.num_block_servers - 1)
+
+    def test_balancer_survives_decommission(self, small_fleet):
+        # The balancer never routes segments to a dead BS, even when the
+        # importer strategy nominates it (its load history reads as zero).
+        storage = StorageCluster(small_fleet)
+        storage.decommission(2)
+        matrix = np.ones((storage.num_segments, 5))
+        for segment in storage.segments_of(0):
+            matrix[segment] = 60.0
+        balancer = InterBsBalancer(
+            storage,
+            BalancerConfig(),
+            make_importer("min_traffic"),
+            rng=spawn_rng(0, "d"),
+        )
+        run = balancer.run(matrix)
+        storage.check_invariants()
+        for event in run.migrations:
+            assert event.to_bs != 2
+
+    def test_active_set_tracked(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        full = storage.active_block_servers
+        storage.decommission(3)
+        assert storage.active_block_servers == full - {3}

@@ -1,0 +1,135 @@
+"""Tests for the append-only segment GC model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.gc import GarbageCollector, GcConfig, SegmentFile, simulate_gc
+from repro.util.errors import ConfigError, SimulationError
+
+
+class TestGcConfig:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            GcConfig(garbage_threshold=0.0)
+        with pytest.raises(ConfigError):
+            GcConfig(garbage_threshold=1.0)
+        with pytest.raises(ConfigError):
+            GcConfig(extent_bytes=0)
+
+
+class TestSegmentFile:
+    def test_fresh_write_all_live(self):
+        segment = SegmentFile(0, GcConfig(extent_bytes=4096))
+        segment.write(0, 8192)
+        assert segment.live_bytes == 8192
+        assert segment.garbage_bytes == 0
+
+    def test_rewrite_creates_garbage(self):
+        segment = SegmentFile(0, GcConfig(extent_bytes=4096))
+        segment.write(0, 4096)
+        segment.write(0, 4096)
+        assert segment.live_bytes == 4096
+        assert segment.garbage_bytes == 4096
+        assert segment.garbage_ratio == pytest.approx(0.5)
+
+    def test_partial_extent_write_rounds_up(self):
+        # Extent-granular accounting: a 200-byte write occupies one extent.
+        segment = SegmentFile(0, GcConfig(extent_bytes=4096))
+        segment.write(100, 200)
+        assert segment.live_bytes == 4096
+
+    def test_compaction_drops_garbage(self):
+        segment = SegmentFile(0, GcConfig(extent_bytes=4096))
+        segment.write(0, 4096)
+        segment.write(0, 4096)
+        rewritten = segment.compact()
+        assert rewritten == 4096
+        assert segment.garbage_bytes == 0
+        assert segment.live_bytes == 4096
+
+    def test_needs_compaction_threshold(self):
+        segment = SegmentFile(
+            0, GcConfig(garbage_threshold=0.4, extent_bytes=4096)
+        )
+        segment.write(0, 4096)
+        assert not segment.needs_compaction
+        segment.write(0, 4096)
+        assert segment.needs_compaction
+
+    def test_rejects_bad_writes(self):
+        segment = SegmentFile(0)
+        with pytest.raises(SimulationError):
+            segment.write(-1, 4096)
+        with pytest.raises(SimulationError):
+            segment.write(0, 0)
+
+    @settings(max_examples=40)
+    @given(
+        writes=st.lists(
+            st.tuples(
+                st.integers(0, 1 << 20), st.integers(1, 64 * 1024)
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_accounting_invariants(self, writes):
+        # Property: appended == live + garbage + compacted-away, and all
+        # counters stay non-negative.
+        segment = SegmentFile(0, GcConfig(extent_bytes=4096))
+        compacted = 0
+        for offset, size in writes:
+            segment.write(offset, size)
+            if segment.needs_compaction:
+                compacted += segment.garbage_bytes
+                segment.compact()
+        assert segment.live_bytes >= 0
+        assert segment.garbage_bytes >= 0
+        assert segment.appended_bytes == (
+            segment.live_bytes + segment.garbage_bytes + compacted
+        )
+
+
+class TestGarbageCollector:
+    def test_no_rewrites_means_wa_one(self):
+        gc = GarbageCollector(GcConfig(extent_bytes=4096))
+        for page in range(16):
+            gc.write(0, page * 4096, 4096)
+        assert gc.stats.write_amplification == 1.0
+        assert gc.stats.compactions == 0
+
+    def test_rewrites_drive_amplification(self):
+        gc = GarbageCollector(
+            GcConfig(garbage_threshold=0.3, extent_bytes=4096)
+        )
+        for __ in range(50):
+            gc.write(0, 0, 4096)  # hammer a single page
+        assert gc.stats.compactions > 0
+        assert gc.stats.write_amplification > 1.0
+
+    def test_segments_tracked_independently(self):
+        gc = GarbageCollector(GcConfig(extent_bytes=4096))
+        gc.write(0, 0, 4096)
+        gc.write(5, 0, 4096)
+        assert gc.segments() == [0, 5]
+        assert gc.file(0).live_bytes == 4096
+
+    def test_empty_stats(self):
+        assert GarbageCollector().stats.write_amplification == 1.0
+
+
+class TestSimulateGc:
+    def test_on_simulated_traces(self, small_fleet, rngs):
+        from repro.cluster import EBSSimulator, SimulationConfig
+
+        result = EBSSimulator(
+            small_fleet,
+            SimulationConfig(duration_seconds=120, trace_sampling_rate=0.2),
+            rngs.child("gc"),
+        ).run()
+        stats = simulate_gc(result.traces)
+        assert stats.user_write_bytes > 0
+        assert stats.write_amplification >= 1.0
+        # The hot rewrite pattern produces some garbage collection.
+        assert stats.compactions >= 0

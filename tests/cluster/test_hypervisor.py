@@ -1,0 +1,84 @@
+"""Tests for the hypervisor QP-to-WT binding."""
+
+import pytest
+
+from repro.cluster import Hypervisor, HypervisorSet
+from repro.util.errors import ConfigError, SimulationError
+
+
+class TestHypervisor:
+    def test_round_robin_binding(self, small_fleet):
+        hypervisor = Hypervisor(small_fleet, 0)
+        qps = hypervisor.qp_ids
+        workers = hypervisor.worker_ids
+        for index, qp in enumerate(qps):
+            assert hypervisor.wt_of(qp) == workers[index % len(workers)]
+
+    def test_every_node_qp_bound(self, small_fleet):
+        for node_id in range(small_fleet.config.num_compute_nodes):
+            hypervisor = Hypervisor(small_fleet, node_id)
+            node_qps = [
+                qp.qp_id
+                for qp in small_fleet.queue_pairs
+                if qp.compute_node_id == node_id
+            ]
+            assert sorted(hypervisor.qp_ids) == sorted(node_qps)
+
+    def test_worker_ids_are_global(self, small_fleet):
+        per = small_fleet.config.workers_per_node
+        hypervisor = Hypervisor(small_fleet, 1)
+        assert hypervisor.worker_ids == list(range(per, 2 * per))
+
+    def test_rebind(self, small_fleet):
+        hypervisor = Hypervisor(small_fleet, 0)
+        qp = hypervisor.qp_ids[0]
+        target = hypervisor.worker_ids[-1]
+        hypervisor.rebind(qp, target)
+        assert hypervisor.wt_of(qp) == target
+
+    def test_rebind_rejects_foreign_wt(self, small_fleet):
+        hypervisor = Hypervisor(small_fleet, 0)
+        qp = hypervisor.qp_ids[0]
+        with pytest.raises(SimulationError):
+            hypervisor.rebind(qp, 10_000)
+
+    def test_rebind_rejects_foreign_qp(self, small_fleet):
+        hypervisor = Hypervisor(small_fleet, 0)
+        with pytest.raises(SimulationError):
+            hypervisor.rebind(999_999, hypervisor.worker_ids[0])
+
+    def test_swap_workers(self, small_fleet):
+        hypervisor = Hypervisor(small_fleet, 0)
+        wt_a, wt_b = hypervisor.worker_ids[:2]
+        qps_a = hypervisor.qps_of_wt(wt_a)
+        qps_b = hypervisor.qps_of_wt(wt_b)
+        hypervisor.swap_workers(wt_a, wt_b)
+        assert hypervisor.qps_of_wt(wt_b) == qps_a
+        assert hypervisor.qps_of_wt(wt_a) == qps_b
+
+    def test_swap_preserves_total_qps(self, small_fleet):
+        hypervisor = Hypervisor(small_fleet, 0)
+        before = set(hypervisor.qp_ids)
+        hypervisor.swap_workers(*hypervisor.worker_ids[:2])
+        assert set(hypervisor.qp_ids) == before
+
+    def test_rejects_bad_node(self, small_fleet):
+        with pytest.raises(ConfigError):
+            Hypervisor(small_fleet, 10_000)
+
+
+class TestHypervisorSet:
+    def test_covers_all_nodes(self, small_fleet):
+        hypervisors = HypervisorSet(small_fleet)
+        assert len(hypervisors) == small_fleet.config.num_compute_nodes
+
+    def test_global_lookup(self, small_fleet):
+        hypervisors = HypervisorSet(small_fleet)
+        for qp in small_fleet.queue_pairs[:10]:
+            wt = hypervisors.wt_of_qp(qp.qp_id)
+            assert small_fleet.node_of_wt(wt) == qp.compute_node_id
+
+    def test_binding_arrays_complete(self, small_fleet):
+        hypervisors = HypervisorSet(small_fleet)
+        binding = hypervisors.binding_arrays()
+        assert set(binding) == {qp.qp_id for qp in small_fleet.queue_pairs}

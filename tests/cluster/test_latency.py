@@ -1,0 +1,130 @@
+"""Tests for the per-component latency model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import LatencyConfig, LatencyModel
+from repro.util.errors import ConfigError
+from repro.util.rng import spawn_rng
+
+
+def sample(model, n=2000, write_fraction=0.5, size=16384, wt_u=0.0, bs_u=0.0):
+    rng = spawn_rng(1, "lat")
+    is_write = rng.random(n) < write_fraction
+    return is_write, model.sample(
+        spawn_rng(2, "lat"),
+        is_write,
+        np.full(n, size),
+        np.full(n, wt_u),
+        np.full(n, bs_u),
+    )
+
+
+class TestLatencyConfig:
+    def test_rejects_nonpositive_base(self):
+        with pytest.raises(ConfigError):
+            LatencyConfig(compute_base_us=0.0)
+
+    def test_rejects_bad_tail(self):
+        with pytest.raises(ConfigError):
+            LatencyConfig(tail_probability=1.0)
+        with pytest.raises(ConfigError):
+            LatencyConfig(tail_multiplier=0.5)
+
+    def test_rejects_bad_utilization(self):
+        with pytest.raises(ConfigError):
+            LatencyConfig(max_utilization=1.0)
+
+
+class TestLatencyModel:
+    def test_all_components_present(self):
+        __, lats = sample(LatencyModel())
+        assert set(lats) == set(LatencyModel.COMPONENTS)
+
+    def test_positive(self):
+        __, lats = sample(LatencyModel())
+        for component in lats.values():
+            assert (component > 0).all()
+
+    def test_empty_batch(self):
+        model = LatencyModel()
+        lats = model.sample(
+            spawn_rng(0, "lat"),
+            np.zeros(0, dtype=bool),
+            np.zeros(0),
+            np.zeros(0),
+            np.zeros(0),
+        )
+        for component in lats.values():
+            assert component.size == 0
+
+    def test_length_mismatch_rejected(self):
+        model = LatencyModel()
+        with pytest.raises(ConfigError):
+            model.sample(
+                spawn_rng(0, "lat"),
+                np.zeros(3, dtype=bool),
+                np.zeros(2),
+                np.zeros(3),
+                np.zeros(3),
+            )
+
+    def test_reads_pay_more_at_chunk_server(self):
+        is_write, lats = sample(LatencyModel(LatencyConfig(jitter_sigma=0.0, tail_probability=0.0)))
+        reads = lats["chunk_server"][~is_write]
+        writes = lats["chunk_server"][is_write]
+        assert reads.mean() > writes.mean()
+
+    def test_writes_pay_more_on_backend(self):
+        is_write, lats = sample(LatencyModel(LatencyConfig(jitter_sigma=0.0, tail_probability=0.0)))
+        assert lats["backend"][is_write].mean() > lats["backend"][~is_write].mean()
+
+    def test_utilization_inflates_compute(self):
+        model = LatencyModel(LatencyConfig(jitter_sigma=0.0, tail_probability=0.0))
+        __, idle = sample(model, wt_u=0.0)
+        __, busy = sample(model, wt_u=0.9)
+        assert busy["compute"].mean() > 5 * idle["compute"].mean()
+
+    def test_utilization_clamped(self):
+        model = LatencyModel(LatencyConfig(jitter_sigma=0.0, tail_probability=0.0))
+        __, over = sample(model, wt_u=5.0)
+        assert np.isfinite(over["compute"]).all()
+
+    def test_larger_ios_slower_on_network(self):
+        model = LatencyModel(LatencyConfig(jitter_sigma=0.0, tail_probability=0.0))
+        __, small = sample(model, size=4096)
+        __, large = sample(model, size=1 << 20)
+        assert large["frontend"].mean() > small["frontend"].mean()
+
+    def test_tail_events_present(self):
+        model = LatencyModel(LatencyConfig(tail_probability=0.05, tail_multiplier=50.0))
+        __, lats = sample(model, n=5000)
+        ratio = lats["compute"].max() / np.median(lats["compute"])
+        assert ratio > 20
+
+
+class TestCachedLatency:
+    def test_cn_cache_faster_than_bs_cache(self):
+        model = LatencyModel(LatencyConfig(jitter_sigma=0.0, tail_probability=0.0))
+        rng = spawn_rng(3, "lat")
+        is_write = np.zeros(500, dtype=bool)
+        sizes = np.full(500, 16384)
+        cn = model.cached_latency(rng, is_write, sizes, "compute_node")
+        bs = model.cached_latency(rng, is_write, sizes, "block_server")
+        assert cn.mean() < bs.mean()
+
+    def test_cached_faster_than_full_path(self):
+        model = LatencyModel(LatencyConfig(jitter_sigma=0.0, tail_probability=0.0))
+        is_write, lats = sample(model, n=500)
+        full = sum(lats.values())
+        cached = model.cached_latency(
+            spawn_rng(4, "lat"), is_write, np.full(500, 16384), "compute_node"
+        )
+        assert cached.mean() < full.mean()
+
+    def test_rejects_bad_location(self):
+        model = LatencyModel()
+        with pytest.raises(ConfigError):
+            model.cached_latency(
+                spawn_rng(0, "lat"), np.zeros(1, dtype=bool), np.ones(1), "rack"
+            )

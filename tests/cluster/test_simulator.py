@@ -1,0 +1,127 @@
+"""Integration tests for the end-to-end EBS simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import EBSSimulator, SimulationConfig
+from repro.util.errors import ConfigError
+from repro.util.rng import RngFactory
+
+
+@pytest.fixture(scope="module")
+def sim_result(small_fleet):
+    config = SimulationConfig(
+        duration_seconds=180, trace_sampling_rate=1.0 / 10.0
+    )
+    return EBSSimulator(small_fleet, config, RngFactory(5)).run()
+
+
+class TestSimulationConfig:
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(duration_seconds=0)
+
+    def test_rejects_bad_sampling(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(trace_sampling_rate=0.0)
+
+    def test_rejects_negative_thresholds(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(min_record_bytes=-1)
+
+
+class TestDatasets:
+    def test_produces_all_datasets(self, sim_result):
+        assert len(sim_result.metrics.compute) > 0
+        assert len(sim_result.metrics.storage) > 0
+        assert len(sim_result.traces) > 0
+        assert len(sim_result.specs.vd_specs) == len(sim_result.fleet.vds)
+        assert len(sim_result.specs.vm_specs) == len(sim_result.fleet.vms)
+
+    def test_timestamps_within_duration(self, sim_result):
+        duration = sim_result.config.duration_seconds
+        assert sim_result.metrics.compute.timestamp.max() < duration
+        assert sim_result.metrics.storage.timestamp.max() < duration
+        assert sim_result.traces.timestamp.max() < duration + 1
+
+    def test_trace_offsets_within_capacity(self, sim_result):
+        for vd in sim_result.fleet.vds[:20]:
+            traces = sim_result.traces.for_vd(vd.vd_id)
+            if len(traces):
+                assert traces.offset_bytes.max() < vd.capacity_bytes
+
+    def test_trace_wt_matches_binding(self, sim_result):
+        binding = sim_result.hypervisors.binding_arrays()
+        for index in range(min(200, len(sim_result.traces))):
+            record = sim_result.traces.record(index)
+            assert binding[record.qp_id] == record.wt_id
+
+    def test_trace_segment_matches_vd(self, sim_result):
+        fleet = sim_result.fleet
+        seg = sim_result.traces.segment_id
+        vd_ids = sim_result.traces.vd_id
+        for index in range(min(200, len(sim_result.traces))):
+            vd = fleet.vds[int(vd_ids[index])]
+            assert vd.first_segment_id <= seg[index] < (
+                vd.first_segment_id + vd.num_segments
+            )
+
+    def test_trace_bs_matches_placement(self, sim_result):
+        placement = sim_result.storage.placement_snapshot()
+        seg = sim_result.traces.segment_id
+        bs = sim_result.traces.block_server_id
+        for index in range(min(200, len(sim_result.traces))):
+            assert placement[int(seg[index])] == int(bs[index])
+
+    def test_latencies_positive(self, sim_result):
+        assert (sim_result.traces.latency_us > 0).all()
+
+    def test_trace_count_roughly_matches_sampling(self, sim_result):
+        total_iops = sum(
+            t.read_iops.sum() + t.write_iops.sum()
+            for t in sim_result.traffic
+        )
+        expected = total_iops * sim_result.config.trace_sampling_rate
+        assert len(sim_result.traces) == pytest.approx(expected, rel=0.15)
+
+    def test_metric_totals_close_to_offered_load(self, sim_result):
+        # The recording threshold drops only negligible traffic.
+        offered = sum(
+            t.read_bytes.sum() + t.write_bytes.sum()
+            for t in sim_result.traffic
+        )
+        recorded = (
+            sim_result.metrics.total_read_bytes()
+            + sim_result.metrics.total_write_bytes()
+        )
+        assert recorded == pytest.approx(offered, rel=0.05)
+
+    def test_compute_and_storage_totals_agree(self, sim_result):
+        compute = (
+            sim_result.metrics.total_read_bytes()
+            + sim_result.metrics.total_write_bytes()
+        )
+        storage = float(
+            sim_result.metrics.storage.read_bytes.sum()
+            + sim_result.metrics.storage.write_bytes.sum()
+        )
+        assert storage == pytest.approx(compute, rel=0.1)
+
+    def test_load_grids_shape(self, sim_result):
+        fleet = sim_result.fleet
+        duration = sim_result.config.duration_seconds
+        assert sim_result.wt_load_bps.shape == (fleet.num_wts, duration)
+        assert sim_result.bs_load_bps.shape == (
+            fleet.config.num_block_servers,
+            duration,
+        )
+
+    def test_deterministic(self, small_fleet):
+        config = SimulationConfig(
+            duration_seconds=60, trace_sampling_rate=1.0 / 10.0
+        )
+        a = EBSSimulator(small_fleet, config, RngFactory(9)).run()
+        b = EBSSimulator(small_fleet, config, RngFactory(9)).run()
+        assert len(a.traces) == len(b.traces)
+        assert (a.traces.offset_bytes == b.traces.offset_bytes).all()
+        assert a.metrics.total_write_bytes() == b.metrics.total_write_bytes()

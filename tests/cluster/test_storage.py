@@ -1,0 +1,82 @@
+"""Tests for the storage cluster's segment placement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import StorageCluster
+from repro.util.errors import SimulationError
+
+
+class TestStorageCluster:
+    def test_initial_placement_matches_fleet(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        for segment in small_fleet.segments:
+            assert (
+                storage.block_server_of(segment.segment_id)
+                == segment.block_server_id
+            )
+
+    def test_invariants_hold_initially(self, small_fleet):
+        StorageCluster(small_fleet).check_invariants()
+
+    def test_migrate_moves_segment(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        segment = small_fleet.segments[0].segment_id
+        source = storage.block_server_of(segment)
+        target = (source + 1) % storage.num_block_servers
+        storage.migrate(segment, target, timestamp=42)
+        assert storage.block_server_of(segment) == target
+        assert segment in storage.segments_of(target)
+        assert segment not in storage.segments_of(source)
+        storage.check_invariants()
+
+    def test_migration_logged(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        segment = small_fleet.segments[0].segment_id
+        source = storage.block_server_of(segment)
+        target = (source + 1) % storage.num_block_servers
+        storage.migrate(segment, target, timestamp=7)
+        event = storage.migration_log[-1]
+        assert event.segment_id == segment
+        assert event.from_bs == source
+        assert event.to_bs == target
+        assert event.timestamp == 7
+
+    def test_noop_migration_rejected(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        segment = small_fleet.segments[0].segment_id
+        with pytest.raises(SimulationError):
+            storage.migrate(segment, storage.block_server_of(segment))
+
+    def test_unknown_segment_rejected(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        with pytest.raises(SimulationError):
+            storage.migrate(10**9, 0)
+
+    def test_unknown_destination_rejected(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        with pytest.raises(SimulationError):
+            storage.migrate(small_fleet.segments[0].segment_id, 10**9)
+
+    def test_storage_node_of_bs(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        per = small_fleet.config.block_servers_per_node
+        assert storage.storage_node_of_bs(0) == 0
+        assert storage.storage_node_of_bs(per) == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(moves=st.lists(st.tuples(st.integers(0, 10_000), st.integers(0, 10_000)), max_size=30))
+    def test_random_migrations_conserve_segments(self, small_fleet, moves):
+        # Property: any sequence of valid migrations never loses or
+        # duplicates a segment.
+        storage = StorageCluster(small_fleet)
+        num_segments = storage.num_segments
+        for seg_pick, bs_pick in moves:
+            segment = seg_pick % num_segments
+            target = bs_pick % storage.num_block_servers
+            if storage.block_server_of(segment) == target:
+                continue
+            storage.migrate(segment, target)
+        storage.check_invariants()
+        assert storage.num_segments == num_segments

@@ -1,0 +1,41 @@
+"""Shared fixtures: a small deterministic fleet and generated traffic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.rng import RngFactory
+from repro.util.units import GiB
+from repro.workload import FleetConfig, WorkloadGenerator, build_fleet
+
+
+@pytest.fixture(scope="session")
+def rngs() -> RngFactory:
+    return RngFactory(20250707)
+
+
+@pytest.fixture(scope="session")
+def small_fleet_config() -> FleetConfig:
+    return FleetConfig(
+        dc_id=0,
+        num_users=8,
+        num_vms=24,
+        num_compute_nodes=8,
+        workers_per_node=4,
+        num_storage_nodes=6,
+        segment_bytes=32 * GiB,
+    )
+
+@pytest.fixture(scope="session")
+def small_fleet(small_fleet_config, rngs):
+    return build_fleet(small_fleet_config, rngs)
+
+
+@pytest.fixture(scope="session")
+def small_generator(small_fleet, rngs) -> WorkloadGenerator:
+    return WorkloadGenerator(small_fleet, duration_seconds=240, rngs=rngs)
+
+
+@pytest.fixture(scope="session")
+def small_traffic(small_generator):
+    return small_generator.generate_all()

@@ -1,0 +1,103 @@
+"""Tests for multi-seed aggregation."""
+
+import pytest
+
+from repro.core import ExperimentResult
+from repro.core.aggregate import MultiSeedStudy, aggregate_results
+from repro.util import ConfigError
+
+
+def result(values, experiment_id="t", headers=("name", "value")):
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title="T",
+        headers=list(headers),
+        rows=[[name, value] for name, value in values],
+    )
+
+
+class TestAggregateResults:
+    def test_averages_numeric_cells(self):
+        a = result([("x", 1.0), ("y", 3.0)])
+        b = result([("x", 3.0), ("y", 5.0)])
+        merged = aggregate_results([a, b])
+        by_name = {row[0]: row[1] for row in merged.rows}
+        assert by_name["x"] == pytest.approx(2.0)
+        assert by_name["y"] == pytest.approx(4.0)
+
+    def test_appends_spread_column(self):
+        a = result([("x", 1.0)])
+        b = result([("x", 3.0)])
+        merged = aggregate_results([a, b])
+        assert merged.headers[-1] == "seed spread"
+        # CV of [1, 3] = std/mean = 1/2.
+        assert merged.rows[0][-1] == pytest.approx(0.5)
+
+    def test_single_result_zero_spread(self):
+        merged = aggregate_results([result([("x", 2.0)])])
+        assert merged.rows[0][-1] == 0.0
+        assert merged.rows[0][1] == 2.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            aggregate_results([])
+
+    def test_rejects_mismatched_experiments(self):
+        with pytest.raises(ConfigError):
+            aggregate_results(
+                [result([("x", 1.0)]), result([("x", 1.0)], experiment_id="u")]
+            )
+
+    def test_rejects_mismatched_headers(self):
+        with pytest.raises(ConfigError):
+            aggregate_results(
+                [
+                    result([("x", 1.0)]),
+                    result([("x", 1.0)], headers=("name", "other")),
+                ]
+            )
+
+    def test_title_mentions_seed_count(self):
+        merged = aggregate_results([result([("x", 1.0)])] * 3)
+        assert "3 seeds" in merged.title
+
+    def test_preserves_row_order(self):
+        a = result([("b", 1.0), ("a", 2.0)])
+        b = result([("b", 5.0), ("a", 6.0)])
+        merged = aggregate_results([a, b])
+        assert [row[0] for row in merged.rows] == ["b", "a"]
+
+
+class TestMultiSeedStudy:
+    def test_rejects_bad_seeds(self):
+        with pytest.raises(ConfigError):
+            MultiSeedStudy([])
+        with pytest.raises(ConfigError):
+            MultiSeedStudy([1, 1])
+
+    @pytest.mark.slow
+    def test_aggregated_experiment(self):
+        from repro.core import StudyConfig
+        from repro.workload import FleetConfig
+
+        def factory(seed):
+            return StudyConfig(
+                seed=seed,
+                duration_seconds=90,
+                trace_sampling_rate=0.2,
+                dc_configs=[
+                    FleetConfig(
+                        dc_id=0,
+                        num_users=4,
+                        num_vms=10,
+                        num_compute_nodes=4,
+                        num_storage_nodes=4,
+                    )
+                ],
+                wt_cov_windows=(30,),
+            )
+
+        multi = MultiSeedStudy([1, 2], config_factory=factory)
+        merged = multi.run("fig2a")
+        assert merged.headers[-1] == "seed spread"
+        assert merged.rows

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "table2"])
+        assert args.experiment == "table2"
+        assert args.scale == "small"
+        assert args.seed == 7
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table2", "--scale", "huge"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+        assert "fig7d" in out
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        code = main(["run", "fig99", "--scale", "small"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_json_flag_parsed(self):
+        args = build_parser().parse_args(
+            ["run", "table2", "--json", "out.json"]
+        )
+        assert args.json == "out.json"
+
+    def test_export_dataset_parses(self):
+        args = build_parser().parse_args(["export-dataset", "somewhere"])
+        assert args.directory == "somewhere"
+
+
+@pytest.mark.slow
+class TestMainEndToEnd:
+    def test_run_with_json_output(self, tmp_path, capsys):
+        out = tmp_path / "results.json"
+        code = main(["run", "table2", "--scale", "small", "--json", str(out)])
+        assert code == 0
+        import json
+
+        payload = json.loads(out.read_text())
+        assert payload["scale"] == "small"
+        assert payload["results"][0]["experiment_id"] == "table2"
+
+    def test_export_dataset_writes_files(self, tmp_path, capsys):
+        code = main(["export-dataset", str(tmp_path / "data")])
+        assert code == 0
+        written = {p.name for p in (tmp_path / "data").iterdir()}
+        assert "dc0_traces.jsonl" in written
+        assert "dc0_compute.csv" in written
+        assert "dc0_storage.csv" in written

@@ -1,0 +1,68 @@
+"""Unit tests for experiment helper functions on synthetic inputs."""
+
+import numpy as np
+import pytest
+
+from repro.core.experiments.baseline import _median_p2a, _per_entity_totals
+from repro.trace.dataset import ComputeMetricTable
+
+from tests.trace.test_dataset import compute_table
+
+
+class TestPerEntityTotals:
+    def test_read_direction(self):
+        totals = _per_entity_totals(compute_table(), "vm_id", "read")
+        assert totals == {0: 30.0, 1: 70.0}
+
+    def test_write_direction(self):
+        totals = _per_entity_totals(compute_table(), "vm_id", "write")
+        assert totals == {0: 3.0, 1: 7.0}
+
+    def test_node_level(self):
+        totals = _per_entity_totals(
+            compute_table(), "compute_node_id", "read"
+        )
+        assert totals == {0: 30.0, 1: 70.0}
+
+
+class TestMedianP2a:
+    def test_flat_entity(self):
+        table = ComputeMetricTable(
+            timestamp=[0, 1, 2, 3],
+            cluster_id=[0] * 4,
+            compute_node_id=[0] * 4,
+            user_id=[0] * 4,
+            vm_id=[0] * 4,
+            vd_id=[0] * 4,
+            wt_id=[0] * 4,
+            qp_id=[0] * 4,
+            read_bytes=[5.0] * 4,
+            write_bytes=[0.0] * 4,
+            read_iops=[1.0] * 4,
+            write_iops=[0.0] * 4,
+        )
+        assert _median_p2a(table, "vm_id", "read", 4) == pytest.approx(1.0)
+
+    def test_single_spike(self):
+        table = ComputeMetricTable(
+            timestamp=[0],
+            cluster_id=[0],
+            compute_node_id=[0],
+            user_id=[0],
+            vm_id=[0],
+            vd_id=[0],
+            wt_id=[0],
+            qp_id=[0],
+            read_bytes=[100.0],
+            write_bytes=[0.0],
+            read_iops=[1.0],
+            write_iops=[0.0],
+        )
+        # One spike over a 10-second horizon: peak 100, mean 10 -> P2A 10.
+        assert _median_p2a(table, "vm_id", "read", 10) == pytest.approx(10.0)
+
+    def test_no_traffic_is_zero(self):
+        table = compute_table()
+        assert _median_p2a(table, "vm_id", "write", 4) > 0
+        zero = table.where(np.zeros(len(table), dtype=bool))
+        assert _median_p2a(zero, "vm_id", "write", 4) == 0.0

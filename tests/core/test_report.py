@@ -1,0 +1,63 @@
+"""Tests for experiment result rendering."""
+
+import pytest
+
+from repro.core import ExperimentResult
+from repro.util import ConfigError
+
+
+def result():
+    return ExperimentResult(
+        experiment_id="t1",
+        title="Demo",
+        headers=["name", "value"],
+        rows=[["alpha", 1.5], ["beta", 0.000001]],
+        notes="a note",
+    )
+
+
+class TestExperimentResult:
+    def test_render_contains_everything(self):
+        text = result().render()
+        assert "t1" in text
+        assert "Demo" in text
+        assert "alpha" in text
+        assert "a note" in text
+
+    def test_row_width_validated(self):
+        with pytest.raises(ConfigError):
+            ExperimentResult(
+                experiment_id="x",
+                title="x",
+                headers=["a", "b"],
+                rows=[[1]],
+            )
+
+    def test_column_access(self):
+        assert result().column("name") == ["alpha", "beta"]
+
+    def test_unknown_column(self):
+        with pytest.raises(ConfigError):
+            result().column("nope")
+
+    def test_to_dict_roundtrip(self):
+        data = result().to_dict()
+        assert data["experiment_id"] == "t1"
+        assert data["rows"][0] == ["alpha", 1.5]
+
+    def test_render_empty_rows(self):
+        empty = ExperimentResult(
+            experiment_id="e", title="Empty", headers=["h"], rows=[]
+        )
+        assert "Empty" in empty.render()
+
+    def test_float_formatting(self):
+        res = ExperimentResult(
+            experiment_id="f",
+            title="f",
+            headers=["v"],
+            rows=[[123456.789], [float("nan")], [None]],
+        )
+        text = res.render()
+        assert "1.23e+05" in text
+        assert "-" in text

@@ -1,0 +1,100 @@
+"""Tests for the self-attention forecaster, including a gradient check."""
+
+import numpy as np
+import pytest
+
+from repro.prediction import AttentionForecaster
+from repro.prediction.attention import AttentionConfig
+from repro.util import ConfigError
+from repro.util.rng import spawn_rng
+
+
+def tiny_config(**overrides):
+    defaults = dict(window=4, model_dim=6, hidden_dim=8, epochs=30, seed=3)
+    defaults.update(overrides)
+    return AttentionConfig(**defaults)
+
+
+class TestConfig:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            AttentionConfig(window=1)
+        with pytest.raises(ConfigError):
+            AttentionConfig(learning_rate=0.0)
+        with pytest.raises(ConfigError):
+            AttentionConfig(epochs=0)
+
+
+class TestGradients:
+    def test_backprop_matches_numerical_gradients(self):
+        model = AttentionForecaster(tiny_config(epochs=1))
+        rng = spawn_rng(0, "att")
+        history = np.abs(rng.normal(1.0, 0.3, (3, 20)))
+        model.fit(history)
+        window = rng.random((4, 3))
+        target = rng.random(3)
+        __, grads = model.loss_and_grads(window, target)
+        eps = 1e-6
+        for key in ("We", "Wq", "Wk", "Wv", "W1", "b1", "W2", "b2", "Wo", "bo"):
+            param = model._params[key]
+            flat_index = 0
+            index = np.unravel_index(flat_index, param.shape)
+            original = param[index]
+            param[index] = original + eps
+            loss_plus, __ = model.loss_and_grads(window, target)
+            param[index] = original - eps
+            loss_minus, __ = model.loss_and_grads(window, target)
+            param[index] = original
+            numeric = (loss_plus - loss_minus) / (2 * eps)
+            assert grads[key][index] == pytest.approx(numeric, rel=1e-4, abs=1e-7)
+
+
+class TestTraining:
+    def test_learns_sinusoid(self):
+        t = 60
+        x = 1 + 0.5 * np.sin(np.arange(t) / 3.0)
+        y = 1 + 0.5 * np.cos(np.arange(t) / 3.0)
+        matrix = np.stack([x, y])
+        model = AttentionForecaster(tiny_config(window=8, epochs=80))
+        model.fit(matrix[:, :50])
+        errors = []
+        for step in range(50, 55):
+            prediction = model.predict(matrix[:, :step])
+            errors.append(np.abs(prediction - matrix[:, step]).max())
+        assert max(errors) < 0.15
+
+    def test_finetune_cheaper_than_full_fit(self):
+        rng = spawn_rng(1, "att")
+        matrix = np.abs(rng.normal(1.0, 0.3, (4, 60)))
+        model = AttentionForecaster(tiny_config(epochs=40, finetune_epochs=2))
+        model.fit(matrix[:, :40])
+        t_full = model._adam_t
+        model.fit(matrix[:, :41])
+        # Fine-tuning takes far fewer steps than the initial training.
+        assert model._adam_t - t_full < t_full / 4
+
+    def test_predict_without_fit_is_persistence(self):
+        model = AttentionForecaster(tiny_config())
+        matrix = np.array([[1.0, 2.0, 3.0]])
+        assert model.predict(matrix).tolist() == [3.0]
+
+    def test_predict_pads_short_history(self):
+        model = AttentionForecaster(tiny_config(window=8))
+        rng = spawn_rng(2, "att")
+        matrix = np.abs(rng.normal(1.0, 0.2, (2, 30)))
+        model.fit(matrix)
+        out = model.predict(matrix[:, :3])
+        assert out.shape == (2,)
+        assert np.isfinite(out).all()
+
+    def test_output_non_negative(self):
+        rng = spawn_rng(3, "att")
+        matrix = np.abs(rng.normal(0.1, 0.5, (3, 40)))
+        model = AttentionForecaster(tiny_config())
+        model.fit(matrix)
+        assert (model.predict(matrix) >= 0).all()
+
+    def test_rejects_bad_history(self):
+        model = AttentionForecaster(tiny_config())
+        with pytest.raises(ConfigError):
+            model.fit(np.ones(5))

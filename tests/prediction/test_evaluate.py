@@ -1,0 +1,106 @@
+"""Tests for the walk-forward evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.prediction import (
+    EvaluationConfig,
+    LinearFitPredictor,
+    PerSeriesAdapter,
+    evaluate_predictor,
+    paper_prediction_suite,
+)
+from repro.util import ConfigError
+
+
+class _Persistence(PerSeriesAdapter):
+    pass
+
+
+def persistence_adapter():
+    from repro.prediction.base import Predictor
+
+    class Persist(Predictor):
+        name = "persist"
+
+        def fit(self, history):
+            self._validate(history)
+
+        def predict(self, history):
+            return float(self._validate(history)[-1])
+
+    return PerSeriesAdapter(Persist, name="persist")
+
+
+class TestEvaluate:
+    def test_perfect_predictor_zero_mse(self):
+        # A constant series is perfectly predicted by persistence.
+        matrix = np.full((3, 30), 5.0)
+        result = evaluate_predictor(
+            persistence_adapter(), matrix, EvaluationConfig(warmup_periods=5)
+        )
+        assert result.mse == pytest.approx(0.0)
+        assert result.num_predictions == 3 * 25
+
+    def test_normalization_scales_series(self):
+        # Two series differing only by scale give identical normalized MSE
+        # contributions.
+        base = np.abs(np.sin(np.arange(30.0))) + 1.0
+        matrix = np.stack([base, base * 100.0])
+        result = evaluate_predictor(
+            persistence_adapter(), matrix, EvaluationConfig(warmup_periods=5)
+        )
+        single = evaluate_predictor(
+            persistence_adapter(),
+            base.reshape(1, -1),
+            EvaluationConfig(warmup_periods=5),
+        )
+        assert result.mse == pytest.approx(single.mse)
+
+    def test_retrain_cadence_recorded(self):
+        matrix = np.abs(np.random.default_rng(0).normal(1, 0.1, (2, 30)))
+        result = evaluate_predictor(
+            PerSeriesAdapter(LinearFitPredictor, name="linear"),
+            matrix,
+            EvaluationConfig(warmup_periods=5, retrain_every=7),
+        )
+        assert result.retrain_every == 7
+
+    def test_rejects_short_matrix(self):
+        with pytest.raises(ConfigError):
+            evaluate_predictor(
+                persistence_adapter(),
+                np.ones((2, 5)),
+                EvaluationConfig(warmup_periods=10),
+            )
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            EvaluationConfig(warmup_periods=1)
+        with pytest.raises(ConfigError):
+            EvaluationConfig(retrain_every=0)
+
+
+class TestSuite:
+    def test_five_methods(self):
+        suite = paper_prediction_suite(epoch_periods=10)
+        assert list(suite) == [
+            "P1_linear",
+            "P2_arima",
+            "P3_gbt",
+            "P4_attention_epoch",
+            "P5_attention_period",
+        ]
+
+    def test_cadences(self):
+        suite = paper_prediction_suite(epoch_periods=10)
+        assert suite["P1_linear"][1] == 1
+        assert suite["P3_gbt"][1] == 10
+        assert suite["P4_attention_epoch"][1] == 10
+        assert suite["P5_attention_period"][1] == 1
+
+    def test_factories_produce_fresh_models(self):
+        suite = paper_prediction_suite()
+        a = suite["P1_linear"][0]()
+        b = suite["P1_linear"][0]()
+        assert a is not b

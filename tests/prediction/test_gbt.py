@@ -1,0 +1,86 @@
+"""Tests for gradient-boosted trees and the underlying CART (P3)."""
+
+import numpy as np
+import pytest
+
+from repro.prediction import GradientBoostedTreesPredictor
+from repro.prediction.gbt import RegressionTree
+from repro.util import ConfigError
+from repro.util.rng import spawn_rng
+
+
+class TestRegressionTree:
+    def test_fits_step_function(self):
+        x = np.array([[0.0], [1.0], [2.0], [10.0], [11.0], [12.0]])
+        y = np.array([1.0, 1.0, 1.0, 5.0, 5.0, 5.0])
+        tree = RegressionTree(max_depth=1, min_samples_leaf=1).fit(x, y)
+        assert tree.predict(np.array([[1.5]]))[0] == pytest.approx(1.0)
+        assert tree.predict(np.array([[11.0]]))[0] == pytest.approx(5.0)
+
+    def test_constant_target_single_leaf(self):
+        x = np.arange(10.0).reshape(-1, 1)
+        y = np.full(10, 3.0)
+        tree = RegressionTree().fit(x, y)
+        assert tree.predict(x).tolist() == [3.0] * 10
+
+    def test_depth_limits_leaves(self):
+        rng = spawn_rng(0, "tree")
+        x = rng.random((100, 2))
+        y = rng.random(100)
+        shallow = RegressionTree(max_depth=1).fit(x, y)
+        deep = RegressionTree(max_depth=4).fit(x, y)
+        sse_shallow = ((shallow.predict(x) - y) ** 2).sum()
+        sse_deep = ((deep.predict(x) - y) ** 2).sum()
+        assert sse_deep <= sse_shallow
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ConfigError):
+            RegressionTree().predict(np.ones((1, 1)))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ConfigError):
+            RegressionTree().fit(np.ones((3, 1)), np.ones(4))
+
+    def test_min_samples_leaf_respected(self):
+        x = np.arange(6.0).reshape(-1, 1)
+        y = np.array([0.0, 0, 0, 10, 10, 10])
+        tree = RegressionTree(max_depth=3, min_samples_leaf=3).fit(x, y)
+        # With min leaf 3, only the single middle split is allowed.
+        predictions = set(np.round(tree.predict(x), 6).tolist())
+        assert len(predictions) <= 2
+
+
+class TestGradientBoosting:
+    def test_reduces_training_error_vs_mean(self):
+        rng = spawn_rng(1, "gbt")
+        series = np.sin(np.arange(200) / 6.0) * 3.0 + 5.0 + rng.normal(0, 0.1, 200)
+        model = GradientBoostedTreesPredictor(num_lags=4, n_estimators=40)
+        model.fit(series)
+        prediction = model.predict(series)
+        truth_next = np.sin(200 / 6.0) * 3.0 + 5.0
+        mean_error = abs(series.mean() - truth_next)
+        assert abs(prediction - truth_next) < mean_error
+
+    def test_short_history_persistence(self):
+        model = GradientBoostedTreesPredictor(num_lags=8)
+        series = np.array([2.0, 4.0])
+        model.fit(series)
+        assert model.predict(series) == 4.0
+
+    def test_constant_series(self):
+        model = GradientBoostedTreesPredictor(num_lags=3)
+        series = np.full(50, 6.0)
+        model.fit(series)
+        assert model.predict(series) == pytest.approx(6.0)
+
+    def test_non_negative(self):
+        model = GradientBoostedTreesPredictor(num_lags=3)
+        series = np.array([5.0, 4.0, 3.0, 2.0, 1.0, 0.0] * 5)
+        model.fit(series)
+        assert model.predict(series) >= 0.0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            GradientBoostedTreesPredictor(num_lags=0)
+        with pytest.raises(ConfigError):
+            GradientBoostedTreesPredictor(learning_rate=0.0)

@@ -1,0 +1,52 @@
+"""Tests for the linear-fit predictor (P1)."""
+
+import numpy as np
+import pytest
+
+from repro.prediction import LinearFitPredictor
+from repro.util import ConfigError
+
+
+class TestLinearFit:
+    def test_extends_perfect_line(self):
+        model = LinearFitPredictor(window=4)
+        series = np.array([1.0, 2.0, 3.0, 4.0])
+        model.fit(series)
+        assert model.predict(series) == pytest.approx(5.0)
+
+    def test_flat_series(self):
+        model = LinearFitPredictor()
+        series = np.full(10, 7.0)
+        model.fit(series)
+        assert model.predict(series) == pytest.approx(7.0)
+
+    def test_clamps_negative_forecast(self):
+        model = LinearFitPredictor(window=4)
+        series = np.array([9.0, 6.0, 3.0, 0.5])
+        model.fit(series)
+        assert model.predict(series) == 0.0
+
+    def test_no_clamp_option(self):
+        model = LinearFitPredictor(window=4, clamp_non_negative=False)
+        series = np.array([9.0, 6.0, 3.0, 0.5])
+        model.fit(series)
+        assert model.predict(series) < 0.0
+
+    def test_short_history_persistence(self):
+        model = LinearFitPredictor(window=4)
+        model.fit(np.array([3.0]))
+        assert model.predict(np.array([3.0])) == 3.0
+
+    def test_uses_only_window(self):
+        model = LinearFitPredictor(window=2)
+        series = np.array([100.0, 100.0, 1.0, 2.0])
+        model.fit(series)
+        assert model.predict(series) == pytest.approx(3.0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigError):
+            LinearFitPredictor(window=1)
+
+    def test_rejects_empty_history(self):
+        with pytest.raises(ConfigError):
+            LinearFitPredictor().predict(np.array([]))

@@ -1,0 +1,45 @@
+"""Tests for group-by reductions."""
+
+import numpy as np
+import pytest
+
+from repro.stats import group_reduce, group_sum
+from repro.util import ConfigError
+
+
+class TestGroupSum:
+    def test_basic(self):
+        out = group_sum(["a", "b", "a"], [1.0, 2.0, 3.0])
+        assert out == {"a": 4.0, "b": 2.0}
+
+    def test_integer_keys(self):
+        out = group_sum([1, 2, 1, 2], [1, 1, 1, 1])
+        assert out == {1: 2.0, 2: 2.0}
+
+    def test_empty(self):
+        assert group_sum([], []) == {}
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ConfigError):
+            group_sum(["a"], [1.0, 2.0])
+
+    def test_total_preserved(self):
+        keys = list(np.random.default_rng(0).integers(5, size=50))
+        values = list(np.random.default_rng(1).random(50))
+        out = group_sum(keys, values)
+        assert sum(out.values()) == pytest.approx(sum(values))
+
+
+class TestGroupReduce:
+    def test_max_reducer(self):
+        out = group_reduce(["x", "x", "y"], [1.0, 5.0, 2.0], np.max)
+        assert out == {"x": 5.0, "y": 2.0}
+
+    def test_mean_reducer(self):
+        out = group_reduce([0, 0, 1], [2.0, 4.0, 9.0], np.mean)
+        assert out[0] == pytest.approx(3.0)
+        assert out[1] == pytest.approx(9.0)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ConfigError):
+            group_reduce([0], [1.0, 2.0], np.max)

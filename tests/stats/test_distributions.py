@@ -1,0 +1,107 @@
+"""Tests for empirical CDFs, percentiles, and histograms."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats import (
+    EmpiricalCdf,
+    fraction_at_least,
+    fraction_at_most,
+    histogram,
+    percentile_summary,
+)
+from repro.util import ConfigError
+
+samples = st.lists(
+    st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+    min_size=1,
+    max_size=100,
+)
+
+
+class TestEmpiricalCdf:
+    def test_basic_probabilities(self):
+        cdf = EmpiricalCdf.from_values([1.0, 2.0, 3.0, 4.0])
+        assert cdf(0.5) == 0.0
+        assert cdf(2.0) == pytest.approx(0.5)
+        assert cdf(4.0) == pytest.approx(1.0)
+
+    def test_median(self):
+        cdf = EmpiricalCdf.from_values([1.0, 2.0, 3.0])
+        assert cdf.median == pytest.approx(2.0)
+
+    def test_quantile_bounds(self):
+        cdf = EmpiricalCdf.from_values([5.0, 1.0, 3.0])
+        assert cdf.quantile(0.0) == 1.0
+        assert cdf.quantile(1.0) == 5.0
+
+    def test_quantile_rejects_out_of_range(self):
+        cdf = EmpiricalCdf.from_values([1.0])
+        with pytest.raises(ConfigError):
+            cdf.quantile(1.5)
+
+    def test_series_monotone(self):
+        cdf = EmpiricalCdf.from_values([3.0, 1.0, 2.0, 2.0])
+        xs, ys = cdf.series()
+        assert (np.diff(xs) >= 0).all()
+        assert (np.diff(ys) > 0).all()
+        assert ys[-1] == pytest.approx(1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            EmpiricalCdf.from_values([])
+
+    @given(samples)
+    def test_monotone_queries(self, values):
+        cdf = EmpiricalCdf.from_values(values)
+        lo, hi = min(values), max(values)
+        assert cdf(lo - 1) <= cdf(lo) <= cdf(hi) <= cdf(hi + 1)
+
+
+class TestPercentileSummary:
+    def test_default_percentiles(self):
+        summary = percentile_summary(list(range(101)))
+        assert summary[0.0] == 0.0
+        assert summary[50.0] == 50.0
+        assert summary[99.0] == pytest.approx(99.0)
+
+    def test_rejects_bad_percentile(self):
+        with pytest.raises(ConfigError):
+            percentile_summary([1.0], percentiles=[101.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            percentile_summary([])
+
+
+class TestFractions:
+    def test_at_least(self):
+        assert fraction_at_least([1, 2, 3, 4], 3) == pytest.approx(0.5)
+
+    def test_at_most(self):
+        assert fraction_at_most([1, 2, 3, 4], 2) == pytest.approx(0.5)
+
+    def test_complementary(self):
+        values = [1.0, 2.0, 3.0]
+        # at_least(t) + at_most(t) >= 1 (both count exact hits).
+        assert (
+            fraction_at_least(values, 2.0) + fraction_at_most(values, 2.0)
+        ) == pytest.approx(4.0 / 3.0)
+
+
+class TestHistogram:
+    def test_fractions_sum_to_one(self):
+        fractions, edges = histogram([1.0, 2.0, 3.0, 4.0], bins=4)
+        assert fractions.sum() == pytest.approx(1.0)
+        assert len(edges) == 5
+
+    def test_respects_range(self):
+        fractions, edges = histogram(
+            [0.5, 0.5, 2.5], bins=2, value_range=(0.0, 1.0)
+        )
+        assert edges[0] == 0.0
+        assert edges[-1] == 1.0
+        # The out-of-range value is excluded from the bins.
+        assert fractions.sum() == pytest.approx(2.0 / 3.0)

@@ -1,0 +1,90 @@
+"""Tests for trace-level IO characterization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    inter_arrival_cv,
+    inter_arrival_cvs,
+    io_size_summary,
+    latency_breakdown,
+)
+from repro.util import ConfigError
+
+from tests.trace.test_dataset import trace_dataset
+
+
+class TestLatencyBreakdown:
+    def test_components_and_total(self):
+        breakdown = latency_breakdown(trace_dataset())
+        assert set(breakdown) == {
+            "compute",
+            "frontend",
+            "block_server",
+            "backend",
+            "chunk_server",
+            "total",
+        }
+        assert breakdown["total"]["mean_us"] == pytest.approx(15.0)
+
+    def test_shares_sum_to_one(self):
+        breakdown = latency_breakdown(trace_dataset())
+        component_share = sum(
+            stats["share"]
+            for name, stats in breakdown.items()
+            if name != "total"
+        )
+        assert component_share == pytest.approx(1.0)
+
+    def test_direction_filter(self):
+        reads = latency_breakdown(trace_dataset(), "read")
+        assert reads["total"]["mean_us"] == pytest.approx(15.0)
+
+    def test_rejects_bad_direction(self):
+        with pytest.raises(ConfigError):
+            latency_breakdown(trace_dataset(), "up")
+
+    def test_rejects_empty(self):
+        traces = trace_dataset()
+        empty = traces.where(np.zeros(len(traces), dtype=bool))
+        with pytest.raises(ConfigError):
+            latency_breakdown(empty)
+
+
+class TestIoSizeSummary:
+    def test_both_directions(self):
+        summary = io_size_summary(trace_dataset())
+        assert set(summary) == {"read", "write"}
+        assert summary["read"]["median_bytes"] == 4096.0
+        assert summary["read"]["count"] == 2.0
+
+    def test_rejects_empty(self):
+        traces = trace_dataset()
+        empty = traces.where(np.zeros(len(traces), dtype=bool))
+        with pytest.raises(ConfigError):
+            io_size_summary(empty)
+
+
+class TestInterArrival:
+    def test_regular_arrivals_low_cv(self):
+        traces = trace_dataset()  # timestamps roughly evenly spread
+        value = inter_arrival_cv(traces, 0)
+        assert value is not None
+        assert value < 2.0
+
+    def test_too_few_traces(self):
+        traces = trace_dataset()
+        assert inter_arrival_cv(traces.where(traces.trace_id < 2), 0) is None
+
+    def test_unknown_vd(self):
+        assert inter_arrival_cv(trace_dataset(), 99) is None
+
+    def test_cvs_thresholded(self):
+        traces = trace_dataset()
+        assert inter_arrival_cvs(traces, min_traces=100) == []
+        values = inter_arrival_cvs(traces, min_traces=3)
+        assert len(values) == 2  # both VDs have 3 traces
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigError):
+            inter_arrival_cvs(trace_dataset(), min_traces=2)

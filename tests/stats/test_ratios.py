@@ -1,0 +1,59 @@
+"""Tests for the normalized write-to-read ratio (Equation 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats import wr_ratio, wr_ratio_arrays
+from repro.stats.ratios import DOMINANCE_THRESHOLD
+from repro.util import ConfigError
+
+traffic = st.floats(min_value=0.0, max_value=1e12, allow_nan=False)
+
+
+class TestWrRatio:
+    def test_pure_write(self):
+        assert wr_ratio(10.0, 0.0) == pytest.approx(1.0)
+
+    def test_pure_read(self):
+        assert wr_ratio(0.0, 10.0) == pytest.approx(-1.0)
+
+    def test_balanced(self):
+        assert wr_ratio(5.0, 5.0) == pytest.approx(0.0)
+
+    def test_double_write_hits_threshold(self):
+        # W = 2R corresponds to wr_ratio = 1/3 exactly (footnote 4).
+        assert wr_ratio(2.0, 1.0) == pytest.approx(DOMINANCE_THRESHOLD)
+
+    def test_no_traffic(self):
+        assert wr_ratio(0.0, 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            wr_ratio(-1.0, 1.0)
+
+    @given(traffic, traffic)
+    def test_bounded(self, w, r):
+        assert -1.0 <= wr_ratio(w, r) <= 1.0
+
+    @given(traffic, traffic)
+    def test_antisymmetric(self, w, r):
+        assert wr_ratio(w, r) == pytest.approx(-wr_ratio(r, w))
+
+
+class TestWrRatioArrays:
+    def test_matches_scalar(self):
+        w = np.array([1.0, 0.0, 2.0, 0.0])
+        r = np.array([0.0, 1.0, 1.0, 0.0])
+        out = wr_ratio_arrays(w, r)
+        for i in range(4):
+            assert out[i] == pytest.approx(wr_ratio(w[i], r[i]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ConfigError):
+            wr_ratio_arrays([1.0], [1.0, 2.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            wr_ratio_arrays([-1.0], [1.0])

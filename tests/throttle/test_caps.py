@@ -1,0 +1,57 @@
+"""Tests for cap construction."""
+
+import numpy as np
+import pytest
+
+from repro.throttle import CapSet, calibrated_caps, caps_from_specs
+from repro.util import ConfigError
+from repro.util.rng import RngFactory
+
+
+class TestCapSet:
+    def test_aligned_arrays_required(self):
+        with pytest.raises(ConfigError):
+            CapSet(throughput_bps=np.ones(3), iops=np.ones(2))
+
+    def test_positive_required(self):
+        with pytest.raises(ConfigError):
+            CapSet(throughput_bps=np.array([0.0]), iops=np.array([1.0]))
+
+    def test_for_vd(self):
+        caps = CapSet(
+            throughput_bps=np.array([10.0, 20.0]), iops=np.array([1.0, 2.0])
+        )
+        assert caps.for_vd(1) == (20.0, 2.0)
+        assert caps.num_vds == 2
+
+
+class TestCapsFromSpecs:
+    def test_matches_fleet(self, small_fleet):
+        caps = caps_from_specs(small_fleet)
+        assert caps.num_vds == len(small_fleet.vds)
+        for vd in small_fleet.vds[:10]:
+            assert caps.throughput_bps[vd.vd_id] == vd.throughput_cap_bps
+            assert caps.iops[vd.vd_id] == vd.iops_cap
+
+
+class TestCalibratedCaps:
+    def test_caps_exceed_mean_load(self, small_traffic, rngs):
+        caps = calibrated_caps(small_traffic, rngs.child("caps"))
+        for index, traffic in enumerate(small_traffic):
+            mean = (traffic.read_bytes + traffic.write_bytes).mean()
+            assert caps.throughput_bps[index] >= mean
+
+    def test_floor_applies_to_idle_vds(self, small_traffic, rngs):
+        caps = calibrated_caps(
+            small_traffic, rngs.child("caps"), floor_bps=12345.0
+        )
+        assert caps.throughput_bps.min() >= 12345.0
+
+    def test_deterministic(self, small_traffic, rngs):
+        a = calibrated_caps(small_traffic, rngs.child("caps"))
+        b = calibrated_caps(small_traffic, rngs.child("caps"))
+        assert (a.throughput_bps == b.throughput_bps).all()
+
+    def test_rejects_headroom_at_most_one(self, small_traffic, rngs):
+        with pytest.raises(ConfigError):
+            calibrated_caps(small_traffic, rngs, headroom_median=1.0)

@@ -1,0 +1,166 @@
+"""Tests for throttle groups and the §5 metrics."""
+
+import numpy as np
+import pytest
+
+from repro.throttle import (
+    ThrottleGroup,
+    build_node_groups,
+    build_vm_groups,
+    calibrated_caps,
+    rar_during_throttle,
+    reduction_rates,
+    throttle_seconds,
+    wr_ratio_under_throttle,
+)
+from repro.util import ConfigError
+
+
+def make_group(
+    read=((0.0, 0.0, 0.0, 0.0),),
+    write=((5.0, 20.0, 5.0, 5.0),),
+    cap_bps=(10.0,),
+    cap_iops=(100.0,),
+):
+    read = np.asarray(read, dtype=float)
+    write = np.asarray(write, dtype=float)
+    return ThrottleGroup(
+        label="test",
+        members=list(range(read.shape[0])),
+        read_bytes=read,
+        write_bytes=write,
+        read_iops=read / 10.0,
+        write_iops=write / 10.0,
+        cap_bps=np.asarray(cap_bps, dtype=float),
+        cap_iops=np.asarray(cap_iops, dtype=float),
+    )
+
+
+class TestThrottleGroup:
+    def test_throttled_detection(self):
+        group = make_group()
+        throttled = group.throttled("throughput")
+        assert throttled.tolist() == [[False, True, False, False]]
+
+    def test_usage_resources(self):
+        group = make_group()
+        assert group.usage("throughput")[0, 1] == pytest.approx(20.0)
+        assert group.usage("iops")[0, 1] == pytest.approx(2.0)
+
+    def test_rejects_bad_resource(self):
+        with pytest.raises(ConfigError):
+            make_group().usage("bandwidth")
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ConfigError):
+            make_group(cap_bps=(10.0, 20.0))
+
+    def test_throttle_seconds(self):
+        assert throttle_seconds(make_group(), "throughput") == 1
+
+
+class TestGroupBuilders:
+    def test_vm_groups_only_multi_vd(self, small_fleet, small_traffic, rngs):
+        caps = calibrated_caps(small_traffic, rngs.child("caps"))
+        groups = build_vm_groups(small_fleet, small_traffic, caps)
+        for group in groups:
+            assert group.num_members >= 2
+            vm_ids = {small_fleet.vds[vd].vm_id for vd in group.members}
+            assert len(vm_ids) == 1
+
+    def test_node_groups_are_co_located_tenants(
+        self, small_fleet, small_traffic, rngs
+    ):
+        caps = calibrated_caps(small_traffic, rngs.child("caps"))
+        groups = build_node_groups(small_fleet, small_traffic, caps)
+        for group in groups:
+            assert group.num_members >= 2
+            nodes = {
+                small_fleet.vms[vm].compute_node_id for vm in group.members
+            }
+            users = {small_fleet.vms[vm].user_id for vm in group.members}
+            assert len(nodes) == 1
+            assert len(users) == 1
+
+    def test_node_group_caps_sum_vd_caps(
+        self, small_fleet, small_traffic, rngs
+    ):
+        caps = calibrated_caps(small_traffic, rngs.child("caps"))
+        groups = build_node_groups(small_fleet, small_traffic, caps)
+        for group in groups[:3]:
+            for member_index, vm_id in enumerate(group.members):
+                vd_ids = [
+                    vd.vd_id for vd in small_fleet.vds_of_vm(vm_id)
+                ]
+                expected = float(caps.throughput_bps[vd_ids].sum())
+                assert group.cap_bps[member_index] == pytest.approx(expected)
+
+
+class TestRar:
+    def test_no_throttle_no_samples(self):
+        group = make_group(write=((1.0, 1.0, 1.0, 1.0),))
+        assert rar_during_throttle(group, "throughput") == []
+
+    def test_two_members_shared_pool(self):
+        # Member 0 throttles at t=1 while member 1 idles: RAR is high.
+        # Measured traffic is clipped at the cap (the throttled member
+        # delivers exactly its cap of 10, not its offered 20).
+        group = make_group(
+            read=((0, 0, 0, 0), (0, 0, 0, 0)),
+            write=((5, 20, 5, 5), (1, 1, 1, 1)),
+            cap_bps=(10.0, 30.0),
+            cap_iops=(100.0, 100.0),
+        )
+        samples = rar_during_throttle(group, "throughput")
+        assert len(samples) == 1
+        assert samples[0] == pytest.approx((40 - 11) / 40)
+
+    def test_saturated_group_has_zero_rar(self):
+        # A single member running at its cap leaves nothing to lend.
+        group = make_group(write=((50.0, 50.0, 50.0, 50.0),), cap_bps=(10.0,))
+        samples = rar_during_throttle(group, "throughput")
+        assert all(s == 0.0 for s in samples)
+
+
+class TestWrRatioUnderThrottle:
+    def test_write_only_throttle(self):
+        ratios = wr_ratio_under_throttle(make_group(), "throughput")
+        assert ratios == [pytest.approx(1.0)]
+
+    def test_read_heavy(self):
+        group = make_group(
+            read=((30.0, 0.0, 0.0, 0.0),), write=((0.0, 0.0, 0.0, 0.0),)
+        )
+        ratios = wr_ratio_under_throttle(group, "throughput")
+        assert ratios == [pytest.approx(-1.0)]
+
+
+class TestReductionRates:
+    def test_lending_shortens(self):
+        group = make_group(
+            read=((0, 0, 0, 0), (0, 0, 0, 0)),
+            write=((5, 20, 5, 5), (1, 1, 1, 1)),
+            cap_bps=(10.0, 30.0),
+            cap_iops=(100.0, 100.0),
+        )
+        rates = reduction_rates(group, "throughput", 0.5)
+        assert len(rates) == 1
+        # Measured traffic: the throttled member delivers its cap (10) and
+        # AR comes from the measured totals.
+        ar = 40 - 11
+        assert rates[0] == pytest.approx(10 / (10 + 0.5 * ar), rel=1e-6)
+
+    def test_monotone_in_p(self):
+        group = make_group(
+            read=((0, 0, 0, 0), (0, 0, 0, 0)),
+            write=((5, 20, 5, 5), (1, 1, 1, 1)),
+            cap_bps=(10.0, 30.0),
+            cap_iops=(100.0, 100.0),
+        )
+        low = reduction_rates(group, "throughput", 0.2)[0]
+        high = reduction_rates(group, "throughput", 0.8)[0]
+        assert high < low
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ConfigError):
+            reduction_rates(make_group(), "throughput", 1.0)

@@ -1,0 +1,96 @@
+"""Tests for prediction-guarded lending (§5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.throttle import (
+    LendingConfig,
+    PredictiveLendingConfig,
+    simulate_lending,
+    simulate_predictive_lending,
+)
+from repro.throttle.metrics import ThrottleGroup
+from repro.util import ConfigError
+
+from tests.throttle.test_lending import group_from
+
+
+class TestConfig:
+    def test_rejects_bad_margin(self):
+        with pytest.raises(ConfigError):
+            PredictiveLendingConfig(forecast_margin=0.5)
+
+    def test_rejects_bad_history(self):
+        with pytest.raises(ConfigError):
+            PredictiveLendingConfig(history_seconds=1)
+
+
+class TestPredictiveLending:
+    def test_still_lends_to_relieve_throttle(self):
+        group = group_from(
+            [[5, 20, 20, 5], [1, 1, 1, 1]], caps=[10.0, 30.0]
+        )
+        outcome = simulate_predictive_lending(
+            group,
+            "throughput",
+            PredictiveLendingConfig(
+                base=LendingConfig(lending_rate=0.8, period_seconds=4)
+            ),
+        )
+        assert outcome.throttled_seconds_with < outcome.throttled_seconds_without
+
+    def test_guard_protects_ramping_lender(self):
+        # Member 1 ramps steadily toward its cap; plain lending reclaims
+        # its headroom and throttles it, the predictive guard sees the
+        # ramp (a perfect linear trend) and reclaims nothing.
+        ramp = [10.0, 14.0, 18.0, 22.0, 26.0, 29.0]
+        burst = [5.0, 20.0, 5.0, 5.0, 5.0, 5.0]
+        group = group_from([burst, ramp], caps=[10.0, 30.0])
+        plain = simulate_lending(
+            group, "throughput", LendingConfig(lending_rate=0.9, period_seconds=6)
+        )
+        guarded = simulate_predictive_lending(
+            group,
+            "throughput",
+            PredictiveLendingConfig(
+                base=LendingConfig(lending_rate=0.9, period_seconds=6),
+                history_seconds=4,
+            ),
+        )
+        assert guarded.throttled_seconds_with <= plain.throttled_seconds_with
+
+    def test_no_throttle_noop(self):
+        group = group_from([[1, 1, 1, 1], [1, 1, 1, 1]], caps=[10.0, 10.0])
+        outcome = simulate_predictive_lending(group, "throughput")
+        assert outcome.throttled_seconds_with == 0
+        assert outcome.gain == 0.0
+
+    def test_rejects_bad_resource(self):
+        group = group_from([[1, 1], [1, 1]], caps=[10.0, 10.0])
+        with pytest.raises(ConfigError):
+            simulate_predictive_lending(group, "bandwidth")
+
+    def test_no_worse_than_plain_on_average(self, small_fleet, small_traffic, rngs):
+        from repro.throttle import build_vm_groups, calibrated_caps
+
+        caps = calibrated_caps(small_traffic, rngs.child("caps"))
+        groups = build_vm_groups(small_fleet, small_traffic, caps)
+        plain_gains, guarded_gains = [], []
+        for group in groups:
+            plain = simulate_lending(
+                group, "throughput", LendingConfig(lending_rate=0.8)
+            )
+            guarded = simulate_predictive_lending(
+                group,
+                "throughput",
+                PredictiveLendingConfig(base=LendingConfig(lending_rate=0.8)),
+            )
+            if plain.throttled_seconds_without > 0:
+                plain_gains.append(plain.gain)
+                guarded_gains.append(guarded.gain)
+        if plain_gains:
+            # The guard may lend less (smaller gains) but must not create
+            # materially more negative outcomes than plain lending.
+            plain_neg = np.mean(np.asarray(plain_gains) < 0)
+            guarded_neg = np.mean(np.asarray(guarded_gains) < 0)
+            assert guarded_neg <= plain_neg + 0.1

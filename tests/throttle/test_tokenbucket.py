@@ -1,0 +1,97 @@
+"""Tests for token-bucket cap enforcement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.throttle import (
+    ShapedTraffic,
+    TokenBucket,
+    TokenBucketConfig,
+    shape_vd_traffic,
+)
+from repro.util import ConfigError
+
+offered_series = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    min_size=1,
+    max_size=100,
+)
+
+
+class TestConfig:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigError):
+            TokenBucketConfig(rate_per_second=0.0)
+        with pytest.raises(ConfigError):
+            TokenBucketConfig(rate_per_second=10.0, burst_seconds=-1.0)
+
+    def test_depth(self):
+        assert TokenBucketConfig(10.0, burst_seconds=2.0).depth == 20.0
+
+
+class TestTokenBucket:
+    def test_under_rate_passes_through(self):
+        bucket = TokenBucket(TokenBucketConfig(10.0))
+        shaped = bucket.shape(np.full(20, 5.0))
+        assert np.allclose(shaped.delivered, 5.0)
+        assert shaped.throttled_seconds == 0
+
+    def test_burst_absorbed_by_bucket(self):
+        bucket = TokenBucket(TokenBucketConfig(10.0, burst_seconds=2.0))
+        # A single-second burst of 25 fits the 20-deep bucket + 10 refill.
+        shaped = bucket.shape(np.array([0.0, 25.0, 0.0]))
+        assert shaped.delivered[1] == pytest.approx(25.0)
+        assert shaped.throttled_seconds == 0
+
+    def test_sustained_overload_queues(self):
+        bucket = TokenBucket(TokenBucketConfig(10.0, burst_seconds=0.0))
+        shaped = bucket.shape(np.full(10, 15.0))
+        assert np.allclose(shaped.delivered, 10.0)
+        assert shaped.throttled.all()
+        assert shaped.backlog[-1] == pytest.approx(50.0)
+
+    def test_backlog_drains_after_burst(self):
+        bucket = TokenBucket(TokenBucketConfig(10.0, burst_seconds=0.0))
+        offered = np.array([40.0, 0.0, 0.0, 0.0, 0.0])
+        shaped = bucket.shape(offered)
+        assert shaped.backlog[0] == pytest.approx(30.0)
+        assert shaped.backlog[-1] == pytest.approx(0.0)
+        # Everything offered is eventually delivered.
+        assert shaped.delivered.sum() == pytest.approx(40.0)
+
+    def test_queue_delay(self):
+        shaped = ShapedTraffic(
+            delivered=np.array([10.0]),
+            backlog=np.array([30.0]),
+            throttled=np.array([True]),
+        )
+        assert shaped.queue_delay_seconds(10.0)[0] == pytest.approx(3.0)
+        with pytest.raises(ConfigError):
+            shaped.queue_delay_seconds(0.0)
+
+    def test_rejects_negative_offered(self):
+        bucket = TokenBucket(TokenBucketConfig(10.0))
+        with pytest.raises(ConfigError):
+            bucket.step(-1.0)
+
+    @settings(max_examples=50)
+    @given(offered=offered_series, rate=st.floats(1.0, 100.0))
+    def test_conservation(self, offered, rate):
+        # Property: delivered + final backlog == total offered, and the
+        # delivered rate never exceeds rate + bucket depth in one second.
+        shaped = shape_vd_traffic(np.asarray(offered), rate, burst_seconds=1.0)
+        assert shaped.delivered.sum() + shaped.backlog[-1] == pytest.approx(
+            float(np.sum(offered)), rel=1e-9, abs=1e-6
+        )
+        assert (shaped.delivered <= 2.0 * rate + 1e-6).all()
+        assert (shaped.backlog >= 0).all()
+
+    def test_shape_on_generated_traffic(self, small_traffic):
+        vd = small_traffic[0]
+        offered = vd.read_bytes + vd.write_bytes
+        cap = float(offered.mean()) * 2.0 + 1.0
+        shaped = shape_vd_traffic(offered, cap)
+        assert shaped.delivered.shape == offered.shape
+        assert (shaped.delivered <= offered.sum()).all()

@@ -1,0 +1,67 @@
+"""Tests for dataset file IO roundtrips."""
+
+import pytest
+
+from repro.trace import (
+    ComputeMetricTable,
+    StorageMetricTable,
+    read_metric_csv,
+    read_trace_jsonl,
+    write_metric_csv,
+    write_trace_jsonl,
+)
+from repro.util.errors import DatasetError
+
+from tests.trace.test_dataset import compute_table, trace_dataset
+
+
+class TestTraceJsonl:
+    def test_roundtrip(self, tmp_path):
+        traces = trace_dataset()
+        path = tmp_path / "traces.jsonl"
+        write_trace_jsonl(traces, path)
+        loaded = read_trace_jsonl(path)
+        assert loaded.sampling_rate == traces.sampling_rate
+        assert len(loaded) == len(traces)
+        assert loaded.timestamp.tolist() == traces.timestamp.tolist()
+        assert loaded.op.tolist() == traces.op.tolist()
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(DatasetError):
+            read_trace_jsonl(path)
+
+    def test_rejects_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "metric"}\n')
+        with pytest.raises(DatasetError):
+            read_trace_jsonl(path)
+
+
+class TestMetricCsv:
+    def test_roundtrip(self, tmp_path):
+        table = compute_table()
+        path = tmp_path / "compute.csv"
+        write_metric_csv(table, path)
+        loaded = read_metric_csv(path, ComputeMetricTable)
+        assert len(loaded) == len(table)
+        assert loaded.read_bytes.tolist() == table.read_bytes.tolist()
+        assert loaded.qp_id.tolist() == table.qp_id.tolist()
+
+    def test_rejects_wrong_table_type(self, tmp_path):
+        table = compute_table()
+        path = tmp_path / "compute.csv"
+        write_metric_csv(table, path)
+        with pytest.raises(DatasetError):
+            read_metric_csv(path, StorageMetricTable)
+
+    def test_rejects_bad_class(self, tmp_path):
+        with pytest.raises(DatasetError):
+            read_metric_csv(tmp_path / "x.csv", dict)
+
+    def test_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DatasetError):
+            read_metric_csv(path, ComputeMetricTable)

@@ -1,0 +1,88 @@
+"""Tests for the row-level record types."""
+
+import pytest
+
+from repro.trace import OpKind, TraceRecord, VdSpec
+from repro.util.errors import DatasetError
+
+
+def make_trace(**overrides) -> TraceRecord:
+    defaults = dict(
+        trace_id=1,
+        timestamp=12.5,
+        op=OpKind.WRITE,
+        size_bytes=4096,
+        offset_bytes=8192,
+        user_id=0,
+        vm_id=1,
+        vd_id=2,
+        qp_id=3,
+        wt_id=4,
+        compute_node_id=5,
+        segment_id=6,
+        block_server_id=7,
+        storage_node_id=8,
+        lat_compute_us=10.0,
+        lat_frontend_us=20.0,
+        lat_block_server_us=30.0,
+        lat_backend_us=40.0,
+        lat_chunk_server_us=50.0,
+    )
+    defaults.update(overrides)
+    return TraceRecord(**defaults)
+
+
+class TestTraceRecord:
+    def test_latency_is_sum_of_components(self):
+        assert make_trace().latency_us == pytest.approx(150.0)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(DatasetError):
+            make_trace(size_bytes=0)
+
+    def test_rejects_negative_offset(self):
+        with pytest.raises(DatasetError):
+            make_trace(offset_bytes=-1)
+
+    def test_op_enum(self):
+        assert make_trace(op=OpKind.READ).op == OpKind.READ
+        assert int(OpKind.READ) == 0
+        assert int(OpKind.WRITE) == 1
+
+
+class TestVdSpec:
+    def test_valid(self):
+        spec = VdSpec(
+            vd_id=0,
+            vm_id=0,
+            user_id=0,
+            capacity_bytes=1 << 30,
+            num_queue_pairs=4,
+            throughput_cap_bps=1e8,
+            iops_cap=1000,
+        )
+        assert spec.num_queue_pairs == 4
+
+    def test_rejects_too_many_qps(self):
+        with pytest.raises(DatasetError):
+            VdSpec(
+                vd_id=0,
+                vm_id=0,
+                user_id=0,
+                capacity_bytes=1 << 30,
+                num_queue_pairs=9,
+                throughput_cap_bps=1e8,
+                iops_cap=1000,
+            )
+
+    def test_rejects_nonpositive_caps(self):
+        with pytest.raises(DatasetError):
+            VdSpec(
+                vd_id=0,
+                vm_id=0,
+                user_id=0,
+                capacity_bytes=1 << 30,
+                num_queue_pairs=1,
+                throughput_cap_bps=0,
+                iops_cap=1000,
+            )

@@ -1,0 +1,48 @@
+"""Tests for the DiTing-style trace sampler."""
+
+import numpy as np
+import pytest
+
+from repro.trace import TraceSampler
+from repro.util import ConfigError
+from repro.util.rng import spawn_rng
+
+
+class TestTraceSampler:
+    def test_rate_one_keeps_everything(self):
+        sampler = TraceSampler(1.0, spawn_rng(0, "s"))
+        assert sampler.sample_count(100) == 100
+
+    def test_zero_ios(self):
+        sampler = TraceSampler(0.5, spawn_rng(0, "s"))
+        assert sampler.sample_count(0) == 0
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigError):
+            TraceSampler(0.0, spawn_rng(0, "s"))
+        with pytest.raises(ConfigError):
+            TraceSampler(1.5, spawn_rng(0, "s"))
+
+    def test_rejects_negative_count(self):
+        sampler = TraceSampler(0.5, spawn_rng(0, "s"))
+        with pytest.raises(ConfigError):
+            sampler.sample_count(-1)
+
+    def test_expectation(self):
+        sampler = TraceSampler(0.1, spawn_rng(7, "s"))
+        draws = [sampler.sample_count(1000) for __ in range(200)]
+        assert np.mean(draws) == pytest.approx(100.0, rel=0.05)
+
+    def test_vectorized_matches_expectation(self):
+        sampler = TraceSampler(0.25, spawn_rng(7, "s"))
+        counts = np.full(400, 400)
+        sampled = sampler.sample_counts(counts)
+        assert sampled.shape == counts.shape
+        assert sampled.mean() == pytest.approx(100.0, rel=0.05)
+
+    def test_vectorized_never_exceeds_input(self):
+        sampler = TraceSampler(0.9, spawn_rng(3, "s"))
+        counts = np.arange(50)
+        sampled = sampler.sample_counts(counts)
+        assert (sampled <= counts).all()
+        assert (sampled >= 0).all()

@@ -1,0 +1,113 @@
+"""Failure injection: telemetry gaps, thinning, clock skew."""
+
+import numpy as np
+import pytest
+
+from repro.trace.transform import (
+    drop_time_window,
+    resample_traces,
+    shift_timestamps,
+)
+from repro.util import ConfigError
+from repro.util.rng import spawn_rng
+
+from tests.trace.test_dataset import compute_table, trace_dataset
+
+
+class TestDropTimeWindow:
+    def test_removes_rows_in_window(self):
+        table = compute_table()  # timestamps 0..3
+        gapped = drop_time_window(table, 1, 3)
+        assert gapped.timestamp.tolist() == [0, 3]
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ConfigError):
+            drop_time_window(compute_table(), 2, 2)
+
+    def test_works_on_traces(self):
+        traces = trace_dataset()
+        gapped = drop_time_window(traces, 0.0, 1.0)
+        assert (gapped.timestamp >= 1.0).all()
+        assert gapped.sampling_rate == traces.sampling_rate
+
+
+class TestResampleTraces:
+    def test_adjusts_sampling_rate(self):
+        traces = trace_dataset()  # rate 0.5
+        thinned = resample_traces(traces, 0.5, spawn_rng(0, "r"))
+        assert thinned.sampling_rate == pytest.approx(0.25)
+        assert len(thinned) <= len(traces)
+
+    def test_estimated_totals_unbiased(self):
+        traces = trace_dataset()
+        estimates = []
+        for seed in range(200):
+            thinned = resample_traces(traces, 0.5, spawn_rng(seed, "r"))
+            estimates.append(thinned.estimated_total_ios())
+        assert np.mean(estimates) == pytest.approx(
+            traces.estimated_total_ios(), rel=0.15
+        )
+
+    def test_keep_all_is_identity(self):
+        traces = trace_dataset()
+        assert resample_traces(traces, 1.0, spawn_rng(0, "r")) is traces
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigError):
+            resample_traces(trace_dataset(), 0.0, spawn_rng(0, "r"))
+
+
+class TestShiftTimestamps:
+    def test_shifts(self):
+        traces = trace_dataset()
+        shifted = shift_timestamps(traces, 10.0)
+        assert shifted.timestamp.min() == pytest.approx(
+            traces.timestamp.min() + 10.0
+        )
+
+    def test_rejects_negative_result(self):
+        with pytest.raises(ConfigError):
+            shift_timestamps(trace_dataset(), -100.0)
+
+    def test_metric_tables_keep_integer_timestamps(self):
+        table = compute_table()
+        shifted = shift_timestamps(table, 5)
+        assert shifted.timestamp.dtype == table.timestamp.dtype
+        assert shifted.timestamp.tolist() == [5, 6, 7, 8]
+
+
+class TestAnalysesSurviveGaps:
+    """The §4/§7 analyses must degrade gracefully on gapped telemetry."""
+
+    def test_wt_cov_skips_gap(self, small_fleet, rngs):
+        from repro.balancer import wt_cov_samples
+        from repro.cluster import EBSSimulator, SimulationConfig
+
+        result = EBSSimulator(
+            small_fleet,
+            SimulationConfig(duration_seconds=120),
+            rngs.child("gap"),
+        ).run()
+        full = wt_cov_samples(result.metrics.compute, small_fleet, 30, "write")
+        gapped_table = drop_time_window(result.metrics.compute, 30, 60)
+        gapped = wt_cov_samples(gapped_table, small_fleet, 30, "write")
+        assert len(gapped) <= len(full)
+        assert all(0.0 <= value <= 1.0 + 1e-9 for value in gapped)
+
+    def test_hottest_block_on_thinned_traces(self, small_fleet, rngs):
+        from repro.cache import hottest_block
+        from repro.cluster import EBSSimulator, SimulationConfig
+        from repro.util.units import MiB
+
+        result = EBSSimulator(
+            small_fleet,
+            SimulationConfig(duration_seconds=120, trace_sampling_rate=0.2),
+            rngs.child("gap2"),
+        ).run()
+        thinned = resample_traces(result.traces, 0.3, spawn_rng(1, "thin"))
+        for vd in small_fleet.vds[:10]:
+            block = hottest_block(
+                thinned, vd.vd_id, 64 * MiB, vd.capacity_bytes
+            )
+            if block is not None:
+                assert 0.0 < block.access_rate <= 1.0

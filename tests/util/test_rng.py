@@ -1,0 +1,40 @@
+"""Tests for deterministic RNG spawning."""
+
+from repro.util import RngFactory, spawn_rng
+
+
+class TestSpawnRng:
+    def test_same_seed_same_label_same_stream(self):
+        a = spawn_rng(7, "x").random(5)
+        b = spawn_rng(7, "x").random(5)
+        assert (a == b).all()
+
+    def test_different_labels_differ(self):
+        a = spawn_rng(7, "x").random(5)
+        b = spawn_rng(7, "y").random(5)
+        assert not (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = spawn_rng(7, "x").random(5)
+        b = spawn_rng(8, "x").random(5)
+        assert not (a == b).all()
+
+
+class TestRngFactory:
+    def test_get_is_replayable(self):
+        factory = RngFactory(11)
+        a = factory.get("component").random(4)
+        b = factory.get("component").random(4)
+        assert (a == b).all()
+
+    def test_child_streams_independent(self):
+        factory = RngFactory(11)
+        child = factory.child("sub")
+        a = factory.get("x").random(4)
+        b = child.get("x").random(4)
+        assert not (a == b).all()
+
+    def test_child_deterministic(self):
+        a = RngFactory(11).child("sub").get("x").random(4)
+        b = RngFactory(11).child("sub").get("x").random(4)
+        assert (a == b).all()

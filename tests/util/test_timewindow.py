@@ -1,0 +1,62 @@
+"""Tests for time-window bucketing."""
+
+import pytest
+
+from repro.util import ConfigError, TimeWindow, iter_windows, window_index
+
+
+class TestTimeWindow:
+    def test_duration(self):
+        assert TimeWindow(10, 25).duration == 15
+
+    def test_contains_half_open(self):
+        w = TimeWindow(10, 20)
+        assert w.contains(10)
+        assert w.contains(19)
+        assert not w.contains(20)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            TimeWindow(5, 5)
+
+    def test_overlaps(self):
+        assert TimeWindow(0, 10).overlaps(TimeWindow(9, 12))
+        assert not TimeWindow(0, 10).overlaps(TimeWindow(10, 12))
+
+
+class TestIterWindows:
+    def test_exact_cover(self):
+        windows = list(iter_windows(60, 15))
+        assert len(windows) == 4
+        assert windows[0] == TimeWindow(0, 15)
+        assert windows[-1] == TimeWindow(45, 60)
+
+    def test_partial_tail_kept(self):
+        windows = list(iter_windows(50, 15))
+        assert windows[-1] == TimeWindow(45, 50)
+
+    def test_partial_tail_dropped(self):
+        windows = list(iter_windows(50, 15, drop_partial=True))
+        assert windows[-1] == TimeWindow(30, 45)
+
+    def test_covers_everything(self):
+        windows = list(iter_windows(100, 7))
+        covered = sum(w.duration for w in windows)
+        assert covered == 100
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigError):
+            list(iter_windows(0, 10))
+        with pytest.raises(ConfigError):
+            list(iter_windows(10, 0))
+
+
+class TestWindowIndex:
+    def test_basic(self):
+        assert window_index(0, 15) == 0
+        assert window_index(14, 15) == 0
+        assert window_index(15, 15) == 1
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ConfigError):
+            window_index(-1, 15)

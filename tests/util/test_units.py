@@ -1,0 +1,64 @@
+"""Tests for byte-unit parsing and formatting."""
+
+import pytest
+
+from repro.util import ConfigError, GiB, KiB, MiB, PiB, TiB, format_bytes, parse_size
+
+
+class TestParseSize:
+    def test_plain_bytes(self):
+        assert parse_size("4096") == 4096
+
+    def test_kib(self):
+        assert parse_size("4KiB") == 4 * KiB
+
+    def test_mib_with_space(self):
+        assert parse_size("64 MiB") == 64 * MiB
+
+    def test_gib(self):
+        assert parse_size("32GiB") == 32 * GiB
+
+    def test_tib_and_pib(self):
+        assert parse_size("2TiB") == 2 * TiB
+        assert parse_size("1PiB") == PiB
+
+    def test_short_units(self):
+        assert parse_size("8k") == 8 * KiB
+        assert parse_size("3M") == 3 * MiB
+
+    def test_fractional(self):
+        assert parse_size("1.5KiB") == 1536
+
+    def test_case_insensitive(self):
+        assert parse_size("1gib") == GiB
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ConfigError):
+            parse_size("lots")
+
+    def test_rejects_unknown_unit(self):
+        with pytest.raises(ConfigError):
+            parse_size("5 parsecs")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            parse_size("-5KiB")
+
+
+class TestFormatBytes:
+    def test_exact_unit(self):
+        assert format_bytes(32 * GiB) == "32.0 GiB"
+
+    def test_sub_kib(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_rounding_precision(self):
+        assert format_bytes(1536, precision=2) == "1.50 KiB"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            format_bytes(-1)
+
+    def test_roundtrip(self):
+        for value in (KiB, 7 * MiB, 13 * GiB):
+            assert parse_size(format_bytes(value)) == value

@@ -1,0 +1,52 @@
+"""Tests for the application profiles (Table 5 categories)."""
+
+import pytest
+
+from repro.util import ConfigError
+from repro.workload import APPLICATION_PROFILES, application_names, profile_for
+
+
+EXPECTED = {"BigData", "WebApp", "Middleware", "FileSystem", "Database", "Docker"}
+
+
+class TestProfiles:
+    def test_six_categories(self):
+        assert set(APPLICATION_PROFILES) == EXPECTED
+
+    def test_names_sorted_and_stable(self):
+        assert application_names() == tuple(sorted(EXPECTED))
+
+    def test_lookup(self):
+        assert profile_for("Database").name == "Database"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigError):
+            profile_for("Spreadsheet")
+
+    def test_bigdata_least_skewed_docker_most(self):
+        # Table 4: BigData has the lowest 1%-CCR, Docker the highest; in
+        # the generator this is controlled by the intensity sigma.
+        sigmas = {
+            name: profile.intensity_sigma
+            for name, profile in APPLICATION_PROFILES.items()
+        }
+        assert sigmas["BigData"] == min(sigmas.values())
+        assert sigmas["Docker"] == max(sigmas.values())
+
+    def test_read_skew_extra_positive(self):
+        # Observation 2: read skew exceeds write skew in every category.
+        for profile in APPLICATION_PROFILES.values():
+            assert profile.read_sigma_extra > 0
+
+    def test_population_weights_normalizable(self):
+        total = sum(p.population_weight for p in APPLICATION_PROFILES.values())
+        assert total > 0
+
+    def test_vd_ranges_valid(self):
+        for profile in APPLICATION_PROFILES.values():
+            lo, hi = profile.vd_count_range
+            assert 1 <= lo <= hi
+
+    def test_capacity_choices_positive(self):
+        for profile in APPLICATION_PROFILES.values():
+            assert all(c > 0 for c in profile.capacity_gib_choices)

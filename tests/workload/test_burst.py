@@ -1,0 +1,96 @@
+"""Tests for the ON/OFF burst model and diurnal profile."""
+
+import numpy as np
+import pytest
+
+from repro.util import ConfigError
+from repro.util.rng import spawn_rng
+from repro.workload import BurstConfig, OnOffBurstModel, diurnal_profile
+
+
+class TestBurstConfig:
+    def test_mean_off_from_duty_cycle(self):
+        config = BurstConfig(duty_cycle=0.25, mean_on_seconds=30.0)
+        assert config.mean_off_seconds == pytest.approx(90.0)
+
+    def test_always_on(self):
+        config = BurstConfig(duty_cycle=1.0)
+        assert config.mean_off_seconds == 0.0
+
+    def test_rejects_bad_duty(self):
+        with pytest.raises(ConfigError):
+            BurstConfig(duty_cycle=0.0)
+        with pytest.raises(ConfigError):
+            BurstConfig(duty_cycle=1.5)
+
+    def test_rejects_bad_amplitude(self):
+        with pytest.raises(ConfigError):
+            BurstConfig(amplitude_max=0.5)
+
+
+class TestOnOffBurstModel:
+    def test_mean_normalized(self):
+        model = OnOffBurstModel(BurstConfig(duty_cycle=0.3))
+        series = model.series(spawn_rng(1, "b"), 5000)
+        assert series.mean() == pytest.approx(1.0)
+
+    def test_non_negative(self):
+        model = OnOffBurstModel(BurstConfig(duty_cycle=0.1, base_fraction=0.0))
+        series = model.series(spawn_rng(2, "b"), 2000)
+        assert (series >= 0).all()
+
+    def test_always_on_is_flat(self):
+        model = OnOffBurstModel(BurstConfig(duty_cycle=1.0))
+        series = model.series(spawn_rng(3, "b"), 100)
+        assert np.allclose(series, 1.0)
+
+    def test_low_duty_cycle_is_bursty(self):
+        rare = OnOffBurstModel(
+            BurstConfig(duty_cycle=0.02, amplitude_alpha=0.9, base_fraction=0.0)
+        ).series(spawn_rng(4, "b"), 5000)
+        common = OnOffBurstModel(
+            BurstConfig(duty_cycle=0.8, amplitude_alpha=2.0, base_fraction=0.3)
+        ).series(spawn_rng(4, "b"), 5000)
+        # P2A of the rare-burst series far exceeds the steady one.
+        assert rare.max() > 3 * common.max()
+
+    def test_length(self):
+        model = OnOffBurstModel(BurstConfig())
+        assert model.series(spawn_rng(0, "b"), 123).shape == (123,)
+
+    def test_rejects_bad_length(self):
+        model = OnOffBurstModel(BurstConfig())
+        with pytest.raises(ConfigError):
+            model.series(spawn_rng(0, "b"), 0)
+
+    def test_deterministic_given_rng(self):
+        model = OnOffBurstModel(BurstConfig(duty_cycle=0.2))
+        a = model.series(spawn_rng(5, "b"), 500)
+        b = model.series(spawn_rng(5, "b"), 500)
+        assert (a == b).all()
+
+
+class TestDiurnalProfile:
+    def test_mean_one(self):
+        profile = diurnal_profile(86400, amplitude=0.3)
+        assert profile.mean() == pytest.approx(1.0, abs=1e-6)
+
+    def test_zero_amplitude_flat(self):
+        profile = diurnal_profile(100, amplitude=0.0)
+        assert np.allclose(profile, 1.0)
+
+    def test_peak_location(self):
+        profile = diurnal_profile(1000, peak_at_fraction=0.5, amplitude=0.3)
+        assert abs(int(np.argmax(profile)) - 500) <= 1
+
+    def test_positive(self):
+        profile = diurnal_profile(500, amplitude=0.9)
+        assert (profile > 0).all()
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigError):
+            diurnal_profile(0)
+        with pytest.raises(ConfigError):
+            diurnal_profile(10, amplitude=1.0)
+        with pytest.raises(ConfigError):
+            diurnal_profile(10, peak_at_fraction=2.0)

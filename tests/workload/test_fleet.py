@@ -1,0 +1,134 @@
+"""Tests for fleet construction."""
+
+import pytest
+
+from repro.util import ConfigError
+from repro.util.rng import RngFactory
+from repro.util.units import GiB
+from repro.workload import APPLICATION_PROFILES, FleetConfig, build_fleet
+
+
+class TestFleetConfig:
+    def test_rejects_nonpositive_counts(self):
+        with pytest.raises(ConfigError):
+            FleetConfig(num_users=0)
+        with pytest.raises(ConfigError):
+            FleetConfig(num_vms=0)
+
+    def test_rejects_unknown_app(self):
+        with pytest.raises(ConfigError):
+            FleetConfig(app_weights={"Mainframe": 1.0})
+
+    def test_rejects_zero_weights(self):
+        with pytest.raises(ConfigError):
+            FleetConfig(app_weights={"Database": 0.0})
+
+    def test_num_block_servers(self):
+        config = FleetConfig(num_storage_nodes=4, block_servers_per_node=2)
+        assert config.num_block_servers == 8
+
+
+class TestBuildFleet:
+    def test_deterministic(self, small_fleet_config):
+        a = build_fleet(small_fleet_config, RngFactory(1))
+        b = build_fleet(small_fleet_config, RngFactory(1))
+        assert [vm.application for vm in a.vms] == [
+            vm.application for vm in b.vms
+        ]
+        assert [vd.capacity_bytes for vd in a.vds] == [
+            vd.capacity_bytes for vd in b.vds
+        ]
+
+    def test_vm_count(self, small_fleet):
+        assert len(small_fleet.vms) == small_fleet.config.num_vms
+
+    def test_ids_are_dense(self, small_fleet):
+        assert [vm.vm_id for vm in small_fleet.vms] == list(
+            range(len(small_fleet.vms))
+        )
+        assert [vd.vd_id for vd in small_fleet.vds] == list(
+            range(len(small_fleet.vds))
+        )
+        assert [qp.qp_id for qp in small_fleet.queue_pairs] == list(
+            range(len(small_fleet.queue_pairs))
+        )
+        assert [seg.segment_id for seg in small_fleet.segments] == list(
+            range(len(small_fleet.segments))
+        )
+
+    def test_every_vm_has_a_vd(self, small_fleet):
+        vm_ids_with_vds = {vd.vm_id for vd in small_fleet.vds}
+        assert vm_ids_with_vds == {vm.vm_id for vm in small_fleet.vms}
+
+    def test_qp_ranges_consistent(self, small_fleet):
+        for vd in small_fleet.vds:
+            qps = [
+                qp for qp in small_fleet.queue_pairs if qp.vd_id == vd.vd_id
+            ]
+            assert len(qps) == vd.num_queue_pairs
+            assert [qp.qp_id for qp in qps] == list(vd.qp_ids)
+
+    def test_segments_cover_capacity(self, small_fleet):
+        seg_bytes = small_fleet.config.segment_bytes
+        for vd in small_fleet.vds:
+            assert vd.num_segments == -(-vd.capacity_bytes // seg_bytes)
+            segments = [
+                s for s in small_fleet.segments if s.vd_id == vd.vd_id
+            ]
+            assert len(segments) == vd.num_segments
+
+    def test_vd_segments_spread_over_block_servers(self, small_fleet):
+        num_bs = small_fleet.config.num_block_servers
+        for vd in small_fleet.vds:
+            segments = [
+                s for s in small_fleet.segments if s.vd_id == vd.vd_id
+            ]
+            bs_ids = [s.block_server_id for s in segments]
+            # Round-robin: no BS holds two segments of one VD until all
+            # BSs hold one.
+            if len(segments) <= num_bs:
+                assert len(set(bs_ids)) == len(segments)
+
+    def test_applications_valid(self, small_fleet):
+        for vm in small_fleet.vms:
+            assert vm.application in APPLICATION_PROFILES
+
+    def test_placement_in_range(self, small_fleet):
+        for vm in small_fleet.vms:
+            assert 0 <= vm.compute_node_id < small_fleet.config.num_compute_nodes
+
+    def test_bare_metal_nodes_host_single_vm(self):
+        config = FleetConfig(
+            num_users=5,
+            num_vms=30,
+            num_compute_nodes=10,
+            bare_metal_fraction=0.3,
+            num_storage_nodes=4,
+        )
+        fleet = build_fleet(config, RngFactory(3))
+        # With 10 nodes and 30% bare metal, 3 nodes are bare-metal; they
+        # receive the first VMs and nothing else.
+        counts = {}
+        for vm in fleet.vms:
+            counts[vm.compute_node_id] = counts.get(vm.compute_node_id, 0) + 1
+        singles = [node for node, count in counts.items() if count == 1]
+        assert len(singles) >= 3
+
+    def test_specs_exported(self, small_fleet):
+        spec = small_fleet.vd_spec(0)
+        assert spec.capacity_bytes == small_fleet.vds[0].capacity_bytes
+        vm_spec = small_fleet.vm_spec(0)
+        assert vm_spec.application == small_fleet.vms[0].application
+
+    def test_wt_helpers(self, small_fleet):
+        per = small_fleet.config.workers_per_node
+        assert list(small_fleet.wt_ids_of_node(0)) == list(range(per))
+        assert small_fleet.node_of_wt(per) == 1
+        assert small_fleet.num_wts == per * small_fleet.config.num_compute_nodes
+
+    def test_caps_monotone_with_capacity(self, small_fleet):
+        by_capacity = sorted(
+            small_fleet.vds, key=lambda vd: vd.capacity_bytes
+        )
+        caps = [vd.throughput_cap_bps for vd in by_capacity]
+        assert all(a <= b + 1e-9 for a, b in zip(caps, caps[1:]))

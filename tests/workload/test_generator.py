@@ -1,0 +1,94 @@
+"""Tests for per-VD traffic generation."""
+
+import numpy as np
+import pytest
+
+from repro.util import ConfigError
+from repro.util.rng import RngFactory
+from repro.workload import WorkloadGenerator
+
+
+class TestWorkloadGenerator:
+    def test_rejects_bad_duration(self, small_fleet, rngs):
+        with pytest.raises(ConfigError):
+            WorkloadGenerator(small_fleet, 0, rngs)
+
+    def test_covers_all_vds(self, small_fleet, small_traffic):
+        assert len(small_traffic) == len(small_fleet.vds)
+
+    def test_series_shapes(self, small_generator, small_traffic):
+        t = small_generator.duration_seconds
+        for traffic in small_traffic:
+            assert traffic.read_bytes.shape == (t,)
+            assert traffic.write_bytes.shape == (t,)
+            assert traffic.read_iops.shape == (t,)
+            assert traffic.write_iops.shape == (t,)
+
+    def test_non_negative(self, small_traffic):
+        for traffic in small_traffic:
+            assert (traffic.read_bytes >= 0).all()
+            assert (traffic.write_bytes >= 0).all()
+
+    def test_weights_normalized(self, small_fleet, small_traffic):
+        for traffic in small_traffic:
+            vd = small_fleet.vds[traffic.vd_id]
+            assert traffic.qp_read_weights.shape == (vd.num_queue_pairs,)
+            assert traffic.qp_write_weights.shape == (vd.num_queue_pairs,)
+            assert traffic.qp_read_weights.sum() == pytest.approx(1.0)
+            assert traffic.qp_write_weights.sum() == pytest.approx(1.0)
+            assert traffic.segment_read_weights.shape == (vd.num_segments,)
+            assert traffic.segment_read_weights.sum() == pytest.approx(1.0)
+            assert traffic.segment_write_weights.sum() == pytest.approx(1.0)
+
+    def test_iops_consistent_with_bytes(self, small_traffic):
+        for traffic in small_traffic:
+            expected = traffic.read_bytes / traffic.mean_read_size_bytes
+            assert np.allclose(traffic.read_iops, expected)
+
+    def test_cached(self, small_generator):
+        a = small_generator.generate_vd(0)
+        b = small_generator.generate_vd(0)
+        assert a is b
+
+    def test_deterministic_across_instances(self, small_fleet, rngs):
+        a = WorkloadGenerator(small_fleet, 120, rngs).generate_vd(1)
+        b = WorkloadGenerator(small_fleet, 120, rngs).generate_vd(1)
+        assert (a.read_bytes == b.read_bytes).all()
+        assert (a.qp_write_weights == b.qp_write_weights).all()
+
+    def test_hot_fraction_series_bounded(self, small_traffic):
+        for traffic in small_traffic:
+            assert (traffic.hot_fraction_series >= 0).all()
+            assert (traffic.hot_fraction_series <= 1).all()
+
+
+class TestFleetLevelShape:
+    """The generator must reproduce the paper's headline shapes."""
+
+    def test_write_dominant_in_total(self, small_fleet, rngs):
+        # Aggregate write traffic exceeds read (Table 2: 21.7 vs 6.5 PiB).
+        # One small fleet draw is noisy, so average over several seeds.
+        from repro.workload import build_fleet
+
+        reads, writes = 0.0, 0.0
+        for seed in range(4):
+            fleet = build_fleet(small_fleet.config, RngFactory(seed))
+            gen = WorkloadGenerator(fleet, 120, RngFactory(seed))
+            for traffic in gen.generate_all():
+                reads += traffic.read_bytes.sum()
+                writes += traffic.write_bytes.sum()
+        assert writes > reads * 0.8
+
+    def test_read_skew_exceeds_write_skew(self, small_fleet, small_traffic):
+        from repro.stats import ccr
+
+        vm_read, vm_write = {}, {}
+        for traffic in small_traffic:
+            vm = small_fleet.vds[traffic.vd_id].vm_id
+            vm_read[vm] = vm_read.get(vm, 0.0) + traffic.read_bytes.sum()
+            vm_write[vm] = vm_write.get(vm, 0.0) + traffic.write_bytes.sum()
+        read_ccr = ccr(list(vm_read.values()), 0.2)
+        write_ccr = ccr(list(vm_write.values()), 0.2)
+        # Both highly skewed; read at least comparable to write.
+        assert read_ccr > 0.5
+        assert write_ccr > 0.4

@@ -1,0 +1,154 @@
+"""Tests for the hotspot LBA model (§7 access patterns)."""
+
+import numpy as np
+import pytest
+
+from repro.util import ConfigError
+from repro.util.rng import spawn_rng
+from repro.util.units import GiB, MiB
+from repro.workload import HotspotLbaModel, LbaModelConfig
+from repro.workload.lba import PAGE_BYTES
+
+
+def make_model(seed=0, **overrides) -> HotspotLbaModel:
+    defaults = dict(
+        capacity_bytes=4 * GiB,
+        hot_block_bytes=64 * MiB,
+        hot_access_fraction=0.4,
+        hot_write_bias=0.3,
+        sequential_fraction=0.3,
+    )
+    defaults.update(overrides)
+    return HotspotLbaModel(LbaModelConfig(**defaults), spawn_rng(seed, "lba"))
+
+
+class TestLbaModelConfig:
+    def test_rejects_hot_block_bigger_than_capacity(self):
+        with pytest.raises(ConfigError):
+            LbaModelConfig(
+                capacity_bytes=MiB,
+                hot_block_bytes=2 * MiB,
+                hot_access_fraction=0.5,
+                hot_write_bias=0.1,
+                sequential_fraction=0.5,
+            )
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ConfigError):
+            LbaModelConfig(
+                capacity_bytes=GiB,
+                hot_block_bytes=MiB,
+                hot_access_fraction=1.0,
+                hot_write_bias=0.1,
+                sequential_fraction=0.5,
+            )
+
+
+class TestOffsets:
+    def test_offsets_page_aligned_and_in_range(self):
+        model = make_model()
+        is_write = np.array([True, False] * 500)
+        offsets = model.draw_offsets(spawn_rng(1, "io"), is_write)
+        assert (offsets % PAGE_BYTES == 0).all()
+        assert (offsets >= 0).all()
+        assert (offsets < 4 * GiB).all()
+
+    def test_empty_batch(self):
+        model = make_model()
+        offsets = model.draw_offsets(spawn_rng(1, "io"), np.array([], dtype=bool))
+        assert offsets.size == 0
+
+    def test_hot_block_attracts_accesses(self):
+        model = make_model(hot_access_fraction=0.6)
+        is_write = np.ones(4000, dtype=bool)
+        offsets = model.draw_offsets(spawn_rng(2, "io"), is_write)
+        lo, hi = model.hot_range_bytes
+        in_hot = ((offsets >= lo) & (offsets < hi)).mean()
+        # Hot fraction for writes is boosted by the write bias.
+        assert in_hot > 0.5
+
+    def test_write_bias_makes_hot_block_write_dominant(self):
+        model = make_model(hot_write_bias=0.5, hot_access_fraction=0.3)
+        rng = spawn_rng(3, "io")
+        is_write = rng.random(20000) < 0.5
+        offsets = model.draw_offsets(spawn_rng(4, "io"), is_write)
+        lo, hi = model.hot_range_bytes
+        in_hot = (offsets >= lo) & (offsets < hi)
+        writes_in_hot = (is_write & in_hot).sum()
+        reads_in_hot = (~is_write & in_hot).sum()
+        assert writes_in_hot > reads_in_hot
+
+    def test_hot_writes_mix_appends_and_rewrites(self):
+        model = make_model(hot_access_fraction=0.9, hot_write_bias=0.0)
+        is_write = np.ones(2000, dtype=bool)
+        # Force all IOs hot by passing hot_fraction=1.0.
+        offsets = model.draw_offsets(spawn_rng(5, "io"), is_write, hot_fraction=1.0)
+        lo, hi = model.hot_range_bytes
+        assert ((offsets >= lo) & (offsets < hi)).all()
+        # Rewrites of popular pages create reuse: fewer distinct pages than IOs.
+        assert np.unique(offsets).size < offsets.size
+
+    def test_popular_pages_stable_across_calls(self):
+        # The popularity ranking must be a property of the model, not of a
+        # single call, or sampled traces would show no reuse.
+        model = make_model(hot_access_fraction=0.9)
+        is_write = np.ones(3000, dtype=bool)
+        a = model.draw_offsets(spawn_rng(6, "io"), is_write, hot_fraction=1.0)
+        b = model.draw_offsets(spawn_rng(7, "io"), is_write, hot_fraction=1.0)
+        top_a = set(np.unique(a[:1500]).tolist())
+        overlap = np.isin(b, list(top_a)).mean()
+        assert overlap > 0.2
+
+
+class TestHotFractionSeries:
+    def test_bounded(self):
+        model = make_model()
+        series = model.hot_fraction_series(spawn_rng(6, "hf"), 2000)
+        assert (series >= 0).all()
+        assert (series <= 1).all()
+
+    def test_mean_near_configured(self):
+        model = make_model(hot_access_fraction=0.4)
+        series = model.hot_fraction_series(spawn_rng(7, "hf"), 20000)
+        assert series.mean() == pytest.approx(0.4, abs=0.12)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ConfigError):
+            make_model().hot_fraction_series(spawn_rng(0, "hf"), 0)
+
+
+class TestSegmentWeights:
+    def test_sums_to_one(self):
+        model = make_model(capacity_bytes=8 * GiB)
+        weights = model.segment_weights(GiB, spawn_rng(8, "sw"))
+        assert weights.size == 8
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_hot_segment_gets_hot_share(self):
+        model = make_model(capacity_bytes=8 * GiB, hot_access_fraction=0.7)
+        weights = model.segment_weights(GiB, spawn_rng(9, "sw"))
+        lo, __ = model.hot_range_bytes
+        hot_segment = lo // GiB
+        assert weights[hot_segment] >= 0.7 - 0.05
+
+    def test_single_segment_vd(self):
+        model = make_model(capacity_bytes=GiB)
+        weights = model.segment_weights(32 * GiB, spawn_rng(0, "sw"))
+        assert weights.tolist() == [1.0]
+
+    def test_rejects_bad_segment_size(self):
+        with pytest.raises(ConfigError):
+            make_model().segment_weights(0, spawn_rng(0, "sw"))
+
+
+class TestHotProbability:
+    def test_write_boost_read_discount(self):
+        model = make_model(hot_write_bias=0.4)
+        probs = model.hot_probability(np.array([True, False]), 0.5)
+        assert probs[0] == pytest.approx(0.7)
+        assert probs[1] == pytest.approx(0.3)
+
+    def test_clipped_to_one(self):
+        model = make_model(hot_write_bias=0.5)
+        probs = model.hot_probability(np.array([True]), 0.9)
+        assert probs[0] == 1.0

@@ -1,0 +1,114 @@
+"""Tests for heavy-tailed sampling primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util import ConfigError
+from repro.util.rng import spawn_rng
+from repro.workload import bounded_pareto, lognormal_heavy, skewed_weights, zipf_weights
+
+
+class TestZipfWeights:
+    def test_sums_to_one(self):
+        assert zipf_weights(10, 1.1).sum() == pytest.approx(1.0)
+
+    def test_alpha_zero_uniform(self):
+        weights = zipf_weights(5, 0.0)
+        assert np.allclose(weights, 0.2)
+
+    def test_decreasing(self):
+        weights = zipf_weights(20, 1.0)
+        assert (np.diff(weights) < 0).all()
+
+    def test_higher_alpha_more_concentrated(self):
+        low = zipf_weights(100, 0.5)
+        high = zipf_weights(100, 2.0)
+        assert high[0] > low[0]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ConfigError):
+            zipf_weights(5, -1.0)
+
+
+class TestBoundedPareto:
+    def test_within_bounds(self):
+        rng = spawn_rng(1, "bp")
+        draws = bounded_pareto(rng, 1.2, 1.0, 100.0, size=2000)
+        assert draws.min() >= 1.0
+        assert draws.max() <= 100.0
+
+    def test_heavier_tail_for_smaller_alpha(self):
+        rng1 = spawn_rng(1, "bp")
+        rng2 = spawn_rng(1, "bp")
+        heavy = bounded_pareto(rng1, 0.8, 1.0, 1000.0, size=5000)
+        light = bounded_pareto(rng2, 2.5, 1.0, 1000.0, size=5000)
+        assert np.mean(heavy) > np.mean(light)
+
+    def test_scalar_draw(self):
+        value = bounded_pareto(spawn_rng(0, "bp"), 1.0, 2.0, 4.0)
+        assert 2.0 <= float(value) <= 4.0
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ConfigError):
+            bounded_pareto(spawn_rng(0, "bp"), 1.0, 5.0, 2.0)
+        with pytest.raises(ConfigError):
+            bounded_pareto(spawn_rng(0, "bp"), 0.0, 1.0, 2.0)
+
+    @settings(max_examples=25)
+    @given(
+        alpha=st.floats(min_value=0.3, max_value=3.0),
+        upper=st.floats(min_value=2.0, max_value=1e6),
+    )
+    def test_bounds_hold_for_any_params(self, alpha, upper):
+        draws = bounded_pareto(spawn_rng(3, "bp"), alpha, 1.0, upper, size=100)
+        assert ((draws >= 1.0) & (draws <= upper)).all()
+
+
+class TestLognormalHeavy:
+    def test_median_parameterization(self):
+        rng = spawn_rng(5, "ln")
+        draws = lognormal_heavy(rng, 100.0, 1.0, size=20001)
+        assert np.median(draws) == pytest.approx(100.0, rel=0.1)
+
+    def test_zero_sigma_is_constant(self):
+        draws = lognormal_heavy(spawn_rng(0, "ln"), 42.0, 0.0, size=10)
+        assert np.allclose(draws, 42.0)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigError):
+            lognormal_heavy(spawn_rng(0, "ln"), 0.0, 1.0)
+        with pytest.raises(ConfigError):
+            lognormal_heavy(spawn_rng(0, "ln"), 1.0, -1.0)
+
+
+class TestSkewedWeights:
+    def test_sums_to_one(self):
+        weights = skewed_weights(spawn_rng(0, "w"), 8, 0.3)
+        assert weights.sum() == pytest.approx(1.0)
+        assert (weights >= 0).all()
+
+    def test_single_element(self):
+        assert skewed_weights(spawn_rng(0, "w"), 1, 0.1).tolist() == [1.0]
+
+    def test_small_concentration_more_skewed(self):
+        rng = spawn_rng(9, "w")
+        tight = [skewed_weights(rng, 8, 0.05).max() for __ in range(50)]
+        loose = [skewed_weights(rng, 8, 50.0).max() for __ in range(50)]
+        assert np.mean(tight) > np.mean(loose)
+
+    def test_tiny_concentration_survives_underflow(self):
+        # Extremely small concentrations can underflow the Dirichlet draw;
+        # the fallback must still return a valid weight vector.
+        for trial in range(20):
+            weights = skewed_weights(spawn_rng(trial, "w"), 4, 1e-8)
+            assert weights.sum() == pytest.approx(1.0)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigError):
+            skewed_weights(spawn_rng(0, "w"), 0, 1.0)
+        with pytest.raises(ConfigError):
+            skewed_weights(spawn_rng(0, "w"), 3, 0.0)
