@@ -1,0 +1,179 @@
+"""Perf benchmark: array-based cache replay vs the scalar reference (§7).
+
+Replays every eligible VD's trace through the three paper cache policies
+(FIFO / LRU / frozen) at the three paper cache sizes (64 MiB / 512 MiB /
+2 GiB), once through the scalar :func:`repro.cache.simulate.replay_trace`
+reference (one :meth:`Cache.access` call per IO) and once through the
+shared-preparation fast path (:func:`repro.cache.fastreplay.replay_many`).
+Hit ratios must match **exactly**; the timings and throughput go into
+``BENCH_simulator.json``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_perf_cache.py --scale medium
+
+or as a pytest smoke check (tiny scale, parity only)::
+
+    PYTHONPATH=src:. python -m pytest benchmarks/bench_perf_cache.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.cache.fastreplay import (
+    pages_in_time_order,
+    prepare_pages,
+    replay_many,
+)
+from repro.cache.fifo import FifoCache
+from repro.cache.frozen import FrozenCache
+from repro.cache.hotspot import hottest_block
+from repro.cache.lru import LruCache
+from repro.cache.simulate import PAGE_BYTES, replay_trace
+from repro.core.config import StudyConfig
+
+try:
+    from benchmarks.perf_common import SCALES, merge_results, simulate_fleet
+except ImportError:  # executed as a script from inside benchmarks/
+    from perf_common import SCALES, merge_results, simulate_fleet
+
+#: A VD participates once it has this many traced IOs (the study proper
+#: uses a stricter cutoff for *statistics*; for replay timing a shorter
+#: stream is still a valid workload).
+MIN_TRACED_IOS = 64
+
+
+def _policy_caches(block, block_bytes: int):
+    capacity_pages = max(1, block_bytes // PAGE_BYTES)
+    return {
+        "fifo": FifoCache(capacity_pages),
+        "lru": LruCache(capacity_pages),
+        "frozen": FrozenCache.for_byte_range(
+            block.start_byte, block.block_bytes, PAGE_BYTES
+        ),
+    }
+
+
+def run_cache_benchmark(scale_name: str, seed: int = 7) -> dict:
+    """Benchmark cache replay at one scale; returns the results payload."""
+    scale = SCALES[scale_name]
+    block_sizes = StudyConfig().cache_block_bytes
+    fleet, result = simulate_fleet(scale, seed)
+
+    ids, counts = np.unique(result.traces.vd_id, return_counts=True)
+    eligible = [
+        int(vd) for vd, count in zip(ids, counts) if count >= MIN_TRACED_IOS
+    ]
+
+    slow_seconds = 0.0
+    fast_seconds = 0.0
+    replayed_ios = 0
+    mismatches = 0
+    for vd_id in eligible:
+        vd_traces = result.traces.for_vd(vd_id)
+        capacity_bytes = fleet.vds[vd_id].capacity_bytes
+        # Shared inputs (identical for both paths): the frozen cache's
+        # anchor block per size.  Neither path's timing includes this.
+        blocks = {
+            block_bytes: hottest_block(
+                result.traces, vd_id, block_bytes, capacity_bytes,
+                vd_traces=vd_traces,
+            )
+            for block_bytes in block_sizes
+        }
+
+        start = time.perf_counter()
+        slow = {
+            block_bytes: {
+                name: replay_trace(cache, vd_traces)
+                for name, cache in _policy_caches(
+                    blocks[block_bytes], block_bytes
+                ).items()
+            }
+            for block_bytes in block_sizes
+        }
+        mid = time.perf_counter()
+        prepared = prepare_pages(pages_in_time_order(vd_traces))
+        fast = {
+            block_bytes: replay_many(
+                _policy_caches(blocks[block_bytes], block_bytes),
+                vd_traces,
+                prepared,
+            )
+            for block_bytes in block_sizes
+        }
+        end = time.perf_counter()
+
+        slow_seconds += mid - start
+        fast_seconds += end - mid
+        replayed_ios += len(vd_traces) * len(block_sizes) * 3
+        for block_bytes in block_sizes:
+            for name in slow[block_bytes]:
+                if slow[block_bytes][name] != fast[block_bytes][name]:
+                    mismatches += 1
+
+    return {
+        "scale": scale_name,
+        "fleet": scale.describe(),
+        "trace_sampling_rate": scale.simulation_config().trace_sampling_rate,
+        "eligible_vds": len(eligible),
+        "min_traced_ios": MIN_TRACED_IOS,
+        "block_bytes": list(block_sizes),
+        "policies": ["fifo", "lru", "frozen"],
+        "replayed_ios": replayed_ios,
+        "scalar_seconds": round(slow_seconds, 4),
+        "fast_seconds": round(fast_seconds, 4),
+        "speedup": round(slow_seconds / fast_seconds, 2),
+        "ios_per_second_fast": round(replayed_ios / fast_seconds),
+        "ios_per_second_scalar": round(replayed_ios / slow_seconds),
+        "hit_ratio_mismatches": mismatches,
+        "hit_ratio_parity": mismatches == 0,
+    }
+
+
+# -- pytest smoke (tiny scale, correctness only) -----------------------------
+
+
+def test_cache_replay_fast_matches_scalar_smoke():
+    payload = run_cache_benchmark("tiny")
+    assert payload["hit_ratio_parity"]
+    assert payload["eligible_vds"] > 0
+    assert payload["fast_seconds"] > 0.0
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="medium",
+        help="benchmark fleet size (default: medium)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--no-write", action="store_true",
+        help="print results without updating BENCH_simulator.json",
+    )
+    args = parser.parse_args()
+
+    payload = run_cache_benchmark(args.scale, args.seed)
+    print(
+        f"cache replay [{args.scale}]: scalar {payload['scalar_seconds']}s, "
+        f"fast {payload['fast_seconds']}s -> {payload['speedup']}x over "
+        f"{payload['eligible_vds']} VDs / {payload['replayed_ios']:,} "
+        f"replayed IOs, parity={payload['hit_ratio_parity']}, "
+        f"{payload['ios_per_second_fast']:,} IOs/s"
+    )
+    if not payload["hit_ratio_parity"]:
+        raise SystemExit("FAIL: fast replay diverged from the scalar path")
+    if not args.no_write:
+        merge_results("cache_replay", payload)
+
+
+if __name__ == "__main__":
+    main()

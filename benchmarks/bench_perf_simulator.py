@@ -1,0 +1,126 @@
+"""Perf benchmark: vectorized pass 1 vs the scalar reference (§ simulator).
+
+Times :meth:`EBSSimulator.run_pass1` with ``fast=False`` (the audited
+per-VD/per-QP reference loops) against ``fast=True`` (the array path) on
+a fleet-scale workload, verifies the outputs are **bit-identical** (load
+grids, metric-table columns, and column dtypes), and records the numbers
+in ``BENCH_simulator.json``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_perf_simulator.py --scale medium
+
+or as a pytest smoke check (tiny scale, parity only)::
+
+    PYTHONPATH=src:. python -m pytest benchmarks/bench_perf_simulator.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+try:
+    from benchmarks.perf_common import (
+        SCALES,
+        best_of,
+        build_simulation,
+        merge_results,
+        tables_identical,
+    )
+except ImportError:  # executed as a script from inside benchmarks/
+    from perf_common import (
+        SCALES,
+        best_of,
+        build_simulation,
+        merge_results,
+        tables_identical,
+    )
+
+
+def run_pass1_benchmark(
+    scale_name: str, repeats: int = 3, seed: int = 7
+) -> dict:
+    """Benchmark pass 1 at one scale; returns the results payload."""
+    scale = SCALES[scale_name]
+    fleet, sim, traffic, qp_to_wt, seg_to_bs = build_simulation(scale, seed)
+
+    ref_seconds, ref = best_of(
+        lambda: sim.run_pass1(traffic, qp_to_wt, seg_to_bs, fast=False),
+        max(1, repeats - 1),
+    )
+    fast_seconds, fast = best_of(
+        lambda: sim.run_pass1(traffic, qp_to_wt, seg_to_bs, fast=True),
+        repeats,
+    )
+
+    identical = (
+        np.array_equal(ref[0], fast[0])       # WT load grid
+        and np.array_equal(ref[1], fast[1])   # BS load grid
+        and tables_identical(ref[2], fast[2])  # compute metric table
+        and tables_identical(ref[3], fast[3])  # storage metric table
+    )
+
+    num_vds = len(fleet.vds)
+    fleet_seconds = num_vds * scale.duration_seconds
+    return {
+        "scale": scale_name,
+        "fleet": scale.describe(),
+        "num_vds": num_vds,
+        "fleet_seconds": fleet_seconds,
+        "reference_seconds": round(ref_seconds, 4),
+        "fast_seconds": round(fast_seconds, 4),
+        "speedup": round(ref_seconds / fast_seconds, 2),
+        "fleet_seconds_per_second_fast": round(fleet_seconds / fast_seconds),
+        "fleet_seconds_per_second_reference": round(
+            fleet_seconds / ref_seconds
+        ),
+        "bit_identical": bool(identical),
+    }
+
+
+# -- pytest smoke (tiny scale, correctness only) -----------------------------
+
+
+def test_pass1_fast_matches_reference_smoke():
+    payload = run_pass1_benchmark("tiny", repeats=1)
+    assert payload["bit_identical"]
+    assert payload["fast_seconds"] > 0.0
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="medium",
+        help="benchmark fleet size (default: medium)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="repetitions per path; the best time is kept (default: 3)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--no-write", action="store_true",
+        help="print results without updating BENCH_simulator.json",
+    )
+    args = parser.parse_args()
+
+    payload = run_pass1_benchmark(args.scale, args.repeats, args.seed)
+    print(
+        f"pass 1 [{args.scale}]: reference {payload['reference_seconds']}s, "
+        f"fast {payload['fast_seconds']}s -> {payload['speedup']}x, "
+        f"bit_identical={payload['bit_identical']}, "
+        f"{payload['fleet_seconds_per_second_fast']:,} fleet-seconds/s"
+    )
+    if not payload["bit_identical"]:
+        raise SystemExit("FAIL: fast pass 1 diverged from the reference")
+    if not args.no_write:
+        merge_results("simulator_pass1", payload)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,156 @@
+"""Shared machinery for the performance benchmarks.
+
+The perf benchmarks (``bench_perf_simulator.py`` / ``bench_perf_cache.py``)
+measure the vectorized fast paths against their scalar reference
+implementations and record the results in ``BENCH_simulator.json`` at the
+repository root.
+
+Unlike the figure benchmarks (which replay the paper's *analysis* on a
+study-sized dataset), the perf benchmarks scale along the **fleet-size
+axis**: many VDs observed over a short window.  That is the regime the
+fast paths exist for — the paper's production fleet has ~140k VDs per
+data center, and per-VD Python loops are what capped the reproduction's
+fleet sizes.  The ``medium`` scale (128 users / 800 VMs, 60 s) is the
+reference point for the speedup figures quoted in the docs; ``tiny`` is
+a CI smoke scale.
+
+Timing uses best-of-N on a warmed process; results on a busy or
+single-core machine will wobble, but the parity checks are exact and
+must hold everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.cluster.hypervisor import HypervisorSet
+from repro.cluster.simulator import EBSSimulator, SimulationConfig
+from repro.cluster.storage import StorageCluster
+from repro.util.rng import RngFactory
+from repro.workload.fleet import Fleet, FleetConfig, build_fleet
+from repro.workload.generator import WorkloadGenerator
+
+#: Default output file, at the repository root.
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
+
+#: Trace sampling rate shared by all perf scales (the study default).
+SAMPLING_RATE = 1.0 / 20.0
+
+
+@dataclass(frozen=True)
+class PerfScale:
+    """One benchmark fleet size."""
+
+    name: str
+    num_users: int
+    num_vms: int
+    num_compute_nodes: int
+    num_storage_nodes: int
+    duration_seconds: int
+
+    def fleet_config(self, dc_id: int = 0) -> FleetConfig:
+        return FleetConfig(
+            dc_id=dc_id,
+            num_users=self.num_users,
+            num_vms=self.num_vms,
+            num_compute_nodes=self.num_compute_nodes,
+            num_storage_nodes=self.num_storage_nodes,
+        )
+
+    def simulation_config(self) -> SimulationConfig:
+        return SimulationConfig(
+            duration_seconds=self.duration_seconds,
+            trace_sampling_rate=SAMPLING_RATE,
+        )
+
+    def describe(self) -> Dict[str, int]:
+        return {
+            "num_users": self.num_users,
+            "num_vms": self.num_vms,
+            "num_compute_nodes": self.num_compute_nodes,
+            "num_storage_nodes": self.num_storage_nodes,
+            "duration_seconds": self.duration_seconds,
+        }
+
+
+SCALES: Dict[str, PerfScale] = {
+    "tiny": PerfScale("tiny", 16, 100, 16, 12, 30),
+    "small": PerfScale("small", 48, 300, 48, 32, 60),
+    "medium": PerfScale("medium", 128, 800, 120, 80, 60),
+}
+
+
+def build_simulation(scale: PerfScale, seed: int = 7):
+    """Fleet + simulator + generated traffic + bindings for one scale.
+
+    Returns ``(fleet, simulator, traffic, qp_to_wt, seg_to_bs)`` — the
+    inputs :meth:`EBSSimulator.run_pass1` consumes, built exactly as
+    :meth:`EBSSimulator.run` would build them.
+    """
+    rngs = RngFactory(seed)
+    fleet = build_fleet(scale.fleet_config(), rngs)
+    sim_config = scale.simulation_config()
+    simulator = EBSSimulator(fleet, sim_config, rngs)
+    hypervisors = HypervisorSet(fleet)
+    storage = StorageCluster(fleet)
+    generator = WorkloadGenerator(
+        fleet,
+        sim_config.duration_seconds,
+        rngs,
+        diurnal_amplitude=sim_config.diurnal_amplitude,
+    )
+    traffic = generator.generate_all()
+    qp_to_wt, seg_to_bs = simulator.bindings(hypervisors, storage)
+    return fleet, simulator, traffic, qp_to_wt, seg_to_bs
+
+
+def simulate_fleet(scale: PerfScale, seed: int = 7) -> "Tuple[Fleet, object]":
+    """Build and fully simulate one benchmark fleet; (fleet, result)."""
+    rngs = RngFactory(seed)
+    fleet = build_fleet(scale.fleet_config(), rngs)
+    result = EBSSimulator(fleet, scale.simulation_config(), rngs).run()
+    return fleet, result
+
+
+def best_of(fn: Callable[[], object], repeats: int) -> "Tuple[float, object]":
+    """(best wall time, last result) of ``repeats`` calls."""
+    best = float("inf")
+    out = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, out
+
+
+def tables_identical(a, b) -> bool:
+    """Column-wise equality (values *and* dtypes) of two metric tables."""
+    acols, bcols = a.columns(), b.columns()
+    if acols.keys() != bcols.keys():
+        return False
+    return all(
+        acols[name].dtype == bcols[name].dtype
+        and np.array_equal(acols[name], bcols[name])
+        for name in acols
+    )
+
+
+def merge_results(section: str, payload: dict, path: Path = RESULTS_PATH) -> None:
+    """Merge one benchmark section into the shared JSON results file."""
+    results: dict = {}
+    if path.exists():
+        results = json.loads(path.read_text())
+    payload = dict(payload)
+    payload["environment"] = {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    results[section] = payload
+    path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")

@@ -9,11 +9,22 @@
   (access rate, LBA share, write dominance, hot rate — Fig 6);
 - :mod:`repro.cache.simulate` — trace-driven cache simulation and hit
   ratios (Fig 7(a));
+- :mod:`repro.cache.fastreplay` — array-based replay fast paths, exactly
+  equivalent to the scalar ``Cache.access`` reference;
 - :mod:`repro.cache.placement` — CN-cache vs BS-cache comparison:
   latency gain and cache-space utilization (Fig 7(b)-(d)).
 """
 
 from repro.cache.base import Cache, CacheStats
+from repro.cache.fastreplay import (
+    PreparedPages,
+    fifo_hit_count,
+    frozen_hit_count,
+    lru_hit_count,
+    prepare_pages,
+    replay_many,
+    replay_trace_fast,
+)
 from repro.cache.fifo import FifoCache
 from repro.cache.frozen import FrozenCache
 from repro.cache.hotspot import (
@@ -34,7 +45,7 @@ from repro.cache.placement import (
     cacheable_vd_counts,
     latency_gain,
 )
-from repro.cache.simulate import simulate_vd_cache
+from repro.cache.simulate import simulate_vd_cache, simulate_vd_caches
 
 __all__ = [
     "Cache",
@@ -55,4 +66,12 @@ __all__ = [
     "cacheable_vd_counts",
     "latency_gain",
     "simulate_vd_cache",
+    "simulate_vd_caches",
+    "PreparedPages",
+    "fifo_hit_count",
+    "frozen_hit_count",
+    "lru_hit_count",
+    "prepare_pages",
+    "replay_many",
+    "replay_trace_fast",
 ]

@@ -10,6 +10,8 @@ flash/PMEM caches.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.cache.base import Cache
 from repro.util.errors import ConfigError
 
@@ -42,6 +44,13 @@ class FrozenCache(Cache):
 
     def __contains__(self, page: int) -> bool:
         return self.start_page <= page < self.start_page + self.capacity_pages
+
+    def contains_pages(self, pages: np.ndarray) -> np.ndarray:
+        """Vectorized residency check: bool array, one entry per page id."""
+        pages = np.asarray(pages)
+        return (pages >= self.start_page) & (
+            pages < self.start_page + self.capacity_pages
+        )
 
     def __len__(self) -> int:
         return self.capacity_pages

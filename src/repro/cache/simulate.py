@@ -7,11 +7,16 @@ the frozen cache at the hottest block's LBA.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Sequence
 
 import numpy as np
 
 from repro.cache.base import Cache
+from repro.cache.fastreplay import (
+    pages_in_time_order,
+    prepare_pages,
+    replay_many,
+)
 from repro.cache.fifo import FifoCache
 from repro.cache.frozen import FrozenCache
 from repro.cache.hotspot import hottest_block
@@ -26,6 +31,10 @@ def replay_trace(cache: Cache, traces: TraceDataset) -> float:
 
     Multi-page IOs touch only their first page (the paper traces one offset
     per IO); the simplification affects all policies identically.
+
+    This is the scalar **reference** implementation; the array-based
+    equivalent lives in :mod:`repro.cache.fastreplay` and is pinned
+    bit-identical to this path by tests.
     """
     if len(traces) == 0:
         return 0.0
@@ -43,25 +52,61 @@ def simulate_vd_cache(
     vd_id: int,
     block_bytes: int,
     capacity_bytes: int,
+    fast: bool = True,
 ) -> "Dict[str, float] | None":
     """Hit ratios of FIFO, LRU, and the frozen cache for one VD.
 
     All three caches get the same capacity (the block size, in pages); the
     frozen cache is anchored at the hottest block.  Returns None when the
-    VD has no traced IOs.
+    VD has no traced IOs.  ``fast=False`` pins the scalar reference replay
+    (the default fast path produces identical ratios).
     """
-    block = hottest_block(traces, vd_id, block_bytes, capacity_bytes)
-    if block is None:
-        return None
+    out = simulate_vd_caches(
+        traces, vd_id, (block_bytes,), capacity_bytes, fast=fast
+    )
+    return None if out is None else out[block_bytes]
+
+
+def simulate_vd_caches(
+    traces: TraceDataset,
+    vd_id: int,
+    block_bytes_list: Sequence[int],
+    capacity_bytes: int,
+    fast: bool = True,
+) -> "Dict[int, Dict[str, float]] | None":
+    """:func:`simulate_vd_cache` for several block sizes at once.
+
+    Slicing the fleet-sized dataset down to one VD and preparing its page
+    stream (time sort, duplicate compression, previous-occurrence index)
+    both cost more than a single replay — doing them once per VD instead
+    of once per (VD, block size, policy) is where the fast path's
+    fleet-scale speedup comes from.  Returns ``{block_bytes: {policy:
+    hit_ratio}}``, or None when the VD has no traced IOs.
+    """
     vd_traces = traces.for_vd(vd_id)
-    capacity_pages = max(1, block_bytes // PAGE_BYTES)
-    caches: Dict[str, Cache] = {
-        "fifo": FifoCache(capacity_pages),
-        "lru": LruCache(capacity_pages),
-        "frozen": FrozenCache.for_byte_range(
-            block.start_byte, block.block_bytes, PAGE_BYTES
-        ),
-    }
-    return {
-        name: replay_trace(cache, vd_traces) for name, cache in caches.items()
-    }
+    if len(vd_traces) == 0:
+        return None
+    prepared = (
+        prepare_pages(pages_in_time_order(vd_traces)) if fast else None
+    )
+    out: "Dict[int, Dict[str, float]]" = {}
+    for block_bytes in block_bytes_list:
+        block = hottest_block(
+            traces, vd_id, block_bytes, capacity_bytes, vd_traces=vd_traces
+        )
+        capacity_pages = max(1, block_bytes // PAGE_BYTES)
+        caches: Dict[str, Cache] = {
+            "fifo": FifoCache(capacity_pages),
+            "lru": LruCache(capacity_pages),
+            "frozen": FrozenCache.for_byte_range(
+                block.start_byte, block.block_bytes, PAGE_BYTES
+            ),
+        }
+        if fast:
+            out[block_bytes] = replay_many(caches, vd_traces, prepared)
+        else:
+            out[block_bytes] = {
+                name: replay_trace(cache, vd_traces)
+                for name, cache in caches.items()
+            }
+    return out

@@ -38,6 +38,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     study = _study(args)
+    study.build(workers=args.workers)
     targets = experiment_ids() if args.experiment == "all" else [args.experiment]
     results = []
     for experiment_id in targets:
@@ -60,7 +61,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_export(args: argparse.Namespace) -> int:
     study = _study(args)
-    study.build()
+    study.build(workers=args.workers)
     out = Path(args.directory)
     out.mkdir(parents=True, exist_ok=True)
     for result in study.results:
@@ -95,6 +96,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the results as JSON (for plotting pipelines)",
     )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process fan-out for the simulation build (across DCs, or "
+        "across VDs for a single-DC study); results are identical for "
+        "any worker count",
+    )
 
     export = sub.add_parser(
         "export-dataset", help="simulate and write the datasets to disk"
@@ -102,6 +111,12 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("directory")
     export.add_argument("--scale", choices=_SCALES, default="small")
     export.add_argument("--seed", type=int, default=7)
+    export.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process fan-out for the simulation build (seed-stable)",
+    )
 
     return parser
 

@@ -14,12 +14,27 @@
 
 Rows below the recording thresholds are dropped, mirroring a production
 metric pipeline that does not emit all-zero aggregates.
+
+Two implementations of pass 1 (metric tables + load grids) exist:
+
+- the **reference path** iterates VDs and their QPs/segments in Python --
+  easy to audit, kept as ground truth;
+- the **fast path** (default) stacks the per-VD series into ``(entity,
+  second)`` weight matrices and emits rows with one mask per table.  The
+  fast path is *bit-identical* to the reference path (same multiplication
+  operands, same ``np.add.at`` accumulation order, same row order) and is
+  verified by an equivalence test.
+
+Pass 2 (sampled traces) draws per-VD random streams from label-keyed child
+RNGs, so it can optionally fan out over a ``ProcessPoolExecutor`` without
+changing any output: results are seed-stable regardless of worker count.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -43,6 +58,10 @@ from repro.workload.generator import VdTraffic, WorkloadGenerator
 _MIN_IO_BYTES = 512
 _MAX_IO_BYTES = 4 * 1024 * 1024
 
+#: Upper bound on the number of (entity, second) cells materialized at once
+#: by the vectorized pass 1; keeps peak memory flat on huge fleets.
+_FAST_PASS_CHUNK_CELLS = 4 * 1024 * 1024
+
 
 @dataclass(frozen=True)
 class SimulationConfig:
@@ -56,6 +75,10 @@ class SimulationConfig:
     latency: LatencyConfig = field(default_factory=LatencyConfig)
     wt_capacity_bps: float = 2.0 * GiB
     bs_capacity_bps: float = 4.0 * GiB
+    #: Use the vectorized pass-1 implementation (bit-identical to the
+    #: reference loop; see the module docstring).  Exposed so tests and
+    #: benchmarks can pin either path.
+    use_fast_path: bool = True
 
     def __post_init__(self) -> None:
         if self.duration_seconds <= 0:
@@ -85,22 +108,96 @@ class SimulationResult:
 
 
 class _ColumnBuffer:
-    """Accumulates per-VD column chunks, concatenated once at the end."""
+    """Accumulates per-VD column chunks, concatenated once at the end.
 
-    def __init__(self, fields: "tuple[str, ...]"):
-        self._chunks: Dict[str, List[np.ndarray]] = {name: [] for name in fields}
+    The empty fallback is dtyped per field: an integer column of a
+    zero-traffic simulation must still come out as ``int64``, not as the
+    float64 ``np.zeros(0)`` default (regression: quiet fleets used to
+    yield float columns where the datasets expect ints).
+    """
+
+    def __init__(
+        self,
+        int_fields: "tuple[str, ...]",
+        float_fields: "tuple[str, ...]" = (),
+    ):
+        self._dtypes: Dict[str, np.dtype] = {
+            name: np.dtype(np.int64) for name in int_fields
+        }
+        self._dtypes.update(
+            {name: np.dtype(np.float64) for name in float_fields}
+        )
+        self._chunks: Dict[str, List[np.ndarray]] = {
+            name: [] for name in self._dtypes
+        }
 
     def append(self, **chunks: np.ndarray) -> None:
         for name, chunk in chunks.items():
             self._chunks[name].append(np.asarray(chunk))
 
     def concatenated(self) -> Dict[str, np.ndarray]:
-        return {
-            name: (
-                np.concatenate(chunks) if chunks else np.zeros(0)
-            )
-            for name, chunks in self._chunks.items()
-        }
+        out: Dict[str, np.ndarray] = {}
+        for name, chunks in self._chunks.items():
+            if not chunks:
+                out[name] = np.zeros(0, dtype=self._dtypes[name])
+            elif len(chunks) == 1:
+                # Single-chunk columns (the vectorized pass emits one chunk
+                # per table) skip the concatenate copy entirely.
+                out[name] = chunks[0]
+            else:
+                out[name] = np.concatenate(chunks)
+        return out
+
+
+def _normalized_probabilities(weights: np.ndarray, label: str) -> np.ndarray:
+    """Defensively re-normalize a weight vector for ``rng.choice(p=...)``.
+
+    Upstream weight computation accumulates float drift; ``Generator.choice``
+    rejects ``p`` whose sum strays more than ~1e-8 from 1.  Negative or
+    non-finite weights indicate a real upstream bug and raise instead.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 1 or w.size == 0:
+        raise ConfigError(f"{label} must be a non-empty 1-D vector")
+    if not np.all(np.isfinite(w)):
+        raise ConfigError(f"{label} must be finite")
+    if np.any(w < 0.0):
+        raise ConfigError(f"{label} must be non-negative")
+    total = float(w.sum())
+    if total <= 0.0:
+        raise ConfigError(f"{label} must have positive mass")
+    return w / total
+
+
+@dataclass(frozen=True)
+class _EntityArrays:
+    """Flat per-QP / per-segment metadata, indexed by global entity id."""
+
+    qp_vd: np.ndarray
+    qp_vm: np.ndarray
+    qp_user: np.ndarray
+    qp_node: np.ndarray
+    seg_vd: np.ndarray
+    seg_vm: np.ndarray
+    seg_user: np.ndarray
+
+
+def _trace_chunk_worker(
+    payload: "tuple[EBSSimulator, List[VdTraffic], np.ndarray, np.ndarray, np.ndarray, np.ndarray]",
+) -> "List[Optional[Dict[str, np.ndarray]]]":
+    """Module-level worker: per-VD trace columns for one chunk of VDs.
+
+    Runs in a child process.  Each VD draws only from its own label-keyed
+    RNG streams, so the output is identical no matter how VDs are
+    partitioned over workers.
+    """
+    simulator, chunk, qp_to_wt, seg_to_bs, wt_load, bs_load = payload
+    return [
+        simulator._trace_columns_for_vd(
+            vd_traffic, qp_to_wt, seg_to_bs, wt_load, bs_load
+        )
+        for vd_traffic in chunk
+    ]
 
 
 class EBSSimulator:
@@ -116,6 +213,7 @@ class EBSSimulator:
         self.config = config
         self._rngs = rngs.child(f"sim/dc{fleet.config.dc_id}")
         self.latency_model = LatencyModel(config.latency)
+        self._entities: Optional[_EntityArrays] = None
 
     # -- helpers -------------------------------------------------------------
 
@@ -128,39 +226,105 @@ class EBSSimulator:
             read_i + write_i >= cfg.min_record_iops
         )
 
-    def run(self) -> SimulationResult:
-        """Execute the simulation and build all three datasets."""
+    def bindings(
+        self, hypervisors: HypervisorSet, storage: StorageCluster
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """(qp -> WT, segment -> BS) binding arrays for the current state."""
         fleet = self.fleet
-        cfg = self.config
-        t = cfg.duration_seconds
-        dc = fleet.config.dc_id
-
-        hypervisors = HypervisorSet(fleet)
-        storage = StorageCluster(fleet)
-        generator = WorkloadGenerator(
-            fleet, t, self._rngs, diurnal_amplitude=cfg.diurnal_amplitude
-        )
-        traffic = generator.generate_all()
-
         qp_to_wt = np.zeros(len(fleet.queue_pairs), dtype=np.int64)
         for qp_id, wt_id in hypervisors.binding_arrays().items():
             qp_to_wt[qp_id] = wt_id
         seg_to_bs = np.zeros(len(fleet.segments), dtype=np.int64)
         for seg_id, bs_id in storage.placement_snapshot().items():
             seg_to_bs[seg_id] = bs_id
+        return qp_to_wt, seg_to_bs
+
+    def _entity_arrays(self) -> _EntityArrays:
+        """Flat per-entity metadata (built once, cached)."""
+        if self._entities is not None:
+            return self._entities
+        fleet = self.fleet
+        vd_user = np.fromiter(
+            (vd.user_id for vd in fleet.vds), dtype=np.int64,
+            count=len(fleet.vds),
+        )
+        qp_vd = np.fromiter(
+            (qp.vd_id for qp in fleet.queue_pairs), dtype=np.int64,
+            count=len(fleet.queue_pairs),
+        )
+        qp_vm = np.fromiter(
+            (qp.vm_id for qp in fleet.queue_pairs), dtype=np.int64,
+            count=len(fleet.queue_pairs),
+        )
+        qp_node = np.fromiter(
+            (qp.compute_node_id for qp in fleet.queue_pairs), dtype=np.int64,
+            count=len(fleet.queue_pairs),
+        )
+        seg_vd = np.fromiter(
+            (seg.vd_id for seg in fleet.segments), dtype=np.int64,
+            count=len(fleet.segments),
+        )
+        vd_vm = np.fromiter(
+            (vd.vm_id for vd in fleet.vds), dtype=np.int64,
+            count=len(fleet.vds),
+        )
+        self._entities = _EntityArrays(
+            qp_vd=qp_vd,
+            qp_vm=qp_vm,
+            qp_user=vd_user[qp_vd],
+            qp_node=qp_node,
+            seg_vd=seg_vd,
+            seg_vm=vd_vm[seg_vd],
+            seg_user=vd_user[seg_vd],
+        )
+        return self._entities
+
+    # -- pass 1: metric tables + load grids ----------------------------------
+
+    def run_pass1(
+        self,
+        traffic: List[VdTraffic],
+        qp_to_wt: np.ndarray,
+        seg_to_bs: np.ndarray,
+        fast: "bool | None" = None,
+    ) -> "tuple[np.ndarray, np.ndarray, ComputeMetricTable, StorageMetricTable]":
+        """Load grids + metric tables; ``fast`` overrides the config knob."""
+        if fast is None:
+            fast = self.config.use_fast_path
+        if fast:
+            wt_load, bs_load, cbuf, sbuf = self._pass1_fast(
+                traffic, qp_to_wt, seg_to_bs
+            )
+        else:
+            wt_load, bs_load, cbuf, sbuf = self._pass1_reference(
+                traffic, qp_to_wt, seg_to_bs
+            )
+        compute_table = ComputeMetricTable(**cbuf.concatenated())
+        storage_table = StorageMetricTable(**sbuf.concatenated())
+        return wt_load, bs_load, compute_table, storage_table
+
+    def _pass1_reference(
+        self,
+        traffic: List[VdTraffic],
+        qp_to_wt: np.ndarray,
+        seg_to_bs: np.ndarray,
+    ) -> "tuple[np.ndarray, np.ndarray, _ColumnBuffer, _ColumnBuffer]":
+        """Scalar per-VD/per-QP loops: the audited ground-truth path."""
+        fleet = self.fleet
+        cfg = self.config
+        t = cfg.duration_seconds
+        dc = fleet.config.dc_id
         bs_per_node = fleet.config.block_servers_per_node
 
         wt_load = np.zeros((fleet.num_wts, t))
         bs_load = np.zeros((fleet.config.num_block_servers, t))
-
         compute_buf = _ColumnBuffer(
-            (*ComputeMetricTable.INT_FIELDS, *ComputeMetricTable.FLOAT_FIELDS)
+            ComputeMetricTable.INT_FIELDS, ComputeMetricTable.FLOAT_FIELDS
         )
         storage_buf = _ColumnBuffer(
-            (*StorageMetricTable.INT_FIELDS, *StorageMetricTable.FLOAT_FIELDS)
+            StorageMetricTable.INT_FIELDS, StorageMetricTable.FLOAT_FIELDS
         )
 
-        # ---- pass 1: metric tables + load grids ---------------------------
         for vd_traffic in traffic:
             vd = fleet.vds[vd_traffic.vd_id]
             vm = fleet.vms[vd.vm_id]
@@ -216,16 +380,220 @@ class EBSSimulator:
                     read_iops=ri[ts],
                     write_iops=wi[ts],
                 )
+        return wt_load, bs_load, compute_buf, storage_buf
 
-        compute_table = ComputeMetricTable(**compute_buf.concatenated())
-        storage_table = StorageMetricTable(**storage_buf.concatenated())
+    def _stacked_series(
+        self, traffic: List[VdTraffic], t: int
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+        """Per-VD series stacked into ``(num_vds, t)`` matrices."""
+        num_vds = len(self.fleet.vds)
+        read_b = np.zeros((num_vds, t))
+        write_b = np.zeros((num_vds, t))
+        read_i = np.zeros((num_vds, t))
+        write_i = np.zeros((num_vds, t))
+        for tr in traffic:
+            read_b[tr.vd_id] = tr.read_bytes
+            write_b[tr.vd_id] = tr.write_bytes
+            read_i[tr.vd_id] = tr.read_iops
+            write_i[tr.vd_id] = tr.write_iops
+        return read_b, write_b, read_i, write_i
+
+    def _stacked_weights(
+        self, traffic: List[VdTraffic]
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+        """QP/segment weights stacked by global entity id."""
+        fleet = self.fleet
+        qp_rw = np.zeros(len(fleet.queue_pairs))
+        qp_ww = np.zeros(len(fleet.queue_pairs))
+        seg_rw = np.zeros(len(fleet.segments))
+        seg_ww = np.zeros(len(fleet.segments))
+        for tr in traffic:
+            vd = fleet.vds[tr.vd_id]
+            qs = slice(vd.first_qp_id, vd.first_qp_id + vd.num_queue_pairs)
+            qp_rw[qs] = tr.qp_read_weights
+            qp_ww[qs] = tr.qp_write_weights
+            ss = slice(
+                vd.first_segment_id, vd.first_segment_id + vd.num_segments
+            )
+            seg_rw[ss] = tr.segment_read_weights
+            seg_ww[ss] = tr.segment_write_weights
+        return qp_rw, qp_ww, seg_rw, seg_ww
+
+    def _pass1_fast(
+        self,
+        traffic: List[VdTraffic],
+        qp_to_wt: np.ndarray,
+        seg_to_bs: np.ndarray,
+    ) -> "tuple[np.ndarray, np.ndarray, _ColumnBuffer, _ColumnBuffer]":
+        """Vectorized pass 1 over stacked (entity, second) matrices.
+
+        Entities are processed in global id order in bounded-size chunks;
+        within a chunk every per-second value is computed with the exact
+        same elementwise operations (and ``np.add.at`` applies additions in
+        index order), so load grids and metric rows are bit-identical to
+        :meth:`_pass1_reference` when ``traffic`` is in fleet VD order.
+
+        The scatter-add onto a load grid uses a flat-index ``np.bincount``
+        when the whole entity range fits in one chunk (the common case):
+        ``bincount`` accumulates its weights sequentially in input order,
+        exactly like the reference's ``+=`` per entity, so the grids stay
+        bitwise equal while running several times faster than
+        ``np.add.at``.  Multi-chunk runs (huge fleets) fall back to
+        ``np.add.at`` per chunk, which updates the accumulator element by
+        element in index order and is therefore exact across chunks too.
+        """
+        fleet = self.fleet
+        cfg = self.config
+        t = cfg.duration_seconds
+        dc = fleet.config.dc_id
+        bs_per_node = fleet.config.block_servers_per_node
+        min_bytes = cfg.min_record_bytes
+        min_iops = cfg.min_record_iops
+        ent = self._entity_arrays()
+
+        read_b, write_b, read_i, write_i = self._stacked_series(traffic, t)
+        qp_rw, qp_ww, seg_rw, seg_ww = self._stacked_weights(traffic)
+
+        wt_load = np.zeros((fleet.num_wts, t))
+        bs_load = np.zeros((fleet.config.num_block_servers, t))
+        compute_buf = _ColumnBuffer(
+            ComputeMetricTable.INT_FIELDS, ComputeMetricTable.FLOAT_FIELDS
+        )
+        storage_buf = _ColumnBuffer(
+            StorageMetricTable.INT_FIELDS, StorageMetricTable.FLOAT_FIELDS
+        )
+        num_qps = len(fleet.queue_pairs)
+        num_segs = len(fleet.segments)
+        chunk = max(64, _FAST_PASS_CHUNK_CELLS // max(1, t))
+        arange_t = np.arange(t)
+        # Per-segment storage node, computed once instead of per metric row.
+        seg_to_node = seg_to_bs // bs_per_node
+
+        def scatter_add(
+            load: np.ndarray,
+            targets: np.ndarray,
+            bw: np.ndarray,
+            single_chunk: bool,
+        ) -> None:
+            if single_chunk:
+                flat = targets[:, None] * t + arange_t
+                load += np.bincount(
+                    flat.ravel(), weights=bw.ravel(), minlength=load.size
+                ).reshape(load.shape)
+            else:
+                np.add.at(load, targets, bw)
+
+        for start in range(0, num_qps, chunk):
+            stop = min(start + chunk, num_qps)
+            rows = ent.qp_vd[start:stop]
+            rw = qp_rw[start:stop, None]
+            ww = qp_ww[start:stop, None]
+            rb = read_b[rows]
+            rb *= rw
+            wb = write_b[rows]
+            wb *= ww
+            ri = read_i[rows]
+            ri *= rw
+            wi = write_i[rows]
+            wi *= ww
+            bw = rb + wb
+            scatter_add(
+                wt_load, qp_to_wt[start:stop], bw, num_qps <= chunk
+            )
+            # Inlined _record_mask, reusing the rb+wb sum computed above
+            # (identical values, so the mask is bit-identical).
+            mask = bw >= min_bytes
+            mask |= ri + wi >= min_iops
+            e, ts = np.nonzero(mask)
+            if not e.size:
+                continue
+            g = e + start  # global qp ids
+            # rb[mask] scans in C order, exactly the (e, ts) row order.
+            compute_buf.append(
+                timestamp=ts,
+                cluster_id=np.full(g.size, dc),
+                compute_node_id=ent.qp_node[g],
+                user_id=ent.qp_user[g],
+                vm_id=ent.qp_vm[g],
+                vd_id=ent.qp_vd[g],
+                wt_id=qp_to_wt[g],
+                qp_id=g,
+                read_bytes=rb[mask],
+                write_bytes=wb[mask],
+                read_iops=ri[mask],
+                write_iops=wi[mask],
+            )
+
+        for start in range(0, num_segs, chunk):
+            stop = min(start + chunk, num_segs)
+            rows = ent.seg_vd[start:stop]
+            rw = seg_rw[start:stop, None]
+            ww = seg_ww[start:stop, None]
+            rb = read_b[rows]
+            rb *= rw
+            wb = write_b[rows]
+            wb *= ww
+            ri = read_i[rows]
+            ri *= rw
+            wi = write_i[rows]
+            wi *= ww
+            bw = rb + wb
+            scatter_add(
+                bs_load, seg_to_bs[start:stop], bw, num_segs <= chunk
+            )
+            mask = bw >= min_bytes
+            mask |= ri + wi >= min_iops
+            e, ts = np.nonzero(mask)
+            if not e.size:
+                continue
+            g = e + start  # global segment ids
+            storage_buf.append(
+                timestamp=ts,
+                cluster_id=np.full(g.size, dc),
+                storage_node_id=seg_to_node[g],
+                block_server_id=seg_to_bs[g],
+                user_id=ent.seg_user[g],
+                vm_id=ent.seg_vm[g],
+                vd_id=ent.seg_vd[g],
+                segment_id=g,
+                read_bytes=rb[mask],
+                write_bytes=wb[mask],
+                read_iops=ri[mask],
+                write_iops=wi[mask],
+            )
+        return wt_load, bs_load, compute_buf, storage_buf
+
+    # -- the full run --------------------------------------------------------
+
+    def run(self, workers: int = 1) -> SimulationResult:
+        """Execute the simulation and build all three datasets.
+
+        ``workers > 1`` fans the per-VD trace generation (pass 2) out over
+        a process pool; outputs are identical for any worker count.
+        """
+        fleet = self.fleet
+        cfg = self.config
+        t = cfg.duration_seconds
+
+        hypervisors = HypervisorSet(fleet)
+        storage = StorageCluster(fleet)
+        generator = WorkloadGenerator(
+            fleet, t, self._rngs, diurnal_amplitude=cfg.diurnal_amplitude
+        )
+        traffic = generator.generate_all()
+
+        qp_to_wt, seg_to_bs = self.bindings(hypervisors, storage)
+
+        wt_load, bs_load, compute_table, storage_table = self.run_pass1(
+            traffic, qp_to_wt, seg_to_bs
+        )
         metrics = MetricDataset(
             compute=compute_table, storage=storage_table, duration_seconds=t
         )
 
         # ---- pass 2: sampled traces ----------------------------------------
         traces = self._generate_traces(
-            traffic, qp_to_wt, seg_to_bs, wt_load, bs_load
+            traffic, qp_to_wt, seg_to_bs, wt_load, bs_load, workers=workers
         )
 
         specs = SpecDataset(
@@ -246,14 +614,22 @@ class EBSSimulator:
             bs_load_bps=bs_load,
         )
 
-    def _generate_traces(
+    # -- pass 2: sampled traces ----------------------------------------------
+
+    def _trace_columns_for_vd(
         self,
-        traffic: List[VdTraffic],
+        vd_traffic: VdTraffic,
         qp_to_wt: np.ndarray,
         seg_to_bs: np.ndarray,
         wt_load: np.ndarray,
         bs_load: np.ndarray,
-    ) -> TraceDataset:
+    ) -> "Optional[Dict[str, np.ndarray]]":
+        """Trace columns (sans trace_id) for one VD; None if nothing sampled.
+
+        Every random draw comes from RNG streams keyed by this VD's id, so
+        the result does not depend on which process (or in which order)
+        generates it.
+        """
         fleet = self.fleet
         cfg = self.config
         t = cfg.duration_seconds
@@ -261,99 +637,150 @@ class EBSSimulator:
         bs_per_node = fleet.config.block_servers_per_node
         segment_bytes = fleet.config.segment_bytes
 
+        vd = fleet.vds[vd_traffic.vd_id]
+        vm = fleet.vms[vd.vm_id]
+        rng = self._rngs.get(f"trace/vd{vd.vd_id}")
         sampler = TraceSampler(
-            cfg.trace_sampling_rate, self._rngs.get("trace-sampler")
+            cfg.trace_sampling_rate,
+            self._rngs.get(f"trace-sampler/vd{vd.vd_id}"),
         )
+
+        read_counts = sampler.sample_counts(
+            np.round(vd_traffic.read_iops).astype(np.int64)
+        )
+        write_counts = sampler.sample_counts(
+            np.round(vd_traffic.write_iops).astype(np.int64)
+        )
+        n_read = int(read_counts.sum())
+        n_write = int(write_counts.sum())
+        n = n_read + n_write
+        if n == 0:
+            return None
+
+        seconds = np.concatenate(
+            [
+                np.repeat(np.arange(t), read_counts),
+                np.repeat(np.arange(t), write_counts),
+            ]
+        )
+        is_write = np.zeros(n, dtype=bool)
+        is_write[n_read:] = True
+        timestamps = seconds + rng.random(n)
+
+        mean_size = np.where(
+            is_write,
+            vd_traffic.mean_write_size_bytes,
+            vd_traffic.mean_read_size_bytes,
+        )
+        sizes = np.clip(
+            mean_size * rng.lognormal(0.0, 0.35, size=n),
+            _MIN_IO_BYTES,
+            _MAX_IO_BYTES,
+        ).astype(np.int64)
+
+        hot_fraction = vd_traffic.hot_fraction_series[seconds]
+        offsets = vd_traffic.lba_model.draw_offsets(
+            rng, is_write, hot_fraction
+        )
+
+        qp_read_p = _normalized_probabilities(
+            vd_traffic.qp_read_weights, f"vd {vd.vd_id} qp read weights"
+        )
+        qp_write_p = _normalized_probabilities(
+            vd_traffic.qp_write_weights, f"vd {vd.vd_id} qp write weights"
+        )
+        qp_index = np.where(
+            is_write,
+            rng.choice(vd.num_queue_pairs, size=n, p=qp_write_p),
+            rng.choice(vd.num_queue_pairs, size=n, p=qp_read_p),
+        )
+        qp_ids = vd.first_qp_id + qp_index
+        wt_ids = qp_to_wt[qp_ids]
+
+        seg_index = np.minimum(offsets // segment_bytes, vd.num_segments - 1)
+        seg_ids = vd.first_segment_id + seg_index
+        bs_ids = seg_to_bs[seg_ids]
+
+        wt_u = wt_load[wt_ids, seconds] / cfg.wt_capacity_bps
+        bs_u = bs_load[bs_ids, seconds] / cfg.bs_capacity_bps
+        latencies = self.latency_model.sample(
+            rng, is_write, sizes, wt_u, bs_u
+        )
+
+        return dict(
+            op=is_write.astype(np.int64),
+            size_bytes=sizes,
+            offset_bytes=offsets,
+            user_id=np.full(n, vd.user_id),
+            vm_id=np.full(n, vd.vm_id),
+            vd_id=np.full(n, vd.vd_id),
+            qp_id=qp_ids,
+            wt_id=wt_ids,
+            compute_node_id=np.full(n, vm.compute_node_id),
+            segment_id=seg_ids,
+            block_server_id=bs_ids,
+            storage_node_id=bs_ids // bs_per_node,
+            timestamp=timestamps,
+            lat_compute_us=latencies["compute"],
+            lat_frontend_us=latencies["frontend"],
+            lat_block_server_us=latencies["block_server"],
+            lat_backend_us=latencies["backend"],
+            lat_chunk_server_us=latencies["chunk_server"],
+        )
+
+    def _generate_traces(
+        self,
+        traffic: List[VdTraffic],
+        qp_to_wt: np.ndarray,
+        seg_to_bs: np.ndarray,
+        wt_load: np.ndarray,
+        bs_load: np.ndarray,
+        workers: int = 1,
+    ) -> TraceDataset:
+        cfg = self.config
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+
+        if workers == 1 or len(traffic) < 2:
+            per_vd = (
+                self._trace_columns_for_vd(
+                    vd_traffic, qp_to_wt, seg_to_bs, wt_load, bs_load
+                )
+                for vd_traffic in traffic
+            )
+            columns_in_order = per_vd
+        else:
+            workers = min(workers, len(traffic))
+            bounds = np.linspace(0, len(traffic), workers + 1).astype(int)
+            payloads = [
+                (
+                    self,
+                    traffic[bounds[i]: bounds[i + 1]],
+                    qp_to_wt,
+                    seg_to_bs,
+                    wt_load,
+                    bs_load,
+                )
+                for i in range(workers)
+                if bounds[i] < bounds[i + 1]
+            ]
+            with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+                chunk_results = list(pool.map(_trace_chunk_worker, payloads))
+            columns_in_order = (
+                columns for chunk in chunk_results for columns in chunk
+            )
+
         buffer = _ColumnBuffer(
-            (*TraceDataset.INT_FIELDS, *TraceDataset.FLOAT_FIELDS)
+            TraceDataset.INT_FIELDS, TraceDataset.FLOAT_FIELDS
         )
         next_trace_id = 0
-
-        for vd_traffic in traffic:
-            vd = fleet.vds[vd_traffic.vd_id]
-            vm = fleet.vms[vd.vm_id]
-            rng = self._rngs.get(f"trace/vd{vd.vd_id}")
-
-            read_counts = sampler.sample_counts(
-                np.round(vd_traffic.read_iops).astype(np.int64)
-            )
-            write_counts = sampler.sample_counts(
-                np.round(vd_traffic.write_iops).astype(np.int64)
-            )
-            n_read = int(read_counts.sum())
-            n_write = int(write_counts.sum())
-            n = n_read + n_write
-            if n == 0:
+        for columns in columns_in_order:
+            if columns is None:
                 continue
-
-            seconds = np.concatenate(
-                [
-                    np.repeat(np.arange(t), read_counts),
-                    np.repeat(np.arange(t), write_counts),
-                ]
-            )
-            is_write = np.zeros(n, dtype=bool)
-            is_write[n_read:] = True
-            timestamps = seconds + rng.random(n)
-
-            mean_size = np.where(
-                is_write,
-                vd_traffic.mean_write_size_bytes,
-                vd_traffic.mean_read_size_bytes,
-            )
-            sizes = np.clip(
-                mean_size * rng.lognormal(0.0, 0.35, size=n),
-                _MIN_IO_BYTES,
-                _MAX_IO_BYTES,
-            ).astype(np.int64)
-
-            hot_fraction = vd_traffic.hot_fraction_series[seconds]
-            offsets = vd_traffic.lba_model.draw_offsets(
-                rng, is_write, hot_fraction
-            )
-
-            qp_index = np.where(
-                is_write,
-                rng.choice(
-                    vd.num_queue_pairs, size=n, p=vd_traffic.qp_write_weights
-                ),
-                rng.choice(
-                    vd.num_queue_pairs, size=n, p=vd_traffic.qp_read_weights
-                ),
-            )
-            qp_ids = vd.first_qp_id + qp_index
-            wt_ids = qp_to_wt[qp_ids]
-
-            seg_index = np.minimum(offsets // segment_bytes, vd.num_segments - 1)
-            seg_ids = vd.first_segment_id + seg_index
-            bs_ids = seg_to_bs[seg_ids]
-
-            wt_u = wt_load[wt_ids, seconds] / cfg.wt_capacity_bps
-            bs_u = bs_load[bs_ids, seconds] / cfg.bs_capacity_bps
-            latencies = self.latency_model.sample(
-                rng, is_write, sizes, wt_u, bs_u
-            )
-
+            n = columns["op"].size
             buffer.append(
                 trace_id=np.arange(next_trace_id, next_trace_id + n),
-                op=is_write.astype(np.int64),
-                size_bytes=sizes,
-                offset_bytes=offsets,
-                user_id=np.full(n, vd.user_id),
-                vm_id=np.full(n, vd.vm_id),
-                vd_id=np.full(n, vd.vd_id),
-                qp_id=qp_ids,
-                wt_id=wt_ids,
-                compute_node_id=np.full(n, vm.compute_node_id),
-                segment_id=seg_ids,
-                block_server_id=bs_ids,
-                storage_node_id=bs_ids // bs_per_node,
-                timestamp=timestamps,
-                lat_compute_us=latencies["compute"],
-                lat_frontend_us=latencies["frontend"],
-                lat_block_server_us=latencies["block_server"],
-                lat_backend_us=latencies["backend"],
-                lat_chunk_server_us=latencies["chunk_server"],
+                **columns,
             )
             next_trace_id += n
 

@@ -12,7 +12,7 @@ from repro.cache.placement import (
     cacheable_vd_counts,
     latency_gain,
 )
-from repro.cache.simulate import simulate_vd_cache
+from repro.cache.simulate import simulate_vd_caches
 from repro.cluster.latency import LatencyModel
 from repro.core.experiments import experiment
 from repro.core.report import ExperimentResult
@@ -160,20 +160,28 @@ def fig6d_hot_rate(study) -> ExperimentResult:
 @experiment("fig7a", "Cache hit ratio by policy and block size (Fig 7a)")
 def fig7a_hit_ratio(study) -> ExperimentResult:
     rows = []
-    for block_bytes in study.config.cache_block_bytes:
-        hits: Dict[str, List[float]] = {"fifo": [], "lru": [], "frozen": []}
-        for result in study.results:
-            for vd_id in _eligible_vds(study, result):
-                out = simulate_vd_cache(
-                    result.traces,
-                    vd_id,
-                    block_bytes,
-                    result.fleet.vds[vd_id].capacity_bytes,
-                )
-                if out is None:
-                    continue
-                for policy, value in out.items():
-                    hits[policy].append(value)
+    block_sizes = study.config.cache_block_bytes
+    hits_by_block: Dict[int, Dict[str, List[float]]] = {
+        block_bytes: {"fifo": [], "lru": [], "frozen": []}
+        for block_bytes in block_sizes
+    }
+    # VDs outer, block sizes inner: one trace slice + page-stream prep per
+    # VD is shared by every (block size, policy) replay.
+    for result in study.results:
+        for vd_id in _eligible_vds(study, result):
+            out = simulate_vd_caches(
+                result.traces,
+                vd_id,
+                block_sizes,
+                result.fleet.vds[vd_id].capacity_bytes,
+            )
+            if out is None:
+                continue
+            for block_bytes, ratios in out.items():
+                for policy, value in ratios.items():
+                    hits_by_block[block_bytes][policy].append(value)
+    for block_bytes in block_sizes:
+        hits = hits_by_block[block_bytes]
         for policy in ("fifo", "lru", "frozen"):
             values = hits[policy]
             if values:

@@ -2,14 +2,34 @@
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional
 
-from repro.cluster.simulator import EBSSimulator, SimulationResult
+from repro.cluster.simulator import (
+    EBSSimulator,
+    SimulationConfig,
+    SimulationResult,
+)
 from repro.core.config import StudyConfig
 from repro.core.report import ExperimentResult
 from repro.util.errors import ConfigError, SimulationError
 from repro.util.rng import RngFactory
-from repro.workload.fleet import build_fleet
+from repro.workload.fleet import FleetConfig, build_fleet
+
+
+def _simulate_dc(
+    payload: "tuple[FleetConfig, SimulationConfig, int]",
+) -> SimulationResult:
+    """Module-level worker: build + simulate one DC in a child process.
+
+    Every RNG stream is keyed by the DC id (fleet build, workload,
+    simulator), so simulating DCs in separate processes yields exactly
+    the same datasets as the sequential loop.
+    """
+    dc_config, sim_config, seed = payload
+    rngs = RngFactory(seed)
+    fleet = build_fleet(dc_config, rngs)
+    return EBSSimulator(fleet, sim_config, rngs).run()
 
 
 class Study:
@@ -36,15 +56,32 @@ class Study:
             raise SimulationError("Study.build() has not been called")
         return self._results
 
-    def build(self) -> "Study":
-        """Simulate every DC (idempotent)."""
+    def build(self, workers: int = 1) -> "Study":
+        """Simulate every DC (idempotent).
+
+        ``workers > 1`` is an opt-in process fan-out: DCs simulate in
+        parallel (each DC's streams are keyed by its dc_id, so results
+        are identical to the sequential build); a study with a single DC
+        instead fans the per-VD trace generation out over ``workers``.
+        Either way the datasets are seed-stable for any worker count.
+        """
         if self._results:
             return self
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
         sim_config = self.config.simulation_config()
-        for dc_config in self.config.dc_configs:
-            fleet = build_fleet(dc_config, self.rngs)
-            simulator = EBSSimulator(fleet, sim_config, self.rngs)
-            self._results.append(simulator.run())
+        dcs = self.config.dc_configs
+        if workers > 1 and len(dcs) > 1:
+            payloads = [(dc, sim_config, self.rngs.seed) for dc in dcs]
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(dcs))
+            ) as pool:
+                self._results = list(pool.map(_simulate_dc, payloads))
+        else:
+            for dc_config in dcs:
+                fleet = build_fleet(dc_config, self.rngs)
+                simulator = EBSSimulator(fleet, sim_config, self.rngs)
+                self._results.append(simulator.run(workers=workers))
         return self
 
     def result_for_dc(self, dc_id: int) -> SimulationResult:

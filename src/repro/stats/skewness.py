@@ -102,12 +102,13 @@ def cov(values: Sequence[float]) -> float:
 
 
 def normalized_cov(values: Sequence[float]) -> float:
-    """CoV normalized to ``(0, 1]`` as used by the paper.
+    """CoV normalized to ``[0, 1]`` as used by the paper.
 
     For ``n`` non-negative values the maximum possible CoV (all traffic on
     one entity) is ``sqrt(n - 1)``, so dividing by that bound maps a
-    perfectly skewed distribution to 1.0 and a perfectly even one to 0.0.
-    A single value has no dispersion; 0.0 is returned.
+    perfectly skewed distribution to 1.0 and a perfectly even one to 0.0
+    — the range is closed at *both* ends, since an even distribution has
+    zero dispersion.  A single value has no dispersion; 0.0 is returned.
     """
     arr = _as_array(values)
     if arr.size == 1:

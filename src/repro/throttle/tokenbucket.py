@@ -43,7 +43,10 @@ class ShapedTraffic:
 
     delivered: np.ndarray     # units/s actually served each second
     backlog: np.ndarray       # units queued at the end of each second
-    throttled: np.ndarray     # bool: queueing occurred this second
+    #: bool: queueing occurred during this second — either work was still
+    #: queued at the end of it, or a carried-in backlog drained within it
+    #: (those IOs waited, so the second counts as throttled).
+    throttled: np.ndarray
 
     @property
     def throttled_seconds(self) -> int:
@@ -76,6 +79,11 @@ class TokenBucket:
     def backlog(self) -> float:
         return self._backlog
 
+    def reset(self) -> None:
+        """Restore the fresh-bucket state: full tokens, empty queue."""
+        self._tokens = self.config.depth
+        self._backlog = 0.0
+
     def step(self, offered: float) -> "tuple[float, float]":
         """Advance one second; returns (delivered, backlog).
 
@@ -96,17 +104,29 @@ class TokenBucket:
         return delivered, self._backlog
 
     def shape(self, offered: np.ndarray) -> ShapedTraffic:
-        """Shape a whole offered series (units/s, one entry per second)."""
+        """Shape a whole offered series (units/s, one entry per second).
+
+        The bucket is :meth:`reset` first, so ``shape`` always describes a
+        fresh bucket: calling it twice (or after :meth:`step`) yields the
+        same result as on a new instance (regression: it used to silently
+        continue from whatever token/backlog state was left behind).
+        """
         offered = np.asarray(offered, dtype=float)
         if offered.ndim != 1:
             raise ConfigError("offered series must be 1-D")
         if np.any(offered < 0):
             raise ConfigError("offered traffic must be non-negative")
+        self.reset()
         delivered = np.empty_like(offered)
         backlog = np.empty_like(offered)
+        throttled = np.empty(offered.size, dtype=bool)
         for t, value in enumerate(offered):
+            carried_in = self._backlog > 1e-9
             delivered[t], backlog[t] = self.step(float(value))
-        throttled = backlog > 1e-9
+            # A second is throttled if queueing occurred during it: work is
+            # still queued at its end, or a carried-in backlog (whose IOs
+            # waited into this second) drained within it.
+            throttled[t] = carried_in or backlog[t] > 1e-9
         return ShapedTraffic(
             delivered=delivered, backlog=backlog, throttled=throttled
         )

@@ -88,6 +88,50 @@ class TestTokenBucket:
         assert (shaped.delivered <= 2.0 * rate + 1e-6).all()
         assert (shaped.backlog >= 0).all()
 
+    def test_reset_restores_fresh_state(self):
+        bucket = TokenBucket(TokenBucketConfig(10.0, burst_seconds=2.0))
+        bucket.step(100.0)
+        assert bucket.backlog > 0.0
+        bucket.reset()
+        assert bucket.tokens == pytest.approx(20.0)
+        assert bucket.backlog == pytest.approx(0.0)
+
+    def test_shape_twice_yields_identical_results(self):
+        # Regression: shape() used to continue from whatever token and
+        # backlog state the previous call left behind, so a second call
+        # on the same bucket produced different series.
+        bucket = TokenBucket(TokenBucketConfig(10.0, burst_seconds=1.0))
+        offered = np.array([40.0, 5.0, 0.0, 12.0])
+        first = bucket.shape(offered)
+        second = bucket.shape(offered)
+        np.testing.assert_array_equal(first.delivered, second.delivered)
+        np.testing.assert_array_equal(first.backlog, second.backlog)
+        np.testing.assert_array_equal(first.throttled, second.throttled)
+
+    def test_shape_after_step_matches_fresh_bucket(self):
+        # Regression companion: manual step() calls must not leak into a
+        # subsequent shape().
+        config = TokenBucketConfig(10.0, burst_seconds=0.0)
+        dirty = TokenBucket(config)
+        dirty.step(100.0)
+        offered = np.array([5.0, 25.0, 0.0])
+        shaped = dirty.shape(offered)
+        fresh = TokenBucket(config).shape(offered)
+        np.testing.assert_array_equal(shaped.delivered, fresh.delivered)
+        np.testing.assert_array_equal(shaped.backlog, fresh.backlog)
+
+    def test_drained_backlog_second_counts_as_throttled(self):
+        # Regression: a second that starts with a carried-in backlog and
+        # fully drains it used to be reported as un-throttled, although
+        # the queued IOs waited into (and through part of) that second.
+        shaped = shape_vd_traffic(
+            np.array([15.0, 0.0]), 10.0, burst_seconds=0.0
+        )
+        assert shaped.backlog[1] == pytest.approx(0.0)
+        assert bool(shaped.throttled[0]) is True
+        assert bool(shaped.throttled[1]) is True
+        assert shaped.throttled_seconds == 2
+
     def test_shape_on_generated_traffic(self, small_traffic):
         vd = small_traffic[0]
         offered = vd.read_bytes + vd.write_bytes
