@@ -40,6 +40,11 @@ from repro.workload.generator import WorkloadGenerator
 #: Default output file, at the repository root.
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
 
+#: Version of the BENCH_simulator.json layout.  Bumped to 2 when the
+#: per-section ``telemetry`` block (span timings + metric snapshots from
+#: :mod:`repro.obs`) was added; additions are backwards-compatible.
+BENCH_SCHEMA_VERSION = 2
+
 #: Trace sampling rate shared by all perf scales (the study default).
 SAMPLING_RATE = 1.0 / 20.0
 
@@ -152,5 +157,6 @@ def merge_results(section: str, payload: dict, path: Path = RESULTS_PATH) -> Non
         "python": platform.python_version(),
         "numpy": np.__version__,
     }
+    results["schema_version"] = BENCH_SCHEMA_VERSION
     results[section] = payload
     path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")

@@ -40,6 +40,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional
+from weakref import WeakKeyDictionary
 
 import numpy as np
 
@@ -47,6 +48,7 @@ from repro.cache.base import Cache
 from repro.cache.fifo import FifoCache
 from repro.cache.frozen import FrozenCache
 from repro.cache.lru import LruCache
+from repro.obs.runtime import get_telemetry
 from repro.trace.dataset import TraceDataset
 from repro.util.errors import ConfigError
 
@@ -469,6 +471,49 @@ def replay_pages_fast(
     return None
 
 
+def _policy_label(cache: Cache) -> str:
+    """Short policy name for telemetry labels (``FifoCache`` -> ``fifo``)."""
+    name = type(cache).__name__
+    return (name[:-5] if name.endswith("Cache") else name).lower()
+
+
+#: Per-registry memo of counter handles.  ``replay_many`` runs once per
+#: (VD, cache size) — a microsecond-scale unit of work at small trace
+#: counts — so even the registry's labeled-series lookup is worth
+#: skipping on repeat calls.  Keyed weakly so dropped telemetry handles
+#: (tests, sessions) don't pin their registries.
+_COUNTER_MEMO: "WeakKeyDictionary" = WeakKeyDictionary()
+
+
+def _counter(telemetry, name: str, policy: Optional[str] = None):
+    """Memoized ``telemetry.counter(...)`` for the replay hot path."""
+    memo = _COUNTER_MEMO.get(telemetry.registry)
+    if memo is None:
+        memo = _COUNTER_MEMO[telemetry.registry] = {}
+    key = (name, policy)
+    counter = memo.get(key)
+    if counter is None:
+        if policy is None:
+            counter = telemetry.counter(name)
+        else:
+            counter = telemetry.counter(name, policy=policy)
+        memo[key] = counter
+    return counter
+
+
+def _record_replay(cache: Cache, pages: int, fast: bool) -> None:
+    """Count one replay: fast-path taken vs fallback-to-scalar."""
+    telemetry = get_telemetry()
+    if not telemetry.enabled:
+        return
+    policy = _policy_label(cache)
+    if fast:
+        _counter(telemetry, "cache.replay.fast", policy).inc()
+        _counter(telemetry, "cache.replay.pages", policy).inc(pages)
+    else:
+        _counter(telemetry, "cache.replay.fallback_scalar", policy).inc()
+
+
 def replay_trace_fast(cache: Cache, traces: TraceDataset) -> float:
     """Fast-path equivalent of :func:`repro.cache.simulate.replay_trace`.
 
@@ -483,7 +528,9 @@ def replay_trace_fast(cache: Cache, traces: TraceDataset) -> float:
     if hits is None:
         from repro.cache.simulate import replay_trace
 
+        _record_replay(cache, int(pages.size), fast=False)
         return replay_trace(cache, traces)
+    _record_replay(cache, int(pages.size), fast=True)
     cache.stats.hits += int(hits)
     cache.stats.misses += int(pages.size - hits)
     return cache.stats.hit_ratio
@@ -506,8 +553,15 @@ def replay_many(
     items = list(caches.items()) if isinstance(caches, dict) else list(caches)
     if len(traces) == 0:
         return {name: 0.0 for name, _ in items}
+    telemetry = get_telemetry()
     if prepared is None:
         prepared = prepare_pages(pages_in_time_order(traces))
+        if telemetry.enabled:
+            _counter(telemetry, "cache.prepared.build").inc()
+    elif telemetry.enabled:
+        # The caller shared one PreparedPages across calls: the page sort /
+        # compression / prev-index work was reused, not recomputed.
+        _counter(telemetry, "cache.prepared.reuse").inc()
     pages = prepared.pages
     ratios: "dict[str, float]" = {}
     for name, cache in items:
@@ -515,8 +569,10 @@ def replay_many(
         if hits is None:
             from repro.cache.simulate import replay_trace
 
+            _record_replay(cache, int(pages.size), fast=False)
             ratios[name] = replay_trace(cache, traces)
             continue
+        _record_replay(cache, int(pages.size), fast=True)
         cache.stats.hits += int(hits)
         cache.stats.misses += int(pages.size - hits)
         ratios[name] = cache.stats.hit_ratio

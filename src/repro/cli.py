@@ -4,27 +4,112 @@ Usage::
 
     ebs-repro list
     ebs-repro run table3 --scale small --seed 7
-    ebs-repro run all --scale medium
+    ebs-repro run all --scale medium --telemetry out/telemetry.json
     ebs-repro export-dataset out/ --scale small
+    ebs-repro obs report out/telemetry.json
+    ebs-repro obs export out/telemetry.json --format chrome-trace -o trace.json
+    ebs-repro obs validate out/telemetry.json
+
+Result tables and exported artifacts go to stdout; status and error
+reporting goes to stderr through :mod:`logging` (``-v`` for debug,
+``-q`` for errors only).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 from pathlib import Path
+from typing import List, Optional
 
 from repro._version import __version__
 from repro.core import Study, StudyConfig, experiment_ids
+from repro.core.report import ExperimentResult
+from repro.obs.export import EXPORT_FORMATS, export_telemetry
+from repro.obs.runtime import (
+    Telemetry,
+    peak_rss_bytes,
+    set_telemetry,
+)
+from repro.obs.schema import validate_telemetry
+from repro.obs.spans import stage_summary
 from repro.trace.io import write_metric_csv, write_trace_jsonl
 from repro.util.errors import ReproError
 
 _SCALES = ("small", "medium", "large")
 
+_LOG = logging.getLogger("repro.cli")
+
+
+class _LowercaseLevelFormatter(logging.Formatter):
+    """``error: message`` rather than ``ERROR: message``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        record.levelname = record.levelname.lower()
+        return super().format(record)
+
+
+def _configure_logging(verbose: int, quiet: bool) -> None:
+    """(Re)install the CLI's stderr handler on the ``repro`` logger."""
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_cli", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler._repro_cli = True  # type: ignore[attr-defined]
+    handler.setFormatter(_LowercaseLevelFormatter("%(levelname)s: %(message)s"))
+    logger.addHandler(handler)
+    logger.propagate = False
+    if quiet:
+        logger.setLevel(logging.ERROR)
+    elif verbose:
+        logger.setLevel(logging.DEBUG)
+    else:
+        logger.setLevel(logging.INFO)
+
 
 def _study(args: argparse.Namespace) -> Study:
     factory = getattr(StudyConfig, args.scale)
     return Study(factory(seed=args.seed))
+
+
+# -- telemetry lifecycle -----------------------------------------------------
+
+
+def _start_telemetry(args: argparse.Namespace) -> Optional[Telemetry]:
+    """Install an enabled telemetry handle when ``--telemetry`` was given."""
+    if not getattr(args, "telemetry", None):
+        return None
+    telemetry = Telemetry(enabled=True, seed=args.seed)
+    set_telemetry(telemetry)
+    return telemetry
+
+
+def _finish_telemetry(
+    telemetry: Optional[Telemetry], args: argparse.Namespace
+) -> None:
+    """Write ``telemetry.json`` (even after a mid-study failure)."""
+    if telemetry is None:
+        return
+    set_telemetry(None)
+    telemetry.meta.update(
+        {
+            "command": args.command,
+            "scale": args.scale,
+            "seed": args.seed,
+            "workers": getattr(args, "workers", 1),
+            "experiment": getattr(args, "experiment", None),
+            "version": __version__,
+            "peak_rss_bytes": peak_rss_bytes(),
+        }
+    )
+    path = telemetry.write(args.telemetry)
+    _LOG.info("wrote telemetry to %s", path)
+
+
+# -- commands ----------------------------------------------------------------
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -37,42 +122,198 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    study = _study(args)
-    study.build(workers=args.workers)
-    targets = experiment_ids() if args.experiment == "all" else [args.experiment]
-    results = []
-    for experiment_id in targets:
-        result = study.run(experiment_id)
-        results.append(result)
-        print(result.render())
-        print()
-    if args.json:
-        import json
-
-        payload = {
-            "scale": args.scale,
-            "seed": args.seed,
-            "results": [result.to_dict() for result in results],
-        }
-        Path(args.json).write_text(json.dumps(payload, indent=2))
-        print(f"wrote {len(results)} results to {args.json}")
+    telemetry = _start_telemetry(args)
+    results: List[ExperimentResult] = []
+    failure: "Optional[tuple[str, BaseException]]" = None
+    try:
+        study = _study(args)
+        study.build(workers=args.workers)
+        targets = (
+            experiment_ids() if args.experiment == "all"
+            else [args.experiment]
+        )
+        for experiment_id in targets:
+            try:
+                result = study.run(experiment_id)
+            except Exception as error:  # flush partial results below
+                failure = (experiment_id, error)
+                break
+            results.append(result)
+            print(result.render())
+            print()
+        if args.json and (results or failure):
+            payload = {
+                "scale": args.scale,
+                "seed": args.seed,
+                "results": [result.to_dict() for result in results],
+            }
+            if failure is not None:
+                payload["failed_experiment"] = failure[0]
+            Path(args.json).write_text(json.dumps(payload, indent=2))
+            _LOG.info("wrote %d result(s) to %s", len(results), args.json)
+    finally:
+        _finish_telemetry(telemetry, args)
+    if failure is not None:
+        experiment_id, error = failure
+        if not isinstance(error, ReproError):
+            raise error
+        raise ReproError(
+            f"experiment {experiment_id!r} failed after "
+            f"{len(results)} completed result(s): {error}"
+        ) from error
     return 0
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
-    study = _study(args)
-    study.build(workers=args.workers)
-    out = Path(args.directory)
-    out.mkdir(parents=True, exist_ok=True)
-    for result in study.results:
-        dc = result.fleet.config.dc_id
-        write_trace_jsonl(result.traces, out / f"dc{dc}_traces.jsonl")
-        write_metric_csv(result.metrics.compute, out / f"dc{dc}_compute.csv")
-        write_metric_csv(result.metrics.storage, out / f"dc{dc}_storage.csv")
-        print(f"DC-{dc + 1}: {len(result.traces)} traces, "
-              f"{len(result.metrics.compute)} compute rows, "
-              f"{len(result.metrics.storage)} storage rows")
+    telemetry = _start_telemetry(args)
+    written = 0
+    try:
+        study = _study(args)
+        study.build(workers=args.workers)
+        out = Path(args.directory)
+        out.mkdir(parents=True, exist_ok=True)
+        for result in study.results:
+            dc = result.fleet.config.dc_id
+            try:
+                write_trace_jsonl(result.traces, out / f"dc{dc}_traces.jsonl")
+                write_metric_csv(
+                    result.metrics.compute, out / f"dc{dc}_compute.csv"
+                )
+                write_metric_csv(
+                    result.metrics.storage, out / f"dc{dc}_storage.csv"
+                )
+            except Exception as error:
+                raise ReproError(
+                    f"export failed at DC-{dc + 1} after {written} DC(s) "
+                    f"were written to {out}: {error}"
+                ) from error
+            written += 1
+            _LOG.info(
+                "DC-%d: %d traces, %d compute rows, %d storage rows",
+                dc + 1,
+                len(result.traces),
+                len(result.metrics.compute),
+                len(result.metrics.storage),
+            )
+    finally:
+        _finish_telemetry(telemetry, args)
     return 0
+
+
+def _load_telemetry_file(path: str) -> dict:
+    try:
+        return json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        raise ReproError(f"no such telemetry file: {path}")
+    except json.JSONDecodeError as error:
+        raise ReproError(f"{path} is not valid JSON: {error}")
+
+
+def _format_labels(labels: dict) -> str:
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items())) or "-"
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    payload = _load_telemetry_file(args.telemetry_file)
+
+    if args.obs_command == "validate":
+        errors = validate_telemetry(payload)
+        if errors:
+            for problem in errors:
+                _LOG.error("%s: %s", args.telemetry_file, problem)
+            return 1
+        metrics = payload.get("metrics", {})
+        series = sum(len(metrics.get(k, [])) for k in metrics)
+        print(
+            f"ok: schema_version {payload.get('schema_version')}, "
+            f"{series} metric series, {len(payload.get('spans', []))} spans"
+        )
+        return 0
+
+    if args.obs_command == "export":
+        text = export_telemetry(payload, args.format)
+        if args.output in (None, "-"):
+            sys.stdout.write(text)
+        else:
+            Path(args.output).write_text(text)
+            _LOG.info("wrote %s export to %s", args.format, args.output)
+        return 0
+
+    # report
+    meta = payload.get("meta", {})
+    if meta:
+        known = (
+            "command", "scale", "seed", "workers", "experiment", "version",
+        )
+        summary = ", ".join(
+            f"{key}={meta[key]}" for key in known if meta.get(key) is not None
+        )
+        if summary:
+            print(f"run: {summary}")
+        rss = meta.get("peak_rss_bytes")
+        if rss:
+            print(f"peak rss: {rss / 2**20:.1f} MiB")
+        print()
+
+    stages = stage_summary(payload.get("spans", []))
+    if stages:
+        table = ExperimentResult(
+            experiment_id="obs",
+            title="per-stage latency breakdown",
+            headers=["stage", "count", "total_ms", "mean_ms", "max_ms"],
+            rows=[
+                [s["name"], s["count"], s["total_ms"], s["mean_ms"],
+                 s["max_ms"]]
+                for s in stages
+            ],
+        )
+        print(table.render())
+        print()
+
+    metrics = payload.get("metrics", {})
+    counters = metrics.get("counters", [])
+    gauges = [g for g in metrics.get("gauges", []) if g["value"] is not None]
+    if counters or gauges:
+        table = ExperimentResult(
+            experiment_id="obs",
+            title="counters and gauges",
+            headers=["metric", "labels", "value"],
+            rows=[
+                [c["name"], _format_labels(c["labels"]), c["value"]]
+                for c in counters
+            ] + [
+                [g["name"], _format_labels(g["labels"]), g["value"]]
+                for g in gauges
+            ],
+        )
+        print(table.render())
+        print()
+
+    histograms = metrics.get("histograms", [])
+    if histograms:
+        table = ExperimentResult(
+            experiment_id="obs",
+            title="histograms (log-bucketed)",
+            headers=["metric", "labels", "count", "sum", "min", "max",
+                     "buckets"],
+            rows=[
+                [
+                    h["name"],
+                    _format_labels(h["labels"]),
+                    h["count"],
+                    h["sum"],
+                    h["min"],
+                    h["max"],
+                    len(h["buckets"]),
+                ]
+                for h in histograms
+            ],
+        )
+        print(table.render())
+    return 0
+
+
+# -- parser ------------------------------------------------------------------
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,6 +323,14 @@ def build_parser() -> argparse.ArgumentParser:
         "on a synthetic fleet.",
     )
     parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="debug logging on stderr",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="errors only on stderr",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list all experiment ids")
@@ -104,6 +353,13 @@ def build_parser() -> argparse.ArgumentParser:
         "across VDs for a single-DC study); results are identical for "
         "any worker count",
     )
+    run.add_argument(
+        "--telemetry",
+        metavar="FILE",
+        default=None,
+        help="record run telemetry (metrics + spans) and write it here; "
+        "inspect with 'ebs-repro obs report FILE'",
+    )
 
     export = sub.add_parser(
         "export-dataset", help="simulate and write the datasets to disk"
@@ -117,21 +373,57 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="process fan-out for the simulation build (seed-stable)",
     )
+    export.add_argument(
+        "--telemetry",
+        metavar="FILE",
+        default=None,
+        help="record run telemetry (metrics + spans) and write it here",
+    )
+
+    obs = sub.add_parser(
+        "obs", help="inspect, export, or validate a telemetry artifact"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    report = obs_sub.add_parser(
+        "report", help="render a run summary (stages, counters, histograms)"
+    )
+    report.add_argument("telemetry_file")
+
+    obs_export = obs_sub.add_parser(
+        "export", help="convert the artifact to another format"
+    )
+    obs_export.add_argument("telemetry_file")
+    obs_export.add_argument(
+        "--format", choices=EXPORT_FORMATS, default="chrome-trace",
+        help="chrome-trace loads at chrome://tracing or ui.perfetto.dev",
+    )
+    obs_export.add_argument(
+        "-o", "--output", default=None,
+        help="output file (default: stdout)",
+    )
+
+    validate = obs_sub.add_parser(
+        "validate", help="check an artifact against the telemetry schema"
+    )
+    validate.add_argument("telemetry_file")
 
     return parser
 
 
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
+    _configure_logging(args.verbose, args.quiet)
     handlers = {
         "list": _cmd_list,
         "run": _cmd_run,
         "export-dataset": _cmd_export,
+        "obs": _cmd_obs,
     }
     try:
         return handlers[args.command](args)
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
+        _LOG.error(str(error))
         return 1
 
 

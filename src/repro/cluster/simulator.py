@@ -41,6 +41,7 @@ import numpy as np
 from repro.cluster.hypervisor import HypervisorSet
 from repro.cluster.latency import LatencyConfig, LatencyModel
 from repro.cluster.storage import StorageCluster
+from repro.obs.runtime import Telemetry, get_telemetry, set_telemetry
 from repro.trace.dataset import (
     ComputeMetricTable,
     MetricDataset,
@@ -183,21 +184,40 @@ class _EntityArrays:
 
 
 def _trace_chunk_worker(
-    payload: "tuple[EBSSimulator, List[VdTraffic], np.ndarray, np.ndarray, np.ndarray, np.ndarray]",
-) -> "List[Optional[Dict[str, np.ndarray]]]":
+    payload: "tuple[EBSSimulator, List[VdTraffic], np.ndarray, np.ndarray, np.ndarray, np.ndarray, bool]",
+) -> "tuple[List[Optional[Dict[str, np.ndarray]]], Optional[dict]]":
     """Module-level worker: per-VD trace columns for one chunk of VDs.
 
     Runs in a child process.  Each VD draws only from its own label-keyed
     RNG streams, so the output is identical no matter how VDs are
-    partitioned over workers.
+    partitioned over workers.  When the parent runs with telemetry
+    enabled, the worker installs a fresh handle and ships its snapshot
+    back for a deterministic merge (second tuple element, else None).
     """
-    simulator, chunk, qp_to_wt, seg_to_bs, wt_load, bs_load = payload
-    return [
-        simulator._trace_columns_for_vd(
-            vd_traffic, qp_to_wt, seg_to_bs, wt_load, bs_load
-        )
-        for vd_traffic in chunk
-    ]
+    (
+        simulator, chunk, qp_to_wt, seg_to_bs, wt_load, bs_load, telemetry_on,
+    ) = payload
+    telemetry = None
+    previous = None
+    if telemetry_on:
+        telemetry = Telemetry(enabled=True)
+        previous = set_telemetry(telemetry)
+    try:
+        with get_telemetry().span(
+            "sim.pass2.chunk",
+            dc=simulator.fleet.config.dc_id,
+            vds=len(chunk),
+        ):
+            columns = [
+                simulator._trace_columns_for_vd(
+                    vd_traffic, qp_to_wt, seg_to_bs, wt_load, bs_load
+                )
+                for vd_traffic in chunk
+            ]
+    finally:
+        if telemetry is not None:
+            set_telemetry(previous)
+    return columns, telemetry.snapshot() if telemetry is not None else None
 
 
 class EBSSimulator:
@@ -291,16 +311,36 @@ class EBSSimulator:
         """Load grids + metric tables; ``fast`` overrides the config knob."""
         if fast is None:
             fast = self.config.use_fast_path
-        if fast:
-            wt_load, bs_load, cbuf, sbuf = self._pass1_fast(
-                traffic, qp_to_wt, seg_to_bs
+        telemetry = get_telemetry()
+        dc = self.fleet.config.dc_id
+        with telemetry.span(
+            "sim.pass1", dc=dc, path="fast" if fast else "reference"
+        ):
+            if fast:
+                wt_load, bs_load, cbuf, sbuf = self._pass1_fast(
+                    traffic, qp_to_wt, seg_to_bs
+                )
+            else:
+                wt_load, bs_load, cbuf, sbuf = self._pass1_reference(
+                    traffic, qp_to_wt, seg_to_bs
+                )
+            compute_table = ComputeMetricTable(**cbuf.concatenated())
+            storage_table = StorageMetricTable(**sbuf.concatenated())
+        if telemetry.enabled:
+            path = "fast" if fast else "reference"
+            telemetry.counter("sim.pass1.runs", dc=dc, path=path).inc()
+            telemetry.counter(
+                "sim.pass1.rows", dc=dc, table="compute"
+            ).inc(len(compute_table))
+            telemetry.counter(
+                "sim.pass1.rows", dc=dc, table="storage"
+            ).inc(len(storage_table))
+            telemetry.gauge("sim.pass1.wt_grid_cells", dc=dc).set_max(
+                int(wt_load.size)
             )
-        else:
-            wt_load, bs_load, cbuf, sbuf = self._pass1_reference(
-                traffic, qp_to_wt, seg_to_bs
+            telemetry.gauge("sim.pass1.bs_grid_cells", dc=dc).set_max(
+                int(bs_load.size)
             )
-        compute_table = ComputeMetricTable(**cbuf.concatenated())
-        storage_table = StorageMetricTable(**sbuf.concatenated())
         return wt_load, bs_load, compute_table, storage_table
 
     def _pass1_reference(
@@ -574,13 +614,16 @@ class EBSSimulator:
         fleet = self.fleet
         cfg = self.config
         t = cfg.duration_seconds
+        telemetry = get_telemetry()
+        dc = fleet.config.dc_id
 
         hypervisors = HypervisorSet(fleet)
         storage = StorageCluster(fleet)
         generator = WorkloadGenerator(
             fleet, t, self._rngs, diurnal_amplitude=cfg.diurnal_amplitude
         )
-        traffic = generator.generate_all()
+        with telemetry.span("sim.workload", dc=dc, vds=len(fleet.vds)):
+            traffic = generator.generate_all()
 
         qp_to_wt, seg_to_bs = self.bindings(hypervisors, storage)
 
@@ -592,9 +635,10 @@ class EBSSimulator:
         )
 
         # ---- pass 2: sampled traces ----------------------------------------
-        traces = self._generate_traces(
-            traffic, qp_to_wt, seg_to_bs, wt_load, bs_load, workers=workers
-        )
+        with telemetry.span("sim.pass2", dc=dc, workers=workers):
+            traces = self._generate_traces(
+                traffic, qp_to_wt, seg_to_bs, wt_load, bs_load, workers=workers
+            )
 
         specs = SpecDataset(
             vd_specs=[fleet.vd_spec(vd.vd_id) for vd in fleet.vds],
@@ -654,6 +698,13 @@ class EBSSimulator:
         n_read = int(read_counts.sum())
         n_write = int(write_counts.sum())
         n = n_read + n_write
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            # Accumulated from array totals (never per element); all values
+            # are integers, so per-worker merges are exact in any order.
+            telemetry.counter("sim.traces.ios", dc=dc, op="read").inc(n_read)
+            telemetry.counter("sim.traces.ios", dc=dc, op="write").inc(n_write)
+            telemetry.histogram("sim.traces.ios_per_vd", dc=dc).observe(n)
         if n == 0:
             return None
 
@@ -740,6 +791,7 @@ class EBSSimulator:
         cfg = self.config
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
+        telemetry = get_telemetry()
 
         if workers == 1 or len(traffic) < 2:
             per_vd = (
@@ -760,14 +812,20 @@ class EBSSimulator:
                     seg_to_bs,
                     wt_load,
                     bs_load,
+                    telemetry.enabled,
                 )
                 for i in range(workers)
                 if bounds[i] < bounds[i + 1]
             ]
             with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
                 chunk_results = list(pool.map(_trace_chunk_worker, payloads))
+            # Merge worker telemetry in chunk (VD) order: counters and
+            # histogram buckets are integer-valued, so the merged metrics
+            # are byte-identical to the sequential run's.
+            for _, snapshot in chunk_results:
+                telemetry.merge_snapshot(snapshot)
             columns_in_order = (
-                columns for chunk in chunk_results for columns in chunk
+                columns for chunk, _ in chunk_results for columns in chunk
             )
 
         buffer = _ColumnBuffer(
@@ -784,6 +842,10 @@ class EBSSimulator:
             )
             next_trace_id += n
 
+        if telemetry.enabled:
+            telemetry.counter(
+                "sim.traces.sampled", dc=self.fleet.config.dc_id
+            ).inc(next_trace_id)
         return TraceDataset(
             sampling_rate=cfg.trace_sampling_rate, **buffer.concatenated()
         )

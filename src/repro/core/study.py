@@ -12,24 +12,43 @@ from repro.cluster.simulator import (
 )
 from repro.core.config import StudyConfig
 from repro.core.report import ExperimentResult
+from repro.obs.runtime import (
+    Telemetry,
+    get_telemetry,
+    peak_rss_bytes,
+    set_telemetry,
+)
 from repro.util.errors import ConfigError, SimulationError
 from repro.util.rng import RngFactory
 from repro.workload.fleet import FleetConfig, build_fleet
 
 
 def _simulate_dc(
-    payload: "tuple[FleetConfig, SimulationConfig, int]",
-) -> SimulationResult:
+    payload: "tuple[FleetConfig, SimulationConfig, int, bool]",
+) -> "tuple[SimulationResult, Optional[dict]]":
     """Module-level worker: build + simulate one DC in a child process.
 
     Every RNG stream is keyed by the DC id (fleet build, workload,
     simulator), so simulating DCs in separate processes yields exactly
-    the same datasets as the sequential loop.
+    the same datasets as the sequential loop.  With telemetry enabled in
+    the parent, the worker records into a fresh handle and returns its
+    snapshot for a deterministic merge (else None).
     """
-    dc_config, sim_config, seed = payload
-    rngs = RngFactory(seed)
-    fleet = build_fleet(dc_config, rngs)
-    return EBSSimulator(fleet, sim_config, rngs).run()
+    dc_config, sim_config, seed, telemetry_on = payload
+    telemetry = None
+    previous = None
+    if telemetry_on:
+        telemetry = Telemetry(enabled=True)
+        previous = set_telemetry(telemetry)
+    try:
+        with get_telemetry().span("study.simulate_dc", dc=dc_config.dc_id):
+            rngs = RngFactory(seed)
+            fleet = build_fleet(dc_config, rngs)
+            result = EBSSimulator(fleet, sim_config, rngs).run()
+    finally:
+        if telemetry is not None:
+            set_telemetry(previous)
+    return result, telemetry.snapshot() if telemetry is not None else None
 
 
 class Study:
@@ -69,19 +88,41 @@ class Study:
             return self
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
+        telemetry = get_telemetry()
         sim_config = self.config.simulation_config()
         dcs = self.config.dc_configs
-        if workers > 1 and len(dcs) > 1:
-            payloads = [(dc, sim_config, self.rngs.seed) for dc in dcs]
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(dcs))
-            ) as pool:
-                self._results = list(pool.map(_simulate_dc, payloads))
-        else:
-            for dc_config in dcs:
-                fleet = build_fleet(dc_config, self.rngs)
-                simulator = EBSSimulator(fleet, sim_config, self.rngs)
-                self._results.append(simulator.run(workers=workers))
+        with telemetry.span(
+            "study.build", workers=workers, dcs=len(dcs)
+        ) as span:
+            if workers > 1 and len(dcs) > 1:
+                payloads = [
+                    (dc, sim_config, self.rngs.seed, telemetry.enabled)
+                    for dc in dcs
+                ]
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(dcs))
+                ) as pool:
+                    outcomes = list(pool.map(_simulate_dc, payloads))
+                # Merge per-worker telemetry in DC order; all metrics are
+                # integer-valued, so the merged registry is byte-identical
+                # to the sequential build's.
+                for _, snapshot in outcomes:
+                    telemetry.merge_snapshot(snapshot)
+                self._results = [result for result, _ in outcomes]
+            else:
+                for dc_config in dcs:
+                    with telemetry.span(
+                        "study.simulate_dc", dc=dc_config.dc_id
+                    ):
+                        fleet = build_fleet(dc_config, self.rngs)
+                        simulator = EBSSimulator(
+                            fleet, sim_config, self.rngs
+                        )
+                        self._results.append(simulator.run(workers=workers))
+            if telemetry.enabled:
+                rss = peak_rss_bytes()
+                if rss is not None:
+                    span.set(peak_rss_bytes=rss)
         return self
 
     def result_for_dc(self, dc_id: int) -> SimulationResult:
@@ -101,9 +142,22 @@ class Study:
             )
         if experiment_id not in self._experiment_cache:
             self.build()
-            self._experiment_cache[experiment_id] = EXPERIMENTS[
-                experiment_id
-            ](self)
+            telemetry = get_telemetry()
+            with telemetry.span(
+                "study.experiment", experiment=experiment_id
+            ) as span:
+                result = EXPERIMENTS[experiment_id](self)
+                if telemetry.enabled:
+                    # Wall-clock lives in the span itself; annotate memory
+                    # (peak RSS is cumulative per process, so per-experiment
+                    # deltas show which stage first grew the footprint).
+                    rss = peak_rss_bytes()
+                    if rss is not None:
+                        span.set(peak_rss_bytes=rss)
+                    telemetry.counter(
+                        "study.experiments_run", experiment=experiment_id
+                    ).inc()
+            self._experiment_cache[experiment_id] = result
         return self._experiment_cache[experiment_id]
 
     def run_all(self) -> List[ExperimentResult]:

@@ -1,0 +1,118 @@
+"""Telemetry artifact exporters: Chrome trace, Prometheus text, JSONL.
+
+All exporters consume the ``telemetry.json`` payload produced by
+:meth:`repro.obs.runtime.Telemetry.snapshot` (or loaded back from disk)
+and return strings, so the CLI can write them anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List
+
+from repro.obs.metrics import Histogram
+from repro.obs.spans import to_chrome_trace
+from repro.util.errors import ConfigError
+
+EXPORT_FORMATS = ("chrome-trace", "prometheus", "jsonl")
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def export_chrome_trace(payload: Dict[str, Any]) -> str:
+    """The spans section as a Chrome ``trace_event`` JSON document."""
+    return json.dumps(to_chrome_trace(payload.get("spans", [])), indent=1)
+
+
+def _prom_name(name: str) -> str:
+    return _NAME_RE.sub("_", "repro_" + name)
+
+
+def _prom_labels(labels: Dict[str, Any]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_LABEL_RE.sub("_", str(k))}="{v}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def export_prometheus(payload: Dict[str, Any]) -> str:
+    """The metrics section in the Prometheus text exposition format.
+
+    Counters get a ``_total`` suffix; histograms expose cumulative
+    ``_bucket{le=...}`` series plus ``_sum`` / ``_count``, with bucket
+    upper edges taken from the log-bucket exponents.
+    """
+    metrics = payload.get("metrics", {})
+    lines: List[str] = []
+    seen_types: Dict[str, str] = {}
+
+    def header(name: str, kind: str) -> None:
+        if seen_types.get(name) != kind:
+            lines.append(f"# TYPE {name} {kind}")
+            seen_types[name] = kind
+
+    for entry in metrics.get("counters", []):
+        name = _prom_name(entry["name"]) + "_total"
+        header(name, "counter")
+        lines.append(f"{name}{_prom_labels(entry['labels'])} {entry['value']}")
+    for entry in metrics.get("gauges", []):
+        if entry["value"] is None:
+            continue
+        name = _prom_name(entry["name"])
+        header(name, "gauge")
+        lines.append(f"{name}{_prom_labels(entry['labels'])} {entry['value']}")
+    for entry in metrics.get("histograms", []):
+        name = _prom_name(entry["name"])
+        header(name, "histogram")
+        labels = entry["labels"]
+        cumulative = int(entry.get("zeros", 0))
+        if cumulative:
+            le = dict(labels, le="0")
+            lines.append(f"{name}_bucket{_prom_labels(le)} {cumulative}")
+        for exponent, count in entry.get("buckets", []):
+            cumulative += int(count)
+            upper = Histogram.bucket_edges(int(exponent))[1]
+            le = dict(labels, le=f"{upper:g}")
+            lines.append(f"{name}_bucket{_prom_labels(le)} {cumulative}")
+        le = dict(labels, le="+Inf")
+        lines.append(f"{name}_bucket{_prom_labels(le)} {entry['count']}")
+        lines.append(f"{name}_sum{_prom_labels(labels)} {entry['sum']}")
+        lines.append(f"{name}_count{_prom_labels(labels)} {entry['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def export_jsonl(payload: Dict[str, Any]) -> str:
+    """Flat JSONL: one typed record per metric series and span."""
+    records: List[Dict[str, Any]] = []
+    meta = payload.get("meta", {})
+    records.append(
+        {
+            "type": "meta",
+            "schema_version": payload.get("schema_version"),
+            **meta,
+        }
+    )
+    metrics = payload.get("metrics", {})
+    for kind in ("counters", "gauges", "histograms"):
+        for entry in metrics.get(kind, []):
+            records.append({"type": kind[:-1], **entry})
+    for span in payload.get("spans", []):
+        records.append({"type": "span", **span})
+    return "\n".join(json.dumps(record) for record in records) + "\n"
+
+
+def export_telemetry(payload: Dict[str, Any], fmt: str) -> str:
+    """Dispatch to one of :data:`EXPORT_FORMATS`."""
+    if fmt == "chrome-trace":
+        return export_chrome_trace(payload)
+    if fmt == "prometheus":
+        return export_prometheus(payload)
+    if fmt == "jsonl":
+        return export_jsonl(payload)
+    raise ConfigError(
+        f"unknown export format {fmt!r}; known: {', '.join(EXPORT_FORMATS)}"
+    )

@@ -1,0 +1,210 @@
+"""The process-global telemetry handle threaded through the pipeline.
+
+Hot layers fetch the current handle with :func:`get_telemetry` and record
+through it; by default the handle is a shared **disabled** singleton
+whose spans and metrics are no-ops (a handful of attribute reads per
+*pass*, never per element — the disabled-mode overhead budget on the
+perf benchmarks is <= 2%).  A run that wants telemetry installs an
+enabled :class:`Telemetry` (usually via :func:`telemetry_session` or the
+CLI's ``--telemetry PATH`` flag) for its duration.
+
+Worker processes (``Study.build(workers=N)``, the pass-2 trace fan-out)
+each install a fresh enabled handle, run their chunk, and ship a
+:meth:`Telemetry.snapshot` back to the parent, which merges them with
+:meth:`Telemetry.merge_snapshot`.  Metrics merge deterministically
+(counters add, gauges max, histogram buckets add — all integer-valued by
+convention), so the merged fleet view is byte-identical for any worker
+count; spans merge by concatenation and carry their worker's pid.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import Tracer
+
+#: Version of the ``telemetry.json`` artifact layout.  Additive changes
+#: (new keys, new metric names) do not bump this; breaking ones do.
+TELEMETRY_SCHEMA_VERSION = 1
+
+
+class _NullSpan:
+    """Reusable no-op span: one shared instance serves every disabled call."""
+
+    __slots__ = ()
+    name = ""
+    labels: Dict[str, Any] = {}
+
+    def set(self, **labels: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+class _NullCounter:
+    __slots__ = ()
+    value = 0
+
+    def inc(self, amount: "int | float" = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    value = None
+
+    def set(self, value: "int | float") -> None:
+        pass
+
+    def set_max(self, value: "int | float") -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: "int | float", count: int = 1) -> None:
+        pass
+
+    def observe_many(self, values: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Peak resident-set size of this process, or None if unavailable."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS reports bytes.
+    return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+
+
+class Telemetry:
+    """One run's observability state: a metrics registry plus a tracer.
+
+    ``enabled=False`` yields a null object: every accessor returns a
+    shared no-op, so instrumented code needs no branching (though hot
+    call sites may still guard expensive *amount computations* behind
+    ``if telemetry.enabled``).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        sample_every: Optional[int] = None,
+        sample_rate: Optional[float] = None,
+        seed: int = 0,
+    ):
+        self.enabled = bool(enabled)
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(
+            sample_every=sample_every, sample_rate=sample_rate, seed=seed
+        )
+        self.meta: Dict[str, Any] = {}
+        self._created_unix = time.time()
+
+    # -- recording API (null-safe) -------------------------------------------
+
+    def span(self, name: str, **labels: Any):
+        if not self.enabled:
+            return _NULL_SPAN
+        return self.tracer.span(name, **labels)
+
+    def counter(self, name: str, **labels: Any) -> "Counter | _NullCounter":
+        if not self.enabled:
+            return _NULL_COUNTER
+        return self.registry.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: Any) -> "Gauge | _NullGauge":
+        if not self.enabled:
+            return _NULL_GAUGE
+        return self.registry.gauge(name, **labels)
+
+    def histogram(
+        self, name: str, **labels: Any
+    ) -> "Histogram | _NullHistogram":
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        return self.registry.histogram(name, **labels)
+
+    # -- snapshot / merge / persist ------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The full telemetry artifact (the ``telemetry.json`` payload)."""
+        return {
+            "schema_version": TELEMETRY_SCHEMA_VERSION,
+            "meta": dict(self.meta, created_unix=self._created_unix),
+            "metrics": self.registry.snapshot(),
+            "spans": self.tracer.snapshot(),
+        }
+
+    def merge_snapshot(self, snapshot: Optional[Dict[str, Any]]) -> None:
+        """Fold a worker's :meth:`snapshot` into this handle (None: no-op)."""
+        if snapshot is None or not self.enabled:
+            return
+        self.registry.merge_snapshot(snapshot.get("metrics", {}))
+        self.tracer.merge_snapshot(snapshot.get("spans", ()))
+
+    def write(self, path: "str | Path") -> Path:
+        """Write the artifact to ``path`` as pretty-printed JSON."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.snapshot(), indent=2) + "\n")
+        return path
+
+
+#: The shared disabled singleton installed by default.
+_DISABLED = Telemetry(enabled=False)
+_current: Telemetry = _DISABLED
+
+
+def get_telemetry() -> Telemetry:
+    """The currently installed telemetry handle (disabled by default)."""
+    return _current
+
+
+def set_telemetry(telemetry: Optional[Telemetry]) -> Telemetry:
+    """Install ``telemetry`` (None: the disabled default); returns the old."""
+    global _current
+    previous = _current
+    _current = telemetry if telemetry is not None else _DISABLED
+    return previous
+
+
+@contextmanager
+def telemetry_session(
+    enabled: bool = True,
+    sample_every: Optional[int] = None,
+    sample_rate: Optional[float] = None,
+    seed: int = 0,
+) -> Iterator[Telemetry]:
+    """Install a fresh handle for the duration of a ``with`` block."""
+    telemetry = Telemetry(
+        enabled=enabled,
+        sample_every=sample_every,
+        sample_rate=sample_rate,
+        seed=seed,
+    )
+    previous = set_telemetry(telemetry)
+    try:
+        yield telemetry
+    finally:
+        set_telemetry(previous)

@@ -1,0 +1,100 @@
+"""Dependency-free validation of the ``telemetry.json`` artifact.
+
+Not a jsonschema engine — a hand-rolled structural check that CI (and
+downstream consumers) can run without extra packages.  Returns a list of
+human-readable problems; an empty list means the payload is valid.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.obs.runtime import TELEMETRY_SCHEMA_VERSION
+
+_METRIC_KINDS = ("counters", "gauges", "histograms")
+
+
+def _check_entry(kind: str, index: int, entry: Any, errors: List[str]) -> None:
+    where = f"metrics.{kind}[{index}]"
+    if not isinstance(entry, dict):
+        errors.append(f"{where}: expected an object, got {type(entry).__name__}")
+        return
+    if not isinstance(entry.get("name"), str) or not entry.get("name"):
+        errors.append(f"{where}: missing or empty 'name'")
+    if not isinstance(entry.get("labels"), dict):
+        errors.append(f"{where}: 'labels' must be an object")
+    if kind in ("counters", "gauges"):
+        if "value" not in entry:
+            errors.append(f"{where}: missing 'value'")
+        elif kind == "counters" and not isinstance(
+            entry["value"], (int, float)
+        ):
+            errors.append(f"{where}: counter 'value' must be a number")
+    else:  # histograms
+        for field in ("count", "sum", "zeros", "buckets"):
+            if field not in entry:
+                errors.append(f"{where}: missing {field!r}")
+        buckets = entry.get("buckets")
+        if isinstance(buckets, list):
+            for j, pair in enumerate(buckets):
+                if (
+                    not isinstance(pair, (list, tuple))
+                    or len(pair) != 2
+                    or not all(isinstance(x, (int, float)) for x in pair)
+                ):
+                    errors.append(
+                        f"{where}: bucket [{j}] must be a [exponent, count] pair"
+                    )
+        elif buckets is not None:
+            errors.append(f"{where}: 'buckets' must be a list")
+
+
+def _check_span(index: int, span: Any, errors: List[str]) -> None:
+    where = f"spans[{index}]"
+    if not isinstance(span, dict):
+        errors.append(f"{where}: expected an object, got {type(span).__name__}")
+        return
+    if not isinstance(span.get("name"), str) or not span.get("name"):
+        errors.append(f"{where}: missing or empty 'name'")
+    for field in ("start_us", "dur_us"):
+        if not isinstance(span.get(field), (int, float)):
+            errors.append(f"{where}: {field!r} must be a number")
+    if not isinstance(span.get("labels", {}), dict):
+        errors.append(f"{where}: 'labels' must be an object")
+
+
+def validate_telemetry(payload: Any) -> List[str]:
+    """Structural validation of one telemetry artifact; [] means valid."""
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"telemetry must be a JSON object, got {type(payload).__name__}"]
+    version = payload.get("schema_version")
+    if not isinstance(version, int):
+        errors.append("missing integer 'schema_version'")
+    elif version > TELEMETRY_SCHEMA_VERSION:
+        errors.append(
+            f"schema_version {version} is newer than supported "
+            f"{TELEMETRY_SCHEMA_VERSION}"
+        )
+    if not isinstance(payload.get("meta", {}), dict):
+        errors.append("'meta' must be an object")
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        errors.append("missing 'metrics' object")
+    else:
+        for kind in _METRIC_KINDS:
+            entries = metrics.get(kind, [])
+            if not isinstance(entries, list):
+                errors.append(f"metrics.{kind} must be a list")
+                continue
+            for index, entry in enumerate(entries):
+                _check_entry(kind, index, entry, errors)
+    spans = payload.get("spans")
+    if spans is None:
+        errors.append("missing 'spans' list")
+    elif not isinstance(spans, list):
+        errors.append("'spans' must be a list")
+    else:
+        for index, span in enumerate(spans):
+            _check_span(index, span, errors)
+    return errors

@@ -1,0 +1,213 @@
+"""Span tracing: nested, monotonic-timed sections with sampling and export.
+
+A :class:`Tracer` hands out ``span("sim.pass1", dc=0)`` context managers
+that record wall-aligned monotonic timings with nesting depth — the
+Dapper/DiTing shape: one record per (component, occurrence) with a name,
+a start, a duration, and labels.  Spans are *not* part of the
+deterministic metrics contract (they measure the clock, which is exactly
+what they are for); they live in their own section of the telemetry
+artifact and power the per-stage latency breakdown and the Chrome
+``trace_event`` export (load the file at ``chrome://tracing`` or
+https://ui.perfetto.dev).
+
+Sampling mirrors :mod:`repro.trace.sampling`: either *exact-count*
+(``sample_every=N`` keeps every N-th span, DiTing's deterministic
+decimation) or *probabilistic* (``sample_rate=1/3200`` keeps each span
+with fixed probability, seeded so runs are reproducible).  Unsampled
+spans still participate in nesting (depth stays truthful) but are
+dropped at finish time.
+
+Span naming convention: dotted ``layer.stage[.substage]`` paths, e.g.
+``study.build``, ``sim.pass1``, ``cache.replay`` — see
+``docs/observability.md`` for the catalogue.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.util.errors import ConfigError
+
+
+class SpanHandle:
+    """One in-flight (then finished) span; returned by ``Tracer.span()``."""
+
+    __slots__ = ("_tracer", "name", "labels", "depth", "_start_ns", "_keep")
+
+    def __init__(
+        self, tracer: "Tracer", name: str, labels: Dict[str, Any], keep: bool
+    ):
+        self._tracer = tracer
+        self.name = name
+        self.labels = labels
+        self.depth = 0
+        self._start_ns = 0
+        self._keep = keep
+
+    def set(self, **labels: Any) -> "SpanHandle":
+        """Attach labels after the span started (e.g. sizes known later)."""
+        self.labels.update(labels)
+        return self
+
+    def __enter__(self) -> "SpanHandle":
+        tracer = self._tracer
+        self.depth = len(tracer._stack)
+        tracer._stack.append(self)
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end_ns = time.perf_counter_ns()
+        tracer = self._tracer
+        if tracer._stack and tracer._stack[-1] is self:
+            tracer._stack.pop()
+        if self._keep:
+            tracer._finish(self, end_ns - self._start_ns)
+        return False
+
+
+class Tracer:
+    """Collects spans with monotonic timing aligned to the wall clock.
+
+    Start timestamps are ``perf_counter_ns`` offsets mapped onto a wall
+    epoch captured at construction, so spans from different processes
+    (per-worker tracers) land on one roughly shared timeline when merged
+    into a single Chrome trace.
+    """
+
+    def __init__(
+        self,
+        sample_every: Optional[int] = None,
+        sample_rate: Optional[float] = None,
+        seed: int = 0,
+    ):
+        if sample_every is not None and sample_rate is not None:
+            raise ConfigError("choose sample_every or sample_rate, not both")
+        if sample_every is not None and sample_every < 1:
+            raise ConfigError(f"sample_every must be >= 1, got {sample_every}")
+        if sample_rate is not None and not 0.0 < sample_rate <= 1.0:
+            raise ConfigError(
+                f"sample_rate must be in (0, 1], got {sample_rate}"
+            )
+        self.sample_every = sample_every
+        self.sample_rate = sample_rate
+        self._rng = random.Random(seed)
+        self._seen = 0
+        self._stack: List[SpanHandle] = []
+        self._spans: List[Dict[str, Any]] = []
+        self._epoch_wall_ns = time.time_ns()
+        self._epoch_perf_ns = time.perf_counter_ns()
+        self._pid = os.getpid()
+
+    # -- recording -----------------------------------------------------------
+
+    def _sampled(self) -> bool:
+        self._seen += 1
+        if self.sample_every is not None:
+            return (self._seen - 1) % self.sample_every == 0
+        if self.sample_rate is not None:
+            return self._rng.random() < self.sample_rate
+        return True
+
+    def span(self, name: str, **labels: Any) -> SpanHandle:
+        """A context manager timing one named section (cheap, nestable)."""
+        return SpanHandle(self, name, labels, self._sampled())
+
+    def _finish(self, handle: SpanHandle, dur_ns: int) -> None:
+        start_us = (
+            self._epoch_wall_ns + (handle._start_ns - self._epoch_perf_ns)
+        ) // 1000
+        self._spans.append(
+            {
+                "name": handle.name,
+                "start_us": int(start_us),
+                "dur_us": dur_ns / 1000.0,
+                "depth": handle.depth,
+                "pid": self._pid,
+                "labels": {str(k): v for k, v in handle.labels.items()},
+            }
+        )
+
+    # -- snapshot / merge ----------------------------------------------------
+
+    @property
+    def spans(self) -> List[Dict[str, Any]]:
+        return self._spans
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """Finished spans as JSON-friendly dicts (recording order)."""
+        return [dict(span) for span in self._spans]
+
+    def merge_snapshot(self, spans: Iterable[Dict[str, Any]]) -> None:
+        """Append spans recorded elsewhere (e.g. a worker process)."""
+        self._spans.extend(dict(span) for span in spans)
+
+
+# -- aggregation / export ----------------------------------------------------
+
+
+def stage_summary(spans: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Per-stage latency breakdown: aggregate spans by name.
+
+    Returns one row per span name with count / total / mean / max
+    milliseconds, sorted by descending total — the ``repro obs report``
+    table and the benchmarks' self-describing timing section.
+    """
+    agg: Dict[str, List[float]] = {}
+    for span in spans:
+        entry = agg.setdefault(span["name"], [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += span["dur_us"]
+        entry[2] = max(entry[2], span["dur_us"])
+    rows = [
+        {
+            "name": name,
+            "count": int(count),
+            "total_ms": round(total_us / 1000.0, 3),
+            "mean_ms": round(total_us / count / 1000.0, 3),
+            "max_ms": round(max_us / 1000.0, 3),
+        }
+        for name, (count, total_us, max_us) in agg.items()
+    ]
+    rows.sort(key=lambda row: (-row["total_ms"], row["name"]))
+    return rows
+
+
+def to_chrome_trace(spans: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Spans as a Chrome ``trace_event`` JSON object.
+
+    Complete (``ph: "X"``) events with microsecond timestamps; one track
+    per process, nested spans render as stacked slices.  Load the dumped
+    file at chrome://tracing or https://ui.perfetto.dev.
+    """
+    events: List[Dict[str, Any]] = []
+    pids = set()
+    for span in spans:
+        pid = int(span.get("pid", 0))
+        pids.add(pid)
+        events.append(
+            {
+                "name": span["name"],
+                "ph": "X",
+                "ts": span["start_us"],
+                "dur": span["dur_us"],
+                "pid": pid,
+                "tid": 0,
+                "cat": span["name"].split(".", 1)[0],
+                "args": dict(span.get("labels", {})),
+            }
+        )
+    for pid in sorted(pids):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro worker {pid}"},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

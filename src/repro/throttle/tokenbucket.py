@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.runtime import get_telemetry
 from repro.util.errors import ConfigError
 
 
@@ -127,6 +128,17 @@ class TokenBucket:
             # still queued at its end, or a carried-in backlog (whose IOs
             # waited into this second) drained within it.
             throttled[t] = carried_in or backlog[t] > 1e-9
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            # Integer amounts accumulated from array totals, so the merged
+            # fleet view is deterministic for any worker partitioning.
+            telemetry.counter("throttle.shape_calls").inc()
+            telemetry.counter("throttle.seconds_shaped").inc(
+                int(offered.size)
+            )
+            telemetry.counter("throttle.throttled_seconds").inc(
+                int(throttled.sum())
+            )
         return ShapedTraffic(
             delivered=delivered, backlog=backlog, throttled=throttled
         )

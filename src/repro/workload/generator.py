@@ -17,6 +17,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.obs.runtime import get_telemetry
 from repro.util.errors import ConfigError
 from repro.util.rng import RngFactory
 from repro.util.units import MiB
@@ -219,12 +220,33 @@ class WorkloadGenerator:
             mean_read_size_bytes=read_size,
             mean_write_size_bytes=write_size,
         )
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            # First-build only (the cache write below makes repeat calls
+            # no-ops), so draw counters stay exact per VD.  All values are
+            # integers: counts and series lengths, never float traffic.
+            dc = self.fleet.config.dc_id
+            app = self.fleet.vms[vd.vm_id].application
+            telemetry.counter("workload.vds_generated", dc=dc, app=app).inc()
+            telemetry.counter(
+                "workload.series_seconds", dc=dc, app=app
+            ).inc(2 * t)  # one read + one write series per VD
+            telemetry.counter(
+                "workload.weight_draws", dc=dc, app=app
+            ).inc(nq * 2 + base_weights.size * 2)
         self._cache[vd_id] = traffic
         return traffic
 
     def generate_all(self) -> List[VdTraffic]:
         """Traffic for every VD in the fleet (cached)."""
-        return [self.generate_vd(vd.vd_id) for vd in self.fleet.vds]
+        telemetry = get_telemetry()
+        with telemetry.span(
+            "workload.generate_all",
+            dc=self.fleet.config.dc_id,
+            vds=len(self.fleet.vds),
+        ):
+            traffic = [self.generate_vd(vd.vd_id) for vd in self.fleet.vds]
+        return traffic
 
 
 #: Segment-weight sharpening exponents per direction.  Reads hit specific

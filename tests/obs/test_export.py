@@ -1,0 +1,87 @@
+"""Tests for the telemetry exporters (Chrome trace, Prometheus, JSONL)."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    EXPORT_FORMATS,
+    export_chrome_trace,
+    export_jsonl,
+    export_prometheus,
+    export_telemetry,
+)
+from repro.obs.runtime import Telemetry
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture()
+def payload():
+    t = Telemetry(enabled=True)
+    t.meta["command"] = "run"
+    t.counter("sim.traces.ios", dc=0, op="read").inc(100)
+    t.counter("sim.traces.ios", dc=0, op="write").inc(50)
+    t.gauge("sim.pass1.wt_grid_cells", dc=0).set_max(640)
+    h = t.histogram("sim.traces.ios_per_vd", dc=0)
+    h.observe(0)
+    h.observe(3)   # bucket 2, upper edge 4
+    h.observe(4)   # bucket 2
+    h.observe(90)  # bucket 7, upper edge 128
+    with t.span("study.build", workers=2):
+        pass
+    return t.snapshot()
+
+
+class TestChromeTrace:
+    def test_loadable_document(self, payload):
+        doc = json.loads(export_chrome_trace(payload))
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "study.build" in names
+        assert "process_name" in names
+
+
+class TestPrometheus:
+    def test_counter_gauge_lines(self, payload):
+        text = export_prometheus(payload)
+        assert "# TYPE repro_sim_traces_ios_total counter" in text
+        assert 'repro_sim_traces_ios_total{dc="0",op="read"} 100' in text
+        assert 'repro_sim_pass1_wt_grid_cells{dc="0"} 640' in text
+
+    def test_histogram_buckets_cumulative(self, payload):
+        lines = export_prometheus(payload).splitlines()
+        name = "repro_sim_traces_ios_per_vd"
+        buckets = [l for l in lines if l.startswith(f"{name}_bucket")]
+        # zeros bucket, le=4, le=128, le=+Inf — cumulative counts
+        assert buckets == [
+            f'{name}_bucket{{dc="0",le="0"}} 1',
+            f'{name}_bucket{{dc="0",le="4"}} 3',
+            f'{name}_bucket{{dc="0",le="128"}} 4',
+            f'{name}_bucket{{dc="0",le="+Inf"}} 4',
+        ]
+        assert f'{name}_sum{{dc="0"}} 97' in "\n".join(lines)
+        assert f'{name}_count{{dc="0"}} 4' in "\n".join(lines)
+
+
+class TestJsonl:
+    def test_one_typed_record_per_line(self, payload):
+        records = [
+            json.loads(line)
+            for line in export_jsonl(payload).strip().splitlines()
+        ]
+        types = [r["type"] for r in records]
+        assert types[0] == "meta"
+        assert records[0]["command"] == "run"
+        assert types.count("counter") == 2
+        assert types.count("gauge") == 1
+        assert types.count("histogram") == 1
+        assert types.count("span") == 1
+
+
+class TestDispatch:
+    def test_all_formats_produce_text(self, payload):
+        for fmt in EXPORT_FORMATS:
+            assert export_telemetry(payload, fmt)
+
+    def test_unknown_format_raises(self, payload):
+        with pytest.raises(ConfigError):
+            export_telemetry(payload, "csv")

@@ -1,0 +1,234 @@
+"""Tests for the metrics primitives and registry merge semantics."""
+
+import json
+import random
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+from repro.util.errors import ConfigError
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter()
+        assert c.value == 0
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ConfigError):
+            Counter().inc(-1)
+
+    def test_merge_adds(self):
+        a, b = Counter(), Counter()
+        a.inc(3)
+        b.inc(4)
+        a.merge_dict(b.to_dict())
+        assert a.value == 7
+
+
+class TestGauge:
+    def test_unset_is_none(self):
+        assert Gauge().value is None
+
+    def test_set_overwrites_set_max_keeps_peak(self):
+        g = Gauge()
+        g.set(10)
+        g.set(5)
+        assert g.value == 5
+        g.set_max(3)
+        assert g.value == 5
+        g.set_max(8)
+        assert g.value == 8
+
+    def test_merge_takes_max_and_ignores_none(self):
+        a, b = Gauge(), Gauge()
+        a.set(5)
+        a.merge_dict(b.to_dict())  # unset other: no-op
+        assert a.value == 5
+        b.set(9)
+        a.merge_dict(b.to_dict())
+        assert a.value == 9
+
+
+class TestHistogramBuckets:
+    @pytest.mark.parametrize(
+        "value,exponent",
+        [
+            (1, 0),      # 2**0 is its own upper edge
+            (2, 1),
+            (3, 2),      # (2, 4]
+            (4, 2),
+            (5, 3),
+            (1024, 10),
+            (1025, 11),
+            (0.5, -1),   # exact power of two below 1
+            (0.75, 0),   # (0.5, 1]
+        ],
+    )
+    def test_bucket_of_edges(self, value, exponent):
+        assert Histogram.bucket_of(value) == exponent
+        lo, hi = Histogram.bucket_edges(exponent)
+        assert lo < value <= hi
+
+    def test_zero_counts_separately(self):
+        h = Histogram()
+        h.observe(0)
+        h.observe(0, count=2)
+        assert h.zeros == 3
+        assert h.count == 3
+        assert h.buckets == {}
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            Histogram().observe(-1)
+        with pytest.raises(ConfigError):
+            Histogram().observe_many([1, -1])
+
+    def test_observe_many_matches_sequential(self):
+        rng = random.Random(11)
+        values = [rng.randrange(0, 5000) for _ in range(400)]
+        seq, vec = Histogram(), Histogram()
+        for value in values:
+            seq.observe(value)
+        vec.observe_many(np.asarray(values))
+        assert seq.to_dict() == vec.to_dict()
+
+    def test_observe_many_empty_is_noop(self):
+        h = Histogram()
+        h.observe_many(np.asarray([], dtype=np.int64))
+        assert h.to_dict() == Histogram().to_dict()
+
+    def test_merge_adds_buckets_and_tracks_extrema(self):
+        a, b = Histogram(), Histogram()
+        a.observe(3)
+        a.observe(100)
+        b.observe(3)
+        b.observe(1)
+        b.observe(0)
+        a.merge_dict(b.to_dict())
+        assert a.count == 5
+        assert a.sum == 107
+        assert a.zeros == 1
+        assert a.min == 0
+        assert a.max == 100
+        assert a.buckets[2] == 2  # both 3s
+
+
+class TestRegistry:
+    def test_same_series_is_same_object(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", dc=0)
+        b = reg.counter("x", dc=0)
+        assert a is b
+        assert reg.counter("x", dc=1) is not a
+        assert len(reg) == 2
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", a=1, b=2) is reg.counter("x", b=2, a=1)
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigError):
+            reg.gauge("x")
+        with pytest.raises(ConfigError):
+            reg.histogram("x", dc=0)
+
+    def test_empty_name_raises(self):
+        with pytest.raises(ConfigError):
+            MetricsRegistry().counter("")
+
+    def test_snapshot_order_independent_of_creation_order(self):
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for reg, order in ((forward, (0, 1, 2)), (backward, (2, 1, 0))):
+            for dc in order:
+                reg.counter("sim.rows", dc=dc).inc(dc + 1)
+            reg.gauge("grid", dc=0).set(9)
+        assert json.dumps(forward.snapshot(), sort_keys=True) == json.dumps(
+            backward.snapshot(), sort_keys=True
+        )
+
+    def test_empty_registry_snapshot(self):
+        snap = MetricsRegistry().snapshot()
+        assert snap == {"counters": [], "gauges": [], "histograms": []}
+
+
+def _record_events(registry, events):
+    """Replay (kind, name, labels, value) events into a registry."""
+    for kind, name, labels, value in events:
+        if kind == "counter":
+            registry.counter(name, **labels).inc(value)
+        elif kind == "gauge":
+            registry.gauge(name, **labels).set_max(value)
+        else:
+            registry.histogram(name, **labels).observe(value)
+
+
+class TestMergeSemantics:
+    def _events(self, n=300, seed=5):
+        rng = random.Random(seed)
+        kinds = ("counter", "gauge", "histogram")
+        names = ("sim.ios", "sim.grid", "cache.pages")
+        out = []
+        for _ in range(n):
+            kind = rng.choice(kinds)
+            # one name per kind so kinds never collide
+            name = names[kinds.index(kind)]
+            out.append(
+                (kind, name, {"dc": rng.randrange(3)}, rng.randrange(0, 999))
+            )
+        return out
+
+    def test_sharded_merge_equals_single_process(self):
+        events = self._events()
+        single = MetricsRegistry()
+        _record_events(single, events)
+
+        for num_shards in (2, 3, 5):
+            shards = [MetricsRegistry() for _ in range(num_shards)]
+            for i, event in enumerate(events):
+                _record_events(shards[i % num_shards], [event])
+            merged = MetricsRegistry()
+            for shard in shards:
+                merged.merge_snapshot(shard.snapshot())
+            assert json.dumps(merged.snapshot(), sort_keys=True) == json.dumps(
+                single.snapshot(), sort_keys=True
+            )
+
+    def test_merge_order_free(self):
+        events = self._events(n=120, seed=9)
+        shards = [MetricsRegistry() for _ in range(3)]
+        for i, event in enumerate(events):
+            _record_events(shards[i % 3], [event])
+        snaps = [shard.snapshot() for shard in shards]
+        ab = merge_snapshots(snaps)
+        ba = merge_snapshots(reversed(snaps))
+        assert json.dumps(ab, sort_keys=True) == json.dumps(
+            ba, sort_keys=True
+        )
+
+    def test_merging_empty_registries_is_identity(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc(7)
+        before = json.dumps(reg.snapshot(), sort_keys=True)
+        reg.merge_snapshot(MetricsRegistry().snapshot())
+        reg.merge(MetricsRegistry())
+        assert json.dumps(reg.snapshot(), sort_keys=True) == before
+
+    def test_merge_kind_collision_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x").inc(1)
+        b.gauge("x").set(1)
+        with pytest.raises(ConfigError):
+            a.merge_snapshot(b.snapshot())

@@ -1,0 +1,146 @@
+"""Tests for the process-global telemetry handle and its artifact."""
+
+import json
+
+from repro.obs.runtime import (
+    TELEMETRY_SCHEMA_VERSION,
+    Telemetry,
+    get_telemetry,
+    peak_rss_bytes,
+    set_telemetry,
+    telemetry_session,
+)
+from repro.obs.schema import validate_telemetry
+
+
+class TestDisabledDefault:
+    def test_default_handle_is_disabled(self):
+        assert get_telemetry().enabled is False
+
+    def test_disabled_accessors_are_shared_noops(self):
+        t = Telemetry(enabled=False)
+        assert t.span("a") is t.span("b")
+        assert t.counter("a") is t.counter("b", dc=1)
+        assert t.gauge("a") is t.gauge("b")
+        assert t.histogram("a") is t.histogram("b")
+
+    def test_disabled_recording_leaves_no_trace(self):
+        t = Telemetry(enabled=False)
+        with t.span("sim.pass1", dc=0) as span:
+            span.set(rows=1)
+        t.counter("x").inc(5)
+        t.gauge("g").set_max(3)
+        t.histogram("h").observe(2)
+        snap = t.snapshot()
+        assert snap["spans"] == []
+        assert snap["metrics"] == {
+            "counters": [], "gauges": [], "histograms": [],
+        }
+
+    def test_disabled_merge_is_noop(self):
+        enabled = Telemetry(enabled=True)
+        enabled.counter("x").inc(1)
+        disabled = Telemetry(enabled=False)
+        disabled.merge_snapshot(enabled.snapshot())
+        assert disabled.snapshot()["metrics"]["counters"] == []
+
+
+class TestSessionInstall:
+    def test_session_installs_and_restores(self):
+        before = get_telemetry()
+        with telemetry_session(seed=3) as t:
+            assert get_telemetry() is t
+            assert t.enabled
+        assert get_telemetry() is before
+
+    def test_set_telemetry_returns_previous_and_none_resets(self):
+        t = Telemetry(enabled=True)
+        previous = set_telemetry(t)
+        try:
+            assert get_telemetry() is t
+        finally:
+            assert set_telemetry(None) is t
+        assert get_telemetry().enabled is False
+
+    def test_session_restores_after_exception(self):
+        before = get_telemetry()
+        try:
+            with telemetry_session():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert get_telemetry() is before
+
+
+class TestArtifact:
+    def _sample(self):
+        t = Telemetry(enabled=True)
+        t.meta["command"] = "test"
+        t.counter("sim.rows", dc=0).inc(10)
+        t.gauge("sim.grid", dc=0).set_max(4)
+        t.histogram("sim.ios", dc=0).observe(17)
+        with t.span("study.build", workers=1):
+            pass
+        return t
+
+    def test_snapshot_validates_against_schema(self):
+        snap = self._sample().snapshot()
+        assert snap["schema_version"] == TELEMETRY_SCHEMA_VERSION
+        assert validate_telemetry(snap) == []
+
+    def test_snapshot_survives_json_roundtrip(self):
+        snap = self._sample().snapshot()
+        assert validate_telemetry(json.loads(json.dumps(snap))) == []
+
+    def test_write_and_merge_roundtrip(self, tmp_path):
+        t = self._sample()
+        path = t.write(tmp_path / "nested" / "telemetry.json")
+        payload = json.loads(path.read_text())
+        assert validate_telemetry(payload) == []
+
+        merged = Telemetry(enabled=True)
+        merged.merge_snapshot(payload)
+        merged.merge_snapshot(None)  # None: no-op
+        metrics = merged.snapshot()["metrics"]
+        assert metrics["counters"] == t.snapshot()["metrics"]["counters"]
+        assert len(merged.snapshot()["spans"]) == 1
+
+    def test_meta_carries_created_unix(self):
+        snap = self._sample().snapshot()
+        assert snap["meta"]["command"] == "test"
+        assert snap["meta"]["created_unix"] > 0
+
+
+class TestSchemaRejections:
+    def test_not_an_object(self):
+        assert validate_telemetry([1, 2]) != []
+
+    def test_missing_sections(self):
+        errors = validate_telemetry({})
+        joined = "\n".join(errors)
+        assert "schema_version" in joined
+        assert "metrics" in joined
+        assert "spans" in joined
+
+    def test_future_schema_version_flagged(self):
+        payload = Telemetry(enabled=True).snapshot()
+        payload["schema_version"] = TELEMETRY_SCHEMA_VERSION + 1
+        assert any("newer" in e for e in validate_telemetry(payload))
+
+    def test_malformed_entries_flagged(self):
+        payload = Telemetry(enabled=True).snapshot()
+        payload["metrics"]["counters"].append({"labels": {}})
+        payload["metrics"]["histograms"].append(
+            {"name": "h", "labels": {}, "count": 1, "sum": 1, "zeros": 0,
+             "buckets": [[1]]}
+        )
+        payload["spans"].append({"name": "", "start_us": "x"})
+        errors = validate_telemetry(payload)
+        assert any("counters[0]" in e for e in errors)
+        assert any("bucket" in e for e in errors)
+        assert any("spans[0]" in e for e in errors)
+
+
+def test_peak_rss_bytes_positive():
+    rss = peak_rss_bytes()
+    assert rss is None or rss > 0

@@ -1,0 +1,138 @@
+"""Tests for span tracing: nesting, sampling, aggregation, Chrome export."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.spans import Tracer, stage_summary, to_chrome_trace
+from repro.util.errors import ConfigError
+
+
+class TestTracer:
+    def test_records_name_labels_duration(self):
+        tracer = Tracer()
+        with tracer.span("sim.pass1", dc=0) as span:
+            span.set(rows=12)
+        (record,) = tracer.snapshot()
+        assert record["name"] == "sim.pass1"
+        assert record["labels"] == {"dc": 0, "rows": 12}
+        assert record["dur_us"] >= 0.0
+        assert record["pid"] == os.getpid()
+        assert record["depth"] == 0
+
+    def test_nesting_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                with tracer.span("innermost"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        depths = {s["name"]: s["depth"] for s in tracer.snapshot()}
+        assert depths == {
+            "outer": 0, "inner": 1, "innermost": 2, "sibling": 1,
+        }
+
+    def test_snapshot_is_a_copy(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        snap = tracer.snapshot()
+        snap[0]["name"] = "mutated"
+        assert tracer.snapshot()[0]["name"] == "a"
+
+    def test_merge_snapshot_appends(self):
+        a, b = Tracer(), Tracer()
+        with a.span("a"):
+            pass
+        with b.span("b"):
+            pass
+        a.merge_snapshot(b.snapshot())
+        assert [s["name"] for s in a.snapshot()] == ["a", "b"]
+
+
+class TestSampling:
+    def test_both_modes_rejected(self):
+        with pytest.raises(ConfigError):
+            Tracer(sample_every=2, sample_rate=0.5)
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_bad_sample_every(self, bad):
+        with pytest.raises(ConfigError):
+            Tracer(sample_every=bad)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5])
+    def test_bad_sample_rate(self, bad):
+        with pytest.raises(ConfigError):
+            Tracer(sample_rate=bad)
+
+    def test_exact_count_decimation(self):
+        tracer = Tracer(sample_every=3)
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        kept = [s["name"] for s in tracer.snapshot()]
+        assert kept == ["s0", "s3", "s6", "s9"]
+
+    def test_unsampled_spans_keep_depth_truthful(self):
+        tracer = Tracer(sample_every=2)
+        with tracer.span("kept0"):          # sampled
+            with tracer.span("dropped"):    # not sampled
+                with tracer.span("kept1"):  # sampled, depth 2
+                    pass
+        depths = {s["name"]: s["depth"] for s in tracer.snapshot()}
+        assert depths == {"kept0": 0, "kept1": 2}
+
+    def test_probabilistic_sampling_deterministic_under_seed(self):
+        def run(seed):
+            tracer = Tracer(sample_rate=0.25, seed=seed)
+            for i in range(200):
+                with tracer.span(f"s{i}"):
+                    pass
+            return [s["name"] for s in tracer.snapshot()]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+        kept = run(7)
+        assert 0 < len(kept) < 200
+
+
+class TestAggregation:
+    def test_stage_summary_groups_and_sorts(self):
+        spans = [
+            {"name": "a", "dur_us": 1000.0},
+            {"name": "a", "dur_us": 3000.0},
+            {"name": "b", "dur_us": 5000.0},
+        ]
+        rows = stage_summary(spans)
+        assert [r["name"] for r in rows] == ["b", "a"]
+        a = rows[1]
+        assert a["count"] == 2
+        assert a["total_ms"] == 4.0
+        assert a["mean_ms"] == 2.0
+        assert a["max_ms"] == 3.0
+
+    def test_stage_summary_empty(self):
+        assert stage_summary([]) == []
+
+
+class TestChromeTrace:
+    def test_complete_events_and_process_metadata(self):
+        tracer = Tracer()
+        with tracer.span("sim.pass1", dc=1):
+            pass
+        doc = to_chrome_trace(tracer.snapshot())
+        # Must be valid JSON end to end.
+        doc = json.loads(json.dumps(doc))
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        slices = [e for e in events if e["ph"] == "X"]
+        metas = [e for e in events if e["ph"] == "M"]
+        assert len(slices) == 1
+        assert slices[0]["name"] == "sim.pass1"
+        assert slices[0]["cat"] == "sim"
+        assert slices[0]["args"] == {"dc": 1}
+        assert slices[0]["dur"] >= 0
+        assert metas and metas[0]["name"] == "process_name"
+        assert metas[0]["pid"] == slices[0]["pid"]
