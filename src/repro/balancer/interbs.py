@@ -127,6 +127,7 @@ class InterBsBalancer:
         self,
         segment_traffic: np.ndarray,
         secondary_traffic: "Optional[np.ndarray]" = None,
+        blackout_periods: "Optional[Sequence[int]]" = None,
     ) -> BalancerRun:
         """Replay the balancer; returns migrations and the live BS loads.
 
@@ -134,6 +135,12 @@ class InterBsBalancer:
         balancer acts on (write traffic in production).  If
         ``secondary_traffic`` is given (Write-then-Read), a second
         balancing pass per period migrates on it after the primary pass.
+
+        ``blackout_periods`` (from a fault plan's migration-blackout
+        windows, :meth:`repro.faults.timeline.FaultTimeline.blackout_periods`)
+        lists period indices where the control plane is frozen: per-BS
+        loads are still recorded, but no balance pass runs and no
+        segment moves.
         """
         num_segments, num_periods = segment_traffic.shape
         if num_segments != self.storage.num_segments:
@@ -147,6 +154,11 @@ class InterBsBalancer:
             raise ConfigError("secondary traffic shape mismatch")
 
         num_bs = self.storage.num_block_servers
+        blackout = (
+            frozenset(int(p) for p in blackout_periods)
+            if blackout_periods is not None
+            else frozenset()
+        )
         bs_loads = np.zeros((num_bs, num_periods))
         migrations: List[MigrationEvent] = []
         placement_history: List[Dict[int, int]] = []
@@ -169,6 +181,11 @@ class InterBsBalancer:
             if secondary_traffic is not None:
                 secondary = secondary_traffic[seg_ids, period]
                 np.add.at(bs_loads[:, period], seg_bs, secondary)
+
+            if period in blackout:
+                # Migration blackout: the control plane is down for this
+                # period, so loads are observed but nothing moves.
+                continue
 
             future = (
                 self._future_loads(segment_traffic, period)
@@ -298,17 +315,17 @@ class InterBsBalancer:
             )
             if importer == int(exporter):
                 continue
-            if not self.storage.is_active(importer):
-                # A decommissioned BS cannot import; fall back to the
-                # least-loaded active one.
-                active = [
+            if not self.storage.is_serving(importer):
+                # A decommissioned or currently-failed BS cannot import;
+                # fall back to the least-loaded serving one.
+                serving = [
                     bs
-                    for bs in self.storage.active_block_servers
+                    for bs in self.storage.serving_block_servers
                     if bs != int(exporter)
                 ]
-                if not active:
+                if not serving:
                     continue
-                importer = min(active, key=lambda bs: history[bs, period])
+                importer = min(serving, key=lambda bs: history[bs, period])
             shed = 0.0
             for segment in chosen:
                 if not self._admissible(segment, importer):

@@ -72,7 +72,20 @@ def _configure_logging(verbose: int, quiet: bool) -> None:
 
 def _study(args: argparse.Namespace) -> Study:
     factory = getattr(StudyConfig, args.scale)
-    return Study(factory(seed=args.seed))
+    config = factory(seed=args.seed)
+    plan_path = getattr(args, "fault_plan", None)
+    if plan_path:
+        from dataclasses import replace
+
+        from repro.faults.plan import FaultPlan
+
+        plan = FaultPlan.load(plan_path)
+        _LOG.info(
+            "loaded fault plan %s (%d event(s), policy=%s)",
+            plan_path, len(plan), plan.policy.value,
+        )
+        config = replace(config, fault_plan=plan)
+    return Study(config)
 
 
 # -- telemetry lifecycle -----------------------------------------------------
@@ -101,6 +114,7 @@ def _finish_telemetry(
             "seed": args.seed,
             "workers": getattr(args, "workers", 1),
             "experiment": getattr(args, "experiment", None),
+            "fault_plan": getattr(args, "fault_plan", None),
             "version": __version__,
             "peak_rss_bytes": peak_rss_bytes(),
         }
@@ -360,6 +374,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="record run telemetry (metrics + spans) and write it here; "
         "inspect with 'ebs-repro obs report FILE'",
     )
+    run.add_argument(
+        "--fault-plan",
+        metavar="FILE",
+        default=None,
+        dest="fault_plan",
+        help="inject a deterministic fault schedule (JSON, see "
+        "docs/fault-injection.md) into every simulated DC",
+    )
 
     export = sub.add_parser(
         "export-dataset", help="simulate and write the datasets to disk"
@@ -378,6 +400,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="record run telemetry (metrics + spans) and write it here",
+    )
+    export.add_argument(
+        "--fault-plan",
+        metavar="FILE",
+        default=None,
+        dest="fault_plan",
+        help="inject a deterministic fault schedule into the exported build",
     )
 
     obs = sub.add_parser(

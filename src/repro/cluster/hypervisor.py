@@ -9,10 +9,20 @@ experiments can swap the QP sets of two WTs at runtime.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import Dict, List, Set
 
 from repro.util.errors import ConfigError, SimulationError
 from repro.workload.fleet import Fleet
+
+
+@dataclass(frozen=True)
+class StallEvent:
+    """One QP wedging or unwedging (an RDMA QP stuck mid-rebind, §4.3)."""
+
+    timestamp: int
+    qp_id: int
+    action: str  # "stall" | "unstall"
 
 
 class Hypervisor:
@@ -27,6 +37,9 @@ class Hypervisor:
         self.node_id = node_id
         self.worker_ids: List[int] = list(fleet.wt_ids_of_node(node_id))
         self._binding: Dict[int, int] = {}
+        # Stall depth per QP (fault windows may overlap, so they count).
+        self._stalled: Dict[int, int] = {}
+        self.stall_log: List[StallEvent] = []
         node_qps = [
             qp for qp in fleet.queue_pairs if qp.compute_node_id == node_id
         ]
@@ -86,6 +99,51 @@ class Hypervisor:
         for qp in qps_b:
             self._binding[qp] = wt_a
 
+    # -- fault injection: stalled QPs ---------------------------------------
+
+    def stall_qp(self, qp_id: int, timestamp: int = 0) -> None:
+        """Mark a QP stalled (stops draining; binding is unchanged).
+
+        Stalls nest: overlapping windows count, and the QP drains again
+        only after the last :meth:`unstall_qp`.
+        """
+        if qp_id not in self._binding:
+            raise SimulationError(
+                f"qp {qp_id} is not attached to node {self.node_id}"
+            )
+        self._stalled[qp_id] = self._stalled.get(qp_id, 0) + 1
+        self.stall_log.append(
+            StallEvent(timestamp=timestamp, qp_id=qp_id, action="stall")
+        )
+
+    def unstall_qp(self, qp_id: int, timestamp: int = 0) -> None:
+        """Undo one :meth:`stall_qp` (raises if the QP is not stalled)."""
+        if qp_id not in self._binding:
+            raise SimulationError(
+                f"qp {qp_id} is not attached to node {self.node_id}"
+            )
+        depth = self._stalled.get(qp_id, 0)
+        if depth <= 0:
+            raise SimulationError(f"qp {qp_id} is not stalled")
+        if depth == 1:
+            self._stalled.pop(qp_id)
+        else:
+            self._stalled[qp_id] = depth - 1
+        self.stall_log.append(
+            StallEvent(timestamp=timestamp, qp_id=qp_id, action="unstall")
+        )
+
+    def is_stalled(self, qp_id: int) -> bool:
+        if qp_id not in self._binding:
+            raise SimulationError(
+                f"qp {qp_id} is not attached to node {self.node_id}"
+            )
+        return self._stalled.get(qp_id, 0) > 0
+
+    @property
+    def stalled_qps(self) -> "Set[int]":
+        return {qp for qp, depth in self._stalled.items() if depth > 0}
+
     def binding_snapshot(self) -> Dict[int, int]:
         """A copy of the current QP -> WT mapping."""
         return dict(self._binding)
@@ -116,6 +174,23 @@ class HypervisorSet:
         """Global lookup: the WT hosting a QP anywhere in the fleet."""
         qp = self.fleet.queue_pairs[qp_id]
         return self.node(qp.compute_node_id).wt_of(qp_id)
+
+    def stall_qp(self, qp_id: int, timestamp: int = 0) -> None:
+        """Stall a QP anywhere in the fleet (routes to its hypervisor)."""
+        qp = self.fleet.queue_pairs[qp_id]
+        self.node(qp.compute_node_id).stall_qp(qp_id, timestamp=timestamp)
+
+    def unstall_qp(self, qp_id: int, timestamp: int = 0) -> None:
+        """Undo one fleet-level :meth:`stall_qp`."""
+        qp = self.fleet.queue_pairs[qp_id]
+        self.node(qp.compute_node_id).unstall_qp(qp_id, timestamp=timestamp)
+
+    def stalled_snapshot(self) -> "Set[int]":
+        """All currently stalled QPs across the fleet."""
+        out: Set[int] = set()
+        for hypervisor in self._nodes:
+            out |= hypervisor.stalled_qps
+        return out
 
     def binding_arrays(self) -> "Dict[int, int]":
         """Flat QP -> WT mapping over the whole fleet."""

@@ -41,6 +41,18 @@ import numpy as np
 from repro.cluster.hypervisor import HypervisorSet
 from repro.cluster.latency import LatencyConfig, LatencyModel
 from repro.cluster.storage import StorageCluster
+from repro.faults.outcome import (
+    FaultOutcome,
+    compute_window_stats,
+    empty_trace_stats,
+    merge_trace_stats,
+)
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.faults.timeline import (
+    FaultAccounting,
+    FaultAdjustedInputs,
+    FaultTimeline,
+)
 from repro.obs.runtime import Telemetry, get_telemetry, set_telemetry
 from repro.trace.dataset import (
     ComputeMetricTable,
@@ -106,6 +118,9 @@ class SimulationResult:
     traffic: List[VdTraffic]
     wt_load_bps: np.ndarray  # (num_wts, duration) total bytes/s per WT
     bs_load_bps: np.ndarray  # (num_bs, duration) total bytes/s per BS
+    #: Failure attribution; None for failure-free runs, so every existing
+    #: dataset, schema, and digest is untouched when no plan is given.
+    faults: "Optional[FaultOutcome]" = None
 
 
 class _ColumnBuffer:
@@ -228,12 +243,21 @@ class EBSSimulator:
         fleet: Fleet,
         config: SimulationConfig,
         rngs: RngFactory,
+        fault_plan: "Optional[FaultPlan]" = None,
     ):
         self.fleet = fleet
         self.config = config
         self._rngs = rngs.child(f"sim/dc{fleet.config.dc_id}")
         self.latency_model = LatencyModel(config.latency)
         self._entities: Optional[_EntityArrays] = None
+        self.fault_plan = fault_plan
+        #: Compiled once; an empty (or absent) plan compiles to None, so
+        #: the failure-free paths run exactly today's code.
+        self._timeline: Optional[FaultTimeline] = (
+            FaultTimeline(fault_plan, fleet, config.duration_seconds)
+            if fault_plan is not None and not fault_plan.is_empty
+            else None
+        )
 
     # -- helpers -------------------------------------------------------------
 
@@ -301,16 +325,52 @@ class EBSSimulator:
 
     # -- pass 1: metric tables + load grids ----------------------------------
 
+    def fault_adjusted_inputs(
+        self,
+        traffic: List[VdTraffic],
+        qp_to_wt: np.ndarray,
+        seg_to_bs: np.ndarray,
+    ) -> "Optional[FaultAdjustedInputs]":
+        """Fault-adjusted per-entity series shared by both pass-1 paths.
+
+        None when there is no plan (or the plan has no crash/stall inside
+        the horizon) — the no-fault code paths then run unchanged.
+        """
+        timeline = self._timeline
+        if timeline is None or not timeline.has_churn:
+            return None
+        t = self.config.duration_seconds
+        with get_telemetry().span(
+            "sim.faults.adjust",
+            dc=self.fleet.config.dc_id,
+            events=len(timeline.events),
+        ):
+            return timeline.adjust(
+                traffic,
+                qp_to_wt,
+                seg_to_bs,
+                self._stacked_series(traffic, t),
+                self._stacked_weights(traffic),
+            )
+
     def run_pass1(
         self,
         traffic: List[VdTraffic],
         qp_to_wt: np.ndarray,
         seg_to_bs: np.ndarray,
         fast: "bool | None" = None,
+        adjusted: "Optional[FaultAdjustedInputs]" = None,
     ) -> "tuple[np.ndarray, np.ndarray, ComputeMetricTable, StorageMetricTable]":
-        """Load grids + metric tables; ``fast`` overrides the config knob."""
+        """Load grids + metric tables; ``fast`` overrides the config knob.
+
+        ``adjusted`` carries precomputed fault-adjusted inputs (so
+        :meth:`run` computes them once for both passes and the outcome);
+        when omitted they are derived here from the simulator's plan.
+        """
         if fast is None:
             fast = self.config.use_fast_path
+        if adjusted is None:
+            adjusted = self.fault_adjusted_inputs(traffic, qp_to_wt, seg_to_bs)
         telemetry = get_telemetry()
         dc = self.fleet.config.dc_id
         with telemetry.span(
@@ -318,11 +378,11 @@ class EBSSimulator:
         ):
             if fast:
                 wt_load, bs_load, cbuf, sbuf = self._pass1_fast(
-                    traffic, qp_to_wt, seg_to_bs
+                    traffic, qp_to_wt, seg_to_bs, adjusted
                 )
             else:
                 wt_load, bs_load, cbuf, sbuf = self._pass1_reference(
-                    traffic, qp_to_wt, seg_to_bs
+                    traffic, qp_to_wt, seg_to_bs, adjusted
                 )
             compute_table = ComputeMetricTable(**cbuf.concatenated())
             storage_table = StorageMetricTable(**sbuf.concatenated())
@@ -348,13 +408,23 @@ class EBSSimulator:
         traffic: List[VdTraffic],
         qp_to_wt: np.ndarray,
         seg_to_bs: np.ndarray,
+        adjusted: "Optional[FaultAdjustedInputs]" = None,
     ) -> "tuple[np.ndarray, np.ndarray, _ColumnBuffer, _ColumnBuffer]":
-        """Scalar per-VD/per-QP loops: the audited ground-truth path."""
+        """Scalar per-VD/per-QP loops: the audited ground-truth path.
+
+        With ``adjusted`` (fault churn) the per-entity series are read
+        from the shared fault-adjusted matrices instead of being derived
+        from the VD series, and the per-segment BlockServer may vary per
+        epoch (redirects) — accumulated with ``np.add.at`` in the same
+        element order the fast path uses.
+        """
         fleet = self.fleet
         cfg = self.config
         t = cfg.duration_seconds
         dc = fleet.config.dc_id
         bs_per_node = fleet.config.block_servers_per_node
+        ep_idx = adjusted.epoch_index if adjusted is not None else None
+        arange_t = np.arange(t) if adjusted is not None else None
 
         wt_load = np.zeros((fleet.num_wts, t))
         bs_load = np.zeros((fleet.config.num_block_servers, t))
@@ -369,10 +439,16 @@ class EBSSimulator:
             vd = fleet.vds[vd_traffic.vd_id]
             vm = fleet.vms[vd.vm_id]
             for index, qp_id in enumerate(vd.qp_ids):
-                rb = vd_traffic.read_bytes * vd_traffic.qp_read_weights[index]
-                wb = vd_traffic.write_bytes * vd_traffic.qp_write_weights[index]
-                ri = vd_traffic.read_iops * vd_traffic.qp_read_weights[index]
-                wi = vd_traffic.write_iops * vd_traffic.qp_write_weights[index]
+                if adjusted is None:
+                    rb = vd_traffic.read_bytes * vd_traffic.qp_read_weights[index]
+                    wb = vd_traffic.write_bytes * vd_traffic.qp_write_weights[index]
+                    ri = vd_traffic.read_iops * vd_traffic.qp_read_weights[index]
+                    wi = vd_traffic.write_iops * vd_traffic.qp_write_weights[index]
+                else:
+                    rb = adjusted.qp_rb[qp_id]
+                    wb = adjusted.qp_wb[qp_id]
+                    ri = adjusted.qp_ri[qp_id]
+                    wi = adjusted.qp_wi[qp_id]
                 wt_id = int(qp_to_wt[qp_id])
                 wt_load[wt_id] += rb + wb
                 mask = self._record_mask(rb, wb, ri, wi)
@@ -395,22 +471,37 @@ class EBSSimulator:
                     write_iops=wi[ts],
                 )
             for index, seg_id in enumerate(vd.segment_ids):
-                rb = vd_traffic.read_bytes * vd_traffic.segment_read_weights[index]
-                wb = vd_traffic.write_bytes * vd_traffic.segment_write_weights[index]
-                ri = vd_traffic.read_iops * vd_traffic.segment_read_weights[index]
-                wi = vd_traffic.write_iops * vd_traffic.segment_write_weights[index]
-                bs_id = int(seg_to_bs[seg_id])
-                bs_load[bs_id] += rb + wb
+                if adjusted is None:
+                    rb = vd_traffic.read_bytes * vd_traffic.segment_read_weights[index]
+                    wb = vd_traffic.write_bytes * vd_traffic.segment_write_weights[index]
+                    ri = vd_traffic.read_iops * vd_traffic.segment_read_weights[index]
+                    wi = vd_traffic.write_iops * vd_traffic.segment_write_weights[index]
+                    bs_id = int(seg_to_bs[seg_id])
+                    bs_load[bs_id] += rb + wb
+                    bs_sec = None
+                else:
+                    rb = adjusted.seg_rb[seg_id]
+                    wb = adjusted.seg_wb[seg_id]
+                    ri = adjusted.seg_ri[seg_id]
+                    wi = adjusted.seg_wi[seg_id]
+                    bs_sec = adjusted.seg_bs_ep[seg_id][ep_idx]
+                    np.add.at(bs_load, (bs_sec, arange_t), rb + wb)
                 mask = self._record_mask(rb, wb, ri, wi)
                 if not mask.any():
                     continue
                 ts = np.nonzero(mask)[0]
                 n = ts.size
+                if bs_sec is None:
+                    bs_rows = np.full(n, bs_id)
+                    node_rows = np.full(n, bs_id // bs_per_node)
+                else:
+                    bs_rows = bs_sec[ts]
+                    node_rows = bs_rows // bs_per_node
                 storage_buf.append(
                     timestamp=ts,
                     cluster_id=np.full(n, dc),
-                    storage_node_id=np.full(n, bs_id // bs_per_node),
-                    block_server_id=np.full(n, bs_id),
+                    storage_node_id=node_rows,
+                    block_server_id=bs_rows,
                     user_id=np.full(n, vd.user_id),
                     vm_id=np.full(n, vd.vm_id),
                     vd_id=np.full(n, vd.vd_id),
@@ -464,6 +555,7 @@ class EBSSimulator:
         traffic: List[VdTraffic],
         qp_to_wt: np.ndarray,
         seg_to_bs: np.ndarray,
+        adjusted: "Optional[FaultAdjustedInputs]" = None,
     ) -> "tuple[np.ndarray, np.ndarray, _ColumnBuffer, _ColumnBuffer]":
         """Vectorized pass 1 over stacked (entity, second) matrices.
 
@@ -491,8 +583,10 @@ class EBSSimulator:
         min_iops = cfg.min_record_iops
         ent = self._entity_arrays()
 
-        read_b, write_b, read_i, write_i = self._stacked_series(traffic, t)
-        qp_rw, qp_ww, seg_rw, seg_ww = self._stacked_weights(traffic)
+        if adjusted is None:
+            read_b, write_b, read_i, write_i = self._stacked_series(traffic, t)
+            qp_rw, qp_ww, seg_rw, seg_ww = self._stacked_weights(traffic)
+        ep_idx = adjusted.epoch_index if adjusted is not None else None
 
         wt_load = np.zeros((fleet.num_wts, t))
         bs_load = np.zeros((fleet.config.num_block_servers, t))
@@ -525,17 +619,23 @@ class EBSSimulator:
 
         for start in range(0, num_qps, chunk):
             stop = min(start + chunk, num_qps)
-            rows = ent.qp_vd[start:stop]
-            rw = qp_rw[start:stop, None]
-            ww = qp_ww[start:stop, None]
-            rb = read_b[rows]
-            rb *= rw
-            wb = write_b[rows]
-            wb *= ww
-            ri = read_i[rows]
-            ri *= rw
-            wi = write_i[rows]
-            wi *= ww
+            if adjusted is None:
+                rows = ent.qp_vd[start:stop]
+                rw = qp_rw[start:stop, None]
+                ww = qp_ww[start:stop, None]
+                rb = read_b[rows]
+                rb *= rw
+                wb = write_b[rows]
+                wb *= ww
+                ri = read_i[rows]
+                ri *= rw
+                wi = write_i[rows]
+                wi *= ww
+            else:
+                rb = adjusted.qp_rb[start:stop]
+                wb = adjusted.qp_wb[start:stop]
+                ri = adjusted.qp_ri[start:stop]
+                wi = adjusted.qp_wi[start:stop]
             bw = rb + wb
             scatter_add(
                 wt_load, qp_to_wt[start:stop], bw, num_qps <= chunk
@@ -566,32 +666,56 @@ class EBSSimulator:
 
         for start in range(0, num_segs, chunk):
             stop = min(start + chunk, num_segs)
-            rows = ent.seg_vd[start:stop]
-            rw = seg_rw[start:stop, None]
-            ww = seg_ww[start:stop, None]
-            rb = read_b[rows]
-            rb *= rw
-            wb = write_b[rows]
-            wb *= ww
-            ri = read_i[rows]
-            ri *= rw
-            wi = write_i[rows]
-            wi *= ww
+            if adjusted is None:
+                rows = ent.seg_vd[start:stop]
+                rw = seg_rw[start:stop, None]
+                ww = seg_ww[start:stop, None]
+                rb = read_b[rows]
+                rb *= rw
+                wb = write_b[rows]
+                wb *= ww
+                ri = read_i[rows]
+                ri *= rw
+                wi = write_i[rows]
+                wi *= ww
+            else:
+                rb = adjusted.seg_rb[start:stop]
+                wb = adjusted.seg_wb[start:stop]
+                ri = adjusted.seg_ri[start:stop]
+                wi = adjusted.seg_wi[start:stop]
             bw = rb + wb
-            scatter_add(
-                bs_load, seg_to_bs[start:stop], bw, num_segs <= chunk
-            )
+            if adjusted is None:
+                scatter_add(
+                    bs_load, seg_to_bs[start:stop], bw, num_segs <= chunk
+                )
+            else:
+                # Redirects make the target BS epoch-dependent: scatter with
+                # a per-(segment, second) target grid.  ``np.add.at``
+                # iterates in C (entity-major, second-ascending) order —
+                # the exact order the reference's per-entity adds use.
+                targets = adjusted.seg_bs_ep[start:stop][:, ep_idx]
+                np.add.at(
+                    bs_load,
+                    (targets, np.broadcast_to(arange_t, targets.shape)),
+                    bw,
+                )
             mask = bw >= min_bytes
             mask |= ri + wi >= min_iops
             e, ts = np.nonzero(mask)
             if not e.size:
                 continue
             g = e + start  # global segment ids
+            if adjusted is None:
+                bs_rows = seg_to_bs[g]
+                node_rows = seg_to_node[g]
+            else:
+                bs_rows = adjusted.seg_bs_ep[g, ep_idx[ts]]
+                node_rows = bs_rows // bs_per_node
             storage_buf.append(
                 timestamp=ts,
                 cluster_id=np.full(g.size, dc),
-                storage_node_id=seg_to_node[g],
-                block_server_id=seg_to_bs[g],
+                storage_node_id=node_rows,
+                block_server_id=bs_rows,
                 user_id=ent.seg_user[g],
                 vm_id=ent.seg_vm[g],
                 vd_id=ent.seg_vd[g],
@@ -627,8 +751,9 @@ class EBSSimulator:
 
         qp_to_wt, seg_to_bs = self.bindings(hypervisors, storage)
 
+        adjusted = self.fault_adjusted_inputs(traffic, qp_to_wt, seg_to_bs)
         wt_load, bs_load, compute_table, storage_table = self.run_pass1(
-            traffic, qp_to_wt, seg_to_bs
+            traffic, qp_to_wt, seg_to_bs, adjusted=adjusted
         )
         metrics = MetricDataset(
             compute=compute_table, storage=storage_table, duration_seconds=t
@@ -636,7 +761,7 @@ class EBSSimulator:
 
         # ---- pass 2: sampled traces ----------------------------------------
         with telemetry.span("sim.pass2", dc=dc, workers=workers):
-            traces = self._generate_traces(
+            traces, trace_fault_stats = self._generate_traces(
                 traffic, qp_to_wt, seg_to_bs, wt_load, bs_load, workers=workers
             )
 
@@ -644,6 +769,28 @@ class EBSSimulator:
             vd_specs=[fleet.vd_spec(vd.vd_id) for vd in fleet.vds],
             vm_specs=[fleet.vm_spec(vm.vm_id) for vm in fleet.vms],
         )
+
+        faults: Optional[FaultOutcome] = None
+        if self._timeline is not None:
+            with telemetry.span(
+                "sim.faults.replay", dc=dc, events=len(self._timeline.events)
+            ):
+                self._replay_failures(hypervisors, storage)
+            faults = FaultOutcome(
+                plan=self._timeline.plan,
+                accounting=(
+                    adjusted.accounting
+                    if adjusted is not None
+                    else FaultAccounting()
+                ),
+                trace_stats=(
+                    trace_fault_stats
+                    if trace_fault_stats is not None
+                    else empty_trace_stats()
+                ),
+                windows=compute_window_stats(self._timeline.plan, traces),
+            )
+            self._record_fault_telemetry(telemetry, faults)
 
         return SimulationResult(
             fleet=fleet,
@@ -656,7 +803,84 @@ class EBSSimulator:
             traffic=traffic,
             wt_load_bps=wt_load,
             bs_load_bps=bs_load,
+            faults=faults,
         )
+
+    def _replay_failures(
+        self, hypervisors: HypervisorSet, storage: StorageCluster
+    ) -> None:
+        """Replay the plan's crash/stall windows onto the stateful objects.
+
+        Chronological, with recoveries applied before failures at the
+        same second (windows are half-open).  Leaves ``storage`` /
+        ``hypervisors`` reflecting the end-of-horizon state, with every
+        transition recorded in their failure/stall logs.
+        """
+        timeline = self._timeline
+        if timeline is None:
+            return
+        cfg = self.fleet.config
+        t = self.config.duration_seconds
+        actions: "List[tuple[int, int, str, int]]" = []
+        for event in timeline.events:
+            if event.kind is FaultKind.BS_CRASH:
+                targets = [int(event.target)]
+            elif event.kind is FaultKind.CS_CRASH:
+                per = cfg.block_servers_per_node
+                targets = list(
+                    range(event.target * per, (event.target + 1) * per)
+                )
+            elif event.kind is FaultKind.QP_STALL:
+                actions.append((event.start_s, 1, "stall", int(event.target)))
+                if event.end_s < t:
+                    actions.append(
+                        (event.end_s, 0, "unstall", int(event.target))
+                    )
+                continue
+            else:
+                continue
+            for bs in targets:
+                actions.append((event.start_s, 1, "fail", bs))
+                if event.end_s < t:
+                    actions.append((event.end_s, 0, "recover", bs))
+        for second, _, action, target in sorted(actions):
+            if action == "fail":
+                storage.fail_block_server(target, timestamp=second)
+            elif action == "recover":
+                storage.recover_block_server(target, timestamp=second)
+            elif action == "stall":
+                hypervisors.stall_qp(target, timestamp=second)
+            else:
+                hypervisors.unstall_qp(target, timestamp=second)
+
+    def _record_fault_telemetry(
+        self, telemetry, faults: "FaultOutcome"
+    ) -> None:
+        """Fault counters (integer-valued, so merges stay deterministic)."""
+        if not telemetry.enabled:
+            return
+        dc = self.fleet.config.dc_id
+        timeline = self._timeline
+        for event in timeline.events:
+            telemetry.counter(
+                "sim.faults.events", dc=dc, kind=event.kind.value
+            ).inc()
+        acct = faults.accounting
+        for name, value in (
+            ("redirected_ios", acct.redirected_ios),
+            ("retried_ios", acct.retried_ios),
+            ("queued_ios", acct.queued_ios),
+            ("dropped_storage_ios", acct.dropped_storage_ios),
+            ("stalled_ios", acct.stalled_ios),
+            ("dropped_compute_ios", acct.dropped_compute_ios),
+        ):
+            telemetry.counter(
+                "sim.faults.mass", dc=dc, metric=name
+            ).inc(int(round(value)))
+        for key, value in faults.trace_stats.items():
+            telemetry.counter(
+                "sim.faults.traces", dc=dc, metric=key
+            ).inc(int(value))
 
     # -- pass 2: sampled traces ----------------------------------------------
 
@@ -745,6 +969,24 @@ class EBSSimulator:
             rng.choice(vd.num_queue_pairs, size=n, p=qp_write_p),
             rng.choice(vd.num_queue_pairs, size=n, p=qp_read_p),
         )
+
+        # ---- fault application (separate label-keyed stream) ---------------
+        # All base-stream draws above are unconditional, so a no-fault plan
+        # reproduces the failure-free trace dataset bit for bit.
+        timeline = self._timeline
+        fault_stats: Optional[Dict[str, int]] = None
+        keep: Optional[np.ndarray] = None
+        retries: Optional[np.ndarray] = None
+        frac = timestamps - seconds
+        if timeline is not None and timeline.has_any_effect:
+            fault_stats = empty_trace_stats()
+            fault_stats["total_ios"] = n
+            frng = self._rngs.get(f"fault/vd{vd.vd_id}")
+            seconds, qp_index, keep, cstats = timeline.trace_compute_faults(
+                vd, vd_traffic, frng, seconds, qp_index, is_write
+            )
+            merge_trace_stats(fault_stats, cstats)
+
         qp_ids = vd.first_qp_id + qp_index
         wt_ids = qp_to_wt[qp_ids]
 
@@ -752,13 +994,42 @@ class EBSSimulator:
         seg_ids = vd.first_segment_id + seg_index
         bs_ids = seg_to_bs[seg_ids]
 
+        if timeline is not None and timeline.has_any_effect:
+            bs_ids, seconds, skeep, retries, sstats = (
+                timeline.trace_storage_faults(bs_ids, seconds, alive=keep)
+            )
+            merge_trace_stats(fault_stats, sstats)
+            if skeep is not None:
+                keep = skeep if keep is None else keep & skeep
+            timestamps = seconds + frac
+
         wt_u = wt_load[wt_ids, seconds] / cfg.wt_capacity_bps
         bs_u = bs_load[bs_ids, seconds] / cfg.bs_capacity_bps
         latencies = self.latency_model.sample(
             rng, is_write, sizes, wt_u, bs_u
         )
 
-        return dict(
+        if timeline is not None and timeline.has_degrade:
+            degraded = np.zeros(n, dtype=bool)
+            for component in LatencyModel.COMPONENTS:
+                series = timeline.multiplier_series(component)
+                if series is None:
+                    continue
+                multipliers = series[seconds]
+                latencies[component] = latencies[component] * multipliers
+                degraded |= multipliers > 1.0
+            if keep is not None:
+                degraded &= keep  # dropped IOs are not "degraded"
+            fault_stats["degraded_ios"] = int(degraded.sum())
+        if retries is not None:
+            # Redirect hops happen in the frontend's BlockClient: each hop
+            # costs one backoff before the IO reaches the replica BS.
+            latencies["frontend"] = (
+                latencies["frontend"]
+                + retries * timeline.plan.retry_backoff_us
+            )
+
+        columns = dict(
             op=is_write.astype(np.int64),
             size_bytes=sizes,
             offset_bytes=offsets,
@@ -778,6 +1049,13 @@ class EBSSimulator:
             lat_backend_us=latencies["backend"],
             lat_chunk_server_us=latencies["chunk_server"],
         )
+        if keep is not None and not keep.all():
+            # Dropped IOs leave the trace dataset; they are counted in the
+            # fault stats (never both recorded and dropped).
+            columns = {name: values[keep] for name, values in columns.items()}
+        if fault_stats is not None:
+            columns["_fault"] = fault_stats  # popped by _generate_traces
+        return columns
 
     def _generate_traces(
         self,
@@ -787,7 +1065,7 @@ class EBSSimulator:
         wt_load: np.ndarray,
         bs_load: np.ndarray,
         workers: int = 1,
-    ) -> TraceDataset:
+    ) -> "tuple[TraceDataset, Optional[Dict[str, int]]]":
         cfg = self.config
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
@@ -832,20 +1110,28 @@ class EBSSimulator:
             TraceDataset.INT_FIELDS, TraceDataset.FLOAT_FIELDS
         )
         next_trace_id = 0
+        fault_stats: Optional[Dict[str, int]] = None
         for columns in columns_in_order:
             if columns is None:
                 continue
+            per_vd_stats = columns.pop("_fault", None)
+            if per_vd_stats is not None:
+                if fault_stats is None:
+                    fault_stats = empty_trace_stats()
+                merge_trace_stats(fault_stats, per_vd_stats)
             n = columns["op"].size
-            buffer.append(
-                trace_id=np.arange(next_trace_id, next_trace_id + n),
-                **columns,
-            )
+            if n:
+                buffer.append(
+                    trace_id=np.arange(next_trace_id, next_trace_id + n),
+                    **columns,
+                )
             next_trace_id += n
 
         if telemetry.enabled:
             telemetry.counter(
                 "sim.traces.sampled", dc=self.fleet.config.dc_id
             ).inc(next_trace_id)
-        return TraceDataset(
+        dataset = TraceDataset(
             sampling_rate=cfg.trace_sampling_rate, **buffer.concatenated()
         )
+        return dataset, fault_stats

@@ -26,6 +26,15 @@ class MigrationEvent:
     to_bs: int
 
 
+@dataclass(frozen=True)
+class FailureEvent:
+    """One BS transitioning between serving and failed."""
+
+    timestamp: int
+    bs_id: int
+    action: str  # "fail" | "recover"
+
+
 @dataclass
 class StorageCluster:
     """Mutable segment placement over the BlockServers of one DC."""
@@ -34,12 +43,16 @@ class StorageCluster:
     _seg_to_bs: Dict[int, int] = field(init=False)
     _bs_segments: Dict[int, Set[int]] = field(init=False)
     migration_log: List[MigrationEvent] = field(init=False, default_factory=list)
+    failure_log: List[FailureEvent] = field(init=False, default_factory=list)
 
     def __post_init__(self) -> None:
         num_bs = self.fleet.config.num_block_servers
         self._seg_to_bs = {}
         self._bs_segments = {bs: set() for bs in range(num_bs)}
         self._active = set(range(num_bs))
+        # Transient-failure depth per BS: fault windows may nest/overlap
+        # (e.g. a bs_crash inside a cs_crash), so fail/recover count.
+        self._fail_depth: Dict[int, int] = {}
         for segment in self.fleet.segments:
             if not 0 <= segment.block_server_id < num_bs:
                 raise ConfigError(
@@ -82,17 +95,70 @@ class StorageCluster:
     def active_block_servers(self) -> "Set[int]":
         return set(self._active)
 
+    # -- transient failures (fault injection) --------------------------------
+
+    def fail_block_server(self, bs_id: int, timestamp: int = 0) -> None:
+        """Mark a BS failed (transient — segments stay placed on it).
+
+        Unlike :meth:`decommission`, a failure does not evacuate
+        segments: production crash windows are orders of magnitude
+        shorter than a re-replication, so IOs redirect or queue instead
+        (the plan's :class:`~repro.faults.plan.RedirectPolicy`).
+        Failures nest: overlapping fault windows on the same BS are
+        counted, and the BS serves again only after the last recovery.
+        """
+        if bs_id not in self._bs_segments:
+            raise SimulationError(f"unknown BlockServer {bs_id}")
+        self._fail_depth[bs_id] = self._fail_depth.get(bs_id, 0) + 1
+        self.failure_log.append(
+            FailureEvent(timestamp=timestamp, bs_id=bs_id, action="fail")
+        )
+
+    def recover_block_server(self, bs_id: int, timestamp: int = 0) -> None:
+        """Undo one :meth:`fail_block_server` (raises if not failed)."""
+        if bs_id not in self._bs_segments:
+            raise SimulationError(f"unknown BlockServer {bs_id}")
+        depth = self._fail_depth.get(bs_id, 0)
+        if depth <= 0:
+            raise SimulationError(f"BS {bs_id} is not failed")
+        if depth == 1:
+            self._fail_depth.pop(bs_id)
+        else:
+            self._fail_depth[bs_id] = depth - 1
+        self.failure_log.append(
+            FailureEvent(timestamp=timestamp, bs_id=bs_id, action="recover")
+        )
+
+    def is_failed(self, bs_id: int) -> bool:
+        if bs_id not in self._bs_segments:
+            raise SimulationError(f"unknown BlockServer {bs_id}")
+        return self._fail_depth.get(bs_id, 0) > 0
+
+    def is_serving(self, bs_id: int) -> bool:
+        """Active (not decommissioned) and not currently failed."""
+        return self.is_active(bs_id) and not self.is_failed(bs_id)
+
+    @property
+    def failed_block_servers(self) -> "Set[int]":
+        return {bs for bs, depth in self._fail_depth.items() if depth > 0}
+
+    @property
+    def serving_block_servers(self) -> "Set[int]":
+        return {bs for bs in self._active if self._fail_depth.get(bs, 0) <= 0}
+
     def migrate(self, segment_id: int, to_bs: int, timestamp: int = 0) -> None:
         """Move one segment to another BS, recording the event.
 
         Migrating a segment to the BS it already lives on is rejected —
         the balancer should never emit no-op migrations — and so is
-        migrating onto a decommissioned BS.
+        migrating onto a decommissioned or currently-failed BS.
         """
         if to_bs not in self._bs_segments:
             raise SimulationError(f"unknown destination BS {to_bs}")
         if to_bs not in self._active:
             raise SimulationError(f"BS {to_bs} is decommissioned")
+        if self._fail_depth.get(to_bs, 0) > 0:
+            raise SimulationError(f"BS {to_bs} is failed")
         from_bs = self.block_server_of(segment_id)
         if from_bs == to_bs:
             raise SimulationError(
@@ -129,8 +195,13 @@ class StorageCluster:
         self._active.discard(bs_id)
         events: List[MigrationEvent] = []
         for segment in sorted(self._bs_segments[bs_id]):
+            pool = self.serving_block_servers
+            if not pool:
+                raise SimulationError(
+                    "no serving BS left to evacuate segments to"
+                )
             target = min(
-                self._active, key=lambda bs: (len(self._bs_segments[bs]), bs)
+                pool, key=lambda bs: (len(self._bs_segments[bs]), bs)
             )
             self.migrate(segment, target, timestamp=timestamp)
             events.append(self.migration_log[-1])

@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.cluster.simulator import SimulationConfig
+from repro.faults.plan import FaultPlan
 from repro.util.errors import ConfigError
 from repro.util.units import MiB
 from repro.workload.fleet import FleetConfig
@@ -66,6 +67,10 @@ class StudyConfig:
     duration_seconds: int = 600
     trace_sampling_rate: float = 1.0 / 20.0
     dc_configs: List[FleetConfig] = field(default_factory=_default_dcs)
+    #: Optional deterministic fault schedule applied to every DC build
+    #: (per-DC sub-plans via :meth:`FaultPlan.for_dc`).  None or an empty
+    #: plan reproduces the fault-free study bit-for-bit.
+    fault_plan: Optional[FaultPlan] = None
 
     # §4 experiment knobs
     wt_cov_windows: Tuple[int, ...] = (60, 300, 600)

@@ -58,3 +58,4 @@ from repro.core.experiments import throttle  # noqa: E402,F401
 from repro.core.experiments import storage  # noqa: E402,F401
 from repro.core.experiments import cache  # noqa: E402,F401
 from repro.core.experiments import extras  # noqa: E402,F401
+from repro.core.experiments import faults  # noqa: E402,F401

@@ -12,6 +12,7 @@ from repro.cluster.simulator import (
 )
 from repro.core.config import StudyConfig
 from repro.core.report import ExperimentResult
+from repro.faults.plan import FaultPlan
 from repro.obs.runtime import (
     Telemetry,
     get_telemetry,
@@ -24,7 +25,9 @@ from repro.workload.fleet import FleetConfig, build_fleet
 
 
 def _simulate_dc(
-    payload: "tuple[FleetConfig, SimulationConfig, int, bool]",
+    payload: (
+        "tuple[FleetConfig, SimulationConfig, int, bool, Optional[FaultPlan]]"
+    ),
 ) -> "tuple[SimulationResult, Optional[dict]]":
     """Module-level worker: build + simulate one DC in a child process.
 
@@ -32,9 +35,10 @@ def _simulate_dc(
     simulator), so simulating DCs in separate processes yields exactly
     the same datasets as the sequential loop.  With telemetry enabled in
     the parent, the worker records into a fresh handle and returns its
-    snapshot for a deterministic merge (else None).
+    snapshot for a deterministic merge (else None).  The optional fault
+    plan is already scoped to this DC (:meth:`FaultPlan.for_dc`).
     """
-    dc_config, sim_config, seed, telemetry_on = payload
+    dc_config, sim_config, seed, telemetry_on, fault_plan = payload
     telemetry = None
     previous = None
     if telemetry_on:
@@ -44,7 +48,9 @@ def _simulate_dc(
         with get_telemetry().span("study.simulate_dc", dc=dc_config.dc_id):
             rngs = RngFactory(seed)
             fleet = build_fleet(dc_config, rngs)
-            result = EBSSimulator(fleet, sim_config, rngs).run()
+            result = EBSSimulator(
+                fleet, sim_config, rngs, fault_plan=fault_plan
+            ).run()
     finally:
         if telemetry is not None:
             set_telemetry(previous)
@@ -68,6 +74,14 @@ class Study:
     @property
     def built(self) -> bool:
         return bool(self._results)
+
+    def _fault_plan_for(self, dc_id: int) -> "Optional[FaultPlan]":
+        """The configured plan scoped to one DC (None when fault-free)."""
+        plan = self.config.fault_plan
+        if plan is None or plan.is_empty:
+            return None
+        scoped = plan.for_dc(dc_id)
+        return None if scoped.is_empty else scoped
 
     @property
     def results(self) -> List[SimulationResult]:
@@ -96,7 +110,13 @@ class Study:
         ) as span:
             if workers > 1 and len(dcs) > 1:
                 payloads = [
-                    (dc, sim_config, self.rngs.seed, telemetry.enabled)
+                    (
+                        dc,
+                        sim_config,
+                        self.rngs.seed,
+                        telemetry.enabled,
+                        self._fault_plan_for(dc.dc_id),
+                    )
                     for dc in dcs
                 ]
                 with ProcessPoolExecutor(
@@ -116,7 +136,10 @@ class Study:
                     ):
                         fleet = build_fleet(dc_config, self.rngs)
                         simulator = EBSSimulator(
-                            fleet, sim_config, self.rngs
+                            fleet,
+                            sim_config,
+                            self.rngs,
+                            fault_plan=self._fault_plan_for(dc_config.dc_id),
                         )
                         self._results.append(simulator.run(workers=workers))
             if telemetry.enabled:

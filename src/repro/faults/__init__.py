@@ -1,0 +1,52 @@
+"""Deterministic fault injection for the simulated EBS stack.
+
+The subsystem splits into four layers:
+
+- :mod:`repro.faults.plan` — the declarative schedule
+  (:class:`FaultPlan` / :class:`FaultEvent`), JSON (de)serialization,
+  and the redirect policy;
+- :mod:`repro.faults.generate` — seed-stable random plans for sweeps
+  and the differential harness;
+- :mod:`repro.faults.timeline` — a plan compiled against one fleet:
+  epoch masks, redirect maps, drain lookups, and the shared traffic
+  adjustment both pass-1 implementations consume;
+- :mod:`repro.faults.outcome` — failure-attributed results
+  (:class:`FaultOutcome`) hanging off ``SimulationResult.faults``.
+"""
+
+from repro.faults.generate import PlanShape, random_fault_plan
+from repro.faults.outcome import (
+    FaultOutcome,
+    FaultWindowStat,
+    compute_window_stats,
+)
+from repro.faults.plan import (
+    DEGRADE_COMPONENTS,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    RedirectPolicy,
+    merge_plans,
+)
+from repro.faults.timeline import (
+    FaultAccounting,
+    FaultAdjustedInputs,
+    FaultTimeline,
+)
+
+__all__ = [
+    "DEGRADE_COMPONENTS",
+    "FaultAccounting",
+    "FaultAdjustedInputs",
+    "FaultEvent",
+    "FaultKind",
+    "FaultOutcome",
+    "FaultPlan",
+    "FaultTimeline",
+    "FaultWindowStat",
+    "PlanShape",
+    "RedirectPolicy",
+    "compute_window_stats",
+    "merge_plans",
+    "random_fault_plan",
+]

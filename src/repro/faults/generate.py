@@ -1,0 +1,163 @@
+"""Seed-stable random fault plans for sweeps and the differential harness.
+
+:func:`random_fault_plan` draws a plan from a label-keyed RNG stream, so
+``(seed, shape)`` fully determines the schedule — the 25-plan
+differential suite and the skew-vs-failure sensitivity sweep both lean
+on this.  The generator is intentionally adversarial-but-bounded: it
+may overlap windows, crash several BlockServers at once, stall every QP
+of a VD, and schedule degrade windows on top of crashes, but it never
+crashes *all* BlockServers in one window (a fleet with zero serving BSs
+is a different experiment, not a balancing one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.faults.plan import (
+    DEGRADE_COMPONENTS,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    RedirectPolicy,
+)
+from repro.util.errors import ConfigError
+from repro.util.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class PlanShape:
+    """Entity counts a random plan draws its targets from."""
+
+    num_block_servers: int
+    num_storage_nodes: int
+    num_queue_pairs: int
+    duration_seconds: int
+
+    def __post_init__(self) -> None:
+        if min(
+            self.num_block_servers,
+            self.num_storage_nodes,
+            self.num_queue_pairs,
+            self.duration_seconds,
+        ) <= 0:
+            raise ConfigError("plan shape dimensions must be positive")
+
+    @classmethod
+    def of_fleet(cls, fleet, duration_seconds: int) -> "PlanShape":
+        """The shape of a built :class:`repro.workload.fleet.Fleet`."""
+        return cls(
+            num_block_servers=fleet.config.num_block_servers,
+            num_storage_nodes=fleet.config.num_storage_nodes,
+            num_queue_pairs=len(fleet.queue_pairs),
+            duration_seconds=duration_seconds,
+        )
+
+
+_KIND_WEIGHTS = (
+    (FaultKind.BS_CRASH, 0.35),
+    (FaultKind.CS_CRASH, 0.10),
+    (FaultKind.QP_STALL, 0.25),
+    (FaultKind.DEGRADE, 0.20),
+    (FaultKind.MIGRATION_BLACKOUT, 0.10),
+)
+
+
+def _draw_window(
+    rng: np.random.Generator, duration: int
+) -> "tuple[int, int]":
+    """A window inside [0, duration]; may touch the horizon end."""
+    max_len = max(2, duration // 2)
+    length = int(rng.integers(1, max_len + 1))
+    start = int(rng.integers(0, duration))
+    return start, min(start + length, duration)
+
+
+def random_fault_plan(
+    seed: int,
+    shape: PlanShape,
+    num_events: "Optional[int]" = None,
+    policy: "Optional[RedirectPolicy]" = None,
+    label: str = "fault-plan",
+) -> FaultPlan:
+    """Draw one plan; the same ``(seed, shape, ...)`` always returns it.
+
+    ``num_events`` defaults to a draw in [1, 6]; ``policy`` defaults to a
+    coin flip between ``redirect`` and ``queue``.
+    """
+    rng = spawn_rng(seed, f"{label}/{shape}")
+    duration = shape.duration_seconds
+    if num_events is None:
+        num_events = int(rng.integers(1, 7))
+    if num_events < 0:
+        raise ConfigError("num_events must be non-negative")
+    if policy is None:
+        policy = (
+            RedirectPolicy.REDIRECT
+            if rng.random() < 0.5
+            else RedirectPolicy.QUEUE
+        )
+
+    kinds = [kind for kind, _ in _KIND_WEIGHTS]
+    weights = np.array([weight for _, weight in _KIND_WEIGHTS])
+    weights = weights / weights.sum()
+
+    events = []
+    # Track per-window BS crashes so at least one BS always stays up.
+    crashed_bs: set = set()
+    for _ in range(num_events):
+        kind = kinds[int(rng.choice(len(kinds), p=weights))]
+        start, end = _draw_window(rng, duration)
+        if kind is FaultKind.BS_CRASH:
+            target = int(rng.integers(0, shape.num_block_servers))
+            if len(crashed_bs | {target}) >= shape.num_block_servers:
+                continue  # never take the whole fleet down
+            crashed_bs.add(target)
+            events.append(
+                FaultEvent(kind=kind, start_s=start, end_s=end, target=target)
+            )
+        elif kind is FaultKind.CS_CRASH:
+            if shape.num_storage_nodes < 2:
+                continue
+            target = int(rng.integers(0, shape.num_storage_nodes))
+            per_node = shape.num_block_servers // shape.num_storage_nodes
+            node_bs = set(
+                range(target * per_node, (target + 1) * per_node)
+            )
+            if len(crashed_bs | node_bs) >= shape.num_block_servers:
+                continue
+            crashed_bs |= node_bs
+            events.append(
+                FaultEvent(kind=kind, start_s=start, end_s=end, target=target)
+            )
+        elif kind is FaultKind.QP_STALL:
+            target = int(rng.integers(0, shape.num_queue_pairs))
+            events.append(
+                FaultEvent(kind=kind, start_s=start, end_s=end, target=target)
+            )
+        elif kind is FaultKind.DEGRADE:
+            component = DEGRADE_COMPONENTS[
+                int(rng.integers(0, len(DEGRADE_COMPONENTS)))
+            ]
+            multiplier = float(1.5 + 6.5 * rng.random())
+            events.append(
+                FaultEvent(
+                    kind=kind,
+                    start_s=start,
+                    end_s=end,
+                    component=component,
+                    multiplier=multiplier,
+                )
+            )
+        else:  # MIGRATION_BLACKOUT
+            events.append(FaultEvent(kind=kind, start_s=start, end_s=end))
+
+    return FaultPlan(
+        events=tuple(events),
+        policy=policy,
+        retry_backoff_us=float(rng.integers(100, 2000)),
+        max_redirect_attempts=int(rng.integers(1, 4)),
+    )

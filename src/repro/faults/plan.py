@@ -1,0 +1,330 @@
+"""Deterministic fault plans: what fails, when, and how IOs are rerouted.
+
+A :class:`FaultPlan` is a *schedule*, not a random process: every crash,
+stall, degradation window and migration blackout is an explicit
+:class:`FaultEvent` with a half-open ``[start_s, end_s)`` window.  The
+same plan applied to the same seeded study always produces bit-identical
+datasets, which is what lets the differential test harness pin the
+scalar and vectorized simulator paths against each other under churn.
+
+Five event kinds model the failure modes of the EBS stack (§2):
+
+- ``bs_crash`` — one BlockServer serves nothing during the window;
+- ``cs_crash`` — a storage node's ChunkServers fail, taking every
+  BlockServer on that node down with them;
+- ``qp_stall`` — one queue pair stops draining (an RDMA QP wedged
+  mid-rebind, §4.3's failure case);
+- ``degrade`` — a latency-degradation window: one stack component's
+  sampled latency is multiplied by ``multiplier`` (brown-out, not
+  black-out);
+- ``migration_blackout`` — the inter-BS balancer must not migrate
+  segments during the window (control-plane freeze).
+
+What happens to IOs aimed at failed components is the plan-wide
+:class:`RedirectPolicy`: ``redirect`` re-dispatches them to a replica
+BlockServer (the next active BS in id order, up to
+``max_redirect_attempts`` hops, each hop costing ``retry_backoff_us``),
+while ``queue`` holds them at the failed component and drains them at
+the first second after recovery.  IOs that cannot be placed either way
+are *dropped* and accounted — never silently lost, never double-counted.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from enum import Enum
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.util.errors import ConfigError
+
+#: Latency components a ``degrade`` event may target (matches
+#: :data:`repro.cluster.latency.LatencyModel.COMPONENTS`) plus ``all``.
+DEGRADE_COMPONENTS = (
+    "compute",
+    "frontend",
+    "block_server",
+    "backend",
+    "chunk_server",
+    "all",
+)
+
+
+class FaultKind(str, Enum):
+    """The failure modes a plan can schedule."""
+
+    BS_CRASH = "bs_crash"
+    CS_CRASH = "cs_crash"
+    QP_STALL = "qp_stall"
+    DEGRADE = "degrade"
+    MIGRATION_BLACKOUT = "migration_blackout"
+
+
+class RedirectPolicy(str, Enum):
+    """What happens to IOs whose target is down."""
+
+    REDIRECT = "redirect"  # re-dispatch to a replica BlockServer
+    QUEUE = "queue"        # hold and drain at the first post-recovery second
+
+
+#: Kinds that require an integer entity target.
+_TARGETED_KINDS = (FaultKind.BS_CRASH, FaultKind.CS_CRASH, FaultKind.QP_STALL)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault with a half-open ``[start_s, end_s)`` window."""
+
+    kind: FaultKind
+    start_s: int
+    end_s: int
+    target: Optional[int] = None
+    component: Optional[str] = None
+    multiplier: float = 1.0
+    #: Restrict the event to one data center (None applies everywhere).
+    dc: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kind", FaultKind(self.kind))
+        if self.start_s < 0:
+            raise ConfigError(
+                f"{self.kind.value}: start_s must be >= 0, got {self.start_s}"
+            )
+        if self.end_s <= self.start_s:
+            raise ConfigError(
+                f"{self.kind.value}: end_s ({self.end_s}) must exceed "
+                f"start_s ({self.start_s})"
+            )
+        if self.kind in _TARGETED_KINDS:
+            if self.target is None or self.target < 0:
+                raise ConfigError(
+                    f"{self.kind.value} events need a non-negative target id"
+                )
+        elif self.kind is FaultKind.MIGRATION_BLACKOUT:
+            if self.target is not None:
+                raise ConfigError("migration_blackout takes no target")
+        if self.kind is FaultKind.DEGRADE:
+            component = self.component if self.component is not None else "all"
+            if component not in DEGRADE_COMPONENTS:
+                raise ConfigError(
+                    f"degrade component must be one of {DEGRADE_COMPONENTS}, "
+                    f"got {component!r}"
+                )
+            object.__setattr__(self, "component", component)
+            if self.multiplier < 1.0:
+                raise ConfigError(
+                    f"degrade multiplier must be >= 1, got {self.multiplier}"
+                )
+        elif self.component is not None:
+            raise ConfigError(f"{self.kind.value} takes no component")
+
+    @property
+    def duration_s(self) -> int:
+        return self.end_s - self.start_s
+
+    def active_at(self, second: int) -> bool:
+        return self.start_s <= second < self.end_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "kind": self.kind.value,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+        }
+        if self.target is not None:
+            out["target"] = self.target
+        if self.kind is FaultKind.DEGRADE:
+            out["component"] = self.component
+            out["multiplier"] = self.multiplier
+        if self.dc is not None:
+            out["dc"] = self.dc
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultEvent":
+        if not isinstance(payload, dict):
+            raise ConfigError(
+                f"fault event must be an object, got {type(payload).__name__}"
+            )
+        known = {
+            "kind", "start_s", "end_s", "target", "component", "multiplier",
+            "dc",
+        }
+        extra = set(payload) - known
+        if extra:
+            raise ConfigError(f"unknown fault event fields: {sorted(extra)}")
+        try:
+            kind = FaultKind(payload["kind"])
+        except KeyError:
+            raise ConfigError("fault event is missing 'kind'")
+        except ValueError:
+            raise ConfigError(
+                f"unknown fault kind {payload['kind']!r}; known: "
+                f"{[k.value for k in FaultKind]}"
+            )
+        for required in ("start_s", "end_s"):
+            if required not in payload:
+                raise ConfigError(f"fault event is missing {required!r}")
+        return cls(
+            kind=kind,
+            start_s=int(payload["start_s"]),
+            end_s=int(payload["end_s"]),
+            target=(
+                int(payload["target"]) if payload.get("target") is not None
+                else None
+            ),
+            component=payload.get("component"),
+            multiplier=float(payload.get("multiplier", 1.0)),
+            dc=int(payload["dc"]) if payload.get("dc") is not None else None,
+        )
+
+
+def _event_sort_key(event: FaultEvent) -> Tuple:
+    return (
+        event.start_s,
+        event.end_s,
+        event.kind.value,
+        -1 if event.target is None else event.target,
+        event.component or "",
+        -1 if event.dc is None else event.dc,
+    )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of faults plus the redirect policy.
+
+    Events are normalized to a canonical sort order at construction, so
+    two plans with the same events in different order compare (and hash
+    their JSON) identically — plan equality is semantic.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+    policy: RedirectPolicy = RedirectPolicy.REDIRECT
+    #: Added per redirect hop to an IO's observed delay.
+    retry_backoff_us: float = 500.0
+    #: Replica hops tried before a redirected IO is dropped.
+    max_redirect_attempts: int = 3
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "policy", RedirectPolicy(self.policy))
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise ConfigError(
+                    f"events must be FaultEvent, got {type(event).__name__}"
+                )
+        events = tuple(sorted(self.events, key=_event_sort_key))
+        object.__setattr__(self, "events", events)
+        if self.retry_backoff_us < 0:
+            raise ConfigError("retry_backoff_us must be non-negative")
+        if self.max_redirect_attempts < 1:
+            raise ConfigError("max_redirect_attempts must be >= 1")
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def events_of(self, *kinds: FaultKind) -> List[FaultEvent]:
+        wanted = {FaultKind(kind) for kind in kinds}
+        return [event for event in self.events if event.kind in wanted]
+
+    def for_dc(self, dc_id: int) -> "FaultPlan":
+        """The sub-plan that applies to one data center."""
+        return replace(
+            self,
+            events=tuple(
+                event for event in self.events
+                if event.dc is None or event.dc == dc_id
+            ),
+        )
+
+    def recovery_times(self) -> List[int]:
+        """Sorted recovery (window-end) seconds of all crash/stall events.
+
+        Monotone by construction — the invariant the property suite pins.
+        """
+        return sorted(
+            event.end_s
+            for event in self.events
+            if event.kind in _TARGETED_KINDS
+        )
+
+    def horizon_s(self) -> int:
+        """The last second any event is active (0 for an empty plan)."""
+        return max((event.end_s for event in self.events), default=0)
+
+    # -- (de)serialization ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "policy": self.policy.value,
+            "retry_backoff_us": self.retry_backoff_us,
+            "max_redirect_attempts": self.max_redirect_attempts,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultPlan":
+        if not isinstance(payload, dict):
+            raise ConfigError(
+                f"fault plan must be an object, got {type(payload).__name__}"
+            )
+        known = {
+            "policy", "retry_backoff_us", "max_redirect_attempts", "events",
+        }
+        extra = set(payload) - known
+        if extra:
+            raise ConfigError(f"unknown fault plan fields: {sorted(extra)}")
+        events = payload.get("events", [])
+        if not isinstance(events, list):
+            raise ConfigError("'events' must be a list")
+        try:
+            policy = RedirectPolicy(payload.get("policy", "redirect"))
+        except ValueError:
+            raise ConfigError(
+                f"unknown redirect policy {payload.get('policy')!r}; known: "
+                f"{[p.value for p in RedirectPolicy]}"
+            )
+        return cls(
+            events=tuple(FaultEvent.from_dict(entry) for entry in events),
+            policy=policy,
+            retry_backoff_us=float(payload.get("retry_backoff_us", 500.0)),
+            max_redirect_attempts=int(
+                payload.get("max_redirect_attempts", 3)
+            ),
+        )
+
+    def save(self, path: "str | Path") -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "FaultPlan":
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise ConfigError(f"no such fault plan file: {path}")
+        except json.JSONDecodeError as error:
+            raise ConfigError(f"{path} is not valid JSON: {error}")
+        return cls.from_dict(payload)
+
+
+def merge_plans(plans: Iterable[FaultPlan]) -> FaultPlan:
+    """Union of several plans' events; policy knobs come from the first."""
+    plans = list(plans)
+    if not plans:
+        return FaultPlan()
+    head = plans[0]
+    events: List[FaultEvent] = []
+    for plan in plans:
+        events.extend(plan.events)
+    return replace(head, events=tuple(events))

@@ -11,6 +11,27 @@ hold until the period ends, then reset ("Init {Cap_i}" in Algorithm 2).
 The crucial realism, and the source of the negative gains in Fig 3(f)/(g):
 a member that lent capacity away may burst later in the same period and hit
 its *reduced* cap, throttling where it would not have throttled before.
+
+Audit note — the lend step conserves cap mass exactly.  A suspected bug
+was that returned tokens get double-counted when a lender is itself
+throttled in the lend tick; the audit shows this cannot happen:
+
+- A period lends at most once, and at that moment the caps still equal
+  the subscribed caps, so every throttled member is clipped to its cap in
+  ``measured`` and contributes *zero* to ``AR``.  ``AR`` is therefore
+  exactly the summed headroom of the unthrottled members, and the total
+  boost ``p * AR`` equals the total reclaimed mass ``p * headroom_i``
+  summed over lenders — lent == reclaimed, token for token.
+- The ``over`` / ``~over`` masks are complementary: a member throttled in
+  the lend tick is a borrower, never a lender, even when its post-boost
+  cap leaves it with positive headroom.  No member both receives and
+  returns tokens in the same tick.
+- The ``1e-9`` floor never binds: a lender's adjusted cap is
+  ``(1 - p) * cap + p * usage > 0`` for any valid ``p``.
+
+These invariants are pinned behaviorally by ``TestLendingConservation``
+in ``tests/throttle/test_lending.py``; if a change creates or destroys
+cap mass at the lend, those probes flip their throttle verdicts.
 """
 
 from __future__ import annotations

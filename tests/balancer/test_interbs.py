@@ -132,6 +132,122 @@ class TestInterBsBalancer:
         )
 
 
+class TestBlackoutPeriods:
+    """Migration blackouts: loads observed, nothing moves."""
+
+    def _hot_matrix(self, storage, num_periods=4):
+        matrix = np.ones((storage.num_segments, num_periods))
+        for segment in storage.segments_of(0):
+            matrix[segment] = 100.0
+        return matrix
+
+    def test_full_blackout_freezes_all_migrations(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        balancer = InterBsBalancer(storage, rng=spawn_rng(0, "b"))
+        matrix = self._hot_matrix(storage)
+        run = balancer.run(matrix, blackout_periods=range(matrix.shape[1]))
+        assert run.num_migrations == 0
+        # Loads are still recorded during the blackout.
+        assert run.bs_loads.shape[1] == matrix.shape[1]
+        assert np.all(run.bs_loads.sum(axis=0) > 0)
+        # Placement never changed.
+        assert all(
+            snap == run.placement_history[0]
+            for snap in run.placement_history
+        )
+
+    def test_partial_blackout_defers_migrations(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        balancer = InterBsBalancer(storage, rng=spawn_rng(0, "b"))
+        matrix = self._hot_matrix(storage, num_periods=4)
+        period_s = balancer.config.period_seconds
+        run = balancer.run(matrix, blackout_periods=[0, 1])
+        assert run.num_migrations > 0
+        # Every migration happened outside the blackout windows.
+        assert all(
+            event.timestamp // period_s not in (0, 1)
+            for event in run.migrations
+        )
+
+    def test_empty_blackout_matches_no_blackout(self, small_fleet):
+        storage_a = StorageCluster(small_fleet)
+        storage_b = StorageCluster(small_fleet)
+        matrix = self._hot_matrix(storage_a)
+        run_a = InterBsBalancer(storage_a, rng=spawn_rng(0, "b")).run(matrix)
+        run_b = InterBsBalancer(storage_b, rng=spawn_rng(0, "b")).run(
+            matrix, blackout_periods=[]
+        )
+        assert run_a.num_migrations == run_b.num_migrations
+        assert storage_a.placement_snapshot() == storage_b.placement_snapshot()
+
+
+class TestFailedImporterFallback:
+    """A failed BS must never import; the balancer routes around it."""
+
+    def _matrix_hot_on(self, storage, hot_bs, num_periods=4, heat=100.0):
+        matrix = np.ones((storage.num_segments, num_periods))
+        for segment in storage.segments_of(hot_bs):
+            matrix[segment] = heat
+        return matrix
+
+    def test_no_migration_targets_a_failed_bs(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        # Fail the coldest BSs so the MinTrafficImporter's natural picks
+        # are unavailable and the fallback has to engage.
+        for bs in range(2, storage.num_block_servers):
+            storage.fail_block_server(bs)
+        balancer = InterBsBalancer(storage, rng=spawn_rng(0, "b"))
+        run = balancer.run(self._matrix_hot_on(storage, hot_bs=0))
+        assert run.num_migrations > 0
+        failed = storage.failed_block_servers
+        assert all(event.to_bs not in failed for event in run.migrations)
+        storage.check_invariants()
+
+    def test_fallback_targets_least_loaded_serving_bs(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        for bs in range(2, storage.num_block_servers):
+            storage.fail_block_server(bs)
+        balancer = InterBsBalancer(storage, rng=spawn_rng(0, "b"))
+        run = balancer.run(self._matrix_hot_on(storage, hot_bs=0))
+        # BS 1 is the only serving non-exporter left.
+        assert {event.to_bs for event in run.migrations} == {1}
+
+    def test_no_serving_importer_means_no_migrations(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        for bs in range(1, storage.num_block_servers):
+            storage.fail_block_server(bs)
+        balancer = InterBsBalancer(storage, rng=spawn_rng(0, "b"))
+        run = balancer.run(self._matrix_hot_on(storage, hot_bs=0))
+        assert run.num_migrations == 0
+        storage.check_invariants()
+
+    def test_decommissioned_bs_never_imports(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        victims = list(range(2, storage.num_block_servers))
+        for bs in victims:
+            storage.decommission(bs)
+        balancer = InterBsBalancer(storage, rng=spawn_rng(0, "b"))
+        run = balancer.run(self._matrix_hot_on(storage, hot_bs=0))
+        assert all(event.to_bs not in victims for event in run.migrations)
+        storage.check_invariants()
+
+    def test_recovery_reopens_the_importer(self, small_fleet):
+        # Fail every non-exporter: nothing can move.  Recover exactly one
+        # BS: it becomes the only legal importer and receives the shed.
+        storage = StorageCluster(small_fleet)
+        matrix = self._matrix_hot_on(storage, hot_bs=0, num_periods=4)
+        balancer = InterBsBalancer(storage, rng=spawn_rng(0, "b"))
+        for bs in range(1, storage.num_block_servers):
+            storage.fail_block_server(bs)
+        first = balancer.run(matrix[:, :2])
+        assert first.num_migrations == 0
+        storage.recover_block_server(1)
+        second = balancer.run(matrix[:, 2:])
+        assert second.num_migrations > 0
+        assert {event.to_bs for event in second.migrations} == {1}
+        storage.check_invariants()
+
+
 class TestFrequentMigrations:
     def make_events(self):
         return [

@@ -119,7 +119,90 @@ class TestGarbageCollector:
         assert GarbageCollector().stats.write_amplification == 1.0
 
 
+class TestSegmentFileEdgeCases:
+    def test_compact_empty_segment_is_noop(self):
+        segment = SegmentFile(0, GcConfig(extent_bytes=4096))
+        assert segment.compact() == 0
+        assert segment.live_bytes == 0
+        assert segment.garbage_bytes == 0
+        assert segment.appended_bytes == 0
+
+    def test_empty_segment_never_needs_compaction(self):
+        # garbage_ratio of a zero-byte file is 0.0, not NaN, and stays
+        # below any valid threshold.
+        segment = SegmentFile(0, GcConfig(garbage_threshold=0.01))
+        assert segment.garbage_ratio == 0.0
+        assert not segment.needs_compaction
+        assert segment.file_bytes == 0
+
+    def test_spanning_write_invalidates_only_live_overlap(self):
+        # extents: write A covers {0,1}; write B covers {1,2}.  Only the
+        # overlap (extent 1) turns to garbage.
+        segment = SegmentFile(0, GcConfig(extent_bytes=4096))
+        segment.write(0, 8192)
+        segment.write(4096, 8192)
+        assert segment.live_bytes == 3 * 4096
+        assert segment.garbage_bytes == 4096
+        assert segment.appended_bytes == 4 * 4096
+
+    def test_threshold_boundary_is_inclusive(self):
+        # garbage_ratio == threshold triggers compaction (>=).
+        segment = SegmentFile(
+            0, GcConfig(garbage_threshold=0.5, extent_bytes=4096)
+        )
+        segment.write(0, 4096)
+        segment.write(0, 4096)
+        assert segment.garbage_ratio == pytest.approx(0.5)
+        assert segment.needs_compaction
+
+    def test_compaction_preserves_appended_history(self):
+        segment = SegmentFile(0, GcConfig(extent_bytes=4096))
+        segment.write(0, 4096)
+        segment.write(0, 4096)
+        appended_before = segment.appended_bytes
+        segment.compact()
+        assert segment.appended_bytes == appended_before
+
+
+def _empty_traces():
+    from repro.trace.dataset import TraceDataset
+
+    return TraceDataset(
+        **{
+            name: []
+            for name in (
+                *TraceDataset.INT_FIELDS,
+                *TraceDataset.FLOAT_FIELDS,
+            )
+        }
+    )
+
+
 class TestSimulateGc:
+    def test_empty_trace_dataset_is_noop(self):
+        stats = simulate_gc(_empty_traces())
+        assert stats.user_write_bytes == 0
+        assert stats.gc_rewritten_bytes == 0
+        assert stats.compactions == 0
+        assert stats.write_amplification == 1.0
+        assert stats.per_segment_rewrites == {}
+
+    def test_read_only_traces_never_write(self, small_fleet, rngs):
+        from repro.cluster import EBSSimulator, SimulationConfig
+        from repro.trace.records import OpKind
+
+        result = EBSSimulator(
+            small_fleet,
+            SimulationConfig(duration_seconds=30, trace_sampling_rate=0.1),
+            rngs.child("gc-ro"),
+        ).run()
+        reads = result.traces.where(
+            result.traces.op == int(OpKind.READ)
+        )
+        stats = simulate_gc(reads)
+        assert stats.user_write_bytes == 0
+        assert stats.write_amplification == 1.0
+
     def test_on_simulated_traces(self, small_fleet, rngs):
         from repro.cluster import EBSSimulator, SimulationConfig
 

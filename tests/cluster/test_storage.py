@@ -80,3 +80,86 @@ class TestStorageCluster:
             storage.migrate(segment, target)
         storage.check_invariants()
         assert storage.num_segments == num_segments
+
+
+class TestTransientFailures:
+    """Fail/recover semantics the fault-injection replay relies on."""
+
+    def test_fail_marks_bs_not_serving_but_keeps_segments(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        resident = storage.segments_of(0)
+        storage.fail_block_server(0, timestamp=5)
+        assert storage.is_failed(0)
+        assert not storage.is_serving(0)
+        assert storage.is_active(0)  # failed, not decommissioned
+        assert storage.segments_of(0) == resident  # no evacuation
+        storage.check_invariants()
+
+    def test_recover_restores_serving(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        storage.fail_block_server(2, timestamp=5)
+        storage.recover_block_server(2, timestamp=9)
+        assert storage.is_serving(2)
+        assert storage.failed_block_servers == set()
+
+    def test_failures_nest_by_depth(self, small_fleet):
+        # Overlapping fault windows on the same BS: the BS serves again
+        # only after the LAST recovery.
+        storage = StorageCluster(small_fleet)
+        storage.fail_block_server(1)
+        storage.fail_block_server(1)
+        storage.recover_block_server(1)
+        assert storage.is_failed(1)
+        storage.recover_block_server(1)
+        assert storage.is_serving(1)
+
+    def test_recover_unfailed_raises(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        with pytest.raises(SimulationError, match="not failed"):
+            storage.recover_block_server(0)
+
+    def test_migrate_onto_failed_bs_raises(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        segment = next(iter(storage.segments_of(0)))
+        storage.fail_block_server(1)
+        with pytest.raises(SimulationError, match="failed"):
+            storage.migrate(segment, 1)
+        # The rejected migration must not have mutated placement.
+        assert storage.block_server_of(segment) == 0
+        storage.check_invariants()
+        storage.recover_block_server(1)
+        storage.migrate(segment, 1)
+        assert storage.block_server_of(segment) == 1
+
+    def test_failure_log_records_both_transitions(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        storage.fail_block_server(3, timestamp=10)
+        storage.recover_block_server(3, timestamp=20)
+        assert [
+            (e.bs_id, e.action, e.timestamp) for e in storage.failure_log
+        ] == [(3, "fail", 10), (3, "recover", 20)]
+
+    def test_serving_excludes_failed_and_decommissioned(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        every = set(range(storage.num_block_servers))
+        assert storage.serving_block_servers == every
+        storage.fail_block_server(0)
+        storage.decommission(1)
+        assert storage.serving_block_servers == every - {0, 1}
+        assert storage.failed_block_servers == {0}
+
+    def test_decommission_evacuates_only_to_serving_bs(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        storage.fail_block_server(2)
+        events = storage.decommission(0, timestamp=3)
+        assert events  # BS 0 held segments
+        assert all(event.to_bs != 2 for event in events)
+        assert all(event.to_bs != 0 for event in events)
+        storage.check_invariants()
+
+    def test_is_failed_unknown_bs_raises(self, small_fleet):
+        storage = StorageCluster(small_fleet)
+        with pytest.raises(SimulationError, match="unknown"):
+            storage.is_failed(10**9)
+        with pytest.raises(SimulationError, match="unknown"):
+            storage.fail_block_server(10**9)

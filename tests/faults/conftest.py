@@ -1,0 +1,29 @@
+"""Fixtures for the fault-injection suite: a tiny fleet and its shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.generate import PlanShape
+from repro.util.rng import RngFactory
+from repro.workload.fleet import FleetConfig, build_fleet
+
+#: Short horizon keeps the simulation-backed property tests fast.
+TINY_DURATION_S = 48
+
+
+@pytest.fixture(scope="session")
+def tiny_fleet():
+    config = FleetConfig(
+        dc_id=0,
+        num_users=3,
+        num_vms=8,
+        num_compute_nodes=3,
+        num_storage_nodes=2,
+    )
+    return build_fleet(config, RngFactory(4242))
+
+
+@pytest.fixture(scope="session")
+def tiny_shape(tiny_fleet) -> PlanShape:
+    return PlanShape.of_fleet(tiny_fleet, TINY_DURATION_S)

@@ -1,0 +1,261 @@
+"""Unit tests for the declarative fault-plan layer."""
+
+import json
+
+import pytest
+
+from repro.faults.plan import (
+    DEGRADE_COMPONENTS,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    RedirectPolicy,
+    merge_plans,
+)
+from repro.util.errors import ConfigError
+
+
+def _bs_crash(start=10, end=20, target=0, dc=None):
+    return FaultEvent(
+        kind=FaultKind.BS_CRASH, start_s=start, end_s=end, target=target, dc=dc
+    )
+
+
+class TestFaultEventValidation:
+    def test_accepts_string_kind(self):
+        event = FaultEvent(kind="bs_crash", start_s=0, end_s=5, target=1)
+        assert event.kind is FaultKind.BS_CRASH
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ConfigError, match="start_s"):
+            _bs_crash(start=-1, end=5)
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ConfigError, match="end_s"):
+            _bs_crash(start=5, end=5)
+
+    @pytest.mark.parametrize(
+        "kind", [FaultKind.BS_CRASH, FaultKind.CS_CRASH, FaultKind.QP_STALL]
+    )
+    def test_targeted_kinds_need_target(self, kind):
+        with pytest.raises(ConfigError, match="target"):
+            FaultEvent(kind=kind, start_s=0, end_s=5)
+        with pytest.raises(ConfigError, match="target"):
+            FaultEvent(kind=kind, start_s=0, end_s=5, target=-1)
+
+    def test_blackout_takes_no_target(self):
+        with pytest.raises(ConfigError, match="no target"):
+            FaultEvent(
+                kind=FaultKind.MIGRATION_BLACKOUT, start_s=0, end_s=5, target=1
+            )
+
+    def test_degrade_component_defaults_to_all(self):
+        event = FaultEvent(
+            kind=FaultKind.DEGRADE, start_s=0, end_s=5, multiplier=2.0
+        )
+        assert event.component == "all"
+
+    def test_degrade_rejects_unknown_component(self):
+        with pytest.raises(ConfigError, match="component"):
+            FaultEvent(
+                kind=FaultKind.DEGRADE, start_s=0, end_s=5, component="gpu"
+            )
+
+    def test_degrade_rejects_deflation(self):
+        with pytest.raises(ConfigError, match="multiplier"):
+            FaultEvent(
+                kind=FaultKind.DEGRADE, start_s=0, end_s=5, multiplier=0.5
+            )
+
+    def test_non_degrade_rejects_component(self):
+        with pytest.raises(ConfigError, match="component"):
+            FaultEvent(
+                kind=FaultKind.BS_CRASH,
+                start_s=0,
+                end_s=5,
+                target=1,
+                component="frontend",
+            )
+
+    def test_half_open_window(self):
+        event = _bs_crash(start=10, end=20)
+        assert event.active_at(10)
+        assert event.active_at(19)
+        assert not event.active_at(20)
+        assert not event.active_at(9)
+        assert event.duration_s == 10
+
+
+class TestFaultEventSerialization:
+    def test_round_trip_all_kinds(self):
+        events = [
+            _bs_crash(dc=2),
+            FaultEvent(kind=FaultKind.CS_CRASH, start_s=1, end_s=4, target=1),
+            FaultEvent(kind=FaultKind.QP_STALL, start_s=2, end_s=9, target=7),
+            FaultEvent(
+                kind=FaultKind.DEGRADE,
+                start_s=0,
+                end_s=3,
+                component="chunk_server",
+                multiplier=4.5,
+            ),
+            FaultEvent(kind=FaultKind.MIGRATION_BLACKOUT, start_s=3, end_s=6),
+        ]
+        for event in events:
+            assert FaultEvent.from_dict(event.to_dict()) == event
+
+    def test_from_dict_rejects_non_object(self):
+        with pytest.raises(ConfigError, match="object"):
+            FaultEvent.from_dict(["bs_crash"])
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigError, match="unknown"):
+            FaultEvent.from_dict(
+                {"kind": "bs_crash", "start_s": 0, "end_s": 5, "target": 1,
+                 "oops": True}
+            )
+
+    def test_from_dict_rejects_missing_kind(self):
+        with pytest.raises(ConfigError, match="kind"):
+            FaultEvent.from_dict({"start_s": 0, "end_s": 5})
+
+    def test_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(ConfigError, match="unknown fault kind"):
+            FaultEvent.from_dict({"kind": "meteor", "start_s": 0, "end_s": 5})
+
+    def test_from_dict_rejects_missing_window(self):
+        with pytest.raises(ConfigError, match="start_s"):
+            FaultEvent.from_dict({"kind": "bs_crash", "target": 1, "end_s": 5})
+
+
+class TestFaultPlan:
+    def test_events_are_canonically_sorted(self):
+        late = _bs_crash(start=50, end=60)
+        early = _bs_crash(start=1, end=2)
+        plan_a = FaultPlan(events=(late, early))
+        plan_b = FaultPlan(events=(early, late))
+        assert plan_a == plan_b
+        assert plan_a.events[0] is early or plan_a.events[0] == early
+
+    def test_policy_coerces_from_string(self):
+        assert FaultPlan(policy="queue").policy is RedirectPolicy.QUEUE
+
+    def test_rejects_negative_backoff(self):
+        with pytest.raises(ConfigError, match="retry_backoff_us"):
+            FaultPlan(retry_backoff_us=-1.0)
+
+    def test_rejects_zero_redirect_attempts(self):
+        with pytest.raises(ConfigError, match="max_redirect_attempts"):
+            FaultPlan(max_redirect_attempts=0)
+
+    def test_rejects_non_event_members(self):
+        with pytest.raises(ConfigError, match="FaultEvent"):
+            FaultPlan(events=({"kind": "bs_crash"},))
+
+    def test_empty_plan_properties(self):
+        plan = FaultPlan()
+        assert plan.is_empty
+        assert len(plan) == 0
+        assert plan.horizon_s() == 0
+        assert plan.recovery_times() == []
+
+    def test_events_of_filters_kinds(self):
+        plan = FaultPlan(
+            events=(
+                _bs_crash(),
+                FaultEvent(
+                    kind=FaultKind.QP_STALL, start_s=0, end_s=4, target=1
+                ),
+            )
+        )
+        assert len(plan.events_of(FaultKind.BS_CRASH)) == 1
+        assert len(plan.events_of(FaultKind.BS_CRASH, FaultKind.QP_STALL)) == 2
+        assert plan.events_of(FaultKind.DEGRADE) == []
+
+    def test_for_dc_keeps_global_and_matching_events(self):
+        plan = FaultPlan(
+            events=(_bs_crash(dc=None), _bs_crash(dc=0), _bs_crash(dc=1))
+        )
+        scoped = plan.for_dc(0)
+        assert len(scoped) == 2
+        assert all(event.dc in (None, 0) for event in scoped.events)
+        assert scoped.policy is plan.policy
+
+    def test_horizon_is_last_event_end(self):
+        plan = FaultPlan(events=(_bs_crash(start=0, end=9), _bs_crash(3, 77)))
+        assert plan.horizon_s() == 77
+
+
+class TestPlanSerialization:
+    def test_round_trip(self):
+        plan = FaultPlan(
+            events=(
+                _bs_crash(dc=1),
+                FaultEvent(
+                    kind=FaultKind.DEGRADE,
+                    start_s=2,
+                    end_s=8,
+                    component="backend",
+                    multiplier=3.0,
+                ),
+            ),
+            policy=RedirectPolicy.QUEUE,
+            retry_backoff_us=123.0,
+            max_redirect_attempts=2,
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_save_load_round_trip(self, tmp_path):
+        plan = FaultPlan(events=(_bs_crash(),), policy=RedirectPolicy.QUEUE)
+        path = plan.save(tmp_path / "nested" / "plan.json")
+        assert path.exists()
+        assert FaultPlan.load(path) == plan
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="no such fault plan"):
+            FaultPlan.load(tmp_path / "absent.json")
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            FaultPlan.load(path)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigError, match="unknown fault plan"):
+            FaultPlan.from_dict({"events": [], "frequency": 3})
+
+    def test_from_dict_rejects_bad_policy(self):
+        with pytest.raises(ConfigError, match="policy"):
+            FaultPlan.from_dict({"policy": "retry-forever"})
+
+    def test_from_dict_rejects_non_list_events(self):
+        with pytest.raises(ConfigError, match="list"):
+            FaultPlan.from_dict({"events": {"kind": "bs_crash"}})
+
+    def test_json_is_order_independent(self):
+        a = FaultPlan(events=(_bs_crash(1, 2), _bs_crash(5, 9, target=3)))
+        b = FaultPlan(events=(_bs_crash(5, 9, target=3), _bs_crash(1, 2)))
+        assert json.dumps(a.to_dict()) == json.dumps(b.to_dict())
+
+
+class TestMergePlans:
+    def test_empty_iterable_gives_empty_plan(self):
+        assert merge_plans([]).is_empty
+
+    def test_union_of_events_policy_from_head(self):
+        head = FaultPlan(
+            events=(_bs_crash(1, 2),),
+            policy=RedirectPolicy.QUEUE,
+            retry_backoff_us=42.0,
+        )
+        tail = FaultPlan(events=(_bs_crash(5, 9),))
+        merged = merge_plans([head, tail])
+        assert len(merged) == 2
+        assert merged.policy is RedirectPolicy.QUEUE
+        assert merged.retry_backoff_us == 42.0
+
+    def test_degrade_components_match_latency_model(self):
+        from repro.cluster.latency import LatencyModel
+
+        assert set(LatencyModel.COMPONENTS) <= set(DEGRADE_COMPONENTS)

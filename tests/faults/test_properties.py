@@ -1,0 +1,228 @@
+"""Property-based fault-plan invariants (seeded, via tests/strategies.py).
+
+Three invariant families from the issue:
+
+- **no IO is both completed and dropped** — per domain, delivered and
+  dropped partition the offered mass;
+- **conservation of IO count across redirect/retry** — redirecting,
+  retrying, or queueing never creates or destroys IO mass;
+- **monotone recovery times** — the recovery schedule of any plan is
+  non-decreasing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.simulator import EBSSimulator, SimulationConfig
+from repro.faults.generate import random_fault_plan
+from repro.faults.plan import FaultPlan
+from repro.util.rng import RngFactory
+
+from tests.faults.conftest import TINY_DURATION_S
+from tests.strategies import (
+    examples,
+    fault_events,
+    fault_plans,
+    fault_plans_with_shape,
+    plan_shapes,
+    rng_for,
+)
+
+PLANS = examples(fault_plans, 20, seed=1)
+SHAPES = examples(plan_shapes, 10, seed=2)
+EVENT_BATCHES = [examples(fault_events, 6, seed=100 + i) for i in range(8)]
+
+
+class TestPlanProperties:
+    @pytest.mark.parametrize("plan", PLANS)
+    def test_round_trips_through_json(self, plan):
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    @pytest.mark.parametrize("plan", PLANS)
+    def test_recovery_times_are_monotone(self, plan):
+        times = plan.recovery_times()
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+
+    @pytest.mark.parametrize("plan", PLANS)
+    def test_horizon_bounds_every_event(self, plan):
+        horizon = plan.horizon_s()
+        assert all(event.end_s <= horizon for event in plan.events)
+
+    @pytest.mark.parametrize("events", EVENT_BATCHES)
+    def test_event_order_never_matters(self, events):
+        rng = rng_for(7)
+        shuffled = list(events)
+        rng.shuffle(shuffled)
+        assert FaultPlan(events=tuple(events)) == FaultPlan(
+            events=tuple(shuffled)
+        )
+
+    @pytest.mark.parametrize("plan", PLANS)
+    def test_for_dc_partitions_scoped_events(self, plan):
+        scoped_any = {
+            event for dc in range(4) for event in plan.for_dc(dc).events
+        }
+        # Every event is either global or owned by some DC in range.
+        assert scoped_any >= {
+            event for event in plan.events if event.dc in (None, 0, 1, 2, 3)
+        }
+
+
+class TestGeneratorProperties:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_same_seed_same_plan(self, shape):
+        assert random_fault_plan(11, shape) == random_fault_plan(11, shape)
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_different_labels_are_independent_streams(self, shape):
+        a = random_fault_plan(11, shape, num_events=6, label="a")
+        b = random_fault_plan(11, shape, num_events=6, label="b")
+        # Extremely unlikely to collide; equality would mean label is dead.
+        assert a != b
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_windows_stay_inside_horizon(self, shape):
+        plan = random_fault_plan(3, shape, num_events=8)
+        for event in plan.events:
+            assert 0 <= event.start_s < event.end_s <= shape.duration_seconds
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_never_crashes_every_block_server(self, shape):
+        from repro.faults.plan import FaultKind
+
+        plan = random_fault_plan(5, shape, num_events=30)
+        crashed = set()
+        per_node = shape.num_block_servers // shape.num_storage_nodes
+        for event in plan.events:
+            if event.kind is FaultKind.BS_CRASH:
+                crashed.add(event.target)
+            elif event.kind is FaultKind.CS_CRASH:
+                crashed.update(
+                    range(
+                        event.target * per_node, (event.target + 1) * per_node
+                    )
+                )
+        assert len(crashed) < shape.num_block_servers
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_policy_override_is_respected(self, shape):
+        from repro.faults.plan import RedirectPolicy
+
+        for policy in RedirectPolicy:
+            assert random_fault_plan(2, shape, policy=policy).policy is policy
+
+
+@pytest.fixture(scope="module")
+def tiny_sim_config():
+    return SimulationConfig(
+        duration_seconds=TINY_DURATION_S, trace_sampling_rate=0.25
+    )
+
+
+def _simulate(tiny_fleet, config, plan):
+    return EBSSimulator(
+        tiny_fleet, config, RngFactory(31), fault_plan=plan
+    ).run()
+
+
+class TestSimulationConservation:
+    """Simulation-backed invariants over seed-stable random plans."""
+
+    @pytest.fixture(scope="class")
+    def outcomes(self, tiny_fleet, tiny_shape, tiny_sim_config):
+        plans = [
+            strategy(tiny_shape)
+            for strategy in [
+                (lambda shape, i=i: fault_plans_with_shape(
+                    rng_for(500 + i), shape
+                ))
+                for i in range(8)
+            ]
+        ]
+        return [
+            (plan, _simulate(tiny_fleet, tiny_sim_config, plan))
+            for plan in plans
+        ]
+
+    def test_faults_attached_iff_plan_nonempty(
+        self, tiny_fleet, tiny_sim_config, outcomes
+    ):
+        for plan, result in outcomes:
+            assert (result.faults is not None) == (not plan.is_empty)
+        empty = _simulate(tiny_fleet, tiny_sim_config, FaultPlan())
+        assert empty.faults is None
+
+    def test_no_io_both_delivered_and_dropped(self, outcomes):
+        for _, result in outcomes:
+            if result.faults is None:
+                continue
+            acct = result.faults.accounting
+            assert acct.delivered_storage_ios >= 0
+            assert acct.dropped_storage_ios >= 0
+            assert (
+                acct.delivered_storage_ios
+                <= acct.offered_storage_ios + 1e-6
+            )
+            assert (
+                acct.delivered_compute_ios
+                <= acct.offered_compute_ios + 1e-6
+            )
+
+    def test_io_mass_is_conserved_across_redirect_and_retry(self, outcomes):
+        for plan, result in outcomes:
+            if result.faults is None:
+                continue
+            storage, compute = result.faults.conservation_residual()
+            acct = result.faults.accounting
+            assert storage <= 1e-6 * max(acct.offered_storage_ios, 1.0), plan
+            assert compute <= 1e-6 * max(acct.offered_compute_ios, 1.0), plan
+
+    def test_trace_rows_partition_into_kept_and_dropped(self, outcomes):
+        for _, result in outcomes:
+            if result.faults is None:
+                continue
+            stats = result.faults.trace_stats
+            assert len(result.traces) == (
+                stats["total_ios"] - stats["dropped_ios"]
+            )
+
+    def test_redirected_mass_is_never_dropped_mass(self, outcomes):
+        from repro.faults.plan import RedirectPolicy
+
+        for plan, result in outcomes:
+            if result.faults is None:
+                continue
+            acct = result.faults.accounting
+            if plan.policy is RedirectPolicy.REDIRECT:
+                assert acct.queued_ios == 0.0
+            else:
+                assert acct.redirected_ios == 0.0
+                assert acct.retried_ios == 0.0
+
+    def test_replay_matches_plan_failure_state(self, outcomes):
+        """After run(), cluster objects reflect the end-of-horizon state."""
+        from repro.faults.plan import FaultKind
+
+        for plan, result in outcomes:
+            if result.faults is None:
+                continue
+            open_bs = set()
+            for event in plan.events:
+                if event.kind is not FaultKind.BS_CRASH:
+                    continue
+                if event.start_s < TINY_DURATION_S <= event.end_s:
+                    open_bs.add(event.target)
+            for bs in open_bs:
+                assert result.storage.is_failed(bs)
+
+    def test_window_stats_cover_every_event(self, outcomes):
+        for plan, result in outcomes:
+            if result.faults is None:
+                continue
+            in_horizon = [
+                e for e in plan.events if e.start_s < TINY_DURATION_S
+            ]
+            assert len(result.faults.windows) == len(in_horizon)
+            for window in result.faults.windows:
+                assert window.ios_in_window >= 0

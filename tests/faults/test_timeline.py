@@ -1,0 +1,314 @@
+"""Unit tests for the compiled fault timeline (epochs, maps, drains)."""
+
+import numpy as np
+import pytest
+
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan, RedirectPolicy
+from repro.faults.timeline import FaultTimeline
+from repro.util.errors import ConfigError
+from repro.util.rng import RngFactory
+from repro.workload.fleet import FleetConfig, build_fleet
+
+T = 40
+
+
+@pytest.fixture(scope="module")
+def wide_fleet():
+    """4 BlockServers (2 per storage node) so redirect chains have hops."""
+    config = FleetConfig(
+        dc_id=0,
+        num_users=2,
+        num_vms=4,
+        num_compute_nodes=2,
+        num_storage_nodes=2,
+        block_servers_per_node=2,
+    )
+    return build_fleet(config, RngFactory(99))
+
+
+def _timeline(fleet, *events, policy=RedirectPolicy.REDIRECT, **kwargs):
+    plan = FaultPlan(events=tuple(events), policy=policy, **kwargs)
+    return FaultTimeline(plan, fleet, T)
+
+
+def _crash(target, start, end):
+    return FaultEvent(
+        kind=FaultKind.BS_CRASH, start_s=start, end_s=end, target=target
+    )
+
+
+class TestValidationAndClipping:
+    def test_rejects_non_positive_duration(self, wide_fleet):
+        with pytest.raises(ConfigError, match="duration"):
+            FaultTimeline(FaultPlan(), wide_fleet, 0)
+
+    def test_rejects_bs_target_out_of_range(self, wide_fleet):
+        with pytest.raises(ConfigError, match="bs_crash target"):
+            _timeline(wide_fleet, _crash(99, 0, 5))
+
+    def test_rejects_cs_target_out_of_range(self, wide_fleet):
+        event = FaultEvent(
+            kind=FaultKind.CS_CRASH, start_s=0, end_s=5, target=7
+        )
+        with pytest.raises(ConfigError, match="cs_crash target"):
+            _timeline(wide_fleet, event)
+
+    def test_rejects_qp_target_out_of_range(self, wide_fleet):
+        event = FaultEvent(
+            kind=FaultKind.QP_STALL,
+            start_s=0,
+            end_s=5,
+            target=len(wide_fleet.queue_pairs),
+        )
+        with pytest.raises(ConfigError, match="qp_stall target"):
+            _timeline(wide_fleet, event)
+
+    def test_event_past_horizon_is_ignored(self, wide_fleet):
+        timeline = _timeline(wide_fleet, _crash(0, T + 5, T + 9))
+        assert timeline.events == []
+        assert not timeline.has_churn
+
+    def test_event_end_clips_to_horizon(self, wide_fleet):
+        timeline = _timeline(wide_fleet, _crash(0, T - 3, T + 50))
+        assert timeline.bs_down_at(0, T - 1)
+        assert not timeline.bs_down_at(0, T - 4)
+
+
+class TestMasksAndEpochs:
+    def test_bs_crash_window_is_half_open(self, wide_fleet):
+        timeline = _timeline(wide_fleet, _crash(1, 10, 20))
+        assert not timeline.bs_down_at(1, 9)
+        assert timeline.bs_down_at(1, 10)
+        assert timeline.bs_down_at(1, 19)
+        assert not timeline.bs_down_at(1, 20)
+        assert not timeline.bs_down_at(0, 15)
+
+    def test_cs_crash_downs_all_node_block_servers(self, wide_fleet):
+        event = FaultEvent(
+            kind=FaultKind.CS_CRASH, start_s=5, end_s=9, target=1
+        )
+        timeline = _timeline(wide_fleet, event)
+        # Node 1 hosts BSs 2 and 3 (2 per node).
+        assert timeline.bs_down_at(2, 5) and timeline.bs_down_at(3, 5)
+        assert not timeline.bs_down_at(0, 5)
+        assert not timeline.bs_down_at(1, 5)
+
+    def test_epoch_index_is_constant_between_boundaries(self, wide_fleet):
+        timeline = _timeline(wide_fleet, _crash(0, 10, 20), _crash(1, 15, 25))
+        assert list(timeline.epoch_starts) == [0, 10, 15, 20, 25, T]
+        index = timeline.epoch_index
+        for epoch in range(timeline.num_epochs):
+            lo = timeline.epoch_starts[epoch]
+            hi = timeline.epoch_starts[epoch + 1]
+            assert (index[lo:hi] == epoch).all()
+
+    def test_epoch_masks_match_second_masks(self, wide_fleet):
+        timeline = _timeline(wide_fleet, _crash(0, 10, 20), _crash(1, 15, 25))
+        for epoch in range(timeline.num_epochs):
+            start = int(timeline.epoch_starts[epoch])
+            for bs in range(timeline.num_bs):
+                assert timeline.bs_down_ep[bs, epoch] == timeline.bs_down_at(
+                    bs, start
+                )
+
+    def test_degrade_does_not_cut_epochs(self, wide_fleet):
+        event = FaultEvent(
+            kind=FaultKind.DEGRADE,
+            start_s=3,
+            end_s=30,
+            component="frontend",
+            multiplier=2.0,
+        )
+        timeline = _timeline(wide_fleet, event)
+        assert timeline.num_epochs == 1
+        assert timeline.has_degrade and not timeline.has_churn
+
+    def test_overlapping_degrades_multiply(self, wide_fleet):
+        a = FaultEvent(
+            kind=FaultKind.DEGRADE, start_s=0, end_s=20,
+            component="backend", multiplier=2.0,
+        )
+        b = FaultEvent(
+            kind=FaultKind.DEGRADE, start_s=10, end_s=30,
+            component="backend", multiplier=3.0,
+        )
+        timeline = _timeline(wide_fleet, a, b)
+        series = timeline.multiplier_series("backend")
+        assert series[5] == 2.0
+        assert series[15] == 6.0
+        assert series[25] == 3.0
+        assert series[35] == 1.0
+        assert timeline.multiplier_series("frontend") is None
+
+    def test_degrade_all_touches_every_component(self, wide_fleet):
+        event = FaultEvent(
+            kind=FaultKind.DEGRADE, start_s=0, end_s=5,
+            component="all", multiplier=4.0,
+        )
+        timeline = _timeline(wide_fleet, event)
+        for component in (
+            "compute", "frontend", "block_server", "backend", "chunk_server"
+        ):
+            assert timeline.multiplier_series(component)[0] == 4.0
+
+
+class TestRedirectMap:
+    def test_single_crash_redirects_to_next_bs(self, wide_fleet):
+        timeline = _timeline(wide_fleet, _crash(0, 10, 20))
+        epoch = int(timeline.epoch_index[15])
+        assert timeline.redirect_map[0, epoch] == 1
+        assert timeline.redirect_attempts[0, epoch] == 1
+        healthy_epoch = int(timeline.epoch_index[5])
+        assert timeline.redirect_map[0, healthy_epoch] == 0
+
+    def test_chain_skips_down_replicas(self, wide_fleet):
+        timeline = _timeline(
+            wide_fleet, _crash(0, 10, 20), _crash(1, 10, 20)
+        )
+        epoch = int(timeline.epoch_index[15])
+        assert timeline.redirect_map[0, epoch] == 2
+        assert timeline.redirect_attempts[0, epoch] == 2
+
+    def test_attempt_budget_exhausted_means_drop(self, wide_fleet):
+        timeline = _timeline(
+            wide_fleet,
+            _crash(0, 10, 20),
+            _crash(1, 10, 20),
+            max_redirect_attempts=1,
+        )
+        epoch = int(timeline.epoch_index[15])
+        assert timeline.redirect_map[0, epoch] == -1
+
+    def test_all_down_means_drop(self, wide_fleet):
+        events = [_crash(bs, 10, 20) for bs in range(4)]
+        timeline = _timeline(wide_fleet, *events)
+        epoch = int(timeline.epoch_index[15])
+        assert (timeline.redirect_map[:, epoch] == -1).all()
+
+
+class TestDrainLookups:
+    def test_bs_drain_is_first_post_recovery_second(self, wide_fleet):
+        timeline = _timeline(
+            wide_fleet, _crash(2, 10, 20), policy=RedirectPolicy.QUEUE
+        )
+        drain = timeline.bs_drain_seconds(2)
+        assert drain[5] == 5                 # serving: drains immediately
+        assert (drain[10:20] == 20).all()    # held until recovery
+        assert drain[20] == 20
+
+    def test_unrecovered_window_never_drains(self, wide_fleet):
+        timeline = _timeline(
+            wide_fleet, _crash(2, 30, T), policy=RedirectPolicy.QUEUE
+        )
+        assert (timeline.bs_drain_seconds(2)[30:] == -1).all()
+
+    def test_adjacent_windows_merge_for_draining(self, wide_fleet):
+        timeline = _timeline(
+            wide_fleet,
+            _crash(1, 5, 10),
+            _crash(1, 10, 15),
+            policy=RedirectPolicy.QUEUE,
+        )
+        assert (timeline.bs_drain_seconds(1)[5:15] == 15).all()
+
+    def test_qp_drain(self, wide_fleet):
+        event = FaultEvent(
+            kind=FaultKind.QP_STALL, start_s=4, end_s=8, target=0
+        )
+        timeline = _timeline(wide_fleet, event, policy=RedirectPolicy.QUEUE)
+        drain = timeline.qp_drain_seconds(0)
+        assert (drain[4:8] == 8).all()
+        assert drain[3] == 3
+
+
+class TestBlackoutAndSchedule:
+    def test_blackout_periods(self, wide_fleet):
+        event = FaultEvent(
+            kind=FaultKind.MIGRATION_BLACKOUT, start_s=12, end_s=22
+        )
+        timeline = _timeline(wide_fleet, event)
+        mask = timeline.blackout_periods(10, 4)
+        assert list(mask) == [False, True, True, False]
+        assert timeline.has_any_effect and not timeline.has_churn
+
+    def test_blackout_periods_rejects_bad_period(self, wide_fleet):
+        with pytest.raises(ConfigError, match="period_seconds"):
+            _timeline(wide_fleet).blackout_periods(0, 4)
+
+    def test_failure_schedule_is_chronological(self, wide_fleet):
+        timeline = _timeline(
+            wide_fleet, _crash(1, 10, 20), _crash(0, 5, T + 10)
+        )
+        schedule = timeline.failure_schedule()
+        seconds = [entry[0] for entry in schedule]
+        assert seconds == sorted(seconds)
+        # The clipped-window crash never recovers inside the horizon.
+        actions = [(s, a, tgt) for s, a, _, tgt in schedule]
+        assert (5, "fail", 0) in actions
+        assert (10, "fail", 1) in actions
+        assert (20, "recover", 1) in actions
+        assert all(
+            not (action == "recover" and target == 0)
+            for _, action, target in actions
+        )
+
+    def test_empty_plan_has_no_effect(self, wide_fleet):
+        timeline = _timeline(wide_fleet)
+        assert not timeline.has_any_effect
+        assert timeline.num_epochs == 1
+        assert (timeline.epoch_index == 0).all()
+
+
+class TestTraceStorageFaults:
+    def test_redirect_rewrites_targets_and_counts_retries(self, wide_fleet):
+        timeline = _timeline(wide_fleet, _crash(0, 10, 20))
+        bs_ids = np.array([0, 0, 1, 0], dtype=np.int64)
+        seconds = np.array([15, 5, 15, 12], dtype=np.int64)
+        out_bs, out_sec, keep, retries, stats = timeline.trace_storage_faults(
+            bs_ids, seconds
+        )
+        assert list(out_bs) == [1, 0, 1, 1]
+        assert list(out_sec) == [15, 5, 15, 12]
+        assert keep.all()
+        assert list(retries) == [1, 0, 0, 1]
+        assert stats["redirected_ios"] == 2 and stats["retries"] == 2
+        # Inputs are never mutated.
+        assert list(bs_ids) == [0, 0, 1, 0]
+
+    def test_queue_moves_seconds_to_drain(self, wide_fleet):
+        timeline = _timeline(
+            wide_fleet,
+            _crash(0, 10, 20),
+            _crash(1, 30, T),
+            policy=RedirectPolicy.QUEUE,
+        )
+        bs_ids = np.array([0, 1], dtype=np.int64)
+        seconds = np.array([15, 35], dtype=np.int64)
+        out_bs, out_sec, keep, retries, stats = timeline.trace_storage_faults(
+            bs_ids, seconds
+        )
+        assert out_sec[0] == 20          # drains at recovery
+        assert not keep[1]               # never recovers: dropped
+        assert retries is None
+        assert stats["queued_ios"] == 1 and stats["dropped_ios"] == 1
+
+    def test_alive_mask_prevents_double_processing(self, wide_fleet):
+        timeline = _timeline(wide_fleet, _crash(0, 10, 20))
+        bs_ids = np.array([0], dtype=np.int64)
+        seconds = np.array([15], dtype=np.int64)
+        alive = np.array([False])
+        _, _, keep, retries, stats = timeline.trace_storage_faults(
+            bs_ids, seconds, alive=alive
+        )
+        assert keep is None and retries is None
+        assert stats["redirected_ios"] == 0
+
+    def test_untouched_when_no_overlap(self, wide_fleet):
+        timeline = _timeline(wide_fleet, _crash(0, 10, 20))
+        bs_ids = np.array([1, 2], dtype=np.int64)
+        seconds = np.array([15, 15], dtype=np.int64)
+        out_bs, out_sec, keep, retries, _ = timeline.trace_storage_faults(
+            bs_ids, seconds
+        )
+        assert out_bs is bs_ids and out_sec is seconds
+        assert keep is None and retries is None

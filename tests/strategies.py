@@ -1,0 +1,115 @@
+"""Tiny in-repo generative strategies for property-based tests.
+
+Not a hypothesis clone: a *strategy* here is a plain function from a
+seeded :class:`numpy.random.Generator` to a value, and :func:`examples`
+materializes a deterministic list of them for
+``pytest.mark.parametrize``.  Every example is fully determined by the
+``seed`` argument, so a failing case reproduces by its parametrize id
+alone — no shrinking, no database, no new dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, TypeVar
+
+import numpy as np
+
+from repro.faults.generate import PlanShape, random_fault_plan
+from repro.faults.plan import (
+    DEGRADE_COMPONENTS,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    RedirectPolicy,
+)
+
+T = TypeVar("T")
+
+#: Domain-separation constant so strategy streams never collide with the
+#: simulator's own seeded streams.
+_STRATEGY_SALT = 0xFA017
+
+
+def rng_for(seed: int) -> np.random.Generator:
+    """The deterministic generator behind one strategy example."""
+    return np.random.default_rng([_STRATEGY_SALT, seed])
+
+
+def examples(
+    strategy: Callable[[np.random.Generator], T],
+    count: int,
+    seed: int = 0,
+) -> List[T]:
+    """``count`` deterministic examples of one strategy.
+
+    Example ``i`` depends only on ``(seed, i)``, never on ``count`` —
+    growing the suite never changes existing cases.
+    """
+    return [strategy(rng_for(seed * 1_000_003 + i)) for i in range(count)]
+
+
+# -- strategies --------------------------------------------------------------
+
+
+def plan_shapes(rng: np.random.Generator) -> PlanShape:
+    """A small but non-degenerate fleet shape."""
+    return PlanShape(
+        num_block_servers=int(rng.integers(2, 13)),
+        num_storage_nodes=int(rng.integers(1, 5)),
+        num_queue_pairs=int(rng.integers(2, 41)),
+        duration_seconds=int(rng.integers(10, 241)),
+    )
+
+
+def fault_events(rng: np.random.Generator) -> FaultEvent:
+    """One valid event of any kind over a bounded window."""
+    duration = int(rng.integers(10, 241))
+    start = int(rng.integers(0, duration))
+    end = int(rng.integers(start + 1, duration + 1))
+    kind = list(FaultKind)[int(rng.integers(0, len(FaultKind)))]
+    if kind is FaultKind.DEGRADE:
+        return FaultEvent(
+            kind=kind,
+            start_s=start,
+            end_s=end,
+            component=DEGRADE_COMPONENTS[
+                int(rng.integers(0, len(DEGRADE_COMPONENTS)))
+            ],
+            multiplier=float(1.0 + 9.0 * rng.random()),
+        )
+    if kind is FaultKind.MIGRATION_BLACKOUT:
+        return FaultEvent(kind=kind, start_s=start, end_s=end)
+    return FaultEvent(
+        kind=kind,
+        start_s=start,
+        end_s=end,
+        target=int(rng.integers(0, 16)),
+        dc=int(rng.integers(0, 3)) if rng.random() < 0.3 else None,
+    )
+
+
+def fault_plans(rng: np.random.Generator) -> FaultPlan:
+    """A plan drawn against a random shape (the sweep generator)."""
+    shape = plan_shapes(rng)
+    return random_fault_plan(
+        int(rng.integers(0, 2**31)),
+        shape,
+        policy=(
+            RedirectPolicy.REDIRECT
+            if rng.random() < 0.5
+            else RedirectPolicy.QUEUE
+        ),
+        label="strategies",
+    )
+
+
+def fault_plans_with_shape(
+    rng: np.random.Generator, shape: PlanShape
+) -> FaultPlan:
+    """A plan targeting one fixed fleet shape (for simulation properties)."""
+    return random_fault_plan(
+        int(rng.integers(0, 2**31)),
+        shape,
+        num_events=int(rng.integers(1, 9)),
+        label="strategies-fixed",
+    )

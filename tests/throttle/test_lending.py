@@ -107,3 +107,92 @@ class TestSimulateLending:
             outcome.throttled_seconds_with
             == outcome.throttled_seconds_without
         )
+
+
+#: rate=0.5 makes every lend adjustment exact in binary floating point,
+#: so the probes below can sit exactly at the adjusted caps.
+HALF = LendingConfig(lending_rate=0.5, period_seconds=4)
+
+
+def _with(rows, caps, config=HALF):
+    return simulate_lending(
+        group_from(rows, caps), "throughput", config
+    ).throttled_seconds_with
+
+
+class TestLendingConservation:
+    """Pin the audited lend-step invariants (cap mass is conserved).
+
+    The suspected bug was that the lending path double-counts returned
+    tokens when a lender is itself throttled in the same tick.  The audit
+    shows the implementation is correct: at the (single) lend of a period
+    the caps still equal the subscribed caps, so throttled members are
+    clipped to their caps in ``measured`` and contribute nothing to AR —
+    AR is exactly the summed headroom of the *unthrottled* members, and
+    the total boost ``p * AR`` equals the total reclaimed mass.  The
+    ``over``/``~over`` masks are complementary, so no member both
+    receives and returns tokens in one tick.  These tests pin each piece
+    behaviorally: if any implementation change creates or destroys cap
+    mass at the lend, a probe second flips its throttle verdict.
+
+    All scenarios use caps/usages whose lend arithmetic is exact under
+    ``lending_rate=0.5``, so the ``usage >= cap`` boundary is sharp.
+    """
+
+    def test_lent_amount_is_exactly_p_times_available_resource(self):
+        # t=0: member 0 bursts (over), member 1 idles at 10 under cap 30.
+        # AR = (10+30) - (10+10) = 20, boost = 0.5*20 = 10 -> cap0 = 20.
+        assert _with([[20, 19, 0, 0], [10, 0, 0, 0]], [10.0, 30.0]) == 1
+        assert _with([[20, 20, 0, 0], [10, 0, 0, 0]], [10.0, 30.0]) == 2
+
+    def test_reclaimed_amount_equals_lent_amount(self):
+        # Same lend as above on the lender's side: member 1 gives up
+        # 0.5 * headroom = 0.5*20 = 10 -> cap1 = 20, i.e. exactly the
+        # boost member 0 received.  Cap mass is conserved.
+        assert _with([[20, 0, 0, 0], [10, 0, 19, 0]], [10.0, 30.0]) == 1
+        assert _with([[20, 0, 0, 0], [10, 0, 20, 0]], [10.0, 30.0]) == 2
+
+    def test_borrower_over_cap_in_lend_tick_keeps_its_full_boost(self):
+        # Regression for the suspected double-count.  Member 0 is over
+        # cap in the very tick the lend happens; after the boost it has
+        # positive headroom (55 - 12).  A buggy reclaim that ignored the
+        # ``over`` mask would take tokens straight back from it
+        # (cap0 = 55 - 0.5*43 = 33.5).  Pin that its cap is exactly
+        # 10 + 0.5*90 = 55.
+        assert _with([[12, 54, 0, 0], [10, 0, 0, 0]], [10.0, 100.0]) == 1
+        assert _with([[12, 55, 0, 0], [10, 0, 0, 0]], [10.0, 100.0]) == 2
+
+    def test_member_exactly_at_cap_borrows_and_never_lends(self):
+        # usage == cap counts as throttled (>=), overshoot is zero, so
+        # the equal-split branch gives the whole lendable pool to the
+        # at-cap member: AR = (10+30) - (10+6) = 24, cap0 = 10+12 = 22.
+        # The lender's cap drops to 30 - 0.5*24 = 18 — still exactly the
+        # lent mass, even though the borrower's overshoot was zero.
+        assert _with([[10, 21, 0, 0], [6, 0, 17, 0]], [10.0, 30.0]) == 1
+        assert _with([[10, 22, 0, 0], [6, 0, 18, 0]], [10.0, 30.0]) == 3
+
+    def test_only_one_lend_per_period(self):
+        # After the t=0 lend (caps -> [20, 20]) member 0 sits exactly at
+        # its boosted cap.  A second lend at t=1 would raise it again and
+        # un-throttle t=2; pinning 3 throttled seconds proves the period
+        # lends exactly once.
+        assert _with([[20, 20, 20, 0], [10, 1, 1, 0]], [10.0, 30.0]) == 3
+
+    def test_zero_ar_second_consumes_the_period_lend(self):
+        # t=0 is fully saturated (AR == 0): nothing can be lent, and the
+        # attempt still consumes the period's single lend — the freed
+        # headroom at t=1 is NOT lent retroactively.
+        rows = [[20, 20, 20, 5], [30, 1, 1, 1]]
+        outcome = simulate_lending(
+            group_from(rows, [10.0, 30.0]), "throughput", HALF
+        )
+        assert outcome.throttled_seconds_without == 4
+        assert outcome.throttled_seconds_with == 4
+        assert outcome.gain == 0.0
+
+    def test_idle_lender_retains_one_minus_p_of_its_cap(self):
+        # A fully idle lender's cap after the lend is (1-p)*cap + p*0:
+        # 30 - 0.5*30 = 15.  In particular the 1e-9 floor never binds —
+        # reclaim cannot push a cap to (or below) zero.
+        assert _with([[20, 0, 0, 0], [0, 14, 0, 0]], [10.0, 30.0]) == 1
+        assert _with([[20, 0, 0, 0], [0, 15, 0, 0]], [10.0, 30.0]) == 2
