@@ -1,0 +1,212 @@
+"""Perf-regression gate: fresh BENCH_simulator.json vs committed baseline.
+
+CI's ``bench-smoke`` job regenerates ``BENCH_simulator.json`` (the perf
+benchmarks' artifact) and runs this gate against the committed
+``benchmarks/BENCH_baseline.json``.  The gate compares the
+**throughput** figures of the vectorized fast paths and fails — exit
+code 1 — when any of them drops below ``baseline * (1 - tolerance)``.
+
+Design points:
+
+- **One-sided.** Getting faster never fails the gate; only regressions
+  do.  Machine-to-machine wobble above the baseline is free speedup,
+  wobble below it beyond the tolerance is exactly what we want to catch.
+- **Apples to apples.** The gate refuses (exit code 2) to compare runs
+  at different benchmark scales — a ``tiny`` candidate can never be
+  judged against a ``medium`` baseline.
+- **Refreshing the baseline** is a plain copy, reviewed like any other
+  change::
+
+      PYTHONPATH=src python benchmarks/bench_perf_simulator.py --scale medium
+      PYTHONPATH=src python benchmarks/bench_perf_cache.py --scale medium
+      cp BENCH_simulator.json benchmarks/BENCH_baseline.json
+
+- ``--self-test`` proves the gate has teeth: it synthesizes a candidate
+  with every gated metric slowed down 2x and asserts the comparison
+  fails, then asserts the baseline passes against itself.  CI runs this
+  before trusting the real comparison.
+
+Exit codes: 0 gate passed (or self-test OK), 1 perf regression,
+2 malformed/missing/incomparable artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_baseline.json"
+DEFAULT_CANDIDATE = REPO_ROOT / "BENCH_simulator.json"
+DEFAULT_TOLERANCE = 0.25
+SLOWDOWN_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One higher-is-better throughput figure to guard."""
+
+    section: str
+    metric: str
+    unit: str
+
+
+GATES = (
+    Gate(
+        "simulator_pass1",
+        "fleet_seconds_per_second_fast",
+        "fleet-seconds/s",
+    ),
+    Gate("cache_replay", "ios_per_second_fast", "IOs/s"),
+)
+
+
+def _load(path: Path) -> Dict[str, Any]:
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"perf-gate: missing artifact {path} (exit 2)\n")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"perf-gate: {path} is not JSON: {exc}\n")
+    if not isinstance(payload, dict):
+        raise SystemExit(f"perf-gate: {path} must hold a JSON object\n")
+    return payload
+
+
+def compare(
+    baseline: Dict[str, Any],
+    candidate: Dict[str, Any],
+    tolerance: float,
+) -> "tuple[List[str], List[str]]":
+    """Return ``(failures, report_lines)`` for the gated metrics.
+
+    ``failures`` holds regression messages; structural problems (missing
+    sections/metrics, scale mismatches) are failures too, so a truncated
+    artifact can never sneak through as a pass.
+    """
+    failures: List[str] = []
+    report: List[str] = []
+    for gate in GATES:
+        base_section = baseline.get(gate.section)
+        cand_section = candidate.get(gate.section)
+        if not isinstance(base_section, dict) or not isinstance(
+            cand_section, dict
+        ):
+            failures.append(
+                f"{gate.section}: section missing from "
+                f"{'baseline' if not isinstance(base_section, dict) else 'candidate'}"
+            )
+            continue
+        if base_section.get("scale") != cand_section.get("scale"):
+            failures.append(
+                f"{gate.section}: scale mismatch "
+                f"(baseline={base_section.get('scale')!r}, "
+                f"candidate={cand_section.get('scale')!r}) — rerun the "
+                f"benchmarks at the baseline's scale"
+            )
+            continue
+        base = base_section.get(gate.metric)
+        cand = cand_section.get(gate.metric)
+        if not isinstance(base, (int, float)) or not isinstance(
+            cand, (int, float)
+        ):
+            failures.append(
+                f"{gate.section}.{gate.metric}: missing or non-numeric"
+            )
+            continue
+        floor = base * (1.0 - tolerance)
+        ratio = cand / base if base else float("inf")
+        line = (
+            f"{gate.section}.{gate.metric}: candidate {cand:,.0f} "
+            f"{gate.unit} vs baseline {base:,.0f} "
+            f"({ratio:.2f}x, floor {floor:,.0f})"
+        )
+        if cand < floor:
+            failures.append(f"REGRESSION {line}")
+        else:
+            report.append(f"ok {line}")
+    return failures, report
+
+
+def self_test(baseline: Dict[str, Any], tolerance: float) -> int:
+    """Prove the gate fails on an injected 2x slowdown and passes itself."""
+    slowed = copy.deepcopy(baseline)
+    for gate in GATES:
+        section = slowed.get(gate.section)
+        if isinstance(section, dict) and isinstance(
+            section.get(gate.metric), (int, float)
+        ):
+            section[gate.metric] = section[gate.metric] / SLOWDOWN_FACTOR
+    failures, _ = compare(baseline, slowed, tolerance)
+    regressions = [f for f in failures if f.startswith("REGRESSION")]
+    if len(regressions) != len(GATES):
+        print(
+            "self-test FAILED: injected 2x slowdown was not caught "
+            f"({len(regressions)}/{len(GATES)} gates fired)",
+            file=sys.stderr,
+        )
+        return 1
+    clean, report = compare(baseline, baseline, tolerance)
+    if clean:
+        print(
+            f"self-test FAILED: baseline does not pass itself: {clean}",
+            file=sys.stderr,
+        )
+        return 1
+    for line in regressions:
+        print(f"self-test caught: {line}")
+    for line in report:
+        print(f"self-test {line}")
+    print(
+        f"self-test ok: {SLOWDOWN_FACTOR}x slowdown fails the gate, "
+        f"baseline passes it (tolerance {tolerance:.0%})"
+    )
+    return 0
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="committed reference artifact",
+    )
+    parser.add_argument(
+        "--candidate", type=Path, default=DEFAULT_CANDIDATE,
+        help="freshly generated BENCH_simulator.json",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed fractional slowdown before failing (default 0.25)",
+    )
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="verify the gate catches an injected 2x slowdown, then exit",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+
+    baseline = _load(args.baseline)
+    if args.self_test:
+        return self_test(baseline, args.tolerance)
+
+    candidate = _load(args.candidate)
+    failures, report = compare(baseline, candidate, args.tolerance)
+    for line in report:
+        print(line)
+    if failures:
+        for line in failures:
+            print(f"perf-gate: {line}", file=sys.stderr)
+        structural = [f for f in failures if not f.startswith("REGRESSION")]
+        return 2 if structural and len(structural) == len(failures) else 1
+    print(f"perf-gate passed (tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,6 +40,10 @@ from repro.util.errors import ReproError
 
 _SCALES = ("small", "medium", "large")
 
+#: ``--scale large`` only runs streamed (its working set defeats a
+#: monolithic build); this is the shard size it defaults to.
+_LARGE_DEFAULT_CHUNK_EPOCHS = 4
+
 _LOG = logging.getLogger("repro.cli")
 
 
@@ -70,6 +74,46 @@ def _configure_logging(verbose: int, quiet: bool) -> None:
         logger.setLevel(logging.INFO)
 
 
+def _streaming_options(
+    args: argparse.Namespace,
+) -> "tuple[Optional[int], Optional[str], Optional[int]]":
+    """Resolve ``(chunk_epochs, shard_dir, max_rss_mb)`` for this run.
+
+    Streaming engages when ``--chunk-epochs N`` (N >= 1) is given, when
+    ``--shard-dir`` / ``--max-rss-mb`` imply it, or by default at
+    ``--scale large`` (which only works streamed).  ``--chunk-epochs 0``
+    explicitly forces the monolithic path.
+    """
+    chunk = getattr(args, "chunk_epochs", None)
+    shard_dir = getattr(args, "shard_dir", None)
+    max_rss = getattr(args, "max_rss_mb", None)
+    if chunk is not None and chunk < 0:
+        raise ReproError(f"--chunk-epochs must be >= 0, got {chunk}")
+    if chunk == 0:
+        if args.scale == "large":
+            raise ReproError(
+                "--scale large only runs streamed; use a positive "
+                "--chunk-epochs (or omit the flag for the default of "
+                f"{_LARGE_DEFAULT_CHUNK_EPOCHS})"
+            )
+        if shard_dir is not None or max_rss is not None:
+            raise ReproError(
+                "--shard-dir/--max-rss-mb require the streaming engine; "
+                "drop --chunk-epochs 0 or pick a positive chunk size"
+            )
+        return None, None, None
+    if chunk is None:
+        if (
+            args.scale == "large"
+            or shard_dir is not None
+            or max_rss is not None
+        ):
+            chunk = _LARGE_DEFAULT_CHUNK_EPOCHS
+        else:
+            return None, None, None
+    return chunk, shard_dir, max_rss
+
+
 def _study(args: argparse.Namespace) -> Study:
     factory = getattr(StudyConfig, args.scale)
     config = factory(seed=args.seed)
@@ -85,7 +129,43 @@ def _study(args: argparse.Namespace) -> Study:
             plan_path, len(plan), plan.policy.value,
         )
         config = replace(config, fault_plan=plan)
-    return Study(config)
+    chunk_epochs, shard_dir, max_rss_mb = _streaming_options(args)
+    if chunk_epochs is not None:
+        _LOG.info(
+            "streaming engine on: chunk_epochs=%d shard_dir=%s "
+            "max_rss_mb=%s (results identical to a monolithic run)",
+            chunk_epochs, shard_dir or "<temp>", max_rss_mb,
+        )
+    return Study(
+        config,
+        chunk_epochs=chunk_epochs,
+        shard_dir=shard_dir,
+        max_rss_mb=max_rss_mb,
+    )
+
+
+def _write_digest(study: Study, args: argparse.Namespace) -> None:
+    """Write per-DC result digests (the nightly parity job's artifact)."""
+    import hashlib
+
+    from repro.engine.digest import result_digest
+
+    per_dc = {
+        f"dc{result.fleet.config.dc_id}": result_digest(result)
+        for result in study.results
+    }
+    combined = hashlib.sha256(
+        "".join(per_dc[key] for key in sorted(per_dc)).encode()
+    ).hexdigest()
+    payload = {
+        "scale": args.scale,
+        "seed": args.seed,
+        "chunk_epochs": study.chunk_epochs,
+        "per_dc": per_dc,
+        "combined": combined,
+    }
+    Path(args.digest).write_text(json.dumps(payload, indent=2) + "\n")
+    _LOG.info("wrote result digest %s to %s", combined[:12], args.digest)
 
 
 # -- telemetry lifecycle -----------------------------------------------------
@@ -115,6 +195,7 @@ def _finish_telemetry(
             "workers": getattr(args, "workers", 1),
             "experiment": getattr(args, "experiment", None),
             "fault_plan": getattr(args, "fault_plan", None),
+            "chunk_epochs": getattr(args, "chunk_epochs", None),
             "version": __version__,
             "peak_rss_bytes": peak_rss_bytes(),
         }
@@ -139,9 +220,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     telemetry = _start_telemetry(args)
     results: List[ExperimentResult] = []
     failure: "Optional[tuple[str, BaseException]]" = None
+    study: Optional[Study] = None
     try:
         study = _study(args)
         study.build(workers=args.workers)
+        if getattr(args, "digest", None):
+            _write_digest(study, args)
         targets = (
             experiment_ids() if args.experiment == "all"
             else [args.experiment]
@@ -166,6 +250,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             Path(args.json).write_text(json.dumps(payload, indent=2))
             _LOG.info("wrote %d result(s) to %s", len(results), args.json)
     finally:
+        if study is not None:
+            study.cleanup()
         _finish_telemetry(telemetry, args)
     if failure is not None:
         experiment_id, error = failure
@@ -181,6 +267,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_export(args: argparse.Namespace) -> int:
     telemetry = _start_telemetry(args)
     written = 0
+    study: Optional[Study] = None
     try:
         study = _study(args)
         study.build(workers=args.workers)
@@ -210,6 +297,8 @@ def _cmd_export(args: argparse.Namespace) -> int:
                 len(result.metrics.storage),
             )
     finally:
+        if study is not None:
+            study.cleanup()
         _finish_telemetry(telemetry, args)
     return 0
 
@@ -227,6 +316,17 @@ def _format_labels(labels: dict) -> str:
     return ",".join(f"{k}={v}" for k, v in sorted(labels.items())) or "-"
 
 
+def _metric_list(metrics: dict, kind: str) -> list:
+    """A metric kind's series, or [] when absent / not a list.
+
+    The report path renders whatever it can from an artifact even when
+    validation would flag it; malformed kinds degrade to empty tables
+    instead of tracebacks.
+    """
+    entries = metrics.get(kind, [])
+    return entries if isinstance(entries, list) else []
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     payload = _load_telemetry_file(args.telemetry_file)
 
@@ -237,10 +337,19 @@ def _cmd_obs(args: argparse.Namespace) -> int:
                 _LOG.error("%s: %s", args.telemetry_file, problem)
             return 1
         metrics = payload.get("metrics", {})
-        series = sum(len(metrics.get(k, [])) for k in metrics)
+        # Count only list-valued series: a stray scalar under 'metrics'
+        # is already reported by validate_telemetry above, and a payload
+        # with zero spans / missing kinds must not crash the summary
+        # (regression: this used to call len() on non-list values).
+        series = sum(
+            len(entries)
+            for entries in metrics.values()
+            if isinstance(entries, list)
+        )
+        spans = payload.get("spans") or []
         print(
             f"ok: schema_version {payload.get('schema_version')}, "
-            f"{series} metric series, {len(payload.get('spans', []))} spans"
+            f"{series} metric series, {len(spans)} spans"
         )
         return 0
 
@@ -269,7 +378,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             print(f"peak rss: {rss / 2**20:.1f} MiB")
         print()
 
-    stages = stage_summary(payload.get("spans", []))
+    stages = stage_summary(payload.get("spans") or [])
     if stages:
         table = ExperimentResult(
             experiment_id="obs",
@@ -285,8 +394,13 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         print()
 
     metrics = payload.get("metrics", {})
-    counters = metrics.get("counters", [])
-    gauges = [g for g in metrics.get("gauges", []) if g["value"] is not None]
+    if not isinstance(metrics, dict):
+        metrics = {}
+    counters = _metric_list(metrics, "counters")
+    gauges = [
+        g for g in _metric_list(metrics, "gauges")
+        if g.get("value") is not None
+    ]
     if counters or gauges:
         table = ExperimentResult(
             experiment_id="obs",
@@ -303,7 +417,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         print(table.render())
         print()
 
-    histograms = metrics.get("histograms", [])
+    histograms = _metric_list(metrics, "histograms")
     if histograms:
         table = ExperimentResult(
             experiment_id="obs",
@@ -328,6 +442,39 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 
 
 # -- parser ------------------------------------------------------------------
+
+
+def _add_streaming_flags(command: argparse.ArgumentParser) -> None:
+    """Out-of-core execution flags shared by ``run`` and ``export-dataset``."""
+    command.add_argument(
+        "--chunk-epochs",
+        type=int,
+        default=None,
+        metavar="K",
+        dest="chunk_epochs",
+        help="stream the simulation in time shards of K epochs "
+        "(1 epoch = 60 simulated seconds); results are byte-identical "
+        "to a monolithic run for any K.  0 forces the monolithic path; "
+        f"--scale large defaults to {_LARGE_DEFAULT_CHUNK_EPOCHS}",
+    )
+    command.add_argument(
+        "--max-rss-mb",
+        type=int,
+        default=None,
+        metavar="MB",
+        dest="max_rss_mb",
+        help="advisory memory ceiling for the streaming engine: VD "
+        "batches are sized so one batch of series stays well inside it "
+        "(implies streaming; never changes results)",
+    )
+    command.add_argument(
+        "--shard-dir",
+        metavar="DIR",
+        default=None,
+        dest="shard_dir",
+        help="directory for the on-disk shard store (implies streaming; "
+        "default: a per-run temp dir, purged after the run)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -382,6 +529,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject a deterministic fault schedule (JSON, see "
         "docs/fault-injection.md) into every simulated DC",
     )
+    _add_streaming_flags(run)
+    run.add_argument(
+        "--digest",
+        metavar="FILE",
+        default=None,
+        help="write per-DC SHA-256 result digests as JSON; two runs with "
+        "the same seed must produce identical digests regardless of "
+        "--chunk-epochs/--workers (the nightly parity job diffs these)",
+    )
 
     export = sub.add_parser(
         "export-dataset", help="simulate and write the datasets to disk"
@@ -408,6 +564,7 @@ def build_parser() -> argparse.ArgumentParser:
         dest="fault_plan",
         help="inject a deterministic fault schedule into the exported build",
     )
+    _add_streaming_flags(export)
 
     obs = sub.add_parser(
         "obs", help="inspect, export, or validate a telemetry artifact"

@@ -386,22 +386,35 @@ class EBSSimulator:
                 )
             compute_table = ComputeMetricTable(**cbuf.concatenated())
             storage_table = StorageMetricTable(**sbuf.concatenated())
-        if telemetry.enabled:
-            path = "fast" if fast else "reference"
-            telemetry.counter("sim.pass1.runs", dc=dc, path=path).inc()
-            telemetry.counter(
-                "sim.pass1.rows", dc=dc, table="compute"
-            ).inc(len(compute_table))
-            telemetry.counter(
-                "sim.pass1.rows", dc=dc, table="storage"
-            ).inc(len(storage_table))
-            telemetry.gauge("sim.pass1.wt_grid_cells", dc=dc).set_max(
-                int(wt_load.size)
-            )
-            telemetry.gauge("sim.pass1.bs_grid_cells", dc=dc).set_max(
-                int(bs_load.size)
-            )
+        self._record_pass1_telemetry(
+            wt_load, bs_load, compute_table, storage_table, fast=fast
+        )
         return wt_load, bs_load, compute_table, storage_table
+
+    def _record_pass1_telemetry(
+        self, wt_load, bs_load, compute_table, storage_table, fast: bool
+    ) -> None:
+        """Pass-1 counters/gauges; the streaming engine calls this once
+        after merging its shards so metric parity with the monolithic run
+        holds for any ``--chunk-epochs`` choice."""
+        telemetry = get_telemetry()
+        if not telemetry.enabled:
+            return
+        dc = self.fleet.config.dc_id
+        path = "fast" if fast else "reference"
+        telemetry.counter("sim.pass1.runs", dc=dc, path=path).inc()
+        telemetry.counter(
+            "sim.pass1.rows", dc=dc, table="compute"
+        ).inc(len(compute_table))
+        telemetry.counter(
+            "sim.pass1.rows", dc=dc, table="storage"
+        ).inc(len(storage_table))
+        telemetry.gauge("sim.pass1.wt_grid_cells", dc=dc).set_max(
+            int(wt_load.size)
+        )
+        telemetry.gauge("sim.pass1.bs_grid_cells", dc=dc).set_max(
+            int(bs_load.size)
+        )
 
     def _pass1_reference(
         self,
@@ -552,12 +565,25 @@ class EBSSimulator:
 
     def _pass1_fast(
         self,
-        traffic: List[VdTraffic],
+        traffic: "Optional[List[VdTraffic]]",
         qp_to_wt: np.ndarray,
         seg_to_bs: np.ndarray,
         adjusted: "Optional[FaultAdjustedInputs]" = None,
+        stacked: "Optional[tuple]" = None,
+        t0: int = 0,
     ) -> "tuple[np.ndarray, np.ndarray, _ColumnBuffer, _ColumnBuffer]":
         """Vectorized pass 1 over stacked (entity, second) matrices.
+
+        The streaming engine (:mod:`repro.engine`) reuses this pass on a
+        bounded **time window**: ``stacked`` supplies precomputed
+        ``(read_b, write_b, read_i, write_i, qp_rw, qp_ww, seg_rw,
+        seg_ww)`` matrices covering seconds ``[t0, t0 + L)`` (or
+        ``adjusted`` supplies window-sliced fault matrices), and ``t0``
+        offsets the emitted row timestamps back into run coordinates.
+        Every per-cell value is elementwise in time, so a window's
+        outputs are bitwise equal to the same columns of a full-horizon
+        pass; with ``t0 == 0`` and ``stacked is None`` this is exactly
+        the monolithic pass.
 
         Entities are processed in global id order in bounded-size chunks;
         within a chunk every per-second value is computed with the exact
@@ -576,7 +602,6 @@ class EBSSimulator:
         """
         fleet = self.fleet
         cfg = self.config
-        t = cfg.duration_seconds
         dc = fleet.config.dc_id
         bs_per_node = fleet.config.block_servers_per_node
         min_bytes = cfg.min_record_bytes
@@ -584,8 +609,19 @@ class EBSSimulator:
         ent = self._entity_arrays()
 
         if adjusted is None:
-            read_b, write_b, read_i, write_i = self._stacked_series(traffic, t)
-            qp_rw, qp_ww, seg_rw, seg_ww = self._stacked_weights(traffic)
+            if stacked is not None:
+                (
+                    read_b, write_b, read_i, write_i,
+                    qp_rw, qp_ww, seg_rw, seg_ww,
+                ) = stacked
+            else:
+                read_b, write_b, read_i, write_i = self._stacked_series(
+                    traffic, cfg.duration_seconds
+                )
+                qp_rw, qp_ww, seg_rw, seg_ww = self._stacked_weights(traffic)
+            t = int(read_b.shape[1])
+        else:
+            t = int(adjusted.epoch_index.size)
         ep_idx = adjusted.epoch_index if adjusted is not None else None
 
         wt_load = np.zeros((fleet.num_wts, t))
@@ -650,7 +686,7 @@ class EBSSimulator:
             g = e + start  # global qp ids
             # rb[mask] scans in C order, exactly the (e, ts) row order.
             compute_buf.append(
-                timestamp=ts,
+                timestamp=ts + t0 if t0 else ts,
                 cluster_id=np.full(g.size, dc),
                 compute_node_id=ent.qp_node[g],
                 user_id=ent.qp_user[g],
@@ -712,7 +748,7 @@ class EBSSimulator:
                 bs_rows = adjusted.seg_bs_ep[g, ep_idx[ts]]
                 node_rows = bs_rows // bs_per_node
             storage_buf.append(
-                timestamp=ts,
+                timestamp=ts + t0 if t0 else ts,
                 cluster_id=np.full(g.size, dc),
                 storage_node_id=node_rows,
                 block_server_id=bs_rows,
@@ -770,27 +806,9 @@ class EBSSimulator:
             vm_specs=[fleet.vm_spec(vm.vm_id) for vm in fleet.vms],
         )
 
-        faults: Optional[FaultOutcome] = None
-        if self._timeline is not None:
-            with telemetry.span(
-                "sim.faults.replay", dc=dc, events=len(self._timeline.events)
-            ):
-                self._replay_failures(hypervisors, storage)
-            faults = FaultOutcome(
-                plan=self._timeline.plan,
-                accounting=(
-                    adjusted.accounting
-                    if adjusted is not None
-                    else FaultAccounting()
-                ),
-                trace_stats=(
-                    trace_fault_stats
-                    if trace_fault_stats is not None
-                    else empty_trace_stats()
-                ),
-                windows=compute_window_stats(self._timeline.plan, traces),
-            )
-            self._record_fault_telemetry(telemetry, faults)
+        faults = self._finalize_faults(
+            hypervisors, storage, adjusted, traces, trace_fault_stats
+        )
 
         return SimulationResult(
             fleet=fleet,
@@ -805,6 +823,44 @@ class EBSSimulator:
             bs_load_bps=bs_load,
             faults=faults,
         )
+
+    def _finalize_faults(
+        self,
+        hypervisors: HypervisorSet,
+        storage: StorageCluster,
+        adjusted: "Optional[FaultAdjustedInputs]",
+        traces: TraceDataset,
+        trace_fault_stats: "Optional[Dict[str, int]]",
+    ) -> "Optional[FaultOutcome]":
+        """Replay crash windows onto the stateful objects and attribute
+        failures; None for fault-free runs.  Shared by :meth:`run` and the
+        streaming engine so both produce identical :class:`FaultOutcome`s.
+        """
+        if self._timeline is None:
+            return None
+        telemetry = get_telemetry()
+        with telemetry.span(
+            "sim.faults.replay",
+            dc=self.fleet.config.dc_id,
+            events=len(self._timeline.events),
+        ):
+            self._replay_failures(hypervisors, storage)
+        faults = FaultOutcome(
+            plan=self._timeline.plan,
+            accounting=(
+                adjusted.accounting
+                if adjusted is not None
+                else FaultAccounting()
+            ),
+            trace_stats=(
+                trace_fault_stats
+                if trace_fault_stats is not None
+                else empty_trace_stats()
+            ),
+            windows=compute_window_stats(self._timeline.plan, traces),
+        )
+        self._record_fault_telemetry(telemetry, faults)
+        return faults
 
     def _replay_failures(
         self, hypervisors: HypervisorSet, storage: StorageCluster
@@ -1106,6 +1162,21 @@ class EBSSimulator:
                 columns for chunk, _ in chunk_results for columns in chunk
             )
 
+        return self._collect_trace_columns(columns_in_order)
+
+    def _collect_trace_columns(
+        self, columns_in_order
+    ) -> "tuple[TraceDataset, Optional[Dict[str, int]]]":
+        """Assemble per-VD trace columns (in fleet VD order) into a dataset.
+
+        Assigns the global ``trace_id`` sequence, folds per-VD fault stats,
+        and records the sampled-trace counter.  Shared by the monolithic
+        pass 2 and the streaming engine's batch-wise pass 2 — both feed
+        VD columns in fleet order, so the dataset is identical however
+        the VDs were partitioned.
+        """
+        cfg = self.config
+        telemetry = get_telemetry()
         buffer = _ColumnBuffer(
             TraceDataset.INT_FIELDS, TraceDataset.FLOAT_FIELDS
         )

@@ -65,11 +65,44 @@ class Study:
     like the paper analyzing one collected dataset many ways.
     """
 
-    def __init__(self, config: Optional[StudyConfig] = None):
+    def __init__(
+        self,
+        config: Optional[StudyConfig] = None,
+        chunk_epochs: "Optional[int]" = None,
+        shard_dir: "Optional[str]" = None,
+        max_rss_mb: "Optional[int]" = None,
+    ):
         self.config = config if config is not None else StudyConfig()
         self.rngs = RngFactory(self.config.seed)
         self._results: List[SimulationResult] = []
         self._experiment_cache: Dict[str, ExperimentResult] = {}
+        if chunk_epochs is not None and chunk_epochs < 1:
+            raise ConfigError(
+                f"chunk_epochs must be >= 1, got {chunk_epochs}"
+            )
+        #: ``None`` = monolithic build; an int streams each DC's
+        #: simulation out-of-core in shards of that many epochs
+        #: (byte-identical results; see :mod:`repro.engine`).
+        self.chunk_epochs = chunk_epochs
+        self.shard_dir = shard_dir
+        self.max_rss_mb = max_rss_mb
+        self._engines: List[object] = []
+
+    @property
+    def streamed(self) -> bool:
+        """Whether builds run through the streaming engine."""
+        return self.chunk_epochs is not None
+
+    def cleanup(self) -> None:
+        """Purge temp shard stores created by streamed builds.
+
+        Call after the last experiment has consumed ``results`` — the
+        streamed ``result.traffic`` views read lazily from the stores.
+        Stores under an explicit ``shard_dir`` are kept.
+        """
+        for engine in self._engines:
+            engine.cleanup()  # type: ignore[attr-defined]
+        self._engines = []
 
     @property
     def built(self) -> bool:
@@ -108,7 +141,34 @@ class Study:
         with telemetry.span(
             "study.build", workers=workers, dcs=len(dcs)
         ) as span:
-            if workers > 1 and len(dcs) > 1:
+            if self.streamed:
+                # Out-of-core path: DCs stream sequentially (one bounded
+                # working set at a time); ``workers`` fans out the
+                # per-batch pass 2 inside each DC instead.
+                from repro.engine import StreamingSimulator
+
+                for dc_config in dcs:
+                    fleet = build_fleet(dc_config, self.rngs)
+                    simulator = EBSSimulator(
+                        fleet,
+                        sim_config,
+                        self.rngs,
+                        fault_plan=self._fault_plan_for(dc_config.dc_id),
+                    )
+                    dc_dir = (
+                        None
+                        if self.shard_dir is None
+                        else f"{self.shard_dir}/dc{dc_config.dc_id:02d}"
+                    )
+                    engine = StreamingSimulator(
+                        simulator,
+                        chunk_epochs=self.chunk_epochs,
+                        shard_dir=dc_dir,
+                        max_rss_mb=self.max_rss_mb,
+                    )
+                    self._engines.append(engine)
+                    self._results.append(engine.run(workers=workers))
+            elif workers > 1 and len(dcs) > 1:
                 payloads = [
                     (
                         dc,

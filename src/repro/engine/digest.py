@@ -1,0 +1,73 @@
+"""Canonical result digests: the streaming determinism contract's yardstick.
+
+``result_digest`` hashes every trace column, both metric tables'
+columns, and both load grids of a :class:`SimulationResult` — dtypes
+included, since ``tobytes`` covers the raw buffer.  A streamed run is
+correct iff its digest equals the monolithic run's for the same seed,
+which is exactly what the parity tests and the nightly CI job assert.
+
+``snapshot_digest`` does the same for a telemetry snapshot's *metrics*
+section (counters / gauges / histograms).  Spans are excluded on
+purpose: their wall-clock durations differ between runs by nature, and
+the streaming engine opens differently-shaped spans; the determinism
+contract covers measured values, not measured time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict
+
+import numpy as np
+
+#: Metric namespaces covered by the streaming telemetry-parity contract.
+#: Engine-internal bookkeeping lives under ``engine.*`` and is allowed
+#: to differ from a monolithic run.
+PARITY_METRIC_PREFIXES = ("sim.", "workload.")
+
+
+def result_digest(result) -> str:
+    """SHA-256 over a result's traces, metric tables, and load grids."""
+    h = hashlib.sha256()
+    for name in sorted(result.traces.columns()):
+        h.update(name.encode())
+        h.update(
+            np.ascontiguousarray(result.traces.columns()[name]).tobytes()
+        )
+    for table in (result.metrics.compute, result.metrics.storage):
+        for name in sorted(table.columns()):
+            h.update(name.encode())
+            h.update(np.ascontiguousarray(table.columns()[name]).tobytes())
+    h.update(np.ascontiguousarray(result.wt_load_bps).tobytes())
+    h.update(np.ascontiguousarray(result.bs_load_bps).tobytes())
+    return h.hexdigest()
+
+
+def parity_metrics(snapshot: dict) -> Dict[str, list]:
+    """The metric series a streamed run must reproduce exactly.
+
+    Filters a telemetry snapshot's metrics down to the contract
+    namespaces (:data:`PARITY_METRIC_PREFIXES`) and to list-valued
+    kinds, dropping spans and any engine-internal series.
+    """
+    out: Dict[str, list] = {}
+    for kind, series in (snapshot.get("metrics") or {}).items():
+        if not isinstance(series, list):
+            continue
+        kept = [
+            entry
+            for entry in series
+            if str(entry.get("name", "")).startswith(PARITY_METRIC_PREFIXES)
+        ]
+        if kept:
+            out[kind] = sorted(
+                kept, key=lambda e: json.dumps(e, sort_keys=True)
+            )
+    return out
+
+
+def snapshot_digest(snapshot: dict) -> str:
+    """SHA-256 over the contract metrics of a telemetry snapshot."""
+    payload = json.dumps(parity_metrics(snapshot), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()

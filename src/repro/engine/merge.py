@@ -1,0 +1,136 @@
+"""Deterministic tree-merge of per-shard pass-1 outputs.
+
+Each time shard yields a :class:`ShardPart`: two load-grid windows and
+the raw metric-table columns for seconds ``[t0, t1)``.  Adjacent parts
+are combined pairwise up a binary tree — grids concatenate along time
+(windows are disjoint and contiguous), column chunks concatenate
+row-wise — and one canonical sort at the root recovers the exact row
+permutation of the monolithic pass.
+
+Why this is byte-identical: the vectorized pass emits metric rows
+strictly ordered by ``(entity_id, timestamp)`` with unique key pairs
+(the compute table is keyed by ``qp_id``, the storage table by
+``segment_id``), and every per-cell grid value is elementwise in time.
+So ``np.lexsort((timestamp, entity))`` over the union of shard rows is
+not merely *a* deterministic order — it is *the* monolithic order, and
+``np.hstack`` of disjoint grid windows is *the* monolithic grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from repro.trace.dataset import ComputeMetricTable, StorageMetricTable
+from repro.util.errors import ConfigError
+
+T = TypeVar("T")
+
+#: Sort key column per table: the entity axis the monolithic fast path
+#: iterates over in ascending global-id order.
+COMPUTE_ENTITY_FIELD = "qp_id"
+STORAGE_ENTITY_FIELD = "segment_id"
+
+
+@dataclass
+class ShardPart:
+    """One time shard's pass-1 output, in window coordinates.
+
+    ``compute_cols`` / ``storage_cols`` hold full-run timestamps already
+    (the windowed pass offsets them by ``t0`` at append time); the grids
+    cover only ``[t0, t1)`` columns.
+    """
+
+    t0: int
+    t1: int
+    wt_load: np.ndarray
+    bs_load: np.ndarray
+    compute_cols: Dict[str, np.ndarray]
+    storage_cols: Dict[str, np.ndarray]
+
+
+def tree_reduce(items: Sequence[T], combine: Callable[[T, T], T]) -> T:
+    """Reduce ``items`` pairwise up a binary tree, preserving order.
+
+    ``((a+b) + (c+d))`` instead of ``(((a+b)+c)+d)``: the shape lets a
+    parallel driver merge results as siblings complete while staying
+    reproducible, because adjacent pairing is a function of the index
+    only.  Requires ``combine`` to be associative over ordered,
+    adjacent operands (true for disjoint-window concatenation).
+    """
+    parts = list(items)
+    if not parts:
+        raise ConfigError("tree_reduce needs at least one item")
+    while len(parts) > 1:
+        nxt: List[T] = []
+        for i in range(0, len(parts) - 1, 2):
+            nxt.append(combine(parts[i], parts[i + 1]))
+        if len(parts) % 2:
+            nxt.append(parts[-1])
+        parts = nxt
+    return parts[0]
+
+
+def _concat_columns(
+    a: Dict[str, np.ndarray], b: Dict[str, np.ndarray]
+) -> Dict[str, np.ndarray]:
+    out: Dict[str, np.ndarray] = {}
+    for name in a:
+        left, right = a[name], b[name]
+        if not right.size:
+            out[name] = left
+        elif not left.size:
+            out[name] = right
+        else:
+            out[name] = np.concatenate([left, right])
+    return out
+
+
+def _combine_adjacent(a: ShardPart, b: ShardPart) -> ShardPart:
+    if a.t1 != b.t0:
+        raise ConfigError(
+            f"shard windows not adjacent: [{a.t0},{a.t1}) + [{b.t0},{b.t1})"
+        )
+    return ShardPart(
+        t0=a.t0,
+        t1=b.t1,
+        wt_load=np.hstack([a.wt_load, b.wt_load]),
+        bs_load=np.hstack([a.bs_load, b.bs_load]),
+        compute_cols=_concat_columns(a.compute_cols, b.compute_cols),
+        storage_cols=_concat_columns(a.storage_cols, b.storage_cols),
+    )
+
+
+def canonical_order(cols: Dict[str, np.ndarray], entity_field: str) -> None:
+    """Permute ``cols`` in place into monolithic row order.
+
+    Primary key ascending entity id, secondary ascending timestamp —
+    exactly the order the single-shot vectorized pass emits (entities in
+    ascending global-id chunks; within an entity, ``np.nonzero`` scans
+    seconds ascending).  Key pairs are unique, so the permutation is
+    total and independent of the pre-sort shard order.
+    """
+    if not cols["timestamp"].size:
+        return
+    perm = np.lexsort((cols["timestamp"], cols[entity_field]))
+    for name, column in cols.items():
+        cols[name] = column[perm]
+
+
+def merge_shard_parts(
+    parts: Sequence[ShardPart],
+) -> Tuple[np.ndarray, np.ndarray, ComputeMetricTable, StorageMetricTable]:
+    """Tree-merge shard parts into full-run grids and metric tables.
+
+    ``parts`` must be in ascending shard (time-window) order and cover
+    the run contiguously; the result is bitwise equal to running pass 1
+    once over the whole horizon.
+    """
+    merged = tree_reduce(parts, _combine_adjacent)
+    canonical_order(merged.compute_cols, COMPUTE_ENTITY_FIELD)
+    canonical_order(merged.storage_cols, STORAGE_ENTITY_FIELD)
+    compute_table = ComputeMetricTable(**merged.compute_cols)
+    storage_table = StorageMetricTable(**merged.storage_cols)
+    return merged.wt_load, merged.bs_load, compute_table, storage_table

@@ -1,0 +1,262 @@
+"""The on-disk shard store behind out-of-core execution.
+
+Layout of one store directory::
+
+    manifest.json                 # schema, plan geometry, vd ids
+    series_s0003_b0001.npz        # 5 x (batch_vds, shard_len) float64
+    static_b0001.pkl              # per-VD weights / LBA model / sizes
+    weights.npz                   # stacked per-entity weight vectors
+
+Series are written as raw float64 ``np.savez`` blocks, so a reloaded
+slice is bitwise equal to the generated one; the per-VD static payload
+(weight vectors, the :class:`HotspotLbaModel` with its draw-time state,
+mean IO sizes) is pickled once, at the same lifecycle point the
+monolithic run reaches pass 2 with — which is what makes a reloaded
+:class:`VdTraffic` indistinguishable from the original.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.plan import StreamPlan
+from repro.util.errors import ConfigError
+from repro.workload.generator import VdTraffic
+
+SHARD_SCHEMA_VERSION = 1
+
+_SERIES_FIELDS = (
+    "read_bytes", "write_bytes", "read_iops", "write_iops",
+    "hot_fraction_series",
+)
+_STATIC_FIELDS = (
+    "vd_id", "qp_read_weights", "qp_write_weights",
+    "segment_read_weights", "segment_write_weights",
+    "lba_model", "mean_read_size_bytes", "mean_write_size_bytes",
+)
+
+
+class ShardStore:
+    """Columnar spill/reload of per-VD traffic, cut by (shard, batch)."""
+
+    def __init__(self, directory: "str | Path", plan: StreamPlan):
+        self.directory = Path(directory)
+        self.plan = plan
+
+    # -- paths ---------------------------------------------------------------
+
+    def _series_path(self, shard: int, batch: int) -> Path:
+        return self.directory / f"series_s{shard:04d}_b{batch:04d}.npz"
+
+    def _static_path(self, batch: int) -> Path:
+        return self.directory / f"static_b{batch:04d}.pkl"
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / "manifest.json"
+
+    @property
+    def weights_path(self) -> Path:
+        return self.directory / "weights.npz"
+
+    # -- writing -------------------------------------------------------------
+
+    def spill_batch(self, batch: int, traffic: List[VdTraffic]) -> None:
+        """Write one VD batch: time-sliced series + the static payload."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        v0, v1 = self.plan.batch_bounds(batch)
+        if len(traffic) != v1 - v0:
+            raise ConfigError(
+                f"batch {batch} expects {v1 - v0} VDs, got {len(traffic)}"
+            )
+        for shard in range(self.plan.num_shards):
+            t0, t1 = self.plan.shard_bounds(shard)
+            arrays = {
+                field: np.stack(
+                    [getattr(tr, field)[t0:t1] for tr in traffic]
+                )
+                for field in _SERIES_FIELDS
+            }
+            with open(self._series_path(shard, batch), "wb") as fh:
+                np.savez(fh, **arrays)
+        static = [
+            {field: getattr(tr, field) for field in _STATIC_FIELDS}
+            for tr in traffic
+        ]
+        with open(self._static_path(batch), "wb") as fh:
+            pickle.dump(static, fh, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def finalize(
+        self,
+        stacked_weights: Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    ) -> None:
+        """Write the per-entity weight vectors and the manifest."""
+        qp_rw, qp_ww, seg_rw, seg_ww = stacked_weights
+        with open(self.weights_path, "wb") as fh:
+            np.savez(
+                fh, qp_rw=qp_rw, qp_ww=qp_ww, seg_rw=seg_rw, seg_ww=seg_ww
+            )
+        plan = self.plan
+        self.manifest_path.write_text(json.dumps({
+            "schema_version": SHARD_SCHEMA_VERSION,
+            "duration_seconds": plan.duration_seconds,
+            "epoch_seconds": plan.epoch_seconds,
+            "chunk_epochs": plan.chunk_epochs,
+            "num_vds": plan.num_vds,
+            "vd_batch_size": plan.vd_batch_size,
+            "num_shards": plan.num_shards,
+            "num_batches": plan.num_batches,
+        }, indent=2) + "\n")
+
+    # -- reading -------------------------------------------------------------
+
+    @classmethod
+    def open(cls, directory: "str | Path") -> "ShardStore":
+        """Open a finalized store from its manifest (e.g. in a worker)."""
+        directory = Path(directory)
+        try:
+            manifest = json.loads((directory / "manifest.json").read_text())
+        except FileNotFoundError:
+            raise ConfigError(f"no shard store at {directory}")
+        if manifest.get("schema_version") != SHARD_SCHEMA_VERSION:
+            raise ConfigError(
+                f"shard store schema {manifest.get('schema_version')} "
+                f"!= supported {SHARD_SCHEMA_VERSION}"
+            )
+        plan = StreamPlan(
+            duration_seconds=manifest["duration_seconds"],
+            epoch_seconds=manifest["epoch_seconds"],
+            chunk_epochs=manifest["chunk_epochs"],
+            num_vds=manifest["num_vds"],
+            vd_batch_size=manifest["vd_batch_size"],
+        )
+        return cls(directory, plan)
+
+    def stacked_weights(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        with np.load(self.weights_path) as z:
+            return z["qp_rw"], z["qp_ww"], z["seg_rw"], z["seg_ww"]
+
+    def series_for_shard(
+        self, shard: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(read_b, write_b, read_i, write_i)`` as (num_vds, L) blocks.
+
+        Rows are in VD-id order (batches are contiguous fleet-order
+        ranges), so each matrix is bitwise equal to the corresponding
+        time slice of the monolithic stacked series.
+        """
+        parts = {field: [] for field in _SERIES_FIELDS[:4]}
+        for batch in range(self.plan.num_batches):
+            with np.load(self._series_path(shard, batch)) as z:
+                for field in parts:
+                    parts[field].append(z[field])
+        out = tuple(
+            np.vstack(parts[field]) for field in _SERIES_FIELDS[:4]
+        )
+        return out  # type: ignore[return-value]
+
+    def traffic_batch(self, batch: int) -> List[VdTraffic]:
+        """Reassemble one batch of full-duration :class:`VdTraffic`.
+
+        Time slices concatenate back to the exact original arrays and the
+        static payload unpickles to the exact spill-time object state, so
+        pass 2 draws the same streams it would have drawn monolithically.
+        """
+        with open(self._static_path(batch), "rb") as fh:
+            static = pickle.load(fh)
+        slices: Dict[str, List[np.ndarray]] = {
+            field: [] for field in _SERIES_FIELDS
+        }
+        for shard in range(self.plan.num_shards):
+            with np.load(self._series_path(shard, batch)) as z:
+                for field in slices:
+                    slices[field].append(z[field])
+        series = {
+            field: np.concatenate(slices[field], axis=1)
+            for field in slices
+        }
+        out: List[VdTraffic] = []
+        for row, payload in enumerate(static):
+            out.append(VdTraffic(
+                **payload,
+                **{field: series[field][row] for field in _SERIES_FIELDS},
+            ))
+        return out
+
+    def materialize(self) -> List[VdTraffic]:
+        """Every VD's traffic, in fleet order (defeats the memory bound)."""
+        out: List[VdTraffic] = []
+        for batch in range(self.plan.num_batches):
+            out.extend(self.traffic_batch(batch))
+        return out
+
+
+class StreamedTraffic:
+    """Lazy ``Sequence[VdTraffic]`` view over a :class:`ShardStore`.
+
+    Stands in for ``SimulationResult.traffic`` after a streamed run:
+    experiments iterate (or index) it like the materialized list, but only
+    a small window of batches is resident at a time.  Values are bitwise
+    equal to the monolithic list's, so any analysis downstream is
+    unchanged.
+    """
+
+    def __init__(self, store: ShardStore, cached_batches: int = 2):
+        self._store = store
+        self._cached_batches = max(1, int(cached_batches))
+        self._cache: "Dict[int, List[VdTraffic]]" = {}
+        self._lru: List[int] = []
+
+    def __len__(self) -> int:
+        return self._store.plan.num_vds
+
+    def _batch(self, batch: int) -> List[VdTraffic]:
+        if batch in self._cache:
+            self._lru.remove(batch)
+            self._lru.append(batch)
+            return self._cache[batch]
+        loaded = self._store.traffic_batch(batch)
+        self._cache[batch] = loaded
+        self._lru.append(batch)
+        while len(self._lru) > self._cached_batches:
+            evicted = self._lru.pop(0)
+            del self._cache[evicted]
+        return loaded
+
+    def __getitem__(self, index: int) -> VdTraffic:
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        batch, offset = divmod(index, self._store.plan.vd_batch_size)
+        return self._batch(batch)[offset]
+
+    def __iter__(self):
+        for batch in range(self._store.plan.num_batches):
+            yield from self._batch(batch)
+
+    def materialize(self) -> List[VdTraffic]:
+        return self._store.materialize()
+
+
+def purge_store(directory: "str | Path") -> None:
+    """Delete a store's files (used for --shard-dir temp cleanup)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return
+    for path in directory.iterdir():
+        if path.name == "manifest.json" or path.suffix in (".npz", ".pkl"):
+            path.unlink()
+    try:
+        directory.rmdir()
+    except OSError:
+        pass

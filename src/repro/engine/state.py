@@ -1,0 +1,104 @@
+"""Carry-over state threading across shard boundaries.
+
+Bounded-memory execution cuts a run into time shards, which forces
+every stateful component to expose explicit save/restore:
+
+* token buckets carry ``(tokens, backlog)``
+  (:class:`repro.throttle.tokenbucket.TokenBucketState`),
+* caches carry residency + recency + stats
+  (:meth:`repro.cache.base.Cache.state_dict`),
+* fault timelines carry their drain-queue memo tables and an epoch
+  cursor (:meth:`repro.faults.timeline.FaultTimeline.save_state`).
+
+The drivers here run a component chunk by chunk, checkpointing at
+every cut and **proving the checkpoint** by restoring it into the live
+object before the next chunk.  Their outputs are bitwise equal to the
+unchunked call for any cut placement — the property the
+``tests/engine`` carry-over suite hammers on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cache.base import Cache
+from repro.cache.fastreplay import replay_pages_resumable
+from repro.throttle.tokenbucket import ShapedTraffic, TokenBucket
+from repro.util.errors import ConfigError
+
+
+def cut_series(series: np.ndarray, cuts: Sequence[int]) -> List[np.ndarray]:
+    """Split a 1-D series at ``cuts`` (strictly increasing interior cuts)."""
+    series = np.asarray(series)
+    if series.ndim != 1:
+        raise ConfigError("series must be 1-D")
+    previous = 0
+    for cut in cuts:
+        if not previous < cut < series.size:
+            raise ConfigError(
+                f"cuts must be strictly increasing interior points, "
+                f"got {list(cuts)} for length {series.size}"
+            )
+        previous = cut
+    return np.split(series, list(cuts))
+
+
+def shape_streamed(
+    bucket: TokenBucket, chunks: Iterable[np.ndarray]
+) -> ShapedTraffic:
+    """Shape an offered series chunk by chunk through one bucket.
+
+    The first chunk starts fresh (exactly like :meth:`TokenBucket.shape`
+    on the whole series); each boundary saves the bucket state, restores
+    it, and continues with ``fresh=False``.  The concatenated result is
+    bitwise equal to the monolithic call: the per-second recurrence only
+    depends on ``(tokens, backlog)``, which round-trip verbatim.
+    """
+    delivered: List[np.ndarray] = []
+    backlog: List[np.ndarray] = []
+    throttled: List[np.ndarray] = []
+    first = True
+    for chunk in chunks:
+        if not first:
+            # Checkpoint/restore at the cut: proves the saved state is
+            # sufficient to resume (a worker handoff would do exactly
+            # this across processes).
+            bucket.restore_state(bucket.save_state())
+        shaped = bucket.shape(np.asarray(chunk), fresh=first)
+        first = False
+        delivered.append(shaped.delivered)
+        backlog.append(shaped.backlog)
+        throttled.append(shaped.throttled)
+    if first:
+        raise ConfigError("shape_streamed needs at least one chunk")
+    return ShapedTraffic(
+        delivered=np.concatenate(delivered),
+        backlog=np.concatenate(backlog),
+        throttled=np.concatenate(throttled),
+    )
+
+
+def replay_pages_streamed(
+    cache: Cache, chunks: Iterable[np.ndarray]
+) -> Tuple[int, int]:
+    """Replay page chunks through a live cache with boundary checkpoints.
+
+    Returns ``(hits, accesses)``.  At every cut the cache is snapshotted
+    with :meth:`Cache.state_dict` and the snapshot is restored before
+    the next chunk, so the total equals the unchunked stateful replay
+    for any cut placement — residency, recency order, and stats
+    included.
+    """
+    hits = 0
+    accesses = 0
+    first = True
+    for chunk in chunks:
+        if not first:
+            cache.load_state_dict(cache.state_dict())
+        first = False
+        chunk = np.asarray(chunk, dtype=np.int64)
+        hits += replay_pages_resumable(cache, chunk)
+        accesses += int(chunk.size)
+    return hits, accesses

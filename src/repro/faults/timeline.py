@@ -291,6 +291,55 @@ class FaultTimeline:
                 drain[second] = nxt
         return drain
 
+    # -- carry-over state (streamed shard execution) --------------------------
+
+    def epoch_cursor(self, second: int) -> int:
+        """Epoch id active at ``second`` — the shard boundary cursor.
+
+        The streaming engine records this per shard so a resumed worker
+        re-enters the epoch grid at exactly the row a monolithic pass
+        would be reading.
+        """
+        if not 0 <= second < self.duration_seconds:
+            raise ConfigError(
+                f"second {second} outside horizon "
+                f"[0, {self.duration_seconds})"
+            )
+        return int(self.epoch_index[second])
+
+    def save_state(self) -> "Dict[str, Dict[int, np.ndarray]]":
+        """Snapshot the lazily-built drain-queue memo tables.
+
+        Drain vectors are pure functions of the compiled timeline, but
+        they are built on first use — a worker resuming mid-run would
+        otherwise pay the O(T) backward scans again.  The snapshot
+        copies each vector, so later memo growth can't alias it.
+        """
+        return {
+            "bs_drain": {k: v.copy() for k, v in self._bs_drain.items()},
+            "qp_drain": {k: v.copy() for k, v in self._qp_drain.items()},
+        }
+
+    def restore_state(self, state: "Dict[str, Dict[int, np.ndarray]]") -> None:
+        """Restore a :meth:`save_state` snapshot (exact round-trip)."""
+        for key in ("bs_drain", "qp_drain"):
+            if key not in state:
+                raise ConfigError(f"drain state missing {key!r}")
+            for vector in state[key].values():
+                if np.asarray(vector).shape != (self.duration_seconds,):
+                    raise ConfigError(
+                        f"{key} vector shape {np.asarray(vector).shape} != "
+                        f"({self.duration_seconds},)"
+                    )
+        self._bs_drain = {
+            int(k): np.asarray(v, dtype=np.int64).copy()
+            for k, v in state["bs_drain"].items()
+        }
+        self._qp_drain = {
+            int(k): np.asarray(v, dtype=np.int64).copy()
+            for k, v in state["qp_drain"].items()
+        }
+
     def failure_schedule(self) -> List["tuple[int, str, int, int]"]:
         """Chronological (second, action, kind_ordinal, target) bookkeeping.
 

@@ -87,7 +87,21 @@ _NULL_HISTOGRAM = _NullHistogram()
 
 
 def peak_rss_bytes() -> Optional[int]:
-    """Peak resident-set size of this process, or None if unavailable."""
+    """Peak resident-set size of this process, or None if unavailable.
+
+    Prefers ``/proc/self/status`` ``VmHWM`` where available: Linux's
+    ``ru_maxrss`` survives ``execve()``, so a process spawned from a
+    large parent would otherwise report the *parent's* high-water mark
+    (which broke the streamed-vs-monolithic RSS comparison when driven
+    from pytest).  ``VmHWM`` tracks the post-exec address space only.
+    """
+    try:
+        with open("/proc/self/status") as status:
+            for line in status:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024  # value is in kB
+    except (OSError, ValueError, IndexError):  # pragma: no cover
+        pass
     try:
         import resource
     except ImportError:  # pragma: no cover - non-POSIX platforms

@@ -12,6 +12,10 @@ from typing import Any, Dict, List
 from repro.obs.runtime import TELEMETRY_SCHEMA_VERSION
 
 _METRIC_KINDS = ("counters", "gauges", "histograms")
+#: Public alias: the list-valued series kinds a ``metrics`` object may
+#: carry.  Consumers (the CLI report, the parity digest) iterate these
+#: instead of every key, so a stray scalar can never crash them.
+METRIC_KINDS = _METRIC_KINDS
 
 
 def _check_entry(kind: str, index: int, entry: Any, errors: List[str]) -> None:
@@ -89,6 +93,15 @@ def validate_telemetry(payload: Any) -> List[str]:
                 continue
             for index, entry in enumerate(entries):
                 _check_entry(kind, index, entry, errors)
+        # Unknown keys must still be list-valued series: a scalar here
+        # used to pass validation and then crash the CLI report path
+        # (regression: ``{"metrics": {"total": 7}}``).
+        for kind, entries in metrics.items():
+            if kind not in _METRIC_KINDS and not isinstance(entries, list):
+                errors.append(
+                    f"metrics.{kind}: unknown metric kind must be a list, "
+                    f"got {type(entries).__name__}"
+                )
     spans = payload.get("spans")
     if spans is None:
         errors.append("missing 'spans' list")

@@ -237,6 +237,32 @@ class WorkloadGenerator:
         self._cache[vd_id] = traffic
         return traffic
 
+    def iter_batches(self, batch_size: int):
+        """Yield ``(start_index, [VdTraffic, ...])`` batches in fleet order,
+        releasing each batch's series from the cache before the next one.
+
+        The out-of-core engine spills every yielded batch to its shard
+        store, so nothing keeps a reference and peak residency stays at
+        one batch of full-duration series.  Every draw comes from the
+        same label-keyed streams :meth:`generate_vd` uses, so batched
+        generation is bit-identical to :meth:`generate_all` for any
+        ``batch_size``.
+        """
+        if batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
+        vds = self.fleet.vds
+        for start in range(0, len(vds), batch_size):
+            batch = [
+                self.generate_vd(vd.vd_id)
+                for vd in vds[start:start + batch_size]
+            ]
+            yield start, batch
+            # Drop the series (the caller has spilled them); keep the
+            # small per-VM split tuples so sibling VDs in later batches
+            # reuse them without recomputation.
+            for tr in batch:
+                self._cache.pop(tr.vd_id, None)
+
     def generate_all(self) -> List[VdTraffic]:
         """Traffic for every VD in the fleet (cached)."""
         telemetry = get_telemetry()

@@ -1,0 +1,214 @@
+"""Shard-boundary carry-over: save/restore must round-trip exactly.
+
+Property tests over the in-repo strategies: token-bucket levels, LRU /
+FIFO / frozen cache state, and fault drain queues are checkpointed at
+random cut points and must reproduce the uncut execution bit for bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.fifo import FifoCache
+from repro.cache.frozen import FrozenCache
+from repro.cache.lru import LruCache
+from repro.engine.state import (
+    cut_series,
+    replay_pages_streamed,
+    shape_streamed,
+)
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.faults.timeline import FaultTimeline
+from repro.throttle.tokenbucket import TokenBucket, TokenBucketState
+from repro.util.errors import ConfigError
+from repro.util.rng import RngFactory
+from repro.workload.fleet import FleetConfig, build_fleet
+from tests.strategies import (
+    bucket_configs,
+    cut_points,
+    offered_series,
+    page_streams,
+    rng_for,
+)
+
+N_EXAMPLES = 25
+
+
+class TestTokenBucketCarryOver:
+    @pytest.mark.parametrize("seed", range(N_EXAMPLES))
+    def test_chunked_shape_equals_monolithic(self, seed):
+        rng = rng_for(seed)
+        config = bucket_configs(rng)
+        offered = offered_series(rng)
+        cuts = cut_points(rng, offered.size)
+
+        whole = TokenBucket(config).shape(offered)
+        chunked = shape_streamed(
+            TokenBucket(config), cut_series(offered, cuts)
+        )
+        assert np.array_equal(whole.delivered, chunked.delivered)
+        assert np.array_equal(whole.backlog, chunked.backlog)
+        assert np.array_equal(whole.throttled, chunked.throttled)
+
+    @pytest.mark.parametrize("seed", range(N_EXAMPLES))
+    def test_state_round_trips_exactly(self, seed):
+        rng = rng_for(seed + 10_000)
+        config = bucket_configs(rng)
+        bucket = TokenBucket(config)
+        bucket.shape(offered_series(rng), fresh=True)
+        state = bucket.save_state()
+        other = TokenBucket(config)
+        other.restore_state(state)
+        assert other.tokens == bucket.tokens
+        assert other.backlog == bucket.backlog
+        # Identical continuations from the restored state.
+        follow = offered_series(rng)
+        a = bucket.shape(follow, fresh=False)
+        b = other.shape(follow, fresh=False)
+        assert np.array_equal(a.delivered, b.delivered)
+        assert np.array_equal(a.backlog, b.backlog)
+
+    def test_restore_validates(self):
+        from repro.throttle.tokenbucket import TokenBucketConfig
+
+        bucket = TokenBucket(
+            TokenBucketConfig(rate_per_second=10.0, burst_seconds=1.0)
+        )
+        with pytest.raises(ConfigError):
+            bucket.restore_state(TokenBucketState(tokens=-1.0, backlog=0.0))
+        with pytest.raises(ConfigError):
+            bucket.restore_state(TokenBucketState(tokens=99.0, backlog=0.0))
+
+    def test_shape_fresh_default_still_resets(self):
+        # The PR1 regression stays fixed: default shape() is stateless.
+        from repro.throttle.tokenbucket import TokenBucketConfig
+
+        bucket = TokenBucket(TokenBucketConfig(rate_per_second=5.0))
+        offered = np.array([50.0, 0.0, 0.0])
+        first = bucket.shape(offered)
+        second = bucket.shape(offered)
+        assert np.array_equal(first.delivered, second.delivered)
+        assert np.array_equal(first.backlog, second.backlog)
+
+
+def _caches_equal(a, b) -> bool:
+    if len(a) != len(b) or a.stats.hits != b.stats.hits:
+        return False
+    if a.stats.misses != b.stats.misses:
+        return False
+    pages_a, pages_b = a._page_state(), b._page_state()
+    return pages_a == pages_b
+
+
+class TestCacheCarryOver:
+    @pytest.mark.parametrize("policy", [LruCache, FifoCache])
+    @pytest.mark.parametrize("seed", range(N_EXAMPLES))
+    def test_chunked_replay_equals_monolithic(self, policy, seed):
+        rng = rng_for(seed + 20_000)
+        pages = page_streams(rng)
+        capacity = int(rng.integers(2, 48))
+        cuts = cut_points(rng, pages.size)
+
+        whole = policy(capacity)
+        whole_hits, _ = replay_pages_streamed(whole, [pages])
+        chunked = policy(capacity)
+        chunk_hits, accesses = replay_pages_streamed(
+            chunked, cut_series(pages, cuts)
+        )
+        assert chunk_hits == whole_hits
+        assert accesses == pages.size
+        assert _caches_equal(whole, chunked)
+
+    @pytest.mark.parametrize("seed", range(N_EXAMPLES))
+    def test_frozen_chunked_replay(self, seed):
+        rng = rng_for(seed + 30_000)
+        pages = page_streams(rng)
+        cache = FrozenCache(capacity_pages=16, start_page=4)
+        other = FrozenCache(capacity_pages=16, start_page=4)
+        cuts = cut_points(rng, pages.size)
+        whole_hits, _ = replay_pages_streamed(cache, [pages])
+        chunk_hits, _ = replay_pages_streamed(other, cut_series(pages, cuts))
+        assert whole_hits == chunk_hits
+        assert cache.stats.hits == other.stats.hits
+
+    @pytest.mark.parametrize("policy", [LruCache, FifoCache])
+    @pytest.mark.parametrize("seed", range(10))
+    def test_state_dict_round_trip_preserves_order(self, policy, seed):
+        rng = rng_for(seed + 40_000)
+        pages = page_streams(rng)
+        cache = policy(8)
+        replay_pages_streamed(cache, [pages])
+        fresh = policy(8)
+        fresh.load_state_dict(cache.state_dict())
+        assert _caches_equal(cache, fresh)
+        # The recency/admission order matters: one more access must
+        # evict the same victim in both.
+        probe = int(pages.max()) + 1_000
+        cache.access(probe)
+        fresh.access(probe)
+        assert _caches_equal(cache, fresh)
+
+    def test_state_dict_rejects_mismatches(self):
+        lru = LruCache(4)
+        with pytest.raises(ConfigError):
+            FifoCache(4).load_state_dict(lru.state_dict())
+        with pytest.raises(ConfigError):
+            LruCache(8).load_state_dict(lru.state_dict())
+        frozen = FrozenCache(capacity_pages=4, start_page=0)
+        state = frozen.state_dict()
+        state["pages"] = 9
+        with pytest.raises(ConfigError):
+            frozen.load_state_dict(state)
+
+
+class TestTimelineCarryOver:
+    @pytest.fixture(scope="class")
+    def timeline(self):
+        fleet = build_fleet(
+            FleetConfig(
+                dc_id=0, num_users=2, num_vms=4, num_compute_nodes=2,
+                num_storage_nodes=2,
+            ),
+            RngFactory(3),
+        )
+        plan = FaultPlan(events=(
+            FaultEvent(kind=FaultKind.BS_CRASH, target=0, start_s=5, end_s=15),
+            FaultEvent(kind=FaultKind.QP_STALL, target=1, start_s=8, end_s=20),
+        ))
+        return FaultTimeline(plan, fleet, duration_seconds=40)
+
+    def test_drain_queue_round_trip(self, timeline):
+        want_bs = timeline.bs_drain_seconds(0).copy()
+        want_qp = timeline.qp_drain_seconds(1).copy()
+        state = timeline.save_state()
+        # Clobber the memo, restore, and check exact vectors come back.
+        timeline._bs_drain.clear()
+        timeline._qp_drain.clear()
+        timeline.restore_state(state)
+        assert np.array_equal(timeline._bs_drain[0], want_bs)
+        assert np.array_equal(timeline._qp_drain[1], want_qp)
+        assert np.array_equal(timeline.bs_drain_seconds(0), want_bs)
+
+    def test_snapshot_is_isolated_from_memo_growth(self, timeline):
+        state = timeline.save_state()
+        before = {k: v.copy() for k, v in state["bs_drain"].items()}
+        timeline.bs_drain_seconds(1)  # grows the live memo
+        assert set(state["bs_drain"]) == set(before)
+
+    def test_epoch_cursor(self, timeline):
+        assert timeline.epoch_cursor(0) == 0
+        cursor = timeline.epoch_cursor(10)
+        assert 0 <= cursor < timeline.num_epochs
+        # Monotone in time.
+        cursors = [timeline.epoch_cursor(s) for s in range(40)]
+        assert cursors == sorted(cursors)
+        with pytest.raises(ConfigError):
+            timeline.epoch_cursor(40)
+
+    def test_restore_validates_shapes(self, timeline):
+        with pytest.raises(ConfigError):
+            timeline.restore_state({"bs_drain": {}})
+        with pytest.raises(ConfigError):
+            timeline.restore_state({
+                "bs_drain": {0: np.zeros(3, dtype=np.int64)},
+                "qp_drain": {},
+            })

@@ -1,0 +1,79 @@
+"""Peak-RSS: streamed runs must stay measurably under monolithic.
+
+``ru_maxrss`` never goes down within a process, so each mode runs in its
+own subprocess (``_rss_probe.py``) and reports its high-water mark on
+stdout.  The probe also prints a checksum of the load grids so this test
+doubles as a cheap cross-process parity check.
+
+The assertion keeps deliberate headroom: the streamed run must fit in a
+fraction of the monolithic footprint *and* save an absolute chunk, so
+interpreter-version noise in the baseline RSS cannot flip the verdict.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+PROBE = Path(__file__).with_name("_rss_probe.py")
+REPO = PROBE.parents[2]
+
+#: Streamed peak RSS must be below this fraction of the monolithic peak.
+MAX_FRACTION = 0.7
+#: ... and save at least this much in absolute terms.
+MIN_SAVING_BYTES = 64 * 1024 * 1024
+
+
+def _probe(mode: str) -> "tuple[int, str]":
+    env = {"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"}
+    proc = subprocess.run(
+        [sys.executable, str(PROBE), mode],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO),
+        timeout=600,
+        check=True,
+    )
+    rss_text, checksum = proc.stdout.split()
+    return int(rss_text), checksum
+
+
+def test_peak_rss_is_not_inherited_from_a_fat_parent():
+    """Regression: Linux ``ru_maxrss`` survives exec(), so a probe
+    spawned from a large pytest process used to report the *parent's*
+    peak (making mono == streamed).  ``peak_rss_bytes`` now prefers
+    ``VmHWM``, which is reset with the new address space."""
+    ballast = bytearray(256 * 1024 * 1024)  # fatten this process first
+    ballast[::4096] = b"x" * len(ballast[::4096])
+    code = (
+        "from repro.obs.runtime import peak_rss_bytes;"
+        "print(peak_rss_bytes())"
+    )
+    env = {"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"}
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, env=env, timeout=60, check=True,
+    ).stdout
+    child_peak = int(out)
+    assert 0 < child_peak < 128 * 1024 * 1024, (
+        f"bare interpreter reported {child_peak / 2**20:.0f} MiB peak — "
+        "looks inherited from the parent"
+    )
+    del ballast
+
+
+@pytest.mark.slow
+def test_streamed_peak_rss_is_bounded():
+    mono_rss, mono_sum = _probe("mono")
+    streamed_rss, streamed_sum = _probe("streamed")
+    assert streamed_sum == mono_sum  # same physics, different memory plan
+    assert streamed_rss < mono_rss * MAX_FRACTION, (
+        f"streamed peak RSS {streamed_rss / 2**20:.0f} MiB is not under "
+        f"{MAX_FRACTION:.0%} of monolithic {mono_rss / 2**20:.0f} MiB"
+    )
+    assert mono_rss - streamed_rss > MIN_SAVING_BYTES, (
+        f"streamed run saved only "
+        f"{(mono_rss - streamed_rss) / 2**20:.0f} MiB"
+    )

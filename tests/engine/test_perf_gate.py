@@ -1,0 +1,112 @@
+"""The perf-regression gate itself is under test.
+
+``benchmarks/perf_gate.py`` is plain stdlib Python on purpose so CI can
+run it before installing anything; these tests pin its contract: one
+sided, scale-matched, structural failures never pass, and the
+``--self-test`` mode genuinely catches a 2x slowdown.
+"""
+
+import copy
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:  # direct pytest invocation safety
+    sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.perf_gate import (  # noqa: E402
+    DEFAULT_BASELINE,
+    GATES,
+    compare,
+    main,
+)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return json.loads(DEFAULT_BASELINE.read_text())
+
+
+def _slow(baseline, factor, sections=None):
+    slowed = copy.deepcopy(baseline)
+    for gate in GATES:
+        if sections is not None and gate.section not in sections:
+            continue
+        slowed[gate.section][gate.metric] /= factor
+    return slowed
+
+
+class TestCompare:
+    def test_baseline_passes_itself(self, baseline):
+        failures, report = compare(baseline, baseline, 0.25)
+        assert failures == []
+        assert len(report) == len(GATES)
+
+    def test_2x_slowdown_fails_every_gate(self, baseline):
+        failures, _ = compare(baseline, _slow(baseline, 2.0), 0.25)
+        assert len(failures) == len(GATES)
+        assert all(f.startswith("REGRESSION") for f in failures)
+
+    def test_gate_is_one_sided(self, baseline):
+        # A 2x *speedup* must never fail.
+        failures, _ = compare(baseline, _slow(baseline, 0.5), 0.25)
+        assert failures == []
+
+    def test_slowdown_within_tolerance_passes(self, baseline):
+        failures, _ = compare(baseline, _slow(baseline, 1.2), 0.25)
+        assert failures == []
+
+    def test_single_section_regression_is_localized(self, baseline):
+        slowed = _slow(baseline, 3.0, sections={"cache_replay"})
+        failures, report = compare(baseline, slowed, 0.25)
+        assert len(failures) == 1
+        assert "cache_replay" in failures[0]
+        assert len(report) == len(GATES) - 1
+
+    def test_scale_mismatch_refuses_comparison(self, baseline):
+        tiny = copy.deepcopy(baseline)
+        for gate in GATES:
+            tiny[gate.section]["scale"] = "tiny"
+        failures, _ = compare(baseline, tiny, 0.25)
+        assert all("scale mismatch" in f for f in failures)
+
+    def test_missing_section_is_a_failure(self, baseline):
+        truncated = copy.deepcopy(baseline)
+        del truncated[GATES[0].section]
+        failures, _ = compare(baseline, truncated, 0.25)
+        assert any("section missing" in f for f in failures)
+
+
+class TestCli:
+    def test_self_test_exits_zero(self, capsys):
+        assert main(["--self-test"]) == 0
+        assert "self-test ok" in capsys.readouterr().out
+
+    def test_regressed_candidate_exits_one(self, baseline, tmp_path, capsys):
+        candidate = tmp_path / "cand.json"
+        candidate.write_text(json.dumps(_slow(baseline, 2.0)))
+        assert main(["--candidate", str(candidate)]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_identical_candidate_exits_zero(self, baseline, tmp_path):
+        candidate = tmp_path / "cand.json"
+        candidate.write_text(json.dumps(baseline))
+        assert main(["--candidate", str(candidate)]) == 0
+
+    def test_structural_only_failure_exits_two(self, tmp_path):
+        candidate = tmp_path / "cand.json"
+        candidate.write_text(json.dumps({}))
+        assert main(["--candidate", str(candidate)]) == 2
+
+    def test_missing_candidate_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--candidate", str(tmp_path / "nope.json")])
+
+    def test_baseline_is_committed_and_gated_metrics_exist(self, baseline):
+        for gate in GATES:
+            assert isinstance(
+                baseline[gate.section][gate.metric], (int, float)
+            )

@@ -1,0 +1,148 @@
+"""The determinism contract: streamed == monolithic, byte for byte.
+
+For a fixed seed, every ``chunk_epochs`` × ``workers`` combination must
+produce the same result digest, the same merged ``sim.*``/``workload.*``
+telemetry metrics, and the same fault outcome as the single-shot run.
+The in-suite matrix here is the local twin of the nightly CI job.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.simulator import EBSSimulator, SimulationConfig
+from repro.core.config import StudyConfig
+from repro.core.study import Study
+from repro.engine import StreamingSimulator, result_digest, snapshot_digest
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.obs.runtime import Telemetry, telemetry_session
+from repro.util.rng import RngFactory
+from repro.workload.fleet import FleetConfig, build_fleet
+
+FLEET = FleetConfig(
+    dc_id=0, num_users=4, num_vms=12, num_compute_nodes=4,
+    num_storage_nodes=3,
+)
+SIM = SimulationConfig(duration_seconds=45, trace_sampling_rate=0.2)
+#: 9s epochs make 45s runs exercise multi-shard plans (incl. ragged).
+EPOCH = 9
+PLAN = FaultPlan(events=(
+    FaultEvent(kind=FaultKind.BS_CRASH, target=1, start_s=10, end_s=20),
+    FaultEvent(kind=FaultKind.QP_STALL, target=2, start_s=5, end_s=12),
+))
+
+
+def _run(
+    streamed, chunk_epochs=2, workers=1, plan=None, telemetry=False,
+    cleanup=True,
+):
+    """One run; ``cleanup=False`` keeps the shard store alive so the
+    caller can read the lazy ``result.traffic`` view (caller must call
+    ``engine.cleanup()``)."""
+    rngs = RngFactory(11)
+    fleet = build_fleet(FLEET, rngs)
+    simulator = EBSSimulator(fleet, SIM, rngs, fault_plan=plan)
+    session = Telemetry(enabled=telemetry)
+    engine = None
+    with telemetry_session(session) as handle:
+        if streamed:
+            engine = StreamingSimulator(
+                simulator, chunk_epochs, epoch_seconds=EPOCH,
+                vd_batch_size=5,
+            )
+            try:
+                result = engine.run(workers=workers)
+                snapshot = handle.snapshot() if telemetry else None
+            finally:
+                if cleanup:
+                    engine.cleanup()
+        else:
+            result = simulator.run(workers=workers)
+            snapshot = handle.snapshot() if telemetry else None
+    return result, snapshot, engine
+
+
+@pytest.fixture(scope="module")
+def monolithic():
+    result, _, _ = _run(False)
+    return result
+
+
+class TestDigestParity:
+    @pytest.mark.parametrize("chunk_epochs", [1, 2, 5])
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_streamed_digest_matches_monolithic(
+        self, monolithic, chunk_epochs, workers
+    ):
+        result, _, _ = _run(
+            True, chunk_epochs=chunk_epochs, workers=workers
+        )
+        assert result_digest(result) == result_digest(monolithic)
+
+    def test_streamed_traffic_view_matches(self, monolithic):
+        result, _, engine = _run(True, chunk_epochs=2, cleanup=False)
+        try:
+            assert len(result.traffic) == len(monolithic.traffic)
+            for got, want in zip(result.traffic, monolithic.traffic):
+                assert got.vd_id == want.vd_id
+                assert np.array_equal(got.read_bytes, want.read_bytes)
+                assert np.array_equal(got.write_iops, want.write_iops)
+        finally:
+            engine.cleanup()
+
+    def test_grids_and_tables_bitwise(self, monolithic):
+        result, _, _ = _run(True, chunk_epochs=3)
+        assert result.wt_load_bps.dtype == monolithic.wt_load_bps.dtype
+        assert np.array_equal(result.wt_load_bps, monolithic.wt_load_bps)
+        assert np.array_equal(result.bs_load_bps, monolithic.bs_load_bps)
+        for name, column in monolithic.metrics.compute.columns().items():
+            got = result.metrics.compute.columns()[name]
+            assert got.dtype == column.dtype
+            assert np.array_equal(got, column)
+
+
+class TestTelemetryParity:
+    def test_metric_namespaces_match(self):
+        _, mono, _ = _run(False, telemetry=True)
+        _, streamed, _ = _run(
+            True, chunk_epochs=2, workers=2, telemetry=True
+        )
+        assert snapshot_digest(mono) == snapshot_digest(streamed)
+
+
+class TestFaultParity:
+    def test_fault_run_digest_and_outcome(self):
+        mono, mono_snap, _ = _run(False, plan=PLAN, telemetry=True)
+        streamed, s_snap, _ = _run(
+            True, chunk_epochs=2, workers=2, plan=PLAN, telemetry=True
+        )
+        assert result_digest(mono) == result_digest(streamed)
+        assert mono.faults is not None and streamed.faults is not None
+        assert mono.faults.accounting == streamed.faults.accounting
+        assert mono.faults.trace_stats == streamed.faults.trace_stats
+        assert mono.faults.windows == streamed.faults.windows
+        assert snapshot_digest(mono_snap) == snapshot_digest(s_snap)
+
+
+class TestStudyIntegration:
+    def test_streamed_study_matches_monolithic(self, tmp_path):
+        config = StudyConfig.small(seed=5)
+        mono = Study(config).build()
+        streamed = Study(
+            config,
+            chunk_epochs=2,
+            shard_dir=str(tmp_path / "shards"),
+        ).build()
+        try:
+            assert len(mono.results) == len(streamed.results)
+            for a, b in zip(mono.results, streamed.results):
+                assert result_digest(a) == result_digest(b)
+            # Experiments consume the lazy traffic view unchanged.
+            got = streamed.run("table3")
+            want = mono.run("table3")
+            assert got.rows == want.rows
+        finally:
+            streamed.cleanup()
+
+    def test_streamed_study_rejects_bad_chunk(self):
+        with pytest.raises(Exception):
+            Study(StudyConfig.small(), chunk_epochs=0)

@@ -113,3 +113,57 @@ def fault_plans_with_shape(
         num_events=int(rng.integers(1, 9)),
         label="strategies-fixed",
     )
+
+
+# -- streaming-engine strategies ---------------------------------------------
+
+
+def offered_series(rng: np.random.Generator) -> np.ndarray:
+    """A bursty non-negative offered-traffic series (units/s)."""
+    length = int(rng.integers(8, 121))
+    base = rng.gamma(shape=1.5, scale=100.0, size=length)
+    # Occasional idle spells and hard bursts: the cases where bucket
+    # backlog state actually carries across a chunk boundary.
+    base[rng.random(length) < 0.2] = 0.0
+    burst = rng.random(length) < 0.15
+    base[burst] *= 25.0
+    return base
+
+
+def bucket_configs(rng: np.random.Generator):
+    """A token-bucket config spanning tight to generous caps."""
+    from repro.throttle.tokenbucket import TokenBucketConfig
+
+    return TokenBucketConfig(
+        rate_per_second=float(10.0 ** rng.uniform(0.5, 3.0)),
+        burst_seconds=float(rng.uniform(0.0, 4.0)),
+    )
+
+
+def page_streams(rng: np.random.Generator) -> np.ndarray:
+    """A skewed page-access stream (hot set + cold tail + scans)."""
+    length = int(rng.integers(16, 400))
+    hot = int(rng.integers(4, 64))
+    universe = hot + int(rng.integers(16, 512))
+    if rng.random() < 0.5:
+        # Zipf-ish: most accesses hit the hot set.
+        pages = np.where(
+            rng.random(length) < 0.8,
+            rng.integers(0, hot, size=length),
+            rng.integers(0, universe, size=length),
+        )
+    else:
+        # Sequential scan with jitter (defeats LRU, favors FIFO).
+        pages = (np.arange(length) + rng.integers(0, 8, size=length)) % universe
+    return pages.astype(np.int64)
+
+
+def cut_points(rng: np.random.Generator, length: int) -> "List[int]":
+    """Strictly increasing interior cut positions for a series of ``length``."""
+    if length < 2:
+        return []
+    count = int(rng.integers(0, min(6, length - 1) + 1))
+    if count == 0:
+        return []
+    cuts = rng.choice(np.arange(1, length), size=count, replace=False)
+    return sorted(int(c) for c in cuts)
