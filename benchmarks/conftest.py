@@ -21,8 +21,7 @@ _SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
 
 @pytest.fixture(scope="session")
 def study() -> Study:
-    factory = getattr(StudyConfig, _SCALE)
-    return Study(factory(seed=_SEED)).build()
+    return Study(StudyConfig.scale(_SCALE, seed=_SEED)).build()
 
 
 def run_and_print(benchmark, study: Study, experiment_id: str, rounds=3):

@@ -1,33 +1,26 @@
 #!/usr/bin/env python3
-"""Quickstart: build a study and reproduce a few of the paper's artifacts.
+"""Quickstart: reproduce a few of the paper's artifacts via the facade.
 
 Builds the three synthetic data centers, simulates their EBS stacks, and
 prints Table 3 (baseline skewness), Fig 2(b) (the VM-VD-QP decomposition)
-and Fig 7(a) (cache hit ratios).
+and Fig 7(a) (cache hit ratios) — all through :mod:`repro.api`, the
+package's stable public surface.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core import Study, StudyConfig
+from repro.api import run_study
 
 
 def main() -> None:
-    # `small` finishes in well under a minute; use StudyConfig.medium()
-    # (the benchmark default) or .large() for tighter statistics.
-    study = Study(StudyConfig.small(seed=7))
+    # scale="small" finishes in well under a minute; scale="medium"
+    # (the benchmark default) or "large" give tighter statistics.
     print("Building fleets and simulating the EBS stack of 3 DCs ...")
-    study.build()
-    for result in study.results:
-        dc = result.fleet.config.dc_id
-        print(
-            f"  DC-{dc + 1}: {len(result.fleet.vms)} VMs, "
-            f"{len(result.fleet.vds)} VDs, {len(result.traces)} traces, "
-            f"{len(result.metrics.compute)} compute metric rows"
-        )
-    print()
-
-    for experiment_id in ("table3", "fig2b", "fig7a"):
-        print(study.run(experiment_id).render())
+    results = run_study(
+        ["table3", "fig2b", "fig7a"], scale="small", seed=7
+    )
+    for result in results.values():
+        print(result.render())
         print()
 
 

@@ -25,16 +25,51 @@ package also ships the full substrate needed to regenerate them:
 - :mod:`repro.core` — the end-to-end study pipeline and the experiment
   registry keyed by the paper's table/figure ids.
 
-Quickstart::
+Quickstart (the blessed surface lives in :mod:`repro.api` and is
+re-exported here)::
 
-    from repro.core import Study, StudyConfig
+    from repro.api import run_experiment, sweep
 
-    study = Study(StudyConfig.small(seed=7))
-    study.build()
-    result = study.run("table3")
-    print(result.render())
+    print(run_experiment("table3", seed=7).render())
+    outcome = sweep(
+        {"cache_min_traces": [300, 500]},
+        experiments=["fig7a"],
+        store_dir="out/sweep-cache",
+    )
+    for grid in outcome.tables():
+        print(grid.render())
+
+Anything not exported by :mod:`repro.api` — the :class:`Study` plumbing
+in :mod:`repro.core.study`, the streaming executor in
+:mod:`repro.engine.executor`, the sweep orchestrator internals — is a
+private implementation detail.
 """
 
 from repro._version import __version__
 
-__all__ = ["__version__"]
+#: Names re-exported lazily from :mod:`repro.api` (PEP 562), so that
+#: ``import repro`` stays import-cheap for tooling that only wants
+#: ``__version__``.
+_API_EXPORTS = (
+    "ExperimentResult",
+    "StudyConfig",
+    "load_result",
+    "run_experiment",
+    "run_study",
+    "save_results",
+    "sweep",
+)
+
+__all__ = ["__version__", "api", *_API_EXPORTS]
+
+
+def __getattr__(name):
+    if name in _API_EXPORTS or name == "api":
+        from repro import api
+
+        return api if name == "api" else getattr(api, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -5,10 +5,12 @@ Usage::
     ebs-repro list
     ebs-repro run table3 --scale small --seed 7
     ebs-repro run all --scale medium --telemetry out/telemetry.json
-    ebs-repro export-dataset out/ --scale small
+    ebs-repro run table3 -o results.json        # versioned result payload
+    ebs-repro export-dataset -o out/ --scale small
+    ebs-repro sweep fig7a --axis cache_min_traces=300,500 --store out/cache
     ebs-repro obs report out/telemetry.json
     ebs-repro obs export out/telemetry.json --format chrome-trace -o trace.json
-    ebs-repro obs validate out/telemetry.json
+    ebs-repro obs validate out/telemetry.json   # also validates result JSON
 
 Result tables and exported artifacts go to stdout; status and error
 reporting goes to stderr through :mod:`logging` (``-v`` for debug,
@@ -25,7 +27,14 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro._version import __version__
-from repro.core import Study, StudyConfig, experiment_ids
+from repro.core import (
+    SCALE_NAMES,
+    Study,
+    StudyConfig,
+    experiment_ids,
+    results_payload,
+    validate_result_payload,
+)
 from repro.core.report import ExperimentResult
 from repro.obs.export import EXPORT_FORMATS, export_telemetry
 from repro.obs.runtime import (
@@ -38,7 +47,7 @@ from repro.obs.spans import stage_summary
 from repro.trace.io import write_metric_csv, write_trace_jsonl
 from repro.util.errors import ReproError
 
-_SCALES = ("small", "medium", "large")
+_SCALES = SCALE_NAMES
 
 #: ``--scale large`` only runs streamed (its working set defeats a
 #: monolithic build); this is the shard size it defaults to.
@@ -114,9 +123,8 @@ def _streaming_options(
     return chunk, shard_dir, max_rss
 
 
-def _study(args: argparse.Namespace) -> Study:
-    factory = getattr(StudyConfig, args.scale)
-    config = factory(seed=args.seed)
+def _config(args: argparse.Namespace) -> StudyConfig:
+    config = StudyConfig.scale(args.scale, seed=args.seed)
     plan_path = getattr(args, "fault_plan", None)
     if plan_path:
         from dataclasses import replace
@@ -129,6 +137,11 @@ def _study(args: argparse.Namespace) -> Study:
             plan_path, len(plan), plan.policy.value,
         )
         config = replace(config, fault_plan=plan)
+    return config
+
+
+def _study(args: argparse.Namespace) -> Study:
+    config = _config(args)
     chunk_epochs, shard_dir, max_rss_mb = _streaming_options(args)
     if chunk_epochs is not None:
         _LOG.info(
@@ -166,6 +179,23 @@ def _write_digest(study: Study, args: argparse.Namespace) -> None:
     }
     Path(args.digest).write_text(json.dumps(payload, indent=2) + "\n")
     _LOG.info("wrote result digest %s to %s", combined[:12], args.digest)
+
+
+def _results_output_path(args: argparse.Namespace) -> Optional[str]:
+    """Resolve ``-o/--output`` with the deprecated ``--json`` alias."""
+    output = getattr(args, "output", None)
+    legacy = getattr(args, "json", None)
+    if output and legacy:
+        raise ReproError(
+            "--json is a deprecated alias for -o/--output; pass only one"
+        )
+    if legacy:
+        _LOG.warning(
+            "--json FILE is deprecated; use -o/--output FILE "
+            "(same versioned payload)"
+        )
+        return legacy
+    return output
 
 
 # -- telemetry lifecycle -----------------------------------------------------
@@ -217,6 +247,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    output = _results_output_path(args)
     telemetry = _start_telemetry(args)
     results: List[ExperimentResult] = []
     failure: "Optional[tuple[str, BaseException]]" = None
@@ -239,16 +270,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             results.append(result)
             print(result.render())
             print()
-        if args.json and (results or failure):
-            payload = {
-                "scale": args.scale,
-                "seed": args.seed,
-                "results": [result.to_dict() for result in results],
-            }
-            if failure is not None:
-                payload["failed_experiment"] = failure[0]
-            Path(args.json).write_text(json.dumps(payload, indent=2))
-            _LOG.info("wrote %d result(s) to %s", len(results), args.json)
+        if output and (results or failure):
+            payload = results_payload(
+                results,
+                scale=args.scale,
+                seed=args.seed,
+                failed_experiment=failure[0] if failure else None,
+            )
+            Path(output).write_text(json.dumps(payload, indent=2))
+            _LOG.info("wrote %d result(s) to %s", len(results), output)
     finally:
         if study is not None:
             study.cleanup()
@@ -265,13 +295,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
+    if args.directory and args.output:
+        raise ReproError(
+            "pass the dataset directory once: either positionally "
+            "(deprecated) or via -o/--output"
+        )
+    directory = args.output or args.directory
+    if not directory:
+        raise ReproError("export-dataset needs -o/--output DIR")
+    if args.directory:
+        _LOG.warning(
+            "positional DIRECTORY is deprecated; use -o/--output DIR"
+        )
     telemetry = _start_telemetry(args)
     written = 0
     study: Optional[Study] = None
     try:
         study = _study(args)
         study.build(workers=args.workers)
-        out = Path(args.directory)
+        out = Path(directory)
         out.mkdir(parents=True, exist_ok=True)
         for result in study.results:
             dc = result.fleet.config.dc_id
@@ -303,6 +345,75 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import shutil
+    import tempfile
+
+    from repro.sweep import SweepRunner, SweepSpec, parse_axes
+
+    if args.chunk_epochs is not None and args.chunk_epochs < 0:
+        raise ReproError(
+            f"--chunk-epochs must be >= 0, got {args.chunk_epochs}"
+        )
+    experiments = (
+        experiment_ids()
+        if args.experiments == ["all"]
+        else args.experiments
+    )
+    spec = SweepSpec(
+        base=_config(args),
+        axes=parse_axes(args.axis),
+        experiments=tuple(experiments),
+    )
+    store_dir = args.store
+    temp_store: Optional[str] = None
+    if store_dir is None:
+        temp_store = tempfile.mkdtemp(prefix="ebs-repro-sweep-")
+        store_dir = temp_store
+        _LOG.info(
+            "no --store given; using throwaway cache %s (pass --store DIR "
+            "to share work across sweeps and resume after interrupts)",
+            store_dir,
+        )
+    telemetry = _start_telemetry(args)
+    try:
+        runner = SweepRunner(
+            spec,
+            store_dir,
+            workers=args.workers,
+            retries=args.retries,
+            chunk_epochs=args.chunk_epochs or None,
+        )
+        outcome = runner.run()
+    finally:
+        _finish_telemetry(telemetry, args)
+        if temp_store is not None:
+            shutil.rmtree(temp_store, ignore_errors=True)
+    for table in outcome.tables():
+        print(table.render())
+        print()
+    stats = outcome.stats
+    _LOG.info(
+        "sweep: %d point(s), %d node(s) (%d hit, %d executed, %d skipped, "
+        "%d retried), hit rate %.0f%%, %.2fs, digest %s",
+        len(outcome.points),
+        stats.total,
+        stats.hits,
+        stats.executed,
+        stats.skipped,
+        stats.retries,
+        100.0 * stats.hit_rate,
+        outcome.elapsed_seconds,
+        outcome.combined_digest[:12],
+    )
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(outcome.to_dict(), indent=2) + "\n"
+        )
+        _LOG.info("wrote sweep outcome to %s", args.output)
+    return 0
+
+
 def _load_telemetry_file(path: str) -> dict:
     try:
         return json.loads(Path(path).read_text())
@@ -331,6 +442,22 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     payload = _load_telemetry_file(args.telemetry_file)
 
     if args.obs_command == "validate":
+        if (
+            isinstance(payload, dict)
+            and "result_schema_version" in payload
+        ):
+            # ``ebs-repro run -o results.json`` artifact, not telemetry.
+            errors = validate_result_payload(payload)
+            if errors:
+                for problem in errors:
+                    _LOG.error("%s: %s", args.telemetry_file, problem)
+                return 1
+            print(
+                f"ok: result_schema_version "
+                f"{payload['result_schema_version']}, "
+                f"{len(payload.get('results', []))} result(s)"
+            )
+            return 0
         errors = validate_telemetry(payload)
         if errors:
             for problem in errors:
@@ -501,10 +628,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", choices=_SCALES, default="small")
     run.add_argument("--seed", type=int, default=7)
     run.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the results as a versioned JSON payload "
+        "(result_schema_version; check with 'ebs-repro obs validate')",
+    )
+    run.add_argument(
         "--json",
         metavar="FILE",
         default=None,
-        help="also write the results as JSON (for plotting pipelines)",
+        help="deprecated alias for -o/--output",
     )
     run.add_argument(
         "--workers",
@@ -542,7 +677,19 @@ def build_parser() -> argparse.ArgumentParser:
     export = sub.add_parser(
         "export-dataset", help="simulate and write the datasets to disk"
     )
-    export.add_argument("directory")
+    export.add_argument(
+        "directory",
+        nargs="?",
+        default=None,
+        help="deprecated positional form of -o/--output",
+    )
+    export.add_argument(
+        "-o",
+        "--output",
+        metavar="DIR",
+        default=None,
+        help="output directory for the exported datasets",
+    )
     export.add_argument("--scale", choices=_SCALES, default="small")
     export.add_argument("--seed", type=int, default=7)
     export.add_argument(
@@ -565,6 +712,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject a deterministic fault schedule into the exported build",
     )
     _add_streaming_flags(export)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a parameter sweep through the content-addressed cache",
+    )
+    sweep.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="EXPERIMENT",
+        help="experiment id(s) to run at every sweep point, or 'all'",
+    )
+    sweep.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="FIELD=V1,V2",
+        help="sweep one StudyConfig field over comma-separated values "
+        "(repeatable; ':' builds tuples, KiB/MiB/GiB suffixes allowed), "
+        "e.g. --axis cache_min_traces=300,500 "
+        "--axis lending_rates=0.1:0.3,0.2:0.5",
+    )
+    sweep.add_argument("--scale", choices=_SCALES, default="small")
+    sweep.add_argument("--seed", type=int, default=7)
+    sweep.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="artifact-store directory; reuse it across sweeps so "
+        "overlapping points share work and interrupted runs resume "
+        "(default: throwaway temp dir)",
+    )
+    sweep.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the sweep outcome (grids + cache stats) as JSON",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process fan-out across ready DAG nodes; results are "
+        "identical for any worker count",
+    )
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="per-node retry budget for transient failures",
+    )
+    sweep.add_argument(
+        "--chunk-epochs",
+        type=int,
+        default=None,
+        metavar="K",
+        dest="chunk_epochs",
+        help="run build nodes through the streaming engine in K-epoch "
+        "shards (cache keys and results are unchanged)",
+    )
+    sweep.add_argument(
+        "--telemetry",
+        metavar="FILE",
+        default=None,
+        help="record sweep telemetry (sweep.* metrics + spans) here",
+    )
+    sweep.add_argument(
+        "--fault-plan",
+        metavar="FILE",
+        default=None,
+        dest="fault_plan",
+        help="inject a deterministic fault schedule into every point's "
+        "simulated DCs (folded into the cache keys)",
+    )
 
     obs = sub.add_parser(
         "obs", help="inspect, export, or validate a telemetry artifact"
@@ -604,6 +825,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "list": _cmd_list,
         "run": _cmd_run,
         "export-dataset": _cmd_export,
+        "sweep": _cmd_sweep,
         "obs": _cmd_obs,
     }
     try:

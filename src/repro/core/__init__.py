@@ -9,22 +9,34 @@ returns a renderable :class:`ExperimentResult`.
 
     from repro.core import Study, StudyConfig
 
-    study = Study(StudyConfig.small(seed=7))
+    study = Study(StudyConfig.scale("small", seed=7))
     study.build()
     print(study.run("table3").render())
+
+Prefer the stable facade in :mod:`repro.api` for scripting; this module
+is plumbing and may change between versions.
 """
 
 from repro.core.aggregate import MultiSeedStudy, aggregate_results
-from repro.core.config import StudyConfig
+from repro.core.config import SCALE_NAMES, StudyConfig
 from repro.core.report import ExperimentResult
+from repro.core.result_schema import (
+    RESULT_SCHEMA_VERSION,
+    results_payload,
+    validate_result_payload,
+)
 from repro.core.study import Study
 from repro.core.experiments import EXPERIMENTS, experiment_ids
 
 __all__ = [
     "MultiSeedStudy",
     "aggregate_results",
+    "SCALE_NAMES",
     "StudyConfig",
     "ExperimentResult",
+    "RESULT_SCHEMA_VERSION",
+    "results_payload",
+    "validate_result_payload",
     "Study",
     "EXPERIMENTS",
     "experiment_ids",

@@ -107,7 +107,7 @@ class MultiSeedStudy:
         self._factory = (
             config_factory
             if config_factory is not None
-            else (lambda seed: StudyConfig.small(seed=seed))
+            else (lambda seed: StudyConfig.scale("small", seed=seed))
         )
         self._studies: "Dict[int, Study]" = {}
 

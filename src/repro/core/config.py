@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import List, Optional, Tuple
+import warnings
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cluster.simulator import SimulationConfig
 from repro.faults.plan import FaultPlan
@@ -125,45 +126,126 @@ class StudyConfig:
     # -- presets ------------------------------------------------------------
 
     @classmethod
-    def small(cls, seed: int = 7) -> "StudyConfig":
-        """A laptop-scale study: ~2 minutes to build and run everything."""
-        dcs = [
-            replace(
-                dc,
-                num_users=8,
-                num_vms=28,
-                num_compute_nodes=8,
-                num_storage_nodes=6,
+    def scale(
+        cls, name: str, *, seed: int = 7, **overrides: Any
+    ) -> "StudyConfig":
+        """Build a preset-scale config with keyword-only overrides.
+
+        ``name`` is one of :data:`SCALE_NAMES`:
+
+        - ``"small"`` — laptop scale: ~2 minutes to build and run
+          everything;
+        - ``"medium"`` — the benchmark default: enough periods for the
+          §6 experiments;
+        - ``"large"`` — longer and larger for tighter statistics (runs
+          streamed by default on the CLI).
+
+        Any :class:`StudyConfig` field can be overridden::
+
+            StudyConfig.scale("small", seed=11, duration_seconds=200)
+            StudyConfig.scale("medium", lending_rates=(0.3, 0.6))
+
+        Unknown override names raise :class:`ConfigError` (catching the
+        typo at construction, not deep inside a sweep).  This replaces
+        the deprecated ``StudyConfig.small/medium/large`` classmethods.
+        """
+        factory = _SCALE_PRESETS.get(name)
+        if factory is None:
+            raise ConfigError(
+                f"unknown scale {name!r}; choose from {SCALE_NAMES}"
             )
-            for dc in _default_dcs()
-        ]
-        return cls(seed=seed, duration_seconds=400, dc_configs=dcs)
+        params = factory()
+        params["seed"] = seed
+        known = {f.name for f in fields(cls)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown StudyConfig override(s): {sorted(unknown)}"
+            )
+        params.update(overrides)
+        return cls(**params)
+
+    # -- deprecated preset shims --------------------------------------------
+
+    @classmethod
+    def small(cls, seed: int = 7) -> "StudyConfig":
+        """Deprecated: use ``StudyConfig.scale("small", seed=...)``."""
+        warnings.warn(
+            "StudyConfig.small() is deprecated; use "
+            "StudyConfig.scale('small', seed=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return cls.scale("small", seed=seed)
 
     @classmethod
     def medium(cls, seed: int = 7) -> "StudyConfig":
-        """The default preset: enough periods for the §6 experiments."""
-        return cls(
-            seed=seed,
-            duration_seconds=1200,
-            wt_cov_windows=(60, 300, 1200),
+        """Deprecated: use ``StudyConfig.scale("medium", seed=...)``."""
+        warnings.warn(
+            "StudyConfig.medium() is deprecated; use "
+            "StudyConfig.scale('medium', seed=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        return cls.scale("medium", seed=seed)
 
     @classmethod
     def large(cls, seed: int = 7) -> "StudyConfig":
-        """A longer, larger study for tighter statistics."""
-        dcs = [
-            replace(
-                dc,
-                num_users=24,
-                num_vms=120,
-                num_compute_nodes=24,
-                num_storage_nodes=12,
-            )
-            for dc in _default_dcs()
-        ]
-        return cls(
-            seed=seed,
-            duration_seconds=1800,
-            dc_configs=dcs,
-            wt_cov_windows=(60, 600, 1800),
+        """Deprecated: use ``StudyConfig.scale("large", seed=...)``."""
+        warnings.warn(
+            "StudyConfig.large() is deprecated; use "
+            "StudyConfig.scale('large', seed=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        return cls.scale("large", seed=seed)
+
+
+def _small_params() -> "Dict[str, Any]":
+    dcs = [
+        replace(
+            dc,
+            num_users=8,
+            num_vms=28,
+            num_compute_nodes=8,
+            num_storage_nodes=6,
+        )
+        for dc in _default_dcs()
+    ]
+    return {"duration_seconds": 400, "dc_configs": dcs}
+
+
+def _medium_params() -> "Dict[str, Any]":
+    return {
+        "duration_seconds": 1200,
+        "wt_cov_windows": (60, 300, 1200),
+    }
+
+
+def _large_params() -> "Dict[str, Any]":
+    dcs = [
+        replace(
+            dc,
+            num_users=24,
+            num_vms=120,
+            num_compute_nodes=24,
+            num_storage_nodes=12,
+        )
+        for dc in _default_dcs()
+    ]
+    return {
+        "duration_seconds": 1800,
+        "dc_configs": dcs,
+        "wt_cov_windows": (60, 600, 1800),
+    }
+
+
+_SCALE_PRESETS = {
+    "small": _small_params,
+    "medium": _medium_params,
+    "large": _large_params,
+}
+
+#: The preset names accepted by :meth:`StudyConfig.scale` (and the CLI's
+#: ``--scale`` flag).
+SCALE_NAMES = tuple(_SCALE_PRESETS)

@@ -1,0 +1,127 @@
+"""Versioned schema for machine-readable experiment-result payloads.
+
+``ebs-repro run -o results.json`` (and :func:`repro.api.run_study` via
+:func:`results_payload`) writes one payload per run::
+
+    {
+      "result_schema_version": 1,
+      "scale": "small" | null,
+      "seed": 7 | null,
+      "results": [ExperimentResult.to_dict(), ...],
+      "failed_experiment": "fig4b"            # only on partial runs
+    }
+
+:func:`validate_result_payload` mirrors the ``obs validate`` philosophy:
+return a list of human-readable problems (empty = valid) instead of
+raising, so the CLI can report every issue at once.  ``ebs-repro obs
+validate`` dispatches here when it sees ``result_schema_version``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.report import ExperimentResult
+
+#: Bump on any breaking change to the results payload layout.
+RESULT_SCHEMA_VERSION = 1
+
+
+def results_payload(
+    results: Sequence[ExperimentResult],
+    *,
+    scale: Optional[str] = None,
+    seed: Optional[int] = None,
+    failed_experiment: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Assemble the versioned JSON payload for a run's results."""
+    payload: Dict[str, Any] = {
+        "result_schema_version": RESULT_SCHEMA_VERSION,
+        "scale": scale,
+        "seed": seed,
+        "results": [result.to_dict() for result in results],
+    }
+    if failed_experiment is not None:
+        payload["failed_experiment"] = failed_experiment
+    return payload
+
+
+def _check_result_entry(index: int, entry: Any, problems: List[str]) -> None:
+    prefix = f"results[{index}]"
+    if not isinstance(entry, dict):
+        problems.append(f"{prefix}: must be an object")
+        return
+    for key in ("experiment_id", "title", "headers", "rows"):
+        if key not in entry:
+            problems.append(f"{prefix}: missing {key!r}")
+    headers = entry.get("headers")
+    if headers is not None and not (
+        isinstance(headers, list)
+        and all(isinstance(h, str) for h in headers)
+    ):
+        problems.append(f"{prefix}: 'headers' must be a list of strings")
+    rows = entry.get("rows")
+    if rows is not None:
+        if not isinstance(rows, list):
+            problems.append(f"{prefix}: 'rows' must be a list")
+        elif isinstance(headers, list):
+            for row_index, row in enumerate(rows):
+                if not isinstance(row, list):
+                    problems.append(
+                        f"{prefix}.rows[{row_index}]: must be a list"
+                    )
+                elif len(row) != len(headers):
+                    problems.append(
+                        f"{prefix}.rows[{row_index}]: width {len(row)} != "
+                        f"header width {len(headers)}"
+                    )
+
+
+def validate_result_payload(payload: Any) -> List[str]:
+    """All schema problems of a results payload (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["results payload must be a JSON object"]
+    version = payload.get("result_schema_version")
+    if version is None:
+        problems.append("missing 'result_schema_version'")
+    elif version != RESULT_SCHEMA_VERSION:
+        problems.append(
+            f"unsupported result_schema_version {version!r} "
+            f"(this build reads {RESULT_SCHEMA_VERSION})"
+        )
+    results = payload.get("results")
+    if not isinstance(results, list):
+        problems.append("'results' must be a list")
+    else:
+        for index, entry in enumerate(results):
+            _check_result_entry(index, entry, problems)
+    seed = payload.get("seed")
+    if seed is not None and not isinstance(seed, int):
+        problems.append("'seed' must be an integer or null")
+    scale = payload.get("scale")
+    if scale is not None and not isinstance(scale, str):
+        problems.append("'scale' must be a string or null")
+    failed = payload.get("failed_experiment")
+    if failed is not None and not isinstance(failed, str):
+        problems.append("'failed_experiment' must be a string")
+    return problems
+
+
+def load_results(payload: Dict[str, Any]) -> List[ExperimentResult]:
+    """Materialize a validated payload's results.
+
+    Raises :class:`~repro.util.errors.ConfigError` (via the
+    :class:`ExperimentResult` constructor) on malformed rows — call
+    :func:`validate_result_payload` first for a gentle report.
+    """
+    return [
+        ExperimentResult(
+            experiment_id=entry["experiment_id"],
+            title=entry["title"],
+            headers=list(entry["headers"]),
+            rows=[list(row) for row in entry["rows"]],
+            notes=entry.get("notes", ""),
+        )
+        for entry in payload.get("results", [])
+    ]

@@ -88,6 +88,31 @@ class Study:
         self.max_rss_mb = max_rss_mb
         self._engines: List[object] = []
 
+    @classmethod
+    def from_results(
+        cls,
+        config: StudyConfig,
+        results: "List[SimulationResult]",
+    ) -> "Study":
+        """Assemble a pre-built study from per-DC simulation results.
+
+        The sweep cache replays builds through this: experiments see a
+        study indistinguishable from one that just ran ``build()`` —
+        experiment RNG streams are label-keyed off the seed alone
+        (:class:`~repro.util.rng.RngFactory` is stateless), so outputs
+        are byte-identical to the monolithic path.  ``results`` must
+        cover exactly the configured DCs, in ``dc_configs`` order.
+        """
+        want = [dc.dc_id for dc in config.dc_configs]
+        got = [result.fleet.config.dc_id for result in results]
+        if want != got:
+            raise ConfigError(
+                f"results cover DCs {got}, config expects {want}"
+            )
+        study = cls(config)
+        study._results = list(results)
+        return study
+
     @property
     def streamed(self) -> bool:
         """Whether builds run through the streaming engine."""

@@ -1,0 +1,196 @@
+"""Sweep specifications: axes over :class:`StudyConfig` fields.
+
+A :class:`SweepSpec` is a base config plus named axes; its points are
+the cartesian product of the axis values, expanded in **sorted axis
+order** so the point list (and therefore every derived cache key and
+comparison table) is independent of the order axes were declared in.
+
+Axis values go through :func:`dataclasses.replace`, so each point is a
+fully validated :class:`StudyConfig` — an out-of-range axis value fails
+at spec expansion, not mid-sweep.
+
+The module also owns the CLI's axis mini-language::
+
+    --axis cache_min_traces=100,200           # scalar axis, 2 values
+    --axis lending_rates=0.2:0.4,0.2:0.6      # tuple values use ':'
+    --axis cache_block_bytes=64MiB:512MiB,2GiB:4GiB   # unit suffixes
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.config import StudyConfig
+from repro.sweep.canonical import config_digest
+from repro.util.errors import ConfigError
+from repro.util.units import GiB, KiB, MiB
+
+_UNIT_SUFFIXES = {
+    "KiB": KiB,
+    "MiB": MiB,
+    "GiB": GiB,
+    "KB": 1000,
+    "MB": 1000**2,
+    "GB": 1000**3,
+}
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One expanded sweep point: overrides + the resulting config."""
+
+    index: int
+    overrides: Tuple[Tuple[str, Any], ...]
+    config: StudyConfig
+
+    @property
+    def digest(self) -> str:
+        return config_digest(self.config)
+
+    def override_dict(self) -> Dict[str, Any]:
+        return dict(self.overrides)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A base config, the axes to sweep, and the experiments to run."""
+
+    base: StudyConfig
+    axes: Mapping[str, Sequence[Any]]
+    experiments: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.experiments:
+            raise ConfigError("a sweep needs at least one experiment id")
+        object.__setattr__(
+            self, "experiments", tuple(str(e) for e in self.experiments)
+        )
+        field_names = {f.name for f in dataclasses.fields(StudyConfig)}
+        axes = dict(self.axes)
+        for name, values in axes.items():
+            if name not in field_names:
+                raise ConfigError(
+                    f"unknown sweep axis {name!r}; StudyConfig fields: "
+                    f"{sorted(field_names)}"
+                )
+            if not isinstance(values, (list, tuple)) or not values:
+                raise ConfigError(
+                    f"axis {name!r} needs a non-empty list of values"
+                )
+        object.__setattr__(self, "axes", axes)
+
+    @property
+    def axis_names(self) -> List[str]:
+        return sorted(self.axes)
+
+    def points(self) -> List[SweepPoint]:
+        """Expand the cartesian product (deterministic order)."""
+        names = self.axis_names
+        if not names:
+            return [SweepPoint(index=0, overrides=(), config=self.base)]
+        points: List[SweepPoint] = []
+        for index, combo in enumerate(
+            itertools.product(*(self.axes[name] for name in names))
+        ):
+            overrides = tuple(zip(names, combo))
+            try:
+                config = dataclasses.replace(self.base, **dict(overrides))
+            except ConfigError as error:
+                raise ConfigError(
+                    f"sweep point {dict(overrides)} is invalid: {error}"
+                ) from error
+            points.append(
+                SweepPoint(index=index, overrides=overrides, config=config)
+            )
+        return points
+
+    def describe(self) -> str:
+        names = self.axis_names
+        shape = " x ".join(str(len(self.axes[n])) for n in names) or "1"
+        return (
+            f"{shape} point(s) over axes {names or ['<none>']} "
+            f"x {len(self.experiments)} experiment(s)"
+        )
+
+
+# -- CLI axis mini-language ---------------------------------------------------
+
+
+def _parse_scalar(token: str) -> Any:
+    """Parse one axis scalar: int, float, unit-suffixed size, or string."""
+    text = token.strip()
+    if not text:
+        raise ConfigError("empty axis value")
+    for suffix, factor in _UNIT_SUFFIXES.items():
+        if text.endswith(suffix):
+            stem = text[: -len(suffix)]
+            try:
+                return int(float(stem) * factor)
+            except ValueError:
+                raise ConfigError(f"bad sized axis value {token!r}")
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    if text in ("true", "True"):
+        return True
+    if text in ("false", "False"):
+        return False
+    return text
+
+
+def parse_axis(spec: str) -> Tuple[str, List[Any]]:
+    """Parse one ``--axis FIELD=V1,V2,...`` argument.
+
+    ``,`` separates axis values; ``:`` builds tuple values (for
+    tuple-typed fields like ``lending_rates`` or ``cache_block_bytes``).
+    """
+    if "=" not in spec:
+        raise ConfigError(
+            f"--axis must look like FIELD=V1,V2,... (got {spec!r})"
+        )
+    name, _, raw = spec.partition("=")
+    name = name.strip()
+    if not name:
+        raise ConfigError(f"--axis is missing a field name: {spec!r}")
+    values: List[Any] = []
+    for token in raw.split(","):
+        token = token.strip()
+        if not token:
+            raise ConfigError(f"--axis {name}: empty value in {raw!r}")
+        if ":" in token:
+            values.append(
+                tuple(_parse_scalar(part) for part in token.split(":"))
+            )
+        else:
+            values.append(_parse_scalar(token))
+    if not values:
+        raise ConfigError(f"--axis {name} needs at least one value")
+    return name, values
+
+
+def parse_axes(specs: Sequence[str]) -> Dict[str, List[Any]]:
+    """Parse repeated ``--axis`` arguments into a spec's axes mapping."""
+    axes: Dict[str, List[Any]] = {}
+    for spec in specs:
+        name, values = parse_axis(spec)
+        if name in axes:
+            raise ConfigError(f"duplicate --axis {name!r}")
+        axes[name] = values
+    return axes
+
+
+def override_label(value: Any) -> Any:
+    """A table-friendly rendering of one override value."""
+    if isinstance(value, (list, tuple)):
+        return ":".join(str(override_label(v)) for v in value)
+    if isinstance(value, int) and value and value % MiB == 0:
+        return f"{value // MiB}MiB"
+    return value

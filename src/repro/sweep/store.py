@@ -1,0 +1,167 @@
+"""The on-disk, content-addressed artifact store behind sweep memoization.
+
+Layout (all under one ``directory``)::
+
+    objects/<key>.json     # envelope: kind, schema, meta, inline payload
+    objects/<key>.pkl      # optional bulk blob (pickled SimulationResult)
+
+Keys are the canonical digests from :mod:`repro.sweep.canonical`; the
+store never interprets them.  Every write is **atomic**: content goes to
+a same-directory temp file first and is published with :func:`os.replace`,
+and for two-file artifacts the JSON envelope is written *last* so it acts
+as the commit record — a kill between the two writes leaves no visible
+artifact, which is what makes interrupted sweeps safely resumable.
+
+Reads are defensive: a torn/invalid envelope, a schema from another code
+version, or a missing companion blob all degrade to a cache *miss* (and
+the stale files are swept), never to an exception mid-sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+from repro.sweep.canonical import CODE_SCHEMA_VERSION
+from repro.util.errors import ConfigError
+
+_ENVELOPE_SUFFIX = ".json"
+_BLOB_SUFFIX = ".pkl"
+
+
+class ArtifactStore:
+    """Content-addressed node outputs, safe under concurrent writers."""
+
+    def __init__(self, directory: "str | Path"):
+        self.directory = Path(directory)
+        self._objects = self.directory / "objects"
+        self._objects.mkdir(parents=True, exist_ok=True)
+
+    # -- paths ---------------------------------------------------------------
+
+    def _envelope_path(self, key: str) -> Path:
+        self._check_key(key)
+        return self._objects / f"{key}{_ENVELOPE_SUFFIX}"
+
+    def _blob_path(self, key: str) -> Path:
+        self._check_key(key)
+        return self._objects / f"{key}{_BLOB_SUFFIX}"
+
+    @staticmethod
+    def _check_key(key: str) -> None:
+        if not key or any(ch not in "0123456789abcdef" for ch in key):
+            raise ConfigError(f"malformed artifact key: {key!r}")
+
+    # -- atomic publication ---------------------------------------------------
+
+    def _publish(self, path: Path, data: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self._objects), prefix=".tmp-", suffix=path.suffix
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- writes ---------------------------------------------------------------
+
+    def put(
+        self,
+        key: str,
+        kind: str,
+        payload: Any = None,
+        *,
+        meta: Optional[Dict[str, Any]] = None,
+        blob: Any = None,
+    ) -> None:
+        """Publish one artifact.
+
+        ``payload`` is inline JSON data (tables, digests); ``blob`` is an
+        optional arbitrary Python object pickled alongside.  The envelope
+        is written last: its presence *is* the artifact's existence.
+        """
+        if blob is not None:
+            self._publish(
+                self._blob_path(key),
+                pickle.dumps(blob, protocol=pickle.HIGHEST_PROTOCOL),
+            )
+        envelope = {
+            "key": key,
+            "kind": kind,
+            "schema": CODE_SCHEMA_VERSION,
+            "has_blob": blob is not None,
+            "meta": dict(meta or {}),
+            "payload": payload,
+        }
+        self._publish(
+            self._envelope_path(key),
+            (json.dumps(envelope, sort_keys=True) + "\n").encode("utf-8"),
+        )
+
+    # -- reads ----------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The artifact envelope for ``key``, or None on a miss.
+
+        Invalid envelopes (torn writes are impossible, but crashes from
+        other code versions are not) are discarded and read as misses.
+        """
+        path = self._envelope_path(key)
+        try:
+            envelope = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            self.discard(key)
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("key") != key
+            or envelope.get("schema") != CODE_SCHEMA_VERSION
+        ):
+            self.discard(key)
+            return None
+        if envelope.get("has_blob") and not self._blob_path(key).exists():
+            self.discard(key)
+            return None
+        return envelope
+
+    def has(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def get_blob(self, key: str) -> Any:
+        """Unpickle the bulk blob of a previously validated artifact."""
+        path = self._blob_path(key)
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            raise ConfigError(f"artifact {key[:12]} has no blob")
+
+    def discard(self, key: str) -> None:
+        """Remove one artifact (both files); missing files are fine."""
+        for path in (self._envelope_path(key), self._blob_path(key)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def keys(self) -> Iterator[str]:
+        """All committed artifact keys (envelope present)."""
+        for path in sorted(self._objects.glob(f"*{_ENVELOPE_SUFFIX}")):
+            name = path.name[: -len(_ENVELOPE_SUFFIX)]
+            if name and not name.startswith("."):
+                yield name
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())

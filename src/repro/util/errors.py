@@ -20,3 +20,7 @@ class DatasetError(ReproError):
 
 class SimulationError(ReproError):
     """The simulator reached an invalid state."""
+
+
+class SweepError(ReproError):
+    """A sweep node failed after exhausting its retry budget."""

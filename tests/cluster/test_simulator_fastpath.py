@@ -120,7 +120,7 @@ class TestSeedDeterminism:
 
     def test_study_build_workers_stable(self):
         config = replace(
-            StudyConfig.small(),
+            StudyConfig.scale("small"),
             duration_seconds=60,
         )
         sequential = Study(config)

@@ -1,0 +1,134 @@
+"""The stable facade: ``repro.api`` and the package-root re-exports."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    RESULT_SCHEMA_VERSION,
+    SCALE_NAMES,
+    ExperimentResult,
+    StudyConfig,
+    load_result,
+    run_experiment,
+    run_study,
+    save_results,
+)
+from repro.util.errors import ConfigError
+from repro.workload import FleetConfig
+
+
+def tiny_config(seed=3) -> StudyConfig:
+    return StudyConfig(
+        seed=seed,
+        duration_seconds=90,
+        trace_sampling_rate=1.0 / 4.0,
+        dc_configs=[
+            FleetConfig(
+                dc_id=0,
+                num_users=4,
+                num_vms=10,
+                num_compute_nodes=4,
+                num_storage_nodes=3,
+            )
+        ],
+        wt_cov_windows=(30, 60),
+        cache_min_traces=50,
+    )
+
+
+class TestSurface:
+    def test_root_reexports_lazily(self):
+        import repro
+
+        for name in (
+            "run_experiment", "run_study", "sweep", "load_result",
+            "save_results", "StudyConfig", "ExperimentResult",
+        ):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+        assert "run_experiment" in dir(repro)
+
+    def test_root_rejects_unknown_names(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.not_a_real_export
+
+    def test_scale_names_cover_the_presets(self):
+        assert SCALE_NAMES == ("small", "medium", "large")
+
+
+class TestRun:
+    @pytest.fixture(scope="class")
+    def table2(self):
+        return run_experiment("table2", config=tiny_config())
+
+    def test_run_experiment(self, table2):
+        assert table2.experiment_id == "table2"
+        assert table2.rows
+
+    def test_run_experiment_is_deterministic(self, table2):
+        again = run_experiment("table2", config=tiny_config())
+        assert again.to_dict() == table2.to_dict()
+
+    def test_run_study_preserves_order(self):
+        results = run_study(
+            ["table3", "table2"], config=tiny_config()
+        )
+        assert list(results) == ["table3", "table2"]
+        assert all(
+            isinstance(r, ExperimentResult) for r in results.values()
+        )
+
+    def test_config_and_overrides_are_exclusive(self):
+        with pytest.raises(ConfigError):
+            run_experiment(
+                "table2", config=tiny_config(), duration_seconds=60
+            )
+
+    def test_unknown_override_fails_before_building(self):
+        with pytest.raises(ConfigError, match="unknown StudyConfig"):
+            run_experiment("table2", duration_secondz=60)
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        result = ExperimentResult(
+            experiment_id="table2",
+            title="demo",
+            headers=["metric", "value"],
+            rows=[["x", 1.5]],
+        )
+        path = save_results([result], tmp_path / "res.json", seed=7)
+        payload = json.loads(path.read_text())
+        assert payload["result_schema_version"] == RESULT_SCHEMA_VERSION
+        loaded = load_result(path)
+        assert len(loaded) == 1
+        assert loaded[0].to_dict() == result.to_dict()
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="no such results file"):
+            load_result(tmp_path / "absent.json")
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            load_result(path)
+
+    def test_load_lists_schema_problems(self, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "result_schema_version": 999,
+                    "results": [{"experiment_id": "t"}],
+                }
+            )
+        )
+        with pytest.raises(ConfigError) as excinfo:
+            load_result(path)
+        message = str(excinfo.value)
+        assert "result_schema_version" in message
+        assert "missing 'title'" in message

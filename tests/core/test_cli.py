@@ -37,15 +37,84 @@ class TestMain:
         assert code == 1
         assert "error" in capsys.readouterr().err
 
+    def test_run_rejects_output_and_json_together(self, capsys):
+        code = main(
+            ["run", "table2", "-o", "a.json", "--json", "b.json"]
+        )
+        assert code == 1
+        assert "deprecated alias" in capsys.readouterr().err
+
+    def test_export_dataset_requires_one_directory(self, capsys):
+        assert main(["export-dataset"]) == 1
+        assert "-o/--output" in capsys.readouterr().err
+        assert main(["export-dataset", "a", "-o", "b"]) == 1
+        assert "once" in capsys.readouterr().err
+
+    def test_sweep_rejects_bad_axis(self, capsys):
+        code = main(["sweep", "table2", "--axis", "notafield=1"])
+        assert code == 1
+        assert "unknown sweep axis" in capsys.readouterr().err
+
+    def test_obs_validate_handles_result_payloads(self, tmp_path, capsys):
+        import json
+
+        from repro.core import results_payload
+        from repro.core.report import ExperimentResult
+
+        result = ExperimentResult(
+            experiment_id="table2",
+            title="demo",
+            headers=["a"],
+            rows=[[1]],
+        )
+        good = tmp_path / "results.json"
+        good.write_text(json.dumps(results_payload([result], seed=7)))
+        assert main(["obs", "validate", str(good)]) == 0
+        assert "result_schema_version 1" in capsys.readouterr().out
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            json.dumps({"result_schema_version": 1, "results": [{}]})
+        )
+        assert main(["obs", "validate", str(bad)]) == 1
+        assert "missing" in capsys.readouterr().err
+
     def test_json_flag_parsed(self):
         args = build_parser().parse_args(
             ["run", "table2", "--json", "out.json"]
         )
         assert args.json == "out.json"
 
+    def test_run_output_flag_parsed(self):
+        args = build_parser().parse_args(["run", "table2", "-o", "out.json"])
+        assert args.output == "out.json"
+
     def test_export_dataset_parses(self):
         args = build_parser().parse_args(["export-dataset", "somewhere"])
         assert args.directory == "somewhere"
+
+    def test_export_dataset_output_flag(self):
+        args = build_parser().parse_args(["export-dataset", "-o", "there"])
+        assert args.output == "there"
+        assert args.directory is None
+
+    def test_sweep_parses(self):
+        args = build_parser().parse_args(
+            [
+                "sweep", "table2", "fig7a",
+                "--axis", "cache_min_traces=100,200",
+                "--axis", "seed=3,4",
+                "--store", "cache/",
+                "-o", "sweep.json",
+                "--workers", "2",
+            ]
+        )
+        assert args.command == "sweep"
+        assert args.experiments == ["table2", "fig7a"]
+        assert args.axis == ["cache_min_traces=100,200", "seed=3,4"]
+        assert args.store == "cache/"
+        assert args.output == "sweep.json"
+        assert args.workers == 2
 
 
 @pytest.mark.slow

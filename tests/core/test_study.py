@@ -46,10 +46,33 @@ class TestStudyConfig:
         with pytest.raises(ConfigError):
             StudyConfig(dc_configs=[dc, dc])
 
-    def test_presets_valid(self):
-        for preset in (StudyConfig.small, StudyConfig.medium, StudyConfig.large):
-            config = preset(seed=1)
+    def test_scales_valid(self):
+        for name in ("small", "medium", "large"):
+            config = StudyConfig.scale(name, seed=1)
             assert config.dc_configs
+
+    def test_scale_accepts_field_overrides(self):
+        config = StudyConfig.scale(
+            "small", seed=1, duration_seconds=200, cache_min_traces=50
+        )
+        assert config.duration_seconds == 200
+        assert config.cache_min_traces == 50
+
+    def test_scale_rejects_unknown_name_and_override(self):
+        with pytest.raises(ConfigError):
+            StudyConfig.scale("huge")
+        with pytest.raises(ConfigError):
+            StudyConfig.scale("small", cache_min_tracez=50)
+
+    def test_deprecated_presets_warn_but_match_scale(self):
+        for shim, name in (
+            (StudyConfig.small, "small"),
+            (StudyConfig.medium, "medium"),
+            (StudyConfig.large, "large"),
+        ):
+            with pytest.warns(DeprecationWarning, match="deprecated"):
+                config = shim(seed=1)
+            assert config == StudyConfig.scale(name, seed=1)
 
     def test_rejects_bad_lending_rates(self):
         with pytest.raises(ConfigError):

@@ -125,7 +125,7 @@ class TestFaultParity:
 
 class TestStudyIntegration:
     def test_streamed_study_matches_monolithic(self, tmp_path):
-        config = StudyConfig.small(seed=5)
+        config = StudyConfig.scale("small", seed=5)
         mono = Study(config).build()
         streamed = Study(
             config,
@@ -145,4 +145,4 @@ class TestStudyIntegration:
 
     def test_streamed_study_rejects_bad_chunk(self):
         with pytest.raises(Exception):
-            Study(StudyConfig.small(), chunk_epochs=0)
+            Study(StudyConfig.scale("small"), chunk_epochs=0)

@@ -1,0 +1,47 @@
+"""Shared fixtures for the sweep orchestrator tests.
+
+The orchestrator tests intentionally run real (tiny) studies: the whole
+point of the cache is byte parity with the monolithic pipeline, and that
+can only be asserted against the genuine article.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import StudyConfig
+from repro.workload import FleetConfig
+
+
+def tiny_config(seed: int = 3, **overrides) -> StudyConfig:
+    """A 2-DC study small enough to build in a couple of seconds."""
+    dcs = [
+        FleetConfig(
+            dc_id=dc,
+            num_users=5,
+            num_vms=14,
+            num_compute_nodes=5,
+            num_storage_nodes=4,
+        )
+        for dc in range(2)
+    ]
+    params = dict(
+        seed=seed,
+        duration_seconds=120,
+        trace_sampling_rate=1.0 / 5.0,
+        dc_configs=dcs,
+        wt_cov_windows=(30, 60),
+        migration_window_scales=(15, 60),
+        balancer_period_seconds=15,
+        prediction_warmup_periods=3,
+        prediction_epoch_periods=2,
+        cache_min_traces=100,
+        hot_rate_window_seconds=30.0,
+    )
+    params.update(overrides)
+    return StudyConfig(**params)
+
+
+@pytest.fixture(scope="module")
+def base_config() -> StudyConfig:
+    return tiny_config()

@@ -1,0 +1,138 @@
+"""Sweep grids: the axis mini-language and cartesian point expansion."""
+
+import pytest
+
+from repro.sweep.grid import (
+    SweepSpec,
+    override_label,
+    parse_axes,
+    parse_axis,
+)
+from repro.util.errors import ConfigError
+from repro.util.units import GiB, KiB, MiB
+
+from .conftest import tiny_config
+
+
+class TestParseAxis:
+    def test_integers(self):
+        assert parse_axis("cache_min_traces=300,500") == (
+            "cache_min_traces", [300, 500],
+        )
+
+    def test_floats_and_strings_and_bools(self):
+        name, values = parse_axis("x=0.5,hello,true,False")
+        assert name == "x"
+        assert values == [0.5, "hello", True, False]
+
+    def test_unit_suffixes(self):
+        assert parse_axis("b=64MiB,1GiB,4KiB")[1] == [
+            64 * MiB, 1 * GiB, 4 * KiB,
+        ]
+        assert parse_axis("b=2KB")[1] == [2000]
+
+    def test_colon_builds_tuples(self):
+        name, values = parse_axis("lending_rates=0.2:0.4,0.6:0.8")
+        assert values == [(0.2, 0.4), (0.6, 0.8)]
+
+    def test_tuples_of_sizes(self):
+        assert parse_axis("cache_block_bytes=64MiB:512MiB")[1] == [
+            (64 * MiB, 512 * MiB)
+        ]
+
+    @pytest.mark.parametrize(
+        "bad", ["noequals", "=1,2", "x=", "x=1,,2", "x=fooMiB"]
+    )
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            parse_axis(bad)
+
+    def test_duplicate_axes_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_axes(["a=1", "a=2"])
+
+    def test_parse_axes_merges(self):
+        axes = parse_axes(["a=1,2", "b=x"])
+        assert axes == {"a": [1, 2], "b": ["x"]}
+
+
+class TestSweepSpec:
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError, match="unknown sweep axis"):
+            SweepSpec(
+                base=tiny_config(),
+                axes={"cache_min_tracez": [1]},
+                experiments=("table2",),
+            )
+
+    def test_needs_experiments(self):
+        with pytest.raises(ConfigError):
+            SweepSpec(base=tiny_config(), axes={}, experiments=())
+
+    def test_axes_need_values(self):
+        with pytest.raises(ConfigError):
+            SweepSpec(
+                base=tiny_config(),
+                axes={"cache_min_traces": []},
+                experiments=("table2",),
+            )
+
+    def test_no_axes_is_one_point(self):
+        spec = SweepSpec(
+            base=tiny_config(), axes={}, experiments=("table2",)
+        )
+        points = spec.points()
+        assert len(points) == 1
+        assert points[0].overrides == ()
+        assert points[0].config == tiny_config()
+
+    def test_cartesian_expansion_is_deterministic(self):
+        spec = SweepSpec(
+            base=tiny_config(),
+            axes={
+                "seed": [3, 4],
+                "cache_min_traces": [100, 200],
+            },
+            experiments=("table2",),
+        )
+        points = spec.points()
+        assert [p.override_dict() for p in points] == [
+            {"cache_min_traces": 100, "seed": 3},
+            {"cache_min_traces": 100, "seed": 4},
+            {"cache_min_traces": 200, "seed": 3},
+            {"cache_min_traces": 200, "seed": 4},
+        ]
+        assert [p.index for p in points] == [0, 1, 2, 3]
+        assert points[3].config.seed == 4
+        assert points[3].config.cache_min_traces == 200
+        # axis_names sort alphabetically, so expansion order is stable
+        # no matter how the axes dict was built.
+        assert spec.axis_names == ["cache_min_traces", "seed"]
+
+    def test_invalid_point_reports_its_overrides(self):
+        spec = SweepSpec(
+            base=tiny_config(),
+            axes={"cache_min_traces": [0]},
+            experiments=("table2",),
+        )
+        with pytest.raises(ConfigError, match="cache_min_traces"):
+            spec.points()
+
+    def test_describe(self):
+        spec = SweepSpec(
+            base=tiny_config(),
+            axes={"seed": [1, 2], "cache_min_traces": [100, 200, 300]},
+            experiments=("table2", "fig7a"),
+        )
+        assert "2 x " in spec.describe() or "3 x " in spec.describe()
+        assert "2 experiment(s)" in spec.describe()
+
+
+class TestOverrideLabel:
+    def test_mib_multiples_render_with_units(self):
+        assert override_label(64 * MiB) == "64MiB"
+        assert override_label(100) == 100
+
+    def test_tuples_join_with_colons(self):
+        assert override_label((64 * MiB, 512 * MiB)) == "64MiB:512MiB"
+        assert override_label((0.2, 0.4)) == "0.2:0.4"

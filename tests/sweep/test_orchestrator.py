@@ -1,0 +1,257 @@
+"""End-to-end acceptance tests for the incremental sweep orchestrator.
+
+The contract under test: a warm replay, a pool run, a streamed run, and
+a resumed-after-interrupt run of the same spec are all digest-identical
+to the cold inline run — and warm replays do essentially no work.
+"""
+
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.core import Study
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.sweep import (
+    NodeKind,
+    SweepError,
+    SweepRunner,
+    SweepSpec,
+)
+from repro.util.errors import ConfigError
+
+from .conftest import tiny_config
+
+AXES = {"cache_min_traces": [100, 200]}
+EXPERIMENTS = ("table2",)
+
+
+def make_spec(base) -> SweepSpec:
+    return SweepSpec(base=base, axes=AXES, experiments=EXPERIMENTS)
+
+
+@pytest.fixture(scope="module")
+def cold_and_warm(base_config, tmp_path_factory):
+    """One cold run and one warm replay over a shared store."""
+    store = tmp_path_factory.mktemp("sweep-store")
+    spec = make_spec(base_config)
+
+    started = time.perf_counter()
+    cold = SweepRunner(spec, store).run()
+    cold_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm = SweepRunner(spec, store).run()
+    warm_seconds = time.perf_counter() - started
+    return cold, warm, cold_seconds, warm_seconds
+
+
+class TestColdWarm:
+    def test_cold_run_executes_every_node(self, cold_and_warm):
+        cold, _, _, _ = cold_and_warm
+        assert cold.stats.hits == 0
+        assert cold.stats.misses == cold.stats.total
+        assert cold.stats.executed == cold.stats.total
+        assert cold.stats.skipped == 0
+
+    def test_build_nodes_are_shared_across_points(self, cold_and_warm):
+        # 2 points x 2 DCs but the axis is an experiment knob, so the
+        # DAG carries one build per DC, not per (point, DC).
+        cold, _, _, _ = cold_and_warm
+        assert cold.stats.by_kind["build"]["misses"] == 2
+        assert cold.stats.total == 2 + 2 * len(EXPERIMENTS) + 2
+
+    def test_warm_run_is_all_hits(self, cold_and_warm):
+        _, warm, _, _ = cold_and_warm
+        assert warm.stats.misses == 0
+        assert warm.stats.executed == 0
+        assert warm.stats.hit_rate == 1.0
+
+    def test_warm_run_is_digest_identical(self, cold_and_warm):
+        cold, warm, _, _ = cold_and_warm
+        assert warm.combined_digest == cold.combined_digest
+        assert warm.table_digests == cold.table_digests
+        for point in cold.points:
+            for experiment_id in EXPERIMENTS:
+                assert (
+                    warm.results[point.index][experiment_id].to_dict()
+                    == cold.results[point.index][experiment_id].to_dict()
+                )
+
+    def test_warm_run_is_fast(self, cold_and_warm):
+        _, _, cold_seconds, warm_seconds = cold_and_warm
+        assert warm_seconds < 0.25 * cold_seconds, (
+            f"warm replay took {warm_seconds:.2f}s vs cold "
+            f"{cold_seconds:.2f}s — the cache is not saving work"
+        )
+
+    def test_matches_the_monolithic_pipeline(
+        self, cold_and_warm, base_config
+    ):
+        """Cache-replayed tables == the classic Study path, byte for byte."""
+        cold, _, _, _ = cold_and_warm
+        point = cold.points[0]
+        study = Study(point.config).build()
+        for experiment_id in EXPERIMENTS:
+            assert (
+                cold.results[point.index][experiment_id].to_dict()
+                == study.run(experiment_id).to_dict()
+            )
+
+    def test_grids_prefix_axis_values(self, cold_and_warm):
+        cold, _, _, _ = cold_and_warm
+        grids = cold.tables()
+        assert len(grids) == len(EXPERIMENTS)
+        grid = grids[0]
+        assert grid.headers[0] == "cache_min_traces"
+        assert {row[0] for row in grid.rows} == {100, 200}
+
+    def test_outcome_payload_is_versioned(self, cold_and_warm):
+        import json
+
+        from repro.sweep import SWEEP_SCHEMA_VERSION
+
+        cold, _, _, _ = cold_and_warm
+        payload = cold.to_dict()
+        assert payload["sweep_schema_version"] == SWEEP_SCHEMA_VERSION
+        assert payload["combined_digest"] == cold.combined_digest
+        assert payload["cache"]["total"] == cold.stats.total
+        json.dumps(payload)  # must be JSON-serializable as-is
+
+
+class TestSchedulers:
+    def test_pool_run_matches_inline(
+        self, cold_and_warm, base_config, tmp_path
+    ):
+        cold, _, _, _ = cold_and_warm
+        outcome = SweepRunner(
+            make_spec(base_config), tmp_path / "pool", workers=2
+        ).run()
+        assert outcome.combined_digest == cold.combined_digest
+        assert outcome.stats.executed == outcome.stats.total
+
+    def test_streamed_builds_match_monolithic(
+        self, cold_and_warm, base_config, tmp_path
+    ):
+        cold, _, _, _ = cold_and_warm
+        outcome = SweepRunner(
+            make_spec(base_config), tmp_path / "streamed", chunk_epochs=1
+        ).run()
+        assert outcome.combined_digest == cold.combined_digest
+
+
+class KillAfter:
+    """node_hook that simulates ctrl-C after N successful dispatches."""
+
+    def __init__(self, after: int):
+        self.after = after
+        self.calls = 0
+
+    def __call__(self, node, attempt):
+        if self.calls >= self.after:
+            raise KeyboardInterrupt
+        self.calls += 1
+
+
+class TestResume:
+    @pytest.mark.parametrize("with_faults", [False, True])
+    def test_kill_and_resume_is_digest_identical(
+        self, base_config, tmp_path, with_faults
+    ):
+        base = base_config
+        if with_faults:
+            base = replace(
+                base,
+                fault_plan=FaultPlan(
+                    events=(
+                        FaultEvent(
+                            kind="bs_crash", start_s=10, end_s=40, target=0
+                        ),
+                    )
+                ),
+            )
+        spec = make_spec(base)
+        store = tmp_path / f"resume-{with_faults}"
+
+        # Reference: one uninterrupted run in a separate store.
+        reference = SweepRunner(spec, tmp_path / f"ref-{with_faults}").run()
+
+        # Interrupted run: dies after 3 nodes committed.
+        with pytest.raises(KeyboardInterrupt):
+            SweepRunner(spec, store, node_hook=KillAfter(3)).run()
+
+        # Resume over the same store: partial work is reused ...
+        resumed = SweepRunner(spec, store).run()
+        assert resumed.stats.hits == 3
+        assert resumed.stats.executed == resumed.stats.total - 3
+        # ... and the outcome is indistinguishable from the single shot.
+        assert resumed.combined_digest == reference.combined_digest
+        assert resumed.table_digests == reference.table_digests
+
+
+class FlakyOnFirstTry:
+    """node_hook that fails every node's first attempt."""
+
+    def __init__(self):
+        self.seen = set()
+
+    def __call__(self, node, attempt):
+        if node.key not in self.seen:
+            self.seen.add(node.key)
+            raise RuntimeError("transient hiccup")
+
+
+class TestRetries:
+    def test_transient_failures_are_retried(self, base_config, tmp_path):
+        outcome = SweepRunner(
+            make_spec(base_config),
+            tmp_path / "flaky",
+            retries=1,
+            node_hook=FlakyOnFirstTry(),
+        ).run()
+        assert outcome.stats.retries == outcome.stats.total
+        assert outcome.stats.executed == outcome.stats.total
+
+    def test_exhausted_retries_raise_sweep_error(
+        self, base_config, tmp_path
+    ):
+        def always_fail(node, attempt):
+            raise RuntimeError("permanent")
+
+        with pytest.raises(SweepError, match="failed after 2 attempt"):
+            SweepRunner(
+                make_spec(base_config),
+                tmp_path / "dead",
+                retries=1,
+                node_hook=always_fail,
+            ).run()
+
+    def test_invalid_knobs_rejected(self, base_config, tmp_path):
+        with pytest.raises(ConfigError):
+            SweepRunner(make_spec(base_config), tmp_path, workers=0)
+        with pytest.raises(ConfigError):
+            SweepRunner(make_spec(base_config), tmp_path, retries=-1)
+
+
+class TestDemandDrivenScheduling:
+    def test_unneeded_misses_are_skipped(self, base_config, tmp_path):
+        """Discarding one point's aggregate only reruns that point."""
+        store = tmp_path / "skip"
+        spec = make_spec(base_config)
+        runner = SweepRunner(spec, store)
+        cold = runner.run()
+
+        # Drop one point node: its (cheap) aggregate must be recomputed,
+        # but every build/experiment stays a pure cache hit.
+        points = [
+            node
+            for node in runner._dag(spec.points())
+            if node.kind is NodeKind.POINT
+        ]
+        runner.store.discard(points[0].key)
+
+        again = SweepRunner(spec, store).run()
+        assert again.stats.misses == 1
+        assert again.stats.executed == 1
+        assert again.stats.skipped == 0
+        assert again.combined_digest == cold.combined_digest

@@ -1,0 +1,109 @@
+"""The on-disk artifact store: atomic commits and defensive reads."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.sweep.canonical import CODE_SCHEMA_VERSION
+from repro.sweep.store import ArtifactStore
+from repro.util.errors import ConfigError
+
+KEY = "ab" * 32
+OTHER = "cd" * 32
+
+
+@pytest.fixture()
+def store(tmp_path) -> ArtifactStore:
+    return ArtifactStore(tmp_path / "cache")
+
+
+class TestRoundtrip:
+    def test_payload_roundtrip(self, store):
+        store.put(KEY, "experiment", payload={"x": [1, 2.5, "s"]})
+        envelope = store.get(KEY)
+        assert envelope is not None
+        assert envelope["kind"] == "experiment"
+        assert envelope["payload"] == {"x": [1, 2.5, "s"]}
+        assert envelope["schema"] == CODE_SCHEMA_VERSION
+        assert not envelope["has_blob"]
+
+    def test_blob_roundtrip_is_bit_exact(self, store):
+        rng = np.random.default_rng(0)
+        blob = {"arr": rng.standard_normal(257), "n": 3}
+        store.put(KEY, "build", payload={"d": "x"}, blob=blob)
+        loaded = store.get_blob(KEY)
+        assert loaded["n"] == 3
+        assert loaded["arr"].dtype == blob["arr"].dtype
+        assert np.array_equal(loaded["arr"], blob["arr"])
+        # tobytes equality = bit-exact, not just value-equal
+        assert loaded["arr"].tobytes() == blob["arr"].tobytes()
+
+    def test_keys_and_len(self, store):
+        assert len(store) == 0
+        store.put(KEY, "build", payload=1)
+        store.put(OTHER, "experiment", payload=2)
+        assert sorted(store.keys()) == sorted([KEY, OTHER])
+        assert len(store) == 2
+        store.discard(KEY)
+        assert list(store.keys()) == [OTHER]
+
+    def test_overwrite_is_allowed(self, store):
+        store.put(KEY, "build", payload=1)
+        store.put(KEY, "build", payload=2)
+        assert store.get(KEY)["payload"] == 2
+
+
+class TestDefensiveReads:
+    def test_missing_key_is_a_miss(self, store):
+        assert store.get(KEY) is None
+        assert not store.has(KEY)
+
+    def test_torn_envelope_degrades_to_miss_and_is_swept(self, store):
+        path = store._envelope_path(KEY)
+        path.write_text('{"key": "ab', encoding="utf-8")  # torn JSON
+        assert store.get(KEY) is None
+        assert not path.exists()
+
+    def test_wrong_schema_is_discarded(self, store):
+        store.put(KEY, "build", payload=1)
+        path = store._envelope_path(KEY)
+        envelope = json.loads(path.read_text())
+        envelope["schema"] = CODE_SCHEMA_VERSION + 999
+        path.write_text(json.dumps(envelope))
+        assert store.get(KEY) is None
+        assert not path.exists()
+
+    def test_key_mismatch_is_discarded(self, store):
+        store.put(KEY, "build", payload=1)
+        path = store._envelope_path(KEY)
+        envelope = json.loads(path.read_text())
+        envelope["key"] = OTHER
+        path.write_text(json.dumps(envelope))
+        assert store.get(KEY) is None
+
+    def test_envelope_without_promised_blob_is_a_miss(self, store):
+        store.put(KEY, "build", payload=1, blob={"x": 1})
+        store._blob_path(KEY).unlink()
+        assert store.get(KEY) is None
+        assert not store._envelope_path(KEY).exists()
+
+    def test_malformed_keys_rejected(self, store):
+        for bad in ("", "XYZ", "../escape", "ab/cd"):
+            with pytest.raises(ConfigError):
+                store.get(bad)
+
+
+class TestAtomicity:
+    def test_no_temp_files_survive_puts(self, store, tmp_path):
+        for index in range(4):
+            store.put(
+                f"{index:02d}" * 32, "build", payload=index, blob=[index]
+            )
+        leftovers = list((tmp_path / "cache" / "objects").glob(".tmp-*"))
+        assert leftovers == []
+
+    def test_temp_files_are_not_listed_as_keys(self, store):
+        store.put(KEY, "build", payload=1)
+        (store._objects / ".tmp-leftover.json").write_text("{}")
+        assert list(store.keys()) == [KEY]
