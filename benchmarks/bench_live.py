@@ -1,0 +1,145 @@
+"""Perf benchmark: live ingestion throughput (§ repro.live).
+
+Replays a synthesized event stream through the full threaded pipeline
+(injector -> ring -> windowed skew tracker + sketches -> policy engine)
+at maximum rate, records sustained events/sec and decision latency in
+``BENCH_live.json``, and re-derives the offline reference to assert the
+online windowed statistics matched it **exactly** — a benchmark run that
+loses parity is a failure, not a slow result.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_live.py --duration 30
+
+or as a pytest smoke check (short replay, parity + floor only)::
+
+    PYTHONPATH=src:. python -m pytest benchmarks/bench_live.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.live import (
+    LiveConfig,
+    build_pipeline,
+    offline_window_stats,
+    run_live,
+)
+
+try:
+    from benchmarks.perf_common import merge_results
+except ImportError:  # executed as a script from inside benchmarks/
+    from perf_common import merge_results
+
+#: Live results live next to the other BENCH artifacts, at the repo root.
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_live.json"
+
+
+def run_live_benchmark(
+    scale: str = "small",
+    duration: int = 30,
+    window: int = 5,
+    seed: int = 7,
+    batch_events: int = 4096,
+) -> dict:
+    """One max-rate replay; returns the results payload."""
+    config = LiveConfig(
+        scale=scale,
+        seed=seed,
+        duration_seconds=duration,
+        window_seconds=window,
+        batch_events=batch_events,
+        rate=None,  # as fast as possible: this is the throughput figure
+    )
+    report = run_live(config)
+
+    # Parity against the offline reference on the identical stream: the
+    # correctness anchor rides along with every benchmark run.
+    pipeline = build_pipeline(config)
+    offline = offline_window_stats(
+        pipeline.injector.events,
+        pipeline.tracker.num_vds,
+        pipeline.tracker.total_seconds,
+        window,
+    )
+    matches = [w.to_dict() for w in report.windows] == [
+        c.stats.to_dict() for c in offline
+    ]
+
+    return {
+        "config": config.to_dict(),
+        "events": report.events,
+        "batches": report.batches,
+        "events_dropped": report.events_dropped,
+        "wall_seconds": round(report.wall_seconds, 4),
+        "events_per_sec": round(report.events_per_sec),
+        "windows_closed": len(report.windows),
+        "decisions": len(report.decisions),
+        "decision_latency_max_us": report.decision_latency_max_us,
+        "top_segments": len(report.top_segments),
+        "ring_stats": report.ring_stats,
+        "matches_offline": bool(matches),
+    }
+
+
+# -- pytest smoke (short replay, parity + floor only) ------------------------
+
+
+def test_live_throughput_smoke(tmp_path):
+    payload = run_live_benchmark(duration=10)
+    assert payload["matches_offline"]
+    assert payload["events_dropped"] == 0
+    assert payload["events"] > 0
+    # The acceptance floor: the small-scale replay sustains >= 100k
+    # events/sec end to end (threads, ring hops, and policy included).
+    assert payload["events_per_sec"] >= 100_000
+    merge_results("live", payload, tmp_path / "BENCH_live.json")
+    assert (tmp_path / "BENCH_live.json").exists()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="small")
+    parser.add_argument("--duration", type=int, default=30)
+    parser.add_argument("--window", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--batch-events", type=int, default=4096)
+    parser.add_argument(
+        "--assert-events-per-sec", type=float, default=None,
+        help="fail (exit 1) when sustained events/sec lands below this",
+    )
+    args = parser.parse_args()
+
+    payload = run_live_benchmark(
+        scale=args.scale,
+        duration=args.duration,
+        window=args.window,
+        seed=args.seed,
+        batch_events=args.batch_events,
+    )
+    merge_results("live", payload, RESULTS_PATH)
+    print(
+        f"live[{args.scale}]: {payload['events']} events in "
+        f"{payload['wall_seconds']}s wall "
+        f"({payload['events_per_sec']} events/sec), "
+        f"{payload['windows_closed']} windows, "
+        f"{payload['decisions']} decisions, "
+        f"max decision latency {payload['decision_latency_max_us']}us, "
+        f"matches_offline={payload['matches_offline']}"
+    )
+    if not payload["matches_offline"]:
+        raise SystemExit("online windowed stats diverged from offline")
+    if (
+        args.assert_events_per_sec is not None
+        and payload["events_per_sec"] < args.assert_events_per_sec
+    ):
+        raise SystemExit(
+            f"throughput {payload['events_per_sec']} events/sec is below "
+            f"the {args.assert_events_per_sec:.0f} floor"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -6,6 +6,7 @@ Usage::
     ebs-repro run table3 --scale small --seed 7
     ebs-repro run all --scale medium --telemetry out/telemetry.json
     ebs-repro run table3 -o results.json        # versioned result payload
+    ebs-repro live --duration 10 --rate 100x --telemetry out/live.json
     ebs-repro export-dataset -o out/ --scale small
     ebs-repro sweep fig7a --axis cache_min_traces=300,500 --store out/cache
     ebs-repro obs report out/telemetry.json
@@ -213,9 +214,17 @@ def _start_telemetry(args: argparse.Namespace) -> Optional[Telemetry]:
 def _finish_telemetry(
     telemetry: Optional[Telemetry], args: argparse.Namespace
 ) -> None:
-    """Write ``telemetry.json`` (even after a mid-study failure)."""
+    """Write ``telemetry.json`` (even after a mid-study failure).
+
+    This runs from ``finally`` blocks, so a failing write must never
+    mask an in-flight exception: with a failure already propagating the
+    write error is logged (naming the artifact that was NOT written)
+    and swallowed; on the clean path it raises, chained, so the exit
+    code goes non-zero.
+    """
     if telemetry is None:
         return
+    in_flight = sys.exc_info()[1]
     set_telemetry(None)
     telemetry.meta.update(
         {
@@ -230,7 +239,19 @@ def _finish_telemetry(
             "peak_rss_bytes": peak_rss_bytes(),
         }
     )
-    path = telemetry.write(args.telemetry)
+    try:
+        path = telemetry.write(args.telemetry)
+    except OSError as error:
+        if in_flight is not None:
+            _LOG.error(
+                "telemetry was NOT written to %s: %s (keeping the "
+                "original failure below)",
+                args.telemetry, error,
+            )
+            return
+        raise ReproError(
+            f"telemetry was not written to {args.telemetry}: {error}"
+        ) from error
     _LOG.info("wrote telemetry to %s", path)
 
 
@@ -277,7 +298,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 failed_experiment=failure[0] if failure else None,
             )
-            Path(output).write_text(json.dumps(payload, indent=2))
+            try:
+                Path(output).write_text(json.dumps(payload, indent=2))
+            except OSError as flush_error:
+                # A failed flush must not swallow the experiment failure
+                # that got us here: chain the new error onto the original
+                # so both tracebacks survive to main().
+                if failure is not None:
+                    experiment_id, error = failure
+                    raise ReproError(
+                        f"results were NOT written to {output} "
+                        f"({flush_error}) while flushing "
+                        f"{len(results)} partial result(s) after "
+                        f"experiment {experiment_id!r} failed: {error}"
+                    ) from error
+                raise ReproError(
+                    f"results were NOT written to {output}: {flush_error}"
+                ) from flush_error
             _LOG.info("wrote %d result(s) to %s", len(results), output)
     finally:
         if study is not None:
@@ -317,18 +354,19 @@ def _cmd_export(args: argparse.Namespace) -> int:
         out.mkdir(parents=True, exist_ok=True)
         for result in study.results:
             dc = result.fleet.config.dc_id
+            target = out / f"dc{dc}_traces.jsonl"
             try:
-                write_trace_jsonl(result.traces, out / f"dc{dc}_traces.jsonl")
-                write_metric_csv(
-                    result.metrics.compute, out / f"dc{dc}_compute.csv"
-                )
-                write_metric_csv(
-                    result.metrics.storage, out / f"dc{dc}_storage.csv"
-                )
+                write_trace_jsonl(result.traces, target)
+                target = out / f"dc{dc}_compute.csv"
+                write_metric_csv(result.metrics.compute, target)
+                target = out / f"dc{dc}_storage.csv"
+                write_metric_csv(result.metrics.storage, target)
             except Exception as error:
+                # Name the exact artifact that failed; everything before
+                # it (this DC included) is already on disk and stays.
                 raise ReproError(
-                    f"export failed at DC-{dc + 1} after {written} DC(s) "
-                    f"were written to {out}: {error}"
+                    f"export failed writing {target} (DC-{dc + 1}; "
+                    f"{written} DC(s) fully written to {out}): {error}"
                 ) from error
             written += 1
             _LOG.info(
@@ -342,6 +380,96 @@ def _cmd_export(args: argparse.Namespace) -> int:
         if study is not None:
             study.cleanup()
         _finish_telemetry(telemetry, args)
+    return 0
+
+
+def _parse_rate(text: str) -> Optional[float]:
+    """``--rate`` accepts a number, an ``NNNx`` multiplier, or ``max``."""
+    if text.lower() in ("max", "none"):
+        return None
+    raw = text[:-1] if text.lower().endswith("x") else text
+    try:
+        rate = float(raw)
+    except ValueError:
+        raise ReproError(
+            f"--rate must be a number, 'NNNx', or 'max'; got {text!r}"
+        )
+    if rate <= 0:
+        raise ReproError(f"--rate must be > 0, got {text!r}")
+    return rate
+
+
+def _cmd_live(args: argparse.Namespace) -> int:
+    from repro.live import LiveConfig, report_to_dict, run_live
+
+    rate = _parse_rate(args.rate)
+    telemetry = _start_telemetry(args)
+    try:
+        config = LiveConfig(
+            scale=args.scale,
+            seed=args.seed,
+            duration_seconds=args.duration,
+            rate=rate,
+            window_seconds=args.window_seconds,
+            batch_events=args.batch_events,
+            ring_capacity=args.ring_capacity,
+            overflow=args.overflow,
+            loops=args.loops,
+        )
+        report = run_live(config)
+    finally:
+        _finish_telemetry(telemetry, args)
+    _LOG.info(
+        "live: %d event(s) in %.2fs wall (%.0f events/sec), %d window(s), "
+        "%d decision(s), %d dropped, max decision latency %dus",
+        report.events,
+        report.wall_seconds,
+        report.events_per_sec,
+        len(report.windows),
+        len(report.decisions),
+        report.events_dropped,
+        report.decision_latency_max_us,
+    )
+    table = ExperimentResult(
+        experiment_id="live",
+        title="rolling windowed skew (online)",
+        headers=["window", "events", "GiB", "ccr-hot", "p2a", "cov", "w/r"],
+        rows=[
+            [
+                f"[{w.window.start},{w.window.end})",
+                w.events,
+                round(w.total_bytes / 2**30, 3),
+                round(w.ccr_hot, 4),
+                round(w.p2a, 4),
+                round(w.cov, 4),
+                round(w.wr_ratio, 4),
+            ]
+            for w in report.windows
+        ],
+    )
+    print(table.render())
+    print()
+    if report.top_segments:
+        hot = ExperimentResult(
+            experiment_id="live",
+            title="hot segments (Space-Saving top-K)",
+            headers=["segment", "bytes", "error_bound"],
+            rows=[
+                [entry["key"], round(entry["count"]), round(entry["error"])]
+                for entry in report.top_segments
+            ],
+        )
+        print(hot.render())
+    if args.output:
+        try:
+            Path(args.output).write_text(
+                json.dumps(report_to_dict(config, report), indent=2) + "\n"
+            )
+        except OSError as error:
+            raise ReproError(
+                f"live report was NOT written to {args.output}: {error}"
+            ) from error
+        _LOG.info("wrote live report to %s", args.output)
     return 0
 
 
@@ -674,6 +802,79 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunk-epochs/--workers (the nightly parity job diffs these)",
     )
 
+    live = sub.add_parser(
+        "live",
+        help="run the live ingestion service on a bounded synthetic replay",
+    )
+    live.add_argument("--scale", choices=_SCALES, default="small")
+    live.add_argument("--seed", type=int, default=7)
+    live.add_argument(
+        "--duration",
+        type=int,
+        default=60,
+        metavar="SECONDS",
+        help="trace seconds to synthesize and replay (per loop)",
+    )
+    live.add_argument(
+        "--rate",
+        default="max",
+        metavar="MULT",
+        help="replay speed over trace time: a number, 'NNNx', or 'max' "
+        "(as fast as the pipeline accepts; default)",
+    )
+    live.add_argument(
+        "--window",
+        type=int,
+        default=10,
+        dest="window_seconds",
+        metavar="SECONDS",
+        help="rolling-statistics window, in trace seconds",
+    )
+    live.add_argument(
+        "--batch-events",
+        type=int,
+        default=2048,
+        dest="batch_events",
+        metavar="N",
+        help="events per injected batch (the pipeline's unit of transfer)",
+    )
+    live.add_argument(
+        "--ring-capacity",
+        type=int,
+        default=64,
+        dest="ring_capacity",
+        metavar="N",
+        help="event ring capacity, in batches (the backpressure bound)",
+    )
+    live.add_argument(
+        "--overflow",
+        choices=("block", "drop"),
+        default="block",
+        help="full-ring policy: block the injector (lossless) or drop "
+        "batches with accounting",
+    )
+    live.add_argument(
+        "--loops",
+        type=int,
+        default=1,
+        help="replay the trace N times back to back (benchmark mode)",
+    )
+    live.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the live report (windows, decisions, top segments) "
+        "as JSON",
+    )
+    live.add_argument(
+        "--telemetry",
+        metavar="FILE",
+        default=None,
+        help="record live.* metrics (queue depth, decision latency, "
+        "events/sec) and write them here",
+    )
+
     export = sub.add_parser(
         "export-dataset", help="simulate and write the datasets to disk"
     )
@@ -824,6 +1025,7 @@ def main(argv: "list[str] | None" = None) -> int:
     handlers = {
         "list": _cmd_list,
         "run": _cmd_run,
+        "live": _cmd_live,
         "export-dataset": _cmd_export,
         "sweep": _cmd_sweep,
         "obs": _cmd_obs,
@@ -831,7 +1033,15 @@ def main(argv: "list[str] | None" = None) -> int:
     try:
         return handlers[args.command](args)
     except ReproError as error:
-        _LOG.error(str(error))
+        cause = error.__cause__
+        if cause is not None and cause is not error:
+            # Surface the chained root cause; -v gets its full traceback.
+            _LOG.error(
+                "%s (caused by %s: %s)", error, type(cause).__name__, cause
+            )
+            _LOG.debug("original traceback:", exc_info=cause)
+        else:
+            _LOG.error(str(error))
         return 1
 
 

@@ -1,0 +1,71 @@
+"""Live ingestion service: online rolling-skew statistics over a replay.
+
+The batch pipeline answers "what did the traffic look like?" after the
+fact; :mod:`repro.live` answers it *while the traffic flows*.  A
+deterministic event stream synthesized from the workload generator is
+replayed through a bounded-queue pipeline — injector, rolling skew
+tracker, hot-segment sketches, online policy engine — at a configurable
+rate multiplier, and the online windowed CCR/P2A/CoV are *exactly* the
+numbers the offline analysis computes on the same stream (pinned by
+differential tests; see :mod:`repro.live.windowing`).
+"""
+
+from repro.live.events import (
+    OP_READ,
+    OP_WRITE,
+    EventBatch,
+    concat_batches,
+    synthesize_events,
+)
+from repro.live.injector import DEFAULT_BATCH_EVENTS, TraceInjector
+from repro.live.pipeline import (
+    DEFAULT_RING_CAPACITY,
+    LivePipeline,
+    LiveReport,
+)
+from repro.live.policy import OnlinePolicyEngine, PolicyDecision
+from repro.live.ring import POLICIES, RingBuffer
+from repro.live.service import (
+    LIVE_SCHEMA_VERSION,
+    LiveConfig,
+    build_pipeline,
+    report_to_dict,
+    run_live,
+)
+from repro.live.sketches import CountMinSketch, SpaceSaving
+from repro.live.windowing import (
+    DEFAULT_CCR_FRACTION,
+    ClosedWindow,
+    RollingSkewTracker,
+    WindowStats,
+    offline_window_stats,
+)
+
+__all__ = [
+    "OP_READ",
+    "OP_WRITE",
+    "EventBatch",
+    "concat_batches",
+    "synthesize_events",
+    "DEFAULT_BATCH_EVENTS",
+    "TraceInjector",
+    "DEFAULT_RING_CAPACITY",
+    "LivePipeline",
+    "LiveReport",
+    "OnlinePolicyEngine",
+    "PolicyDecision",
+    "POLICIES",
+    "RingBuffer",
+    "LIVE_SCHEMA_VERSION",
+    "LiveConfig",
+    "build_pipeline",
+    "report_to_dict",
+    "run_live",
+    "CountMinSketch",
+    "SpaceSaving",
+    "DEFAULT_CCR_FRACTION",
+    "ClosedWindow",
+    "RollingSkewTracker",
+    "WindowStats",
+    "offline_window_stats",
+]

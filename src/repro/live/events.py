@@ -1,0 +1,221 @@
+"""Columnar IO-event batches and deterministic event synthesis.
+
+The live pipeline moves IO events in *batches* of parallel numpy columns
+rather than per-event Python objects — the same columnar discipline the
+trace datasets use — which is what lets a pure-Python serving loop
+sustain hundreds of thousands of events per second.  A finite recorded
+stream is one :class:`EventBatch`; the injector slices it into bounded
+sub-batches for the ring-buffer stages.
+
+:func:`synthesize_events` turns the workload generator's per-second
+per-VD series into an explicit event stream (the "log-injector +
+synthetic dataset" split): every (VD, second, direction) cell with
+traffic becomes ``k`` equal-sized IOs spread uniformly inside the
+second, with segments assigned by inverse-CDF over the VD's segment
+weights.  The synthesis is deterministic — no RNG — so a replay is a
+fixed, reproducible stream and the online/offline differential tests
+can demand *exact* equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+from repro.workload.fleet import Fleet
+from repro.workload.generator import VdTraffic
+
+#: Opcode values in the ``op`` column (match :class:`repro.trace.records.OpKind`).
+OP_READ = 0
+OP_WRITE = 1
+
+
+@dataclass(frozen=True)
+class EventBatch:
+    """A batch of IO events as parallel columns, sorted by timestamp.
+
+    ``timestamp`` is in trace-time seconds (float, half-open in
+    ``[0, duration)``); ``op`` is :data:`OP_READ` / :data:`OP_WRITE`;
+    ``segment_id`` is the *global* fleet segment index.
+    """
+
+    timestamp: np.ndarray
+    vd_id: np.ndarray
+    op: np.ndarray
+    size_bytes: np.ndarray
+    segment_id: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.timestamp.shape[0]
+        for name in ("vd_id", "op", "size_bytes", "segment_id"):
+            if getattr(self, name).shape[0] != n:
+                raise ConfigError(
+                    f"event column {name!r} length differs from timestamp"
+                )
+
+    def __len__(self) -> int:
+        return int(self.timestamp.shape[0])
+
+    @property
+    def total_bytes(self) -> float:
+        return float(self.size_bytes.sum())
+
+    def slice(self, lo: int, hi: int) -> "EventBatch":
+        """A zero-copy view of events ``[lo, hi)``."""
+        return EventBatch(
+            timestamp=self.timestamp[lo:hi],
+            vd_id=self.vd_id[lo:hi],
+            op=self.op[lo:hi],
+            size_bytes=self.size_bytes[lo:hi],
+            segment_id=self.segment_id[lo:hi],
+        )
+
+    def shifted(self, seconds: float) -> "EventBatch":
+        """The same events displaced ``seconds`` later (bench replay loops)."""
+        return EventBatch(
+            timestamp=self.timestamp + seconds,
+            vd_id=self.vd_id,
+            op=self.op,
+            size_bytes=self.size_bytes,
+            segment_id=self.segment_id,
+        )
+
+    def iter_slices(self, batch_events: int) -> Iterator["EventBatch"]:
+        """Consecutive bounded sub-batches covering the whole stream."""
+        if batch_events < 1:
+            raise ConfigError(
+                f"batch_events must be >= 1, got {batch_events}"
+            )
+        for lo in range(0, len(self), batch_events):
+            yield self.slice(lo, min(lo + batch_events, len(self)))
+
+
+def concat_batches(batches: Sequence[EventBatch]) -> EventBatch:
+    """Concatenate batches (caller guarantees global timestamp order)."""
+    if not batches:
+        return EventBatch(
+            timestamp=np.zeros(0),
+            vd_id=np.zeros(0, dtype=np.int64),
+            op=np.zeros(0, dtype=np.int8),
+            size_bytes=np.zeros(0),
+            segment_id=np.zeros(0, dtype=np.int64),
+        )
+    return EventBatch(
+        timestamp=np.concatenate([b.timestamp for b in batches]),
+        vd_id=np.concatenate([b.vd_id for b in batches]),
+        op=np.concatenate([b.op for b in batches]),
+        size_bytes=np.concatenate([b.size_bytes for b in batches]),
+        segment_id=np.concatenate([b.segment_id for b in batches]),
+    )
+
+
+def _expand_direction(
+    vd_id: int,
+    first_segment_id: int,
+    bytes_series: np.ndarray,
+    iops_series: np.ndarray,
+    segment_weights: np.ndarray,
+    op: int,
+    duration_seconds: int,
+    max_ios_per_second: int,
+) -> "List[np.ndarray] | None":
+    """Event columns for one (VD, direction); None when it has no traffic."""
+    seconds = np.nonzero(bytes_series[:duration_seconds] > 0)[0]
+    if seconds.size == 0:
+        return None
+    counts = np.clip(
+        np.rint(iops_series[seconds]), 1, max_ios_per_second
+    ).astype(np.int64)
+    total = int(counts.sum())
+    # Position of each event inside its second: the (i + 0.5)/k grid.
+    starts = np.cumsum(counts) - counts
+    within = np.arange(total) - np.repeat(starts, counts)
+    k = np.repeat(counts, counts).astype(float)
+    offsets = (within + 0.5) / k
+    timestamps = np.repeat(seconds, counts).astype(float) + offsets
+    sizes = np.repeat(bytes_series[seconds] / counts, counts)
+    # Segment per event by inverse CDF at the same uniform grid.
+    cdf = np.cumsum(segment_weights)
+    local = np.searchsorted(cdf, offsets * cdf[-1], side="right")
+    local = np.minimum(local, segment_weights.size - 1)
+    return [
+        timestamps,
+        np.full(total, vd_id, dtype=np.int64),
+        np.full(total, op, dtype=np.int8),
+        sizes,
+        (first_segment_id + local).astype(np.int64),
+    ]
+
+
+def synthesize_events(
+    fleet: Fleet,
+    traffic: Sequence[VdTraffic],
+    duration_seconds: "int | None" = None,
+    max_ios_per_second: int = 16,
+) -> EventBatch:
+    """A deterministic finite event stream from generated VD traffic.
+
+    The canonical event order is timestamp-sorted with ties broken by
+    generation order (VD, then reads before writes) via a stable sort —
+    the stream *is* this order, and both the online tracker and the
+    offline reference consume it unchanged, which is what makes their
+    accumulation bitwise identical.
+    """
+    if max_ios_per_second < 1:
+        raise ConfigError(
+            f"max_ios_per_second must be >= 1, got {max_ios_per_second}"
+        )
+    if not traffic:
+        raise ConfigError("no VD traffic to synthesize events from")
+    if duration_seconds is None:
+        duration_seconds = int(traffic[0].read_bytes.shape[0])
+    if duration_seconds < 1:
+        raise ConfigError(
+            f"duration_seconds must be >= 1, got {duration_seconds}"
+        )
+    columns: List[List[np.ndarray]] = []
+    for tr in traffic:
+        vd = fleet.vds[tr.vd_id]
+        if tr.read_bytes.shape[0] < duration_seconds:
+            raise ConfigError(
+                f"vd {tr.vd_id} series shorter than duration "
+                f"{duration_seconds}"
+            )
+        for series, iops, weights, op in (
+            (tr.read_bytes, tr.read_iops, tr.segment_read_weights, OP_READ),
+            (
+                tr.write_bytes,
+                tr.write_iops,
+                tr.segment_write_weights,
+                OP_WRITE,
+            ),
+        ):
+            cols = _expand_direction(
+                tr.vd_id,
+                vd.first_segment_id,
+                series,
+                iops,
+                weights,
+                op,
+                duration_seconds,
+                max_ios_per_second,
+            )
+            if cols is not None:
+                columns.append(cols)
+    if not columns:
+        raise ConfigError("synthesized stream is empty (all series zero)")
+    stacked = [np.concatenate(parts) for parts in zip(*columns)]
+    order = np.argsort(stacked[0], kind="stable")
+    timestamp, vd_id, op_col, size_bytes, segment_id = (
+        arr[order] for arr in stacked
+    )
+    return EventBatch(
+        timestamp=timestamp,
+        vd_id=vd_id,
+        op=op_col,
+        size_bytes=size_bytes,
+        segment_id=segment_id,
+    )

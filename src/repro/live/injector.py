@@ -1,0 +1,92 @@
+"""The trace injector: replays a recorded stream into the pipeline.
+
+:class:`TraceInjector` is the pipeline's source stage.  It slices a
+finite :class:`~repro.live.events.EventBatch` into bounded sub-batches
+and pushes them into the first ring buffer, pacing against the wall
+clock at a configurable *rate multiplier*: ``rate=1.0`` replays in real
+time, ``rate=100.0`` a hundred-fold faster, ``rate=None`` as fast as the
+downstream stages accept ("max").  ``loops > 1`` replays the trace
+repeatedly with timestamps shifted forward each pass, which is how the
+benchmark sustains an arbitrarily long run from a short trace.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.live.events import EventBatch
+from repro.live.ring import RingBuffer
+from repro.util.errors import ConfigError
+
+#: Default number of events per injected sub-batch.
+DEFAULT_BATCH_EVENTS = 2048
+
+
+class TraceInjector:
+    """Replay an event stream into a ring buffer at a rate multiplier."""
+
+    def __init__(
+        self,
+        events: EventBatch,
+        rate: "Optional[float]" = None,
+        batch_events: int = DEFAULT_BATCH_EVENTS,
+        loops: int = 1,
+        clock: "Callable[[], float]" = time.monotonic,
+        sleep: "Callable[[float], None]" = time.sleep,
+    ):
+        if len(events) == 0:
+            raise ConfigError("cannot inject an empty event stream")
+        if rate is not None and rate <= 0:
+            raise ConfigError(f"rate multiplier must be > 0, got {rate}")
+        if batch_events < 1:
+            raise ConfigError(
+                f"batch_events must be >= 1, got {batch_events}"
+            )
+        if loops < 1:
+            raise ConfigError(f"loops must be >= 1, got {loops}")
+        self.events = events
+        self.rate = rate
+        self.batch_events = batch_events
+        self.loops = loops
+        self._clock = clock
+        self._sleep = sleep
+        self.injected_events = 0
+        self.dropped_events = 0
+        self.injected_batches = 0
+
+    def run(self, out: RingBuffer, put_timeout: "Optional[float]" = None) -> None:
+        """Push the whole replay into ``out`` and close it.
+
+        The buffer is closed even when injection fails, so downstream
+        consumers always observe end-of-stream and can drain cleanly.
+        """
+        base = float(self.events.timestamp[0])
+        span = float(self.events.timestamp[-1]) - base
+        try:
+            start = self._clock()
+            for pass_index in range(self.loops):
+                shift = pass_index * (span + 1.0)
+                source = (
+                    self.events
+                    if pass_index == 0
+                    else self.events.shifted(shift)
+                )
+                for batch in source.iter_slices(self.batch_events):
+                    if self.rate is not None:
+                        # Release each sub-batch when its first event is
+                        # due: due-time = (trace time since trace start)
+                        # scaled down by the rate multiplier.
+                        due = start + (
+                            float(batch.timestamp[0]) - base
+                        ) / self.rate
+                        delay = due - self._clock()
+                        if delay > 0:
+                            self._sleep(delay)
+                    if out.put(batch, timeout=put_timeout):
+                        self.injected_events += len(batch)
+                        self.injected_batches += 1
+                    else:
+                        self.dropped_events += len(batch)
+        finally:
+            out.close()

@@ -1,0 +1,245 @@
+"""The live serving loop: injector -> rolling stats -> policy, over rings.
+
+Three stages run on their own threads, connected by bounded
+:class:`~repro.live.ring.RingBuffer` edges:
+
+1. **inject** — the :class:`~repro.live.injector.TraceInjector` replays
+   the recorded stream into the event ring at the configured rate;
+2. **stats** — drains event batches, folds them into the
+   :class:`~repro.live.windowing.RollingSkewTracker` and the hot-segment
+   sketches, and forwards every closed window into the window ring;
+3. **policy** — drains closed windows and asks the
+   :class:`~repro.live.policy.OnlinePolicyEngine` for decisions, timing
+   each call (the bounded-decision-latency budget is observable, not
+   assumed).
+
+Backpressure is explicit at every edge: the event ring either blocks
+the injector (lossless mode) or drops whole batches with accounting;
+the window ring always blocks (windows are rare — thousands of times
+fewer than events — so blocking there cannot stall ingest for long).
+A failing stage closes both of its rings so its neighbours unwind
+instead of deadlocking, and the first failure is re-raised from
+:meth:`LivePipeline.run` with its original traceback.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.live.events import EventBatch
+from repro.live.injector import TraceInjector
+from repro.live.policy import OnlinePolicyEngine, PolicyDecision
+from repro.live.ring import RingBuffer
+from repro.live.sketches import CountMinSketch, SpaceSaving
+from repro.live.windowing import RollingSkewTracker, WindowStats
+from repro.obs.runtime import get_telemetry
+from repro.util.errors import ConfigError, LiveError
+
+#: Default capacity (in batches) of the event ring.
+DEFAULT_RING_CAPACITY = 64
+#: How long a blocked stage waits before declaring the pipeline stuck.
+DEFAULT_STALL_TIMEOUT = 60.0
+
+
+@dataclass
+class LiveReport:
+    """Everything one pipeline run observed, in plain-data form."""
+
+    wall_seconds: float
+    events: int
+    events_dropped: int
+    batches: int
+    events_per_sec: float
+    windows: List[WindowStats] = field(default_factory=list)
+    decisions: List[PolicyDecision] = field(default_factory=list)
+    top_segments: List[Dict[str, float]] = field(default_factory=list)
+    ring_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    decision_latency_max_us: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "wall_seconds": self.wall_seconds,
+            "events": self.events,
+            "events_dropped": self.events_dropped,
+            "batches": self.batches,
+            "events_per_sec": self.events_per_sec,
+            "windows": [w.to_dict() for w in self.windows],
+            "decisions": [d.to_dict() for d in self.decisions],
+            "top_segments": self.top_segments,
+            "ring_stats": self.ring_stats,
+            "decision_latency_max_us": self.decision_latency_max_us,
+        }
+
+
+class LivePipeline:
+    """Wire the stages together and run one bounded replay."""
+
+    def __init__(
+        self,
+        injector: TraceInjector,
+        tracker: RollingSkewTracker,
+        policy: "OnlinePolicyEngine | None" = None,
+        topk: "SpaceSaving | None" = None,
+        ring_capacity: int = DEFAULT_RING_CAPACITY,
+        overflow: str = "block",
+        stall_timeout: "Optional[float]" = DEFAULT_STALL_TIMEOUT,
+        topk_report: int = 10,
+    ):
+        if ring_capacity < 1:
+            raise ConfigError(
+                f"ring_capacity must be >= 1, got {ring_capacity}"
+            )
+        self.injector = injector
+        self.tracker = tracker
+        self.policy = policy
+        self.topk = topk if topk is not None else SpaceSaving(
+            capacity=64, sketch=CountMinSketch()
+        )
+        self.topk_report = topk_report
+        self.stall_timeout = stall_timeout
+        self._event_ring = RingBuffer(
+            ring_capacity, policy=overflow, name="live.events"
+        )
+        # Windows are ~3 orders of magnitude rarer than event batches; a
+        # small always-blocking ring keeps the policy stage lossless.
+        self._window_ring = RingBuffer(8, policy="block", name="live.windows")
+        self._errors: "List[BaseException]" = []
+        self._error_lock = threading.Lock()
+
+    # -- stage bodies --------------------------------------------------------
+
+    def _record_error(self, error: BaseException) -> None:
+        with self._error_lock:
+            self._errors.append(error)
+
+    def _inject_stage(self) -> None:
+        try:
+            self.injector.run(
+                self._event_ring, put_timeout=self.stall_timeout
+            )
+        except BaseException as error:  # noqa: BLE001 - re-raised by run()
+            self._record_error(error)
+            self._event_ring.close()
+
+    def _stats_stage(self) -> None:
+        telemetry = get_telemetry()
+        events_total = telemetry.counter("live.events_total")
+        batches_total = telemetry.counter("live.batches_total")
+        windows_closed = telemetry.counter("live.windows_closed")
+        try:
+            while True:
+                batch = self._event_ring.get(timeout=self.stall_timeout)
+                if batch is None:
+                    break
+                closed = self.tracker.observe(batch)
+                self.topk.update_many(batch.segment_id, batch.size_bytes)
+                events_total.inc(len(batch))
+                batches_total.inc()
+                for window in closed:
+                    windows_closed.inc()
+                    self._window_ring.put(
+                        window, timeout=self.stall_timeout
+                    )
+            for window in self.tracker.finish():
+                windows_closed.inc()
+                self._window_ring.put(window, timeout=self.stall_timeout)
+        except BaseException as error:  # noqa: BLE001 - re-raised by run()
+            self._record_error(error)
+            self._event_ring.close()
+        finally:
+            self._window_ring.close()
+
+    def _policy_stage(self, report: LiveReport) -> None:
+        telemetry = get_telemetry()
+        decisions_total = telemetry.counter("live.decisions_total")
+        latency_hist = telemetry.histogram("live.decision_latency_us")
+        try:
+            while True:
+                closed = self._window_ring.get(timeout=self.stall_timeout)
+                if closed is None:
+                    break
+                t0 = time.perf_counter()
+                if self.policy is not None:
+                    decisions = self.policy.on_window(closed)
+                else:
+                    decisions = []
+                latency_us = int(
+                    (time.perf_counter() - t0) * 1_000_000
+                )
+                latency_hist.observe(latency_us)
+                if latency_us > report.decision_latency_max_us:
+                    report.decision_latency_max_us = latency_us
+                decisions_total.inc(len(decisions))
+                report.windows.append(closed.stats)
+                report.decisions.extend(decisions)
+        except BaseException as error:  # noqa: BLE001 - re-raised by run()
+            self._record_error(error)
+            self._window_ring.close()
+
+    # -- orchestration -------------------------------------------------------
+
+    def run(self) -> LiveReport:
+        """Execute the replay to completion and return its report.
+
+        Raises :class:`LiveError` (chaining the stage's original
+        exception) if any stage failed; a clean return implies every
+        stage drained and joined.
+        """
+        telemetry = get_telemetry()
+        report = LiveReport(
+            wall_seconds=0.0,
+            events=0,
+            events_dropped=0,
+            batches=0,
+            events_per_sec=0.0,
+        )
+        threads = [
+            threading.Thread(
+                target=self._inject_stage, name="live-inject", daemon=True
+            ),
+            threading.Thread(
+                target=self._stats_stage, name="live-stats", daemon=True
+            ),
+            threading.Thread(
+                target=self._policy_stage,
+                args=(report,),
+                name="live-policy",
+                daemon=True,
+            ),
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - start
+        if self._errors:
+            first = self._errors[0]
+            raise LiveError(
+                f"live pipeline failed in {len(self._errors)} stage(s): "
+                f"{first}"
+            ) from first
+        report.wall_seconds = wall
+        report.events = self.injector.injected_events
+        report.events_dropped = self.injector.dropped_events
+        report.batches = self.injector.injected_batches
+        report.events_per_sec = (
+            report.events / wall if wall > 0 else float(report.events)
+        )
+        report.top_segments = self.topk.to_dict(self.topk_report)
+        report.ring_stats = {
+            ring.name: ring.stats()
+            for ring in (self._event_ring, self._window_ring)
+        }
+        telemetry.counter("live.events_dropped").inc(report.events_dropped)
+        telemetry.gauge("live.events_per_sec").set_max(
+            int(report.events_per_sec)
+        )
+        for ring in (self._event_ring, self._window_ring):
+            telemetry.gauge(
+                "live.queue_depth_max", ring=ring.name
+            ).set_max(ring.max_depth)
+        return report

@@ -1,0 +1,124 @@
+"""Bounded ring-buffer queues connecting the pipeline stages.
+
+Every edge in the live pipeline is a :class:`RingBuffer` with a hard
+capacity — the backpressure contract is *bounded queues, drop with
+accounting, never unbounded growth*.  Two overflow policies:
+
+- ``"block"`` — the producer waits for space (lossless; the mode the
+  online/offline differential tests run in);
+- ``"drop"`` — the newest item is rejected and counted, so an
+  over-driven pipeline sheds load at ingest instead of growing queues.
+
+The buffer is single-producer/single-consumer FIFO in this pipeline, so
+with ``"block"`` the consumed order equals the produced order and the
+whole run is deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Optional
+
+from repro.util.errors import ConfigError, LiveError
+
+#: Overflow policies accepted by :class:`RingBuffer`.
+POLICIES = ("block", "drop")
+
+
+class RingBuffer:
+    """A bounded FIFO with explicit overflow accounting."""
+
+    def __init__(self, capacity: int, policy: str = "block", name: str = ""):
+        if capacity < 1:
+            raise ConfigError(f"capacity must be >= 1, got {capacity}")
+        if policy not in POLICIES:
+            raise ConfigError(
+                f"policy must be one of {POLICIES}, got {policy!r}"
+            )
+        self.capacity = capacity
+        self.policy = policy
+        self.name = name or "ring"
+        self.accepted = 0
+        self.dropped = 0
+        self.max_depth = 0
+        self._items: "deque[Any]" = deque()
+        self._closed = False
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+
+    # -- producer side -------------------------------------------------------
+
+    def put(self, item: Any, timeout: "Optional[float]" = None) -> bool:
+        """Enqueue ``item``; returns False when it was dropped.
+
+        Under ``"block"`` the call waits for space (``timeout`` seconds
+        at most; expiry raises :class:`LiveError` so a stuck consumer is
+        an error, never silent loss).  Under ``"drop"`` a full buffer
+        rejects the item immediately and counts it.
+        """
+        with self._lock:
+            if self._closed:
+                raise LiveError(f"{self.name}: put() after close()")
+            if len(self._items) >= self.capacity:
+                if self.policy == "drop":
+                    self.dropped += 1
+                    return False
+                if not self._not_full.wait_for(
+                    lambda: len(self._items) < self.capacity or self._closed,
+                    timeout=timeout,
+                ):
+                    raise LiveError(
+                        f"{self.name}: producer blocked for more than "
+                        f"{timeout}s (consumer stalled?)"
+                    )
+                if self._closed:
+                    raise LiveError(f"{self.name}: closed while blocked")
+            self._items.append(item)
+            self.accepted += 1
+            if len(self._items) > self.max_depth:
+                self.max_depth = len(self._items)
+            self._not_empty.notify()
+            return True
+
+    def close(self) -> None:
+        """Mark the stream complete; pending items still drain."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    # -- consumer side -------------------------------------------------------
+
+    def get(self, timeout: "Optional[float]" = None) -> Any:
+        """Dequeue the next item; ``None`` means closed-and-drained."""
+        with self._lock:
+            if not self._not_empty.wait_for(
+                lambda: self._items or self._closed, timeout=timeout
+            ):
+                raise LiveError(
+                    f"{self.name}: consumer waited more than {timeout}s "
+                    "(producer stalled?)"
+                )
+            if not self._items:
+                return None
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def stats(self) -> "dict[str, int]":
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "accepted": self.accepted,
+                "dropped": self.dropped,
+                "max_depth": self.max_depth,
+            }

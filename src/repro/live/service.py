@@ -1,0 +1,165 @@
+"""Top-level entry point: configure, build, replay, report.
+
+:func:`run_live` is what the ``ebs-repro live`` subcommand (and the
+benchmark) calls: it builds one data center of the chosen scale, turns
+its generated workload into a deterministic event stream, wires the
+:class:`~repro.live.pipeline.LivePipeline`, runs the bounded replay,
+and returns a JSON-ready report.  Everything is derived from the study
+seed, so two runs of the same :class:`LiveConfig` replay the identical
+stream (wall-clock figures aside).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.core.config import StudyConfig
+from repro.live.events import synthesize_events
+from repro.live.injector import DEFAULT_BATCH_EVENTS, TraceInjector
+from repro.live.pipeline import (
+    DEFAULT_RING_CAPACITY,
+    LivePipeline,
+    LiveReport,
+)
+from repro.live.policy import OnlinePolicyEngine
+from repro.live.sketches import CountMinSketch, SpaceSaving
+from repro.live.windowing import (
+    DEFAULT_CCR_FRACTION,
+    RollingSkewTracker,
+)
+from repro.obs.runtime import get_telemetry
+from repro.util.errors import ConfigError
+from repro.util.rng import RngFactory
+from repro.workload.fleet import build_fleet
+from repro.workload.generator import WorkloadGenerator
+
+#: Version of the ``live.json`` report layout.
+LIVE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class LiveConfig:
+    """One live-service run, fully specified."""
+
+    scale: str = "small"
+    seed: int = 7
+    #: Trace seconds to synthesize and replay (per loop).
+    duration_seconds: int = 60
+    #: Wall-clock speed-up; ``None`` replays as fast as possible ("max").
+    rate: Optional[float] = None
+    window_seconds: int = 10
+    batch_events: int = DEFAULT_BATCH_EVENTS
+    ring_capacity: int = DEFAULT_RING_CAPACITY
+    #: ``"block"`` (lossless) or ``"drop"`` (shed load at ingest).
+    overflow: str = "block"
+    loops: int = 1
+    max_ios_per_second: int = 16
+    ccr_fraction: float = DEFAULT_CCR_FRACTION
+    topk_capacity: int = 64
+    sketch_width: int = 2048
+    lending_rate: float = 0.8
+    trigger_ratio: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.duration_seconds < 1:
+            raise ConfigError(
+                f"duration_seconds must be >= 1, got {self.duration_seconds}"
+            )
+        if self.window_seconds < 1:
+            raise ConfigError(
+                f"window_seconds must be >= 1, got {self.window_seconds}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scale": self.scale,
+            "seed": self.seed,
+            "duration_seconds": self.duration_seconds,
+            "rate": self.rate,
+            "window_seconds": self.window_seconds,
+            "batch_events": self.batch_events,
+            "ring_capacity": self.ring_capacity,
+            "overflow": self.overflow,
+            "loops": self.loops,
+        }
+
+
+def build_pipeline(config: LiveConfig) -> LivePipeline:
+    """Everything up to (but not including) running the replay."""
+    study = StudyConfig.scale(config.scale, seed=config.seed)
+    dc_config = study.dc_configs[0]
+    rngs = RngFactory(config.seed)
+    fleet = build_fleet(dc_config, rngs)
+    generator = WorkloadGenerator(fleet, config.duration_seconds, rngs)
+    traffic = generator.generate_all()
+    events = synthesize_events(
+        fleet,
+        traffic,
+        config.duration_seconds,
+        max_ios_per_second=config.max_ios_per_second,
+    )
+    caps = np.array([vd.throughput_cap_bps for vd in fleet.vds])
+    binding = np.array(
+        [fleet.vms[vd.vm_id].compute_node_id for vd in fleet.vds],
+        dtype=np.int64,
+    )
+    policy = OnlinePolicyEngine(
+        caps_bps=caps,
+        vd_to_node=binding,
+        num_nodes=dc_config.num_compute_nodes,
+        lending_rate=config.lending_rate,
+        trigger_ratio=config.trigger_ratio,
+    )
+    # Looped replays shift each pass past the previous one; size the
+    # tracked horizon to cover every pass (stragglers past the horizon
+    # are out of scope by the tracker's contract).
+    total_seconds = config.loops * (config.duration_seconds + 1)
+    tracker = RollingSkewTracker(
+        num_vds=len(fleet.vds),
+        window_seconds=config.window_seconds,
+        total_seconds=total_seconds,
+        ccr_fraction=config.ccr_fraction,
+    )
+    injector = TraceInjector(
+        events,
+        rate=config.rate,
+        batch_events=config.batch_events,
+        loops=config.loops,
+    )
+    topk = SpaceSaving(
+        capacity=config.topk_capacity,
+        sketch=CountMinSketch(width=config.sketch_width),
+    )
+    return LivePipeline(
+        injector,
+        tracker,
+        policy=policy,
+        topk=topk,
+        ring_capacity=config.ring_capacity,
+        overflow=config.overflow,
+    )
+
+
+def run_live(config: LiveConfig) -> LiveReport:
+    """Build and run one live replay, instrumented end to end."""
+    telemetry = get_telemetry()
+    with telemetry.span(
+        "live.run",
+        scale=config.scale,
+        rate="max" if config.rate is None else config.rate,
+        duration=config.duration_seconds,
+    ):
+        pipeline = build_pipeline(config)
+        return pipeline.run()
+
+
+def report_to_dict(config: LiveConfig, report: LiveReport) -> Dict[str, Any]:
+    """The JSON artifact written by ``ebs-repro live -o``."""
+    return {
+        "schema_version": LIVE_SCHEMA_VERSION,
+        "config": config.to_dict(),
+        "report": report.to_dict(),
+    }

@@ -1,0 +1,277 @@
+"""Rolling window accumulators for online CCR / P2A / CoV.
+
+:class:`RollingSkewTracker` consumes the event stream batch by batch and
+maintains fixed-size accumulators for the current window — per-VD byte
+totals (split by direction) and per-second totals — built on the
+:mod:`repro.util.timewindow` bucketing arithmetic.  When the stream
+crosses a window boundary the window closes and its skew statistics are
+computed by calling the *same* :mod:`repro.stats` functions the batch
+analyses use.
+
+The equivalence contract (pinned by the differential tests): feeding a
+finite stream through the tracker — in any batch slicing — produces,
+for every window, accumulator arrays *bitwise identical* to bucketing
+the whole stream offline, because ``np.add.at`` applies increments in
+element order and the tracker preserves global event order across batch
+splits.  Identical arrays into identical :func:`repro.stats.skewness`
+calls means the online CCR/P2A/CoV equal the offline values exactly —
+not approximately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.live.events import OP_READ, EventBatch
+from repro.stats.ratios import wr_ratio
+from repro.stats.skewness import ccr, cov, p2a
+from repro.util.errors import ConfigError
+from repro.util.timewindow import TimeWindow, iter_windows
+
+#: The paper's headline spatial-skew fraction (1%-CCR).
+DEFAULT_CCR_FRACTION = 0.01
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Skew statistics of one closed time window."""
+
+    window: TimeWindow
+    events: int
+    total_bytes: float
+    read_bytes: float
+    write_bytes: float
+    #: Share of window traffic from the hottest ``ccr_fraction`` of VDs.
+    ccr_hot: float
+    #: Peak-to-average of the window's per-second traffic.
+    p2a: float
+    #: Coefficient of variation across per-VD totals.
+    cov: float
+    #: Normalized write-read ratio of the window (Equation 2).
+    wr_ratio: float
+
+    def to_dict(self) -> dict:
+        return {
+            "start": self.window.start,
+            "end": self.window.end,
+            "events": self.events,
+            "total_bytes": self.total_bytes,
+            "read_bytes": self.read_bytes,
+            "write_bytes": self.write_bytes,
+            "ccr_hot": self.ccr_hot,
+            "p2a": self.p2a,
+            "cov": self.cov,
+            "wr_ratio": self.wr_ratio,
+        }
+
+
+@dataclass(frozen=True)
+class ClosedWindow:
+    """A closed window's statistics plus its raw per-VD accumulator.
+
+    The per-VD vector feeds the online policy engine (lend / rebind
+    decisions need entity-level loads, not just the scalar skew stats).
+    """
+
+    stats: WindowStats
+    per_vd: np.ndarray
+
+
+def _close_window(
+    window: TimeWindow,
+    events: int,
+    per_vd: np.ndarray,
+    per_vd_read: np.ndarray,
+    per_vd_write: np.ndarray,
+    per_second: np.ndarray,
+    ccr_fraction: float,
+) -> ClosedWindow:
+    """Assemble one window's stats from its accumulators.
+
+    Shared by the online tracker and the offline reference so both
+    paths run literally the same :mod:`repro.stats` calls.
+    """
+    read_total = float(per_vd_read.sum())
+    write_total = float(per_vd_write.sum())
+    stats = WindowStats(
+        window=window,
+        events=events,
+        total_bytes=float(per_vd.sum()),
+        read_bytes=read_total,
+        write_bytes=write_total,
+        ccr_hot=ccr(per_vd, ccr_fraction),
+        p2a=p2a(per_second),
+        cov=cov(per_vd),
+        wr_ratio=wr_ratio(write_total, read_total),
+    )
+    return ClosedWindow(stats=stats, per_vd=per_vd.copy())
+
+
+class RollingSkewTracker:
+    """Online windowed skew statistics over a live event stream.
+
+    The accumulators are ring-buffer style: one window's worth of state,
+    reset in place at every boundary — memory is O(num_vds +
+    window_seconds) regardless of stream length.
+    """
+
+    def __init__(
+        self,
+        num_vds: int,
+        window_seconds: int,
+        total_seconds: int,
+        ccr_fraction: float = DEFAULT_CCR_FRACTION,
+        drop_partial: bool = False,
+    ):
+        if num_vds < 1:
+            raise ConfigError(f"num_vds must be >= 1, got {num_vds}")
+        # Window arithmetic (and its validation) delegates to the
+        # timewindow helpers; materializing the bounds is fine because
+        # the window count is total/window, not per event.
+        self._windows = list(
+            iter_windows(total_seconds, window_seconds, drop_partial)
+        )
+        self.window_seconds = window_seconds
+        self.total_seconds = total_seconds
+        self.num_vds = num_vds
+        self.ccr_fraction = ccr_fraction
+        self._cursor = 0
+        self._events = 0
+        self._last_seen = 0.0
+        self._per_vd = np.zeros(num_vds)
+        self._per_vd_read = np.zeros(num_vds)
+        self._per_vd_write = np.zeros(num_vds)
+        self._per_second = np.zeros(window_seconds)
+
+    @property
+    def windows_total(self) -> int:
+        return len(self._windows)
+
+    @property
+    def windows_closed(self) -> int:
+        return self._cursor
+
+    def _current(self) -> "TimeWindow | None":
+        if self._cursor >= len(self._windows):
+            return None
+        return self._windows[self._cursor]
+
+    def _close_current(self) -> ClosedWindow:
+        window = self._windows[self._cursor]
+        closed = _close_window(
+            window,
+            self._events,
+            self._per_vd,
+            self._per_vd_read,
+            self._per_vd_write,
+            self._per_second[: window.duration],
+            self.ccr_fraction,
+        )
+        self._per_vd[:] = 0.0
+        self._per_vd_read[:] = 0.0
+        self._per_vd_write[:] = 0.0
+        self._per_second[:] = 0.0
+        self._events = 0
+        self._cursor += 1
+        return closed
+
+    def _accumulate(self, batch: EventBatch, lo: int, hi: int, w0: int) -> None:
+        vd = batch.vd_id[lo:hi]
+        size = batch.size_bytes[lo:hi]
+        seconds = (
+            np.floor(batch.timestamp[lo:hi]).astype(np.int64) - w0
+        )
+        np.add.at(self._per_vd, vd, size)
+        reads = batch.op[lo:hi] == OP_READ
+        np.add.at(self._per_vd_read, vd[reads], size[reads])
+        np.add.at(self._per_vd_write, vd[~reads], size[~reads])
+        np.add.at(self._per_second, seconds, size)
+        self._events += hi - lo
+
+    def observe(self, batch: EventBatch) -> List[ClosedWindow]:
+        """Fold one batch in; returns the windows it closed (maybe [])."""
+        closed: List[ClosedWindow] = []
+        n = len(batch)
+        if n == 0:
+            return closed
+        ts = batch.timestamp
+        if ts[0] < self._last_seen:
+            raise ConfigError(
+                f"event stream went backwards: {ts[0]} after "
+                f"{self._last_seen}"
+            )
+        self._last_seen = float(ts[-1])
+        i = 0
+        while i < n:
+            window = self._current()
+            if window is None:
+                # Past the final tracked window (drop_partial tail or a
+                # stream longer than declared): remaining events are out
+                # of scope by construction.
+                break
+            if ts[i] >= window.end:
+                closed.append(self._close_current())
+                continue
+            j = int(np.searchsorted(ts, window.end, side="left"))
+            self._accumulate(batch, i, j, window.start)
+            i = j
+        return closed
+
+    def finish(self) -> List[ClosedWindow]:
+        """Close every remaining window (zero-traffic ones included)."""
+        closed: List[ClosedWindow] = []
+        while self._current() is not None:
+            closed.append(self._close_current())
+        return closed
+
+
+def offline_window_stats(
+    events: EventBatch,
+    num_vds: int,
+    total_seconds: int,
+    window_seconds: int,
+    ccr_fraction: float = DEFAULT_CCR_FRACTION,
+    drop_partial: bool = False,
+) -> List[ClosedWindow]:
+    """The batch reference: bucket the whole stream per window, offline.
+
+    This is the ground truth the online tracker is differentially tested
+    against; it uses :func:`iter_windows` bucketing and the identical
+    :func:`_close_window` statistics path.
+    """
+    if num_vds < 1:
+        raise ConfigError(f"num_vds must be >= 1, got {num_vds}")
+    ts = events.timestamp
+    out: List[ClosedWindow] = []
+    for window in iter_windows(total_seconds, window_seconds, drop_partial):
+        lo = int(np.searchsorted(ts, window.start, side="left"))
+        hi = int(np.searchsorted(ts, window.end, side="left"))
+        per_vd = np.zeros(num_vds)
+        per_vd_read = np.zeros(num_vds)
+        per_vd_write = np.zeros(num_vds)
+        per_second = np.zeros(window.duration)
+        vd = events.vd_id[lo:hi]
+        size = events.size_bytes[lo:hi]
+        seconds = (
+            np.floor(ts[lo:hi]).astype(np.int64) - window.start
+        )
+        np.add.at(per_vd, vd, size)
+        reads = events.op[lo:hi] == OP_READ
+        np.add.at(per_vd_read, vd[reads], size[reads])
+        np.add.at(per_vd_write, vd[~reads], size[~reads])
+        np.add.at(per_second, seconds, size)
+        out.append(
+            _close_window(
+                window,
+                hi - lo,
+                per_vd,
+                per_vd_read,
+                per_vd_write,
+                per_second,
+                ccr_fraction,
+            )
+        )
+    return out

@@ -487,8 +487,13 @@ class SweepRunner:
         if node.kind is NodeKind.POINT:
             self._run_point_node(node)
             return
-        payload = self._payload_for(node, fresh=False)
+        # Attempts run against a fresh worker handle (the pool protocol)
+        # and only the attempt that *succeeded* merges back: a failed-
+        # then-retried node must not double-count its partial metrics in
+        # the parent's snapshot.
+        payload = self._payload_for(node, fresh=telemetry.enabled)
         outcome = _NODE_RUNNERS[node.kind](payload)
+        telemetry.merge_snapshot(outcome.get("snapshot"))
         telemetry.histogram(
             "sweep.node_seconds", kind=node.kind.value
         ).observe(outcome["elapsed_s"])
@@ -512,9 +517,13 @@ class SweepRunner:
                 except Exception as error:
                     failures.append(error)
             else:
+                # ``from failures[-1]`` keeps the final attempt's real
+                # traceback on the chain; the key pinpoints the store
+                # entry for post-mortem (``label`` is not unique across
+                # chunking variants).
                 raise SweepError(
-                    f"node {node.label} failed after "
-                    f"{self.retries + 1} attempt(s): {failures[-1]}"
+                    f"node {node.label} (key {node.key[:12]}) failed "
+                    f"after {self.retries + 1} attempt(s): {failures[-1]}"
                 ) from failures[-1]
             stats.executed += 1
             telemetry.counter(
@@ -566,11 +575,31 @@ class SweepRunner:
                         node.kind is not NodeKind.POINT
                     ):
                         break
-                    if self._node_hook is not None:
-                        self._node_hook(node, attempts[node.key])
-                    if node.kind is NodeKind.POINT:
-                        self._run_point_node(node)
-                        mark_done(node.key)
+                    try:
+                        # The hook's documented contract: an exception
+                        # counts as this attempt's failure (same as the
+                        # inline path), it must not abort the sweep
+                        # while retry budget remains.
+                        if self._node_hook is not None:
+                            self._node_hook(node, attempts[node.key])
+                        if node.kind is NodeKind.POINT:
+                            self._run_point_node(node)
+                            mark_done(node.key)
+                            continue
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except Exception as error:
+                        attempts[node.key] += 1
+                        if attempts[node.key] > self.retries:
+                            raise SweepError(
+                                f"node {node.label} (key "
+                                f"{node.key[:12]}) failed after "
+                                f"{attempts[node.key]} attempt(s): {error}"
+                            ) from error
+                        stats.retries += 1
+                        telemetry.counter(
+                            "sweep.node_retries", kind=node.kind.value
+                        ).inc()
                         continue
                     future = pool.submit(
                         _NODE_RUNNERS[node.kind],
@@ -602,8 +631,9 @@ class SweepRunner:
                     attempts[key] += 1
                     if attempts[key] > self.retries:
                         raise SweepError(
-                            f"node {node.label} failed after "
-                            f"{attempts[key]} attempt(s): {error}"
+                            f"node {node.label} (key {node.key[:12]}) "
+                            f"failed after {attempts[key]} attempt(s): "
+                            f"{error}"
                         ) from error
                     stats.retries += 1
                     telemetry.counter(

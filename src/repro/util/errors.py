@@ -24,3 +24,7 @@ class SimulationError(ReproError):
 
 class SweepError(ReproError):
     """A sweep node failed after exhausting its retry budget."""
+
+
+class LiveError(ReproError):
+    """The live ingestion pipeline failed or shut down uncleanly."""

@@ -136,3 +136,62 @@ class TestMainEndToEnd:
         assert "dc0_traces.jsonl" in written
         assert "dc0_compute.csv" in written
         assert "dc0_storage.csv" in written
+
+
+@pytest.mark.slow
+class TestFlushFailures:
+    """The ``finally``-path writers must chain causes, never mask them."""
+
+    def test_results_flush_failure_exits_nonzero_and_names_artifact(
+        self, tmp_path, capsys
+    ):
+        target = tmp_path / "missing" / "results.json"
+        code = main(
+            ["run", "table2", "--scale", "small", "-o", str(target)]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "NOT written" in err
+        assert str(target) in err
+        # main() surfaces the chained OSError root cause.
+        assert "caused by" in err
+
+    def test_telemetry_flush_failure_exits_nonzero(self, tmp_path, capsys):
+        # A *file* where the parent directory should be defeats the
+        # writer's mkdir(parents=True) with NotADirectoryError.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("in the way")
+        target = blocker / "telemetry.json"
+        code = main(
+            ["run", "table2", "--scale", "small",
+             "--telemetry", str(target)]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "telemetry was not written" in err
+        assert "caused by" in err
+
+    def test_telemetry_failure_never_masks_inflight_error(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """A failing telemetry write during exception unwind is logged,
+        and the original (in-flight) failure keeps propagating."""
+        import repro.cli as cli_module
+        from repro.obs.runtime import Telemetry
+
+        def exploding_study(args):
+            raise RuntimeError("mid-study blowup")
+
+        def exploding_write(self, path):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(cli_module, "_study", exploding_study)
+        monkeypatch.setattr(Telemetry, "write", exploding_write)
+        with pytest.raises(RuntimeError, match="mid-study blowup"):
+            main(
+                ["run", "table2", "--scale", "small",
+                 "--telemetry", str(tmp_path / "telemetry.json")]
+            )
+        err = capsys.readouterr().err
+        assert "telemetry was NOT written" in err
+        assert "keeping the original failure" in err

@@ -31,16 +31,22 @@ PLAN = FaultPlan(events=(
 ))
 
 
+#: 50s is NOT a multiple of the 9s epoch: the final epoch itself is
+#: partial (5s), on top of whatever ragged final *shard* the chunking
+#: produces — the worst-case carry-over geometry.
+RAGGED_SIM = SimulationConfig(duration_seconds=50, trace_sampling_rate=0.2)
+
+
 def _run(
     streamed, chunk_epochs=2, workers=1, plan=None, telemetry=False,
-    cleanup=True,
+    cleanup=True, sim=SIM,
 ):
     """One run; ``cleanup=False`` keeps the shard store alive so the
     caller can read the lazy ``result.traffic`` view (caller must call
     ``engine.cleanup()``)."""
     rngs = RngFactory(11)
     fleet = build_fleet(FLEET, rngs)
-    simulator = EBSSimulator(fleet, SIM, rngs, fault_plan=plan)
+    simulator = EBSSimulator(fleet, sim, rngs, fault_plan=plan)
     session = Telemetry(enabled=telemetry)
     engine = None
     with telemetry_session(session) as handle:
@@ -68,11 +74,13 @@ def monolithic():
 
 
 class TestDigestParity:
-    @pytest.mark.parametrize("chunk_epochs", [1, 2, 5])
+    @pytest.mark.parametrize("chunk_epochs", [1, 2, 5, 7])
     @pytest.mark.parametrize("workers", [1, 2])
     def test_streamed_digest_matches_monolithic(
         self, monolithic, chunk_epochs, workers
     ):
+        # chunk_epochs=7 exceeds the run's 5 epochs: the whole
+        # simulation must collapse into one (clamped) shard.
         result, _, _ = _run(
             True, chunk_epochs=chunk_epochs, workers=workers
         )
@@ -98,6 +106,53 @@ class TestDigestParity:
             got = result.metrics.compute.columns()[name]
             assert got.dtype == column.dtype
             assert np.array_equal(got, column)
+
+
+@pytest.fixture(scope="module")
+def ragged_monolithic():
+    result, _, _ = _run(False, sim=RAGGED_SIM)
+    return result
+
+
+class TestGeometryEdgeCases:
+    """The shard-geometry corners: oversize chunks and partial epochs."""
+
+    @pytest.mark.parametrize(
+        "chunk_epochs,workers", [(2, 1), (4, 2), (7, 1)]
+    )
+    def test_partial_final_epoch_matches_monolithic(
+        self, ragged_monolithic, chunk_epochs, workers
+    ):
+        """50s over 9s epochs: the last epoch is 5s, shards are ragged.
+
+        chunk=2 -> shards 18+18+14s; chunk=4 -> 36+14s; chunk=7 (> the
+        run's 6 epochs) -> one 50s shard.  All must match the
+        single-shot digest exactly.
+        """
+        result, _, _ = _run(
+            True,
+            sim=RAGGED_SIM,
+            chunk_epochs=chunk_epochs,
+            workers=workers,
+        )
+        assert result_digest(result) == result_digest(ragged_monolithic)
+
+    def test_oversize_chunk_collapses_to_one_shard(self):
+        from repro.engine.plan import plan_for
+
+        plan = plan_for(45, num_vds=12, chunk_epochs=7, epoch_seconds=9)
+        assert plan.num_shards == 1
+        assert plan.shard_bounds(0) == (0, 45)
+
+    def test_ragged_plan_bounds_cover_exactly_once(self):
+        from repro.engine.plan import plan_for
+
+        plan = plan_for(50, num_vds=12, chunk_epochs=2, epoch_seconds=9)
+        bounds = plan.all_shard_bounds()
+        assert bounds == [(0, 18), (18, 36), (36, 50)]
+        assert bounds[0][0] == 0 and bounds[-1][1] == 50
+        for (_, t1), (t0, _) in zip(bounds, bounds[1:]):
+            assert t1 == t0  # contiguous, no overlap, no gap
 
 
 class TestTelemetryParity:

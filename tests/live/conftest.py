@@ -1,0 +1,43 @@
+"""Shared fixtures for the live-ingestion tests.
+
+One small fleet and one deterministic synthesized event stream are
+built per session; the differential tests slice and replay that same
+stream many ways, so sharing the input is what makes "exact equality"
+assertions meaningful.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.live import synthesize_events
+from repro.util.rng import RngFactory
+from repro.workload.fleet import FleetConfig, build_fleet
+from repro.workload.generator import WorkloadGenerator
+
+#: Trace length of the shared stream, in seconds.
+DURATION = 24
+SEED = 13
+
+FLEET_CONFIG = FleetConfig(
+    dc_id=0,
+    num_users=4,
+    num_vms=10,
+    num_compute_nodes=4,
+    num_storage_nodes=3,
+)
+
+
+@pytest.fixture(scope="session")
+def fleet():
+    return build_fleet(FLEET_CONFIG, RngFactory(SEED))
+
+
+@pytest.fixture(scope="session")
+def traffic(fleet):
+    return WorkloadGenerator(fleet, DURATION, RngFactory(SEED)).generate_all()
+
+
+@pytest.fixture(scope="session")
+def events(fleet, traffic):
+    return synthesize_events(fleet, traffic, DURATION)

@@ -1,0 +1,120 @@
+"""Event synthesis: deterministic, ordered, and mass-conserving."""
+
+import numpy as np
+import pytest
+
+from repro.live import (
+    OP_READ,
+    OP_WRITE,
+    EventBatch,
+    concat_batches,
+    synthesize_events,
+)
+from repro.util.errors import ConfigError
+
+from .conftest import DURATION
+
+
+class TestSynthesis:
+    def test_sorted_and_in_range(self, events):
+        ts = events.timestamp
+        assert np.all(np.diff(ts) >= 0)
+        assert ts[0] >= 0.0
+        assert ts[-1] < DURATION
+
+    def test_deterministic(self, fleet, traffic):
+        again = synthesize_events(fleet, traffic, DURATION)
+        assert np.array_equal(events_cols(again), events_cols(again))
+        first = synthesize_events(fleet, traffic, DURATION)
+        for a, b in zip(events_cols(first), events_cols(again)):
+            assert np.array_equal(a, b)
+
+    def test_mass_conservation_per_vd_and_direction(
+        self, fleet, traffic, events
+    ):
+        """Event bytes == generated series bytes, split by direction."""
+        for tr in traffic:
+            mine = events.vd_id == tr.vd_id
+            reads = mine & (events.op == OP_READ)
+            writes = mine & (events.op == OP_WRITE)
+            assert np.isclose(
+                events.size_bytes[reads].sum(),
+                tr.read_bytes[:DURATION].sum(),
+            )
+            assert np.isclose(
+                events.size_bytes[writes].sum(),
+                tr.write_bytes[:DURATION].sum(),
+            )
+
+    def test_segments_stay_inside_their_vd(self, fleet, events):
+        for vd in fleet.vds:
+            mine = events.segment_id[events.vd_id == vd.vd_id]
+            if mine.size == 0:
+                continue
+            assert mine.min() >= vd.first_segment_id
+            assert mine.max() < vd.first_segment_id + vd.num_segments
+
+    def test_ops_are_valid(self, events):
+        assert set(np.unique(events.op)) <= {OP_READ, OP_WRITE}
+
+    def test_rejects_bad_args(self, fleet, traffic):
+        with pytest.raises(ConfigError):
+            synthesize_events(fleet, [], DURATION)
+        with pytest.raises(ConfigError):
+            synthesize_events(fleet, traffic, 0)
+        with pytest.raises(ConfigError):
+            synthesize_events(fleet, traffic, DURATION, max_ios_per_second=0)
+        with pytest.raises(ConfigError):
+            # Requesting more seconds than the series carry.
+            synthesize_events(fleet, traffic, DURATION + 1)
+
+
+class TestBatchOps:
+    def test_iter_slices_covers_exactly_once(self, events):
+        for batch_events in (1_000, 4_096, len(events), len(events) + 99):
+            total = 0
+            rebuilt = concat_batches(
+                list(events.iter_slices(batch_events))
+            )
+            for col_a, col_b in zip(
+                events_cols(events), events_cols(rebuilt)
+            ):
+                assert np.array_equal(col_a, col_b)
+            for piece in events.iter_slices(batch_events):
+                assert len(piece) <= batch_events
+                total += len(piece)
+            assert total == len(events)
+
+    def test_slice_is_zero_copy(self, events):
+        view = events.slice(10, 20)
+        assert len(view) == 10
+        assert view.timestamp.base is not None
+
+    def test_shifted_displaces_timestamps_only(self, events):
+        moved = events.shifted(100.0)
+        assert np.array_equal(moved.timestamp, events.timestamp + 100.0)
+        assert moved.vd_id is events.vd_id
+
+    def test_rejects_mismatched_columns(self):
+        with pytest.raises(ConfigError):
+            EventBatch(
+                timestamp=np.zeros(3),
+                vd_id=np.zeros(2, dtype=np.int64),
+                op=np.zeros(3, dtype=np.int8),
+                size_bytes=np.zeros(3),
+                segment_id=np.zeros(3, dtype=np.int64),
+            )
+
+    def test_rejects_bad_batch_events(self, events):
+        with pytest.raises(ConfigError):
+            list(events.iter_slices(0))
+
+
+def events_cols(batch):
+    return (
+        batch.timestamp,
+        batch.vd_id,
+        batch.op,
+        batch.size_bytes,
+        batch.segment_id,
+    )

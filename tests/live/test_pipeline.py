@@ -1,0 +1,156 @@
+"""The threaded pipeline: lossless differential parity, drops, failures."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.live import (
+    CountMinSketch,
+    LivePipeline,
+    RollingSkewTracker,
+    SpaceSaving,
+    TraceInjector,
+    offline_window_stats,
+)
+from repro.util.errors import LiveError
+
+from .conftest import DURATION
+
+
+def make_pipeline(events, num_vds, window=6, **kwargs):
+    injector = TraceInjector(events, rate=None, batch_events=1_024)
+    tracker = RollingSkewTracker(num_vds, window, DURATION)
+    topk = SpaceSaving(capacity=32, sketch=CountMinSketch(width=512))
+    return LivePipeline(injector, tracker, topk=topk, **kwargs)
+
+
+class TestLosslessReplay:
+    def test_online_report_equals_offline_exactly(self, events, fleet):
+        """The pinned differential: the full threaded pipeline, with
+        backpressure in lossless (block) mode, reproduces the offline
+        windowed stats exactly — thread scheduling must not leak in."""
+        num_vds = len(fleet.vds)
+        pipeline = make_pipeline(events, num_vds)
+        report = pipeline.run()
+        offline = offline_window_stats(events, num_vds, DURATION, 6)
+        assert report.events == len(events)
+        assert report.events_dropped == 0
+        assert [w.to_dict() for w in report.windows] == [
+            c.stats.to_dict() for c in offline
+        ]
+
+    def test_topk_superset_when_bound_permits(self, events, fleet):
+        pipeline = make_pipeline(events, len(fleet.vds))
+        report = pipeline.run()
+        truth = np.zeros(int(events.segment_id.max()) + 1)
+        np.add.at(truth, events.segment_id, events.size_bytes)
+        # The ground truth here sums in stream order while the summary
+        # folds per-batch pre-aggregated increments, so a key exactly at
+        # the eviction boundary can differ by float rounding: compare
+        # against the threshold with a relative epsilon.
+        threshold = pipeline.topk.min_count * (1.0 + 1e-9)
+        heavy = set(np.nonzero(truth > threshold)[0].tolist())
+        monitored = {key for key, _, _ in pipeline.topk.topk()}
+        assert heavy <= monitored
+        # The reported ranking orders by (over)estimated count, which can
+        # swap near-ties, but every true-top-k key clearing the bound must
+        # at least be monitored.
+        order = np.argsort(-truth)
+        k = len(report.top_segments)
+        if truth[order[k - 1]] > threshold:
+            assert set(order[:k].tolist()) <= monitored
+        assert all(
+            entry["key"] in monitored for entry in report.top_segments
+        )
+
+    def test_report_accounting_is_consistent(self, events, fleet):
+        report = make_pipeline(events, len(fleet.vds)).run()
+        stats = report.ring_stats["live.events"]
+        assert stats["dropped"] == 0
+        assert report.batches == stats["accepted"]
+        assert stats["max_depth"] <= stats["capacity"]
+        assert report.events_per_sec > 0
+        assert report.decision_latency_max_us >= 0
+        assert sum(w.events for w in report.windows) == len(events)
+
+
+class SlowTracker(RollingSkewTracker):
+    """Consumes slower than the injector produces (forces backlog)."""
+
+    def observe(self, batch):
+        time.sleep(0.002)
+        return super().observe(batch)
+
+
+class TestBackpressure:
+    def test_drop_mode_sheds_with_accounting(self, events, fleet):
+        injector = TraceInjector(events, rate=None, batch_events=256)
+        tracker = SlowTracker(len(fleet.vds), 6, DURATION)
+        pipeline = LivePipeline(
+            injector, tracker, ring_capacity=2, overflow="drop"
+        )
+        report = pipeline.run()
+        # Every event is accounted for: delivered + dropped == injected,
+        # and the queue never grew past its bound.
+        assert report.events + report.events_dropped == len(events)
+        assert report.events_dropped > 0, (
+            "a capacity-2 ring against a slowed consumer must shed load"
+        )
+        stats = report.ring_stats["live.events"]
+        assert stats["max_depth"] <= 2
+        assert sum(w.events for w in report.windows) == report.events
+
+    def test_block_mode_never_drops(self, events, fleet):
+        injector = TraceInjector(events, rate=None, batch_events=256)
+        tracker = SlowTracker(len(fleet.vds), 12, DURATION)
+        pipeline = LivePipeline(
+            injector, tracker, ring_capacity=2, overflow="block"
+        )
+        report = pipeline.run()
+        assert report.events == len(events)
+        assert report.events_dropped == 0
+
+
+class ExplodingTracker(RollingSkewTracker):
+    def observe(self, batch):
+        raise RuntimeError("stats stage blew up")
+
+
+class TestFailurePropagation:
+    def test_stage_failure_raises_with_cause(self, events, fleet):
+        injector = TraceInjector(events, rate=None, batch_events=1_024)
+        tracker = ExplodingTracker(len(fleet.vds), 6, DURATION)
+        pipeline = LivePipeline(injector, tracker, ring_capacity=2)
+        with pytest.raises(LiveError, match="blew up") as info:
+            pipeline.run()
+        assert isinstance(
+            info.value.__cause__, (RuntimeError, LiveError)
+        )
+
+    def test_failure_does_not_hang_the_injector(self, events, fleet):
+        """The failing stage closes its rings; everyone unwinds fast."""
+        injector = TraceInjector(events, rate=None, batch_events=256)
+        tracker = ExplodingTracker(len(fleet.vds), 6, DURATION)
+        pipeline = LivePipeline(
+            injector, tracker, ring_capacity=1, overflow="block"
+        )
+        started = time.perf_counter()
+        with pytest.raises(LiveError):
+            pipeline.run()
+        assert time.perf_counter() - started < 10.0
+
+
+class TestPacing:
+    def test_rate_multiplier_paces_the_replay(self, events, fleet):
+        """At rate R the replay takes ~ trace_span / R wall seconds."""
+        span = float(events.timestamp[-1] - events.timestamp[0])
+        rate = span / 0.25  # target ~0.25s of wall clock
+        injector = TraceInjector(events, rate=rate, batch_events=4_096)
+        tracker = RollingSkewTracker(len(fleet.vds), 6, DURATION)
+        pipeline = LivePipeline(injector, tracker)
+        started = time.perf_counter()
+        report = pipeline.run()
+        elapsed = time.perf_counter() - started
+        assert report.events == len(events)
+        assert elapsed >= 0.15, f"paced replay finished in {elapsed:.3f}s"

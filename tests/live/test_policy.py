@@ -1,0 +1,137 @@
+"""The online policy engine: lend and rebind decision arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.live import OnlinePolicyEngine
+from repro.live.windowing import ClosedWindow, WindowStats
+from repro.util.errors import ConfigError
+from repro.util.timewindow import TimeWindow
+
+
+def closed(per_vd, start=0, end=10):
+    per_vd = np.asarray(per_vd, dtype=float)
+    window = TimeWindow(start, end)
+    stats = WindowStats(
+        window=window,
+        events=int(per_vd.size),
+        total_bytes=float(per_vd.sum()),
+        read_bytes=0.0,
+        write_bytes=float(per_vd.sum()),
+        ccr_hot=0.0,
+        p2a=1.0,
+        cov=0.0,
+        wr_ratio=1.0,
+    )
+    return ClosedWindow(stats=stats, per_vd=per_vd)
+
+
+def engine(caps, binding, num_nodes=2, **kwargs):
+    return OnlinePolicyEngine(
+        caps_bps=np.asarray(caps, dtype=float),
+        vd_to_node=np.asarray(binding, dtype=np.int64),
+        num_nodes=num_nodes,
+        **kwargs,
+    )
+
+
+class TestLending:
+    def test_no_decision_under_caps(self):
+        eng = engine([100.0, 100.0], [0, 1])
+        # 10s window, 500 bytes => 50 B/s mean usage, well under cap.
+        assert eng.on_window(closed([500.0, 500.0])) == []
+        assert eng.throttled_vd_windows == 0
+
+    def test_lend_step_mirrors_algorithm2(self):
+        """One throttled VD borrows p x the others' headroom."""
+        caps = [100.0, 100.0, 100.0]
+        eng = engine(caps, [0, 0, 1], num_nodes=2, lending_rate=0.8)
+        # Mean usages over the 10s window: 150 (over), 50, 50.
+        decisions = eng.on_window(closed([1500.0, 500.0, 500.0]))
+        lends = [d for d in decisions if d.kind == "lend"]
+        assert len(lends) == 1
+        details = lends[0].details
+        assert details["borrowers"] == 1
+        assert details["lenders"] == 2
+        # AR = sum(caps) - sum(min(usage, caps)) = 300 - 200 = 100;
+        # lendable = 0.8 * 100, all of it to the single borrower.
+        assert details["lent_bps"] == pytest.approx(80.0)
+        # Each lender gives back p x its own headroom: 2 x 0.8 x 50.
+        assert details["reclaimed_bps"] == pytest.approx(80.0)
+        assert eng.throttled_vd_windows == 1
+
+    def test_boost_split_proportional_to_overshoot(self):
+        caps = [100.0, 100.0, 100.0, 100.0]
+        eng = engine(caps, [0, 0, 1, 1], lending_rate=0.5)
+        # Overshoots 30 and 10 split the pool 3:1.
+        decisions = eng.on_window(
+            closed([1300.0, 1100.0, 200.0, 200.0])
+        )
+        details = [d for d in decisions if d.kind == "lend"][0].details
+        assert details["borrowers"] == 2
+        # AR = 400 - (100+100+20+20) = 160; lendable = 80.
+        assert details["lent_bps"] == pytest.approx(80.0)
+
+    def test_saturated_pool_lends_nothing(self):
+        eng = engine([100.0, 100.0], [0, 1])
+        # Both over cap: no headroom anywhere, no lend decision.
+        assert eng.on_window(closed([2000.0, 2000.0])) == []
+        assert eng.throttled_vd_windows == 2
+
+
+class TestRebinding:
+    def test_hot_node_sheds_its_hottest_vd(self):
+        eng = engine(
+            [1e9] * 4, [0, 0, 1, 1], num_nodes=2, trigger_ratio=1.2
+        )
+        decisions = eng.on_window(closed([900.0, 300.0, 100.0, 100.0]))
+        rebinds = [d for d in decisions if d.kind == "rebind"]
+        assert len(rebinds) == 1
+        details = rebinds[0].details
+        assert details["vd_id"] == 0  # the hottest VD of the hot node
+        assert details["from_node"] == 0
+        assert details["to_node"] == 1
+        assert eng.binding.tolist() == [1, 0, 1, 1]
+
+    def test_binding_carries_forward(self):
+        eng = engine(
+            [1e9] * 4, [0, 0, 1, 1], num_nodes=2, trigger_ratio=1.2
+        )
+        eng.on_window(closed([900.0, 300.0, 100.0, 100.0]))
+        # After the move loads are 300 vs 1100: the imbalance flipped,
+        # so the next window rebinds in the other direction.
+        decisions = eng.on_window(closed([900.0, 300.0, 100.0, 100.0]))
+        rebinds = [d for d in decisions if d.kind == "rebind"]
+        assert len(rebinds) == 1
+        assert rebinds[0].details["from_node"] == 1
+
+    def test_balanced_nodes_do_not_rebind(self):
+        eng = engine([1e9] * 4, [0, 0, 1, 1], num_nodes=2)
+        assert eng.on_window(closed([500.0, 100.0, 500.0, 100.0])) == []
+
+    def test_single_vd_hot_node_stays(self):
+        eng = engine([1e9] * 2, [0, 1], num_nodes=2)
+        assert eng.on_window(closed([1000.0, 10.0])) == []
+
+    def test_idle_window_is_a_no_op(self):
+        eng = engine([1e9] * 2, [0, 1], num_nodes=2)
+        assert eng.on_window(closed([0.0, 0.0])) == []
+
+
+class TestValidation:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            engine([], [])
+        with pytest.raises(ConfigError):
+            engine([100.0, -1.0], [0, 1])
+        with pytest.raises(ConfigError):
+            engine([100.0], [5], num_nodes=2)
+        with pytest.raises(ConfigError):
+            engine([100.0, 100.0], [0, 1], lending_rate=1.5)
+        with pytest.raises(ConfigError):
+            engine([100.0, 100.0], [0, 1], trigger_ratio=0.9)
+
+    def test_rejects_mismatched_load_vector(self):
+        eng = engine([100.0, 100.0], [0, 1])
+        with pytest.raises(ConfigError, match="shape"):
+            eng.on_window(closed([1.0, 2.0, 3.0]))

@@ -1,0 +1,109 @@
+"""The ring buffer's backpressure contract: bounded, lossless or counted."""
+
+import threading
+
+import pytest
+
+from repro.live import RingBuffer
+from repro.util.errors import ConfigError, LiveError
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        ring = RingBuffer(4)
+        for item in "abcd":
+            assert ring.put(item)
+        ring.close()
+        assert [ring.get() for _ in range(4)] == list("abcd")
+        assert ring.get() is None  # closed and drained
+
+    def test_depth_and_max_depth(self):
+        ring = RingBuffer(8)
+        for i in range(5):
+            ring.put(i)
+        assert ring.depth == 5
+        ring.get()
+        assert ring.depth == 4
+        assert ring.stats()["max_depth"] == 5
+
+    def test_put_after_close_raises(self):
+        ring = RingBuffer(2)
+        ring.close()
+        with pytest.raises(LiveError):
+            ring.put("late")
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            RingBuffer(0)
+        with pytest.raises(ConfigError):
+            RingBuffer(4, policy="spill")
+
+
+class TestDropPolicy:
+    def test_drop_newest_with_accounting(self):
+        ring = RingBuffer(2, policy="drop")
+        assert ring.put(1)
+        assert ring.put(2)
+        assert not ring.put(3)  # full: rejected, not enqueued
+        assert not ring.put(4)
+        stats = ring.stats()
+        assert stats["accepted"] == 2
+        assert stats["dropped"] == 2
+        ring.close()
+        assert [ring.get(), ring.get(), ring.get()] == [1, 2, None]
+
+
+class TestBlockPolicy:
+    def test_blocked_producer_timeout_is_an_error(self):
+        ring = RingBuffer(1, policy="block")
+        ring.put("occupying")
+        with pytest.raises(LiveError, match="blocked"):
+            ring.put("stuck", timeout=0.05)
+
+    def test_consumer_timeout_is_an_error(self):
+        ring = RingBuffer(1)
+        with pytest.raises(LiveError, match="waited"):
+            ring.get(timeout=0.05)
+
+    def test_threaded_transfer_is_lossless_and_ordered(self):
+        """A slow consumer never loses items in block mode."""
+        ring = RingBuffer(4, policy="block")
+        n = 500
+        received = []
+
+        def consume():
+            while True:
+                item = ring.get(timeout=5.0)
+                if item is None:
+                    return
+                received.append(item)
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        for i in range(n):
+            assert ring.put(i, timeout=5.0)
+        ring.close()
+        consumer.join(timeout=5.0)
+        assert received == list(range(n))
+        stats = ring.stats()
+        assert stats["accepted"] == n
+        assert stats["dropped"] == 0
+        assert stats["max_depth"] <= ring.capacity
+
+    def test_close_releases_blocked_producer(self):
+        ring = RingBuffer(1)
+        ring.put("full")
+        errors = []
+
+        def blocked_put():
+            try:
+                ring.put("never", timeout=5.0)
+            except LiveError as error:
+                errors.append(error)
+
+        producer = threading.Thread(target=blocked_put)
+        producer.start()
+        ring.close()
+        producer.join(timeout=5.0)
+        assert len(errors) == 1
+        assert "closed" in str(errors[0])

@@ -1,0 +1,156 @@
+"""The service facade (run_live) and the ``ebs-repro live`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import _parse_rate, build_parser, main
+from repro.live import (
+    LIVE_SCHEMA_VERSION,
+    LiveConfig,
+    build_pipeline,
+    offline_window_stats,
+    report_to_dict,
+    run_live,
+)
+from repro.util.errors import ConfigError, ReproError
+
+CONFIG = LiveConfig(scale="small", seed=11, duration_seconds=6, window_seconds=3)
+
+
+class TestRunLive:
+    def test_report_matches_offline_reference_exactly(self):
+        report = run_live(CONFIG)
+        pipeline = build_pipeline(CONFIG)
+        events = pipeline.injector.events
+        offline = offline_window_stats(
+            events,
+            pipeline.tracker.num_vds,
+            pipeline.tracker.total_seconds,
+            CONFIG.window_seconds,
+        )
+        assert report.events == len(events)
+        assert [w.to_dict() for w in report.windows] == [
+            c.stats.to_dict() for c in offline
+        ]
+
+    def test_same_config_replays_identically(self):
+        first = run_live(CONFIG)
+        second = run_live(CONFIG)
+        assert first.events == second.events
+        assert [w.to_dict() for w in first.windows] == [
+            w.to_dict() for w in second.windows
+        ]
+        assert [d.to_dict() for d in first.decisions] == [
+            d.to_dict() for d in second.decisions
+        ]
+        assert first.top_segments == second.top_segments
+
+    def test_report_to_dict_schema(self):
+        report = run_live(CONFIG)
+        payload = report_to_dict(CONFIG, report)
+        assert payload["schema_version"] == LIVE_SCHEMA_VERSION
+        assert payload["config"]["duration_seconds"] == 6
+        assert payload["config"]["rate"] is None
+        body = payload["report"]
+        assert body["events"] == report.events
+        # duration 6 + the 1s loop guard => windows [0,3) [3,6) [6,7).
+        assert len(body["windows"]) == 3
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            LiveConfig(duration_seconds=0)
+        with pytest.raises(ConfigError):
+            LiveConfig(window_seconds=0)
+
+
+class TestParseRate:
+    @pytest.mark.parametrize(
+        ("text", "want"),
+        [
+            ("max", None),
+            ("MAX", None),
+            ("none", None),
+            ("100x", 100.0),
+            ("2.5x", 2.5),
+            ("42", 42.0),
+        ],
+    )
+    def test_accepted_forms(self, text, want):
+        assert _parse_rate(text) == want
+
+    @pytest.mark.parametrize("text", ["fastx", "", "0", "-3x", "x"])
+    def test_rejected_forms(self, text):
+        with pytest.raises(ReproError):
+            _parse_rate(text)
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["live"])
+        assert args.command == "live"
+        assert args.duration == 60
+        assert args.rate == "max"
+        assert args.window_seconds == 10
+        assert args.overflow == "block"
+
+    def test_live_end_to_end_with_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "live.json"
+        telemetry = tmp_path / "telemetry.json"
+        code = main(
+            [
+                "live",
+                "--duration", "6",
+                "--window", "3",
+                "--rate", "max",
+                "--seed", "11",
+                "-o", str(out),
+                "--telemetry", str(telemetry),
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "rolling windowed skew (online)" in stdout
+        assert "hot segments (Space-Saving top-K)" in stdout
+
+        payload = json.loads(out.read_text())
+        assert payload["schema_version"] == LIVE_SCHEMA_VERSION
+        assert payload["report"]["events"] > 0
+        assert payload["report"]["events_dropped"] == 0
+
+        # The telemetry artifact carries live.* metrics and validates.
+        recorded = json.loads(telemetry.read_text())
+        counters = {
+            c["name"]: c["value"]
+            for c in recorded["metrics"]["counters"]
+        }
+        assert counters["live.events_total"] == payload["report"]["events"]
+        assert "live.windows_closed" in counters
+        assert any(
+            span["name"] == "live.run" for span in recorded["spans"]
+        )
+        assert main(["obs", "validate", str(telemetry)]) == 0
+
+    def test_paced_replay_from_the_cli(self, tmp_path):
+        out = tmp_path / "live.json"
+        code = main(
+            ["live", "--duration", "4", "--window", "2",
+             "--rate", "1000x", "-o", str(out)]
+        )
+        assert code == 0
+        assert json.loads(out.read_text())["config"]["rate"] == 1000.0
+
+    def test_bad_rate_exits_nonzero(self, capsys):
+        assert main(["live", "--rate", "warp"]) == 1
+        assert "--rate" in capsys.readouterr().err
+
+    def test_unwritable_report_exits_nonzero(self, tmp_path, capsys):
+        target = tmp_path / "missing" / "live.json"
+        code = main(
+            ["live", "--duration", "2", "--window", "2", "-o", str(target)]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "NOT written" in err
+        assert str(target) in err

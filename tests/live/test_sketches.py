@@ -1,0 +1,133 @@
+"""Sketch guarantees: Count-Min never under, Space-Saving brackets truth."""
+
+import numpy as np
+import pytest
+
+from repro.live import CountMinSketch, SpaceSaving
+from repro.util.errors import ConfigError
+
+
+def zipf_stream(num_keys=500, num_updates=20_000, seed=5):
+    """A deterministic skewed (key, weight) stream plus its ground truth."""
+    rng = np.random.default_rng(seed)
+    keys = rng.zipf(1.5, size=num_updates).astype(np.int64) % num_keys
+    weights = rng.uniform(1.0, 100.0, size=num_updates)
+    truth = np.zeros(num_keys)
+    np.add.at(truth, keys, weights)
+    return keys, weights, truth
+
+
+class TestCountMin:
+    def test_never_underestimates(self):
+        keys, weights, truth = zipf_stream()
+        sketch = CountMinSketch(width=512, depth=4)
+        sketch.update_many(keys, weights)
+        all_keys = np.arange(truth.size, dtype=np.int64)
+        estimates = sketch.estimate_many(all_keys)
+        assert np.all(estimates >= truth - 1e-9)
+
+    def test_error_bound_holds_on_average(self):
+        """Classic CM bound: overestimate <= 2 * total / width for most
+        keys (e/width expected; 2x leaves slack for one fixed seed)."""
+        keys, weights, truth = zipf_stream()
+        sketch = CountMinSketch(width=1024, depth=4)
+        sketch.update_many(keys, weights)
+        all_keys = np.arange(truth.size, dtype=np.int64)
+        over = sketch.estimate_many(all_keys) - truth
+        bound = 2.0 * sketch.total_weight / sketch.width
+        assert np.mean(over <= bound) > 0.9
+
+    def test_batched_equals_incremental(self):
+        keys, weights, _ = zipf_stream(num_updates=2_000)
+        one = CountMinSketch(width=256, depth=3)
+        one.update_many(keys, weights)
+        parts = CountMinSketch(width=256, depth=3)
+        half = len(keys) // 2
+        parts.update_many(keys[:half], weights[:half])
+        parts.update_many(keys[half:], weights[half:])
+        assert np.array_equal(one._table, parts._table)
+        assert one.estimate(7) == parts.estimate(7)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            CountMinSketch(width=1)
+        with pytest.raises(ConfigError):
+            CountMinSketch(depth=0)
+        sketch = CountMinSketch()
+        with pytest.raises(ConfigError):
+            sketch.update_many(np.zeros(3, dtype=np.int64), np.zeros(2))
+
+
+class TestSpaceSaving:
+    def test_counts_conserve_total_weight(self):
+        keys, weights, _ = zipf_stream()
+        summary = SpaceSaving(capacity=32)
+        summary.update_many(keys, weights)
+        assert np.isclose(
+            sum(count for _, count, _ in summary.topk()),
+            summary.total_weight,
+        )
+        assert summary.min_count <= summary.total_weight / summary.capacity
+
+    def test_entries_bracket_the_truth(self):
+        keys, weights, truth = zipf_stream()
+        summary = SpaceSaving(capacity=32)
+        summary.update_many(keys, weights)
+        for key, count, error in summary.topk():
+            assert count + 1e-6 >= truth[key]
+            assert count - error <= truth[key] + 1e-6
+
+    def test_monitored_superset_of_heavy_keys(self):
+        """Every key with true weight above min_count is monitored, so
+        whenever the error bound permits a clean cut the summary's
+        candidates are a superset of the true top-K."""
+        keys, weights, truth = zipf_stream()
+        summary = SpaceSaving(capacity=32)
+        summary.update_many(keys, weights)
+        threshold = summary.min_count
+        heavy = set(np.nonzero(truth > threshold)[0].tolist())
+        monitored = {key for key, _, _ in summary.topk()}
+        assert heavy <= monitored
+
+        # Corollary on the reported ranking: any true-top-k whose k-th
+        # weight clears the bound must be fully contained.
+        order = np.argsort(-truth)
+        for k in (1, 3, 5):
+            if truth[order[k - 1]] > threshold:
+                assert set(order[:k].tolist()) <= monitored
+
+    def test_topk_deterministic_ordering(self):
+        summary = SpaceSaving(capacity=4)
+        for key, weight in ((3, 5.0), (1, 5.0), (2, 9.0)):
+            summary.update(key, weight)
+        assert [key for key, _, _ in summary.topk()] == [2, 1, 3]
+
+    def test_eviction_inherits_floor_as_error(self):
+        summary = SpaceSaving(capacity=2)
+        summary.update(1, 10.0)
+        summary.update(2, 4.0)
+        summary.update(3, 1.0)  # evicts key 2 (smallest count)
+        entries = {key: (count, error) for key, count, error in summary.topk()}
+        assert 2 not in entries
+        assert entries[3] == (5.0, 4.0)  # floor + weight, floor as error
+
+    def test_sketch_backing_absorbs_updates(self):
+        keys, weights, truth = zipf_stream(num_updates=2_000)
+        summary = SpaceSaving(capacity=8, sketch=CountMinSketch(width=512))
+        summary.update_many(keys, weights)
+        assert summary.sketch.total_weight == pytest.approx(
+            summary.total_weight
+        )
+        # Evicted keys stay queryable through the sketch (over-estimate).
+        monitored = {key for key, _, _ in summary.topk()}
+        evicted = [k for k in np.nonzero(truth)[0] if k not in monitored]
+        assert evicted, "test needs at least one evicted key"
+        probe = int(evicted[0])
+        assert summary.sketch.estimate(probe) >= truth[probe] - 1e-9
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigError):
+            SpaceSaving(capacity=0)
+        summary = SpaceSaving(capacity=2)
+        with pytest.raises(ConfigError):
+            summary.update(1, -1.0)

@@ -1,0 +1,114 @@
+"""The correctness anchor: online windowed stats == offline, EXACTLY.
+
+Floating-point addition is order-sensitive, so "exactly" is a real
+claim: the tracker preserves global event order across any batch
+slicing and uses the same ``np.add.at`` accumulation and the same
+:mod:`repro.stats` calls as the offline reference — equality is
+bitwise, not approximate.  No tolerances in this file.
+"""
+
+import numpy as np
+import pytest
+
+from repro.live import RollingSkewTracker, offline_window_stats
+from repro.util.errors import ConfigError
+
+from .conftest import DURATION
+
+#: Batch slicings exercised against the same stream: pathological small,
+#: typical, prime-sized (never aligns with window edges), single-shot.
+SLICINGS = (37, 1_000, 4_096, 10**9)
+
+
+def online_windows(events, num_vds, total, window, batch_events, **kwargs):
+    tracker = RollingSkewTracker(num_vds, window, total, **kwargs)
+    closed = []
+    for batch in events.iter_slices(batch_events):
+        closed.extend(tracker.observe(batch))
+    closed.extend(tracker.finish())
+    return closed
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("batch_events", SLICINGS)
+    @pytest.mark.parametrize("window_seconds", [1, 5, 7, DURATION])
+    def test_online_equals_offline_exactly(
+        self, events, fleet, batch_events, window_seconds
+    ):
+        num_vds = len(fleet.vds)
+        offline = offline_window_stats(
+            events, num_vds, DURATION, window_seconds
+        )
+        online = online_windows(
+            events, num_vds, DURATION, window_seconds, batch_events
+        )
+        assert len(online) == len(offline)
+        for got, want in zip(online, offline):
+            # Bitwise-identical accumulators ...
+            assert np.array_equal(got.per_vd, want.per_vd)
+            # ... and *equal* (not approximately equal) statistics.
+            assert got.stats == want.stats
+            assert got.stats.to_dict() == want.stats.to_dict()
+
+    @pytest.mark.parametrize("drop_partial", [False, True])
+    def test_partial_tail_window_parity(self, events, fleet, drop_partial):
+        """DURATION=24 over 7s windows leaves a 3s tail either to keep
+        (truncated) or to drop — both modes must agree with offline."""
+        num_vds = len(fleet.vds)
+        offline = offline_window_stats(
+            events, num_vds, DURATION, 7, drop_partial=drop_partial
+        )
+        online = online_windows(
+            events, num_vds, DURATION, 7, 999, drop_partial=drop_partial
+        )
+        assert [c.stats for c in online] == [c.stats for c in offline]
+        assert len(online) == (3 if drop_partial else 4)
+
+    def test_zero_traffic_windows_close_on_finish(self, events, fleet):
+        """A horizon longer than the stream yields trailing all-zero
+        windows (the service keeps serving when traffic stops)."""
+        num_vds = len(fleet.vds)
+        online = online_windows(events, num_vds, DURATION + 10, 5, 2_048)
+        offline = offline_window_stats(events, num_vds, DURATION + 10, 5)
+        assert [c.stats for c in online] == [c.stats for c in offline]
+        tail = online[-1].stats
+        assert tail.events == 0
+        assert tail.total_bytes == 0.0
+        assert tail.p2a == 0.0
+
+
+class TestTrackerContract:
+    def test_progress_counters(self, events, fleet):
+        tracker = RollingSkewTracker(len(fleet.vds), 6, DURATION)
+        assert tracker.windows_total == 4
+        for batch in events.iter_slices(5_000):
+            tracker.observe(batch)
+        tracker.finish()
+        assert tracker.windows_closed == tracker.windows_total
+
+    def test_rejects_backwards_streams(self, events, fleet):
+        tracker = RollingSkewTracker(len(fleet.vds), 6, DURATION)
+        tracker.observe(events.slice(1_000, 2_000))
+        with pytest.raises(ConfigError, match="backwards"):
+            tracker.observe(events.slice(0, 500))
+
+    def test_events_past_the_horizon_are_out_of_scope(self, events, fleet):
+        tracker = RollingSkewTracker(len(fleet.vds), 5, 10)
+        closed = []
+        for batch in events.iter_slices(3_000):
+            closed.extend(tracker.observe(batch))
+        closed.extend(tracker.finish())
+        assert tracker.windows_closed == 2
+        horizon_events = sum(c.stats.events for c in closed)
+        in_range = int(np.sum(events.timestamp < 10))
+        assert horizon_events == in_range
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            RollingSkewTracker(0, 5, 10)
+        with pytest.raises(ConfigError):
+            RollingSkewTracker(4, 0, 10)
+        with pytest.raises(ConfigError):
+            RollingSkewTracker(4, 5, 0)
+        with pytest.raises(ConfigError):
+            offline_window_stats(None, 0, 10, 5)

@@ -232,6 +232,113 @@ class TestRetries:
         with pytest.raises(ConfigError):
             SweepRunner(make_spec(base_config), tmp_path, retries=-1)
 
+    def test_exhausted_retries_chain_cause_and_name_key(
+        self, base_config, tmp_path
+    ):
+        """The SweepError names the node key and chains the original.
+
+        Regression: the old message had the label only (not unique
+        across chunking variants) and post-mortems lost the failing
+        node's store key; the chained ``__cause__`` keeps the final
+        attempt's real traceback.
+        """
+        def always_fail(node, attempt):
+            raise RuntimeError("permanent meltdown")
+
+        with pytest.raises(SweepError, match=r"\(key [0-9a-f]{12}\)") as info:
+            SweepRunner(
+                make_spec(base_config),
+                tmp_path / "chained",
+                retries=1,
+                node_hook=always_fail,
+            ).run()
+        cause = info.value.__cause__
+        assert isinstance(cause, RuntimeError)
+        assert "permanent meltdown" in str(cause)
+        assert cause.__traceback__ is not None
+
+    def test_pool_hook_failures_count_as_attempts(
+        self, base_config, tmp_path
+    ):
+        """Pool path honours the hook contract: failures retry, not abort.
+
+        Regression: the pool scheduler called the hook outside its
+        retry handling, so a transient hook exception escaped as a raw
+        RuntimeError instead of consuming one attempt.
+        """
+        outcome = SweepRunner(
+            make_spec(base_config),
+            tmp_path / "pool-flaky",
+            workers=2,
+            retries=1,
+            node_hook=FlakyOnFirstTry(),
+        ).run()
+        assert outcome.stats.retries == outcome.stats.total
+        assert outcome.stats.executed == outcome.stats.total
+
+    def test_pool_exhausted_retries_name_key(self, base_config, tmp_path):
+        def always_fail(node, attempt):
+            raise RuntimeError("permanent")
+
+        with pytest.raises(SweepError, match=r"\(key [0-9a-f]{12}\)") as info:
+            SweepRunner(
+                make_spec(base_config),
+                tmp_path / "pool-dead",
+                workers=2,
+                retries=1,
+                node_hook=always_fail,
+            ).run()
+        assert isinstance(info.value.__cause__, RuntimeError)
+
+    def test_failed_attempts_do_not_pollute_telemetry(
+        self, base_config, tmp_path, monkeypatch
+    ):
+        """A retried node's failed attempt must not leak partial metrics.
+
+        Regression: the inline scheduler ran attempts directly against
+        the parent telemetry handle, so a node that recorded some work
+        and then crashed double-counted once its retry succeeded.  The
+        fix runs every attempt against a fresh worker handle and merges
+        only the successful one.
+        """
+        from repro.obs.runtime import Telemetry, get_telemetry, set_telemetry
+        from repro.sweep import orchestrator as orch
+
+        real_build = orch._NODE_RUNNERS[NodeKind.BUILD]
+        failed_once = set()
+
+        def crash_mid_run_once(payload):
+            if payload["key"] in failed_once:
+                return real_build(payload)
+            failed_once.add(payload["key"])
+            telemetry, previous = orch._enter_worker_telemetry(payload)
+            try:
+                # Partial work a real build would have recorded before
+                # dying; it must never reach the parent's artifact.
+                get_telemetry().counter("test.partial_work").inc(1000)
+                raise RuntimeError("mid-run crash")
+            finally:
+                orch._exit_worker_telemetry(telemetry, previous)
+
+        monkeypatch.setitem(
+            orch._NODE_RUNNERS, NodeKind.BUILD, crash_mid_run_once
+        )
+        telemetry = Telemetry(enabled=True)
+        previous = set_telemetry(telemetry)
+        try:
+            outcome = SweepRunner(
+                make_spec(base_config), tmp_path / "pollute", retries=1
+            ).run()
+        finally:
+            set_telemetry(previous)
+        counters = {
+            c["name"]: c["value"]
+            for c in telemetry.snapshot()["metrics"]["counters"]
+        }
+        assert "test.partial_work" not in counters
+        assert outcome.stats.retries == len(failed_once) == 2
+        assert outcome.stats.executed == outcome.stats.total
+
 
 class TestDemandDrivenScheduling:
     def test_unneeded_misses_are_skipped(self, base_config, tmp_path):

@@ -23,6 +23,24 @@ class TestTimeWindow:
         assert TimeWindow(0, 10).overlaps(TimeWindow(9, 12))
         assert not TimeWindow(0, 10).overlaps(TimeWindow(10, 12))
 
+    def test_overlaps_boundary_touching_is_disjoint(self):
+        """Half-open semantics: [a, b) and [b, c) share no second."""
+        left = TimeWindow(0, 10)
+        right = TimeWindow(10, 20)
+        assert not left.overlaps(right)
+        assert not right.overlaps(left)
+        # One second of genuine intersection flips it, both directions.
+        nudged = TimeWindow(9, 20)
+        assert left.overlaps(nudged)
+        assert nudged.overlaps(left)
+
+    def test_overlaps_containment_and_self(self):
+        outer = TimeWindow(0, 100)
+        inner = TimeWindow(40, 60)
+        assert outer.overlaps(inner)
+        assert inner.overlaps(outer)
+        assert inner.overlaps(inner)
+
 
 class TestIterWindows:
     def test_exact_cover(self):
@@ -44,11 +62,38 @@ class TestIterWindows:
         covered = sum(w.duration for w in windows)
         assert covered == 100
 
+    def test_drop_partial_total_shorter_than_window_yields_nothing(self):
+        """total < window with drop_partial: empty, not an exception.
+
+        The live tracker instantiates windows this way for very short
+        replays; an empty schedule is a valid (zero-window) run.
+        """
+        assert list(iter_windows(5, 10, drop_partial=True)) == []
+        assert list(iter_windows(1, 2, drop_partial=True)) == []
+
+    def test_drop_partial_keeps_exact_multiples_intact(self):
+        """drop_partial must never eat a final window that is full."""
+        windows = list(iter_windows(60, 15, drop_partial=True))
+        assert windows == list(iter_windows(60, 15))
+        assert windows[-1] == TimeWindow(45, 60)
+        # window == total: exactly one full window either way.
+        assert list(iter_windows(10, 10, drop_partial=True)) == [
+            TimeWindow(0, 10)
+        ]
+
+    def test_drop_partial_only_drops_the_tail(self):
+        kept = list(iter_windows(65, 15, drop_partial=True))
+        full = list(iter_windows(65, 15))
+        assert kept == full[:-1]
+        assert sum(w.duration for w in kept) == 60
+
     def test_rejects_bad_args(self):
         with pytest.raises(ConfigError):
             list(iter_windows(0, 10))
         with pytest.raises(ConfigError):
             list(iter_windows(10, 0))
+        with pytest.raises(ConfigError):
+            list(iter_windows(0, 10, drop_partial=True))
 
 
 class TestWindowIndex:
