@@ -84,6 +84,70 @@ def run_live_benchmark(
     }
 
 
+def measure_telemetry_overhead(
+    scale: str = "small",
+    duration: int = 30,
+    window: int = 5,
+    seed: int = 7,
+    batch_events: int = 4096,
+    repeats: int = 3,
+    loops: int = 20,
+) -> dict:
+    """Throughput cost of the full observability plane, in percent.
+
+    Replays the identical stream ``repeats`` times with the plane off and
+    ``repeats`` times with everything on — metrics, flight recorder,
+    SLO tracking, and a live ``/metrics`` server — and compares the best
+    sustained events/sec of each arm (best-of-N cancels scheduler noise;
+    the plane cannot make the pipeline *faster*).  Each replay loops the
+    stream ``loops`` times so the plane's fixed startup cost (server
+    bind, recorder thread) is amortised the way a long-lived serving
+    loop amortises it, and the steady-state per-event cost dominates.
+    """
+    from repro.obs import telemetry_session
+
+    config = LiveConfig(
+        scale=scale,
+        seed=seed,
+        duration_seconds=duration,
+        window_seconds=window,
+        batch_events=batch_events,
+        rate=None,
+        loops=loops,
+    )
+    plane_config = LiveConfig(
+        scale=scale,
+        seed=seed,
+        duration_seconds=duration,
+        window_seconds=window,
+        batch_events=batch_events,
+        rate=None,
+        loops=loops,
+        serve=("127.0.0.1", 0),
+        recorder_interval=0.25,
+        slos=(
+            "live.decision_latency_us:p99<60000000",
+            "live.events_dropped/live.events_total<0.9",
+        ),
+    )
+
+    baseline = 0.0
+    for _ in range(repeats):
+        baseline = max(baseline, run_live(config).events_per_sec)
+    plane = 0.0
+    for _ in range(repeats):
+        with telemetry_session(seed=seed):
+            plane = max(plane, run_live(plane_config).events_per_sec)
+
+    overhead_pct = max(0.0, (baseline - plane) / baseline * 100.0)
+    return {
+        "baseline_events_per_sec": round(baseline),
+        "plane_events_per_sec": round(plane),
+        "overhead_pct": round(overhead_pct, 2),
+        "repeats": repeats,
+    }
+
+
 # -- pytest smoke (short replay, parity + floor only) ------------------------
 
 
@@ -99,6 +163,16 @@ def test_live_throughput_smoke(tmp_path):
     assert (tmp_path / "BENCH_live.json").exists()
 
 
+def test_telemetry_overhead_smoke():
+    overhead = measure_telemetry_overhead(duration=10, repeats=1, loops=2)
+    assert overhead["baseline_events_per_sec"] > 0
+    assert overhead["plane_events_per_sec"] > 0
+    # A smoke-length replay is too short for a tight bound; the real
+    # margin is asserted by the CI benchmark job via
+    # --assert-telemetry-overhead.
+    assert overhead["overhead_pct"] < 100.0
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", default="small")
@@ -110,6 +184,12 @@ def main() -> None:
         "--assert-events-per-sec", type=float, default=None,
         help="fail (exit 1) when sustained events/sec lands below this",
     )
+    parser.add_argument(
+        "--assert-telemetry-overhead", type=float, default=None,
+        metavar="PCT",
+        help="also measure the observability plane's throughput cost and "
+        "fail (exit 1) when it exceeds PCT percent",
+    )
     args = parser.parse_args()
 
     payload = run_live_benchmark(
@@ -119,6 +199,14 @@ def main() -> None:
         seed=args.seed,
         batch_events=args.batch_events,
     )
+    if args.assert_telemetry_overhead is not None:
+        payload["telemetry_overhead"] = measure_telemetry_overhead(
+            scale=args.scale,
+            duration=args.duration,
+            window=args.window,
+            seed=args.seed,
+            batch_events=args.batch_events,
+        )
     merge_results("live", payload, RESULTS_PATH)
     print(
         f"live[{args.scale}]: {payload['events']} events in "
@@ -129,6 +217,14 @@ def main() -> None:
         f"max decision latency {payload['decision_latency_max_us']}us, "
         f"matches_offline={payload['matches_offline']}"
     )
+    overhead = payload.get("telemetry_overhead")
+    if overhead is not None:
+        print(
+            f"telemetry overhead: {overhead['overhead_pct']}% "
+            f"({overhead['baseline_events_per_sec']} -> "
+            f"{overhead['plane_events_per_sec']} events/sec with the "
+            f"full plane on, best of {overhead['repeats']})"
+        )
     if not payload["matches_offline"]:
         raise SystemExit("online windowed stats diverged from offline")
     if (
@@ -138,6 +234,15 @@ def main() -> None:
         raise SystemExit(
             f"throughput {payload['events_per_sec']} events/sec is below "
             f"the {args.assert_events_per_sec:.0f} floor"
+        )
+    if (
+        args.assert_telemetry_overhead is not None
+        and overhead["overhead_pct"] > args.assert_telemetry_overhead
+    ):
+        raise SystemExit(
+            f"observability plane costs {overhead['overhead_pct']}% "
+            f"throughput, above the "
+            f"{args.assert_telemetry_overhead:g}% ceiling"
         )
 
 

@@ -7,11 +7,15 @@ Usage::
     ebs-repro run all --scale medium --telemetry out/telemetry.json
     ebs-repro run table3 -o results.json        # versioned result payload
     ebs-repro live --duration 10 --rate 100x --telemetry out/live.json
+    ebs-repro live --rate 4x --serve 127.0.0.1:9377 \
+        --slo 'live.decision_latency_us:p99<500'
+    ebs-repro top --connect 127.0.0.1:9377
     ebs-repro export-dataset -o out/ --scale small
     ebs-repro sweep fig7a --axis cache_min_traces=300,500 --store out/cache
     ebs-repro obs report out/telemetry.json
     ebs-repro obs export out/telemetry.json --format chrome-trace -o trace.json
     ebs-repro obs validate out/telemetry.json   # also validates result JSON
+    ebs-repro obs promcheck scrape.prom         # check a /metrics scrape
 
 Result tables and exported artifacts go to stdout; status and error
 reporting goes to stderr through :mod:`logging` (``-v`` for debug,
@@ -221,11 +225,17 @@ def _finish_telemetry(
     write error is logged (naming the artifact that was NOT written)
     and swallowed; on the clean path it raises, chained, so the exit
     code goes non-zero.
+
+    A handle installed without ``--telemetry`` (``live --serve`` enables
+    one in memory so the scrape endpoint has metrics to expose) is
+    uninstalled but never written.
     """
     if telemetry is None:
         return
     in_flight = sys.exc_info()[1]
     set_telemetry(None)
+    if not getattr(args, "telemetry", None):
+        return
     telemetry.meta.update(
         {
             "command": args.command,
@@ -399,11 +409,36 @@ def _parse_rate(text: str) -> Optional[float]:
     return rate
 
 
+def _parse_serve(text: str) -> "tuple[str, int]":
+    """``--serve`` accepts ``HOST:PORT``, ``:PORT``, or bare ``PORT``."""
+    host, _, port_text = text.rpartition(":")
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ReproError(
+            f"--serve must be HOST:PORT, :PORT, or PORT; got {text!r}"
+        )
+    if not 0 <= port <= 65535:
+        raise ReproError(f"--serve port out of range: {text!r}")
+    return host, port
+
+
 def _cmd_live(args: argparse.Namespace) -> int:
     from repro.live import LiveConfig, report_to_dict, run_live
 
     rate = _parse_rate(args.rate)
+    serve = _parse_serve(args.serve) if args.serve else None
     telemetry = _start_telemetry(args)
+    if serve is not None and telemetry is None:
+        # The scrape endpoint needs live metrics even when no artifact
+        # was requested: install an in-memory handle (never written).
+        telemetry = Telemetry(enabled=True, seed=args.seed)
+        set_telemetry(telemetry)
+        _LOG.info(
+            "--serve without --telemetry: metrics kept in memory only"
+        )
+    slo_section = None
     try:
         config = LiveConfig(
             scale=args.scale,
@@ -415,8 +450,21 @@ def _cmd_live(args: argparse.Namespace) -> int:
             ring_capacity=args.ring_capacity,
             overflow=args.overflow,
             loops=args.loops,
+            serve=serve,
+            recorder_interval=args.recorder_interval,
+            slos=tuple(args.slo),
+            slo_budget=args.slo_budget,
         )
-        report = run_live(config)
+        report = run_live(
+            config,
+            on_server=lambda server: _LOG.info(
+                "obs server listening on %s "
+                "(GET /metrics /snapshot /healthz /recorder)",
+                server.url,
+            ),
+        )
+        if telemetry is not None and config.slos:
+            slo_section = telemetry.snapshot().get("slo")
     finally:
         _finish_telemetry(telemetry, args)
     _LOG.info(
@@ -460,6 +508,32 @@ def _cmd_live(args: argparse.Namespace) -> int:
             ],
         )
         print(hot.render())
+    if slo_section and slo_section.get("objectives"):
+        print()
+        slo_table = ExperimentResult(
+            experiment_id="live",
+            title="SLO objectives (per recorder interval)",
+            headers=["slo", "intervals", "violations", "burn_rate", "status"],
+            rows=[
+                [
+                    o["slo"],
+                    o["intervals"],
+                    o["violations"],
+                    round(o["burn_rate"], 3),
+                    "VIOLATING" if o["violating_now"] else "ok",
+                ]
+                for o in slo_section["objectives"]
+            ],
+        )
+        print(slo_table.render())
+        for objective in slo_section["objectives"]:
+            for event in objective.get("events", []):
+                _LOG.warning(
+                    "slo %s crossed to %s at interval %s (value %.4g, "
+                    "threshold %g)",
+                    event["slo"], event["crossed"], event["interval"],
+                    event["value"], event["threshold"],
+                )
     if args.output:
         try:
             Path(args.output).write_text(
@@ -566,7 +640,31 @@ def _metric_list(metrics: dict, kind: str) -> list:
     return entries if isinstance(entries, list) else []
 
 
+def _cmd_obs_promcheck(args: argparse.Namespace) -> int:
+    """Validate a Prometheus text-exposition document (file or stdin)."""
+    from repro.obs.promtext import parse_promtext, validate_promtext
+
+    if args.promtext_file == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            text = Path(args.promtext_file).read_text()
+        except OSError as error:
+            raise ReproError(
+                f"cannot read {args.promtext_file}: {error}"
+            ) from error
+    problems = validate_promtext(text)
+    if problems:
+        for problem in problems:
+            _LOG.error("%s: %s", args.promtext_file, problem)
+        return 1
+    print(f"ok: {len(parse_promtext(text))} sample(s)")
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "promcheck":
+        return _cmd_obs_promcheck(args)
     payload = _load_telemetry_file(args.telemetry_file)
 
     if args.obs_command == "validate":
@@ -638,10 +736,11 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         table = ExperimentResult(
             experiment_id="obs",
             title="per-stage latency breakdown",
-            headers=["stage", "count", "total_ms", "mean_ms", "max_ms"],
+            headers=["stage", "count", "total_ms", "mean_ms", "p50_ms",
+                     "p95_ms", "p99_ms", "max_ms"],
             rows=[
                 [s["name"], s["count"], s["total_ms"], s["mean_ms"],
-                 s["max_ms"]]
+                 s["p50_ms"], s["p95_ms"], s["p99_ms"], s["max_ms"]]
                 for s in stages
             ],
         )
@@ -693,7 +792,167 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             ],
         )
         print(table.render())
+
+    recorder = payload.get("recorder")
+    if isinstance(recorder, dict):
+        intervals = recorder.get("intervals") or []
+        print()
+        print(
+            f"flight recorder: {recorder.get('samples_taken', 0)} sample(s) "
+            f"at {recorder.get('interval_seconds')}s "
+            f"({recorder.get('evicted', 0)} evicted, "
+            f"capacity {recorder.get('capacity')})"
+        )
+        if intervals:
+            last = intervals[-1]
+            rates = ", ".join(
+                f"{key}={value:.0f}/s"
+                for key, value in sorted(last.get("rates", {}).items())
+                if value
+            )
+            if rates:
+                print(f"last interval rates: {rates}")
+
+    slo = payload.get("slo")
+    if isinstance(slo, dict) and slo.get("objectives"):
+        print()
+        table = ExperimentResult(
+            experiment_id="obs",
+            title="SLO objectives",
+            headers=["slo", "intervals", "violations", "burn_rate",
+                     "status"],
+            rows=[
+                [
+                    o.get("slo"),
+                    o.get("intervals"),
+                    o.get("violations"),
+                    round(o.get("burn_rate", 0.0), 3),
+                    "VIOLATING" if o.get("violating_now") else "ok",
+                ]
+                for o in slo["objectives"]
+            ],
+        )
+        print(table.render())
     return 0
+
+
+def _http_get(url: str, timeout: float = 5.0) -> "tuple[int, bytes]":
+    """GET ``url``; returns (status, body) — non-2xx is not an exception."""
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+def _render_top_frame(
+    base: str, iteration: int, interval: float
+) -> "list[str]":
+    """One ``ebs-repro top`` frame, as lines (fetches all endpoints)."""
+    from repro.obs.promtext import parse_promtext
+
+    lines: List[str] = [
+        f"ebs-repro top — {base} — every {interval:g}s — frame {iteration}",
+        "",
+    ]
+    status, body = _http_get(base + "/healthz")
+    health = json.loads(body)
+    verdict = "HEALTHY" if health.get("healthy") else "UNHEALTHY"
+    running = "running" if health.get("running") else "not running"
+    lines.append(f"health: {verdict} ({status}) — pipeline {running}")
+    for name, stage in sorted((health.get("stages") or {}).items()):
+        age = stage.get("last_beat_age_s")
+        lines.append(
+            f"  stage {name:8s} {'alive' if stage.get('alive') else 'done ':5s}"
+            f" last beat {age if age is not None else '-'}s ago"
+        )
+    for name, ring in sorted((health.get("rings") or {}).items()):
+        state = "closed" if ring.get("closed") else "open"
+        lines.append(f"  ring  {name:16s} depth {ring.get('depth')} ({state})")
+    for error in health.get("errors") or []:
+        lines.append(f"  error: {error}")
+
+    status, body = _http_get(base + "/recorder")
+    if status == 200:
+        recorder = json.loads(body)
+        intervals = recorder.get("intervals") or []
+        lines.append("")
+        lines.append(
+            f"recorder: {recorder.get('samples_taken', 0)} sample(s), "
+            f"{len(intervals)} kept"
+        )
+        if intervals:
+            last = intervals[-1]
+            for key, value in sorted(last.get("rates", {}).items()):
+                lines.append(f"  {key:44s} {value:12.1f}/s")
+            for key, value in sorted(last.get("probes", {}).items()):
+                lines.append(f"  {key:44s} {value:12.0f}")
+
+    slo = health.get("slo")
+    if slo and slo.get("objectives"):
+        lines.append("")
+        lines.append("slo:")
+        for objective in slo["objectives"]:
+            state = "VIOLATING" if objective.get("violating_now") else "ok"
+            lines.append(
+                f"  {objective.get('slo'):44s} burn "
+                f"{objective.get('burn_rate', 0.0):8.3f}  {state}"
+            )
+
+    status, body = _http_get(base + "/metrics")
+    samples = parse_promtext(body.decode("utf-8"))
+    counters = [s for s in samples if s.name.endswith("_total")]
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        for sample in counters[:12]:
+            labels = ",".join(f"{k}={v}" for k, v in sample.labels)
+            label_text = f"{{{labels}}}" if labels else ""
+            lines.append(
+                f"  {sample.name + label_text:44s} {sample.value:12.0f}"
+            )
+    return lines
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live dashboard: poll a ``--serve`` endpoint and render a view."""
+    import time as _time
+    import urllib.error
+
+    host, port = _parse_serve(args.connect)
+    base = f"http://{host}:{port}"
+    interval = args.interval
+    if interval <= 0:
+        raise ReproError(f"--interval must be > 0, got {interval}")
+    iteration = 0
+    connected = False
+    try:
+        while True:
+            iteration += 1
+            try:
+                lines = _render_top_frame(base, iteration, interval)
+            except (urllib.error.URLError, ConnectionError, OSError) as error:
+                if not connected:
+                    raise ReproError(
+                        f"cannot connect to {base}: {error} — is "
+                        "'ebs-repro live --serve' running?"
+                    ) from error
+                print(f"server at {base} went away (run finished?)")
+                return 0
+            connected = True
+            if not args.no_clear:
+                sys.stdout.write("\x1b[2J\x1b[H")
+            print("\n".join(lines))
+            sys.stdout.flush()
+            if args.iterations and iteration >= args.iterations:
+                return 0
+            _time.sleep(interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
 
 
 # -- parser ------------------------------------------------------------------
@@ -874,6 +1133,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="record live.* metrics (queue depth, decision latency, "
         "events/sec) and write them here",
     )
+    live.add_argument(
+        "--serve",
+        metavar="HOST:PORT",
+        default=None,
+        help="expose GET /metrics (Prometheus text), /snapshot, /healthz "
+        "and /recorder over HTTP while the replay runs; port 0 picks a "
+        "free port (logged).  Watch it with 'ebs-repro top --connect'",
+    )
+    live.add_argument(
+        "--recorder-interval",
+        type=float,
+        default=1.0,
+        dest="recorder_interval",
+        metavar="SECONDS",
+        help="flight-recorder sampling interval (rates and queue depths "
+        "per interval, kept in a bounded ring in the telemetry artifact)",
+    )
+    live.add_argument(
+        "--slo",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="declare an SLO, evaluated per recorder interval: "
+        "'live.decision_latency_us:p99<500' (histogram quantile) or "
+        "'live.events_dropped/live.events_total<0.01' (rate ratio); "
+        "repeatable",
+    )
+    live.add_argument(
+        "--slo-budget",
+        type=float,
+        default=0.01,
+        dest="slo_budget",
+        metavar="FRACTION",
+        help="error budget: fraction of intervals allowed to violate "
+        "before burn_rate exceeds 1",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live dashboard: poll a --serve endpoint and render the "
+        "pipeline's health, rates, and SLO burn in the terminal",
+    )
+    top.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of a running 'ebs-repro live --serve HOST:PORT'",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="poll/refresh interval",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stop after N frames (default: until interrupted or the "
+        "server goes away)",
+    )
+    top.add_argument(
+        "--no-clear",
+        action="store_true",
+        dest="no_clear",
+        help="append frames instead of clearing the screen (script/CI "
+        "friendly)",
+    )
 
     export = sub.add_parser(
         "export-dataset", help="simulate and write the datasets to disk"
@@ -1016,6 +1345,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument("telemetry_file")
 
+    promcheck = obs_sub.add_parser(
+        "promcheck",
+        help="validate a Prometheus text-exposition document (e.g. a "
+        "saved /metrics scrape); '-' reads stdin",
+    )
+    promcheck.add_argument("promtext_file")
+
     return parser
 
 
@@ -1026,6 +1362,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "list": _cmd_list,
         "run": _cmd_run,
         "live": _cmd_live,
+        "top": _cmd_top,
         "export-dataset": _cmd_export,
         "sweep": _cmd_sweep,
         "obs": _cmd_obs,

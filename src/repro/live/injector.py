@@ -55,11 +55,18 @@ class TraceInjector:
         self.dropped_events = 0
         self.injected_batches = 0
 
-    def run(self, out: RingBuffer, put_timeout: "Optional[float]" = None) -> None:
+    def run(
+        self,
+        out: RingBuffer,
+        put_timeout: "Optional[float]" = None,
+        heartbeat: "Optional[Callable[[], None]]" = None,
+    ) -> None:
         """Push the whole replay into ``out`` and close it.
 
         The buffer is closed even when injection fails, so downstream
         consumers always observe end-of-stream and can drain cleanly.
+        ``heartbeat`` (if given) is invoked once per injected sub-batch —
+        the pipeline's liveness probe watches it.
         """
         base = float(self.events.timestamp[0])
         span = float(self.events.timestamp[-1]) - base
@@ -73,6 +80,8 @@ class TraceInjector:
                     else self.events.shifted(shift)
                 )
                 for batch in source.iter_slices(self.batch_events):
+                    if heartbeat is not None:
+                        heartbeat()
                     if self.rate is not None:
                         # Release each sub-batch when its first event is
                         # due: due-time = (trace time since trace start)

@@ -108,6 +108,11 @@ class LivePipeline:
         self._window_ring = RingBuffer(8, policy="block", name="live.windows")
         self._errors: "List[BaseException]" = []
         self._error_lock = threading.Lock()
+        # Liveness bookkeeping for health(): stage threads beat once per
+        # loop iteration (GIL-atomic float store; no lock needed).
+        self._heartbeats: Dict[str, float] = {}
+        self._threads: Dict[str, threading.Thread] = {}
+        self._last_window_wall: "Optional[float]" = None
 
     # -- stage bodies --------------------------------------------------------
 
@@ -115,23 +120,33 @@ class LivePipeline:
         with self._error_lock:
             self._errors.append(error)
 
+    def _beat(self, stage: str) -> None:
+        self._heartbeats[stage] = time.time()
+
     def _inject_stage(self) -> None:
+        self._beat("inject")
         try:
             self.injector.run(
-                self._event_ring, put_timeout=self.stall_timeout
+                self._event_ring,
+                put_timeout=self.stall_timeout,
+                heartbeat=lambda: self._beat("inject"),
             )
         except BaseException as error:  # noqa: BLE001 - re-raised by run()
             self._record_error(error)
             self._event_ring.close()
+        finally:
+            self._beat("inject")
 
     def _stats_stage(self) -> None:
         telemetry = get_telemetry()
         events_total = telemetry.counter("live.events_total")
         batches_total = telemetry.counter("live.batches_total")
         windows_closed = telemetry.counter("live.windows_closed")
+        self._beat("stats")
         try:
             while True:
                 batch = self._event_ring.get(timeout=self.stall_timeout)
+                self._beat("stats")
                 if batch is None:
                     break
                 closed = self.tracker.observe(batch)
@@ -156,11 +171,14 @@ class LivePipeline:
         telemetry = get_telemetry()
         decisions_total = telemetry.counter("live.decisions_total")
         latency_hist = telemetry.histogram("live.decision_latency_us")
+        self._beat("policy")
         try:
             while True:
                 closed = self._window_ring.get(timeout=self.stall_timeout)
+                self._beat("policy")
                 if closed is None:
                     break
+                self._last_window_wall = time.time()
                 t0 = time.perf_counter()
                 if self.policy is not None:
                     decisions = self.policy.on_window(closed)
@@ -196,24 +214,24 @@ class LivePipeline:
             batches=0,
             events_per_sec=0.0,
         )
-        threads = [
-            threading.Thread(
+        self._threads = {
+            "inject": threading.Thread(
                 target=self._inject_stage, name="live-inject", daemon=True
             ),
-            threading.Thread(
+            "stats": threading.Thread(
                 target=self._stats_stage, name="live-stats", daemon=True
             ),
-            threading.Thread(
+            "policy": threading.Thread(
                 target=self._policy_stage,
                 args=(report,),
                 name="live-policy",
                 daemon=True,
             ),
-        ]
+        }
         start = time.perf_counter()
-        for thread in threads:
+        for thread in self._threads.values():
             thread.start()
-        for thread in threads:
+        for thread in self._threads.values():
             thread.join()
         wall = time.perf_counter() - start
         if self._errors:
@@ -243,3 +261,60 @@ class LivePipeline:
                 "live.queue_depth_max", ring=ring.name
             ).set_max(ring.max_depth)
         return report
+
+    # -- liveness ------------------------------------------------------------
+
+    def queue_depths(self) -> Dict[str, int]:
+        """Current ring depths, keyed by ring name (recorder probes)."""
+        return {
+            ring.name: ring.depth
+            for ring in (self._event_ring, self._window_ring)
+        }
+
+    def health(self) -> Dict[str, Any]:
+        """Per-stage liveness for ``/healthz``.
+
+        ``healthy`` means: no stage has failed, and no *alive* stage's
+        heartbeat is older than ``stall_timeout`` (each stage beats once
+        per loop iteration; a blocked stage raises its own LiveError
+        after the same timeout, so a stale beat is a genuine stall).
+        Before :meth:`run` starts, and after a clean drain, the pipeline
+        reports healthy with ``running=False``.
+        """
+        now = time.time()
+        stages: Dict[str, Any] = {}
+        running = False
+        stalled = False
+        for name, thread in self._threads.items():
+            alive = thread.is_alive()
+            running = running or alive
+            beat = self._heartbeats.get(name)
+            age = round(now - beat, 3) if beat is not None else None
+            if (
+                alive
+                and self.stall_timeout is not None
+                and age is not None
+                and age > self.stall_timeout
+            ):
+                stalled = True
+            stages[name] = {"alive": alive, "last_beat_age_s": age}
+        with self._error_lock:
+            errors = [str(error) for error in self._errors]
+        last_window_age = (
+            round(now - self._last_window_wall, 3)
+            if self._last_window_wall is not None
+            else None
+        )
+        return {
+            "healthy": not errors and not stalled,
+            "running": running,
+            "stalled": stalled,
+            "stall_timeout": self.stall_timeout,
+            "stages": stages,
+            "rings": {
+                ring.name: {"closed": ring.closed, "depth": ring.depth}
+                for ring in (self._event_ring, self._window_ring)
+            },
+            "last_window_age_s": last_window_age,
+            "errors": errors,
+        }

@@ -114,6 +114,12 @@ class RingBuffer:
         with self._lock:
             return len(self._items)
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran (items may still be draining)."""
+        with self._lock:
+            return self._closed
+
     def stats(self) -> "dict[str, int]":
         with self._lock:
             return {

@@ -11,8 +11,8 @@ stream (wall-clock figures aside).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -62,6 +62,18 @@ class LiveConfig:
     sketch_width: int = 2048
     lending_rate: float = 0.8
     trigger_ratio: float = 1.2
+    #: ``(host, port)`` to expose /metrics,/snapshot,/healthz,/recorder on
+    #: while the replay runs (``None``: no server).  Port 0 lets the OS
+    #: pick; the bound address reaches the caller via ``on_server``.
+    serve: Optional[Tuple[str, int]] = None
+    #: Flight-recorder sampling interval (wall seconds) and ring size.
+    recorder_interval: float = 1.0
+    recorder_capacity: int = 512
+    #: SLO objective specs (``metric:pQQ<X`` / ``num/den<Y``), evaluated
+    #: per recorder interval.  Empty: no SLO tracking.
+    slos: Tuple[str, ...] = field(default_factory=tuple)
+    #: Error budget: fraction of intervals allowed to violate an SLO.
+    slo_budget: float = 0.01
 
     def __post_init__(self) -> None:
         if self.duration_seconds < 1:
@@ -71,6 +83,10 @@ class LiveConfig:
         if self.window_seconds < 1:
             raise ConfigError(
                 f"window_seconds must be >= 1, got {self.window_seconds}"
+            )
+        if self.recorder_interval <= 0:
+            raise ConfigError(
+                f"recorder_interval must be > 0, got {self.recorder_interval}"
             )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -84,6 +100,9 @@ class LiveConfig:
             "ring_capacity": self.ring_capacity,
             "overflow": self.overflow,
             "loops": self.loops,
+            "serve": list(self.serve) if self.serve else None,
+            "recorder_interval": self.recorder_interval,
+            "slos": list(self.slos),
         }
 
 
@@ -143,8 +162,24 @@ def build_pipeline(config: LiveConfig) -> LivePipeline:
     )
 
 
-def run_live(config: LiveConfig) -> LiveReport:
-    """Build and run one live replay, instrumented end to end."""
+def run_live(
+    config: LiveConfig,
+    on_server: "Optional[Callable[[Any], None]]" = None,
+) -> LiveReport:
+    """Build and run one live replay, instrumented end to end.
+
+    When telemetry is enabled, the observability plane rides along: a
+    :class:`~repro.obs.recorder.FlightRecorder` samples rates and queue
+    depths every ``config.recorder_interval`` seconds (with an
+    :class:`~repro.obs.slo.SloTracker` scoring ``config.slos`` per
+    interval), and both land in the telemetry artifact as the
+    ``recorder`` / ``slo`` sections.  With ``config.serve`` set, a
+    scrape server answers ``/metrics``, ``/snapshot``, ``/healthz`` and
+    ``/recorder`` for the duration of the replay; ``on_server`` (if
+    given) receives the started :class:`~repro.obs.server.ObsServer`
+    before injection begins, so callers can log or probe the bound
+    address (port 0 binds are otherwise unknowable).
+    """
     telemetry = get_telemetry()
     with telemetry.span(
         "live.run",
@@ -153,7 +188,46 @@ def run_live(config: LiveConfig) -> LiveReport:
         duration=config.duration_seconds,
     ):
         pipeline = build_pipeline(config)
-        return pipeline.run()
+        recorder = slo = server = None
+        if telemetry.enabled:
+            from repro.obs.recorder import FlightRecorder
+            from repro.obs.slo import SloTracker
+
+            if config.slos:
+                slo = SloTracker(config.slos, budget=config.slo_budget)
+                telemetry.attach_section("slo", slo.snapshot)
+            recorder = FlightRecorder(
+                telemetry,
+                interval_seconds=config.recorder_interval,
+                capacity=config.recorder_capacity,
+                slo=slo,
+            )
+            for ring_name in ("live.events", "live.windows"):
+                recorder.add_probe(
+                    f"queue_depth{{ring={ring_name}}}",
+                    lambda name=ring_name: pipeline.queue_depths()[name],
+                )
+            telemetry.attach_section("recorder", recorder.snapshot)
+        if config.serve is not None:
+            host, port = config.serve
+            server = telemetry.serve(
+                host=host,
+                port=port,
+                recorder=recorder,
+                slo=slo,
+                health=pipeline.health,
+            )
+            if on_server is not None:
+                on_server(server)
+        try:
+            if recorder is not None:
+                recorder.start()
+            return pipeline.run()
+        finally:
+            if recorder is not None:
+                recorder.stop()
+            if server is not None:
+                server.stop()
 
 
 def report_to_dict(config: LiveConfig, report: LiveReport) -> Dict[str, Any]:

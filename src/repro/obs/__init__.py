@@ -22,8 +22,23 @@ Three pieces:
   perf benchmarks), installed per run via :func:`telemetry_session` or
   the CLI's ``--telemetry PATH``.
 
+The live observability plane layers on top:
+
+- :mod:`repro.obs.server` — an stdlib-only scrape endpoint
+  (``/metrics`` Prometheus text, ``/snapshot`` JSON, ``/healthz``
+  liveness, ``/recorder``), attached via ``Telemetry.serve()`` or
+  ``ebs-repro live --serve``;
+- :mod:`repro.obs.recorder` — the flight recorder: a bounded ring of
+  per-interval counter/rate/queue-depth snapshots dumped into the
+  artifact's ``recorder`` section;
+- :mod:`repro.obs.slo` — declarative objectives
+  (``metric:p99<X``, ``drops/total<Y``) with error-budget burn rates;
+- :mod:`repro.obs.promtext` — a strict parser/validator for the text
+  exposition format, run by CI against every scrape.
+
 See ``docs/observability.md`` for the metric-name catalogue and the span
-naming convention, and ``repro obs report/export/validate`` for the CLI.
+naming convention, and ``repro obs report/export/validate/promcheck``
+for the CLI.
 """
 
 from repro.obs.metrics import (
@@ -44,6 +59,10 @@ from repro.obs.runtime import (
 from repro.obs.schema import validate_telemetry
 from repro.obs.spans import Tracer, stage_summary, to_chrome_trace
 from repro.obs.export import EXPORT_FORMATS, export_telemetry
+from repro.obs.promtext import parse_promtext, validate_promtext
+from repro.obs.recorder import FlightRecorder
+from repro.obs.slo import SloObjective, SloTracker, parse_slo
+from repro.obs.server import ObsServer
 
 __all__ = [
     "Counter",
@@ -63,4 +82,11 @@ __all__ = [
     "to_chrome_trace",
     "EXPORT_FORMATS",
     "export_telemetry",
+    "parse_promtext",
+    "validate_promtext",
+    "FlightRecorder",
+    "SloObjective",
+    "SloTracker",
+    "parse_slo",
+    "ObsServer",
 ]

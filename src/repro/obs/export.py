@@ -30,13 +30,41 @@ def _prom_name(name: str) -> str:
     return _NAME_RE.sub("_", "repro_" + name)
 
 
+def _escape_label_value(value: Any) -> str:
+    """Escape a label value per the exposition-format spec.
+
+    Inside double quotes, backslash, the double quote itself, and
+    line feeds must be escaped — anything else (``{``, ``,``, UTF-8)
+    passes through verbatim.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels: Dict[str, Any]) -> str:
     if not labels:
         return ""
-    inner = ",".join(
-        f'{_LABEL_RE.sub("_", str(k))}="{v}"' for k, v in sorted(labels.items())
-    )
-    return "{" + inner + "}"
+    parts: List[str] = []
+    used: set = set()
+    for key, value in sorted((str(k), v) for k, v in labels.items()):
+        name = _LABEL_RE.sub("_", key) or "_"
+        if name[0].isdigit():
+            name = "_" + name
+        # Distinct source keys can collapse onto one sanitized name
+        # (e.g. "a.b" and "a:b" both become "a_b"); duplicate label
+        # names are invalid exposition text, so suffix the later ones.
+        if name in used:
+            n = 2
+            while f"{name}_{n}" in used:
+                n += 1
+            name = f"{name}_{n}"
+        used.add(name)
+        parts.append(f'{name}="{_escape_label_value(value)}"')
+    return "{" + ",".join(parts) + "}"
 
 
 def export_prometheus(payload: Dict[str, Any]) -> str:

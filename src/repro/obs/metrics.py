@@ -26,6 +26,7 @@ The module is dependency-free: numpy is used opportunistically for
 from __future__ import annotations
 
 import math
+import threading
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.util.errors import ConfigError
@@ -180,13 +181,16 @@ class Histogram:
             self.observe(value)
 
     def to_dict(self) -> Dict[str, Any]:
+        # dict() is a C-level copy, atomic under the GIL: a scrape can
+        # snapshot while a pipeline thread inserts new buckets.
+        buckets = dict(self.buckets)
         return {
             "count": self.count,
             "sum": self.sum,
             "zeros": self.zeros,
             "min": self.min,
             "max": self.max,
-            "buckets": [[e, self.buckets[e]] for e in sorted(self.buckets)],
+            "buckets": [[e, buckets[e]] for e in sorted(buckets)],
         }
 
     def merge_dict(self, payload: Dict[str, Any]) -> None:
@@ -222,29 +226,38 @@ class MetricsRegistry:
     ``(name, labels)``, so their JSON form is independent of creation
     order — a prerequisite for the byte-identity guarantee across worker
     counts.
+
+    Series lookup and snapshot/merge hold an internal lock, so a scrape
+    thread (:mod:`repro.obs.server`) can snapshot while pipeline threads
+    register new series — the snapshot is a *consistent point-in-time
+    view* of the series table.  Recording through an already-fetched
+    series object stays lock-free (hot paths cache their handles).
     """
 
     def __init__(self) -> None:
         self._series: Dict[Tuple[str, LabelKey], Any] = {}
         self._kinds: Dict[str, str] = {}
+        # RLock: merge_snapshot calls _get while already holding it.
+        self._lock = threading.RLock()
 
     def _get(self, kind: str, name: str, labels: Dict[str, Any]):
         if not name:
             raise ConfigError("metric name must be non-empty")
-        known = self._kinds.get(name)
-        if known is None:
-            self._kinds[name] = kind
-        elif known != kind:
-            raise ConfigError(
-                f"metric {name!r} already registered as a {known}, "
-                f"cannot re-register as a {kind}"
-            )
-        key = (name, _label_key(labels))
-        series = self._series.get(key)
-        if series is None:
-            series = _KINDS[kind]()
-            self._series[key] = series
-        return series
+        with self._lock:
+            known = self._kinds.get(name)
+            if known is None:
+                self._kinds[name] = kind
+            elif known != kind:
+                raise ConfigError(
+                    f"metric {name!r} already registered as a {known}, "
+                    f"cannot re-register as a {kind}"
+                )
+            key = (name, _label_key(labels))
+            series = self._series.get(key)
+            if series is None:
+                series = _KINDS[kind]()
+                self._series[key] = series
+            return series
 
     def counter(self, name: str, **labels: Any) -> Counter:
         return self._get("counter", name, labels)
@@ -267,11 +280,12 @@ class MetricsRegistry:
             "gauges": [],
             "histograms": [],
         }
-        for (name, labels) in sorted(self._series):
-            series = self._series[(name, labels)]
-            entry = {"name": name, "labels": dict(labels)}
-            entry.update(series.to_dict())
-            out[series.kind + "s"].append(entry)
+        with self._lock:
+            for (name, labels) in sorted(self._series):
+                series = self._series[(name, labels)]
+                entry = {"name": name, "labels": dict(labels)}
+                entry.update(series.to_dict())
+                out[series.kind + "s"].append(entry)
         return out
 
     def merge_snapshot(self, snapshot: Dict[str, List[Dict[str, Any]]]) -> None:
@@ -281,10 +295,11 @@ class MetricsRegistry:
         counts — so merging per-worker snapshots in any order yields the
         same registry as a single-process run recording the same events.
         """
-        for kind in ("counter", "gauge", "histogram"):
-            for entry in snapshot.get(kind + "s", ()):
-                series = self._get(kind, entry["name"], entry["labels"])
-                series.merge_dict(entry)
+        with self._lock:
+            for kind in ("counter", "gauge", "histogram"):
+                for entry in snapshot.get(kind + "s", ()):
+                    series = self._get(kind, entry["name"], entry["labels"])
+                    series.merge_dict(entry)
 
     def merge(self, other: "MetricsRegistry") -> None:
         self.merge_snapshot(other.snapshot())

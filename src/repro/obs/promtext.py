@@ -1,0 +1,233 @@
+"""Prometheus text exposition format: a strict in-repo parser + validator.
+
+The scrape endpoint's output is a *contract* with external collectors,
+so the repo carries its own checker instead of trusting the exporter:
+:func:`validate_promtext` enforces the line grammar (metric names, label
+escaping, float values), uniqueness of ``(name, labelset)`` series, and
+the histogram invariants — ``le`` bucket upper bounds strictly
+increasing, cumulative bucket counts monotone non-decreasing, a ``+Inf``
+bucket present and equal to ``_count``, and ``_sum`` present.  CI runs
+it against every mid-run ``/metrics`` scrape, and the exporter tests run
+it against every :func:`repro.obs.export.export_prometheus` output.
+
+:func:`parse_promtext` is the shared tokenizer; ``ebs-repro top`` uses
+it to consume ``/metrics`` the way a real collector would.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.util.errors import ConfigError
+
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_TYPE_RE = re.compile(rf"^# TYPE ({_NAME}) ([a-z]+)$")
+_HELP_RE = re.compile(rf"^# HELP ({_NAME}) .*$")
+_SAMPLE_RE = re.compile(
+    rf"^(?P<name>{_NAME})"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)"
+    r"(?: (?P<ts>-?[0-9]+))?$"
+)
+_LABEL_RE = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\\n]|\\["\\n])*)"\s*'
+)
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One parsed sample line."""
+
+    name: str
+    labels: Tuple[Tuple[str, str], ...]
+    value: float
+    line: int
+
+    @property
+    def labels_dict(self) -> Dict[str, str]:
+        return dict(self.labels)
+
+
+def _parse_value(text: str) -> float:
+    lowered = text.lower()
+    if lowered in ("+inf", "inf"):
+        return float("inf")
+    if lowered == "-inf":
+        return float("-inf")
+    return float(text)  # 'nan' parses; garbage raises ValueError
+
+
+def _unescape(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _parse_labels(body: str, line_no: int) -> Tuple[Tuple[str, str], ...]:
+    """The ``k="v",...`` body between braces, strictly tokenized."""
+    labels: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(body):
+        match = _LABEL_RE.match(body, pos)
+        if match is None:
+            raise ConfigError(
+                f"line {line_no}: malformed label at {body[pos:]!r}"
+            )
+        labels.append((match.group("key"), _unescape(match.group("value"))))
+        pos = match.end()
+        if pos < len(body):
+            if body[pos] != ",":
+                raise ConfigError(
+                    f"line {line_no}: expected ',' between labels, got "
+                    f"{body[pos:]!r}"
+                )
+            pos += 1
+    keys = [k for k, _ in labels]
+    if len(set(keys)) != len(keys):
+        raise ConfigError(f"line {line_no}: duplicate label name in {body!r}")
+    return tuple(labels)
+
+
+def parse_promtext(text: str) -> List[Sample]:
+    """Parse exposition text into samples; raises ConfigError on bad lines.
+
+    Comment lines (``# TYPE`` / ``# HELP`` / ``# EOF``) are validated
+    structurally and skipped; every other non-blank line must be a
+    sample.
+    """
+    samples: List[Sample] = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if line == "# EOF":
+                continue
+            type_match = _TYPE_RE.match(line)
+            if type_match:
+                if type_match.group(2) not in _TYPES:
+                    raise ConfigError(
+                        f"line {line_no}: unknown metric type "
+                        f"{type_match.group(2)!r}"
+                    )
+                continue
+            if _HELP_RE.match(line):
+                continue
+            raise ConfigError(f"line {line_no}: malformed comment {line!r}")
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ConfigError(f"line {line_no}: malformed sample {line!r}")
+        labels_body = match.group("labels")
+        labels = (
+            _parse_labels(labels_body, line_no) if labels_body else ()
+        )
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            raise ConfigError(
+                f"line {line_no}: bad sample value {match.group('value')!r}"
+            )
+        samples.append(
+            Sample(
+                name=match.group("name"),
+                labels=labels,
+                value=value,
+                line=line_no,
+            )
+        )
+    return samples
+
+
+def _histogram_problems(samples: List[Sample]) -> List[str]:
+    """Bucket monotonicity and ``_count`` / ``_sum`` consistency."""
+    problems: List[str] = []
+    buckets: Dict[Tuple[str, tuple], List[Tuple[float, float, int]]] = {}
+    counts: Dict[Tuple[str, tuple], float] = {}
+    sums: set = set()
+    for sample in samples:
+        if sample.name.endswith("_bucket"):
+            base = sample.name[: -len("_bucket")]
+            labels = dict(sample.labels)
+            le_text = labels.pop("le", None)
+            key = (base, tuple(sorted(labels.items())))
+            if le_text is None:
+                problems.append(
+                    f"line {sample.line}: {sample.name} bucket without an "
+                    "'le' label"
+                )
+                continue
+            try:
+                le = _parse_value(le_text)
+            except ValueError:
+                problems.append(
+                    f"line {sample.line}: {sample.name} has unparseable "
+                    f"le={le_text!r}"
+                )
+                continue
+            buckets.setdefault(key, []).append((le, sample.value, sample.line))
+        elif sample.name.endswith("_count"):
+            key = (sample.name[: -len("_count")], tuple(sorted(sample.labels)))
+            counts[key] = sample.value
+        elif sample.name.endswith("_sum"):
+            sums.add((sample.name[: -len("_sum")], tuple(sorted(sample.labels))))
+    for (base, labels), series in buckets.items():
+        ordered = sorted(series, key=lambda entry: entry[0])
+        les = [entry[0] for entry in ordered]
+        if len(set(les)) != len(les):
+            problems.append(f"{base}: duplicate le bucket bounds {les}")
+        values = [entry[1] for entry in ordered]
+        if any(b < a for a, b in zip(values, values[1:])):
+            problems.append(
+                f"{base}: cumulative bucket counts not monotone: {values}"
+            )
+        if any(value < 0 for value in values):
+            problems.append(f"{base}: negative bucket count in {values}")
+        if not les or les[-1] != float("inf"):
+            problems.append(f"{base}: missing le=\"+Inf\" bucket")
+        else:
+            inf_count = values[-1]
+            declared = counts.get((base, labels))
+            if declared is None:
+                problems.append(f"{base}: histogram without a _count sample")
+            elif declared != inf_count:
+                problems.append(
+                    f"{base}: _count {declared:g} != +Inf bucket "
+                    f"{inf_count:g}"
+                )
+        if (base, labels) not in sums:
+            problems.append(f"{base}: histogram without a _sum sample")
+    return problems
+
+
+def validate_promtext(text: str) -> List[str]:
+    """Validate one exposition document; [] means valid.
+
+    Checks the line grammar, duplicate ``(name, labels)`` series,
+    negative ``_total`` counters, and every histogram's bucket/count/sum
+    invariants.
+    """
+    try:
+        samples = parse_promtext(text)
+    except ConfigError as error:
+        return [str(error)]
+    problems: List[str] = []
+    seen: Dict[Tuple[str, tuple], int] = {}
+    for sample in samples:
+        key = (sample.name, sample.labels)
+        if key in seen:
+            problems.append(
+                f"line {sample.line}: duplicate series {sample.name} "
+                f"(first at line {seen[key]})"
+            )
+        else:
+            seen[key] = sample.line
+        if sample.name.endswith("_total") and sample.value < 0:
+            problems.append(
+                f"line {sample.line}: counter {sample.name} is negative "
+                f"({sample.value:g})"
+            )
+    problems.extend(_histogram_problems(samples))
+    return problems

@@ -1,0 +1,262 @@
+"""The telemetry flight recorder: a bounded ring of interval snapshots.
+
+A long-running serving loop needs more than cumulative counters: the
+operator's questions are *rates* ("events/sec right now?", "did drops
+spike when the queue filled?").  :class:`FlightRecorder` samples the
+telemetry registry on a fixed wall-clock interval and keeps the last
+``capacity`` interval records in a ring — each record carrying the
+cumulative counter values, the per-second rates over the interval,
+gauge values, registered probe readings (queue depths), and per-interval
+histogram *deltas* (which feed the SLO tracker's quantile evaluation).
+
+Like an aircraft flight recorder, the ring is dumped into the telemetry
+artifact on exit (the ``recorder`` section), so a crash leaves a
+black-box record of the last N intervals; while the run is alive the
+same payload is served at ``GET /recorder``.
+
+Everything in here measures the wall clock and is therefore — like
+spans — exempt from the deterministic-metrics contract; it lives in its
+own artifact section.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.util.errors import ConfigError
+
+#: Default sampling interval, seconds.
+DEFAULT_INTERVAL_SECONDS = 1.0
+#: Default ring capacity, intervals.
+DEFAULT_CAPACITY = 512
+
+
+def series_key(name: str, labels: Dict[str, Any]) -> str:
+    """Flatten one labeled series to a stable string key.
+
+    ``live.queue_depth_max{ring=live.events}`` — the same shape the
+    Prometheus exposition uses, so recorder keys and scrape series
+    correlate by eye.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class FlightRecorder:
+    """Periodic registry snapshots with rates, bounded to the last N.
+
+    ``telemetry`` is a :class:`repro.obs.runtime.Telemetry` handle;
+    sampling reads its registry through the registry's own lock, so each
+    interval is a consistent cut.  ``slo`` (optional) is a
+    :class:`repro.obs.slo.SloTracker` notified once per interval with
+    the interval record.
+    """
+
+    def __init__(
+        self,
+        telemetry,
+        interval_seconds: float = DEFAULT_INTERVAL_SECONDS,
+        capacity: int = DEFAULT_CAPACITY,
+        slo=None,
+        clock: "Callable[[], float]" = time.time,
+    ):
+        if interval_seconds <= 0:
+            raise ConfigError(
+                f"interval_seconds must be > 0, got {interval_seconds}"
+            )
+        if capacity < 1:
+            raise ConfigError(f"capacity must be >= 1, got {capacity}")
+        self.telemetry = telemetry
+        self.interval_seconds = float(interval_seconds)
+        self.capacity = int(capacity)
+        self.slo = slo
+        self._clock = clock
+        self._probes: "Dict[str, Callable[[], float]]" = {}
+        self._lock = threading.Lock()
+        self._intervals: "deque[Dict[str, Any]]" = deque(maxlen=capacity)
+        self._prev: "Optional[Dict[str, Any]]" = None
+        self._base: "Optional[Dict[str, Any]]" = None
+        self._samples_taken = 0
+        self._stop = threading.Event()
+        self._thread: "Optional[threading.Thread]" = None
+
+    # -- probes --------------------------------------------------------------
+
+    def add_probe(self, name: str, fn: "Callable[[], float]") -> None:
+        """Register a per-interval reading (e.g. a ring's current depth)."""
+        if not name:
+            raise ConfigError("probe name must be non-empty")
+        self._probes[name] = fn
+
+    # -- sampling ------------------------------------------------------------
+
+    def _cut(self) -> Dict[str, Any]:
+        """One consistent cut of the registry, flattened to series keys."""
+        metrics = self.telemetry.registry.snapshot()
+        counters = {
+            series_key(e["name"], e["labels"]): float(e["value"])
+            for e in metrics["counters"]
+        }
+        gauges = {
+            series_key(e["name"], e["labels"]): e["value"]
+            for e in metrics["gauges"]
+            if e["value"] is not None
+        }
+        histograms = {
+            series_key(e["name"], e["labels"]): {
+                "count": int(e["count"]),
+                "sum": float(e["sum"]),
+                "zeros": int(e["zeros"]),
+                "buckets": [[int(b), int(c)] for b, c in e["buckets"]],
+            }
+            for e in metrics["histograms"]
+        }
+        probes: Dict[str, float] = {}
+        for name, fn in self._probes.items():
+            try:
+                probes[name] = float(fn())
+            except Exception:  # noqa: BLE001 - a dead probe must not kill sampling
+                probes[name] = float("nan")
+        return {
+            "t_wall": self._clock(),
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "probes": probes,
+        }
+
+    @staticmethod
+    def _hist_delta(
+        current: Dict[str, Any], previous: "Optional[Dict[str, Any]]"
+    ) -> Dict[str, Any]:
+        if previous is None:
+            previous = {"count": 0, "sum": 0.0, "zeros": 0, "buckets": []}
+        prev_buckets = dict(
+            (int(e), int(c)) for e, c in previous["buckets"]
+        )
+        buckets = [
+            [e, c - prev_buckets.get(e, 0)]
+            for e, c in ((int(e), int(c)) for e, c in current["buckets"])
+            if c - prev_buckets.get(e, 0) > 0
+        ]
+        return {
+            "count": current["count"] - previous["count"],
+            "sum": current["sum"] - previous["sum"],
+            "zeros": current["zeros"] - previous["zeros"],
+            "buckets": buckets,
+        }
+
+    def sample(self) -> Dict[str, Any]:
+        """Take one interval snapshot now; returns the interval record."""
+        cut = self._cut()
+        with self._lock:
+            if self._base is None:
+                self._base = cut
+            prev = self._prev
+            if prev is None:
+                # First-ever sample with no base cut taken at start():
+                # everything observed so far counts as this interval.
+                prev = {
+                    "t_wall": cut["t_wall"],
+                    "counters": {},
+                    "histograms": {},
+                }
+            dt = cut["t_wall"] - prev["t_wall"]
+            rates = {}
+            if dt > 0:
+                for key, value in cut["counters"].items():
+                    delta = value - prev["counters"].get(key, 0.0)
+                    rates[key] = delta / dt
+            hist_delta = {
+                key: self._hist_delta(entry, prev["histograms"].get(key))
+                for key, entry in cut["histograms"].items()
+            }
+            record = {
+                "index": self._samples_taken,
+                "t_wall": cut["t_wall"],
+                "dt": dt,
+                "counters": cut["counters"],
+                "rates": rates,
+                "gauges": cut["gauges"],
+                "probes": cut["probes"],
+                "hist_delta": hist_delta,
+            }
+            self._samples_taken += 1
+            self._intervals.append(record)
+            self._prev = cut
+            slo = self.slo
+        if slo is not None:
+            slo.observe_interval(record)
+        return record
+
+    # -- background thread ---------------------------------------------------
+
+    def start(self) -> "FlightRecorder":
+        """Begin periodic sampling on a daemon thread (base cut now)."""
+        if self._thread is not None:
+            raise ConfigError("recorder already started")
+        with self._lock:
+            if self._base is None:
+                self._base = self._cut()
+                self._prev = self._base
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="obs-recorder", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_seconds):
+            self.sample()
+
+    def stop(self) -> None:
+        """Stop the thread and take one final sample (totals are exact)."""
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join()
+            self._thread = None
+        self.sample()
+
+    # -- payload -------------------------------------------------------------
+
+    @property
+    def intervals(self) -> "List[Dict[str, Any]]":
+        with self._lock:
+            return list(self._intervals)
+
+    def totals(self) -> Dict[str, float]:
+        """Cumulative counter values as of the most recent sample.
+
+        After :meth:`stop` these equal the final telemetry counters
+        *exactly* — the recorder reads the same registry, and the final
+        sample happens after every pipeline stage joined.
+        """
+        with self._lock:
+            if self._prev is None:
+                return {}
+            return dict(self._prev["counters"])
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The ``recorder`` telemetry section / ``GET /recorder`` payload."""
+        with self._lock:
+            intervals = list(self._intervals)
+            samples_taken = self._samples_taken
+            base = self._base
+            totals = (
+                dict(self._prev["counters"]) if self._prev is not None else {}
+            )
+        return {
+            "interval_seconds": self.interval_seconds,
+            "capacity": self.capacity,
+            "samples_taken": samples_taken,
+            "evicted": max(0, samples_taken - len(intervals)),
+            "base_t_wall": base["t_wall"] if base else None,
+            "totals": totals,
+            "intervals": intervals,
+        }

@@ -133,6 +133,7 @@ class Telemetry:
             sample_every=sample_every, sample_rate=sample_rate, seed=seed
         )
         self.meta: Dict[str, Any] = {}
+        self._sections: Dict[str, Any] = {}
         self._created_unix = time.time()
 
     # -- recording API (null-safe) -------------------------------------------
@@ -159,16 +160,33 @@ class Telemetry:
             return _NULL_HISTOGRAM
         return self.registry.histogram(name, **labels)
 
+    # -- extra artifact sections ---------------------------------------------
+
+    def attach_section(self, name: str, payload: Any) -> None:
+        """Attach a named artifact section (the ``recorder`` / ``slo`` slots).
+
+        ``payload`` is either a JSON-able value or a zero-argument
+        callable resolved at *snapshot time* — so a live ``/snapshot``
+        serves the section's current state and the final ``write`` gets
+        its terminal state, with one registration.
+        """
+        if name in ("schema_version", "meta", "metrics", "spans"):
+            raise ValueError(f"section name {name!r} is reserved")
+        self._sections[name] = payload
+
     # -- snapshot / merge / persist ------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:
         """The full telemetry artifact (the ``telemetry.json`` payload)."""
-        return {
+        payload = {
             "schema_version": TELEMETRY_SCHEMA_VERSION,
             "meta": dict(self.meta, created_unix=self._created_unix),
             "metrics": self.registry.snapshot(),
             "spans": self.tracer.snapshot(),
         }
+        for name, section in self._sections.items():
+            payload[name] = section() if callable(section) else section
+        return payload
 
     def merge_snapshot(self, snapshot: Optional[Dict[str, Any]]) -> None:
         """Fold a worker's :meth:`snapshot` into this handle (None: no-op)."""
@@ -183,6 +201,29 @@ class Telemetry:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(self.snapshot(), indent=2) + "\n")
         return path
+
+    # -- serving ---------------------------------------------------------------
+
+    def serve(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        recorder=None,
+        slo=None,
+        health=None,
+    ):
+        """Start a scrape server for this handle; returns the ObsServer.
+
+        A convenience over :class:`repro.obs.server.ObsServer` (imported
+        lazily so the no-telemetry fast path never pays for http.server).
+        The caller owns the returned server and must ``stop()`` it.
+        """
+        from repro.obs.server import ObsServer
+
+        return ObsServer(
+            self, host=host, port=port, recorder=recorder, slo=slo,
+            health=health,
+        ).start()
 
 
 #: The shared disabled singleton installed by default.

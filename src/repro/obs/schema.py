@@ -67,6 +67,73 @@ def _check_span(index: int, span: Any, errors: List[str]) -> None:
         errors.append(f"{where}: 'labels' must be an object")
 
 
+def _check_recorder(recorder: Any, errors: List[str]) -> None:
+    """The optional ``recorder`` section (the flight-recorder ring dump)."""
+    if not isinstance(recorder, dict):
+        errors.append("'recorder' must be an object")
+        return
+    for field, kinds in (
+        ("interval_seconds", (int, float)),
+        ("capacity", (int,)),
+        ("samples_taken", (int,)),
+        ("totals", (dict,)),
+        ("intervals", (list,)),
+    ):
+        if not isinstance(recorder.get(field), kinds):
+            errors.append(f"recorder.{field}: missing or wrong type")
+    intervals = recorder.get("intervals")
+    if not isinstance(intervals, list):
+        return
+    last_index = None
+    for i, record in enumerate(intervals):
+        where = f"recorder.intervals[{i}]"
+        if not isinstance(record, dict):
+            errors.append(f"{where}: expected an object")
+            continue
+        for field in ("index", "t_wall", "dt"):
+            if not isinstance(record.get(field), (int, float)):
+                errors.append(f"{where}: {field!r} must be a number")
+        for field in ("counters", "rates", "gauges", "probes", "hist_delta"):
+            if not isinstance(record.get(field), dict):
+                errors.append(f"{where}: {field!r} must be an object")
+        index = record.get("index")
+        if isinstance(index, int):
+            if last_index is not None and index <= last_index:
+                errors.append(
+                    f"{where}: interval index {index} not increasing "
+                    f"(previous {last_index})"
+                )
+            last_index = index
+
+
+def _check_slo(slo: Any, errors: List[str]) -> None:
+    """The optional ``slo`` section (objective scoreboard)."""
+    if not isinstance(slo, dict):
+        errors.append("'slo' must be an object")
+        return
+    if not isinstance(slo.get("budget"), (int, float)):
+        errors.append("slo.budget: missing or wrong type")
+    objectives = slo.get("objectives")
+    if not isinstance(objectives, list):
+        errors.append("slo.objectives must be a list")
+        return
+    for i, entry in enumerate(objectives):
+        where = f"slo.objectives[{i}]"
+        if not isinstance(entry, dict):
+            errors.append(f"{where}: expected an object")
+            continue
+        if not isinstance(entry.get("slo"), str) or not entry.get("slo"):
+            errors.append(f"{where}: missing or empty 'slo'")
+        for field in ("intervals", "violations"):
+            if not isinstance(entry.get(field), int):
+                errors.append(f"{where}: {field!r} must be an integer")
+        for field in ("threshold", "burn_rate"):
+            if not isinstance(entry.get(field), (int, float)):
+                errors.append(f"{where}: {field!r} must be a number")
+        if not isinstance(entry.get("events", []), list):
+            errors.append(f"{where}: 'events' must be a list")
+
+
 def validate_telemetry(payload: Any) -> List[str]:
     """Structural validation of one telemetry artifact; [] means valid."""
     errors: List[str] = []
@@ -110,4 +177,9 @@ def validate_telemetry(payload: Any) -> List[str]:
     else:
         for index, span in enumerate(spans):
             _check_span(index, span, errors)
+    # Optional sections attached by the live observability plane.
+    if "recorder" in payload:
+        _check_recorder(payload["recorder"], errors)
+    if "slo" in payload:
+        _check_slo(payload["slo"], errors)
     return errors

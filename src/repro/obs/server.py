@@ -1,0 +1,192 @@
+"""The observability exposition server: /metrics, /snapshot, /healthz, /recorder.
+
+A tiny stdlib-only HTTP daemon (``http.server.ThreadingHTTPServer`` on a
+daemon thread) that makes a live run scrapeable:
+
+- ``GET /metrics`` — the Prometheus text exposition of the current
+  registry (the same bytes ``obs export --format prometheus`` would
+  produce for the final artifact, but mid-run);
+- ``GET /snapshot`` — the full telemetry payload as JSON, including any
+  attached sections (recorder, slo) resolved live;
+- ``GET /healthz`` — liveness verdict: 200 with a JSON body while the
+  health callback and every SLO are happy, 503 otherwise (so a real
+  orchestrator can point a probe at it);
+- ``GET /recorder`` — the flight recorder ring as JSON (404 when no
+  recorder is attached).
+
+The server only ever *reads* lock-consistent snapshots — it cannot
+perturb the deterministic metrics, only observe them.  Bind to port 0 to
+let the OS pick (the bound address is in :attr:`ObsServer.address`).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.obs.export import export_prometheus
+from repro.util.errors import ConfigError
+
+log = logging.getLogger(__name__)
+
+#: The content type Prometheus scrapers expect for text exposition.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class ObsServer:
+    """Serve one telemetry handle over HTTP from a daemon thread.
+
+    ``health`` is an optional callable returning a JSON-able dict with at
+    least ``{"healthy": bool}`` (the live pipeline provides per-stage
+    liveness); ``recorder`` / ``slo`` are optional
+    :class:`~repro.obs.recorder.FlightRecorder` /
+    :class:`~repro.obs.slo.SloTracker` instances.
+    """
+
+    def __init__(
+        self,
+        telemetry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        recorder=None,
+        slo=None,
+        health: "Optional[Callable[[], Dict[str, Any]]]" = None,
+    ):
+        self.telemetry = telemetry
+        self.recorder = recorder
+        self.slo = slo
+        self.health = health
+        self._httpd: "Optional[ThreadingHTTPServer]" = None
+        self._thread: "Optional[threading.Thread]" = None
+        self._host = host
+        self._port = port
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self) -> "Tuple[str, int]":
+        """The bound (host, port); raises until :meth:`start` ran."""
+        if self._httpd is None:
+            raise ConfigError("server not started")
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ObsServer":
+        if self._httpd is not None:
+            raise ConfigError("server already started")
+        handler = _make_handler(self)
+        try:
+            self._httpd = ThreadingHTTPServer(
+                (self._host, self._port), handler
+            )
+        except OSError as error:
+            raise ConfigError(
+                f"cannot bind obs server to {self._host}:{self._port}: "
+                f"{error}"
+            ) from error
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="obs-server",
+            daemon=True,
+        )
+        self._thread.start()
+        log.debug("obs server listening on %s", self.url)
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self._httpd = None
+
+    # -- endpoint payloads (also used directly by tests) ---------------------
+
+    def metrics_text(self) -> str:
+        return export_prometheus({"metrics": self.telemetry.registry.snapshot()})
+
+    def snapshot_payload(self) -> Dict[str, Any]:
+        return self.telemetry.snapshot()
+
+    def health_payload(self) -> "Tuple[int, Dict[str, Any]]":
+        """(http status, body) for ``/healthz``."""
+        body: Dict[str, Any] = {"healthy": True}
+        if self.health is not None:
+            try:
+                body = dict(self.health())
+            except Exception as error:  # noqa: BLE001 - a probe must answer
+                body = {"healthy": False, "error": str(error)}
+            body.setdefault("healthy", True)
+        if self.slo is not None:
+            slo_ok = self.slo.healthy()
+            body["slo_healthy"] = slo_ok
+            body["slo"] = self.slo.snapshot()
+            body["healthy"] = bool(body["healthy"]) and slo_ok
+        status = 200 if body["healthy"] else 503
+        return status, body
+
+
+def _make_handler(server: ObsServer):
+    class _Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def _send(
+            self, status: int, content_type: str, body: bytes
+        ) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_json(self, status: int, payload: Any) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self._send(status, "application/json; charset=utf-8", body)
+
+        def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            try:
+                if path == "/metrics":
+                    self._send(
+                        200,
+                        PROM_CONTENT_TYPE,
+                        server.metrics_text().encode("utf-8"),
+                    )
+                elif path == "/snapshot":
+                    self._send_json(200, server.snapshot_payload())
+                elif path == "/healthz":
+                    status, body = server.health_payload()
+                    self._send_json(status, body)
+                elif path == "/recorder":
+                    if server.recorder is None:
+                        self._send_json(
+                            404, {"error": "no flight recorder attached"}
+                        )
+                    else:
+                        self._send_json(200, server.recorder.snapshot())
+                else:
+                    self._send_json(404, {"error": f"unknown path {path}"})
+            except BrokenPipeError:  # pragma: no cover - client went away
+                pass
+            except Exception as error:  # noqa: BLE001 - keep serving
+                log.warning("obs server error on %s: %s", path, error)
+                try:
+                    self._send_json(500, {"error": str(error)})
+                except OSError:  # pragma: no cover
+                    pass
+
+        def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+            log.debug("obs server: " + format, *args)
+
+    return _Handler

@@ -1,0 +1,262 @@
+"""Declarative SLOs over the live telemetry stream: budgets and burn rates.
+
+An objective is one line of mini-language:
+
+- ``live.decision_latency_us:p99<500`` — a quantile of a histogram,
+  estimated per recorder interval from that interval's bucket *deltas*
+  (so it is the p99 of *recent* decisions, not of the whole run);
+- ``live.events_dropped/live.events_total<0.01`` — a ratio of counter
+  deltas over the interval (a drop *rate*, not a cumulative fraction).
+
+The tracker consumes the flight recorder's interval records
+(:meth:`SloTracker.observe_interval`), marks each interval as ok /
+violating / idle per objective, and keeps the bookkeeping an SRE would
+want: a violation count, an error-budget consumption fraction, a
+burn-rate gauge (consumption relative to the allowed budget — burn > 1
+means the objective will exhaust its budget before the horizon), and a
+bounded log of threshold-crossing events (ok→violating edges and back).
+``/healthz`` folds :meth:`healthy` into its verdict and the final
+telemetry artifact carries :meth:`snapshot` as the ``slo`` section.
+
+Quantiles come from the log2 histogram via linear interpolation inside
+the bucket that contains the target rank — coarse (buckets are powers of
+two) but monotone, cheap, and honest about its resolution; the same
+scheme DiTing-style collectors use for full-volume latency SLOs.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.util.errors import ConfigError
+
+#: Default error budget: fraction of intervals allowed to violate.
+DEFAULT_BUDGET = 0.01
+#: Threshold-crossing events kept per objective.
+_MAX_EVENTS = 64
+
+_QUANTILE_RE = re.compile(
+    r"^(?P<metric>[^:<>]+):p(?P<q>[0-9]{1,2}(?:\.[0-9]+)?)"
+    r"<(?P<threshold>[0-9.eE+-]+)$"
+)
+_RATIO_RE = re.compile(
+    r"^(?P<num>[^:<>/]+)/(?P<den>[^:<>/]+)<(?P<threshold>[0-9.eE+-]+)$"
+)
+
+
+def quantile_from_buckets(
+    buckets: Sequence[Sequence[float]], zeros: int, count: int, q: float
+) -> Optional[float]:
+    """Estimate quantile ``q`` from log2 bucket (exponent, count) pairs.
+
+    Linear interpolation within the bucket holding the target rank;
+    bucket ``e`` spans ``(2**(e-1), 2**e]``, zeros sit at 0.  Returns
+    None when ``count`` is 0.
+    """
+    if count <= 0:
+        return None
+    target = q * count
+    seen = float(zeros)
+    if target <= seen:
+        return 0.0
+    for exponent, bucket_count in sorted(
+        (int(e), int(c)) for e, c in buckets
+    ):
+        if bucket_count <= 0:
+            continue
+        if target <= seen + bucket_count:
+            lo = 2.0 ** (exponent - 1)
+            hi = 2.0 ** exponent
+            frac = (target - seen) / bucket_count
+            return lo + (hi - lo) * frac
+        seen += bucket_count
+    # rank beyond the last bucket (float slop): the max edge
+    exponents = [int(e) for e, c in buckets if int(c) > 0]
+    return 2.0 ** max(exponents) if exponents else 0.0
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One parsed objective; ``kind`` is ``quantile`` or ``ratio``."""
+
+    spec: str
+    kind: str
+    threshold: float
+    metric: str = ""
+    q: float = 0.0
+    numerator: str = ""
+    denominator: str = ""
+
+    @property
+    def name(self) -> str:
+        return self.spec
+
+
+def parse_slo(spec: str) -> SloObjective:
+    """Parse one objective spec; raises :class:`ConfigError` on nonsense."""
+    text = spec.strip().replace(" ", "")
+    match = _QUANTILE_RE.match(text)
+    if match:
+        q = float(match.group("q")) / 100.0
+        if not 0.0 < q < 1.0:
+            raise ConfigError(f"slo {spec!r}: quantile must be in (0, 100)")
+        try:
+            threshold = float(match.group("threshold"))
+        except ValueError:
+            raise ConfigError(f"slo {spec!r}: bad threshold")
+        return SloObjective(
+            spec=text,
+            kind="quantile",
+            metric=match.group("metric"),
+            q=q,
+            threshold=threshold,
+        )
+    match = _RATIO_RE.match(text)
+    if match:
+        try:
+            threshold = float(match.group("threshold"))
+        except ValueError:
+            raise ConfigError(f"slo {spec!r}: bad threshold")
+        return SloObjective(
+            spec=text,
+            kind="ratio",
+            numerator=match.group("num"),
+            denominator=match.group("den"),
+            threshold=threshold,
+        )
+    raise ConfigError(
+        f"cannot parse slo {spec!r}; expected 'metric:pQQ<threshold' or "
+        "'numerator/denominator<threshold'"
+    )
+
+
+class _ObjectiveState:
+    __slots__ = (
+        "objective", "intervals", "violations", "idle",
+        "violating", "last_value", "events",
+    )
+
+    def __init__(self, objective: SloObjective):
+        self.objective = objective
+        self.intervals = 0
+        self.violations = 0
+        self.idle = 0
+        self.violating = False
+        self.last_value: Optional[float] = None
+        self.events: List[Dict[str, Any]] = []
+
+
+class SloTracker:
+    """Evaluates objectives against recorder intervals; thread-safe.
+
+    ``budget`` is the error budget: the fraction of (non-idle) intervals
+    allowed to violate.  ``burn_rate = violation_fraction / budget`` —
+    the standard multi-window burn framing collapsed to one window (the
+    recorder ring *is* the window).
+    """
+
+    def __init__(
+        self,
+        objectives: "Sequence[str | SloObjective]",
+        budget: float = DEFAULT_BUDGET,
+    ):
+        if not 0.0 < budget <= 1.0:
+            raise ConfigError(f"slo budget must be in (0, 1], got {budget}")
+        self.budget = float(budget)
+        self._lock = threading.Lock()
+        self._states = [
+            _ObjectiveState(
+                obj if isinstance(obj, SloObjective) else parse_slo(obj)
+            )
+            for obj in objectives
+        ]
+        if not self._states:
+            raise ConfigError("SloTracker needs at least one objective")
+
+    # -- evaluation ----------------------------------------------------------
+
+    @staticmethod
+    def _evaluate(
+        objective: SloObjective, record: Dict[str, Any]
+    ) -> Optional[float]:
+        """The objective's value over one interval; None when idle."""
+        if objective.kind == "quantile":
+            delta = record.get("hist_delta", {}).get(objective.metric)
+            if not delta or delta.get("count", 0) <= 0:
+                return None
+            return quantile_from_buckets(
+                delta.get("buckets", ()),
+                int(delta.get("zeros", 0)),
+                int(delta.get("count", 0)),
+                objective.q,
+            )
+        # ratio: counter deltas over the interval, via rates (both share dt)
+        rates = record.get("rates", {})
+        denominator = rates.get(objective.denominator)
+        if denominator is None or denominator <= 0:
+            return None
+        return rates.get(objective.numerator, 0.0) / denominator
+
+    def observe_interval(self, record: Dict[str, Any]) -> None:
+        """Score one flight-recorder interval record against every SLO."""
+        with self._lock:
+            for state in self._states:
+                value = self._evaluate(state.objective, record)
+                if value is None:
+                    state.idle += 1
+                    continue
+                state.intervals += 1
+                state.last_value = value
+                violating = value >= state.objective.threshold
+                if violating:
+                    state.violations += 1
+                if violating != state.violating:
+                    state.violating = violating
+                    state.events.append(
+                        {
+                            "slo": state.objective.name,
+                            "at": record.get("t_wall"),
+                            "interval": record.get("index"),
+                            "crossed": "violating" if violating else "ok",
+                            "value": value,
+                            "threshold": state.objective.threshold,
+                        }
+                    )
+                    del state.events[:-_MAX_EVENTS]
+
+    # -- views ---------------------------------------------------------------
+
+    def healthy(self) -> bool:
+        """False while any objective is currently in violation."""
+        with self._lock:
+            return not any(state.violating for state in self._states)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The ``slo`` telemetry section / the ``/healthz`` detail."""
+        objectives = []
+        with self._lock:
+            for state in self._states:
+                fraction = (
+                    state.violations / state.intervals
+                    if state.intervals
+                    else 0.0
+                )
+                objectives.append(
+                    {
+                        "slo": state.objective.name,
+                        "kind": state.objective.kind,
+                        "threshold": state.objective.threshold,
+                        "intervals": state.intervals,
+                        "idle_intervals": state.idle,
+                        "violations": state.violations,
+                        "violating_now": state.violating,
+                        "last_value": state.last_value,
+                        "violation_fraction": fraction,
+                        "burn_rate": fraction / self.budget,
+                        "events": list(state.events),
+                    }
+                )
+        return {"budget": self.budget, "objectives": objectives}

@@ -10,6 +10,12 @@ artifact and power the per-stage latency breakdown and the Chrome
 ``trace_event`` export (load the file at ``chrome://tracing`` or
 https://ui.perfetto.dev).
 
+The tracer is thread-aware: every finished span carries the recording
+thread's id and name, the nesting stack is thread-local (the threaded
+live pipeline records spans from several stages at once without
+corrupting each other's depth), and the Chrome export emits one track
+per (process, thread) with ``thread_name`` metadata.
+
 Sampling mirrors :mod:`repro.trace.sampling`: either *exact-count*
 (``sample_every=N`` keeps every N-th span, DiTing's deterministic
 decimation) or *probabilistic* (``sample_rate=1/3200`` keeps each span
@@ -24,8 +30,10 @@ Span naming convention: dotted ``layer.stage[.substage]`` paths, e.g.
 
 from __future__ import annotations
 
+import math
 import os
 import random
+import threading
 import time
 from typing import Any, Dict, Iterable, List, Optional
 
@@ -35,7 +43,10 @@ from repro.util.errors import ConfigError
 class SpanHandle:
     """One in-flight (then finished) span; returned by ``Tracer.span()``."""
 
-    __slots__ = ("_tracer", "name", "labels", "depth", "_start_ns", "_keep")
+    __slots__ = (
+        "_tracer", "name", "labels", "depth", "_start_ns", "_keep",
+        "tid", "thread_name",
+    )
 
     def __init__(
         self, tracer: "Tracer", name: str, labels: Dict[str, Any], keep: bool
@@ -46,6 +57,8 @@ class SpanHandle:
         self.depth = 0
         self._start_ns = 0
         self._keep = keep
+        self.tid = 0
+        self.thread_name = ""
 
     def set(self, **labels: Any) -> "SpanHandle":
         """Attach labels after the span started (e.g. sizes known later)."""
@@ -54,16 +67,21 @@ class SpanHandle:
 
     def __enter__(self) -> "SpanHandle":
         tracer = self._tracer
-        self.depth = len(tracer._stack)
-        tracer._stack.append(self)
+        thread = threading.current_thread()
+        self.tid = thread.ident or 0
+        self.thread_name = thread.name
+        stack = tracer._stack
+        self.depth = len(stack)
+        stack.append(self)
         self._start_ns = time.perf_counter_ns()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         end_ns = time.perf_counter_ns()
         tracer = self._tracer
-        if tracer._stack and tracer._stack[-1] is self:
-            tracer._stack.pop()
+        stack = tracer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
         if self._keep:
             tracer._finish(self, end_ns - self._start_ns)
         return False
@@ -75,7 +93,10 @@ class Tracer:
     Start timestamps are ``perf_counter_ns`` offsets mapped onto a wall
     epoch captured at construction, so spans from different processes
     (per-worker tracers) land on one roughly shared timeline when merged
-    into a single Chrome trace.
+    into a single Chrome trace.  The nesting stack is **thread-local**
+    and the finished-span list is lock-guarded, so several threads can
+    record through one tracer concurrently (the live pipeline's stage
+    threads do).
     """
 
     def __init__(
@@ -96,21 +117,31 @@ class Tracer:
         self.sample_rate = sample_rate
         self._rng = random.Random(seed)
         self._seen = 0
-        self._stack: List[SpanHandle] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._spans: List[Dict[str, Any]] = []
         self._epoch_wall_ns = time.time_ns()
         self._epoch_perf_ns = time.perf_counter_ns()
         self._pid = os.getpid()
 
+    @property
+    def _stack(self) -> "List[SpanHandle]":
+        """This thread's nesting stack (created on first use)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
     # -- recording -----------------------------------------------------------
 
     def _sampled(self) -> bool:
-        self._seen += 1
-        if self.sample_every is not None:
-            return (self._seen - 1) % self.sample_every == 0
-        if self.sample_rate is not None:
-            return self._rng.random() < self.sample_rate
-        return True
+        with self._lock:
+            self._seen += 1
+            if self.sample_every is not None:
+                return (self._seen - 1) % self.sample_every == 0
+            if self.sample_rate is not None:
+                return self._rng.random() < self.sample_rate
+            return True
 
     def span(self, name: str, **labels: Any) -> SpanHandle:
         """A context manager timing one named section (cheap, nestable)."""
@@ -120,16 +151,18 @@ class Tracer:
         start_us = (
             self._epoch_wall_ns + (handle._start_ns - self._epoch_perf_ns)
         ) // 1000
-        self._spans.append(
-            {
-                "name": handle.name,
-                "start_us": int(start_us),
-                "dur_us": dur_ns / 1000.0,
-                "depth": handle.depth,
-                "pid": self._pid,
-                "labels": {str(k): v for k, v in handle.labels.items()},
-            }
-        )
+        record = {
+            "name": handle.name,
+            "start_us": int(start_us),
+            "dur_us": dur_ns / 1000.0,
+            "depth": handle.depth,
+            "pid": self._pid,
+            "tid": int(handle.tid),
+            "thread": handle.thread_name,
+            "labels": {str(k): v for k, v in handle.labels.items()},
+        }
+        with self._lock:
+            self._spans.append(record)
 
     # -- snapshot / merge ----------------------------------------------------
 
@@ -139,39 +172,56 @@ class Tracer:
 
     def snapshot(self) -> List[Dict[str, Any]]:
         """Finished spans as JSON-friendly dicts (recording order)."""
-        return [dict(span) for span in self._spans]
+        with self._lock:
+            return [dict(span) for span in self._spans]
 
     def merge_snapshot(self, spans: Iterable[Dict[str, Any]]) -> None:
         """Append spans recorded elsewhere (e.g. a worker process)."""
-        self._spans.extend(dict(span) for span in spans)
+        merged = [dict(span) for span in spans]
+        with self._lock:
+            self._spans.extend(merged)
 
 
 # -- aggregation / export ----------------------------------------------------
 
 
+def _percentile(sorted_us: List[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 1]) of an ascending list."""
+    if not sorted_us:
+        return 0.0
+    rank = max(0, math.ceil(q * len(sorted_us)) - 1)
+    return sorted_us[rank]
+
+
 def stage_summary(spans: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
     """Per-stage latency breakdown: aggregate spans by name.
 
-    Returns one row per span name with count / total / mean / max
-    milliseconds, sorted by descending total — the ``repro obs report``
-    table and the benchmarks' self-describing timing section.
+    Returns one row per span name with count / total / mean / p50 / p95 /
+    p99 / max milliseconds, sorted by descending total — the
+    ``repro obs report`` table and the benchmarks' self-describing
+    timing section.  The percentiles are nearest-rank over the recorded
+    (possibly sampled) spans, so decision-latency tails are visible
+    without exporting to Chrome tracing.
     """
-    agg: Dict[str, List[float]] = {}
+    durations: Dict[str, List[float]] = {}
     for span in spans:
-        entry = agg.setdefault(span["name"], [0, 0.0, 0.0])
-        entry[0] += 1
-        entry[1] += span["dur_us"]
-        entry[2] = max(entry[2], span["dur_us"])
-    rows = [
-        {
-            "name": name,
-            "count": int(count),
-            "total_ms": round(total_us / 1000.0, 3),
-            "mean_ms": round(total_us / count / 1000.0, 3),
-            "max_ms": round(max_us / 1000.0, 3),
-        }
-        for name, (count, total_us, max_us) in agg.items()
-    ]
+        durations.setdefault(span["name"], []).append(float(span["dur_us"]))
+    rows = []
+    for name, durs in durations.items():
+        durs.sort()
+        total_us = sum(durs)
+        rows.append(
+            {
+                "name": name,
+                "count": len(durs),
+                "total_ms": round(total_us / 1000.0, 3),
+                "mean_ms": round(total_us / len(durs) / 1000.0, 3),
+                "p50_ms": round(_percentile(durs, 0.50) / 1000.0, 3),
+                "p95_ms": round(_percentile(durs, 0.95) / 1000.0, 3),
+                "p99_ms": round(_percentile(durs, 0.99) / 1000.0, 3),
+                "max_ms": round(durs[-1] / 1000.0, 3),
+            }
+        )
     rows.sort(key=lambda row: (-row["total_ms"], row["name"]))
     return rows
 
@@ -180,14 +230,21 @@ def to_chrome_trace(spans: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
     """Spans as a Chrome ``trace_event`` JSON object.
 
     Complete (``ph: "X"``) events with microsecond timestamps; one track
-    per process, nested spans render as stacked slices.  Load the dumped
-    file at chrome://tracing or https://ui.perfetto.dev.
+    per (process, thread) — nested spans render as stacked slices, and
+    the threaded live pipeline's stages land on separate named tracks
+    instead of collapsing onto one.  Load the dumped file at
+    chrome://tracing or https://ui.perfetto.dev.
     """
     events: List[Dict[str, Any]] = []
     pids = set()
+    threads: Dict[tuple, str] = {}
     for span in spans:
         pid = int(span.get("pid", 0))
+        tid = int(span.get("tid", 0))
         pids.add(pid)
+        # First span on a track names it (pre-tid artifacts fall back
+        # to a synthetic name so old telemetry still renders).
+        threads.setdefault((pid, tid), span.get("thread") or f"thread {tid}")
         events.append(
             {
                 "name": span["name"],
@@ -195,7 +252,7 @@ def to_chrome_trace(spans: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
                 "ts": span["start_us"],
                 "dur": span["dur_us"],
                 "pid": pid,
-                "tid": 0,
+                "tid": tid,
                 "cat": span["name"].split(".", 1)[0],
                 "args": dict(span.get("labels", {})),
             }
@@ -208,6 +265,16 @@ def to_chrome_trace(spans: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
                 "pid": pid,
                 "tid": 0,
                 "args": {"name": f"repro worker {pid}"},
+            }
+        )
+    for (pid, tid) in sorted(threads):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": threads[(pid, tid)]},
             }
         )
     return {"traceEvents": events, "displayTimeUnit": "ms"}

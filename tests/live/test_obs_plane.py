@@ -1,0 +1,274 @@
+"""The live observability plane: serve + recorder + SLO wired end to end."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import _parse_serve, main
+from repro.live import LiveConfig, run_live
+from repro.obs import (
+    FlightRecorder,
+    SloTracker,
+    Telemetry,
+    telemetry_session,
+    validate_telemetry,
+)
+from repro.obs.promtext import parse_promtext, validate_promtext
+from repro.util.errors import ReproError
+
+PACED = LiveConfig(
+    scale="small",
+    seed=11,
+    duration_seconds=8,
+    rate=4.0,
+    window_seconds=2,
+    serve=("127.0.0.1", 0),
+    recorder_interval=0.1,
+    slos=(
+        "live.decision_latency_us:p99<60000000",
+        "live.events_dropped/live.events_total<0.9",
+    ),
+    slo_budget=0.2,
+)
+
+
+def get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+def run_paced_and_scrape(scrape):
+    """Run PACED in a thread; call ``scrape(url)`` while it ingests."""
+    bound = {}
+    ready = threading.Event()
+
+    def on_server(server):
+        bound["url"] = server.url
+        ready.set()
+
+    out = {}
+
+    def runner():
+        with telemetry_session() as telemetry:
+            out["report"] = run_live(PACED, on_server=on_server)
+            out["payload"] = telemetry.snapshot()
+
+    thread = threading.Thread(target=runner)
+    thread.start()
+    try:
+        assert ready.wait(timeout=30), "server never came up"
+        scrape(bound["url"])
+    finally:
+        thread.join(timeout=120)
+    assert not thread.is_alive(), "live run did not finish"
+    return out["report"], out["payload"]
+
+
+class TestServeMidRun:
+    def test_scrapes_answer_and_counters_are_monotone(self):
+        scrapes = []
+
+        def scrape(url):
+            deadline = time.monotonic() + 20
+            while len(scrapes) < 4 and time.monotonic() < deadline:
+                try:
+                    status, body = get(url + "/metrics")
+                    assert status == 200
+                    text = body.decode()
+                    assert validate_promtext(text) == []
+                    scrapes.append(
+                        {
+                            (s.name, s.labels): s.value
+                            for s in parse_promtext(text)
+                            if s.name.endswith("_total")
+                        }
+                    )
+                    status, body = get(url + "/healthz")
+                    health = json.loads(body)
+                    if health["running"]:
+                        assert status == 200
+                        assert health["healthy"] is True
+                    status, body = get(url + "/recorder")
+                    assert status == 200
+                except (urllib.error.URLError, ConnectionError, OSError):
+                    break  # replay finished and the server shut down
+                time.sleep(0.3)
+
+        report, payload = run_paced_and_scrape(scrape)
+        assert report.events > 0
+        assert len(scrapes) >= 2
+        for before, after in zip(scrapes, scrapes[1:]):
+            for key, value in before.items():
+                assert after.get(key, 0) >= value, key
+
+    def test_recorder_totals_equal_final_counters_exactly(self):
+        def scrape(url):
+            time.sleep(0.5)
+
+        report, payload = run_paced_and_scrape(scrape)
+        assert validate_telemetry(payload) == []
+        recorder = payload["recorder"]
+        assert recorder["samples_taken"] >= 1
+        final = {}
+        for entry in payload["metrics"]["counters"]:
+            labels = entry["labels"]
+            key = entry["name"]
+            if labels:
+                inner = ",".join(
+                    f"{k}={labels[k]}" for k in sorted(labels)
+                )
+                key = f"{key}{{{inner}}}"
+            final[key] = float(entry["value"])
+        # Bit-for-bit: the recorder's last cut happened after every
+        # stage joined, reading the same registry.
+        assert recorder["totals"] == final
+        assert final["live.events_total"] == float(report.events)
+        # SLO section rode along and scored real intervals.
+        objectives = {o["slo"]: o for o in payload["slo"]["objectives"]}
+        assert set(objectives) == set(PACED.slos)
+        assert all(o["violations"] == 0 for o in objectives.values())
+
+    def test_probe_timeline_tracks_ring_depths(self):
+        report, payload = run_paced_and_scrape(lambda url: time.sleep(0.2))
+        intervals = payload["recorder"]["intervals"]
+        probe_keys = set()
+        for record in intervals:
+            probe_keys.update(record["probes"])
+        assert "queue_depth{ring=live.events}" in probe_keys
+        assert "queue_depth{ring=live.windows}" in probe_keys
+
+
+class TestPlaneOffByDefault:
+    def test_disabled_telemetry_attaches_nothing(self):
+        config = LiveConfig(
+            scale="small", seed=11, duration_seconds=4, window_seconds=2
+        )
+        report = run_live(config)
+        assert report.events > 0
+        # the disabled singleton gained no sections
+        from repro.obs import get_telemetry
+
+        assert "recorder" not in get_telemetry().snapshot()
+
+
+class TestCli:
+    def test_parse_serve_forms(self):
+        assert _parse_serve("127.0.0.1:9377") == ("127.0.0.1", 9377)
+        assert _parse_serve(":8080") == ("127.0.0.1", 8080)
+        assert _parse_serve("8080") == ("127.0.0.1", 8080)
+        with pytest.raises(ReproError):
+            _parse_serve("host:port")
+        with pytest.raises(ReproError):
+            _parse_serve("127.0.0.1:99999")
+
+    def test_live_serve_with_slos_end_to_end(self, tmp_path, capsys):
+        telemetry_path = tmp_path / "telemetry.json"
+        code = main(
+            [
+                "live",
+                "--duration", "6",
+                "--window", "3",
+                "--rate", "max",
+                "--seed", "11",
+                "--serve", "127.0.0.1:0",
+                "--recorder-interval", "0.1",
+                "--slo", "live.decision_latency_us:p99<60000000",
+                "--slo", "live.events_dropped/live.events_total<0.9",
+                "--telemetry", str(telemetry_path),
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "SLO objectives" in stdout
+        payload = json.loads(telemetry_path.read_text())
+        assert validate_telemetry(payload) == []
+        assert payload["recorder"]["samples_taken"] >= 1
+        assert len(payload["slo"]["objectives"]) == 2
+        assert main(["obs", "validate", str(telemetry_path)]) == 0
+
+    def test_serve_without_telemetry_writes_no_artifact(self, tmp_path):
+        # --serve auto-enables an in-memory handle; nothing lands on disk
+        # and the global handle is restored to the disabled default.
+        from repro.obs import get_telemetry
+
+        code = main(
+            ["live", "--duration", "4", "--window", "2", "--seed", "11",
+             "--serve", "127.0.0.1:0"]
+        )
+        assert code == 0
+        assert get_telemetry().enabled is False
+        assert list(tmp_path.iterdir()) == []
+
+    def test_report_renders_percentiles_and_recorder(
+        self, tmp_path, capsys
+    ):
+        telemetry_path = tmp_path / "telemetry.json"
+        assert main(
+            ["live", "--duration", "4", "--window", "2", "--seed", "11",
+             "--recorder-interval", "0.1",
+             "--slo", "live.events_dropped/live.events_total<0.9",
+             "--serve", "127.0.0.1:0", "--telemetry", str(telemetry_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", str(telemetry_path)]) == 0
+        out = capsys.readouterr().out
+        assert "p50_ms" in out and "p95_ms" in out and "p99_ms" in out
+        assert "flight recorder:" in out
+        assert "SLO objectives" in out
+
+    def test_bad_serve_exits_nonzero(self, capsys):
+        assert main(["live", "--serve", "nope:nope"]) == 1
+        assert "--serve" in capsys.readouterr().err
+
+
+class TestTopCli:
+    @pytest.fixture()
+    def plane(self):
+        telemetry = Telemetry(enabled=True)
+        telemetry.counter("live.events_total").inc(100)
+        telemetry.histogram("live.decision_latency_us").observe(30, 4)
+        slo = SloTracker(["live.events_dropped/live.events_total<0.5"])
+        recorder = FlightRecorder(
+            telemetry, interval_seconds=0.05, capacity=16, slo=slo
+        )
+        recorder.sample()
+        server = telemetry.serve(
+            port=0, recorder=recorder, slo=slo,
+            health=lambda: {"healthy": True, "running": True, "stages": {}},
+        )
+        yield server
+        server.stop()
+
+    def test_top_renders_frames(self, plane, capsys):
+        host, port = plane.address
+        code = main(
+            ["top", "--connect", f"{host}:{port}",
+             "--interval", "0.05", "--iterations", "2", "--no-clear"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "frame 2" in out
+        assert "health: HEALTHY" in out
+        assert "recorder: 1 sample(s)" in out
+        assert "repro_live_events_total_total" in out
+        assert "slo:" in out
+
+    def test_top_cannot_connect_exits_nonzero(self, capsys):
+        code = main(
+            ["top", "--connect", "127.0.0.1:1", "--iterations", "1"]
+        )
+        assert code == 1
+        assert "cannot connect" in capsys.readouterr().err
+
+    def test_top_bad_interval(self, capsys):
+        assert main(
+            ["top", "--connect", "127.0.0.1:1", "--interval", "0"]
+        ) == 1
+        assert "--interval" in capsys.readouterr().err

@@ -11,6 +11,7 @@ from repro.obs.export import (
     export_prometheus,
     export_telemetry,
 )
+from repro.obs.promtext import parse_promtext, validate_promtext
 from repro.obs.runtime import Telemetry
 from repro.util.errors import ConfigError
 
@@ -60,6 +61,38 @@ class TestPrometheus:
         ]
         assert f'{name}_sum{{dc="0"}} 97' in "\n".join(lines)
         assert f'{name}_count{{dc="0"}} 4' in "\n".join(lines)
+
+    def test_output_passes_the_promtext_validator(self, payload):
+        assert validate_promtext(export_prometheus(payload)) == []
+
+    def test_label_values_escaped_per_spec(self):
+        t = Telemetry(enabled=True)
+        t.counter("weird", path='C:\\x "y"\nz').inc(3)
+        text = export_prometheus(t.snapshot())
+        assert validate_promtext(text) == []
+        (sample,) = [
+            s for s in parse_promtext(text) if s.name.endswith("_total")
+        ]
+        # the parser's unescape must give back the original value
+        assert sample.labels_dict == {"path": 'C:\\x "y"\nz'}
+
+    def test_colliding_sanitized_label_names_deduped(self):
+        t = Telemetry(enabled=True)
+        # "a.b" and "a:b" both sanitize to "a_b"
+        t.counter("collide", **{"a.b": 1, "a:b": 2}).inc(1)
+        text = export_prometheus(t.snapshot())
+        assert validate_promtext(text) == []
+        (sample,) = [
+            s for s in parse_promtext(text) if s.name.endswith("_total")
+        ]
+        assert dict(sample.labels) == {"a_b": "1", "a_b_2": "2"}
+
+    def test_leading_digit_label_key_prefixed(self):
+        t = Telemetry(enabled=True)
+        t.counter("digit", **{"0key": "v"}).inc(1)
+        text = export_prometheus(t.snapshot())
+        assert validate_promtext(text) == []
+        assert '_0key="v"' in text
 
 
 class TestJsonl:

@@ -1,0 +1,149 @@
+"""Tests for the Prometheus exposition-format parser and validator."""
+
+import pytest
+
+from repro.cli import main
+from repro.obs.promtext import Sample, parse_promtext, validate_promtext
+from repro.util.errors import ConfigError
+
+GOOD = """\
+# HELP repro_ios_total IOs observed.
+# TYPE repro_ios_total counter
+repro_ios_total{dc="0",op="read"} 100
+repro_ios_total{dc="0",op="write"} 50
+# TYPE repro_lat histogram
+repro_lat_bucket{le="4"} 3
+repro_lat_bucket{le="128"} 4
+repro_lat_bucket{le="+Inf"} 4
+repro_lat_sum 97
+repro_lat_count 4
+# EOF
+"""
+
+
+class TestParse:
+    def test_parses_samples_and_skips_comments(self):
+        samples = parse_promtext(GOOD)
+        assert len(samples) == 7
+        first = samples[0]
+        assert first == Sample(
+            name="repro_ios_total",
+            labels=(("dc", "0"), ("op", "read")),
+            value=100.0,
+            line=3,
+        )
+        assert first.labels_dict == {"dc": "0", "op": "read"}
+
+    def test_unescapes_label_values(self):
+        (sample,) = parse_promtext(
+            'm{a="va\\"l\\\\ue\\n"} 1'
+        )
+        assert sample.labels_dict == {"a": 'va"l\\ue\n'}
+
+    def test_inf_and_nan_values(self):
+        samples = parse_promtext("a +Inf\nb -Inf\nc NaN")
+        assert samples[0].value == float("inf")
+        assert samples[1].value == float("-inf")
+        assert samples[2].value != samples[2].value  # NaN
+
+    def test_timestamp_suffix_accepted(self):
+        (sample,) = parse_promtext("m{x=\"1\"} 2.5 1712345678")
+        assert sample.value == 2.5
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not a metric line at all !",
+            "1leading_digit 2",
+            'm{unterminated="v} 1',
+            'm{k="v"extra} 1',
+            "m not_a_number",
+            "# TYPE m flavour",
+            "# BOGUS comment",
+            'm{dup="1",dup="2"} 3',
+        ],
+    )
+    def test_malformed_lines_raise(self, bad):
+        with pytest.raises(ConfigError):
+            parse_promtext(bad)
+
+
+class TestValidate:
+    def test_good_document_is_clean(self):
+        assert validate_promtext(GOOD) == []
+
+    def test_parse_error_is_reported_not_raised(self):
+        problems = validate_promtext("!!!")
+        assert len(problems) == 1
+        assert "malformed" in problems[0]
+
+    def test_duplicate_series_flagged(self):
+        problems = validate_promtext('a{x="1"} 1\na{x="1"} 2')
+        assert any("duplicate series" in p for p in problems)
+
+    def test_same_name_different_labels_ok(self):
+        assert validate_promtext('a{x="1"} 1\na{x="2"} 2') == []
+
+    def test_negative_counter_flagged(self):
+        problems = validate_promtext("a_total -1")
+        assert any("negative" in p for p in problems)
+
+    def test_non_monotone_buckets_flagged(self):
+        text = (
+            'h_bucket{le="1"} 5\nh_bucket{le="2"} 3\n'
+            'h_bucket{le="+Inf"} 5\nh_sum 9\nh_count 5'
+        )
+        problems = validate_promtext(text)
+        assert any("not monotone" in p for p in problems)
+
+    def test_missing_inf_bucket_flagged(self):
+        problems = validate_promtext('h_bucket{le="1"} 1\nh_sum 1\nh_count 1')
+        assert any("+Inf" in p for p in problems)
+
+    def test_count_mismatch_flagged(self):
+        text = 'h_bucket{le="+Inf"} 4\nh_sum 9\nh_count 5'
+        problems = validate_promtext(text)
+        assert any("_count" in p for p in problems)
+
+    def test_missing_sum_flagged(self):
+        text = 'h_bucket{le="+Inf"} 4\nh_count 4'
+        problems = validate_promtext(text)
+        assert any("_sum" in p for p in problems)
+
+    def test_label_order_does_not_split_histogram_series(self):
+        # _count/_sum carry labels in a different order than _bucket.
+        text = (
+            'h_bucket{a="1",b="2",le="+Inf"} 3\n'
+            'h_sum{b="2",a="1"} 7\n'
+            'h_count{b="2",a="1"} 3'
+        )
+        assert validate_promtext(text) == []
+
+    def test_unparseable_le_flagged(self):
+        problems = validate_promtext('h_bucket{le="wide"} 1')
+        assert any("unparseable" in p for p in problems)
+
+
+class TestPromcheckCli:
+    def test_valid_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "scrape.prom"
+        target.write_text(GOOD)
+        assert main(["obs", "promcheck", str(target)]) == 0
+        assert "ok: 7 sample(s)" in capsys.readouterr().out
+
+    def test_invalid_file_exits_nonzero(self, tmp_path, capsys):
+        target = tmp_path / "scrape.prom"
+        target.write_text("h_total -3\n")
+        assert main(["obs", "promcheck", str(target)]) == 1
+        assert "negative" in capsys.readouterr().err
+
+    def test_missing_file_is_an_error(self, capsys):
+        assert main(["obs", "promcheck", "/no/such/file.prom"]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_stdin_dash(self, monkeypatch, capsys):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("a_total 3\n"))
+        assert main(["obs", "promcheck", "-"]) == 0
+        assert "1 sample(s)" in capsys.readouterr().out

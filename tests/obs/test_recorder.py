@@ -1,0 +1,163 @@
+"""Tests for the flight recorder: interval deltas, rates, ring bounds."""
+
+import pytest
+
+from repro.obs.recorder import FlightRecorder, series_key
+from repro.obs.runtime import Telemetry
+from repro.obs.schema import validate_telemetry
+from repro.util.errors import ConfigError
+
+
+class FakeClock:
+    """A controllable wall clock for deterministic interval math."""
+
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def telemetry():
+    return Telemetry(enabled=True)
+
+
+class TestSeriesKey:
+    def test_bare_and_labeled(self):
+        assert series_key("a.b", {}) == "a.b"
+        assert (
+            series_key("q", {"ring": "live.events", "a": 1})
+            == "q{a=1,ring=live.events}"
+        )
+
+
+class TestSampling:
+    def test_rates_are_deltas_over_dt(self, telemetry):
+        clock = FakeClock()
+        recorder = FlightRecorder(
+            telemetry, interval_seconds=1.0, capacity=8, clock=clock
+        )
+        counter = telemetry.counter("live.events_total")
+        counter.inc(100)
+        recorder.sample()  # base: first record has dt 0 against itself
+        counter.inc(500)
+        clock.tick(2.0)
+        record = recorder.sample()
+        assert record["dt"] == 2.0
+        assert record["rates"]["live.events_total"] == 250.0
+        assert record["counters"]["live.events_total"] == 600.0
+
+    def test_ring_bounded_and_eviction_counted(self, telemetry):
+        clock = FakeClock()
+        recorder = FlightRecorder(
+            telemetry, interval_seconds=1.0, capacity=3, clock=clock
+        )
+        for _ in range(7):
+            clock.tick(1.0)
+            recorder.sample()
+        snap = recorder.snapshot()
+        assert snap["samples_taken"] == 7
+        assert len(snap["intervals"]) == 3
+        assert snap["evicted"] == 4
+        assert [r["index"] for r in snap["intervals"]] == [4, 5, 6]
+
+    def test_totals_match_final_counters_exactly(self, telemetry):
+        clock = FakeClock()
+        recorder = FlightRecorder(
+            telemetry, interval_seconds=1.0, capacity=2, clock=clock
+        )
+        counter = telemetry.counter("live.events_total", dc=0)
+        for i in range(10):
+            counter.inc(17)
+            clock.tick(1.0)
+            recorder.sample()
+        # Eviction dropped early intervals, yet totals stay exact.
+        assert recorder.totals()["live.events_total{dc=0}"] == 170.0
+        assert counter.value == 170
+
+    def test_hist_delta_is_per_interval(self, telemetry):
+        clock = FakeClock()
+        recorder = FlightRecorder(
+            telemetry, interval_seconds=1.0, capacity=8, clock=clock
+        )
+        hist = telemetry.histogram("live.decision_latency_us")
+        hist.observe(3, 5)  # bucket 2
+        clock.tick(1.0)
+        first = recorder.sample()
+        hist.observe(100, 2)  # bucket 7
+        clock.tick(1.0)
+        second = recorder.sample()
+        key = "live.decision_latency_us"
+        assert first["hist_delta"][key]["count"] == 5
+        assert first["hist_delta"][key]["buckets"] == [[2, 5]]
+        assert second["hist_delta"][key]["count"] == 2
+        assert second["hist_delta"][key]["buckets"] == [[7, 2]]
+
+    def test_probes_sampled_and_dead_probe_is_nan(self, telemetry):
+        recorder = FlightRecorder(telemetry, clock=FakeClock())
+        recorder.add_probe("depth", lambda: 7)
+        recorder.add_probe("dead", lambda: 1 / 0)
+        record = recorder.sample()
+        assert record["probes"]["depth"] == 7.0
+        assert record["probes"]["dead"] != record["probes"]["dead"]  # NaN
+
+    def test_gauges_captured(self, telemetry):
+        recorder = FlightRecorder(telemetry, clock=FakeClock())
+        telemetry.gauge("live.events_per_sec").set_max(123)
+        assert recorder.sample()["gauges"]["live.events_per_sec"] == 123
+
+
+class TestThread:
+    def test_start_stop_takes_final_sample(self, telemetry):
+        recorder = FlightRecorder(
+            telemetry, interval_seconds=0.02, capacity=64
+        )
+        counter = telemetry.counter("live.events_total")
+        recorder.start()
+        with pytest.raises(ConfigError):
+            recorder.start()  # double start
+        counter.inc(42)
+        recorder.stop()
+        assert recorder.totals()["live.events_total"] == 42.0
+        assert recorder.snapshot()["samples_taken"] >= 1
+
+    def test_stop_without_start_still_samples(self, telemetry):
+        recorder = FlightRecorder(telemetry, clock=FakeClock())
+        telemetry.counter("c").inc(3)
+        recorder.stop()
+        assert recorder.totals()["c"] == 3.0
+
+
+class TestSection:
+    def test_attached_section_validates(self, telemetry):
+        clock = FakeClock()
+        recorder = FlightRecorder(
+            telemetry, interval_seconds=1.0, capacity=8, clock=clock
+        )
+        telemetry.attach_section("recorder", recorder.snapshot)
+        telemetry.counter("live.events_total").inc(5)
+        clock.tick(1.0)
+        recorder.sample()
+        payload = telemetry.snapshot()
+        assert payload["recorder"]["samples_taken"] == 1
+        assert validate_telemetry(payload) == []
+
+    def test_schema_flags_broken_recorder_section(self, telemetry):
+        payload = telemetry.snapshot()
+        payload["recorder"] = {"intervals": "nope"}
+        problems = validate_telemetry(payload)
+        assert any("recorder" in p for p in problems)
+
+
+class TestValidation:
+    def test_bad_interval_and_capacity(self, telemetry):
+        with pytest.raises(ConfigError):
+            FlightRecorder(telemetry, interval_seconds=0)
+        with pytest.raises(ConfigError):
+            FlightRecorder(telemetry, capacity=0)
+        with pytest.raises(ConfigError):
+            FlightRecorder(telemetry).add_probe("", lambda: 0)

@@ -1,0 +1,184 @@
+"""Tests for the scrape server: endpoints, liveness, concurrent scrapes."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.promtext import parse_promtext, validate_promtext
+from repro.obs.recorder import FlightRecorder
+from repro.obs.runtime import Telemetry
+from repro.obs.server import PROM_CONTENT_TYPE, ObsServer
+from repro.obs.slo import SloTracker
+from repro.util.errors import ConfigError
+
+
+def get(url):
+    """(status, headers, body) — non-2xx comes back, not raised."""
+    try:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+@pytest.fixture()
+def telemetry():
+    t = Telemetry(enabled=True)
+    t.counter("live.events_total").inc(10)
+    t.histogram("live.decision_latency_us").observe(30, 4)
+    return t
+
+
+@pytest.fixture()
+def server(telemetry):
+    instance = ObsServer(telemetry, port=0).start()
+    yield instance
+    instance.stop()
+
+
+class TestEndpoints:
+    def test_metrics_is_valid_promtext(self, server):
+        status, headers, body = get(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROM_CONTENT_TYPE
+        text = body.decode()
+        assert validate_promtext(text) == []
+        samples = {s.name: s.value for s in parse_promtext(text)}
+        assert samples["repro_live_events_total_total"] == 10.0
+
+    def test_snapshot_is_full_payload(self, server, telemetry):
+        status, _, body = get(server.url + "/snapshot")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["schema_version"] == 1
+        assert payload["metrics"]["counters"]
+
+    def test_healthz_default_healthy(self, server):
+        status, _, body = get(server.url + "/healthz")
+        assert status == 200
+        assert json.loads(body)["healthy"] is True
+
+    def test_recorder_404_without_recorder(self, server):
+        status, _, _ = get(server.url + "/recorder")
+        assert status == 404
+
+    def test_unknown_path_404(self, server):
+        status, _, _ = get(server.url + "/nope")
+        assert status == 404
+
+    def test_address_and_double_start_rejected(self, server):
+        host, port = server.address
+        assert host == "127.0.0.1"
+        assert port > 0
+        with pytest.raises(ConfigError):
+            server.start()
+
+    def test_address_before_start_rejected(self, telemetry):
+        with pytest.raises(ConfigError):
+            ObsServer(telemetry).address
+
+
+class TestHealth:
+    def test_health_callback_verdict_sets_status(self, telemetry):
+        healthy = {"value": True}
+        server = ObsServer(
+            telemetry,
+            port=0,
+            health=lambda: {"healthy": healthy["value"], "detail": "x"},
+        ).start()
+        try:
+            status, _, body = get(server.url + "/healthz")
+            assert status == 200
+            assert json.loads(body)["detail"] == "x"
+            healthy["value"] = False
+            status, _, _ = get(server.url + "/healthz")
+            assert status == 503
+        finally:
+            server.stop()
+
+    def test_crashing_health_callback_answers_503(self, telemetry):
+        server = ObsServer(
+            telemetry, port=0, health=lambda: 1 / 0
+        ).start()
+        try:
+            status, _, body = get(server.url + "/healthz")
+            assert status == 503
+            assert "error" in json.loads(body)
+        finally:
+            server.stop()
+
+    def test_violating_slo_makes_healthz_503(self, telemetry):
+        slo = SloTracker(["a/b<0.5"], budget=0.5)
+        slo.observe_interval(
+            {"index": 0, "t_wall": 1.0, "rates": {"a": 9.0, "b": 10.0},
+             "hist_delta": {}}
+        )
+        server = ObsServer(telemetry, port=0, slo=slo).start()
+        try:
+            status, _, body = get(server.url + "/healthz")
+            assert status == 503
+            payload = json.loads(body)
+            assert payload["slo_healthy"] is False
+            assert payload["slo"]["objectives"][0]["violating_now"] is True
+        finally:
+            server.stop()
+
+    def test_recorder_endpoint_serves_ring(self, telemetry):
+        recorder = FlightRecorder(telemetry, interval_seconds=1.0)
+        recorder.sample()
+        server = ObsServer(telemetry, port=0, recorder=recorder).start()
+        try:
+            status, _, body = get(server.url + "/recorder")
+            assert status == 200
+            assert json.loads(body)["samples_taken"] == 1
+        finally:
+            server.stop()
+
+
+class TestConcurrentScrapes:
+    def test_scrapes_mid_run_are_valid_and_monotone(self, telemetry):
+        """Hammer counters from threads while scraping /metrics.
+
+        Every scrape must be valid exposition text and every counter
+        must be monotone non-decreasing across consecutive scrapes — the
+        registry lock guarantees a consistent cut, never a torn one.
+        """
+        server = ObsServer(telemetry, port=0).start()
+        stop = threading.Event()
+
+        def writer():
+            counter = telemetry.counter("live.events_total")
+            hist = telemetry.histogram("live.decision_latency_us")
+            i = 0
+            while not stop.is_set():
+                counter.inc(3)
+                hist.observe(1 + (i % 1000))
+                # churn new series too, so scrapes race registration
+                telemetry.counter("live.batches_total", shard=i % 7).inc()
+                i += 1
+
+        threads = [threading.Thread(target=writer) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            previous = {}
+            for _ in range(20):
+                _, _, body = get(server.url + "/metrics")
+                text = body.decode()
+                assert validate_promtext(text) == []
+                current = {
+                    (s.name, s.labels): s.value
+                    for s in parse_promtext(text)
+                    if s.name.endswith("_total")
+                }
+                for key, value in previous.items():
+                    assert current.get(key, 0) >= value, key
+                previous = current
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+            server.stop()

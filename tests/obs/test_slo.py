@@ -1,0 +1,144 @@
+"""Tests for SLO parsing, log2-bucket quantiles, budgets, burn rates."""
+
+import pytest
+
+from repro.obs.slo import (
+    SloTracker,
+    parse_slo,
+    quantile_from_buckets,
+)
+from repro.util.errors import ConfigError
+
+
+def interval(index=0, rates=None, hist=None, t_wall=100.0):
+    """A minimal flight-recorder interval record."""
+    return {
+        "index": index,
+        "t_wall": t_wall,
+        "dt": 1.0,
+        "rates": rates or {},
+        "hist_delta": hist or {},
+        "counters": {},
+        "gauges": {},
+        "probes": {},
+    }
+
+
+def hist_delta(buckets, zeros=0):
+    count = zeros + sum(c for _, c in buckets)
+    return {"count": count, "sum": 0.0, "zeros": zeros, "buckets": buckets}
+
+
+class TestParse:
+    def test_quantile_form(self):
+        objective = parse_slo("live.decision_latency_us:p99<500")
+        assert objective.kind == "quantile"
+        assert objective.metric == "live.decision_latency_us"
+        assert objective.q == 0.99
+        assert objective.threshold == 500.0
+
+    def test_fractional_quantile_and_spaces(self):
+        objective = parse_slo("m:p99.9 < 2e3")
+        assert objective.q == pytest.approx(0.999)
+        assert objective.threshold == 2000.0
+
+    def test_ratio_form(self):
+        objective = parse_slo("live.events_dropped/live.events_total<0.01")
+        assert objective.kind == "ratio"
+        assert objective.numerator == "live.events_dropped"
+        assert objective.denominator == "live.events_total"
+        assert objective.threshold == 0.01
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "m<5", "m:p0<5", "m:p100<5", "a/b/c<1", "m:p99<wide", "m:p99"],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigError):
+            parse_slo(bad)
+
+
+class TestQuantile:
+    def test_empty_is_none(self):
+        assert quantile_from_buckets([], 0, 0, 0.99) is None
+
+    def test_all_zeros(self):
+        assert quantile_from_buckets([], 10, 10, 0.5) == 0.0
+
+    def test_single_bucket_interpolates(self):
+        # bucket 3 spans (4, 8]; the median interpolates to the middle.
+        value = quantile_from_buckets([[3, 10]], 0, 10, 0.5)
+        assert 4.0 < value <= 8.0
+        assert value == pytest.approx(6.0)
+
+    def test_monotone_in_q(self):
+        buckets = [[2, 5], [5, 3], [9, 2]]
+        values = [
+            quantile_from_buckets(buckets, 0, 10, q)
+            for q in (0.1, 0.5, 0.9, 0.99)
+        ]
+        assert values == sorted(values)
+        assert values[-1] <= 512.0  # inside bucket 9's upper edge
+
+
+class TestTracker:
+    def test_needs_objectives_and_sane_budget(self):
+        with pytest.raises(ConfigError):
+            SloTracker([])
+        with pytest.raises(ConfigError):
+            SloTracker(["a/b<1"], budget=0.0)
+
+    def test_ratio_violation_and_burn_rate(self):
+        tracker = SloTracker(["drops/total<0.1"], budget=0.5)
+        tracker.observe_interval(
+            interval(0, rates={"drops": 1.0, "total": 100.0})
+        )
+        tracker.observe_interval(
+            interval(1, rates={"drops": 50.0, "total": 100.0})
+        )
+        assert tracker.healthy() is False
+        (objective,) = tracker.snapshot()["objectives"]
+        assert objective["intervals"] == 2
+        assert objective["violations"] == 1
+        assert objective["violation_fraction"] == 0.5
+        assert objective["burn_rate"] == 1.0  # 0.5 fraction / 0.5 budget
+
+    def test_idle_intervals_do_not_consume_budget(self):
+        tracker = SloTracker(["drops/total<0.1"])
+        tracker.observe_interval(interval(0))  # no denominator: idle
+        tracker.observe_interval(interval(1, rates={"total": 0.0}))
+        (objective,) = tracker.snapshot()["objectives"]
+        assert objective["intervals"] == 0
+        assert objective["idle_intervals"] == 2
+        assert tracker.healthy() is True
+
+    def test_quantile_objective_from_hist_delta(self):
+        tracker = SloTracker(["lat:p99<100"])
+        # everything in bucket 3 (upper edge 8): far below threshold
+        tracker.observe_interval(
+            interval(0, hist={"lat": hist_delta([[3, 100]])})
+        )
+        assert tracker.healthy() is True
+        # everything in bucket 10 (upper edge 1024): violating
+        tracker.observe_interval(
+            interval(1, hist={"lat": hist_delta([[10, 100]])})
+        )
+        assert tracker.healthy() is False
+
+    def test_crossing_events_both_edges(self):
+        tracker = SloTracker(["drops/total<0.5"], budget=1.0)
+        good = interval(0, rates={"drops": 0.0, "total": 10.0})
+        bad = interval(1, rates={"drops": 9.0, "total": 10.0}, t_wall=101.0)
+        good2 = interval(2, rates={"drops": 0.0, "total": 10.0})
+        for record in (good, bad, good2):
+            tracker.observe_interval(record)
+        (objective,) = tracker.snapshot()["objectives"]
+        crossings = [e["crossed"] for e in objective["events"]]
+        assert crossings == ["violating", "ok"]
+        assert objective["events"][0]["interval"] == 1
+        assert objective["events"][0]["at"] == 101.0
+        assert tracker.healthy() is True
+
+    def test_accepts_pre_parsed_objectives(self):
+        tracker = SloTracker([parse_slo("a/b<1")])
+        assert tracker.snapshot()["objectives"][0]["slo"] == "a/b<1"

@@ -2,6 +2,7 @@
 
 import json
 import os
+import threading
 
 import pytest
 
@@ -50,6 +51,48 @@ class TestTracer:
             pass
         a.merge_snapshot(b.snapshot())
         assert [s["name"] for s in a.snapshot()] == ["a", "b"]
+
+    def test_spans_carry_recording_thread_identity(self):
+        tracer = Tracer()
+        with tracer.span("main.work"):
+            pass
+
+        def worker():
+            with tracer.span("worker.work"):
+                pass
+
+        thread = threading.Thread(target=worker, name="my-worker")
+        thread.start()
+        thread.join()
+        by_name = {s["name"]: s for s in tracer.snapshot()}
+        assert by_name["main.work"]["tid"] == (
+            threading.current_thread().ident
+        )
+        assert by_name["worker.work"]["thread"] == "my-worker"
+        assert by_name["worker.work"]["tid"] != by_name["main.work"]["tid"]
+
+    def test_nesting_depth_is_per_thread(self):
+        """Concurrent threads each see their own stack, not a shared one."""
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def worker(name):
+            with tracer.span(f"{name}.outer"):
+                barrier.wait(timeout=10)  # both outers open concurrently
+                with tracer.span(f"{name}.inner"):
+                    pass
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        depths = {s["name"]: s["depth"] for s in tracer.snapshot()}
+        assert depths == {
+            "a.outer": 0, "a.inner": 1, "b.outer": 0, "b.inner": 1,
+        }
 
 
 class TestSampling:
@@ -116,6 +159,21 @@ class TestAggregation:
     def test_stage_summary_empty(self):
         assert stage_summary([]) == []
 
+    def test_stage_summary_percentiles_nearest_rank(self):
+        spans = [
+            {"name": "a", "dur_us": float(us)}
+            for us in range(1000, 101000, 1000)  # 1ms..100ms, 100 spans
+        ]
+        (row,) = stage_summary(spans)
+        assert row["p50_ms"] == 50.0
+        assert row["p95_ms"] == 95.0
+        assert row["p99_ms"] == 99.0
+        assert row["max_ms"] == 100.0
+
+    def test_stage_summary_single_span_percentiles(self):
+        (row,) = stage_summary([{"name": "a", "dur_us": 2000.0}])
+        assert row["p50_ms"] == row["p95_ms"] == row["p99_ms"] == 2.0
+
 
 class TestChromeTrace:
     def test_complete_events_and_process_metadata(self):
@@ -136,3 +194,42 @@ class TestChromeTrace:
         assert slices[0]["dur"] >= 0
         assert metas and metas[0]["name"] == "process_name"
         assert metas[0]["pid"] == slices[0]["pid"]
+
+    def test_one_named_track_per_thread(self):
+        tracer = Tracer()
+        with tracer.span("main.work"):
+            pass
+        thread = threading.Thread(
+            target=lambda: tracer.span("stats.work").__enter__().__exit__(
+                None, None, None
+            ),
+            name="live-stats",
+        )
+        thread.start()
+        thread.join()
+        doc = to_chrome_trace(tracer.snapshot())
+        slices = {
+            e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"
+        }
+        thread_metas = {
+            e["tid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert slices["main.work"]["tid"] != slices["stats.work"]["tid"]
+        assert thread_metas[slices["stats.work"]["tid"]] == "live-stats"
+        assert len(thread_metas) == 2
+
+    def test_pre_tid_artifacts_fall_back_to_track_zero(self):
+        # Telemetry written before spans carried tids still renders.
+        doc = to_chrome_trace(
+            [{"name": "old.span", "start_us": 0, "dur_us": 5.0, "pid": 1,
+              "labels": {}}]
+        )
+        (slice_,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert slice_["tid"] == 0
+        (meta,) = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert meta["args"]["name"] == "thread 0"
