@@ -54,6 +54,7 @@ _API_EXPORTS = (
     "ExperimentResult",
     "StudyConfig",
     "load_result",
+    "plan_balance",
     "run_experiment",
     "run_study",
     "save_results",
@@ -65,8 +66,12 @@ __all__ = ["__version__", "api", *_API_EXPORTS]
 
 def __getattr__(name):
     if name in _API_EXPORTS or name == "api":
-        from repro import api
+        # `from repro import api` would recurse: the import system probes
+        # the parent package with hasattr(), which lands right back here
+        # before the submodule import ever starts.
+        import importlib
 
+        api = importlib.import_module("repro.api")
         return api if name == "api" else getattr(api, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 

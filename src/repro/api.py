@@ -11,7 +11,7 @@ Everything else — :mod:`repro.core.study` plumbing,
 private: importable for spelunking, but free to change between
 versions without notice.
 
-Four entry points cover the package's use cases:
+Five entry points cover the package's use cases:
 
 - :func:`run_experiment` — one table/figure, one config.
 - :func:`run_study` — several experiments over one shared build.
@@ -19,6 +19,8 @@ Four entry points cover the package's use cases:
   addressed result cache (:mod:`repro.sweep`).
 - :func:`load_result` — read back a results artifact written by
   ``ebs-repro run -o`` / :func:`save_results`.
+- :func:`plan_balance` — an hbal-style global move plan for a cluster
+  snapshot (:mod:`repro.balance`; the ``ebs-repro balance`` engine).
 """
 
 from __future__ import annotations
@@ -43,6 +45,7 @@ __all__ = [
     "ExperimentResult",
     "StudyConfig",
     "load_result",
+    "plan_balance",
     "run_experiment",
     "run_study",
     "save_results",
@@ -175,6 +178,59 @@ def sweep(
         retries=retries,
         chunk_epochs=chunk_epochs,
     ).run()
+
+
+def plan_balance(
+    state=None,
+    *,
+    balance_config=None,
+    config: Optional[StudyConfig] = None,
+    scale: str = "small",
+    seed: int = 7,
+    dc: int = 0,
+    direction: str = "total",
+    workers: int = 1,
+    **overrides: Any,
+):
+    """Plan an hbal-style global move plan for one cluster snapshot.
+
+    Pass an explicit :class:`repro.balance.ClusterState` (e.g. from
+    :meth:`~repro.balance.ClusterState.load` or
+    :func:`repro.balance.random_cluster_state`), or let the function
+    simulate one: build a study from ``config=`` / ``scale``/``seed``
+    plus overrides, snapshot DC ``dc`` with traffic ``direction``.
+    ``balance_config`` is a :class:`repro.balance.BalanceConfig`
+    (defaults apply when omitted).  Returns the
+    :class:`repro.balance.MovePlan`; apply it with
+    ``plan.apply_to(state.copy())`` or hand it to
+    ``ebs-repro balance apply``. ::
+
+        plan = plan_balance(scale="small", seed=7)
+        plan = plan_balance(state, balance_config=BalanceConfig(
+            no_segment_moves=True))
+    """
+    from repro.balance import BalanceConfig, ClusterState, plan_moves
+
+    if state is None:
+        study = Study(_resolve_config(config, scale, seed, overrides))
+        try:
+            study.build(workers=workers)
+            results = study.results
+            if not 0 <= dc < len(results):
+                raise ConfigError(
+                    f"dc must be in [0, {len(results) - 1}] for this "
+                    f"study, got {dc}"
+                )
+            state = ClusterState.from_simulation(
+                results[dc], direction=direction
+            )
+        finally:
+            study.cleanup()
+    elif overrides or config is not None:
+        raise ConfigError(
+            "pass either an explicit state or study parameters, not both"
+        )
+    return plan_moves(state, balance_config or BalanceConfig())
 
 
 def save_results(

@@ -1,0 +1,62 @@
+"""``repro.balance``: the hbal-style global cluster balancer.
+
+One scalar badness score (weighted normalized CoV over node / worker
+thread / BlockServer utilizations), one move universe (QP rebinds, VD
+re-homes, segment migrations) with per-resource exclusions, and greedy
+one-step-lookahead descent emitting a deterministic, JSON-serializable
+:class:`MovePlan`.  The paper's fixed-trigger mechanisms are available as
+a baseline planner over the same :class:`ClusterState` snapshot type.
+"""
+
+from repro.balance.descent import (
+    DEFAULT_MIN_GAIN,
+    BalanceConfig,
+    plan_moves,
+)
+from repro.balance.generate import StateShape, random_cluster_state
+from repro.balance.moves import Move, MoveKind, apply_move
+from repro.balance.plan import PLAN_SCHEMA_VERSION, MovePlan, PlannedMove
+from repro.balance.policies import choose_shed_segments, wt_swap_decision
+from repro.balance.score import (
+    DIMENSIONS,
+    ScoreWeights,
+    badness,
+    dimension_covs,
+    safe_normalized_cov,
+)
+from repro.balance.state import (
+    STATE_SCHEMA_VERSION,
+    ClusterState,
+    qp_ids_of_vd,
+    segment_ids_of_bs,
+    state_summary,
+)
+from repro.balance.trigger import TriggerConfig, fixed_trigger_plan
+
+__all__ = [
+    "PLAN_SCHEMA_VERSION",
+    "STATE_SCHEMA_VERSION",
+    "DEFAULT_MIN_GAIN",
+    "DIMENSIONS",
+    "BalanceConfig",
+    "ClusterState",
+    "Move",
+    "MoveKind",
+    "MovePlan",
+    "PlannedMove",
+    "ScoreWeights",
+    "StateShape",
+    "TriggerConfig",
+    "apply_move",
+    "badness",
+    "choose_shed_segments",
+    "dimension_covs",
+    "fixed_trigger_plan",
+    "plan_moves",
+    "qp_ids_of_vd",
+    "random_cluster_state",
+    "safe_normalized_cov",
+    "segment_ids_of_bs",
+    "state_summary",
+    "wt_swap_decision",
+]

@@ -1,0 +1,109 @@
+"""Seed-stable random cluster states for tests and smoke runs.
+
+The companion of :func:`repro.faults.generate.random_fault_plan`:
+``(seed, shape)`` fully determines the state, so property suites
+parametrize by seed alone and the CI smoke job can plan against a
+"medium cluster" without building a study.  The generator is
+intentionally skewed the way the paper's fleets are — heavy-tailed VD
+traffic, uneven QP splits within a VD, and round-robin-with-random-start
+segment placement — so trigger thresholds and the descent both have real
+work to do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.balance.state import ClusterState
+from repro.util.errors import ConfigError
+from repro.util.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class StateShape:
+    """Entity counts a random cluster state draws from."""
+
+    num_compute_nodes: int = 8
+    workers_per_node: int = 4
+    num_block_servers: int = 12
+    num_vds: int = 32
+    max_qps_per_vd: int = 4
+    max_segments_per_vd: int = 8
+
+    def __post_init__(self) -> None:
+        if min(
+            self.num_compute_nodes,
+            self.workers_per_node,
+            self.num_block_servers,
+            self.num_vds,
+            self.max_qps_per_vd,
+            self.max_segments_per_vd,
+        ) <= 0:
+            raise ConfigError("state shape dimensions must be positive")
+
+    @classmethod
+    def medium(cls) -> "StateShape":
+        """The CI smoke job's cluster: big enough for nontrivial plans."""
+        return cls(
+            num_compute_nodes=16,
+            workers_per_node=4,
+            num_block_servers=24,
+            num_vds=96,
+            max_qps_per_vd=4,
+            max_segments_per_vd=12,
+        )
+
+
+def random_cluster_state(
+    seed: int, shape: StateShape = StateShape(), label: str = "cluster-state"
+) -> ClusterState:
+    """Draw one state; the same ``(seed, shape, label)`` always returns it."""
+    rng = spawn_rng(seed, f"{label}/{shape}")
+    qp_node: List[int] = []
+    qp_wt: List[int] = []
+    qp_vd: List[int] = []
+    qp_traffic: List[float] = []
+    seg_bs: List[int] = []
+    seg_vd: List[int] = []
+    seg_traffic: List[float] = []
+
+    per = shape.workers_per_node
+    for vd in range(shape.num_vds):
+        node = int(rng.integers(0, shape.num_compute_nodes))
+        # Heavy-tailed per-VD intensity (the paper's CCR-style skew):
+        # a few VDs dominate the cluster.
+        intensity = float(rng.lognormal(mean=0.0, sigma=1.6))
+        if rng.random() < 0.1:
+            intensity *= 20.0  # an occasional whale tenant
+        num_qps = int(rng.integers(1, shape.max_qps_per_vd + 1))
+        splits = rng.dirichlet(np.full(num_qps, 0.6))
+        for index in range(num_qps):
+            qp_node.append(node)
+            qp_wt.append(node * per + int(rng.integers(0, per)))
+            qp_vd.append(vd)
+            qp_traffic.append(intensity * float(splits[index]))
+        num_segments = int(rng.integers(1, shape.max_segments_per_vd + 1))
+        start_bs = int(rng.integers(0, shape.num_block_servers))
+        seg_splits = rng.dirichlet(np.full(num_segments, 0.5))
+        for index in range(num_segments):
+            seg_bs.append((start_bs + index) % shape.num_block_servers)
+            seg_vd.append(vd)
+            seg_traffic.append(intensity * float(seg_splits[index]))
+
+    state = ClusterState(
+        workers_per_node=per,
+        num_compute_nodes=shape.num_compute_nodes,
+        num_block_servers=shape.num_block_servers,
+        qp_node=np.asarray(qp_node, dtype=np.int64),
+        qp_wt=np.asarray(qp_wt, dtype=np.int64),
+        qp_vd=np.asarray(qp_vd, dtype=np.int64),
+        qp_traffic=np.asarray(qp_traffic, dtype=float),
+        seg_bs=np.asarray(seg_bs, dtype=np.int64),
+        seg_vd=np.asarray(seg_vd, dtype=np.int64),
+        seg_traffic=np.asarray(seg_traffic, dtype=float),
+    )
+    state.validate()
+    return state

@@ -1,0 +1,125 @@
+"""The move universe: what a balancing plan is allowed to do to a state.
+
+Three move kinds, mirroring the mechanisms the paper treats separately:
+
+- ``qp_rebind`` — move one queue pair to another worker thread *on its
+  own node* (§4.3's rebinding primitive, at single-QP granularity);
+- ``vd_rehome`` — move a whole virtual disk's queue pairs to another
+  compute node, preserving each QP's WT slot (a VM live-migration as the
+  control plane sees it; segments do not move);
+- ``segment_migrate`` — move one segment to another BlockServer (§6's
+  migration primitive).
+
+:func:`apply_move` mutates a state in place and returns the *inverse*
+move, which is how the descent reverts a speculative move and how tests
+replay plans backwards.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.balance.state import ClusterState, qp_ids_of_vd
+from repro.util.errors import BalanceError
+
+
+class MoveKind(enum.Enum):
+    """The kind of one balancing move."""
+
+    QP_REBIND = "qp_rebind"
+    VD_REHOME = "vd_rehome"
+    SEGMENT_MIGRATE = "segment_migrate"
+
+
+@dataclass(frozen=True)
+class Move:
+    """One executable balancing action.
+
+    ``entity`` is a qp, vd, or segment id depending on ``kind``;
+    ``dest`` is a global WT id, a compute node id, or a BS id.
+    """
+
+    kind: MoveKind
+    entity: int
+    dest: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind.value,
+            "entity": int(self.entity),
+            "dest": int(self.dest),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Move":
+        try:
+            kind = MoveKind(payload["kind"])
+            return cls(
+                kind=kind,
+                entity=int(payload["entity"]),
+                dest=int(payload["dest"]),
+            )
+        except (KeyError, ValueError) as exc:
+            raise BalanceError(f"malformed move {payload!r}: {exc}") from exc
+
+
+def apply_move(state: ClusterState, move: Move) -> Move:
+    """Apply one move in place; returns the inverse move.
+
+    Raises :class:`BalanceError` for no-ops and invalid destinations —
+    a plan should never contain either.
+    """
+    if move.kind is MoveKind.QP_REBIND:
+        qp = move.entity
+        if not 0 <= qp < state.num_qps:
+            raise BalanceError(f"unknown queue pair {qp}")
+        if not 0 <= move.dest < state.num_wts:
+            raise BalanceError(f"unknown worker thread {move.dest}")
+        node = int(state.qp_node[qp])
+        if move.dest // state.workers_per_node != node:
+            raise BalanceError(
+                f"qp {qp} lives on node {node}; wt {move.dest} does not "
+                "(cross-node moves are vd_rehome)"
+            )
+        old_wt = int(state.qp_wt[qp])
+        if old_wt == move.dest:
+            raise BalanceError(f"qp {qp} already bound to wt {move.dest}")
+        state.qp_wt[qp] = move.dest
+        return Move(kind=MoveKind.QP_REBIND, entity=qp, dest=old_wt)
+
+    if move.kind is MoveKind.VD_REHOME:
+        if not 0 <= move.dest < state.num_compute_nodes:
+            raise BalanceError(f"unknown compute node {move.dest}")
+        qps = qp_ids_of_vd(state, move.entity)
+        if qps.size == 0:
+            raise BalanceError(f"vd {move.entity} has no queue pairs")
+        old_node = int(state.qp_node[qps[0]])
+        if old_node == move.dest:
+            raise BalanceError(
+                f"vd {move.entity} already lives on node {move.dest}"
+            )
+        per = state.workers_per_node
+        slots = state.qp_wt[qps] % per
+        state.qp_node[qps] = move.dest
+        state.qp_wt[qps] = move.dest * per + slots
+        return Move(
+            kind=MoveKind.VD_REHOME, entity=move.entity, dest=old_node
+        )
+
+    if move.kind is MoveKind.SEGMENT_MIGRATE:
+        seg = move.entity
+        if not 0 <= seg < state.num_segments:
+            raise BalanceError(f"unknown segment {seg}")
+        if not 0 <= move.dest < state.num_block_servers:
+            raise BalanceError(f"unknown BlockServer {move.dest}")
+        old_bs = int(state.seg_bs[seg])
+        if old_bs == move.dest:
+            raise BalanceError(
+                f"segment {seg} already lives on BS {move.dest}"
+            )
+        state.seg_bs[seg] = move.dest
+        return Move(kind=MoveKind.SEGMENT_MIGRATE, entity=seg, dest=old_bs)
+
+    raise BalanceError(f"unknown move kind {move.kind!r}")

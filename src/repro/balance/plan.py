@@ -1,0 +1,217 @@
+"""The serializable, restart-stable product of a balancing run.
+
+A :class:`MovePlan` is an ordered list of moves with the score trajectory
+they produce, pinned to the exact state they were planned against (by
+sha256 digest).  The JSON form is canonical — sorted keys, two-space
+indent, trailing newline — so a plan round-trips byte-identically and a
+plan's own :meth:`digest` is a stable fingerprint of a planner's output
+(the golden-digest test pins one to catch silent descent-order changes).
+
+Restart stability: planners are pure functions of (state, config), and
+:meth:`MovePlan.apply_to` re-verifies every recorded ``score_after``
+*exactly* while applying — integer bindings and float traffic survive
+JSON unchanged and move application never does float arithmetic on
+traffic, so a fresh from-scratch score recompute is bitwise identical to
+the one recorded at plan time.  Truncating a plan, applying the prefix,
+and re-planning therefore reproduces the remaining suffix verbatim.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+from repro.balance.moves import Move, MoveKind, apply_move
+from repro.balance.score import ScoreWeights, badness
+from repro.balance.state import ClusterState
+from repro.util.errors import BalanceError
+
+#: Bumped when the plan JSON layout changes incompatibly.
+PLAN_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PlannedMove:
+    """One move plus the canonical score bookkeeping around it.
+
+    ``gain`` is ``score_before - score_after`` measured by a from-scratch
+    :func:`badness` recompute (the greedy planner guarantees it is
+    ``>= min_gain``; the fixed-trigger planner records whatever its
+    mechanism produced, which may be negative).
+    """
+
+    move: Move
+    gain: float
+    score_after: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "move": self.move.to_dict(),
+            "gain": float(self.gain),
+            "score_after": float(self.score_after),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "PlannedMove":
+        try:
+            return cls(
+                move=Move.from_dict(payload["move"]),
+                gain=float(payload["gain"]),
+                score_after=float(payload["score_after"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BalanceError(
+                f"malformed planned move {payload!r}: {exc}"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class MovePlan:
+    """An incremental balancing plan against one pinned cluster state."""
+
+    planner: str
+    state_digest: str
+    config: Dict[str, Any]
+    weights: ScoreWeights
+    initial_score: float
+    final_score: float
+    moves: Tuple[PlannedMove, ...] = field(default_factory=tuple)
+    schema_version: int = PLAN_SCHEMA_VERSION
+
+    @property
+    def num_moves(self) -> int:
+        return len(self.moves)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.moves
+
+    def moves_by_kind(self) -> Dict[str, int]:
+        counts = {kind.value: 0 for kind in MoveKind}
+        for planned in self.moves:
+            counts[planned.move.kind.value] += 1
+        return counts
+
+    def truncate(self, length: int) -> "MovePlan":
+        """The prefix plan of the first ``length`` moves (kill/resume)."""
+        if not 0 <= length <= self.num_moves:
+            raise BalanceError(
+                f"cannot truncate a {self.num_moves}-move plan at {length}"
+            )
+        moves = self.moves[:length]
+        final = moves[-1].score_after if moves else self.initial_score
+        return MovePlan(
+            planner=self.planner,
+            state_digest=self.state_digest,
+            config=dict(self.config),
+            weights=self.weights,
+            initial_score=self.initial_score,
+            final_score=final,
+            moves=moves,
+            schema_version=self.schema_version,
+        )
+
+    # -- execution ------------------------------------------------------
+
+    def apply_to(
+        self, state: ClusterState, verify_digest: bool = True
+    ) -> ClusterState:
+        """Apply every move to ``state`` in place; returns the state.
+
+        With ``verify_digest`` the state must hash to the plan's pinned
+        digest, and every recorded score is re-verified *exactly*
+        against a from-scratch recompute — a mismatch means the plan and
+        state drifted apart, and the state is left partially modified
+        only if the failure is a score mismatch mid-plan (callers apply
+        to a copy when that matters).
+        """
+        if verify_digest:
+            actual = state.digest()
+            if actual != self.state_digest:
+                raise BalanceError(
+                    "plan was made against a different state: digest "
+                    f"{self.state_digest[:12]}... != {actual[:12]}..."
+                )
+            observed = badness(state, self.weights)
+            if observed != self.initial_score:
+                raise BalanceError(
+                    f"initial score mismatch: plan says "
+                    f"{self.initial_score!r}, state scores {observed!r}"
+                )
+        for index, planned in enumerate(self.moves):
+            apply_move(state, planned.move)
+            if verify_digest:
+                observed = badness(state, self.weights)
+                if observed != planned.score_after:
+                    raise BalanceError(
+                        f"score mismatch after move {index}: plan says "
+                        f"{planned.score_after!r}, state scores {observed!r}"
+                    )
+        return state
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "planner": self.planner,
+            "state_digest": self.state_digest,
+            "config": self.config,
+            "weights": self.weights.to_dict(),
+            "initial_score": float(self.initial_score),
+            "final_score": float(self.final_score),
+            "moves": [planned.to_dict() for planned in self.moves],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "MovePlan":
+        version = payload.get("schema_version")
+        if version != PLAN_SCHEMA_VERSION:
+            raise BalanceError(
+                f"unsupported move-plan schema {version!r} "
+                f"(expected {PLAN_SCHEMA_VERSION})"
+            )
+        try:
+            return cls(
+                planner=str(payload["planner"]),
+                state_digest=str(payload["state_digest"]),
+                config=dict(payload["config"]),
+                weights=ScoreWeights.from_dict(payload["weights"]),
+                initial_score=float(payload["initial_score"]),
+                final_score=float(payload["final_score"]),
+                moves=tuple(
+                    PlannedMove.from_dict(move) for move in payload["moves"]
+                ),
+                schema_version=int(version),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BalanceError(f"malformed move plan: {exc}") from exc
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, two-space indent, trailing newline."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "MovePlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise BalanceError(f"malformed move-plan JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise BalanceError("move-plan JSON must be an object")
+        return cls.from_dict(payload)
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "MovePlan":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def digest(self) -> str:
+        """sha256 of the canonical JSON form."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()

@@ -1,0 +1,67 @@
+"""Shared fixed-trigger decision primitives (§4.3 and §6, Algorithm 1).
+
+These are the two decisions the paper's production balancers make, pulled
+out of :mod:`repro.balancer.wt` and :mod:`repro.balancer.interbs` so the
+period-replay balancers and the snapshot planner in
+:mod:`repro.balance.trigger` provably apply the *same* rules.  Both are
+bit-for-bit extractions: identical numpy ops in identical order, so the
+refactored callers reproduce their historical outputs exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def wt_swap_decision(
+    loads: np.ndarray, trigger_ratio: float
+) -> "Optional[Tuple[int, int]]":
+    """The §4.3 trigger: ``(hot, cold)`` WT indices to swap, or None.
+
+    A swap fires when the hottest WT carries more than ``trigger_ratio``
+    times the coldest WT's traffic.  An idle coldest WT makes any hot
+    traffic exceed the trigger (hottest > ratio x 0), matching the
+    production condition; an all-idle or perfectly even load vector
+    never fires.
+    """
+    loads = np.asarray(loads, dtype=float)
+    if loads.size == 0 or loads.sum() == 0:
+        return None
+    hot = int(np.argmax(loads))
+    cold = int(np.argmin(loads))
+    if loads[hot] > trigger_ratio * loads[cold]:
+        return hot, cold
+    return None
+
+
+def choose_shed_segments(
+    segment_ids: Sequence[int],
+    traffic: np.ndarray,
+    shed_target: float,
+    ceiling: float,
+    max_segments: int,
+) -> List[int]:
+    """Algorithm 1's shed selection: hottest admissible segments first.
+
+    Walks the exporter's segments hottest-first, skipping any hotter than
+    ``ceiling`` (the §6.1.3 admission constraint — a segment hotter than
+    a whole BS just moves the hotspot), until the shed traffic reaches
+    ``shed_target`` or ``max_segments`` are chosen.  Zero-traffic
+    segments are never shed.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    order = np.argsort(traffic)[::-1]
+    chosen: List[int] = []
+    shed = 0.0
+    for index in order:
+        if traffic[index] <= 0:
+            break
+        if traffic[index] > ceiling:
+            continue
+        chosen.append(int(segment_ids[index]))
+        shed += float(traffic[index])
+        if shed >= shed_target or len(chosen) >= max_segments:
+            break
+    return chosen

@@ -1,0 +1,90 @@
+"""The scalar cluster-badness score the global balancer descends.
+
+Following Ganeti's ``hbal``, badness is one number: a weighted average of
+the normalized CoV (the paper's imbalance metric, §4/§6) over three
+utilization dimensions — compute nodes, worker threads, and BlockServers.
+0.0 is a perfectly even cluster; 1.0 is all traffic on one entity in
+every weighted dimension.  Dimensions that do not exist in a state (an
+empty compute side, a single BS) contribute 0.0, so storage-only states
+score cleanly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.balance.state import ClusterState
+from repro.stats.skewness import normalized_cov
+from repro.util.errors import ConfigError
+
+#: Dimension order is part of the score definition (and of plan JSON).
+DIMENSIONS = ("node", "wt", "bs")
+
+
+@dataclass(frozen=True)
+class ScoreWeights:
+    """Relative weight of each utilization dimension in the badness score."""
+
+    node: float = 1.0
+    wt: float = 1.0
+    bs: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in DIMENSIONS:
+            value = getattr(self, name)
+            if not np.isfinite(value) or value < 0:
+                raise ConfigError(
+                    f"score weight {name!r} must be finite and >= 0"
+                )
+        if self.total <= 0:
+            raise ConfigError("score weights must not all be zero")
+
+    @property
+    def total(self) -> float:
+        return self.node + self.wt + self.bs
+
+    def to_dict(self) -> Dict[str, float]:
+        return {name: float(getattr(self, name)) for name in DIMENSIONS}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ScoreWeights":
+        unknown = set(payload) - set(DIMENSIONS)
+        if unknown:
+            raise ConfigError(f"unknown score weights: {sorted(unknown)}")
+        return cls(**{k: float(v) for k, v in payload.items()})
+
+
+def safe_normalized_cov(vector: np.ndarray) -> float:
+    """Normalized CoV extended to the degenerate cases a state can hit.
+
+    Empty and single-entry vectors have no dispersion, and an all-zero
+    vector is perfectly even — all score 0.0 (``normalized_cov`` itself
+    raises on empty input and divides by a zero mean).
+    """
+    if vector.size <= 1 or float(vector.sum()) <= 0.0:
+        return 0.0
+    return normalized_cov(vector)
+
+
+def dimension_covs(state: ClusterState) -> Dict[str, float]:
+    """Per-dimension normalized CoV: ``{"node": ..., "wt": ..., "bs": ...}``."""
+    return {
+        "node": safe_normalized_cov(state.node_utilization()),
+        "wt": safe_normalized_cov(state.wt_utilization()),
+        "bs": safe_normalized_cov(state.bs_utilization()),
+    }
+
+
+def badness(
+    state: ClusterState, weights: ScoreWeights = ScoreWeights()
+) -> float:
+    """The scalar badness score of one state under the given weights."""
+    covs = dimension_covs(state)
+    return (
+        weights.node * covs["node"]
+        + weights.wt * covs["wt"]
+        + weights.bs * covs["bs"]
+    ) / weights.total

@@ -1,0 +1,417 @@
+"""The cluster snapshot the global balancer and fixed triggers both consume.
+
+A :class:`ClusterState` is a flat, array-backed view of one data center at
+one instant: which node and worker thread hosts each queue pair, which
+BlockServer hosts each segment, and how much traffic each entity carried
+over the scoring window.  It deliberately contains *only* what a balancing
+decision needs — no IO traces, no fault state — so it is cheap to copy,
+serialize, and diff.
+
+Determinism contract: every constructor orders entities by ascending id,
+and the utilization accumulators use ``np.add.at`` in that order, so a
+state built twice from the same inputs produces bitwise-identical
+utilization vectors and an identical :meth:`digest`.  The JSON form
+round-trips floats exactly (``json`` emits ``repr`` which round-trips
+IEEE-754 doubles), which is what makes move plans byte-stable across a
+save/load cycle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.util.errors import BalanceError, ConfigError
+
+#: Bumped when the serialized layout changes incompatibly.
+STATE_SCHEMA_VERSION = 1
+
+
+@dataclass
+class ClusterState:
+    """Array-backed snapshot of one DC's bindings, placement, and traffic.
+
+    Compute side (all arrays indexed by queue-pair id):
+
+    - ``qp_node``: hosting compute node
+    - ``qp_wt``: hosting worker thread (*global* WT id; always satisfies
+      ``qp_wt // workers_per_node == qp_node``)
+    - ``qp_vd``: owning virtual disk
+    - ``qp_traffic``: bytes carried over the scoring window
+
+    Storage side (indexed by segment id): ``seg_bs``, ``seg_vd``,
+    ``seg_traffic``.
+
+    A DC with no compute side (``num_compute_nodes == 0`` and empty qp
+    arrays) is legal: the inter-BS balancer refactor builds storage-only
+    states via :meth:`from_storage`.
+    """
+
+    workers_per_node: int
+    num_compute_nodes: int
+    num_block_servers: int
+    qp_node: np.ndarray
+    qp_wt: np.ndarray
+    qp_vd: np.ndarray
+    qp_traffic: np.ndarray
+    seg_bs: np.ndarray
+    seg_vd: np.ndarray
+    seg_traffic: np.ndarray
+
+    # -- shape ----------------------------------------------------------
+
+    @property
+    def num_qps(self) -> int:
+        return int(self.qp_node.size)
+
+    @property
+    def num_segments(self) -> int:
+        return int(self.seg_bs.size)
+
+    @property
+    def num_wts(self) -> int:
+        return self.num_compute_nodes * self.workers_per_node
+
+    def validate(self) -> None:
+        """Raise :class:`BalanceError` unless the state is self-consistent."""
+        if self.workers_per_node < 1:
+            raise BalanceError("workers_per_node must be >= 1")
+        if self.num_compute_nodes < 0 or self.num_block_servers < 0:
+            raise BalanceError("node/BS counts must be non-negative")
+        for name in ("qp_node", "qp_wt", "qp_vd", "qp_traffic"):
+            if getattr(self, name).shape != (self.num_qps,):
+                raise BalanceError(f"{name} must be 1-D of num_qps")
+        for name in ("seg_bs", "seg_vd", "seg_traffic"):
+            if getattr(self, name).shape != (self.num_segments,):
+                raise BalanceError(f"{name} must be 1-D of num_segments")
+        for name in ("qp_traffic", "seg_traffic"):
+            arr = getattr(self, name)
+            if arr.size and (not np.all(np.isfinite(arr)) or np.any(arr < 0)):
+                raise BalanceError(f"{name} must be finite and non-negative")
+        if self.num_qps:
+            if self.num_compute_nodes == 0:
+                raise BalanceError("queue pairs exist but no compute nodes")
+            if np.any(self.qp_node < 0) or np.any(
+                self.qp_node >= self.num_compute_nodes
+            ):
+                raise BalanceError("qp_node out of range")
+            if np.any(self.qp_wt < 0) or np.any(self.qp_wt >= self.num_wts):
+                raise BalanceError("qp_wt out of range")
+            if np.any(self.qp_wt // self.workers_per_node != self.qp_node):
+                raise BalanceError("qp_wt is not on the QP's node")
+            if np.any(self.qp_vd < 0):
+                raise BalanceError("qp_vd must be non-negative")
+            # Single-WT hosting implies VD co-location: every QP of one VD
+            # lives on one node (re-homing moves them together).
+            num_vds = int(self.qp_vd.max()) + 1
+            lo = np.full(num_vds, np.iinfo(np.int64).max, dtype=np.int64)
+            hi = np.full(num_vds, -1, dtype=np.int64)
+            np.minimum.at(lo, self.qp_vd, self.qp_node)
+            np.maximum.at(hi, self.qp_vd, self.qp_node)
+            present = hi >= 0
+            if np.any(lo[present] != hi[present]):
+                raise BalanceError("a VD's queue pairs span multiple nodes")
+        if self.num_segments:
+            if self.num_block_servers == 0:
+                raise BalanceError("segments exist but no BlockServers")
+            if np.any(self.seg_bs < 0) or np.any(
+                self.seg_bs >= self.num_block_servers
+            ):
+                raise BalanceError("seg_bs out of range")
+            if np.any(self.seg_vd < 0):
+                raise BalanceError("seg_vd must be non-negative")
+
+    # -- utilization vectors -------------------------------------------
+
+    def wt_utilization(self) -> np.ndarray:
+        """Bytes per worker thread over the window (idle WTs are zeros)."""
+        out = np.zeros(self.num_wts)
+        np.add.at(out, self.qp_wt, self.qp_traffic)
+        return out
+
+    def node_utilization(self) -> np.ndarray:
+        """Bytes per compute node over the window."""
+        out = np.zeros(self.num_compute_nodes)
+        np.add.at(out, self.qp_node, self.qp_traffic)
+        return out
+
+    def bs_utilization(self) -> np.ndarray:
+        """Bytes per BlockServer over the window (empty BSs are zeros)."""
+        out = np.zeros(self.num_block_servers)
+        np.add.at(out, self.seg_bs, self.seg_traffic)
+        return out
+
+    # -- copies and serialization --------------------------------------
+
+    def copy(self) -> "ClusterState":
+        return ClusterState(
+            workers_per_node=self.workers_per_node,
+            num_compute_nodes=self.num_compute_nodes,
+            num_block_servers=self.num_block_servers,
+            qp_node=self.qp_node.copy(),
+            qp_wt=self.qp_wt.copy(),
+            qp_vd=self.qp_vd.copy(),
+            qp_traffic=self.qp_traffic.copy(),
+            seg_bs=self.seg_bs.copy(),
+            seg_vd=self.seg_vd.copy(),
+            seg_traffic=self.seg_traffic.copy(),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": STATE_SCHEMA_VERSION,
+            "workers_per_node": self.workers_per_node,
+            "num_compute_nodes": self.num_compute_nodes,
+            "num_block_servers": self.num_block_servers,
+            "qp_node": [int(v) for v in self.qp_node],
+            "qp_wt": [int(v) for v in self.qp_wt],
+            "qp_vd": [int(v) for v in self.qp_vd],
+            "qp_traffic": [float(v) for v in self.qp_traffic],
+            "seg_bs": [int(v) for v in self.seg_bs],
+            "seg_vd": [int(v) for v in self.seg_vd],
+            "seg_traffic": [float(v) for v in self.seg_traffic],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ClusterState":
+        version = payload.get("schema_version")
+        if version != STATE_SCHEMA_VERSION:
+            raise BalanceError(
+                f"unsupported cluster-state schema {version!r} "
+                f"(expected {STATE_SCHEMA_VERSION})"
+            )
+        try:
+            state = cls(
+                workers_per_node=int(payload["workers_per_node"]),
+                num_compute_nodes=int(payload["num_compute_nodes"]),
+                num_block_servers=int(payload["num_block_servers"]),
+                qp_node=np.asarray(payload["qp_node"], dtype=np.int64),
+                qp_wt=np.asarray(payload["qp_wt"], dtype=np.int64),
+                qp_vd=np.asarray(payload["qp_vd"], dtype=np.int64),
+                qp_traffic=np.asarray(payload["qp_traffic"], dtype=float),
+                seg_bs=np.asarray(payload["seg_bs"], dtype=np.int64),
+                seg_vd=np.asarray(payload["seg_vd"], dtype=np.int64),
+                seg_traffic=np.asarray(payload["seg_traffic"], dtype=float),
+            )
+        except KeyError as exc:
+            raise BalanceError(f"cluster state missing field {exc}") from exc
+        state.validate()
+        return state
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, two-space indent, trailing newline."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ClusterState":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise BalanceError(f"malformed cluster-state JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise BalanceError("cluster-state JSON must be an object")
+        return cls.from_dict(payload)
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "ClusterState":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def digest(self) -> str:
+        """sha256 of the canonical JSON form (plans pin this)."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def from_components(
+        cls,
+        fleet,
+        hypervisors,
+        storage,
+        qp_traffic: np.ndarray,
+        seg_traffic: np.ndarray,
+    ) -> "ClusterState":
+        """Snapshot live fleet/hypervisor/storage objects plus traffic.
+
+        ``qp_traffic``/``seg_traffic`` are dense vectors indexed by qp and
+        segment id.  Bindings come from the hypervisors' *current* state
+        and placement from the storage cluster's, so a state taken after
+        rebinds or migrations reflects them.
+        """
+        num_qps = len(fleet.queue_pairs)
+        num_segments = len(fleet.segments)
+        qp_traffic = np.asarray(qp_traffic, dtype=float)
+        seg_traffic = np.asarray(seg_traffic, dtype=float)
+        if qp_traffic.shape != (num_qps,):
+            raise ConfigError(
+                f"qp_traffic must have {num_qps} entries, "
+                f"got shape {qp_traffic.shape}"
+            )
+        if seg_traffic.shape != (num_segments,):
+            raise ConfigError(
+                f"seg_traffic must have {num_segments} entries, "
+                f"got shape {seg_traffic.shape}"
+            )
+        binding = hypervisors.binding_arrays()
+        qp_wt = np.fromiter(
+            (binding[qp.qp_id] for qp in fleet.queue_pairs),
+            dtype=np.int64,
+            count=num_qps,
+        )
+        placement = storage.placement_snapshot()
+        seg_bs = np.fromiter(
+            (placement[seg.segment_id] for seg in fleet.segments),
+            dtype=np.int64,
+            count=num_segments,
+        )
+        state = cls(
+            workers_per_node=fleet.config.workers_per_node,
+            num_compute_nodes=fleet.config.num_compute_nodes,
+            num_block_servers=fleet.config.num_block_servers,
+            qp_node=np.fromiter(
+                (qp.compute_node_id for qp in fleet.queue_pairs),
+                dtype=np.int64,
+                count=num_qps,
+            ),
+            qp_wt=qp_wt,
+            qp_vd=np.fromiter(
+                (qp.vd_id for qp in fleet.queue_pairs),
+                dtype=np.int64,
+                count=num_qps,
+            ),
+            qp_traffic=qp_traffic,
+            seg_bs=seg_bs,
+            seg_vd=np.fromiter(
+                (seg.vd_id for seg in fleet.segments),
+                dtype=np.int64,
+                count=num_segments,
+            ),
+            seg_traffic=seg_traffic,
+        )
+        state.validate()
+        return state
+
+    @classmethod
+    def from_simulation(
+        cls, result, direction: str = "total"
+    ) -> "ClusterState":
+        """Snapshot one DC's :class:`SimulationResult` metric dataset.
+
+        Per-QP and per-segment traffic is the window total of the chosen
+        ``direction`` ('read', 'write', or 'total'), matching how the
+        paper's balancers consume the metric dataset.
+        """
+        if direction not in ("read", "write", "total"):
+            raise ConfigError(
+                f"direction must be 'read', 'write' or 'total', "
+                f"got {direction!r}"
+            )
+
+        def _dense(table, key_field: str, size: int) -> np.ndarray:
+            out = np.zeros(size)
+            if direction in ("read", "total"):
+                for key, value in table.sum_by(key_field, "read_bytes").items():
+                    out[key] += value
+            if direction in ("write", "total"):
+                for key, value in table.sum_by(
+                    key_field, "write_bytes"
+                ).items():
+                    out[key] += value
+            return out
+
+        fleet = result.fleet
+        qp_traffic = _dense(
+            result.metrics.compute, "qp_id", len(fleet.queue_pairs)
+        )
+        seg_traffic = _dense(
+            result.metrics.storage, "segment_id", len(fleet.segments)
+        )
+        return cls.from_components(
+            fleet, result.hypervisors, result.storage, qp_traffic, seg_traffic
+        )
+
+    @classmethod
+    def from_storage(
+        cls, storage, seg_traffic: np.ndarray
+    ) -> "ClusterState":
+        """A storage-only state (empty compute side) from live placement.
+
+        The inter-BS balancer uses this per period: ``bs_utilization()``
+        accumulates in ascending-segment-id order, which is exactly the
+        insertion order of :meth:`StorageCluster.placement_snapshot` —
+        per-period loads stay bitwise identical to the historical
+        ``np.add.at`` path.
+        """
+        fleet = storage.fleet
+        num_segments = len(fleet.segments)
+        seg_traffic = np.asarray(seg_traffic, dtype=float)
+        if seg_traffic.shape != (num_segments,):
+            raise ConfigError(
+                f"seg_traffic must have {num_segments} entries, "
+                f"got shape {seg_traffic.shape}"
+            )
+        placement = storage.placement_snapshot()
+        seg_bs = np.fromiter(
+            (placement[seg.segment_id] for seg in fleet.segments),
+            dtype=np.int64,
+            count=num_segments,
+        )
+        empty_int = np.zeros(0, dtype=np.int64)
+        return cls(
+            workers_per_node=1,
+            num_compute_nodes=0,
+            num_block_servers=fleet.config.num_block_servers,
+            qp_node=empty_int,
+            qp_wt=empty_int.copy(),
+            qp_vd=empty_int.copy(),
+            qp_traffic=np.zeros(0),
+            seg_bs=seg_bs,
+            seg_vd=np.fromiter(
+                (seg.vd_id for seg in fleet.segments),
+                dtype=np.int64,
+                count=num_segments,
+            ),
+            seg_traffic=seg_traffic,
+        )
+
+
+def qp_ids_of_vd(state: ClusterState, vd_id: int) -> np.ndarray:
+    """Ascending qp ids of one VD (empty if the VD has no QPs)."""
+    return np.nonzero(state.qp_vd == vd_id)[0]
+
+
+def segment_ids_of_bs(state: ClusterState, bs_id: int) -> np.ndarray:
+    """Ascending segment ids currently placed on one BlockServer."""
+    return np.nonzero(state.seg_bs == bs_id)[0]
+
+
+def state_summary(state: ClusterState) -> Dict[str, Any]:
+    """Small human-facing summary used by the CLI's score mode."""
+    def _stats(vector: np.ndarray) -> "Optional[Dict[str, float]]":
+        if vector.size == 0:
+            return None
+        return {
+            "min": float(vector.min()),
+            "mean": float(vector.mean()),
+            "max": float(vector.max()),
+        }
+
+    return {
+        "num_qps": state.num_qps,
+        "num_segments": state.num_segments,
+        "num_compute_nodes": state.num_compute_nodes,
+        "num_wts": state.num_wts if state.num_compute_nodes else 0,
+        "num_block_servers": state.num_block_servers,
+        "node_utilization": _stats(state.node_utilization()),
+        "wt_utilization": _stats(state.wt_utilization()),
+        "bs_utilization": _stats(state.bs_utilization()),
+    }

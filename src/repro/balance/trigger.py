@@ -1,0 +1,227 @@
+"""The paper's fixed-trigger mechanisms expressed as a snapshot planner.
+
+This is the head-to-head baseline for the greedy descent: the §4.3
+hot/cold WT swap and §6 Algorithm 1 segment shedding, run against one
+:class:`ClusterState` snapshot instead of a period replay, emitting the
+same :class:`MovePlan` type so both planners score identically.
+
+Two structural properties worth noting (they *are* the paper's point):
+
+- a WT swap permutes WT loads without changing their multiset, so on a
+  single snapshot it cannot reduce the WT CoV — rebinding balances
+  across periods, never within one;
+- segment shedding only fires on exporters above the trigger and always
+  dumps on the minimum-loaded BS, so it stops well short of the optimum
+  the greedy planner descends to.
+
+Gains are still recorded canonically (from-scratch badness recomputes),
+so fixed-trigger plans may legitimately contain zero- or negative-gain
+moves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.balance.moves import Move, MoveKind, apply_move
+from repro.balance.plan import MovePlan, PlannedMove
+from repro.balance.policies import choose_shed_segments, wt_swap_decision
+from repro.balance.score import ScoreWeights, badness
+from repro.balance.state import ClusterState
+from repro.obs.runtime import get_telemetry
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TriggerConfig:
+    """Knobs of the fixed-trigger snapshot planner (paper defaults)."""
+
+    trigger_ratio: float = 1.2
+    shed_fraction: float = 0.2
+    max_segments_per_migration: int = 8
+    max_segment_traffic_ratio: "float | None" = 1.0
+    #: Storage-side passes: Algorithm 1 reruns until no exporter remains
+    #: or this many passes, since one shed can create a new exporter.
+    max_passes: int = 8
+    weights: ScoreWeights = field(default_factory=ScoreWeights)
+    no_qp_rebinds: bool = False
+    no_segment_moves: bool = False
+
+    def __post_init__(self) -> None:
+        if self.trigger_ratio <= 1.0:
+            raise ConfigError("trigger_ratio must exceed 1")
+        if not 0.0 < self.shed_fraction <= 1.0:
+            raise ConfigError("shed_fraction must be in (0, 1]")
+        if self.max_segments_per_migration < 1:
+            raise ConfigError("max_segments_per_migration must be >= 1")
+        if (
+            self.max_segment_traffic_ratio is not None
+            and self.max_segment_traffic_ratio <= 0
+        ):
+            raise ConfigError("max_segment_traffic_ratio must be positive")
+        if self.max_passes < 1:
+            raise ConfigError("max_passes must be >= 1")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trigger_ratio": float(self.trigger_ratio),
+            "shed_fraction": float(self.shed_fraction),
+            "max_segments_per_migration": int(self.max_segments_per_migration),
+            "max_segment_traffic_ratio": (
+                None
+                if self.max_segment_traffic_ratio is None
+                else float(self.max_segment_traffic_ratio)
+            ),
+            "max_passes": int(self.max_passes),
+            "weights": self.weights.to_dict(),
+            "no_qp_rebinds": self.no_qp_rebinds,
+            "no_segment_moves": self.no_segment_moves,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "TriggerConfig":
+        data = dict(payload)
+        weights = data.pop("weights", None)
+        if weights is not None:
+            data["weights"] = ScoreWeights.from_dict(weights)
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise ConfigError(f"malformed trigger config: {exc}") from exc
+
+
+def _record(
+    work: ClusterState,
+    move: Move,
+    score: float,
+    weights: ScoreWeights,
+    planned: "List[PlannedMove]",
+) -> float:
+    """Apply one move, score canonically, and append the planned move."""
+    apply_move(work, move)
+    new_score = badness(work, weights)
+    planned.append(
+        PlannedMove(move=move, gain=score - new_score, score_after=new_score)
+    )
+    return new_score
+
+
+def fixed_trigger_plan(
+    state: ClusterState, config: TriggerConfig = TriggerConfig()
+) -> MovePlan:
+    """One control-plane round of the paper's fixed triggers, as a plan.
+
+    Compute side: per node (ascending), if the hottest WT exceeds the
+    trigger over the coldest, their full QP sets swap (emitted as
+    individual ``qp_rebind`` moves, hot-side QPs first, ascending id).
+    Storage side: up to ``max_passes`` Algorithm 1 rounds — exporters
+    above ``trigger_ratio`` x average shed their hottest admissible
+    segments to the minimum-loaded BS (ties to the lowest id).
+    """
+    state.validate()
+    work = state.copy()
+    weights = config.weights
+    telemetry = get_telemetry()
+    initial = badness(work, weights)
+    score = initial
+    planned: List[PlannedMove] = []
+
+    with telemetry.span("balance.plan", planner="fixed_trigger") as span:
+        per = work.workers_per_node
+        if not config.no_qp_rebinds and work.num_qps and per > 1:
+            wt_util = work.wt_utilization()
+            for node in range(work.num_compute_nodes):
+                local = wt_util[node * per : (node + 1) * per]
+                decision = wt_swap_decision(local, config.trigger_ratio)
+                if decision is None:
+                    continue
+                hot = node * per + decision[0]
+                cold = node * per + decision[1]
+                hot_qps = np.nonzero(work.qp_wt == hot)[0]
+                cold_qps = np.nonzero(work.qp_wt == cold)[0]
+                for qp in hot_qps:
+                    score = _record(
+                        work,
+                        Move(MoveKind.QP_REBIND, int(qp), cold),
+                        score,
+                        weights,
+                        planned,
+                    )
+                for qp in cold_qps:
+                    score = _record(
+                        work,
+                        Move(MoveKind.QP_REBIND, int(qp), hot),
+                        score,
+                        weights,
+                        planned,
+                    )
+
+        if (
+            not config.no_segment_moves
+            and work.num_segments
+            and work.num_block_servers > 1
+        ):
+            ratio = config.max_segment_traffic_ratio
+            for _ in range(config.max_passes):
+                loads = work.bs_utilization()
+                average = float(loads.mean())
+                if average <= 0:
+                    break
+                exporters = np.nonzero(
+                    loads >= config.trigger_ratio * average
+                )[0]
+                ceiling = ratio * average if ratio is not None else math.inf
+                moved = False
+                for exporter in (int(e) for e in exporters):
+                    seg_ids = np.nonzero(work.seg_bs == exporter)[0]
+                    if seg_ids.size == 0:
+                        continue
+                    chosen = choose_shed_segments(
+                        seg_ids,
+                        work.seg_traffic[seg_ids],
+                        config.shed_fraction * average,
+                        ceiling,
+                        config.max_segments_per_migration,
+                    )
+                    if not chosen:
+                        continue
+                    # MinTraffic importer with the exporter masked out;
+                    # np.argmin takes the lowest id on ties.
+                    masked = loads.copy()
+                    masked[exporter] = math.inf
+                    importer = int(np.argmin(masked))
+                    for segment in chosen:
+                        score = _record(
+                            work,
+                            Move(MoveKind.SEGMENT_MIGRATE, segment, importer),
+                            score,
+                            weights,
+                            planned,
+                        )
+                        loads[importer] += float(work.seg_traffic[segment])
+                        loads[exporter] -= float(work.seg_traffic[segment])
+                    moved = True
+                if not moved:
+                    break
+
+        for planned_move in planned:
+            telemetry.counter(
+                "balance.moves_planned", kind=planned_move.move.kind.value
+            ).inc()
+        span.set(
+            moves=len(planned), initial_score=initial, final_score=score
+        )
+
+    return MovePlan(
+        planner="fixed_trigger",
+        state_digest=state.digest(),
+        config=config.to_dict(),
+        weights=weights,
+        initial_score=initial,
+        final_score=score,
+        moves=tuple(planned),
+    )

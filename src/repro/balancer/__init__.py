@@ -14,6 +14,12 @@
 - :mod:`repro.balancer.predictive` — the §6.1.3 proposal: importer
   selection driven by a traffic predictor instead of the historical
   minimum.
+
+Both period-replay balancers are built on the shared snapshot/decision
+primitives of :mod:`repro.balance`: per-period loads come from
+:meth:`repro.balance.ClusterState.from_storage` and the fixed-trigger
+rules live in :mod:`repro.balance.policies`, so the global planner
+(``ebs-repro balance``) and these replays provably apply the same math.
 """
 
 from repro.balancer.interbs import (

@@ -20,6 +20,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.balance.policies import choose_shed_segments
+from repro.balance.state import ClusterState
 from repro.balancer.importer import ImporterStrategy, MinTrafficImporter
 from repro.cluster.storage import MigrationEvent, StorageCluster
 from repro.stats.skewness import normalized_cov
@@ -168,19 +170,21 @@ class InterBsBalancer:
         history = np.zeros((num_bs, num_periods))
 
         for period in range(num_periods):
-            placement = self.storage.placement_snapshot()
-            placement_history.append(placement)
-            seg_ids = np.fromiter(placement.keys(), dtype=np.int64)
-            seg_bs = np.fromiter(placement.values(), dtype=np.int64)
-
-            primary = segment_traffic[seg_ids, period]
-            loads = np.zeros(num_bs)
-            np.add.at(loads, seg_bs, primary)
+            placement_history.append(self.storage.placement_snapshot())
+            # The snapshot state accumulates in ascending-segment-id order,
+            # exactly reproducing the historical per-period load path.
+            state = ClusterState.from_storage(
+                self.storage, segment_traffic[:, period]
+            )
+            loads = state.bs_utilization()
             history[:, period] = loads
             bs_loads[:, period] = loads
             if secondary_traffic is not None:
-                secondary = secondary_traffic[seg_ids, period]
-                np.add.at(bs_loads[:, period], seg_bs, secondary)
+                np.add.at(
+                    bs_loads[:, period],
+                    state.seg_bs,
+                    secondary_traffic[:, period],
+                )
 
             if period in blackout:
                 # Migration blackout: the control plane is down for this
@@ -230,25 +234,22 @@ class InterBsBalancer:
         Used for the secondary (read) pass where no incremental history is
         maintained; strategies only look at a short recent window anyway.
         """
-        placement = self.storage.placement_snapshot()
-        seg_ids = np.fromiter(placement.keys(), dtype=np.int64)
-        seg_bs = np.fromiter(placement.values(), dtype=np.int64)
+        state = ClusterState.from_storage(
+            self.storage, segment_traffic[:, period]
+        )
         num_bs = self.storage.num_block_servers
         history = np.zeros((num_bs, period + 1))
         for p in range(max(0, period - 8), period + 1):
-            np.add.at(history[:, p], seg_bs, segment_traffic[seg_ids, p])
+            np.add.at(history[:, p], state.seg_bs, segment_traffic[:, p])
         return history
 
     def _future_loads(
         self, segment_traffic: np.ndarray, period: int
     ) -> np.ndarray:
         """True next-period per-BS loads under the current placement."""
-        placement = self.storage.placement_snapshot()
-        seg_ids = np.fromiter(placement.keys(), dtype=np.int64)
-        seg_bs = np.fromiter(placement.values(), dtype=np.int64)
-        future = np.zeros(self.storage.num_block_servers)
-        np.add.at(future, seg_bs, segment_traffic[seg_ids, period + 1])
-        return future
+        return ClusterState.from_storage(
+            self.storage, segment_traffic[:, period + 1]
+        ).bs_utilization()
 
     def _admissible(self, segment: int, importer: int) -> bool:
         """Check the §6.1.3 reliability constraints for one placement."""
@@ -286,28 +287,18 @@ class InterBsBalancer:
             if not segments:
                 continue
             seg_arr = np.asarray(segments, dtype=np.int64)
-            traffic = segment_traffic[seg_arr, period]
-            order = np.argsort(traffic)[::-1]
-            shed_target = cfg.shed_fraction * average
             ceiling = (
                 cfg.max_segment_traffic_ratio * average
                 if cfg.max_segment_traffic_ratio is not None
                 else float("inf")
             )
-            chosen: List[int] = []
-            shed = 0.0
-            for index in order:
-                if traffic[index] <= 0:
-                    break
-                if traffic[index] > ceiling:
-                    continue  # admission constraint: too hot to move
-                chosen.append(int(seg_arr[index]))
-                shed += float(traffic[index])
-                if (
-                    shed >= shed_target
-                    or len(chosen) >= cfg.max_segments_per_migration
-                ):
-                    break
+            chosen = choose_shed_segments(
+                seg_arr,
+                segment_traffic[seg_arr, period],
+                cfg.shed_fraction * average,
+                ceiling,
+                cfg.max_segments_per_migration,
+            )
             if not chosen:
                 continue
             importer = self.importer.select(

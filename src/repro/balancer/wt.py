@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.balance.policies import wt_swap_decision
 from repro.cluster.hypervisor import Hypervisor
 from repro.stats.skewness import normalized_cov, p2a, top_share
 from repro.trace.dataset import ComputeMetricTable, TraceDataset
@@ -316,13 +317,9 @@ def simulate_rebinding(
         static_loads = np.zeros(num_wts)
         np.add.at(static_loads, static_binding, matrix[:, period])
         static_totals += static_loads
-        if loads.sum() == 0:
-            continue
-        hot = int(np.argmax(loads))
-        cold = int(np.argmin(loads))
-        # An idle coldest WT makes any hot traffic exceed the trigger
-        # (hottest > ratio x 0), matching the production condition.
-        if loads[hot] > config.trigger_ratio * loads[cold]:
+        decision = wt_swap_decision(loads, config.trigger_ratio)
+        if decision is not None:
+            hot, cold = decision
             swaps += 1
             hot_qps = binding == hot
             cold_qps = binding == cold

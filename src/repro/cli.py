@@ -6,6 +6,9 @@ Usage::
     ebs-repro run table3 --scale small --seed 7
     ebs-repro run all --scale medium --telemetry out/telemetry.json
     ebs-repro run table3 -o results.json        # versioned result payload
+    ebs-repro balance plan --scale small -o plan.json --save-state state.json
+    ebs-repro balance apply --state state.json --plan plan.json
+    ebs-repro balance score --state state.json
     ebs-repro live --duration 10 --rate 100x --telemetry out/live.json
     ebs-repro live --rate 4x --serve 127.0.0.1:9377 \
         --slo 'live.decision_latency_us:p99<500'
@@ -391,6 +394,274 @@ def _cmd_export(args: argparse.Namespace) -> int:
             study.cleanup()
         _finish_telemetry(telemetry, args)
     return 0
+
+
+def _parse_balance_weights(text: str):
+    """``--weights NODE:WT:BS`` → :class:`repro.balance.ScoreWeights`."""
+    from repro.balance import ScoreWeights
+
+    parts = text.split(":")
+    if len(parts) != 3:
+        raise ReproError(
+            f"--weights takes NODE:WT:BS (e.g. 1:1:2), got {text!r}"
+        )
+    try:
+        node, wt, bs = (float(part) for part in parts)
+    except ValueError as error:
+        raise ReproError(
+            f"--weights components must be numbers: {text!r}"
+        ) from error
+    return ScoreWeights(node=node, wt=wt, bs=bs)
+
+
+def _parse_id_csv(text: Optional[str], flag: str) -> "frozenset[int]":
+    """A comma-separated id list flag → frozenset of ints."""
+    if not text:
+        return frozenset()
+    try:
+        return frozenset(
+            int(part) for part in text.split(",") if part.strip()
+        )
+    except ValueError as error:
+        raise ReproError(
+            f"{flag} takes comma-separated integer ids, got {text!r}"
+        ) from error
+
+
+def _balance_state(args: argparse.Namespace):
+    """Load (``--state``) or simulate (``--scale/--seed/--dc``) a state."""
+    from repro.balance import ClusterState
+
+    if args.state:
+        try:
+            state = ClusterState.load(args.state)
+        except OSError as error:
+            raise ReproError(
+                f"cannot read cluster state {args.state}: {error}"
+            ) from error
+        _LOG.info(
+            "loaded cluster state from %s (%d QPs, %d segments)",
+            args.state, state.num_qps, state.num_segments,
+        )
+    else:
+        study = _study(args)
+        try:
+            study.build(workers=args.workers)
+            results = study.results
+            if not 0 <= args.dc < len(results):
+                raise ReproError(
+                    f"--dc must be in [0, {len(results) - 1}] for this "
+                    f"study, got {args.dc}"
+                )
+            state = ClusterState.from_simulation(
+                results[args.dc], direction=args.direction
+            )
+        finally:
+            study.cleanup()
+    if args.save_state:
+        try:
+            state.save(args.save_state)
+        except OSError as error:
+            raise ReproError(
+                f"cluster state was NOT written to {args.save_state}: "
+                f"{error}"
+            ) from error
+        _LOG.info("wrote cluster state to %s", args.save_state)
+    return state
+
+
+def _blackout_suppresses_moves(args: argparse.Namespace) -> bool:
+    """``--fault-plan`` with a migration blackout implies no segment moves.
+
+    A plan is an *intent to migrate*: emitting segment moves while the
+    operator has declared a migration blackout would schedule exactly the
+    traffic the blackout forbids, so those moves are suppressed (the
+    compute-side families are unaffected — rebinds are node-local).
+    """
+    if not getattr(args, "fault_plan", None):
+        return False
+    from repro.faults.plan import FaultKind, FaultPlan
+
+    plan = FaultPlan.load(args.fault_plan)
+    blackouts = plan.events_of(FaultKind.MIGRATION_BLACKOUT)
+    if not blackouts:
+        return False
+    _LOG.info(
+        "fault plan %s declares %d migration blackout(s); suppressing "
+        "segment moves for this plan (implied --no-segment-moves)",
+        args.fault_plan, len(blackouts),
+    )
+    return True
+
+
+def _print_plan_summary(plan) -> None:
+    by_kind = plan.moves_by_kind()
+    kinds = ", ".join(
+        f"{count} {kind}" for kind, count in sorted(by_kind.items()) if count
+    )
+    print(
+        f"planner {plan.planner}: {plan.num_moves} move(s)"
+        + (f" ({kinds})" if kinds else "")
+    )
+    print(
+        f"badness {plan.initial_score:.6f} -> {plan.final_score:.6f} "
+        f"(gain {plan.initial_score - plan.final_score:+.6f})"
+    )
+
+
+def _cmd_balance(args: argparse.Namespace) -> int:
+    from repro.balance import (
+        DEFAULT_MIN_GAIN,
+        BalanceConfig,
+        MovePlan,
+        ScoreWeights,
+        TriggerConfig,
+        badness,
+        dimension_covs,
+        fixed_trigger_plan,
+        plan_moves,
+        state_summary,
+    )
+
+    telemetry = _start_telemetry(args)
+    try:
+        state = _balance_state(args)
+        weights = (
+            _parse_balance_weights(args.weights)
+            if args.weights
+            else ScoreWeights()
+        )
+
+        if args.mode == "score":
+            covs = dimension_covs(state)
+            summary = state_summary(state)
+            print(
+                f"state: {summary['num_qps']} QPs over "
+                f"{summary['num_compute_nodes']} nodes x "
+                f"{state.workers_per_node} WTs/node, "
+                f"{summary['num_segments']} segments over "
+                f"{summary['num_block_servers']} BS"
+            )
+            print(
+                f"badness {badness(state, weights):.6f} "
+                f"(node {covs['node']:.6f}, wt {covs['wt']:.6f}, "
+                f"bs {covs['bs']:.6f})"
+            )
+            if args.output:
+                payload = {
+                    "badness": badness(state, weights),
+                    "dimension_covs": covs,
+                    "weights": weights.to_dict(),
+                    "state_digest": state.digest(),
+                    "summary": summary,
+                }
+                Path(args.output).write_text(
+                    json.dumps(payload, sort_keys=True, indent=2) + "\n"
+                )
+                _LOG.info("wrote score report to %s", args.output)
+            return 0
+
+        no_segment_moves = (
+            args.no_segment_moves or _blackout_suppresses_moves(args)
+        )
+
+        if args.mode == "plan":
+            exclusions = {
+                "exclude_qps": _parse_id_csv(args.exclude_qps, "--exclude-qps"),
+                "exclude_vds": _parse_id_csv(args.exclude_vds, "--exclude-vds"),
+                "exclude_segments": _parse_id_csv(
+                    args.exclude_segments, "--exclude-segments"
+                ),
+            }
+            if args.planner == "fixed-trigger":
+                if any(exclusions.values()) or args.no_vd_rehomes:
+                    raise ReproError(
+                        "--exclude-* and --no-vd-rehomes configure the "
+                        "greedy planner; the fixed-trigger planner has "
+                        "no pinning (that asymmetry is the point of the "
+                        "head-to-head)"
+                    )
+                plan = fixed_trigger_plan(
+                    state,
+                    TriggerConfig(
+                        trigger_ratio=args.trigger_ratio,
+                        weights=weights,
+                        no_qp_rebinds=args.no_qp_rebinds,
+                        no_segment_moves=no_segment_moves,
+                    ),
+                )
+            else:
+                plan = plan_moves(
+                    state,
+                    BalanceConfig(
+                        weights=weights,
+                        min_gain=(
+                            args.min_gain
+                            if args.min_gain is not None
+                            else DEFAULT_MIN_GAIN
+                        ),
+                        max_moves=args.max_moves,
+                        no_qp_rebinds=args.no_qp_rebinds,
+                        no_vd_rehomes=args.no_vd_rehomes,
+                        no_segment_moves=no_segment_moves,
+                        **exclusions,
+                    ),
+                )
+            _print_plan_summary(plan)
+            if args.output:
+                try:
+                    plan.save(args.output)
+                except OSError as error:
+                    raise ReproError(
+                        f"move plan was NOT written to {args.output}: "
+                        f"{error}"
+                    ) from error
+                _LOG.info("wrote move plan to %s", args.output)
+            return 0
+
+        # apply
+        if not args.plan_file:
+            raise ReproError(
+                "balance apply needs --plan FILE "
+                "(produce one with 'ebs-repro balance plan -o FILE')"
+            )
+        try:
+            plan = MovePlan.load(args.plan_file)
+        except OSError as error:
+            raise ReproError(
+                f"cannot read move plan {args.plan_file}: {error}"
+            ) from error
+        applied = plan.apply_to(state.copy())
+        print(
+            f"applied {plan.num_moves} move(s) from {args.plan_file}: "
+            f"badness {plan.initial_score:.6f} -> {plan.final_score:.6f}"
+        )
+        # Replan against the applied state with the plan's own embedded
+        # config: a full greedy plan must leave nothing on the table
+        # (the idempotence contract the property suite pins).
+        if plan.planner == "greedy":
+            remaining = plan_moves(
+                applied, BalanceConfig.from_dict(plan.config)
+            )
+        elif plan.planner == "fixed_trigger":
+            remaining = fixed_trigger_plan(
+                applied, TriggerConfig.from_dict(plan.config)
+            )
+        else:
+            raise ReproError(f"unknown planner {plan.planner!r} in plan")
+        print(f"replan with embedded config: {remaining.num_moves} move(s)")
+        if args.output:
+            try:
+                applied.save(args.output)
+            except OSError as error:
+                raise ReproError(
+                    f"applied state was NOT written to {args.output}: "
+                    f"{error}"
+                ) from error
+            _LOG.info("wrote applied cluster state to %s", args.output)
+        return 0
+    finally:
+        _finish_telemetry(telemetry, args)
 
 
 def _parse_rate(text: str) -> Optional[float]:
@@ -1204,6 +1475,163 @@ def build_parser() -> argparse.ArgumentParser:
         "friendly)",
     )
 
+    balance = sub.add_parser(
+        "balance",
+        help="hbal-style global balancing: plan, apply, or score a "
+        "cluster snapshot",
+    )
+    balance.add_argument(
+        "mode",
+        choices=("plan", "apply", "score"),
+        help="plan: compute a move plan; apply: replay a saved plan "
+        "onto the state (verified); score: report badness only "
+        "(dry run)",
+    )
+    balance.add_argument("--scale", choices=_SCALES, default="small")
+    balance.add_argument("--seed", type=int, default=7)
+    balance.add_argument(
+        "--dc",
+        type=int,
+        default=0,
+        help="which simulated DC to snapshot (0-based)",
+    )
+    balance.add_argument(
+        "--direction",
+        choices=("read", "write", "total"),
+        default="total",
+        help="traffic direction the utilizations aggregate",
+    )
+    balance.add_argument(
+        "--state",
+        metavar="FILE",
+        default=None,
+        help="load the ClusterState snapshot from FILE instead of "
+        "simulating one (fast path; see --save-state)",
+    )
+    balance.add_argument(
+        "--save-state",
+        metavar="FILE",
+        default=None,
+        dest="save_state",
+        help="write the (loaded or simulated) snapshot as canonical JSON",
+    )
+    balance.add_argument(
+        "--plan",
+        metavar="FILE",
+        default=None,
+        dest="plan_file",
+        help="(apply) the move plan to replay; its pinned state digest "
+        "and every per-move score are re-verified exactly",
+    )
+    balance.add_argument(
+        "--planner",
+        choices=("greedy", "fixed-trigger"),
+        default="greedy",
+        help="greedy: hbal-style descent to the min-gain floor; "
+        "fixed-trigger: the paper's threshold mechanisms (§4.3/§6)",
+    )
+    balance.add_argument(
+        "--min-gain",
+        type=float,
+        default=None,
+        dest="min_gain",
+        metavar="GAIN",
+        help="stop when the best move's badness gain drops below GAIN",
+    )
+    balance.add_argument(
+        "--max-moves",
+        type=int,
+        default=128,
+        dest="max_moves",
+        metavar="N",
+        help="plan at most N moves",
+    )
+    balance.add_argument(
+        "--weights",
+        metavar="NODE:WT:BS",
+        default=None,
+        help="badness dimension weights (default 1:1:1)",
+    )
+    balance.add_argument(
+        "--trigger-ratio",
+        type=float,
+        default=1.2,
+        dest="trigger_ratio",
+        metavar="RATIO",
+        help="(fixed-trigger) hot/cold ratio that fires a trigger",
+    )
+    balance.add_argument(
+        "--no-qp-rebinds",
+        action="store_true",
+        dest="no_qp_rebinds",
+        help="exclude the QP->WT rebind move family",
+    )
+    balance.add_argument(
+        "--no-vd-rehomes",
+        action="store_true",
+        dest="no_vd_rehomes",
+        help="exclude the VD re-home move family (greedy only)",
+    )
+    balance.add_argument(
+        "--no-segment-moves",
+        action="store_true",
+        dest="no_segment_moves",
+        help="exclude the segment-migration move family",
+    )
+    balance.add_argument(
+        "--exclude-qps",
+        metavar="IDS",
+        default=None,
+        dest="exclude_qps",
+        help="comma-separated QP ids pinned in place (greedy only)",
+    )
+    balance.add_argument(
+        "--exclude-vds",
+        metavar="IDS",
+        default=None,
+        dest="exclude_vds",
+        help="comma-separated VD ids pinned in place, QPs included "
+        "(greedy only)",
+    )
+    balance.add_argument(
+        "--exclude-segments",
+        metavar="IDS",
+        default=None,
+        dest="exclude_segments",
+        help="comma-separated segment ids pinned in place (greedy only)",
+    )
+    balance.add_argument(
+        "--fault-plan",
+        metavar="FILE",
+        default=None,
+        dest="fault_plan",
+        help="fold a fault schedule into the simulated build; a "
+        "migration_blackout event also suppresses segment moves "
+        "(see docs/fault-injection.md)",
+    )
+    balance.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process fan-out for the simulation build (seed-stable)",
+    )
+    balance.add_argument(
+        "--telemetry",
+        metavar="FILE",
+        default=None,
+        help="record balance.* telemetry (spans, counters, gain "
+        "histogram) and write it here",
+    )
+    balance.add_argument(
+        "-o",
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="plan: write the move plan JSON; apply: write the applied "
+        "state; score: write the score report",
+    )
+    _add_streaming_flags(balance)
+
     export = sub.add_parser(
         "export-dataset", help="simulate and write the datasets to disk"
     )
@@ -1361,6 +1789,7 @@ def main(argv: "list[str] | None" = None) -> int:
     handlers = {
         "list": _cmd_list,
         "run": _cmd_run,
+        "balance": _cmd_balance,
         "live": _cmd_live,
         "top": _cmd_top,
         "export-dataset": _cmd_export,

@@ -28,3 +28,7 @@ class SweepError(ReproError):
 
 class LiveError(ReproError):
     """The live ingestion pipeline failed or shut down uncleanly."""
+
+
+class BalanceError(ReproError):
+    """A balance move plan is invalid or cannot be applied."""

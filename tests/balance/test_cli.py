@@ -1,0 +1,168 @@
+"""The ``ebs-repro balance`` command: plan, apply, and score modes.
+
+Everything runs through the fast ``--state FILE`` path (a serialized
+:func:`random_cluster_state`), which is also what the CI smoke job does —
+no study build, sub-second per invocation.
+"""
+
+import json
+
+import pytest
+
+from repro.balance import ClusterState, MovePlan, random_cluster_state
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def state_file(tmp_path):
+    path = tmp_path / "state.json"
+    random_cluster_state(7).save(path)
+    return str(path)
+
+
+class TestParser:
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["balance", "plan"])
+        assert args.mode == "plan"
+        assert args.planner == "greedy"
+        assert args.scale == "small" and args.seed == 7
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["balance", "optimize"])
+
+
+class TestPlanMode:
+    def test_plan_writes_a_loadable_deterministic_plan(
+        self, state_file, tmp_path, capsys
+    ):
+        out = tmp_path / "plan.json"
+        argv = [
+            "balance", "plan", "--state", state_file,
+            "--max-moves", "4096", "-o", str(out),
+        ]
+        assert main(argv) == 0
+        assert "planner greedy" in capsys.readouterr().out
+        first = out.read_text()
+        plan = MovePlan.from_json(first)
+        assert plan.final_score < plan.initial_score
+        # Byte-identical on a re-run: the determinism acceptance bar.
+        assert main(argv) == 0
+        assert out.read_text() == first
+
+    def test_fixed_trigger_planner(self, state_file, capsys):
+        code = main([
+            "balance", "plan", "--state", state_file,
+            "--planner", "fixed-trigger",
+        ])
+        assert code == 0
+        assert "planner fixed_trigger" in capsys.readouterr().out
+
+    def test_fixed_trigger_rejects_greedy_only_flags(self, state_file, capsys):
+        code = main([
+            "balance", "plan", "--state", state_file,
+            "--planner", "fixed-trigger", "--exclude-qps", "1,2",
+        ])
+        assert code == 1
+        assert "greedy planner" in capsys.readouterr().err
+
+    def test_family_flags_reach_the_planner(self, state_file, tmp_path):
+        out = tmp_path / "plan.json"
+        assert main([
+            "balance", "plan", "--state", state_file,
+            "--no-segment-moves", "--no-qp-rebinds", "-o", str(out),
+        ]) == 0
+        plan = MovePlan.from_json(out.read_text())
+        kinds = {p.move.kind.value for p in plan.moves}
+        assert kinds <= {"vd_rehome"}
+
+    def test_bad_weights_fail_cleanly(self, state_file, capsys):
+        assert main([
+            "balance", "plan", "--state", state_file, "--weights", "1:2",
+        ]) == 1
+        assert "NODE:WT:BS" in capsys.readouterr().err
+
+    def test_blackout_fault_plan_suppresses_segment_moves(
+        self, state_file, tmp_path, capsys
+    ):
+        fault_plan = tmp_path / "faults.json"
+        fault_plan.write_text(json.dumps({
+            "policy": "redirect",
+            "events": [
+                {"kind": "migration_blackout", "start_s": 0, "end_s": 60},
+            ],
+        }))
+        out = tmp_path / "plan.json"
+        assert main([
+            "balance", "plan", "--state", state_file,
+            "--fault-plan", str(fault_plan), "-o", str(out),
+        ]) == 0
+        assert "suppressing segment moves" in capsys.readouterr().err
+        plan = MovePlan.from_json(out.read_text())
+        assert all(p.move.kind.value != "segment_migrate" for p in plan.moves)
+
+
+class TestApplyMode:
+    def test_apply_verifies_and_replans_empty(self, state_file, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        assert main([
+            "balance", "plan", "--state", state_file,
+            "--max-moves", "4096", "-o", str(plan_path),
+        ]) == 0
+        capsys.readouterr()
+        applied_path = tmp_path / "applied.json"
+        assert main([
+            "balance", "apply", "--state", state_file,
+            "--plan", str(plan_path), "-o", str(applied_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "applied" in out
+        # A full greedy plan leaves nothing on the table.
+        assert "replan with embedded config: 0 move(s)" in out
+        applied = ClusterState.load(applied_path)
+        assert applied.num_qps == ClusterState.load(state_file).num_qps
+
+    def test_apply_requires_a_plan(self, state_file, capsys):
+        assert main(["balance", "apply", "--state", state_file]) == 1
+        assert "--plan" in capsys.readouterr().err
+
+    def test_apply_refuses_a_foreign_state(self, state_file, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        assert main([
+            "balance", "plan", "--state", state_file, "-o", str(plan_path),
+        ]) == 0
+        other = tmp_path / "other.json"
+        random_cluster_state(8).save(other)
+        capsys.readouterr()
+        assert main([
+            "balance", "apply", "--state", str(other),
+            "--plan", str(plan_path),
+        ]) == 1
+        assert "different state" in capsys.readouterr().err
+
+
+class TestScoreMode:
+    def test_score_reports_badness_and_covs(self, state_file, tmp_path, capsys):
+        out = tmp_path / "score.json"
+        assert main([
+            "balance", "score", "--state", state_file, "-o", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "badness" in text and "bs" in text
+        payload = json.loads(out.read_text())
+        assert set(payload) >= {"badness", "dimension_covs", "state_digest"}
+        assert payload["state_digest"] == ClusterState.load(state_file).digest()
+
+    def test_save_state_round_trips(self, state_file, tmp_path):
+        saved = tmp_path / "copy.json"
+        assert main([
+            "balance", "score", "--state", state_file,
+            "--save-state", str(saved),
+        ]) == 0
+        assert saved.read_text() == open(state_file).read()
+
+    def test_missing_state_file_fails_cleanly(self, tmp_path, capsys):
+        assert main([
+            "balance", "score", "--state", str(tmp_path / "nope.json"),
+        ]) == 1
+        assert "cannot read cluster state" in capsys.readouterr().err

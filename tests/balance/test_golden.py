@@ -1,0 +1,42 @@
+"""Pinned golden digests: catch silent descent-order regressions.
+
+The greedy planner's output is a pure function of ``(state, config)``;
+these sha256 pins freeze one nontrivial trajectory.  If a change to the
+candidate ranking, tie-breaking, or serialization alters any byte of the
+plan, this fails — which is the point.  Update the pins only for an
+*intentional* planner change, and say so in the commit.
+"""
+
+from repro.balance import BalanceConfig, plan_moves, random_cluster_state
+
+GOLDEN_SEED = 11
+GOLDEN_STATE_DIGEST = (
+    "122b0e035ee5a26616860e2f83382503f1a10a8d27166dd8d7af093271a07af5"
+)
+GOLDEN_PLAN_DIGEST = (
+    "411697b60c6795a3e9a53cc81c9299b40eb539b6b13c7e8c5072e5d1ea0fe910"
+)
+GOLDEN_NUM_MOVES = 58
+
+
+def test_generator_digest_is_pinned():
+    assert random_cluster_state(GOLDEN_SEED).digest() == GOLDEN_STATE_DIGEST
+
+
+def test_plan_digest_is_pinned():
+    state = random_cluster_state(GOLDEN_SEED)
+    plan = plan_moves(state, BalanceConfig(max_moves=4096))
+    assert plan.num_moves == GOLDEN_NUM_MOVES
+    assert plan.digest() == GOLDEN_PLAN_DIGEST
+
+
+def test_generator_seeds_are_independent():
+    a = random_cluster_state(GOLDEN_SEED)
+    b = random_cluster_state(GOLDEN_SEED + 1)
+    assert a.digest() != b.digest()
+
+
+def test_generator_labels_are_independent_streams():
+    a = random_cluster_state(GOLDEN_SEED, label="a")
+    b = random_cluster_state(GOLDEN_SEED, label="b")
+    assert a.digest() != b.digest()

@@ -1,0 +1,164 @@
+"""Property-based MovePlan invariants (seeded, via tests/strategies.py).
+
+The four invariant families from the issue:
+
+- **score strictly decreases** — every planned move's canonical gain is
+  positive and at least ``min_gain``;
+- **min-gain respected** — raising the threshold can only shorten a plan;
+- **exclusions honored** — pinned entities never appear in a plan and
+  disabled families emit no moves;
+- **bit-identical serialization** — plan JSON round-trips byte-for-byte
+  and the same (state, config) always yields the same bytes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.balance import (
+    BalanceConfig,
+    ClusterState,
+    MoveKind,
+    MovePlan,
+    badness,
+    plan_moves,
+)
+
+from tests.strategies import cluster_states, examples, rng_for
+
+STATES = examples(cluster_states, 12, seed=3)
+
+
+def _ids(plan, kind):
+    return [p.move.entity for p in plan.moves if p.move.kind is kind]
+
+
+class TestDescentProperties:
+    @pytest.mark.parametrize("state", STATES)
+    def test_score_strictly_decreases_per_move(self, state):
+        config = BalanceConfig()
+        plan = plan_moves(state, config)
+        score = plan.initial_score
+        for planned in plan.moves:
+            assert planned.score_after < score
+            assert planned.gain >= config.min_gain
+            # The recorded trajectory is internally consistent, exactly.
+            assert score - planned.gain == planned.score_after
+            score = planned.score_after
+        assert plan.final_score == score
+
+    @pytest.mark.parametrize("state", STATES)
+    def test_recorded_scores_match_fresh_recomputes(self, state):
+        plan = plan_moves(state)
+        work = state.copy()
+        assert badness(work, plan.weights) == plan.initial_score
+        for planned in plan.moves:
+            from repro.balance import apply_move
+
+            apply_move(work, planned.move)
+            assert badness(work, plan.weights) == planned.score_after
+
+    @pytest.mark.parametrize("state", STATES)
+    def test_raising_min_gain_never_lengthens_the_plan(self, state):
+        loose = plan_moves(state, BalanceConfig(min_gain=1e-6))
+        tight = plan_moves(state, BalanceConfig(min_gain=1e-3))
+        assert tight.num_moves <= loose.num_moves
+        assert all(p.gain >= 1e-3 for p in tight.moves)
+
+    @pytest.mark.parametrize("state", STATES)
+    def test_max_moves_is_a_hard_cap(self, state):
+        plan = plan_moves(state, BalanceConfig(max_moves=3))
+        assert plan.num_moves <= 3
+
+    @pytest.mark.parametrize("state", STATES[:6])
+    def test_apply_to_reproduces_the_final_score(self, state):
+        plan = plan_moves(state)
+        applied = plan.apply_to(state.copy())
+        assert badness(applied, plan.weights) == plan.final_score
+
+
+class TestExclusionProperties:
+    @pytest.mark.parametrize("state", STATES)
+    def test_family_switches_disable_their_moves(self, state):
+        plan = plan_moves(
+            state,
+            BalanceConfig(no_qp_rebinds=True, no_segment_moves=True),
+        )
+        kinds = {p.move.kind for p in plan.moves}
+        assert kinds <= {MoveKind.VD_REHOME}
+
+    @pytest.mark.parametrize("state", STATES)
+    def test_pinned_entities_never_move(self, state):
+        rng = rng_for(99)
+        exclude_qps = frozenset(
+            int(q) for q in rng.integers(0, max(state.num_qps, 1), size=5)
+        )
+        exclude_vds = frozenset(
+            int(v) for v in rng.integers(0, int(state.qp_vd.max()) + 1, size=3)
+        ) if state.num_qps else frozenset()
+        exclude_segments = frozenset(
+            int(s) for s in rng.integers(0, max(state.num_segments, 1), size=5)
+        )
+        plan = plan_moves(
+            state,
+            BalanceConfig(
+                exclude_qps=exclude_qps,
+                exclude_vds=exclude_vds,
+                exclude_segments=exclude_segments,
+            ),
+        )
+        assert not set(_ids(plan, MoveKind.QP_REBIND)) & exclude_qps
+        assert not set(_ids(plan, MoveKind.VD_REHOME)) & exclude_vds
+        assert not set(_ids(plan, MoveKind.SEGMENT_MIGRATE)) & exclude_segments
+        # A pinned QP also pins its VD (hbal semantics).
+        pinned_vds = {int(state.qp_vd[q]) for q in exclude_qps
+                      if q < state.num_qps}
+        assert not set(_ids(plan, MoveKind.VD_REHOME)) & pinned_vds
+
+    @pytest.mark.parametrize("state", STATES[:6])
+    def test_vetoed_destinations_never_receive(self, state):
+        exclude_bs = frozenset({0})
+        plan = plan_moves(state, BalanceConfig(exclude_bs=exclude_bs))
+        dests = [
+            p.move.dest
+            for p in plan.moves
+            if p.move.kind is MoveKind.SEGMENT_MIGRATE
+        ]
+        assert 0 not in dests
+
+    def test_all_excluded_emits_an_empty_plan(self):
+        state = cluster_states(rng_for(17))
+        plan = plan_moves(
+            state,
+            BalanceConfig(
+                no_qp_rebinds=True,
+                no_vd_rehomes=True,
+                no_segment_moves=True,
+            ),
+        )
+        assert plan.is_empty
+        assert plan.final_score == plan.initial_score
+
+
+class TestSerializationProperties:
+    @pytest.mark.parametrize("state", STATES)
+    def test_plan_json_round_trips_byte_identically(self, state):
+        plan = plan_moves(state)
+        text = plan.to_json()
+        assert MovePlan.from_json(text).to_json() == text
+
+    @pytest.mark.parametrize("state", STATES[:6])
+    def test_same_inputs_same_bytes(self, state):
+        first = plan_moves(state, BalanceConfig())
+        second = plan_moves(
+            ClusterState.from_json(state.to_json()), BalanceConfig()
+        )
+        assert first.to_json() == second.to_json()
+        assert first.digest() == second.digest()
+
+    @pytest.mark.parametrize("state", STATES[:6])
+    def test_embedded_config_round_trips(self, state):
+        config = BalanceConfig(
+            min_gain=1e-5, max_moves=16, exclude_qps=frozenset({1, 2})
+        )
+        plan = plan_moves(state, config)
+        assert BalanceConfig.from_dict(plan.config) == config

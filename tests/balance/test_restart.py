@@ -1,0 +1,88 @@
+"""Differential and idempotence properties: restart stability.
+
+A plan is a pure function of ``(state, config)`` and every recorded
+score is an exact recompute, so:
+
+- re-planning an already plan-applied cluster emits an empty plan
+  (when the original plan terminated at the min-gain floor);
+- truncating a plan at *any* prefix, applying it, and re-planning
+  reproduces exactly the remaining suffix — a killed balancer resumes
+  onto the same final move sequence.
+"""
+
+import pytest
+
+from repro.balance import BalanceConfig, MovePlan, plan_moves
+from repro.util.errors import BalanceError
+
+from tests.strategies import cluster_states, examples, rng_for
+
+STATES = examples(cluster_states, 8, seed=5)
+
+#: High enough that every STATES plan terminates at the min-gain floor
+#: rather than the cap (asserted below) — idempotence needs a full
+#: descent.
+FULL = BalanceConfig(max_moves=4096)
+
+
+class TestIdempotence:
+    @pytest.mark.parametrize("state", STATES)
+    def test_replanning_an_applied_cluster_is_empty(self, state):
+        plan = plan_moves(state, FULL)
+        assert plan.num_moves < FULL.max_moves  # terminated at the floor
+        applied = plan.apply_to(state.copy())
+        again = plan_moves(applied, FULL)
+        assert again.is_empty
+        assert again.initial_score == plan.final_score
+
+    def test_replanning_a_balanced_cluster_is_empty(self):
+        state = cluster_states(rng_for(23))
+        balanced = plan_moves(state, FULL).apply_to(state.copy())
+        assert plan_moves(balanced, FULL).is_empty
+
+
+class TestRestartStability:
+    @pytest.mark.parametrize("state", STATES)
+    def test_any_prefix_resumes_onto_the_same_suffix(self, state):
+        plan = plan_moves(state, FULL)
+        if plan.is_empty:
+            pytest.skip("empty plan has no prefixes to resume from")
+        cuts = sorted({0, 1, plan.num_moves // 2, plan.num_moves - 1})
+        for cut in cuts:
+            prefix = plan.truncate(cut)
+            partial = prefix.apply_to(state.copy())
+            resumed = plan_moves(partial, FULL)
+            assert [p.move for p in resumed.moves] == [
+                p.move for p in plan.moves[cut:]
+            ]
+            assert [p.score_after for p in resumed.moves] == [
+                p.score_after for p in plan.moves[cut:]
+            ]
+            assert resumed.final_score == plan.final_score
+
+    def test_truncate_bounds(self):
+        state = cluster_states(rng_for(29))
+        plan = plan_moves(state, FULL)
+        assert plan.truncate(0).is_empty
+        assert plan.truncate(plan.num_moves).to_json() == plan.to_json()
+        with pytest.raises(BalanceError, match="truncate"):
+            plan.truncate(plan.num_moves + 1)
+
+    def test_apply_refuses_a_foreign_state(self):
+        first = cluster_states(rng_for(31))
+        second = cluster_states(rng_for(32))
+        plan = plan_moves(first, FULL)
+        with pytest.raises(BalanceError, match="different state"):
+            plan.apply_to(second.copy())
+
+    def test_plan_survives_disk_round_trip_and_still_applies(self, tmp_path):
+        state = cluster_states(rng_for(37))
+        plan = plan_moves(state, FULL)
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        loaded = MovePlan.load(path)
+        assert loaded.to_json() == plan.to_json()
+        applied = loaded.apply_to(state.copy())
+        from repro.balance import badness
+
+        assert badness(applied, loaded.weights) == plan.final_score

@@ -1,0 +1,80 @@
+"""Badness score and weight validation."""
+
+import numpy as np
+import pytest
+
+from repro.balance import ScoreWeights, badness, dimension_covs, safe_normalized_cov
+from repro.stats.skewness import normalized_cov
+from repro.util.errors import ConfigError
+
+from tests.balance.test_state import tiny_state
+
+
+class TestSafeNormalizedCov:
+    def test_degenerate_cases_score_zero(self):
+        assert safe_normalized_cov(np.zeros(0)) == 0.0
+        assert safe_normalized_cov(np.array([7.0])) == 0.0
+        assert safe_normalized_cov(np.zeros(5)) == 0.0
+
+    def test_matches_normalized_cov_on_real_vectors(self):
+        vector = np.array([1.0, 2.0, 3.0, 10.0])
+        assert safe_normalized_cov(vector) == normalized_cov(vector)
+
+    def test_uniform_vector_scores_zero(self):
+        assert safe_normalized_cov(np.full(6, 3.5)) == pytest.approx(0.0)
+
+    def test_one_hot_vector_scores_one(self):
+        vector = np.zeros(8)
+        vector[3] = 42.0
+        assert safe_normalized_cov(vector) == pytest.approx(1.0)
+
+
+class TestScoreWeights:
+    def test_defaults_are_uniform(self):
+        weights = ScoreWeights()
+        assert weights.total == 3.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigError, match="finite and >= 0"):
+            ScoreWeights(wt=-1.0)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ConfigError, match="not all be zero"):
+            ScoreWeights(node=0.0, wt=0.0, bs=0.0)
+
+    def test_round_trip(self):
+        weights = ScoreWeights(node=1.0, wt=0.5, bs=2.0)
+        assert ScoreWeights.from_dict(weights.to_dict()) == weights
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigError, match="unknown score weights"):
+            ScoreWeights.from_dict({"node": 1.0, "gpu": 1.0})
+
+
+class TestBadness:
+    def test_badness_is_weighted_average_of_covs(self):
+        state = tiny_state()
+        covs = dimension_covs(state)
+        weights = ScoreWeights(node=2.0, wt=1.0, bs=1.0)
+        expected = (
+            2.0 * covs["node"] + covs["wt"] + covs["bs"]
+        ) / 4.0
+        assert badness(state, weights) == expected
+
+    def test_zero_weight_ignores_a_dimension(self):
+        state = tiny_state()
+        weights = ScoreWeights(node=0.0, wt=0.0, bs=1.0)
+        assert badness(state, weights) == dimension_covs(state)["bs"]
+
+    def test_storage_only_state_scores_bs_dimension_only(self):
+        empty = np.zeros(0, dtype=np.int64)
+        state = tiny_state(
+            num_compute_nodes=0,
+            qp_node=empty,
+            qp_wt=empty.copy(),
+            qp_vd=empty.copy(),
+            qp_traffic=np.zeros(0),
+        )
+        covs = dimension_covs(state)
+        assert covs["node"] == 0.0 and covs["wt"] == 0.0
+        assert badness(state) == covs["bs"] / 3.0

@@ -1,0 +1,125 @@
+"""ClusterState validation, utilization accounting, and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.balance import ClusterState, qp_ids_of_vd, segment_ids_of_bs
+from repro.balance.state import state_summary
+from repro.util.errors import BalanceError
+
+
+def tiny_state(**overrides) -> ClusterState:
+    """2 nodes x 2 WTs, 3 QPs over 2 VDs, 4 segments over 2 BS."""
+    fields = dict(
+        workers_per_node=2,
+        num_compute_nodes=2,
+        num_block_servers=2,
+        qp_node=np.array([0, 0, 1], dtype=np.int64),
+        qp_wt=np.array([0, 1, 2], dtype=np.int64),
+        qp_vd=np.array([0, 0, 1], dtype=np.int64),
+        qp_traffic=np.array([4.0, 1.0, 2.0]),
+        seg_bs=np.array([0, 0, 1, 1], dtype=np.int64),
+        seg_vd=np.array([0, 0, 1, 1], dtype=np.int64),
+        seg_traffic=np.array([3.0, 1.0, 2.0, 2.0]),
+    )
+    fields.update(overrides)
+    return ClusterState(**fields)
+
+
+class TestValidate:
+    def test_tiny_state_is_valid(self):
+        tiny_state().validate()
+
+    def test_storage_only_state_is_valid(self):
+        empty = np.zeros(0, dtype=np.int64)
+        state = tiny_state(
+            num_compute_nodes=0,
+            qp_node=empty,
+            qp_wt=empty.copy(),
+            qp_vd=empty.copy(),
+            qp_traffic=np.zeros(0),
+        )
+        state.validate()
+        assert state.num_qps == 0 and state.num_segments == 4
+
+    def test_wt_off_its_node_rejected(self):
+        state = tiny_state(qp_wt=np.array([0, 1, 0], dtype=np.int64))
+        with pytest.raises(BalanceError, match="not on the QP's node"):
+            state.validate()
+
+    def test_vd_spanning_nodes_rejected(self):
+        state = tiny_state(
+            qp_node=np.array([0, 1, 1], dtype=np.int64),
+            qp_wt=np.array([0, 2, 3], dtype=np.int64),
+        )
+        with pytest.raises(BalanceError, match="span multiple nodes"):
+            state.validate()
+
+    def test_seg_bs_out_of_range_rejected(self):
+        state = tiny_state(seg_bs=np.array([0, 0, 1, 2], dtype=np.int64))
+        with pytest.raises(BalanceError, match="seg_bs out of range"):
+            state.validate()
+
+    def test_negative_traffic_rejected(self):
+        state = tiny_state(seg_traffic=np.array([3.0, -1.0, 2.0, 2.0]))
+        with pytest.raises(BalanceError, match="seg_traffic"):
+            state.validate()
+
+    def test_nan_traffic_rejected(self):
+        state = tiny_state(qp_traffic=np.array([4.0, np.nan, 2.0]))
+        with pytest.raises(BalanceError, match="qp_traffic"):
+            state.validate()
+
+
+class TestUtilization:
+    def test_vectors_accumulate_by_binding(self):
+        state = tiny_state()
+        assert state.node_utilization().tolist() == [5.0, 2.0]
+        assert state.wt_utilization().tolist() == [4.0, 1.0, 2.0, 0.0]
+        assert state.bs_utilization().tolist() == [4.0, 4.0]
+
+    def test_lookup_helpers(self):
+        state = tiny_state()
+        assert qp_ids_of_vd(state, 0).tolist() == [0, 1]
+        assert qp_ids_of_vd(state, 9).tolist() == []
+        assert segment_ids_of_bs(state, 1).tolist() == [2, 3]
+
+    def test_summary_shape(self):
+        summary = state_summary(tiny_state())
+        assert summary["num_qps"] == 3
+        assert summary["num_wts"] == 4
+        assert summary["bs_utilization"] == {
+            "min": 4.0, "mean": 4.0, "max": 4.0,
+        }
+
+
+class TestSerialization:
+    def test_json_round_trips_byte_identically(self):
+        state = tiny_state()
+        text = state.to_json()
+        assert ClusterState.from_json(text).to_json() == text
+
+    def test_digest_tracks_content(self):
+        state = tiny_state()
+        other = tiny_state(qp_traffic=np.array([4.0, 1.0, 2.5]))
+        assert state.digest() == tiny_state().digest()
+        assert state.digest() != other.digest()
+
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "state.json"
+        state = tiny_state()
+        state.save(path)
+        loaded = ClusterState.load(path)
+        assert loaded.to_json() == state.to_json()
+
+    def test_schema_version_checked(self):
+        payload = tiny_state().to_dict()
+        payload["schema_version"] = 99
+        with pytest.raises(BalanceError, match="schema"):
+            ClusterState.from_dict(payload)
+
+    def test_copy_is_deep(self):
+        state = tiny_state()
+        clone = state.copy()
+        clone.qp_wt[0] = 1
+        assert state.qp_wt[0] == 0

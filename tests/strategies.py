@@ -115,6 +115,34 @@ def fault_plans_with_shape(
     )
 
 
+# -- balance strategies -------------------------------------------------------
+
+
+def cluster_state_shapes(rng: np.random.Generator):
+    """A small but non-degenerate cluster shape for the balance planner."""
+    from repro.balance.generate import StateShape
+
+    return StateShape(
+        num_compute_nodes=int(rng.integers(2, 9)),
+        workers_per_node=int(rng.integers(2, 5)),
+        num_block_servers=int(rng.integers(2, 13)),
+        num_vds=int(rng.integers(4, 33)),
+        max_qps_per_vd=int(rng.integers(1, 5)),
+        max_segments_per_vd=int(rng.integers(1, 9)),
+    )
+
+
+def cluster_states(rng: np.random.Generator):
+    """A skewed :class:`ClusterState` drawn against a random shape."""
+    from repro.balance.generate import random_cluster_state
+
+    return random_cluster_state(
+        int(rng.integers(0, 2**31)),
+        cluster_state_shapes(rng),
+        label="strategies",
+    )
+
+
 # -- streaming-engine strategies ---------------------------------------------
 
 
