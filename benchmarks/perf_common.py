@@ -42,8 +42,27 @@ RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
 
 #: Version of the BENCH_simulator.json layout.  Bumped to 2 when the
 #: per-section ``telemetry`` block (span timings + metric snapshots from
-#: :mod:`repro.obs`) was added; additions are backwards-compatible.
-BENCH_SCHEMA_VERSION = 2
+#: :mod:`repro.obs`) was added; bumped to 3 when the raw-speed-tier
+#: throughput **targets** (and each run's attainment against them) were
+#: recorded per section.  Additions are backwards-compatible.
+BENCH_SCHEMA_VERSION = 3
+
+#: Raw-speed-tier throughput targets (ROADMAP item 5).  These are
+#: aspirational ceilings recorded alongside every run — the regression
+#: gate stays relative (candidate vs committed baseline); absolute
+#: enforcement is opt-in via ``perf_gate.py --enforce-targets``.
+PERF_TARGETS: Dict[str, Dict[str, object]] = {
+    "simulator_pass1": {
+        "metric": "fleet_seconds_per_second_fast",
+        "target": 5_000_000,
+        "unit": "fleet-seconds/s",
+    },
+    "cache_replay": {
+        "metric": "ios_per_second_fast",
+        "target": 100_000_000,
+        "unit": "IOs/s",
+    },
+}
 
 #: Trace sampling rate shared by all perf scales (the study default).
 SAMPLING_RATE = 1.0 / 20.0
@@ -148,7 +167,13 @@ def tables_identical(a, b) -> bool:
 
 
 def merge_results(section: str, payload: dict, path: Path = RESULTS_PATH) -> None:
-    """Merge one benchmark section into the shared JSON results file."""
+    """Merge one benchmark section into the shared JSON results file.
+
+    Sections with a raw-speed target (:data:`PERF_TARGETS`) get a
+    ``target`` block recording the goal and this run's attainment, so
+    downstream consumers (the gate's step summary, ``perf_trend.py``)
+    need no knowledge of the target table.
+    """
     results: dict = {}
     if path.exists():
         results = json.loads(path.read_text())
@@ -157,6 +182,16 @@ def merge_results(section: str, payload: dict, path: Path = RESULTS_PATH) -> Non
         "python": platform.python_version(),
         "numpy": np.__version__,
     }
+    spec = PERF_TARGETS.get(section)
+    if spec is not None:
+        measured = payload.get(spec["metric"])
+        if isinstance(measured, (int, float)):
+            payload["target"] = {
+                "metric": spec["metric"],
+                "value": spec["target"],
+                "unit": spec["unit"],
+                "attainment": round(measured / spec["target"], 4),
+            }
     results["schema_version"] = BENCH_SCHEMA_VERSION
     results[section] = payload
     path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")

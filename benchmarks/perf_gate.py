@@ -25,6 +25,13 @@ Design points:
   with every gated metric slowed down 2x and asserts the comparison
   fails, then asserts the baseline passes against itself.  CI runs this
   before trusting the real comparison.
+- **Targets are advisory by default.**  Schema-v3 artifacts record the
+  raw-speed-tier targets (and attainment) per section; the gate reports
+  them in its output and ``--summary`` table but only fails on them
+  under the opt-in ``--enforce-targets`` flag.
+- ``--summary FILE`` appends a GitHub-flavored markdown table (baseline
+  vs candidate, the tolerance floor, targets and attainment) — CI points
+  it at ``$GITHUB_STEP_SUMMARY``.
 
 Exit codes: 0 gate passed (or self-test OK), 1 perf regression,
 2 malformed/missing/incomparable artifacts.
@@ -78,6 +85,76 @@ def _load(path: Path) -> Dict[str, Any]:
     return payload
 
 
+def _target_block(section: "Dict[str, Any] | None") -> "Dict[str, Any] | None":
+    """The section's recorded target block, if well-formed (schema v3)."""
+    if not isinstance(section, dict):
+        return None
+    target = section.get("target")
+    if (
+        isinstance(target, dict)
+        and isinstance(target.get("value"), (int, float))
+        and isinstance(target.get("attainment"), (int, float))
+    ):
+        return target
+    return None
+
+
+def evaluate(
+    baseline: Dict[str, Any],
+    candidate: Dict[str, Any],
+    tolerance: float,
+) -> "List[Dict[str, Any]]":
+    """One structured row per gate: measurements, verdict, target.
+
+    ``error`` rows carry a structural message (missing sections/metrics,
+    scale mismatches); measured rows carry baseline/candidate/floor plus
+    the candidate's recorded target block (``None`` pre-v3).
+    """
+    rows: List[Dict[str, Any]] = []
+    for gate in GATES:
+        row: Dict[str, Any] = {"gate": gate, "error": None}
+        base_section = baseline.get(gate.section)
+        cand_section = candidate.get(gate.section)
+        if not isinstance(base_section, dict) or not isinstance(
+            cand_section, dict
+        ):
+            row["error"] = (
+                f"{gate.section}: section missing from "
+                f"{'baseline' if not isinstance(base_section, dict) else 'candidate'}"
+            )
+            rows.append(row)
+            continue
+        if base_section.get("scale") != cand_section.get("scale"):
+            row["error"] = (
+                f"{gate.section}: scale mismatch "
+                f"(baseline={base_section.get('scale')!r}, "
+                f"candidate={cand_section.get('scale')!r}) — rerun the "
+                f"benchmarks at the baseline's scale"
+            )
+            rows.append(row)
+            continue
+        base = base_section.get(gate.metric)
+        cand = cand_section.get(gate.metric)
+        if not isinstance(base, (int, float)) or not isinstance(
+            cand, (int, float)
+        ):
+            row["error"] = (
+                f"{gate.section}.{gate.metric}: missing or non-numeric"
+            )
+            rows.append(row)
+            continue
+        row.update(
+            baseline=base,
+            candidate=cand,
+            floor=base * (1.0 - tolerance),
+            ratio=cand / base if base else float("inf"),
+            regressed=cand < base * (1.0 - tolerance),
+            target=_target_block(cand_section),
+        )
+        rows.append(row)
+    return rows
+
+
 def compare(
     baseline: Dict[str, Any],
     candidate: Dict[str, Any],
@@ -91,46 +168,100 @@ def compare(
     """
     failures: List[str] = []
     report: List[str] = []
-    for gate in GATES:
-        base_section = baseline.get(gate.section)
-        cand_section = candidate.get(gate.section)
-        if not isinstance(base_section, dict) or not isinstance(
-            cand_section, dict
-        ):
-            failures.append(
-                f"{gate.section}: section missing from "
-                f"{'baseline' if not isinstance(base_section, dict) else 'candidate'}"
-            )
+    for row in evaluate(baseline, candidate, tolerance):
+        if row["error"] is not None:
+            failures.append(row["error"])
             continue
-        if base_section.get("scale") != cand_section.get("scale"):
-            failures.append(
-                f"{gate.section}: scale mismatch "
-                f"(baseline={base_section.get('scale')!r}, "
-                f"candidate={cand_section.get('scale')!r}) — rerun the "
-                f"benchmarks at the baseline's scale"
-            )
-            continue
-        base = base_section.get(gate.metric)
-        cand = cand_section.get(gate.metric)
-        if not isinstance(base, (int, float)) or not isinstance(
-            cand, (int, float)
-        ):
-            failures.append(
-                f"{gate.section}.{gate.metric}: missing or non-numeric"
-            )
-            continue
-        floor = base * (1.0 - tolerance)
-        ratio = cand / base if base else float("inf")
+        gate = row["gate"]
         line = (
-            f"{gate.section}.{gate.metric}: candidate {cand:,.0f} "
-            f"{gate.unit} vs baseline {base:,.0f} "
-            f"({ratio:.2f}x, floor {floor:,.0f})"
+            f"{gate.section}.{gate.metric}: candidate {row['candidate']:,.0f} "
+            f"{gate.unit} vs baseline {row['baseline']:,.0f} "
+            f"({row['ratio']:.2f}x, floor {row['floor']:,.0f})"
         )
-        if cand < floor:
+        target = row["target"]
+        if target is not None:
+            line += (
+                f" [target {target['value']:,.0f}: "
+                f"{target['attainment']:.1%}]"
+            )
+        if row["regressed"]:
             failures.append(f"REGRESSION {line}")
         else:
             report.append(f"ok {line}")
     return failures, report
+
+
+def enforce_targets(candidate: Dict[str, Any]) -> List[str]:
+    """Opt-in absolute check: every gated section must meet its target.
+
+    Requires a schema-v3 candidate (recorded target blocks); a missing
+    block is a structural failure, not a silent pass.
+    """
+    failures: List[str] = []
+    for gate in GATES:
+        target = _target_block(candidate.get(gate.section))
+        if target is None:
+            failures.append(
+                f"{gate.section}: no recorded target block (regenerate the "
+                f"artifact with a schema>=3 benchmark run)"
+            )
+        elif target["attainment"] < 1.0:
+            failures.append(
+                f"TARGET MISS {gate.section}.{gate.metric}: "
+                f"{target['attainment']:.1%} of the "
+                f"{target['value']:,.0f} {gate.unit} target"
+            )
+    return failures
+
+
+def write_summary(
+    path: Path,
+    rows: "List[Dict[str, Any]]",
+    tolerance: float,
+    title: str = "Perf gate",
+) -> None:
+    """Append a GitHub-flavored markdown table (``$GITHUB_STEP_SUMMARY``)."""
+    lines = [
+        f"### {title}",
+        "",
+        f"Tolerance: candidate may be up to **{tolerance:.0%}** slower "
+        f"than the committed baseline (one-sided; faster never fails).",
+        "",
+        "| metric | baseline | candidate | delta | floor | target "
+        "| attainment | status |",
+        "|---|---:|---:|---:|---:|---:|---:|---|",
+    ]
+    for row in rows:
+        gate = row["gate"]
+        name = f"`{gate.section}.{gate.metric}`"
+        if row["error"] is not None:
+            lines.append(
+                f"| {name} | — | — | — | — | — | — | error: {row['error']} |"
+            )
+            continue
+        target = row["target"]
+        lines.append(
+            "| {name} | {base:,.0f} | {cand:,.0f} | {delta:+.1%} "
+            "| {floor:,.0f} | {tval} | {attain} | {status} |".format(
+                name=name,
+                base=row["baseline"],
+                cand=row["candidate"],
+                delta=row["ratio"] - 1.0,
+                floor=row["floor"],
+                tval=(
+                    f"{target['value']:,.0f}" if target is not None else "—"
+                ),
+                attain=(
+                    f"{target['attainment']:.1%}"
+                    if target is not None
+                    else "—"
+                ),
+                status="❌ regression" if row["regressed"] else "✅ ok",
+            )
+        )
+    lines.append("")
+    with open(path, "a") as fh:
+        fh.write("\n".join(lines) + "\n")
 
 
 def self_test(baseline: Dict[str, Any], tolerance: float) -> int:
@@ -187,6 +318,16 @@ def main(argv: "List[str] | None" = None) -> int:
         "--self-test", action="store_true",
         help="verify the gate catches an injected 2x slowdown, then exit",
     )
+    parser.add_argument(
+        "--summary", type=Path, default=None, metavar="FILE",
+        help="append a markdown gate table to FILE "
+        "(CI: point at $GITHUB_STEP_SUMMARY)",
+    )
+    parser.add_argument(
+        "--enforce-targets", action="store_true",
+        help="also fail when a gated metric is below its recorded "
+        "raw-speed target (advisory by default)",
+    )
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
         parser.error("--tolerance must be in [0, 1)")
@@ -196,13 +337,22 @@ def main(argv: "List[str] | None" = None) -> int:
         return self_test(baseline, args.tolerance)
 
     candidate = _load(args.candidate)
+    rows = evaluate(baseline, candidate, args.tolerance)
+    if args.summary is not None:
+        write_summary(args.summary, rows, args.tolerance)
     failures, report = compare(baseline, candidate, args.tolerance)
+    if args.enforce_targets:
+        failures.extend(enforce_targets(candidate))
     for line in report:
         print(line)
     if failures:
         for line in failures:
             print(f"perf-gate: {line}", file=sys.stderr)
-        structural = [f for f in failures if not f.startswith("REGRESSION")]
+        structural = [
+            f
+            for f in failures
+            if not f.startswith(("REGRESSION", "TARGET MISS"))
+        ]
         return 2 if structural and len(structural) == len(failures) else 1
     print(f"perf-gate passed (tolerance {args.tolerance:.0%})")
     return 0

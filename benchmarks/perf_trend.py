@@ -1,0 +1,189 @@
+"""Perf trend table: committed baselines vs freshly measured candidates.
+
+Where ``perf_gate.py`` *fails* CI on regressions, this tool *narrates*:
+it renders one before/after markdown table covering the three headline
+throughput figures —
+
+- pass-1 simulation (``simulator_pass1.fleet_seconds_per_second_fast``
+  from ``BENCH_simulator.json``),
+- cache replay (``cache_replay.ios_per_second_fast``, same artifact),
+- the live ingestion plane (``live.events_per_sec`` from
+  ``BENCH_live.json``)
+
+— against the committed ``benchmarks/BENCH_baseline.json`` /
+``benchmarks/BENCH_live_baseline.json``, including each metric's
+raw-speed target and attainment when the artifact records them
+(schema v3).  CI's ``perf-trend`` job appends the output to
+``$GITHUB_STEP_SUMMARY`` and uploads the raw JSON artifacts.
+
+Stdlib-only on purpose (like ``perf_gate.py``) so CI can run it without
+installing the package.  Missing artifacts render as ``n/a`` rows rather
+than failing — the trend is informational; the gate is the enforcer.
+Exit codes: 0 rendered (even with n/a rows), 2 malformed JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_baseline.json"
+DEFAULT_LIVE_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_live_baseline.json"
+DEFAULT_CANDIDATE = REPO_ROOT / "BENCH_simulator.json"
+DEFAULT_LIVE_CANDIDATE = REPO_ROOT / "BENCH_live.json"
+
+
+@dataclass(frozen=True)
+class Trend:
+    """One headline throughput figure tracked across runs."""
+
+    label: str
+    artifact: str  # "simulator" | "live"
+    section: str
+    metric: str
+    unit: str
+
+
+TRENDS = (
+    Trend(
+        "pass-1 simulation", "simulator", "simulator_pass1",
+        "fleet_seconds_per_second_fast", "fleet-seconds/s",
+    ),
+    Trend(
+        "cache replay", "simulator", "cache_replay",
+        "ios_per_second_fast", "IOs/s",
+    ),
+    Trend("live ingestion", "live", "live", "events_per_sec", "events/s"),
+)
+
+
+def _load(path: Path) -> "Optional[Dict[str, Any]]":
+    """Parse one artifact; ``None`` when absent, SystemExit(2) when bad."""
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        return None
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"perf-trend: {path} is not JSON: {exc}")
+    return payload if isinstance(payload, dict) else None
+
+
+def _metric(payload: "Optional[Dict[str, Any]]", trend: Trend):
+    if payload is None:
+        return None
+    section = payload.get(trend.section)
+    if not isinstance(section, dict):
+        return None
+    value = section.get(trend.metric)
+    return value if isinstance(value, (int, float)) else None
+
+
+def _target(payload: "Optional[Dict[str, Any]]", trend: Trend):
+    if payload is None:
+        return None
+    section = payload.get(trend.section)
+    if not isinstance(section, dict):
+        return None
+    target = section.get("target")
+    if (
+        isinstance(target, dict)
+        and isinstance(target.get("value"), (int, float))
+        and isinstance(target.get("attainment"), (int, float))
+    ):
+        return target
+    return None
+
+
+def render(
+    simulator_baseline: "Optional[Dict[str, Any]]",
+    simulator_candidate: "Optional[Dict[str, Any]]",
+    live_baseline: "Optional[Dict[str, Any]]",
+    live_candidate: "Optional[Dict[str, Any]]",
+) -> str:
+    """The before/after markdown table for the three headline figures."""
+    artifacts = {
+        "simulator": (simulator_baseline, simulator_candidate),
+        "live": (live_baseline, live_candidate),
+    }
+    lines = [
+        "### Perf trend",
+        "",
+        "| metric | before | after | delta | target | attainment |",
+        "|---|---:|---:|---:|---:|---:|",
+    ]
+    for trend in TRENDS:
+        baseline, candidate = artifacts[trend.artifact]
+        before = _metric(baseline, trend)
+        after = _metric(candidate, trend)
+        target = _target(candidate, trend)
+        delta = (
+            f"{after / before - 1.0:+.1%}"
+            if before and after is not None
+            else "n/a"
+        )
+        lines.append(
+            "| {label} ({unit}) | {before} | {after} | {delta} "
+            "| {tval} | {attain} |".format(
+                label=trend.label,
+                unit=trend.unit,
+                before=f"{before:,.0f}" if before is not None else "n/a",
+                after=f"{after:,.0f}" if after is not None else "n/a",
+                delta=delta,
+                tval=(
+                    f"{target['value']:,.0f}" if target is not None else "—"
+                ),
+                attain=(
+                    f"{target['attainment']:.1%}"
+                    if target is not None
+                    else "—"
+                ),
+            )
+        )
+    lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="committed simulator baseline artifact",
+    )
+    parser.add_argument(
+        "--candidate", type=Path, default=DEFAULT_CANDIDATE,
+        help="freshly generated BENCH_simulator.json",
+    )
+    parser.add_argument(
+        "--live-baseline", type=Path, default=DEFAULT_LIVE_BASELINE,
+        help="committed live-plane baseline artifact",
+    )
+    parser.add_argument(
+        "--live-candidate", type=Path, default=DEFAULT_LIVE_CANDIDATE,
+        help="freshly generated BENCH_live.json",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None, metavar="FILE",
+        help="append the table to FILE (CI: $GITHUB_STEP_SUMMARY); "
+        "always printed to stdout too",
+    )
+    args = parser.parse_args(argv)
+    table = render(
+        _load(args.baseline),
+        _load(args.candidate),
+        _load(args.live_baseline),
+        _load(args.live_candidate),
+    )
+    sys.stdout.write(table)
+    if args.output is not None:
+        with open(args.output, "a") as fh:
+            fh.write(table)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

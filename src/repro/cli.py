@@ -57,9 +57,10 @@ from repro.util.errors import ReproError
 
 _SCALES = SCALE_NAMES
 
-#: ``--scale large`` only runs streamed (its working set defeats a
-#: monolithic build); this is the shard size it defaults to.
+#: ``--scale large``/``xlarge`` only run streamed (their working sets
+#: defeat a monolithic build); this is the shard size they default to.
 _LARGE_DEFAULT_CHUNK_EPOCHS = 4
+_STREAMED_ONLY_SCALES = ("large", "xlarge")
 
 _LOG = logging.getLogger("repro.cli")
 
@@ -98,8 +99,8 @@ def _streaming_options(
 
     Streaming engages when ``--chunk-epochs N`` (N >= 1) is given, when
     ``--shard-dir`` / ``--max-rss-mb`` imply it, or by default at
-    ``--scale large`` (which only works streamed).  ``--chunk-epochs 0``
-    explicitly forces the monolithic path.
+    ``--scale large``/``xlarge`` (which only work streamed).
+    ``--chunk-epochs 0`` explicitly forces the monolithic path.
     """
     chunk = getattr(args, "chunk_epochs", None)
     shard_dir = getattr(args, "shard_dir", None)
@@ -107,9 +108,9 @@ def _streaming_options(
     if chunk is not None and chunk < 0:
         raise ReproError(f"--chunk-epochs must be >= 0, got {chunk}")
     if chunk == 0:
-        if args.scale == "large":
+        if args.scale in _STREAMED_ONLY_SCALES:
             raise ReproError(
-                "--scale large only runs streamed; use a positive "
+                f"--scale {args.scale} only runs streamed; use a positive "
                 "--chunk-epochs (or omit the flag for the default of "
                 f"{_LARGE_DEFAULT_CHUNK_EPOCHS})"
             )
@@ -121,7 +122,7 @@ def _streaming_options(
         return None, None, None
     if chunk is None:
         if (
-            args.scale == "large"
+            args.scale in _STREAMED_ONLY_SCALES
             or shard_dir is not None
             or max_rss is not None
         ):
@@ -132,7 +133,15 @@ def _streaming_options(
 
 
 def _config(args: argparse.Namespace) -> StudyConfig:
-    config = StudyConfig.scale(args.scale, seed=args.seed)
+    overrides = {}
+    duration = getattr(args, "duration_seconds", None)
+    if duration is not None:
+        if duration <= 0:
+            raise ReproError(
+                f"--duration-seconds must be positive, got {duration}"
+            )
+        overrides["duration_seconds"] = duration
+    config = StudyConfig.scale(args.scale, seed=args.seed, **overrides)
     plan_path = getattr(args, "fault_plan", None)
     if plan_path:
         from dataclasses import replace
@@ -151,17 +160,28 @@ def _config(args: argparse.Namespace) -> StudyConfig:
 def _study(args: argparse.Namespace) -> Study:
     config = _config(args)
     chunk_epochs, shard_dir, max_rss_mb = _streaming_options(args)
+    series_format = getattr(args, "series_format", None) or "raw"
+    series_dtype = getattr(args, "series_dtype", None) or "float64"
     if chunk_epochs is not None:
         _LOG.info(
             "streaming engine on: chunk_epochs=%d shard_dir=%s "
-            "max_rss_mb=%s (results identical to a monolithic run)",
+            "max_rss_mb=%s series=%s/%s (results identical to a "
+            "monolithic run at float64)",
             chunk_epochs, shard_dir or "<temp>", max_rss_mb,
+            series_format, series_dtype,
+        )
+    if series_dtype == "float32":
+        _LOG.warning(
+            "float32 series storage halves shard bytes but changes "
+            "result digests; do not compare against float64 baselines"
         )
     return Study(
         config,
         chunk_epochs=chunk_epochs,
         shard_dir=shard_dir,
         max_rss_mb=max_rss_mb,
+        series_format=series_format,
+        series_dtype=series_dtype,
     )
 
 
@@ -182,6 +202,8 @@ def _write_digest(study: Study, args: argparse.Namespace) -> None:
         "scale": args.scale,
         "seed": args.seed,
         "chunk_epochs": study.chunk_epochs,
+        "series_format": study.series_format,
+        "series_dtype": study.series_dtype,
         "per_dc": per_dc,
         "combined": combined,
     }
@@ -248,6 +270,8 @@ def _finish_telemetry(
             "experiment": getattr(args, "experiment", None),
             "fault_plan": getattr(args, "fault_plan", None),
             "chunk_epochs": getattr(args, "chunk_epochs", None),
+            "series_format": getattr(args, "series_format", None),
+            "series_dtype": getattr(args, "series_dtype", None),
             "version": __version__,
             "peak_rss_bytes": peak_rss_bytes(),
         }
@@ -1260,6 +1284,26 @@ def _add_streaming_flags(command: argparse.ArgumentParser) -> None:
         help="directory for the on-disk shard store (implies streaming; "
         "default: a per-run temp dir, purged after the run)",
     )
+    command.add_argument(
+        "--series-format",
+        choices=("raw", "npz"),
+        default="raw",
+        dest="series_format",
+        help="shard-store series format: 'raw' (one .npy block per "
+        "shard/batch, memory-mapped zero-copy reads; the default) or "
+        "'npz' (the legacy zip-framed format).  Digest-identical at "
+        "float64",
+    )
+    command.add_argument(
+        "--series-dtype",
+        choices=("float64", "float32"),
+        default="float64",
+        dest="series_dtype",
+        help="on-disk series dtype for raw stores; float32 halves shard "
+        "bytes but is lossy: results stay deterministic, digests differ "
+        "from float64 runs (re-pin any golden digest before relying on "
+        "them)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1285,6 +1329,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment", help="experiment id, e.g. table3, or 'all'")
     run.add_argument("--scale", choices=_SCALES, default="small")
     run.add_argument("--seed", type=int, default=7)
+    run.add_argument(
+        "--duration-seconds",
+        type=int,
+        default=None,
+        metavar="SECONDS",
+        dest="duration_seconds",
+        help="override the scale preset's simulated duration (e.g. a "
+        "tiny-duration xlarge smoke run); same fleet, shorter horizon",
+    )
     run.add_argument(
         "-o",
         "--output",

@@ -40,9 +40,9 @@ class Hypervisor:
         # Stall depth per QP (fault windows may overlap, so they count).
         self._stalled: Dict[int, int] = {}
         self.stall_log: List[StallEvent] = []
-        node_qps = [
-            qp for qp in fleet.queue_pairs if qp.compute_node_id == node_id
-        ]
+        # The fleet's node index returns QPs in ascending id order already;
+        # the sort is a cheap invariant guard (O(n) on sorted input).
+        node_qps = fleet.qps_of_node(node_id)
         # Round-robin in attach (qp id) order, like the production balancer.
         for index, qp in enumerate(sorted(node_qps, key=lambda q: q.qp_id)):
             wt = self.worker_ids[index % len(self.worker_ids)]

@@ -250,6 +250,11 @@ class EBSSimulator:
         self._rngs = rngs.child(f"sim/dc{fleet.config.dc_id}")
         self.latency_model = LatencyModel(config.latency)
         self._entities: Optional[_EntityArrays] = None
+        #: Scratch-buffer arena for the fused pass-1 kernels, created
+        #: lazily (and pickled as empty: it is pure scratch).  One
+        #: simulator instance reuses the same buffers across every
+        #: pass-1 call — i.e. across all shards of a streamed run.
+        self._arena = None
         self.fault_plan = fault_plan
         #: Compiled once; an empty (or absent) plan compiles to None, so
         #: the failure-free paths run exactly today's code.
@@ -260,6 +265,16 @@ class EBSSimulator:
         )
 
     # -- helpers -------------------------------------------------------------
+
+    @property
+    def _pass1_arena(self):
+        """The lazily created kernel arena (import deferred: the engine
+        package imports this module, so a top-level import would cycle)."""
+        if self._arena is None:
+            from repro.engine.arena import Arena
+
+            self._arena = Arena()
+        return self._arena
 
     def _record_mask(
         self, read_b: np.ndarray, write_b: np.ndarray,
@@ -599,6 +614,19 @@ class EBSSimulator:
         ``np.add.at``.  Multi-chunk runs (huge fleets) fall back to
         ``np.add.at`` per chunk, which updates the accumulator element by
         element in index order and is therefore exact across chunks too.
+
+        The kernels are *fused*: per-chunk temporaries (the four gathered
+        and scaled series, their sum, the record masks, the flat scatter
+        indexes) are materialized once into arena-reused buffers
+        (:class:`repro.engine.arena.Arena`) instead of being reallocated
+        per chunk/shard.  Every buffer is fully written by the same
+        elementwise operations the unfused code ran (``np.take`` +
+        in-place ``multiply``/``add``/``greater_equal`` with ``out=``),
+        so values — and digests — are bit-identical; only the allocator
+        traffic changes.  Series gathered from a float32 raw store keep
+        float32 through the elementwise stage (results deterministic,
+        digests re-pinned); the load grids and metric tables accumulate
+        in float64 as always.
         """
         fleet = self.fleet
         cfg = self.config
@@ -636,6 +664,7 @@ class EBSSimulator:
         num_segs = len(fleet.segments)
         chunk = max(64, _FAST_PASS_CHUNK_CELLS // max(1, t))
         arange_t = np.arange(t)
+        arena = self._pass1_arena
         # Per-segment storage node, computed once instead of per metric row.
         seg_to_node = seg_to_bs // bs_per_node
 
@@ -646,40 +675,80 @@ class EBSSimulator:
             single_chunk: bool,
         ) -> None:
             if single_chunk:
-                flat = targets[:, None] * t + arange_t
+                flat = arena.take("pass1.flat", bw.shape, np.int64)
+                np.multiply(targets[:, None], t, out=flat)
+                flat += arange_t
                 load += np.bincount(
                     flat.ravel(), weights=bw.ravel(), minlength=load.size
                 ).reshape(load.shape)
             else:
                 np.add.at(load, targets, bw)
 
+        def gather_scaled(
+            series: "tuple[np.ndarray, ...]",
+            rows: np.ndarray,
+            rw: np.ndarray,
+            ww: np.ndarray,
+        ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+            """Fused ``series[rows] * weight`` into arena-backed buffers.
+
+            Same elementwise gather + in-place scale the unfused code
+            ran (so every value is bit-identical); the four temporaries
+            live in reused arena slots instead of fresh allocations, and
+            ``np.take`` reads straight out of memmapped raw shards
+            without an intermediate copy.
+            """
+            read_b, write_b, read_i, write_i = series
+            shape = (rows.size, read_b.shape[1])
+            sdtype = read_b.dtype
+            rb = arena.take("pass1.rb", shape, sdtype)
+            wb = arena.take("pass1.wb", shape, sdtype)
+            ri = arena.take("pass1.ri", shape, sdtype)
+            wi = arena.take("pass1.wi", shape, sdtype)
+            np.take(read_b, rows, axis=0, out=rb)
+            np.take(write_b, rows, axis=0, out=wb)
+            np.take(read_i, rows, axis=0, out=ri)
+            np.take(write_i, rows, axis=0, out=wi)
+            np.multiply(rb, rw, out=rb)
+            np.multiply(wb, ww, out=wb)
+            np.multiply(ri, rw, out=ri)
+            np.multiply(wi, ww, out=wi)
+            return rb, wb, ri, wi
+
+        def record_mask_fused(
+            bw: np.ndarray, ri: np.ndarray, wi: np.ndarray
+        ) -> np.ndarray:
+            # Inlined _record_mask over arena buffers: the same two
+            # comparisons and logical-or, so the mask is bit-identical.
+            mask = arena.take("pass1.mask", bw.shape, np.bool_)
+            np.greater_equal(bw, min_bytes, out=mask)
+            iops = arena.take("pass1.iops", bw.shape, ri.dtype)
+            np.add(ri, wi, out=iops)
+            iops_mask = arena.take("pass1.iops_mask", bw.shape, np.bool_)
+            np.greater_equal(iops, min_iops, out=iops_mask)
+            np.logical_or(mask, iops_mask, out=mask)
+            return mask
+
         for start in range(0, num_qps, chunk):
             stop = min(start + chunk, num_qps)
             if adjusted is None:
-                rows = ent.qp_vd[start:stop]
-                rw = qp_rw[start:stop, None]
-                ww = qp_ww[start:stop, None]
-                rb = read_b[rows]
-                rb *= rw
-                wb = write_b[rows]
-                wb *= ww
-                ri = read_i[rows]
-                ri *= rw
-                wi = write_i[rows]
-                wi *= ww
+                rb, wb, ri, wi = gather_scaled(
+                    (read_b, write_b, read_i, write_i),
+                    ent.qp_vd[start:stop],
+                    qp_rw[start:stop, None],
+                    qp_ww[start:stop, None],
+                )
             else:
                 rb = adjusted.qp_rb[start:stop]
                 wb = adjusted.qp_wb[start:stop]
                 ri = adjusted.qp_ri[start:stop]
                 wi = adjusted.qp_wi[start:stop]
-            bw = rb + wb
+            bw = arena.take("pass1.bw", rb.shape, rb.dtype)
+            np.add(rb, wb, out=bw)
             scatter_add(
                 wt_load, qp_to_wt[start:stop], bw, num_qps <= chunk
             )
-            # Inlined _record_mask, reusing the rb+wb sum computed above
-            # (identical values, so the mask is bit-identical).
-            mask = bw >= min_bytes
-            mask |= ri + wi >= min_iops
+            mask = record_mask_fused(bw, ri, wi)
             e, ts = np.nonzero(mask)
             if not e.size:
                 continue
@@ -703,23 +772,19 @@ class EBSSimulator:
         for start in range(0, num_segs, chunk):
             stop = min(start + chunk, num_segs)
             if adjusted is None:
-                rows = ent.seg_vd[start:stop]
-                rw = seg_rw[start:stop, None]
-                ww = seg_ww[start:stop, None]
-                rb = read_b[rows]
-                rb *= rw
-                wb = write_b[rows]
-                wb *= ww
-                ri = read_i[rows]
-                ri *= rw
-                wi = write_i[rows]
-                wi *= ww
+                rb, wb, ri, wi = gather_scaled(
+                    (read_b, write_b, read_i, write_i),
+                    ent.seg_vd[start:stop],
+                    seg_rw[start:stop, None],
+                    seg_ww[start:stop, None],
+                )
             else:
                 rb = adjusted.seg_rb[start:stop]
                 wb = adjusted.seg_wb[start:stop]
                 ri = adjusted.seg_ri[start:stop]
                 wi = adjusted.seg_wi[start:stop]
-            bw = rb + wb
+            bw = arena.take("pass1.bw", rb.shape, rb.dtype)
+            np.add(rb, wb, out=bw)
             if adjusted is None:
                 scatter_add(
                     bs_load, seg_to_bs[start:stop], bw, num_segs <= chunk
@@ -735,8 +800,7 @@ class EBSSimulator:
                     (targets, np.broadcast_to(arange_t, targets.shape)),
                     bw,
                 )
-            mask = bw >= min_bytes
-            mask |= ri + wi >= min_iops
+            mask = record_mask_fused(bw, ri, wi)
             e, ts = np.nonzero(mask)
             if not e.size:
                 continue

@@ -67,6 +67,11 @@ class StudyConfig:
     seed: int = 7
     duration_seconds: int = 600
     trace_sampling_rate: float = 1.0 / 20.0
+    #: Metric-table recording thresholds (None = the simulator defaults).
+    #: Large scales raise them: at ``xlarge`` the default per-cell floor
+    #: would record hundreds of millions of rows per DC.
+    min_record_bytes: Optional[float] = None
+    min_record_iops: Optional[float] = None
     dc_configs: List[FleetConfig] = field(default_factory=_default_dcs)
     #: Optional deterministic fault schedule applied to every DC build
     #: (per-DC sub-plans via :meth:`FaultPlan.for_dc`).  None or an empty
@@ -116,11 +121,21 @@ class StudyConfig:
             raise ConfigError("cache_block_bytes must be positive")
         if self.cache_min_traces < 1:
             raise ConfigError("cache_min_traces must be >= 1")
+        for name in ("min_record_bytes", "min_record_iops"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ConfigError(f"{name} must be non-negative")
 
     def simulation_config(self) -> SimulationConfig:
+        overrides: Dict[str, Any] = {}
+        if self.min_record_bytes is not None:
+            overrides["min_record_bytes"] = self.min_record_bytes
+        if self.min_record_iops is not None:
+            overrides["min_record_iops"] = self.min_record_iops
         return SimulationConfig(
             duration_seconds=self.duration_seconds,
             trace_sampling_rate=self.trace_sampling_rate,
+            **overrides,
         )
 
     # -- presets ------------------------------------------------------------
@@ -138,7 +153,11 @@ class StudyConfig:
         - ``"medium"`` — the benchmark default: enough periods for the
           §6 experiments;
         - ``"large"`` — longer and larger for tighter statistics (runs
-          streamed by default on the CLI).
+          streamed by default on the CLI);
+        - ``"xlarge"`` — the raw-speed tier: >=100k VMs across the three
+          DCs (only runs streamed; pair with ``--max-rss-mb`` and the
+          raw series format).  Trace sampling and the metric-recording
+          thresholds are scaled so outputs stay tractable.
 
         Any :class:`StudyConfig` field can be overridden::
 
@@ -240,10 +259,39 @@ def _large_params() -> "Dict[str, Any]":
     }
 
 
+def _xlarge_params() -> "Dict[str, Any]":
+    """The raw-speed tier: ~108k VMs (3 x 36000) — ROADMAP item 5.
+
+    Node counts keep the default ~10 VMs/node density; trace sampling
+    and the metric-recording floors scale with fleet size so pass-2 and
+    the metric tables stay bounded while pass-1 still aggregates every
+    (entity, second) cell.  Only runs streamed (the CLI enforces it).
+    """
+    dcs = [
+        replace(
+            dc,
+            num_users=2400,
+            num_vms=36_000,
+            num_compute_nodes=3600,
+            num_storage_nodes=1200,
+        )
+        for dc in _default_dcs()
+    ]
+    return {
+        "duration_seconds": 600,
+        "dc_configs": dcs,
+        "trace_sampling_rate": 1.0 / 2000.0,
+        "min_record_bytes": 64.0 * MiB,
+        "min_record_iops": 4096.0,
+        "wt_cov_windows": (60, 300, 600),
+    }
+
+
 _SCALE_PRESETS = {
     "small": _small_params,
     "medium": _medium_params,
     "large": _large_params,
+    "xlarge": _xlarge_params,
 }
 
 #: The preset names accepted by :meth:`StudyConfig.scale` (and the CLI's

@@ -71,6 +71,8 @@ class Study:
         chunk_epochs: "Optional[int]" = None,
         shard_dir: "Optional[str]" = None,
         max_rss_mb: "Optional[int]" = None,
+        series_format: str = "raw",
+        series_dtype: str = "float64",
     ):
         self.config = config if config is not None else StudyConfig()
         self.rngs = RngFactory(self.config.seed)
@@ -86,6 +88,12 @@ class Study:
         self.chunk_epochs = chunk_epochs
         self.shard_dir = shard_dir
         self.max_rss_mb = max_rss_mb
+        #: Streamed-build shard-store options: ``"raw"`` (zero-copy mmap
+        #: reads; the default) or ``"npz"``, and the on-disk series dtype
+        #: (``"float32"`` is the digest-gated opt-in; raw-only).  Results
+        #: are digest-identical across formats at float64.
+        self.series_format = series_format
+        self.series_dtype = series_dtype
         self._engines: List[object] = []
 
     @classmethod
@@ -190,6 +198,8 @@ class Study:
                         chunk_epochs=self.chunk_epochs,
                         shard_dir=dc_dir,
                         max_rss_mb=self.max_rss_mb,
+                        series_format=self.series_format,
+                        series_dtype=self.series_dtype,
                     )
                     self._engines.append(engine)
                     self._results.append(engine.run(workers=workers))

@@ -10,18 +10,26 @@ single-shot run for any ``--chunk-epochs`` / ``--workers`` choice.
 Module map::
 
     plan      StreamPlan geometry (pure arithmetic, property-tested)
-    shards    on-disk ShardStore + lazy StreamedTraffic view
+    arena     reusable scratch buffers for kernels and shard reloads
+    shards    on-disk ShardStore (npz or raw/mmap) + StreamedTraffic view
     state     carry-over save/restore drivers (buckets, caches, faults)
     merge     ShardPart tree-merge with the canonical row order
     digest    result / telemetry-snapshot digests (the parity yardstick)
     executor  StreamingSimulator: the out-of-core pipeline itself
 """
 
+from repro.engine.arena import Arena
 from repro.engine.digest import result_digest, snapshot_digest
 from repro.engine.executor import StreamingSimulator
 from repro.engine.merge import ShardPart, merge_shard_parts, tree_reduce
 from repro.engine.plan import EPOCH_SECONDS, StreamPlan, plan_for
-from repro.engine.shards import ShardStore, StreamedTraffic, purge_store
+from repro.engine.shards import (
+    SERIES_DTYPES,
+    SERIES_FORMATS,
+    ShardStore,
+    StreamedTraffic,
+    purge_store,
+)
 from repro.engine.state import (
     cut_series,
     replay_pages_streamed,
@@ -29,7 +37,10 @@ from repro.engine.state import (
 )
 
 __all__ = [
+    "Arena",
     "EPOCH_SECONDS",
+    "SERIES_DTYPES",
+    "SERIES_FORMATS",
     "ShardPart",
     "ShardStore",
     "StreamPlan",

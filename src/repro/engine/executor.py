@@ -44,6 +44,7 @@ from repro.cluster.simulator import (
     SimulationResult,
     _trace_chunk_worker,
 )
+from repro.engine.arena import Arena
 from repro.engine.merge import ShardPart, merge_shard_parts
 from repro.engine.plan import EPOCH_SECONDS, StreamPlan, plan_for
 from repro.engine.shards import ShardStore, StreamedTraffic, purge_store
@@ -112,6 +113,8 @@ class StreamingSimulator:
         max_rss_mb: "Optional[int]" = None,
         epoch_seconds: int = EPOCH_SECONDS,
         vd_batch_size: "Optional[int]" = None,
+        series_format: str = "raw",
+        series_dtype: str = "float64",
     ):
         self._sim = simulator
         self.plan: StreamPlan = plan_for(
@@ -121,6 +124,7 @@ class StreamingSimulator:
             epoch_seconds=epoch_seconds,
             max_rss_mb=max_rss_mb,
             vd_batch_size=vd_batch_size,
+            series_itemsize=np.dtype(series_dtype).itemsize,
         )
         #: True when we created a temp dir and own its cleanup.
         self.owns_directory = shard_dir is None
@@ -129,7 +133,15 @@ class StreamingSimulator:
             if shard_dir is None
             else str(shard_dir)
         )
-        self.store = ShardStore(self._directory, self.plan)
+        self.store = ShardStore(
+            self._directory,
+            self.plan,
+            series_format=series_format,
+            series_dtype=series_dtype,
+        )
+        #: Scratch buffers reused across shard reloads (never shipped to
+        #: worker processes; see :class:`repro.engine.arena.Arena`).
+        self._arena = Arena()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -217,7 +229,9 @@ class StreamingSimulator:
                         None, qp_to_wt, seg_to_bs, adjusted=window, t0=t0
                     )
                 else:
-                    series = self.store.series_for_shard(shard)
+                    series = self.store.series_for_shard(
+                        shard, arena=self._arena
+                    )
                     wt_load, bs_load, cbuf, sbuf = sim._pass1_fast(
                         None,
                         qp_to_wt,

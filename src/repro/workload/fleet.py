@@ -18,7 +18,7 @@ three DCs; each gets its own fleet built with its own config/seed):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -142,6 +142,21 @@ def _queue_pairs_for_capacity(capacity_gib: int) -> int:
 
 
 @dataclass
+class _FleetIndexes:
+    """Lazy grouping indexes over a built fleet.
+
+    ``counts`` pins the entity list lengths the index was built from, so
+    a fleet still under construction (``build_fleet`` appends in place)
+    never serves a stale grouping: lookups rebuild when the lists grew.
+    """
+
+    counts: Tuple[int, int, int]
+    vds_by_vm: Dict[int, List[VdInfo]]
+    vms_by_node: Dict[int, List[VmInfo]]
+    qps_by_node: Dict[int, List[QueuePairInfo]]
+
+
+@dataclass
 class Fleet:
     """The built hierarchy for one data center."""
 
@@ -150,6 +165,45 @@ class Fleet:
     vds: List[VdInfo] = field(default_factory=list)
     queue_pairs: List[QueuePairInfo] = field(default_factory=list)
     segments: List[SegmentInfo] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._indexes: Optional[_FleetIndexes] = None
+
+    def __getstate__(self) -> dict:
+        # The grouping index is derived state; shipping it to worker
+        # processes would only bloat the pickled payload.
+        state = dict(self.__dict__)
+        state["_indexes"] = None
+        return state
+
+    def _grouped(self) -> _FleetIndexes:
+        """Per-VM / per-node groupings, built once in list order.
+
+        The entity lists are already sorted by id, so every grouped list
+        preserves ascending id order — lookups are order-identical to
+        the linear scans they replace, just O(group) instead of O(N).
+        """
+        counts = (len(self.vms), len(self.vds), len(self.queue_pairs))
+        cached = self._indexes
+        if cached is not None and cached.counts == counts:
+            return cached
+        vds_by_vm: Dict[int, List[VdInfo]] = {}
+        for vd in self.vds:
+            vds_by_vm.setdefault(vd.vm_id, []).append(vd)
+        vms_by_node: Dict[int, List[VmInfo]] = {}
+        for vm in self.vms:
+            vms_by_node.setdefault(vm.compute_node_id, []).append(vm)
+        qps_by_node: Dict[int, List[QueuePairInfo]] = {}
+        for qp in self.queue_pairs:
+            qps_by_node.setdefault(qp.compute_node_id, []).append(qp)
+        built = _FleetIndexes(
+            counts=counts,
+            vds_by_vm=vds_by_vm,
+            vms_by_node=vms_by_node,
+            qps_by_node=qps_by_node,
+        )
+        self._indexes = built
+        return built
 
     @property
     def num_users(self) -> int:
@@ -167,10 +221,14 @@ class Fleet:
         return wt_id // self.config.workers_per_node
 
     def vds_of_vm(self, vm_id: int) -> List[VdInfo]:
-        return [vd for vd in self.vds if vd.vm_id == vm_id]
+        return list(self._grouped().vds_by_vm.get(vm_id, ()))
 
     def vms_of_node(self, node_id: int) -> List[VmInfo]:
-        return [vm for vm in self.vms if vm.compute_node_id == node_id]
+        return list(self._grouped().vms_by_node.get(node_id, ()))
+
+    def qps_of_node(self, node_id: int) -> List[QueuePairInfo]:
+        """All queue pairs attached to one compute node, by ascending id."""
+        return list(self._grouped().qps_by_node.get(node_id, ()))
 
     def vm_spec(self, vm_id: int) -> VmSpec:
         vm = self.vms[vm_id]

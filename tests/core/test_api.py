@@ -56,7 +56,7 @@ class TestSurface:
             repro.not_a_real_export
 
     def test_scale_names_cover_the_presets(self):
-        assert SCALE_NAMES == ("small", "medium", "large")
+        assert SCALE_NAMES == ("small", "medium", "large", "xlarge")
 
 
 class TestRun:

@@ -21,7 +21,10 @@ from benchmarks.perf_gate import (  # noqa: E402
     DEFAULT_BASELINE,
     GATES,
     compare,
+    enforce_targets,
+    evaluate,
     main,
+    write_summary,
 )
 
 
@@ -110,3 +113,84 @@ class TestCli:
             assert isinstance(
                 baseline[gate.section][gate.metric], (int, float)
             )
+
+
+def _with_targets(baseline, attainment):
+    """A candidate carrying schema-v3 target blocks at one attainment."""
+    candidate = copy.deepcopy(baseline)
+    for gate in GATES:
+        candidate[gate.section]["target"] = {
+            "metric": gate.metric,
+            "value": candidate[gate.section][gate.metric] / attainment,
+            "unit": gate.unit,
+            "attainment": attainment,
+        }
+    return candidate
+
+
+class TestTargets:
+    """The raw-speed targets: advisory by default, opt-in enforcement."""
+
+    def test_targets_do_not_gate_by_default(self, baseline, tmp_path):
+        candidate = tmp_path / "cand.json"
+        candidate.write_text(json.dumps(_with_targets(baseline, 0.25)))
+        assert main(["--candidate", str(candidate)]) == 0
+
+    def test_enforce_targets_fails_below_attainment(self, baseline):
+        failures = enforce_targets(_with_targets(baseline, 0.25))
+        assert len(failures) == len(GATES)
+        assert all(f.startswith("TARGET MISS") for f in failures)
+
+    def test_enforce_targets_passes_at_attainment(self, baseline):
+        assert enforce_targets(_with_targets(baseline, 1.5)) == []
+
+    def test_enforce_targets_rejects_unrecorded_targets(self, baseline):
+        # A pre-v3 artifact has no target blocks: structural failure,
+        # never a silent pass.
+        stripped = copy.deepcopy(baseline)
+        for gate in GATES:
+            stripped[gate.section].pop("target", None)
+        failures = enforce_targets(stripped)
+        assert len(failures) == len(GATES)
+        assert all("no recorded target" in f for f in failures)
+
+    def test_enforce_flag_exits_one_on_miss(self, baseline, tmp_path, capsys):
+        candidate = tmp_path / "cand.json"
+        candidate.write_text(json.dumps(_with_targets(baseline, 0.25)))
+        code = main(["--candidate", str(candidate), "--enforce-targets"])
+        assert code == 1
+        assert "TARGET MISS" in capsys.readouterr().err
+
+
+class TestSummary:
+    def test_summary_table_written_and_appended(self, baseline, tmp_path):
+        summary = tmp_path / "summary.md"
+        rows = evaluate(baseline, _with_targets(baseline, 0.5), 0.25)
+        write_summary(summary, rows, 0.25)
+        text = summary.read_text()
+        assert "### Perf gate" in text
+        assert "25%" in text  # the tolerance is stated
+        for gate in GATES:
+            assert f"`{gate.section}.{gate.metric}`" in text
+        assert "50.0%" in text  # attainment column
+        assert "✅ ok" in text
+        write_summary(summary, rows, 0.25)  # appends, never truncates
+        assert summary.read_text().count("### Perf gate") == 2
+
+    def test_summary_marks_regressions(self, baseline, tmp_path):
+        slowed = _slow(baseline, 2.0)
+        summary = tmp_path / "summary.md"
+        write_summary(summary, evaluate(baseline, slowed, 0.25), 0.25)
+        assert "❌ regression" in summary.read_text()
+
+    def test_summary_flag_from_cli(self, baseline, tmp_path):
+        candidate = tmp_path / "cand.json"
+        candidate.write_text(json.dumps(baseline))
+        summary = tmp_path / "summary.md"
+        assert (
+            main(
+                ["--candidate", str(candidate), "--summary", str(summary)]
+            )
+            == 0
+        )
+        assert "### Perf gate" in summary.read_text()

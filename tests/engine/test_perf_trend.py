@@ -1,0 +1,97 @@
+"""The perf-trend narrator: before/after table over the headline figures."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:  # direct pytest invocation safety
+    sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.perf_trend import (  # noqa: E402
+    DEFAULT_BASELINE,
+    DEFAULT_LIVE_BASELINE,
+    TRENDS,
+    main,
+    render,
+)
+
+
+def _simulator(value, with_target=False):
+    payload = {
+        "simulator_pass1": {"fleet_seconds_per_second_fast": value},
+        "cache_replay": {"ios_per_second_fast": value * 10},
+    }
+    if with_target:
+        payload["simulator_pass1"]["target"] = {
+            "metric": "fleet_seconds_per_second_fast",
+            "value": 5_000_000,
+            "unit": "fleet-seconds/s",
+            "attainment": value / 5_000_000,
+        }
+    return payload
+
+
+def _live(value):
+    return {"live": {"events_per_sec": value}}
+
+
+class TestRender:
+    def test_full_table_with_deltas_and_targets(self):
+        table = render(
+            _simulator(1_000_000),
+            _simulator(1_250_000, with_target=True),
+            _live(2_000_000),
+            _live(1_000_000),
+        )
+        assert "### Perf trend" in table
+        assert "+25.0%" in table  # pass-1 got faster
+        assert "-50.0%" in table  # live got slower
+        assert "5,000,000" in table  # the recorded target
+        assert "25.0%" in table  # attainment vs the 5M target
+        for trend in TRENDS:
+            assert trend.label in table
+
+    def test_missing_artifacts_render_na_not_crash(self):
+        table = render(None, None, None, None)
+        assert table.count("n/a") >= len(TRENDS)
+
+    def test_partial_artifacts(self):
+        table = render(_simulator(1_000_000), None, None, _live(5))
+        lines = [ln for ln in table.splitlines() if "live ingestion" in ln]
+        assert "n/a" in lines[0]  # no live baseline => no delta
+
+
+class TestCli:
+    def test_main_appends_output_file(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        cand = tmp_path / "cand.json"
+        base.write_text(json.dumps(_simulator(1_000_000)))
+        cand.write_text(json.dumps(_simulator(2_000_000)))
+        out = tmp_path / "summary.md"
+        code = main(
+            [
+                "--baseline", str(base),
+                "--candidate", str(cand),
+                "--live-baseline", str(tmp_path / "missing.json"),
+                "--live-candidate", str(tmp_path / "missing.json"),
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        text = out.read_text()
+        assert "+100.0%" in text
+        assert capsys.readouterr().out == text
+
+    def test_malformed_artifact_exits_two(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(SystemExit, match="not JSON"):
+            main(["--baseline", str(bad)])
+
+    def test_committed_baselines_exist(self):
+        # The perf-trend CI job points at these by default.
+        assert DEFAULT_BASELINE.exists()
+        assert DEFAULT_LIVE_BASELINE.exists()

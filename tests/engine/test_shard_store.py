@@ -1,10 +1,22 @@
-"""ShardStore spill/reload: bitwise round-trips and the lazy view."""
+"""ShardStore spill/reload: bitwise round-trips and the lazy view.
+
+The bitwise fixtures run against both series formats — the legacy npz
+store and the raw ``.npy``/mmap store — which at float64 must reload
+byte-identical series.  The float32 opt-in (raw-only, lossy cast) gets
+its own explicit tests.
+"""
 
 import numpy as np
 import pytest
 
+from repro.engine.arena import Arena
 from repro.engine.plan import plan_for
-from repro.engine.shards import ShardStore, StreamedTraffic, purge_store
+from repro.engine.shards import (
+    SHARD_SCHEMA_VERSION,
+    ShardStore,
+    StreamedTraffic,
+    purge_store,
+)
 from repro.util.errors import ConfigError
 from repro.util.rng import RngFactory
 from repro.workload import FleetConfig, WorkloadGenerator, build_fleet
@@ -22,8 +34,9 @@ def monolithic_traffic():
     return WorkloadGenerator(fleet, DURATION, rngs).generate_all()
 
 
-@pytest.fixture()
-def store(tmp_path, monolithic_traffic):
+def _build_store(
+    directory, monolithic_traffic, series_format, series_dtype="float64"
+):
     plan = plan_for(
         duration_seconds=DURATION,
         num_vds=len(monolithic_traffic),
@@ -34,7 +47,12 @@ def store(tmp_path, monolithic_traffic):
     rngs = RngFactory(33)
     fleet = build_fleet(FLEET, rngs)
     generator = WorkloadGenerator(fleet, DURATION, rngs)
-    store = ShardStore(tmp_path / "store", plan)
+    store = ShardStore(
+        directory,
+        plan,
+        series_format=series_format,
+        series_dtype=series_dtype,
+    )
     qp_rw = np.zeros(len(fleet.queue_pairs))
     qp_ww = np.zeros(len(fleet.queue_pairs))
     seg_rw = np.zeros(len(fleet.segments))
@@ -55,6 +73,11 @@ def store(tmp_path, monolithic_traffic):
             seg_ww[ss] = tr.segment_write_weights
     store.finalize((qp_rw, qp_ww, seg_rw, seg_ww))
     return store
+
+
+@pytest.fixture(params=["npz", "raw"])
+def store(tmp_path, monolithic_traffic, request):
+    return _build_store(tmp_path / "store", monolithic_traffic, request.param)
 
 
 def _traffic_equal(a, b) -> bool:
@@ -94,13 +117,17 @@ class TestRoundTrip:
     def test_reloaded_lba_model_draws_identically(
         self, store, monolithic_traffic
     ):
+        import copy
+
         is_write = np.arange(64) % 3 == 0
         reloaded = store.traffic_batch(0)
         for a, b in zip(reloaded, monolithic_traffic):
-            got = a.lba_model.draw_offsets(
+            # Draw from copies: draw_offsets advances the model's state,
+            # and the monolithic fixture is shared across format params.
+            got = copy.deepcopy(a.lba_model).draw_offsets(
                 np.random.default_rng(5), is_write, 0.7
             )
-            want = b.lba_model.draw_offsets(
+            want = copy.deepcopy(b.lba_model).draw_offsets(
                 np.random.default_rng(5), is_write, 0.7
             )
             assert np.array_equal(got, want)
@@ -117,7 +144,8 @@ class TestRoundTrip:
         with pytest.raises(ConfigError, match="no shard store"):
             ShardStore.open(tmp_path / "nope")
         manifest = store.manifest_path.read_text().replace(
-            '"schema_version": 1', '"schema_version": 99'
+            f'"schema_version": {SHARD_SCHEMA_VERSION}',
+            '"schema_version": 99',
         )
         store.manifest_path.write_text(manifest)
         with pytest.raises(ConfigError, match="schema"):
@@ -157,8 +185,106 @@ class TestStreamedTraffic:
 
 
 def test_purge_store(store):
+    """Regression: cleanup leaves no orphans for either series format."""
     directory = store.directory
     assert any(directory.iterdir())
     purge_store(directory)
     assert not directory.exists()
     purge_store(directory)  # idempotent on a missing dir
+
+
+class TestSeriesOptions:
+    def test_unknown_format_and_dtype_rejected(self, tmp_path, store):
+        with pytest.raises(ConfigError, match="series format"):
+            ShardStore(tmp_path / "s", store.plan, series_format="zarr")
+        with pytest.raises(ConfigError, match="series dtype"):
+            ShardStore(tmp_path / "s", store.plan, series_dtype="float16")
+
+    def test_float32_requires_raw(self, tmp_path, store):
+        with pytest.raises(ConfigError, match="float32"):
+            ShardStore(
+                tmp_path / "s",
+                store.plan,
+                series_format="npz",
+                series_dtype="float32",
+            )
+
+    def test_v1_manifest_reads_as_npz_float64(
+        self, tmp_path, monolithic_traffic
+    ):
+        import json
+
+        store = _build_store(tmp_path / "store", monolithic_traffic, "npz")
+        manifest = json.loads(store.manifest_path.read_text())
+        manifest["schema_version"] = 1
+        del manifest["series_format"]
+        del manifest["series_dtype"]
+        store.manifest_path.write_text(json.dumps(manifest))
+        reopened = ShardStore.open(store.directory)
+        assert reopened.series_format == "npz"
+        assert reopened.series_dtype == "float64"
+        for a, b in zip(reopened.materialize(), monolithic_traffic):
+            assert _traffic_equal(a, b)
+
+
+class TestRawFormat:
+    def test_open_autodetects_raw(self, tmp_path, monolithic_traffic):
+        store = _build_store(tmp_path / "store", monolithic_traffic, "raw")
+        reopened = ShardStore.open(store.directory)
+        assert reopened.series_format == "raw"
+        assert reopened.series_dtype == "float64"
+        for a, b in zip(reopened.materialize(), monolithic_traffic):
+            assert _traffic_equal(a, b)
+
+    def test_series_for_shard_fills_a_reused_arena(
+        self, tmp_path, monolithic_traffic
+    ):
+        store = _build_store(tmp_path / "store", monolithic_traffic, "raw")
+        assert store.plan.num_batches > 1  # exercises the copy path
+        arena = Arena()
+        for shard in range(store.plan.num_shards):
+            plain = store.series_for_shard(shard)
+            pooled = store.series_for_shard(shard, arena=arena)
+            for a, b in zip(plain, pooled):
+                assert np.array_equal(a, b)
+        # The arena holds one buffer per series field, reused across shards.
+        assert arena.nbytes() > 0
+
+    def test_single_batch_store_returns_memmap_views(
+        self, tmp_path, monolithic_traffic
+    ):
+        plan = plan_for(
+            duration_seconds=DURATION,
+            num_vds=len(monolithic_traffic),
+            chunk_epochs=2,
+            epoch_seconds=9,
+            vd_batch_size=len(monolithic_traffic),
+        )
+        store = ShardStore(tmp_path / "store", plan, series_format="raw")
+        store.spill_batch(0, list(monolithic_traffic))
+        zeros = np.zeros(1)
+        store.finalize((zeros, zeros, zeros, zeros))
+        read_b, _, _, _ = store.series_for_shard(0)
+        assert isinstance(read_b.base, np.memmap)
+        t0, t1 = plan.shard_bounds(0)
+        assert np.array_equal(read_b[0], monolithic_traffic[0].read_bytes[t0:t1])
+
+    def test_float32_round_trip_is_the_cast(
+        self, tmp_path, monolithic_traffic
+    ):
+        store = _build_store(
+            tmp_path / "store", monolithic_traffic, "raw", "float32"
+        )
+        reloaded = store.materialize()
+        for a, b in zip(reloaded, monolithic_traffic):
+            for field in (
+                "read_bytes", "write_bytes", "read_iops", "write_iops",
+                "hot_fraction_series",
+            ):
+                got = getattr(a, field)
+                assert got.dtype == np.float32
+                assert np.array_equal(
+                    got, getattr(b, field).astype(np.float32)
+                )
+            # The static payload is dtype-agnostic and stays exact.
+            assert np.array_equal(a.qp_read_weights, b.qp_read_weights)
