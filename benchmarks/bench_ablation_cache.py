@@ -73,7 +73,7 @@ def test_ablation_cacheable_threshold(benchmark, study):
                         result.traces,
                         result.fleet,
                         "compute_node",
-                        result.storage.placement_snapshot(),
+                        result.storage.placement.primary_mapping(),
                         config,
                     )
                 )

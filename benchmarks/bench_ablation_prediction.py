@@ -28,11 +28,9 @@ def _bs_matrix(study):
         study.config.prediction_period_seconds,
         "write",
     )
-    placement = storage.placement_snapshot()
-    seg_ids = np.fromiter(placement.keys(), dtype=np.int64)
-    seg_bs = np.fromiter(placement.values(), dtype=np.int64)
+    seg_bs = storage.primary_array()
     matrix = np.zeros((storage.num_block_servers, write.shape[1]))
-    np.add.at(matrix, seg_bs, write[seg_ids])
+    np.add.at(matrix, seg_bs, write)
     return matrix
 
 

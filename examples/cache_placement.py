@@ -89,7 +89,7 @@ def main() -> None:
                 f"p50={100 * gains[50.0]:.0f}%  p99={100 * gains[99.0]:.0f}%"
             )
 
-    placement = result.storage.placement_snapshot()
+    placement = result.storage.placement.primary_mapping()
     cn = cacheable_vd_counts(traces, fleet, "compute_node", placement, config)
     bs = cacheable_vd_counts(traces, fleet, "block_server", placement, config)
     print(

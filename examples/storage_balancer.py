@@ -74,11 +74,9 @@ def main() -> None:
         )
         run = balancer.run(write, secondary_traffic=secondary)
         # Recompute the final-placement read CoV.
-        placement = storage.placement_snapshot()
-        seg_ids = np.fromiter(placement.keys(), dtype=np.int64)
-        seg_bs = np.fromiter(placement.values(), dtype=np.int64)
+        seg_bs = storage.primary_array()
         loads = np.zeros((storage.num_block_servers, read.shape[1]))
-        np.add.at(loads, seg_bs, read[seg_ids])
+        np.add.at(loads, seg_bs, read)
         print(
             f"  {label:<16} migrations={run.num_migrations:<5} "
             f"final read CoV={per_bs_cov(loads):.3f}"

@@ -85,6 +85,9 @@ def run_experiment(
         result = run_experiment("table3")
         result = run_experiment("fig7a", scale="medium", seed=11)
         result = run_experiment("fig3a", duration_seconds=300)
+        result = run_experiment(
+            "redundancy_cov", redundancy="r=3", read_policy="least_loaded"
+        )
     """
     study = Study(_resolve_config(config, scale, seed, overrides))
     study.build(workers=workers)
@@ -239,11 +242,19 @@ def save_results(
     *,
     scale: Optional[str] = None,
     seed: Optional[int] = None,
+    redundancy: Optional[str] = None,
+    read_policy: Optional[str] = None,
 ) -> Path:
     """Write results as a versioned JSON artifact (see ``load_result``)."""
     import json
 
-    payload = results_payload(results, scale=scale, seed=seed)
+    payload = results_payload(
+        results,
+        scale=scale,
+        seed=seed,
+        redundancy=redundancy,
+        read_policy=read_policy,
+    )
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(payload, indent=2) + "\n")

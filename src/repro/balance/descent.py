@@ -318,6 +318,14 @@ def _best_candidate(
             | seg_pinned[:, None]
             | bs_vetoed[None, :]
         )
+        if state.seg_replicas is not None and state.seg_replicas.shape[1] > 1:
+            # Replica-aware veto: the primary may not migrate onto a BS
+            # holding another copy of the same segment.
+            replica_cols = state.seg_replicas[:, 1:]
+            rows = np.repeat(
+                np.arange(state.num_segments), replica_cols.shape[1]
+            )
+            invalid[rows, replica_cols.ravel()] = True
         est[invalid] = math.inf
         evaluated += int(np.count_nonzero(~invalid))
         flat = int(np.argmin(est))

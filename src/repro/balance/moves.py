@@ -119,6 +119,16 @@ def apply_move(state: ClusterState, move: Move) -> Move:
             raise BalanceError(
                 f"segment {seg} already lives on BS {move.dest}"
             )
+        if state.seg_replicas is not None:
+            # Migrating the primary must not land on a BS already holding
+            # another copy of the same segment (fault-domain rule).
+            others = {int(bs) for bs in state.seg_replicas[seg, 1:]}
+            if move.dest in others:
+                raise BalanceError(
+                    f"segment {seg} already has a replica on BS "
+                    f"{move.dest}; copies must not co-locate"
+                )
+            state.seg_replicas[seg, 0] = move.dest
         state.seg_bs[seg] = move.dest
         return Move(kind=MoveKind.SEGMENT_MIGRATE, entity=seg, dest=old_bs)
 

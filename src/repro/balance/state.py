@@ -27,8 +27,12 @@ import numpy as np
 
 from repro.util.errors import BalanceError, ConfigError
 
-#: Bumped when the serialized layout changes incompatibly.
-STATE_SCHEMA_VERSION = 1
+#: Current serialized-layout version.  Version 2 adds the optional
+#: ``seg_replicas`` table (redundancy-aware placement).  Width-1 states
+#: omit it and serialize as version 1, byte-identical to historical
+#: snapshots — existing pinned digests stay valid; version-2 payloads
+#: only appear when replicas exist.  ``from_dict`` accepts both.
+STATE_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -44,7 +48,10 @@ class ClusterState:
     - ``qp_traffic``: bytes carried over the scoring window
 
     Storage side (indexed by segment id): ``seg_bs``, ``seg_vd``,
-    ``seg_traffic``.
+    ``seg_traffic``, and optionally ``seg_replicas`` — the full
+    ``(num_segments, width)`` placement table when the cluster stores
+    copies redundantly (column 0 always equals ``seg_bs``; rows never
+    repeat a BS).  ``None`` means single-copy placement.
 
     A DC with no compute side (``num_compute_nodes == 0`` and empty qp
     arrays) is legal: the inter-BS balancer refactor builds storage-only
@@ -61,6 +68,7 @@ class ClusterState:
     seg_bs: np.ndarray
     seg_vd: np.ndarray
     seg_traffic: np.ndarray
+    seg_replicas: Optional[np.ndarray] = None
 
     # -- shape ----------------------------------------------------------
 
@@ -124,6 +132,28 @@ class ClusterState:
                 raise BalanceError("seg_bs out of range")
             if np.any(self.seg_vd < 0):
                 raise BalanceError("seg_vd must be non-negative")
+        if self.seg_replicas is not None:
+            table = self.seg_replicas
+            if table.ndim != 2 or table.shape[0] != self.num_segments:
+                raise BalanceError(
+                    "seg_replicas must be (num_segments, width)"
+                )
+            if table.shape[1] < 1:
+                raise BalanceError("seg_replicas width must be >= 1")
+            if table.size and (
+                table.min() < 0 or table.max() >= self.num_block_servers
+            ):
+                raise BalanceError("seg_replicas out of range")
+            if self.num_segments and np.any(table[:, 0] != self.seg_bs):
+                raise BalanceError(
+                    "seg_replicas column 0 must equal seg_bs (the primary)"
+                )
+            if table.shape[1] > 1:
+                ordered = np.sort(table, axis=1)
+                if bool((ordered[:, 1:] == ordered[:, :-1]).any()):
+                    raise BalanceError(
+                        "seg_replicas co-locates copies of a segment"
+                    )
 
     # -- utilization vectors -------------------------------------------
 
@@ -159,11 +189,17 @@ class ClusterState:
             seg_bs=self.seg_bs.copy(),
             seg_vd=self.seg_vd.copy(),
             seg_traffic=self.seg_traffic.copy(),
+            seg_replicas=(
+                None if self.seg_replicas is None else self.seg_replicas.copy()
+            ),
         )
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
-            "schema_version": STATE_SCHEMA_VERSION,
+        # Single-copy states serialize exactly as historical version-1
+        # payloads (same keys, same digest); the replica table and the
+        # version bump appear only when redundancy is in play.
+        payload = {
+            "schema_version": 1 if self.seg_replicas is None else 2,
             "workers_per_node": self.workers_per_node,
             "num_compute_nodes": self.num_compute_nodes,
             "num_block_servers": self.num_block_servers,
@@ -175,15 +211,21 @@ class ClusterState:
             "seg_vd": [int(v) for v in self.seg_vd],
             "seg_traffic": [float(v) for v in self.seg_traffic],
         }
+        if self.seg_replicas is not None:
+            payload["seg_replicas"] = [
+                [int(v) for v in row] for row in self.seg_replicas
+            ]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "ClusterState":
         version = payload.get("schema_version")
-        if version != STATE_SCHEMA_VERSION:
+        if version not in (1, STATE_SCHEMA_VERSION):
             raise BalanceError(
                 f"unsupported cluster-state schema {version!r} "
-                f"(expected {STATE_SCHEMA_VERSION})"
+                f"(expected 1 or {STATE_SCHEMA_VERSION})"
             )
+        replicas = payload.get("seg_replicas")
         try:
             state = cls(
                 workers_per_node=int(payload["workers_per_node"]),
@@ -196,6 +238,11 @@ class ClusterState:
                 seg_bs=np.asarray(payload["seg_bs"], dtype=np.int64),
                 seg_vd=np.asarray(payload["seg_vd"], dtype=np.int64),
                 seg_traffic=np.asarray(payload["seg_traffic"], dtype=float),
+                seg_replicas=(
+                    None
+                    if replicas is None
+                    else np.asarray(replicas, dtype=np.int64)
+                ),
             )
         except KeyError as exc:
             raise BalanceError(f"cluster state missing field {exc}") from exc
@@ -267,12 +314,7 @@ class ClusterState:
             dtype=np.int64,
             count=num_qps,
         )
-        placement = storage.placement_snapshot()
-        seg_bs = np.fromiter(
-            (placement[seg.segment_id] for seg in fleet.segments),
-            dtype=np.int64,
-            count=num_segments,
-        )
+        seg_bs = storage.primary_array()
         state = cls(
             workers_per_node=fleet.config.workers_per_node,
             num_compute_nodes=fleet.config.num_compute_nodes,
@@ -296,6 +338,11 @@ class ClusterState:
                 count=num_segments,
             ),
             seg_traffic=seg_traffic,
+            seg_replicas=(
+                storage.placement.table_array()
+                if storage.placement.width > 1
+                else None
+            ),
         )
         state.validate()
         return state
@@ -347,9 +394,9 @@ class ClusterState:
 
         The inter-BS balancer uses this per period: ``bs_utilization()``
         accumulates in ascending-segment-id order, which is exactly the
-        insertion order of :meth:`StorageCluster.placement_snapshot` —
-        per-period loads stay bitwise identical to the historical
-        ``np.add.at`` path.
+        row order of :meth:`StorageCluster.primary_array` — per-period
+        loads stay bitwise identical to the historical ``np.add.at``
+        path.
         """
         fleet = storage.fleet
         num_segments = len(fleet.segments)
@@ -359,12 +406,7 @@ class ClusterState:
                 f"seg_traffic must have {num_segments} entries, "
                 f"got shape {seg_traffic.shape}"
             )
-        placement = storage.placement_snapshot()
-        seg_bs = np.fromiter(
-            (placement[seg.segment_id] for seg in fleet.segments),
-            dtype=np.int64,
-            count=num_segments,
-        )
+        seg_bs = storage.primary_array()
         empty_int = np.zeros(0, dtype=np.int64)
         return cls(
             workers_per_node=1,
@@ -381,6 +423,11 @@ class ClusterState:
                 count=num_segments,
             ),
             seg_traffic=seg_traffic,
+            seg_replicas=(
+                storage.placement.table_array()
+                if storage.placement.width > 1
+                else None
+            ),
         )
 
 

@@ -170,7 +170,7 @@ class InterBsBalancer:
         history = np.zeros((num_bs, num_periods))
 
         for period in range(num_periods):
-            placement_history.append(self.storage.placement_snapshot())
+            placement_history.append(self.storage.placement.primary_mapping())
             # The snapshot state accumulates in ascending-segment-id order,
             # exactly reproducing the historical per-period load path.
             state = ClusterState.from_storage(
@@ -254,7 +254,11 @@ class InterBsBalancer:
     def _admissible(self, segment: int, importer: int) -> bool:
         """Check the §6.1.3 reliability constraints for one placement."""
         cfg = self.config
-        resident = self.storage.segments_of(importer)
+        if importer in self.storage.replicas_of(segment):
+            # Width > 1: the primary must not land on a BS already
+            # holding another copy of the same segment.
+            return False
+        resident = self.storage.primaries_on(importer)
         if (
             cfg.max_segments_per_bs is not None
             and len(resident) >= cfg.max_segments_per_bs
@@ -283,7 +287,7 @@ class InterBsBalancer:
         timestamp = period * cfg.period_seconds
         exporters = np.nonzero(loads >= cfg.trigger_ratio * average)[0]
         for exporter in exporters:
-            segments = sorted(self.storage.segments_of(int(exporter)))
+            segments = sorted(self.storage.primaries_on(int(exporter)))
             if not segments:
                 continue
             seg_arr = np.asarray(segments, dtype=np.int64)

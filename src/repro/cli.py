@@ -43,6 +43,7 @@ from repro.core import (
     results_payload,
     validate_result_payload,
 )
+from repro.cluster.redundancy import READ_POLICY_NAMES
 from repro.core.report import ExperimentResult
 from repro.obs.export import EXPORT_FORMATS, export_telemetry
 from repro.obs.runtime import (
@@ -56,6 +57,7 @@ from repro.trace.io import write_metric_csv, write_trace_jsonl
 from repro.util.errors import ReproError
 
 _SCALES = SCALE_NAMES
+_READ_POLICIES = READ_POLICY_NAMES
 
 #: ``--scale large``/``xlarge`` only run streamed (their working sets
 #: defeat a monolithic build); this is the shard size they default to.
@@ -141,6 +143,12 @@ def _config(args: argparse.Namespace) -> StudyConfig:
                 f"--duration-seconds must be positive, got {duration}"
             )
         overrides["duration_seconds"] = duration
+    redundancy = getattr(args, "redundancy", None)
+    if redundancy is not None:
+        overrides["redundancy"] = redundancy
+    read_policy = getattr(args, "read_policy", None)
+    if read_policy is not None:
+        overrides["read_policy"] = read_policy
     config = StudyConfig.scale(args.scale, seed=args.seed, **overrides)
     plan_path = getattr(args, "fault_plan", None)
     if plan_path:
@@ -333,6 +341,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 results,
                 scale=args.scale,
                 seed=args.seed,
+                redundancy=getattr(args, "redundancy", None),
+                read_policy=getattr(args, "read_policy", None),
                 failed_experiment=failure[0] if failure else None,
             )
             try:
@@ -1253,6 +1263,26 @@ def _cmd_top(args: argparse.Namespace) -> int:
 # -- parser ------------------------------------------------------------------
 
 
+def _add_redundancy_flags(command: argparse.ArgumentParser) -> None:
+    """Redundancy flags shared by the study-building subcommands."""
+    command.add_argument(
+        "--redundancy",
+        metavar="SPEC",
+        default=None,
+        help="place every segment redundantly: 'r=N' for N-way "
+        "replication or 'ec=K+M' for a (K, M) erasure code; 'r=1' with "
+        "the primary policy reproduces the single-copy study bit-for-bit",
+    )
+    command.add_argument(
+        "--read-policy",
+        choices=_READ_POLICIES,
+        default=None,
+        dest="read_policy",
+        help="how reads spread over a segment's copies (default: "
+        "primary; ignored without --redundancy r>1 / ec)",
+    )
+
+
 def _add_streaming_flags(command: argparse.ArgumentParser) -> None:
     """Out-of-core execution flags shared by ``run`` and ``export-dataset``."""
     command.add_argument(
@@ -1375,6 +1405,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject a deterministic fault schedule (JSON, see "
         "docs/fault-injection.md) into every simulated DC",
     )
+    _add_redundancy_flags(run)
     _add_streaming_flags(run)
     run.add_argument(
         "--digest",
@@ -1683,6 +1714,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="plan: write the move plan JSON; apply: write the applied "
         "state; score: write the score report",
     )
+    _add_redundancy_flags(balance)
     _add_streaming_flags(balance)
 
     export = sub.add_parser(
@@ -1722,6 +1754,7 @@ def build_parser() -> argparse.ArgumentParser:
         dest="fault_plan",
         help="inject a deterministic fault schedule into the exported build",
     )
+    _add_redundancy_flags(export)
     _add_streaming_flags(export)
 
     sweep = sub.add_parser(

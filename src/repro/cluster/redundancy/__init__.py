@@ -1,0 +1,45 @@
+"""Redundancy-aware storage: replication / erasure codes + read policies.
+
+This package owns the redesigned placement surface (ROADMAP item 4):
+
+- :class:`RedundancyConfig` — ``r``-way replication or ``(k, m)``
+  erasure coding, parsed from the CLI/StudyConfig spec strings
+  (``"r=3"``, ``"ec=4+2"``).
+- :class:`PlacementMap` — the (segment, slot) -> BlockServer table that
+  replaces the old single-mapping accessors on
+  :class:`repro.cluster.storage.StorageCluster`; single-copy placement
+  is the width-1 degenerate case.
+- read-assignment policies (:mod:`repro.cluster.redundancy.policies`):
+  primary-only, least-loaded, power-of-two-choices, and batch
+  water-filling, all producing a per-segment weight row that sums to 1.
+- :class:`ReplicaExpansion` — the per-replica entity view both pass-1
+  implementations consume bit-identically, including write fan-out
+  costs and the replica-failover fault inputs.
+"""
+
+from repro.cluster.redundancy.config import RedundancyConfig
+from repro.cluster.redundancy.placement import PlacementMap, ring_table
+from repro.cluster.redundancy.policies import (
+    READ_POLICY_NAMES,
+    ReadPolicy,
+    assign_read_weights,
+)
+from repro.cluster.redundancy.expand import (
+    ReplicaExpansion,
+    build_expansion,
+    check_plan_compatible,
+    redundancy_fault_inputs,
+)
+
+__all__ = [
+    "READ_POLICY_NAMES",
+    "PlacementMap",
+    "ReadPolicy",
+    "RedundancyConfig",
+    "ReplicaExpansion",
+    "assign_read_weights",
+    "build_expansion",
+    "check_plan_compatible",
+    "redundancy_fault_inputs",
+    "ring_table",
+]

@@ -40,6 +40,15 @@ import numpy as np
 
 from repro.cluster.hypervisor import HypervisorSet
 from repro.cluster.latency import LatencyConfig, LatencyModel
+from repro.cluster.redundancy import (
+    READ_POLICY_NAMES,
+    RedundancyConfig,
+    ReplicaExpansion,
+    build_expansion,
+    check_plan_compatible,
+    redundancy_fault_inputs,
+    ring_table,
+)
 from repro.cluster.storage import StorageCluster
 from repro.faults.outcome import (
     FaultOutcome,
@@ -92,6 +101,13 @@ class SimulationConfig:
     #: reference loop; see the module docstring).  Exposed so tests and
     #: benchmarks can pin either path.
     use_fast_path: bool = True
+    #: Redundancy spec ("r=3" / "ec=4+2"); None (or "r=1") keeps the
+    #: single-copy legacy paths byte-identical.
+    redundancy: "Optional[str]" = None
+    #: Read-assignment policy over a segment's copies (ignored when
+    #: redundancy is trivial): primary | least_loaded | power_of_two |
+    #: water_filling.
+    read_policy: str = "primary"
 
     def __post_init__(self) -> None:
         if self.duration_seconds <= 0:
@@ -102,6 +118,23 @@ class SimulationConfig:
             raise ConfigError("recording thresholds must be non-negative")
         if self.wt_capacity_bps <= 0 or self.bs_capacity_bps <= 0:
             raise ConfigError("capacities must be positive")
+        if self.redundancy is not None:
+            RedundancyConfig.parse(self.redundancy)  # raises on bad spec
+        if self.read_policy not in READ_POLICY_NAMES:
+            raise ConfigError(
+                f"unknown read policy {self.read_policy!r}; choose one of "
+                f"{', '.join(READ_POLICY_NAMES)}"
+            )
+
+    def redundancy_config(self) -> "Optional[RedundancyConfig]":
+        """Parsed scheme, or None when redundancy is trivially single-copy
+        under the primary policy (the golden-digest-preserving case)."""
+        if self.redundancy is None:
+            return None
+        scheme = RedundancyConfig.parse(self.redundancy)
+        if scheme.is_trivial and self.read_policy == "primary":
+            return None
+        return scheme
 
 
 @dataclass
@@ -263,6 +296,18 @@ class EBSSimulator:
             if fault_plan is not None and not fault_plan.is_empty
             else None
         )
+        #: Parsed redundancy scheme; None when trivial (r=1 + primary),
+        #: in which case every legacy code path runs untouched.
+        self._redundancy: Optional[RedundancyConfig] = (
+            config.redundancy_config()
+        )
+        if self._redundancy is not None:
+            self._redundancy.validate_against(fleet.config.num_block_servers)
+            if self._timeline is not None:
+                check_plan_compatible(self._timeline)
+        #: Replica expansion (placement x read policy), built once per run
+        #: by :meth:`prepare_redundancy` after bindings are known.
+        self._expansion: Optional[ReplicaExpansion] = None
 
     # -- helpers -------------------------------------------------------------
 
@@ -293,10 +338,7 @@ class EBSSimulator:
         qp_to_wt = np.zeros(len(fleet.queue_pairs), dtype=np.int64)
         for qp_id, wt_id in hypervisors.binding_arrays().items():
             qp_to_wt[qp_id] = wt_id
-        seg_to_bs = np.zeros(len(fleet.segments), dtype=np.int64)
-        for seg_id, bs_id in storage.placement_snapshot().items():
-            seg_to_bs[seg_id] = bs_id
-        return qp_to_wt, seg_to_bs
+        return qp_to_wt, storage.primary_array()
 
     def _entity_arrays(self) -> _EntityArrays:
         """Flat per-entity metadata (built once, cached)."""
@@ -338,6 +380,64 @@ class EBSSimulator:
         )
         return self._entities
 
+    # -- redundancy -----------------------------------------------------------
+
+    def prepare_redundancy(
+        self,
+        traffic: List[VdTraffic],
+        seg_to_bs: np.ndarray,
+        table: "Optional[np.ndarray]" = None,
+    ) -> "Optional[ReplicaExpansion]":
+        """Build the replica expansion for this run's placement + traffic.
+
+        ``table`` is the (num_segments, width) placement table (from
+        ``storage.placement``); when omitted it is derived from the
+        primary array by ring expansion — the same construction
+        :class:`StorageCluster` starts from.  No-op (returns None) when
+        redundancy is trivial.
+        """
+        scheme = self._redundancy
+        if scheme is None:
+            self._expansion = None
+            return None
+        fleet = self.fleet
+        num_bs = fleet.config.num_block_servers
+        if table is None:
+            table = ring_table(seg_to_bs, scheme.width, num_bs)
+        ent = self._entity_arrays()
+        _qp_rw, _qp_ww, seg_rw, seg_ww = self._stacked_weights(traffic)
+        vd_read_total = np.zeros(len(fleet.vds))
+        vd_write_total = np.zeros(len(fleet.vds))
+        for tr in traffic:
+            vd_read_total[tr.vd_id] = float(tr.read_bytes.sum())
+            vd_write_total[tr.vd_id] = float(tr.write_bytes.sum())
+        rng = (
+            self._rngs.get("redundancy/policy")
+            if self.config.read_policy == "power_of_two"
+            else None
+        )
+        with get_telemetry().span(
+            "sim.redundancy.expand",
+            dc=fleet.config.dc_id,
+            scheme=scheme.spec,
+            policy=self.config.read_policy,
+        ):
+            self._expansion = build_expansion(
+                scheme,
+                self.config.read_policy,
+                table,
+                ent.seg_vd,
+                ent.seg_vm,
+                ent.seg_user,
+                seg_rw,
+                seg_ww,
+                vd_read_total,
+                vd_write_total,
+                num_bs,
+                rng=rng,
+            )
+        return self._expansion
+
     # -- pass 1: metric tables + load grids ----------------------------------
 
     def fault_adjusted_inputs(
@@ -360,6 +460,15 @@ class EBSSimulator:
             dc=self.fleet.config.dc_id,
             events=len(timeline.events),
         ):
+            if self._redundancy is not None:
+                if self._expansion is None:
+                    self.prepare_redundancy(traffic, seg_to_bs)
+                return redundancy_fault_inputs(
+                    self._expansion,
+                    timeline,
+                    self._stacked_series(traffic, t),
+                    self._stacked_weights(traffic),
+                )
             return timeline.adjust(
                 traffic,
                 qp_to_wt,
@@ -384,6 +493,14 @@ class EBSSimulator:
         """
         if fast is None:
             fast = self.config.use_fast_path
+        if (
+            self._redundancy is not None
+            and self._expansion is None
+            and traffic is not None
+        ):
+            # Direct pass-1 callers (tests, benches) skip run(): derive
+            # the expansion from the primary placement by ring expansion.
+            self.prepare_redundancy(traffic, seg_to_bs)
         if adjusted is None:
             adjusted = self.fault_adjusted_inputs(traffic, qp_to_wt, seg_to_bs)
         telemetry = get_telemetry()
@@ -453,6 +570,8 @@ class EBSSimulator:
         bs_per_node = fleet.config.block_servers_per_node
         ep_idx = adjusted.epoch_index if adjusted is not None else None
         arange_t = np.arange(t) if adjusted is not None else None
+        exp = self._expansion if self._redundancy is not None else None
+        width = exp.width if exp is not None else 1
 
         wt_load = np.zeros((fleet.num_wts, t))
         bs_load = np.zeros((fleet.config.num_block_servers, t))
@@ -499,46 +618,62 @@ class EBSSimulator:
                     write_iops=wi[ts],
                 )
             for index, seg_id in enumerate(vd.segment_ids):
-                if adjusted is None:
-                    rb = vd_traffic.read_bytes * vd_traffic.segment_read_weights[index]
-                    wb = vd_traffic.write_bytes * vd_traffic.segment_write_weights[index]
-                    ri = vd_traffic.read_iops * vd_traffic.segment_read_weights[index]
-                    wi = vd_traffic.write_iops * vd_traffic.segment_write_weights[index]
-                    bs_id = int(seg_to_bs[seg_id])
-                    bs_load[bs_id] += rb + wb
-                    bs_sec = None
-                else:
-                    rb = adjusted.seg_rb[seg_id]
-                    wb = adjusted.seg_wb[seg_id]
-                    ri = adjusted.seg_ri[seg_id]
-                    wi = adjusted.seg_wi[seg_id]
-                    bs_sec = adjusted.seg_bs_ep[seg_id][ep_idx]
-                    np.add.at(bs_load, (bs_sec, arange_t), rb + wb)
-                mask = self._record_mask(rb, wb, ri, wi)
-                if not mask.any():
-                    continue
-                ts = np.nonzero(mask)[0]
-                n = ts.size
-                if bs_sec is None:
-                    bs_rows = np.full(n, bs_id)
-                    node_rows = np.full(n, bs_id // bs_per_node)
-                else:
-                    bs_rows = bs_sec[ts]
-                    node_rows = bs_rows // bs_per_node
-                storage_buf.append(
-                    timestamp=ts,
-                    cluster_id=np.full(n, dc),
-                    storage_node_id=node_rows,
-                    block_server_id=bs_rows,
-                    user_id=np.full(n, vd.user_id),
-                    vm_id=np.full(n, vd.vm_id),
-                    vd_id=np.full(n, vd.vd_id),
-                    segment_id=np.full(n, seg_id),
-                    read_bytes=rb[ts],
-                    write_bytes=wb[ts],
-                    read_iops=ri[ts],
-                    write_iops=wi[ts],
-                )
+                # With redundancy active the storage entities are the
+                # segment's copies (global replica id = seg * width +
+                # slot); the precomputed per-replica weight vectors are
+                # the exact operands the fast path multiplies with, so
+                # both paths stay bit-identical.
+                for slot in range(width):
+                    ent_id = seg_id * width + slot if exp is not None else seg_id
+                    if adjusted is None:
+                        if exp is None:
+                            s_rw = vd_traffic.segment_read_weights[index]
+                            s_ww = vd_traffic.segment_write_weights[index]
+                        else:
+                            s_rw = exp.rep_rw[ent_id]
+                            s_ww = exp.rep_ww[ent_id]
+                        rb = vd_traffic.read_bytes * s_rw
+                        wb = vd_traffic.write_bytes * s_ww
+                        ri = vd_traffic.read_iops * s_rw
+                        wi = vd_traffic.write_iops * s_ww
+                        bs_id = int(
+                            seg_to_bs[seg_id] if exp is None
+                            else exp.rep_bs[ent_id]
+                        )
+                        bs_load[bs_id] += rb + wb
+                        bs_sec = None
+                    else:
+                        rb = adjusted.seg_rb[ent_id]
+                        wb = adjusted.seg_wb[ent_id]
+                        ri = adjusted.seg_ri[ent_id]
+                        wi = adjusted.seg_wi[ent_id]
+                        bs_sec = adjusted.seg_bs_ep[ent_id][ep_idx]
+                        np.add.at(bs_load, (bs_sec, arange_t), rb + wb)
+                    mask = self._record_mask(rb, wb, ri, wi)
+                    if not mask.any():
+                        continue
+                    ts = np.nonzero(mask)[0]
+                    n = ts.size
+                    if bs_sec is None:
+                        bs_rows = np.full(n, bs_id)
+                        node_rows = np.full(n, bs_id // bs_per_node)
+                    else:
+                        bs_rows = bs_sec[ts]
+                        node_rows = bs_rows // bs_per_node
+                    storage_buf.append(
+                        timestamp=ts,
+                        cluster_id=np.full(n, dc),
+                        storage_node_id=node_rows,
+                        block_server_id=bs_rows,
+                        user_id=np.full(n, vd.user_id),
+                        vm_id=np.full(n, vd.vm_id),
+                        vd_id=np.full(n, vd.vd_id),
+                        segment_id=np.full(n, seg_id),
+                        read_bytes=rb[ts],
+                        write_bytes=wb[ts],
+                        read_iops=ri[ts],
+                        write_iops=wi[ts],
+                    )
         return wt_load, bs_load, compute_buf, storage_buf
 
     def _stacked_series(
@@ -665,8 +800,27 @@ class EBSSimulator:
         chunk = max(64, _FAST_PASS_CHUNK_CELLS // max(1, t))
         arange_t = np.arange(t)
         arena = self._pass1_arena
-        # Per-segment storage node, computed once instead of per metric row.
-        seg_to_node = seg_to_bs // bs_per_node
+        # Storage-entity view: without redundancy these alias the segment
+        # arrays exactly (so the legacy path is byte-identical); with
+        # redundancy the entities are the flattened replicas and the
+        # emitted segment_id column maps each replica back to its segment.
+        exp = self._expansion if self._redundancy is not None else None
+        if exp is None:
+            s_num = num_segs
+            s_vd, s_vm, s_user = ent.seg_vd, ent.seg_vm, ent.seg_user
+            s_bs = seg_to_bs
+            s_seg = None
+            if adjusted is None:
+                s_rw, s_ww = seg_rw, seg_ww
+        else:
+            s_num = exp.num_replicas
+            s_vd, s_vm, s_user = exp.rep_vd, exp.rep_vm, exp.rep_user
+            s_bs = exp.rep_bs
+            s_seg = exp.rep_seg
+            if adjusted is None:
+                s_rw, s_ww = exp.rep_rw, exp.rep_ww
+        # Per-entity storage node, computed once instead of per metric row.
+        seg_to_node = s_bs // bs_per_node
 
         def scatter_add(
             load: np.ndarray,
@@ -769,14 +923,14 @@ class EBSSimulator:
                 write_iops=wi[mask],
             )
 
-        for start in range(0, num_segs, chunk):
-            stop = min(start + chunk, num_segs)
+        for start in range(0, s_num, chunk):
+            stop = min(start + chunk, s_num)
             if adjusted is None:
                 rb, wb, ri, wi = gather_scaled(
                     (read_b, write_b, read_i, write_i),
-                    ent.seg_vd[start:stop],
-                    seg_rw[start:stop, None],
-                    seg_ww[start:stop, None],
+                    s_vd[start:stop],
+                    s_rw[start:stop, None],
+                    s_ww[start:stop, None],
                 )
             else:
                 rb = adjusted.seg_rb[start:stop]
@@ -787,7 +941,7 @@ class EBSSimulator:
             np.add(rb, wb, out=bw)
             if adjusted is None:
                 scatter_add(
-                    bs_load, seg_to_bs[start:stop], bw, num_segs <= chunk
+                    bs_load, s_bs[start:stop], bw, s_num <= chunk
                 )
             else:
                 # Redirects make the target BS epoch-dependent: scatter with
@@ -804,9 +958,9 @@ class EBSSimulator:
             e, ts = np.nonzero(mask)
             if not e.size:
                 continue
-            g = e + start  # global segment ids
+            g = e + start  # global storage-entity ids (segments or replicas)
             if adjusted is None:
-                bs_rows = seg_to_bs[g]
+                bs_rows = s_bs[g]
                 node_rows = seg_to_node[g]
             else:
                 bs_rows = adjusted.seg_bs_ep[g, ep_idx[ts]]
@@ -816,10 +970,10 @@ class EBSSimulator:
                 cluster_id=np.full(g.size, dc),
                 storage_node_id=node_rows,
                 block_server_id=bs_rows,
-                user_id=ent.seg_user[g],
-                vm_id=ent.seg_vm[g],
-                vd_id=ent.seg_vd[g],
-                segment_id=g,
+                user_id=s_user[g],
+                vm_id=s_vm[g],
+                vd_id=s_vd[g],
+                segment_id=g if s_seg is None else s_seg[g],
                 read_bytes=rb[mask],
                 write_bytes=wb[mask],
                 read_iops=ri[mask],
@@ -842,7 +996,7 @@ class EBSSimulator:
         dc = fleet.config.dc_id
 
         hypervisors = HypervisorSet(fleet)
-        storage = StorageCluster(fleet)
+        storage = StorageCluster(fleet, redundancy=self._redundancy)
         generator = WorkloadGenerator(
             fleet, t, self._rngs, diurnal_amplitude=cfg.diurnal_amplitude
         )
@@ -850,6 +1004,10 @@ class EBSSimulator:
             traffic = generator.generate_all()
 
         qp_to_wt, seg_to_bs = self.bindings(hypervisors, storage)
+        if self._redundancy is not None:
+            self.prepare_redundancy(
+                traffic, seg_to_bs, table=storage.placement.table_array()
+            )
 
         adjusted = self.fault_adjusted_inputs(traffic, qp_to_wt, seg_to_bs)
         wt_load, bs_load, compute_table, storage_table = self.run_pass1(
@@ -1004,6 +1162,50 @@ class EBSSimulator:
 
     # -- pass 2: sampled traces ----------------------------------------------
 
+    def _trace_replica_failover(
+        self,
+        exp: "ReplicaExpansion",
+        timeline: FaultTimeline,
+        seg_ids: np.ndarray,
+        bs_ids: np.ndarray,
+        seconds: np.ndarray,
+        is_write: np.ndarray,
+    ) -> "tuple[np.ndarray, Optional[np.ndarray], Optional[np.ndarray], Dict[str, int]]":
+        """Replica-aware trace fault handling (replaces redirect/queue).
+
+        A read whose drawn copy is down fails over to the first
+        surviving copy of its segment (one retry hop in the frontend);
+        if every copy is down it is dropped.  A write whose primary is
+        down is dropped (deferred re-replication).  Deterministic — no
+        RNG draws — so trace identity off the crash windows is exact.
+        """
+        stats = empty_trace_stats()
+        ep_all = timeline.epoch_index[seconds]
+        down = timeline.bs_down_ep[bs_ids, ep_all]
+        if not down.any():
+            return bs_ids, None, None, stats
+        bs_ids = bs_ids.copy()
+        keep = np.ones(bs_ids.size, dtype=bool)
+        retries = np.zeros(bs_ids.size, dtype=np.int64)
+        idx = np.nonzero(down)[0]
+        rows = exp.table[seg_ids[idx]]                       # (n_down, W)
+        alive = ~timeline.bs_down_ep[rows, ep_all[idx][:, None]]
+        ok = alive.any(axis=1) & ~is_write[idx]
+        targets = rows[np.arange(idx.size), np.argmax(alive, axis=1)]
+        bs_ids[idx[ok]] = targets[ok]
+        retries[idx[ok]] = 1
+        keep[idx[~ok]] = False
+        n_ok = int(ok.sum())
+        stats["redirected_ios"] = n_ok
+        stats["retries"] = n_ok
+        stats["dropped_ios"] = int(idx.size - n_ok)
+        return (
+            bs_ids,
+            None if bool(keep.all()) else keep,
+            retries if n_ok else None,
+            stats,
+        )
+
     def _trace_columns_for_vd(
         self,
         vd_traffic: VdTraffic,
@@ -1112,12 +1314,35 @@ class EBSSimulator:
 
         seg_index = np.minimum(offsets // segment_bytes, vd.num_segments - 1)
         seg_ids = vd.first_segment_id + seg_index
-        bs_ids = seg_to_bs[seg_ids]
+        exp = self._expansion if self._redundancy is not None else None
+        if exp is None:
+            bs_ids = seg_to_bs[seg_ids]
+        else:
+            # Draw each read's serving copy from the policy's per-segment
+            # weights (separate label-keyed stream, so the base trace
+            # draws above stay untouched); writes pin to the primary.
+            rrng = self._rngs.get(f"redundancy/vd{vd.vd_id}")
+            u = rrng.random(n)
+            cum = exp.read_cum[seg_ids]
+            slots = np.minimum(
+                (u[:, None] >= cum).sum(axis=1), exp.width - 1
+            )
+            slots[is_write] = 0
+            bs_ids = exp.table[seg_ids, slots]
 
         if timeline is not None and timeline.has_any_effect:
-            bs_ids, seconds, skeep, retries, sstats = (
-                timeline.trace_storage_faults(bs_ids, seconds, alive=keep)
-            )
+            if exp is None:
+                bs_ids, seconds, skeep, retries, sstats = (
+                    timeline.trace_storage_faults(bs_ids, seconds, alive=keep)
+                )
+            else:
+                # Redundancy: reads on a downed copy fail over to the
+                # first surviving copy instead of redirecting/queueing.
+                bs_ids, skeep, retries, sstats = (
+                    self._trace_replica_failover(
+                        exp, timeline, seg_ids, bs_ids, seconds, is_write
+                    )
+                )
             merge_trace_stats(fault_stats, sstats)
             if skeep is not None:
                 keep = skeep if keep is None else keep & skeep

@@ -2,28 +2,43 @@
 
 A BlockServer (BS) proxies block IO into file APIs and owns a set of 32 GiB
 segments; ChunkServers (CSs) persist segment data on the storage node's
-SSDs.  The segment-to-BS mapping is the state the inter-BS load balancer
-(§6) mutates, so it is kept mutable here with conservation checks: a
-migration moves exactly one segment and never duplicates or drops one.
+SSDs.  Placement is a :class:`~repro.cluster.redundancy.PlacementMap` —
+a ``(num_segments, width)`` table whose column 0 is the primary copy —
+so ``r``-way replication and (k, m) erasure coding share one surface
+with single-copy placement as the width-1 degenerate case.  The map is
+the state the inter-BS load balancer (§6) mutates, kept mutable here
+with conservation checks: a migration moves exactly one copy, never
+duplicates or drops one, and never co-locates two copies of a segment.
+
+The legacy single-mapping accessors (``block_server_of``,
+``segments_of``, ``placement_snapshot``) remain as deprecated shims;
+in-repo callers use the placement-map API (``primary_of``,
+``replicas_of``, ``primaries_on``, ``primary_array``).
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
 
 from repro.util.errors import ConfigError, SimulationError
 from repro.workload.fleet import Fleet
+from repro.cluster.redundancy.config import RedundancyConfig
+from repro.cluster.redundancy.placement import PlacementMap, ring_table
 
 
 @dataclass(frozen=True)
 class MigrationEvent:
-    """One segment moving between BlockServers at a given time."""
+    """One segment copy moving between BlockServers at a given time."""
 
     timestamp: int
     segment_id: int
     from_bs: int
     to_bs: int
+    slot: int = 0  # which copy moved (0 = primary)
 
 
 @dataclass(frozen=True)
@@ -40,27 +55,47 @@ class StorageCluster:
     """Mutable segment placement over the BlockServers of one DC."""
 
     fleet: Fleet
-    _seg_to_bs: Dict[int, int] = field(init=False)
-    _bs_segments: Dict[int, Set[int]] = field(init=False)
+    redundancy: Optional[RedundancyConfig] = None
     migration_log: List[MigrationEvent] = field(init=False, default_factory=list)
     failure_log: List[FailureEvent] = field(init=False, default_factory=list)
 
     def __post_init__(self) -> None:
         num_bs = self.fleet.config.num_block_servers
-        self._seg_to_bs = {}
-        self._bs_segments = {bs: set() for bs in range(num_bs)}
-        self._active = set(range(num_bs))
-        # Transient-failure depth per BS: fault windows may nest/overlap
-        # (e.g. a bs_crash inside a cs_crash), so fail/recover count.
-        self._fail_depth: Dict[int, int] = {}
+        scheme = self.redundancy or RedundancyConfig()
+        scheme.validate_against(num_bs)
+        primaries = []
         for segment in self.fleet.segments:
             if not 0 <= segment.block_server_id < num_bs:
                 raise ConfigError(
                     f"segment {segment.segment_id} placed on unknown BS "
                     f"{segment.block_server_id}"
                 )
-            self._seg_to_bs[segment.segment_id] = segment.block_server_id
-            self._bs_segments[segment.block_server_id].add(segment.segment_id)
+            primaries.append(segment.block_server_id)
+        self._placement = PlacementMap(
+            ring_table(primaries, scheme.width, num_bs), num_bs
+        )
+        self._scheme = scheme
+        self._active = set(range(num_bs))
+        # Transient-failure depth per BS: fault windows may nest/overlap
+        # (e.g. a bs_crash inside a cs_crash), so fail/recover count.
+        self._fail_depth: Dict[int, int] = {}
+
+    # -- placement-map surface ------------------------------------------------
+
+    @property
+    def placement(self) -> PlacementMap:
+        """The live placement map (mutate via :meth:`migrate`)."""
+        return self._placement
+
+    @property
+    def scheme(self) -> RedundancyConfig:
+        """The redundancy scheme (r=1 replication when none was given)."""
+        return self._scheme
+
+    @property
+    def width(self) -> int:
+        """Copies (or coded shares) per segment."""
+        return self._placement.width
 
     @property
     def num_block_servers(self) -> int:
@@ -68,27 +103,76 @@ class StorageCluster:
 
     @property
     def num_segments(self) -> int:
-        return len(self._seg_to_bs)
+        return self._placement.num_segments
 
-    def block_server_of(self, segment_id: int) -> int:
-        if segment_id not in self._seg_to_bs:
-            raise SimulationError(f"unknown segment {segment_id}")
-        return self._seg_to_bs[segment_id]
+    def primary_of(self, segment_id: int) -> int:
+        """BS holding the segment's primary copy (slot 0)."""
+        return self._placement.primary_of(segment_id)
+
+    def replicas_of(self, segment_id: int) -> Tuple[int, ...]:
+        """All BSs holding the segment, slot order (primary first)."""
+        return self._placement.replicas_of(segment_id)
+
+    def primary_array(self) -> np.ndarray:
+        """(num_segments,) int64 primary placements — the pass-1 input."""
+        return self._placement.primary_array()
+
+    def primaries_on(self, bs_id: int) -> Set[int]:
+        """Segments whose primary copy lives on ``bs_id``."""
+        self._check_bs(bs_id)
+        return self._placement.primaries_on(bs_id)
+
+    def resident_on(self, bs_id: int) -> Set[Tuple[int, int]]:
+        """All (segment, slot) copies resident on ``bs_id``."""
+        self._check_bs(bs_id)
+        return self._placement.resident_on(bs_id)
 
     def storage_node_of_bs(self, bs_id: int) -> int:
-        if not 0 <= bs_id < self.num_block_servers:
-            raise SimulationError(f"unknown BlockServer {bs_id}")
+        self._check_bs(bs_id)
         return bs_id // self.fleet.config.block_servers_per_node
 
-    def segments_of(self, bs_id: int) -> Set[int]:
-        if bs_id not in self._bs_segments:
+    def _check_bs(self, bs_id: int) -> None:
+        if not 0 <= bs_id < self.num_block_servers:
             raise SimulationError(f"unknown BlockServer {bs_id}")
-        return set(self._bs_segments[bs_id])
+
+    # -- deprecated single-mapping accessors ----------------------------------
+
+    def block_server_of(self, segment_id: int) -> int:
+        """Deprecated: use :meth:`primary_of`."""
+        warnings.warn(
+            "StorageCluster.block_server_of is deprecated; use "
+            "primary_of(segment_id) (placement-map API)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.primary_of(segment_id)
+
+    def segments_of(self, bs_id: int) -> Set[int]:
+        """Deprecated: use :meth:`primaries_on` (or :meth:`resident_on`)."""
+        warnings.warn(
+            "StorageCluster.segments_of is deprecated; use "
+            "primaries_on(bs_id) for primary copies or resident_on(bs_id) "
+            "for every copy (placement-map API)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.primaries_on(bs_id)
+
+    def placement_snapshot(self) -> Dict[int, int]:
+        """Deprecated: use :meth:`primary_array` (or ``placement.table``)."""
+        warnings.warn(
+            "StorageCluster.placement_snapshot is deprecated; use "
+            "primary_array() or placement.table_array() (placement-map API)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._placement.primary_mapping()
+
+    # -- service state --------------------------------------------------------
 
     def is_active(self, bs_id: int) -> bool:
         """Whether the BS is in service (not decommissioned)."""
-        if bs_id not in self._bs_segments:
-            raise SimulationError(f"unknown BlockServer {bs_id}")
+        self._check_bs(bs_id)
         return bs_id in self._active
 
     @property
@@ -98,17 +182,17 @@ class StorageCluster:
     # -- transient failures (fault injection) --------------------------------
 
     def fail_block_server(self, bs_id: int, timestamp: int = 0) -> None:
-        """Mark a BS failed (transient — segments stay placed on it).
+        """Mark a BS failed (transient — copies stay placed on it).
 
         Unlike :meth:`decommission`, a failure does not evacuate
         segments: production crash windows are orders of magnitude
         shorter than a re-replication, so IOs redirect or queue instead
-        (the plan's :class:`~repro.faults.plan.RedirectPolicy`).
+        (the plan's :class:`~repro.faults.plan.RedirectPolicy`; with
+        redundancy enabled, reads fail over to surviving copies).
         Failures nest: overlapping fault windows on the same BS are
         counted, and the BS serves again only after the last recovery.
         """
-        if bs_id not in self._bs_segments:
-            raise SimulationError(f"unknown BlockServer {bs_id}")
+        self._check_bs(bs_id)
         self._fail_depth[bs_id] = self._fail_depth.get(bs_id, 0) + 1
         self.failure_log.append(
             FailureEvent(timestamp=timestamp, bs_id=bs_id, action="fail")
@@ -116,8 +200,7 @@ class StorageCluster:
 
     def recover_block_server(self, bs_id: int, timestamp: int = 0) -> None:
         """Undo one :meth:`fail_block_server` (raises if not failed)."""
-        if bs_id not in self._bs_segments:
-            raise SimulationError(f"unknown BlockServer {bs_id}")
+        self._check_bs(bs_id)
         depth = self._fail_depth.get(bs_id, 0)
         if depth <= 0:
             raise SimulationError(f"BS {bs_id} is not failed")
@@ -130,8 +213,7 @@ class StorageCluster:
         )
 
     def is_failed(self, bs_id: int) -> bool:
-        if bs_id not in self._bs_segments:
-            raise SimulationError(f"unknown BlockServer {bs_id}")
+        self._check_bs(bs_id)
         return self._fail_depth.get(bs_id, 0) > 0
 
     def is_serving(self, bs_id: int) -> bool:
@@ -146,88 +228,85 @@ class StorageCluster:
     def serving_block_servers(self) -> "Set[int]":
         return {bs for bs in self._active if self._fail_depth.get(bs, 0) <= 0}
 
-    def migrate(self, segment_id: int, to_bs: int, timestamp: int = 0) -> None:
-        """Move one segment to another BS, recording the event.
+    # -- mutation -------------------------------------------------------------
 
-        Migrating a segment to the BS it already lives on is rejected —
-        the balancer should never emit no-op migrations — and so is
-        migrating onto a decommissioned or currently-failed BS.
+    def migrate(
+        self, segment_id: int, to_bs: int, timestamp: int = 0, slot: int = 0
+    ) -> None:
+        """Move one copy of a segment to another BS, recording the event.
+
+        Migrating a copy to the BS it already lives on is rejected —
+        the balancer should never emit no-op migrations — as is
+        migrating onto a decommissioned or currently-failed BS, or onto
+        a BS already holding another copy of the same segment.
         """
-        if to_bs not in self._bs_segments:
-            raise SimulationError(f"unknown destination BS {to_bs}")
+        self._check_bs(to_bs)
         if to_bs not in self._active:
             raise SimulationError(f"BS {to_bs} is decommissioned")
         if self._fail_depth.get(to_bs, 0) > 0:
             raise SimulationError(f"BS {to_bs} is failed")
-        from_bs = self.block_server_of(segment_id)
-        if from_bs == to_bs:
-            raise SimulationError(
-                f"segment {segment_id} already lives on BS {to_bs}"
-            )
-        self._bs_segments[from_bs].remove(segment_id)
-        self._bs_segments[to_bs].add(segment_id)
-        self._seg_to_bs[segment_id] = to_bs
+        from_bs = self._placement.set_slot(segment_id, slot, to_bs)
         self.migration_log.append(
             MigrationEvent(
                 timestamp=timestamp,
-                segment_id=segment_id,
+                segment_id=int(segment_id),
                 from_bs=from_bs,
-                to_bs=to_bs,
+                to_bs=int(to_bs),
+                slot=int(slot),
             )
         )
 
     def decommission(
         self, bs_id: int, timestamp: int = 0
     ) -> List[MigrationEvent]:
-        """Take one BS out of service, evacuating its segments.
+        """Take one BS out of service, evacuating its resident copies.
 
-        Segments drain to the remaining active BSs, always to the one
-        currently holding the fewest segments (the capacity-driven
-        re-replication a production control plane performs).  Returns the
-        evacuation migrations; raises if this is the last active BS.
+        Copies drain to the remaining serving BSs, always to the one
+        currently holding the fewest copies (the capacity-driven
+        re-replication a production control plane performs), skipping
+        any BS that already holds another copy of the same segment.
+        Returns the evacuation migrations; raises if this is the last
+        active BS or a copy has nowhere co-location-free to go.
         """
-        if bs_id not in self._bs_segments:
-            raise SimulationError(f"unknown BlockServer {bs_id}")
+        self._check_bs(bs_id)
         if bs_id not in self._active:
             raise SimulationError(f"BS {bs_id} is already decommissioned")
         if len(self._active) <= 1:
             raise SimulationError("cannot decommission the last active BS")
         self._active.discard(bs_id)
         events: List[MigrationEvent] = []
-        for segment in sorted(self._bs_segments[bs_id]):
-            pool = self.serving_block_servers
+        for segment, slot in sorted(self._placement.resident_on(bs_id)):
+            others = set(self._placement.replicas_of(segment)) - {bs_id}
+            pool = {
+                bs for bs in self.serving_block_servers if bs not in others
+            }
             if not pool:
                 raise SimulationError(
-                    "no serving BS left to evacuate segments to"
+                    f"no serving BS left to evacuate segment {segment} "
+                    f"slot {slot} to without co-locating copies"
                 )
             target = min(
-                pool, key=lambda bs: (len(self._bs_segments[bs]), bs)
+                pool, key=lambda bs: (self._placement.resident_count(bs), bs)
             )
-            self.migrate(segment, target, timestamp=timestamp)
+            self.migrate(segment, target, timestamp=timestamp, slot=slot)
             events.append(self.migration_log[-1])
         return events
 
-    def placement_snapshot(self) -> Dict[int, int]:
-        """A copy of the segment -> BS mapping."""
-        return dict(self._seg_to_bs)
-
     def check_invariants(self) -> None:
-        """Raise if segments were lost, duplicated, or double-placed."""
-        seen: Set[int] = set()
-        for bs_id, segments in self._bs_segments.items():
-            for segment in segments:
-                if segment in seen:
-                    raise SimulationError(
-                        f"segment {segment} placed on multiple BSs"
-                    )
-                if self._seg_to_bs.get(segment) != bs_id:
-                    raise SimulationError(
-                        f"segment {segment} map/set disagreement"
-                    )
-                seen.add(segment)
-        if seen != set(self._seg_to_bs):
-            raise SimulationError("segment sets and map out of sync")
-        if len(seen) != len(self.fleet.segments):
+        """Raise if copies were lost, duplicated, or co-located.
+
+        Validates against the placement map (works for any width), plus
+        the fleet-level conservation check that every fleet segment is
+        still placed.
+        """
+        self._placement.check_invariants()
+        if self._placement.num_segments != len(self.fleet.segments):
             raise SimulationError(
-                f"{len(self.fleet.segments) - len(seen)} segments lost"
+                f"{len(self.fleet.segments) - self._placement.num_segments} "
+                f"segments lost"
+            )
+        if self._placement.width != self._scheme.width:
+            raise SimulationError(
+                f"placement width {self._placement.width} disagrees with "
+                f"redundancy scheme {self._scheme.spec}"
             )

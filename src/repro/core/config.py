@@ -6,6 +6,7 @@ import warnings
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.cluster.redundancy import READ_POLICY_NAMES, RedundancyConfig
 from repro.cluster.simulator import SimulationConfig
 from repro.faults.plan import FaultPlan
 from repro.util.errors import ConfigError
@@ -77,6 +78,13 @@ class StudyConfig:
     #: (per-DC sub-plans via :meth:`FaultPlan.for_dc`).  None or an empty
     #: plan reproduces the fault-free study bit-for-bit.
     fault_plan: Optional[FaultPlan] = None
+    #: Redundancy spec ("r=3" / "ec=4+2") applied to every DC.  None (or
+    #: "r=1" under the primary policy) reproduces the single-copy study
+    #: bit-for-bit.
+    redundancy: Optional[str] = None
+    #: Read-assignment policy over a segment's copies: primary |
+    #: least_loaded | power_of_two | water_filling.
+    read_policy: str = "primary"
 
     # §4 experiment knobs
     wt_cov_windows: Tuple[int, ...] = (60, 300, 600)
@@ -125,6 +133,13 @@ class StudyConfig:
             value = getattr(self, name)
             if value is not None and value < 0:
                 raise ConfigError(f"{name} must be non-negative")
+        if self.redundancy is not None:
+            RedundancyConfig.parse(self.redundancy)  # raises on bad spec
+        if self.read_policy not in READ_POLICY_NAMES:
+            raise ConfigError(
+                f"unknown read policy {self.read_policy!r}; choose one of "
+                f"{', '.join(READ_POLICY_NAMES)}"
+            )
 
     def simulation_config(self) -> SimulationConfig:
         overrides: Dict[str, Any] = {}
@@ -135,6 +150,8 @@ class StudyConfig:
         return SimulationConfig(
             duration_seconds=self.duration_seconds,
             trace_sampling_rate=self.trace_sampling_rate,
+            redundancy=self.redundancy,
+            read_policy=self.read_policy,
             **overrides,
         )
 

@@ -60,3 +60,4 @@ from repro.core.experiments import cache  # noqa: E402,F401
 from repro.core.experiments import extras  # noqa: E402,F401
 from repro.core.experiments import faults  # noqa: E402,F401
 from repro.core.experiments import balance  # noqa: E402,F401
+from repro.core.experiments import redundancy  # noqa: E402,F401

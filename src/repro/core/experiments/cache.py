@@ -258,7 +258,7 @@ def fig7d_space_utilization(study) -> ExperimentResult:
         cn_counts: List[int] = []
         bs_counts: List[int] = []
         for result in study.results:
-            placement = result.storage.placement_snapshot()
+            placement = result.storage.placement.primary_mapping()
             cn_counts.extend(
                 cacheable_vd_counts(
                     result.traces, result.fleet, "compute_node",

@@ -156,11 +156,9 @@ def extra_faults_balancer(study) -> ExperimentResult:
 
     # Baseline, and identify the hottest BS under the initial placement.
     storage = StorageCluster(result.fleet)
-    placement = storage.placement_snapshot()
-    seg_ids = np.fromiter(placement.keys(), dtype=np.int64)
-    seg_bs = np.fromiter(placement.values(), dtype=np.int64)
+    seg_bs = storage.primary_array()
     totals = np.zeros(storage.num_block_servers)
-    np.add.at(totals, seg_bs, write[seg_ids].sum(axis=1))
+    np.add.at(totals, seg_bs, write.sum(axis=1))
     hot_bs = int(np.argmax(totals))
     run = _balancer(storage, "baseline").run(write)
     storage.check_invariants()

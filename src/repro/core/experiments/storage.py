@@ -134,11 +134,9 @@ def fig4c_prediction(study) -> ExperimentResult:
         "write",
     )
     num_bs = storage.num_block_servers
-    placement = storage.placement_snapshot()
-    seg_ids = np.fromiter(placement.keys(), dtype=np.int64)
-    seg_bs = np.fromiter(placement.values(), dtype=np.int64)
+    seg_bs = storage.primary_array()
     matrix = np.zeros((num_bs, write.shape[1]))
-    np.add.at(matrix, seg_bs, write[seg_ids])
+    np.add.at(matrix, seg_bs, write)
 
     suite = paper_prediction_suite(
         epoch_periods=study.config.prediction_epoch_periods
@@ -171,15 +169,13 @@ def fig5a_read_write_cov(study) -> ExperimentResult:
     above = 0
     for result in study.results:
         storage = StorageCluster(result.fleet)
-        placement = storage.placement_snapshot()
-        seg_ids = np.fromiter(placement.keys(), dtype=np.int64)
-        seg_bs = np.fromiter(placement.values(), dtype=np.int64)
+        seg_bs = storage.primary_array()
         num_bs = storage.num_block_servers
         covs = {}
         for direction in ("read", "write"):
             matrix = _matrices(study, result, direction)
             loads = np.zeros((num_bs, matrix.shape[1]))
-            np.add.at(loads, seg_bs, matrix[seg_ids])
+            np.add.at(loads, seg_bs, matrix)
             covs[direction] = per_bs_cov(loads)
         if covs["read"] >= covs["write"]:
             above += 1

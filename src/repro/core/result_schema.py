@@ -4,12 +4,17 @@
 :func:`results_payload`) writes one payload per run::
 
     {
-      "result_schema_version": 1,
+      "result_schema_version": 2,
       "scale": "small" | null,
       "seed": 7 | null,
+      "redundancy": "r=3" | null,             # v2: redundancy spec
+      "read_policy": "primary" | null,        # v2: read-assignment policy
       "results": [ExperimentResult.to_dict(), ...],
       "failed_experiment": "fig4b"            # only on partial runs
     }
+
+Version history: v1 had no ``redundancy``/``read_policy`` keys; v2
+added them (readers accept both, writers emit v2).
 
 :func:`validate_result_payload` mirrors the ``obs validate`` philosophy:
 return a list of human-readable problems (empty = valid) instead of
@@ -24,7 +29,10 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.core.report import ExperimentResult
 
 #: Bump on any breaking change to the results payload layout.
-RESULT_SCHEMA_VERSION = 1
+RESULT_SCHEMA_VERSION = 2
+
+#: Payload versions this build can read.
+SUPPORTED_RESULT_SCHEMA_VERSIONS = (1, 2)
 
 
 def results_payload(
@@ -32,6 +40,8 @@ def results_payload(
     *,
     scale: Optional[str] = None,
     seed: Optional[int] = None,
+    redundancy: Optional[str] = None,
+    read_policy: Optional[str] = None,
     failed_experiment: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Assemble the versioned JSON payload for a run's results."""
@@ -39,6 +49,8 @@ def results_payload(
         "result_schema_version": RESULT_SCHEMA_VERSION,
         "scale": scale,
         "seed": seed,
+        "redundancy": redundancy,
+        "read_policy": read_policy,
         "results": [result.to_dict() for result in results],
     }
     if failed_experiment is not None:
@@ -85,10 +97,10 @@ def validate_result_payload(payload: Any) -> List[str]:
     version = payload.get("result_schema_version")
     if version is None:
         problems.append("missing 'result_schema_version'")
-    elif version != RESULT_SCHEMA_VERSION:
+    elif version not in SUPPORTED_RESULT_SCHEMA_VERSIONS:
         problems.append(
             f"unsupported result_schema_version {version!r} "
-            f"(this build reads {RESULT_SCHEMA_VERSION})"
+            f"(this build reads {SUPPORTED_RESULT_SCHEMA_VERSIONS})"
         )
     results = payload.get("results")
     if not isinstance(results, list):
@@ -102,6 +114,10 @@ def validate_result_payload(payload: Any) -> List[str]:
     scale = payload.get("scale")
     if scale is not None and not isinstance(scale, str):
         problems.append("'scale' must be a string or null")
+    for key in ("redundancy", "read_policy"):
+        value = payload.get(key)
+        if value is not None and not isinstance(value, str):
+            problems.append(f"'{key}' must be a string or null")
     failed = payload.get("failed_experiment")
     if failed is not None and not isinstance(failed, str):
         problems.append("'failed_experiment' must be a string")

@@ -116,6 +116,13 @@ class StreamingSimulator:
         series_format: str = "raw",
         series_dtype: str = "float64",
     ):
+        if simulator._redundancy is not None:
+            raise ConfigError(
+                "the streaming engine does not support non-trivial "
+                "redundancy (r>1 / ec or a non-primary read policy); run "
+                "monolithic, or use redundancy=None / 'r=1' with the "
+                "primary policy"
+            )
         self._sim = simulator
         self.plan: StreamPlan = plan_for(
             duration_seconds=simulator.config.duration_seconds,

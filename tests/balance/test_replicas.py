@@ -1,0 +1,173 @@
+"""Replica-aware balance planning and state serialization.
+
+The balancer's fault-domain rule under redundancy: a planned
+``segment_migrate`` may never land the primary on a BlockServer that
+already holds another copy of the segment.  The serialized layout is
+versioned so that width-1 states keep emitting historical version-1
+payloads byte-for-byte (the pinned golden digests in
+``test_golden.py`` prove it), while replica-bearing states round-trip
+through version 2.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.balance import (
+    BalanceConfig,
+    ClusterState,
+    Move,
+    MoveKind,
+    apply_move,
+    plan_moves,
+)
+from repro.balance.state import STATE_SCHEMA_VERSION
+from repro.cluster.redundancy import ring_table
+from repro.util.errors import BalanceError
+
+from tests.strategies import cluster_states, examples
+
+STATES = examples(cluster_states, 10, seed=21)
+
+
+def _with_replicas(state, width=3):
+    """Ring-expand the state's primaries into a replica table."""
+    wide = min(width, state.num_block_servers)
+    clone = state.copy()
+    clone.seg_replicas = ring_table(
+        state.seg_bs, wide, state.num_block_servers
+    )
+    clone.validate()
+    return clone
+
+
+def _replica_states(width=3):
+    return [
+        _with_replicas(s, width) for s in STATES if s.num_block_servers >= 2
+    ]
+
+
+class TestReplicaAwarePlanning:
+    @pytest.mark.parametrize("state", _replica_states())
+    def test_planned_migrations_never_co_locate(self, state):
+        plan = plan_moves(state, BalanceConfig())
+        for planned in plan.moves:
+            if planned.move.kind is not MoveKind.SEGMENT_MIGRATE:
+                continue
+            seg = planned.move.entity
+            others = {int(bs) for bs in state.seg_replicas[seg, 1:]}
+            assert planned.move.dest not in others
+
+    @pytest.mark.parametrize("state", _replica_states())
+    def test_applying_the_plan_keeps_the_state_valid(self, state):
+        plan = plan_moves(state, BalanceConfig())
+        applied = plan.apply_to(state.copy())
+        applied.validate()
+        # Column 0 stayed in sync with the primary mapping.
+        np.testing.assert_array_equal(
+            applied.seg_replicas[:, 0], applied.seg_bs
+        )
+
+    def test_apply_move_rejects_co_locating_migrate(self):
+        state = _with_replicas(
+            next(s for s in STATES if s.num_block_servers >= 3 and s.num_segments)
+        )
+        seg = 0
+        blocked = int(state.seg_replicas[seg, 1])
+        with pytest.raises(BalanceError, match="co-locate"):
+            apply_move(
+                state,
+                Move(kind=MoveKind.SEGMENT_MIGRATE, entity=seg, dest=blocked),
+            )
+        # The rejected move must not have mutated the state.
+        state.validate()
+        np.testing.assert_array_equal(state.seg_replicas[:, 0], state.seg_bs)
+
+    def test_apply_move_updates_the_replica_table(self):
+        state = _with_replicas(
+            next(s for s in STATES if s.num_block_servers >= 4 and s.num_segments)
+        )
+        seg = 0
+        taken = {int(bs) for bs in state.seg_replicas[seg]}
+        dest = next(
+            bs for bs in range(state.num_block_servers) if bs not in taken
+        )
+        undo = apply_move(
+            state, Move(kind=MoveKind.SEGMENT_MIGRATE, entity=seg, dest=dest)
+        )
+        assert int(state.seg_bs[seg]) == dest
+        assert int(state.seg_replicas[seg, 0]) == dest
+        state.validate()
+        apply_move(state, undo)
+        state.validate()
+
+
+class TestValidation:
+    def test_column_zero_must_match_primaries(self):
+        state = _with_replicas(STATES[0])
+        state.seg_replicas = state.seg_replicas.copy()
+        if not state.num_segments:
+            pytest.skip("degenerate example")
+        state.seg_replicas[0, 0] = (state.seg_bs[0] + 1) % state.num_block_servers
+        with pytest.raises(BalanceError, match="column 0"):
+            state.validate()
+
+    def test_co_located_rows_rejected(self):
+        state = next(
+            s for s in STATES if s.num_block_servers >= 3 and s.num_segments
+        )
+        wide = _with_replicas(state, width=2)
+        wide.seg_replicas[0, 1] = wide.seg_replicas[0, 0]
+        with pytest.raises(BalanceError, match="co-locates"):
+            wide.validate()
+
+    def test_out_of_range_rejected(self):
+        state = _with_replicas(STATES[0], width=2)
+        if not state.num_segments:
+            pytest.skip("degenerate example")
+        state.seg_replicas[0, 1] = state.num_block_servers
+        with pytest.raises(BalanceError, match="out of range"):
+            state.validate()
+
+
+class TestSerialization:
+    def test_width1_states_still_emit_version_1(self):
+        state = STATES[0]
+        payload = state.to_dict()
+        assert payload["schema_version"] == 1
+        assert "seg_replicas" not in payload
+
+    def test_replica_states_emit_the_current_version(self):
+        state = _with_replicas(STATES[0])
+        payload = state.to_dict()
+        assert payload["schema_version"] == STATE_SCHEMA_VERSION
+        assert payload["seg_replicas"] == [
+            [int(v) for v in row] for row in state.seg_replicas
+        ]
+
+    @pytest.mark.parametrize("state", _replica_states()[:4])
+    def test_replica_states_round_trip(self, state):
+        text = state.to_json()
+        back = ClusterState.from_json(text)
+        assert back.to_json() == text
+        np.testing.assert_array_equal(back.seg_replicas, state.seg_replicas)
+        assert back.digest() == state.digest()
+
+    def test_version_1_payloads_still_load(self):
+        state = STATES[0]
+        payload = state.to_dict()
+        assert payload["schema_version"] == 1
+        back = ClusterState.from_dict(payload)
+        assert back.seg_replicas is None
+        assert back.digest() == state.digest()
+
+    def test_unknown_versions_rejected(self):
+        payload = STATES[0].to_dict()
+        payload["schema_version"] = 3
+        with pytest.raises(BalanceError, match="schema"):
+            ClusterState.from_dict(json.loads(json.dumps(payload)))
+
+    def test_replicas_change_the_digest(self):
+        state = next(s for s in STATES if s.num_block_servers >= 3)
+        assert _with_replicas(state).digest() != state.digest()

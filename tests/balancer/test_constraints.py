@@ -11,7 +11,7 @@ from repro.util.rng import spawn_rng
 
 def hot_matrix(storage, num_periods=4, hot_bs=0, level=100.0):
     matrix = np.ones((storage.num_segments, num_periods))
-    for segment in storage.segments_of(hot_bs):
+    for segment in storage.primaries_on(hot_bs):
         matrix[segment] = level
     return matrix
 
@@ -26,7 +26,7 @@ class TestCapacityConstraint:
     def test_importers_never_exceed_capacity(self, small_fleet):
         storage = StorageCluster(small_fleet)
         limit = max(
-            len(storage.segments_of(bs))
+            len(storage.primaries_on(bs))
             for bs in range(storage.num_block_servers)
         ) + 2
         balancer = InterBsBalancer(
@@ -38,7 +38,7 @@ class TestCapacityConstraint:
         balancer.run(hot_matrix(storage, num_periods=6))
         storage.check_invariants()
         for bs in range(storage.num_block_servers):
-            assert len(storage.segments_of(bs)) <= limit
+            assert len(storage.primaries_on(bs)) <= limit
 
     def test_tight_capacity_blocks_migration(self, small_fleet):
         storage = StorageCluster(small_fleet)
@@ -57,7 +57,7 @@ class TestAntiAffinity:
     @staticmethod
     def _colocations(small_fleet, storage):
         counts = {}
-        for seg_id, bs in storage.placement_snapshot().items():
+        for seg_id, bs in storage.placement.primary_mapping().items():
             vd = small_fleet.segments[seg_id].vd_id
             counts[(vd, bs)] = counts.get((vd, bs), 0) + 1
         return sum(c - 1 for c in counts.values() if c > 1)

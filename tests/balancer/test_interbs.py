@@ -71,7 +71,7 @@ class TestInterBsBalancer:
     def _hot_matrix(self, storage, num_periods=4):
         matrix = np.ones((storage.num_segments, num_periods))
         hot_bs = 0
-        for segment in storage.segments_of(hot_bs):
+        for segment in storage.primaries_on(hot_bs):
             matrix[segment] = 100.0
         return matrix
 
@@ -90,10 +90,10 @@ class TestInterBsBalancer:
 
     def test_migration_reduces_hot_bs_load(self, small_fleet):
         storage = StorageCluster(small_fleet)
-        before = len(storage.segments_of(0))
+        before = len(storage.primaries_on(0))
         balancer = InterBsBalancer(storage, rng=spawn_rng(0, "b"))
         balancer.run(self._hot_matrix(storage))
-        assert len(storage.segments_of(0)) < before
+        assert len(storage.primaries_on(0)) < before
 
     def test_bs_loads_shape(self, small_fleet):
         storage = StorageCluster(small_fleet)
@@ -116,7 +116,7 @@ class TestInterBsBalancer:
         write = self._hot_matrix(storage)
         read = np.ones_like(write)
         hot_read_bs = 1
-        for segment in storage.segments_of(hot_read_bs):
+        for segment in storage.primaries_on(hot_read_bs):
             read[segment] = 50.0
         run = balancer.run(write, secondary_traffic=read)
         storage.check_invariants()
@@ -128,7 +128,7 @@ class TestInterBsBalancer:
         run = balancer.run(self._hot_matrix(storage, num_periods=3))
         assert len(run.placement_history) == 3
         assert set(run.placement_history[0]) == set(
-            storage.placement_snapshot()
+            storage.placement.primary_mapping()
         )
 
 
@@ -137,7 +137,7 @@ class TestBlackoutPeriods:
 
     def _hot_matrix(self, storage, num_periods=4):
         matrix = np.ones((storage.num_segments, num_periods))
-        for segment in storage.segments_of(0):
+        for segment in storage.primaries_on(0):
             matrix[segment] = 100.0
         return matrix
 
@@ -178,7 +178,7 @@ class TestBlackoutPeriods:
             matrix, blackout_periods=[]
         )
         assert run_a.num_migrations == run_b.num_migrations
-        assert storage_a.placement_snapshot() == storage_b.placement_snapshot()
+        assert storage_a.placement.primary_mapping() == storage_b.placement.primary_mapping()
 
 
 class TestFailedImporterFallback:
@@ -186,7 +186,7 @@ class TestFailedImporterFallback:
 
     def _matrix_hot_on(self, storage, hot_bs, num_periods=4, heat=100.0):
         matrix = np.ones((storage.num_segments, num_periods))
-        for segment in storage.segments_of(hot_bs):
+        for segment in storage.primaries_on(hot_bs):
             matrix[segment] = heat
         return matrix
 

@@ -60,7 +60,7 @@ class TestPredictorImporter:
     def test_works_inside_balancer(self, small_fleet):
         storage = StorageCluster(small_fleet)
         matrix = np.ones((storage.num_segments, 6))
-        for segment in storage.segments_of(0):
+        for segment in storage.primaries_on(0):
             matrix[segment] = 50.0
         balancer = InterBsBalancer(
             storage,

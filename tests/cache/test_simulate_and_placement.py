@@ -104,7 +104,7 @@ class TestPlacement:
 
     def test_cacheable_counts_cover_all_nodes(self, sim):
         config = CachePlacementConfig(block_bytes=512 * MiB)
-        placement = sim.storage.placement_snapshot()
+        placement = sim.storage.placement.primary_mapping()
         cn = cacheable_vd_counts(
             sim.traces, sim.fleet, "compute_node", placement, config
         )
@@ -120,7 +120,7 @@ class TestPlacement:
         with pytest.raises(ConfigError):
             cacheable_vd_counts(
                 sim.traces, sim.fleet, "switch",
-                sim.storage.placement_snapshot(),
+                sim.storage.placement.primary_mapping(),
             )
 
     def test_config_validation(self):

@@ -13,22 +13,22 @@ class TestDecommission:
     def test_evacuates_all_segments(self, small_fleet):
         storage = StorageCluster(small_fleet)
         victim = 0
-        count = len(storage.segments_of(victim))
+        count = len(storage.primaries_on(victim))
         events = storage.decommission(victim)
         assert len(events) == count
-        assert storage.segments_of(victim) == set()
+        assert storage.primaries_on(victim) == set()
         assert not storage.is_active(victim)
         storage.check_invariants()
 
     def test_segments_spread_over_survivors(self, small_fleet):
         storage = StorageCluster(small_fleet)
         before = {
-            bs: len(storage.segments_of(bs))
+            bs: len(storage.primaries_on(bs))
             for bs in range(storage.num_block_servers)
         }
         storage.decommission(0)
         after = {
-            bs: len(storage.segments_of(bs))
+            bs: len(storage.primaries_on(bs))
             for bs in range(1, storage.num_block_servers)
         }
         # Every survivor got some of the load; the spread stays tight.
@@ -40,7 +40,7 @@ class TestDecommission:
     def test_migrate_to_decommissioned_rejected(self, small_fleet):
         storage = StorageCluster(small_fleet)
         storage.decommission(1)
-        segment = next(iter(storage.segments_of(0)))
+        segment = next(iter(storage.primaries_on(0)))
         with pytest.raises(SimulationError):
             storage.migrate(segment, 1)
 
@@ -63,7 +63,7 @@ class TestDecommission:
         storage = StorageCluster(small_fleet)
         storage.decommission(2)
         matrix = np.ones((storage.num_segments, 5))
-        for segment in storage.segments_of(0):
+        for segment in storage.primaries_on(0):
             matrix[segment] = 60.0
         balancer = InterBsBalancer(
             storage,

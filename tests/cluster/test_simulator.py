@@ -67,7 +67,7 @@ class TestDatasets:
             )
 
     def test_trace_bs_matches_placement(self, sim_result):
-        placement = sim_result.storage.placement_snapshot()
+        placement = sim_result.storage.placement.primary_mapping()
         seg = sim_result.traces.segment_id
         bs = sim_result.traces.block_server_id
         for index in range(min(200, len(sim_result.traces))):

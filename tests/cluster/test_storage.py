@@ -13,7 +13,7 @@ class TestStorageCluster:
         storage = StorageCluster(small_fleet)
         for segment in small_fleet.segments:
             assert (
-                storage.block_server_of(segment.segment_id)
+                storage.primary_of(segment.segment_id)
                 == segment.block_server_id
             )
 
@@ -23,18 +23,18 @@ class TestStorageCluster:
     def test_migrate_moves_segment(self, small_fleet):
         storage = StorageCluster(small_fleet)
         segment = small_fleet.segments[0].segment_id
-        source = storage.block_server_of(segment)
+        source = storage.primary_of(segment)
         target = (source + 1) % storage.num_block_servers
         storage.migrate(segment, target, timestamp=42)
-        assert storage.block_server_of(segment) == target
-        assert segment in storage.segments_of(target)
-        assert segment not in storage.segments_of(source)
+        assert storage.primary_of(segment) == target
+        assert segment in storage.primaries_on(target)
+        assert segment not in storage.primaries_on(source)
         storage.check_invariants()
 
     def test_migration_logged(self, small_fleet):
         storage = StorageCluster(small_fleet)
         segment = small_fleet.segments[0].segment_id
-        source = storage.block_server_of(segment)
+        source = storage.primary_of(segment)
         target = (source + 1) % storage.num_block_servers
         storage.migrate(segment, target, timestamp=7)
         event = storage.migration_log[-1]
@@ -47,7 +47,7 @@ class TestStorageCluster:
         storage = StorageCluster(small_fleet)
         segment = small_fleet.segments[0].segment_id
         with pytest.raises(SimulationError):
-            storage.migrate(segment, storage.block_server_of(segment))
+            storage.migrate(segment, storage.primary_of(segment))
 
     def test_unknown_segment_rejected(self, small_fleet):
         storage = StorageCluster(small_fleet)
@@ -75,7 +75,7 @@ class TestStorageCluster:
         for seg_pick, bs_pick in moves:
             segment = seg_pick % num_segments
             target = bs_pick % storage.num_block_servers
-            if storage.block_server_of(segment) == target:
+            if storage.primary_of(segment) == target:
                 continue
             storage.migrate(segment, target)
         storage.check_invariants()
@@ -87,12 +87,12 @@ class TestTransientFailures:
 
     def test_fail_marks_bs_not_serving_but_keeps_segments(self, small_fleet):
         storage = StorageCluster(small_fleet)
-        resident = storage.segments_of(0)
+        resident = storage.primaries_on(0)
         storage.fail_block_server(0, timestamp=5)
         assert storage.is_failed(0)
         assert not storage.is_serving(0)
         assert storage.is_active(0)  # failed, not decommissioned
-        assert storage.segments_of(0) == resident  # no evacuation
+        assert storage.primaries_on(0) == resident  # no evacuation
         storage.check_invariants()
 
     def test_recover_restores_serving(self, small_fleet):
@@ -120,16 +120,16 @@ class TestTransientFailures:
 
     def test_migrate_onto_failed_bs_raises(self, small_fleet):
         storage = StorageCluster(small_fleet)
-        segment = next(iter(storage.segments_of(0)))
+        segment = next(iter(storage.primaries_on(0)))
         storage.fail_block_server(1)
         with pytest.raises(SimulationError, match="failed"):
             storage.migrate(segment, 1)
         # The rejected migration must not have mutated placement.
-        assert storage.block_server_of(segment) == 0
+        assert storage.primary_of(segment) == 0
         storage.check_invariants()
         storage.recover_block_server(1)
         storage.migrate(segment, 1)
-        assert storage.block_server_of(segment) == 1
+        assert storage.primary_of(segment) == 1
 
     def test_failure_log_records_both_transitions(self, small_fleet):
         storage = StorageCluster(small_fleet)

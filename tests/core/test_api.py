@@ -92,6 +92,87 @@ class TestRun:
             run_experiment("table2", duration_secondz=60)
 
 
+class TestRedundancySurface:
+    def test_run_experiment_accepts_redundancy_overrides(self):
+        result = run_experiment(
+            "table2",
+            config=None,
+            seed=3,
+            duration_seconds=60,
+            dc_configs=[
+                FleetConfig(
+                    dc_id=0,
+                    num_users=4,
+                    num_vms=10,
+                    num_compute_nodes=4,
+                    num_storage_nodes=3,
+                )
+            ],
+            wt_cov_windows=(30, 60),
+            cache_min_traces=50,
+            redundancy="r=2",
+            read_policy="least_loaded",
+        )
+        assert result.rows
+
+    def test_bad_redundancy_spec_fails_before_building(self):
+        with pytest.raises(ConfigError, match="malformed redundancy"):
+            run_experiment("table2", redundancy="raid=5")
+
+    def test_bad_read_policy_fails_before_building(self):
+        with pytest.raises(ConfigError, match="unknown read policy"):
+            run_experiment("table2", read_policy="round_robin")
+
+    def test_study_config_carries_the_fields(self):
+        config = tiny_config()
+        assert config.redundancy is None
+        assert config.read_policy == "primary"
+        sim = config.simulation_config()
+        assert sim.redundancy is None
+        assert sim.read_policy == "primary"
+
+    def test_save_results_emits_redundancy_keys(self, tmp_path):
+        result = ExperimentResult(
+            experiment_id="table2",
+            title="demo",
+            headers=["metric"],
+            rows=[["x"]],
+        )
+        path = save_results(
+            [result],
+            tmp_path / "res.json",
+            seed=7,
+            redundancy="r=3",
+            read_policy="water_filling",
+        )
+        payload = json.loads(path.read_text())
+        assert payload["redundancy"] == "r=3"
+        assert payload["read_policy"] == "water_filling"
+
+    def test_validator_accepts_v1_and_rejects_bad_keys(self):
+        from repro.core.result_schema import validate_result_payload
+
+        v1 = {"result_schema_version": 1, "results": []}
+        assert validate_result_payload(v1) == []
+        bad = {
+            "result_schema_version": 2,
+            "results": [],
+            "redundancy": 3,
+            "read_policy": ["primary"],
+        }
+        problems = validate_result_payload(bad)
+        assert any("redundancy" in p for p in problems)
+        assert any("read_policy" in p for p in problems)
+
+    def test_unsupported_versions_are_reported(self):
+        from repro.core.result_schema import validate_result_payload
+
+        problems = validate_result_payload(
+            {"result_schema_version": 99, "results": []}
+        )
+        assert any("unsupported" in p for p in problems)
+
+
 class TestSaveLoad:
     def test_roundtrip(self, tmp_path):
         result = ExperimentResult(

@@ -70,7 +70,7 @@ class TestMain:
         good = tmp_path / "results.json"
         good.write_text(json.dumps(results_payload([result], seed=7)))
         assert main(["obs", "validate", str(good)]) == 0
-        assert "result_schema_version 1" in capsys.readouterr().out
+        assert "result_schema_version 2" in capsys.readouterr().out
 
         bad = tmp_path / "bad.json"
         bad.write_text(
@@ -78,6 +78,46 @@ class TestMain:
         )
         assert main(["obs", "validate", str(bad)]) == 1
         assert "missing" in capsys.readouterr().err
+
+    def test_redundancy_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["run", "table2", "--redundancy", "r=3",
+             "--read-policy", "least_loaded"]
+        )
+        assert args.redundancy == "r=3"
+        assert args.read_policy == "least_loaded"
+
+    def test_redundancy_flags_default_to_none(self):
+        args = build_parser().parse_args(["run", "table2"])
+        assert args.redundancy is None
+        assert args.read_policy is None
+
+    def test_unknown_read_policy_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "table2", "--read-policy", "round_robin"]
+            )
+
+    def test_balance_and_export_accept_redundancy_flags(self):
+        args = build_parser().parse_args(
+            ["balance", "plan", "--redundancy", "r=2"]
+        )
+        assert args.redundancy == "r=2"
+        args = build_parser().parse_args(
+            ["export-dataset", "out", "--redundancy", "ec=4+2"]
+        )
+        assert args.redundancy == "ec=4+2"
+
+    def test_bad_redundancy_spec_fails_cleanly(self, capsys):
+        code = main(["run", "table2", "--redundancy", "raid=5"])
+        assert code == 1
+        assert "malformed redundancy" in capsys.readouterr().err
+
+    def test_list_includes_redundancy_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "redundancy_cov" in out
+        assert "redundancy_faults" in out
 
     def test_json_flag_parsed(self):
         args = build_parser().parse_args(

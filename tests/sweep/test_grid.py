@@ -40,6 +40,16 @@ class TestParseAxis:
             (64 * MiB, 512 * MiB)
         ]
 
+    def test_redundancy_specs_survive_the_embedded_equals(self):
+        # "r=1" itself contains '='; only the first one splits the axis.
+        assert parse_axis("redundancy=r=1,r=3") == (
+            "redundancy", ["r=1", "r=3"],
+        )
+        assert parse_axis("redundancy=ec=4+2")[1] == ["ec=4+2"]
+        assert parse_axis("read_policy=primary,least_loaded")[1] == [
+            "primary", "least_loaded",
+        ]
+
     @pytest.mark.parametrize(
         "bad", ["noequals", "=1,2", "x=", "x=1,,2", "x=fooMiB"]
     )
